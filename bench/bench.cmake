@@ -1,0 +1,41 @@
+# One binary per figure/table group of the paper plus ablations and a
+# google-benchmark micro suite. Running every binary regenerates the
+# full evaluation (see EXPERIMENTS.md).
+function(aspect_add_bench name)
+  add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cc)
+  set_target_properties(${name} PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+  target_link_libraries(${name} PRIVATE
+    aspect_measure
+    aspect_properties
+    aspect_core
+    aspect_query
+    aspect_scaler
+    aspect_workload
+    aspect_stats
+    aspect_relational
+    aspect_common
+  )
+endfunction()
+
+aspect_add_bench(bench_fig12_13_14_properties)
+aspect_add_bench(bench_fig15_queries)
+aspect_add_bench(bench_fig16_iterations)
+aspect_add_bench(bench_fig17_time)
+aspect_add_bench(bench_fig25_26_27_properties_douban)
+aspect_add_bench(bench_fig28_29_30_queries_douban)
+aspect_add_bench(bench_fig31_query_iterations)
+aspect_add_bench(bench_fig32_33_34_iteration_tables)
+aspect_add_bench(bench_fig35_time_douban)
+aspect_add_bench(bench_ablation_order)
+aspect_add_bench(bench_ablation_validation)
+aspect_add_bench(bench_ablation_overlap)
+aspect_add_bench(bench_error_analysis)
+aspect_add_bench(bench_scalability)
+aspect_add_bench(bench_ablation_scalers)
+aspect_add_bench(bench_ablation_rollback)
+
+add_executable(bench_micro_ops ${CMAKE_SOURCE_DIR}/bench/bench_micro_ops.cc)
+set_target_properties(bench_micro_ops PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+target_link_libraries(bench_micro_ops PRIVATE
+  aspect_properties aspect_core aspect_scaler aspect_workload
+  aspect_stats aspect_relational aspect_common benchmark::benchmark)

@@ -1,0 +1,65 @@
+// Ablation: the rollback-on-regression safety net (an extension beyond
+// the paper's O4 accepted-error policy). Compares each permutation's
+// final errors and tweak time with and without rollback on Rand-Xiami:
+// rollback guarantees no step leaves the guarded error worse, at the
+// cost of one database snapshot per step.
+#include "aspect/coordinator.h"
+#include "bench_util.h"
+#include "properties/coappear.h"
+#include "properties/linear.h"
+#include "properties/pairwise.h"
+#include "scaler/size_scaler.h"
+#include "workload/generator.h"
+
+using namespace aspect;
+using namespace aspect::bench;
+
+int main() {
+  auto gen = GenerateDataset(XiamiLike(0.4), kSeed).ValueOrAbort();
+  auto truth = gen.Materialize(4).ValueOrAbort();
+  RandScaler rand;
+  auto base = rand.Scale(*gen.Materialize(1).ValueOrAbort(),
+                         gen.SnapshotSizes(4), kSeed)
+                  .ValueOrAbort();
+
+  Banner("Ablation: rollback-on-regression (Rand-XiamiLike, D4)");
+  Header({"order", "total(off)", "total(on)", "s(off)", "s(on)"});
+  for (const std::string& label : SixPermutations()) {
+    double totals[2] = {0, 0};
+    double seconds[2] = {0, 0};
+    for (const bool rollback : {false, true}) {
+      auto scaled = base->Clone();
+      Coordinator coordinator;
+      coordinator.AddTool(
+          std::make_unique<LinearPropertyTool>(truth->schema()));
+      coordinator.AddTool(
+          std::make_unique<CoappearPropertyTool>(truth->schema()));
+      coordinator.AddTool(
+          std::make_unique<PairwisePropertyTool>(truth->schema()));
+      coordinator.SetTargetsFromDataset(*truth).Check();
+      std::vector<int> order;
+      for (const std::string& tool :
+           OrderFromLabel(label).ValueOrAbort()) {
+        order.push_back(coordinator.FindTool(tool));
+      }
+      CoordinatorOptions opts;
+      opts.seed = kSeed;
+      opts.rollback_on_regression = rollback;
+      const RunReport report =
+          coordinator.Run(scaled.get(), order, opts).ValueOrAbort();
+      for (const double e : report.final_errors) {
+        totals[rollback ? 1 : 0] += e;
+      }
+      for (const ToolReport& s : report.steps) {
+        seconds[rollback ? 1 : 0] += s.seconds;
+      }
+    }
+    Cell(label);
+    Cell(totals[0]);
+    Cell(totals[1]);
+    Cell(seconds[0]);
+    Cell(seconds[1]);
+    EndRow();
+  }
+  return 0;
+}

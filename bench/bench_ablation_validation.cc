@@ -1,0 +1,39 @@
+// Ablation: validator voting on vs off (Sec. III-C). DESIGN.md calls
+// this design choice out: voting lets already-enforced properties veto
+// damaging proposals at the cost of retries. The bench compares final
+// errors and tweaking time for each permutation with and without
+// validation on Rand-Xiami.
+#include "bench_util.h"
+
+using namespace aspect;
+using namespace aspect::bench;
+
+int main() {
+  Banner("Ablation: validator voting on/off (Rand-XiamiLike, D4)");
+  Header({"order", "L(on)", "L(off)", "C(on)", "C(off)", "P(on)",
+          "P(off)", "s(on)", "s(off)"});
+  for (const std::string& label : SixPermutations()) {
+    ExperimentConfig c;
+    c.blueprint = XiamiLike(0.4);
+    c.seed = kSeed;
+    c.source_snapshot = 1;
+    c.target_snapshot = 4;
+    c.scaler = "Rand";
+    c.order = OrderFromLabel(label).ValueOrAbort();
+    c.validate = true;
+    const ExperimentResult on = RunExperiment(c).ValueOrAbort();
+    c.validate = false;
+    const ExperimentResult off = RunExperiment(c).ValueOrAbort();
+    Cell(label);
+    Cell(on.after.linear);
+    Cell(off.after.linear);
+    Cell(on.after.coappear);
+    Cell(off.after.coappear);
+    Cell(on.after.pairwise);
+    Cell(off.after.pairwise);
+    Cell(on.tweak_seconds);
+    Cell(off.tweak_seconds);
+    EndRow();
+  }
+  return 0;
+}

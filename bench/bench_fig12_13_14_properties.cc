@@ -1,0 +1,74 @@
+// Reproduces Figs. 12, 13 and 14 of the paper: linear / coappear /
+// pairwise property error on the Xiami-like dataset, for snapshots
+// D2..D6, size-scalers Dscaler / ReX / Rand, the No-Tweak baseline and
+// all six tweaking permutations.
+//
+// Expected shapes (paper): tweaking reduces every error by orders of
+// magnitude; the later a tool runs, the smaller its error; orders
+// ending in the tool's letter reach ~0.
+#include <map>
+
+#include "bench_util.h"
+
+using namespace aspect;
+using namespace aspect::bench;
+
+int main() {
+  const std::vector<std::string> scalers = {"Dscaler", "ReX", "Rand"};
+  const std::vector<std::string> perms = SixPermutations();
+  const std::vector<int> snapshots = {2, 3, 4, 5, 6};
+
+  // property -> scaler -> snapshot -> column -> error.
+  std::map<std::string,
+           std::map<std::string, std::map<int, std::map<std::string, double>>>>
+      grid;
+
+  for (const std::string& scaler : scalers) {
+    for (const int snap : snapshots) {
+      ExperimentConfig base;
+      base.blueprint = XiamiLike(0.5);
+      base.seed = kSeed;
+      base.source_snapshot = 1;
+      base.target_snapshot = snap;
+      base.scaler = scaler;
+
+      ExperimentConfig baseline = base;
+      baseline.tweak = false;
+      const ExperimentResult nb = RunExperiment(baseline).ValueOrAbort();
+      for (const char* prop : {"linear", "coappear", "pairwise"}) {
+        grid[prop][scaler][snap]["No-Tweak"] = PropertyOf(nb.before, prop);
+      }
+      for (const std::string& label : perms) {
+        ExperimentConfig c = base;
+        c.order = OrderFromLabel(label).ValueOrAbort();
+        const ExperimentResult r = RunExperiment(c).ValueOrAbort();
+        for (const char* prop : {"linear", "coappear", "pairwise"}) {
+          grid[prop][scaler][snap][label] = PropertyOf(r.after, prop);
+        }
+      }
+    }
+  }
+
+  const std::map<std::string, std::string> figure = {
+      {"linear", "Figure 12: linear property error (XiamiLike)"},
+      {"coappear", "Figure 13: coappear property error (XiamiLike)"},
+      {"pairwise", "Figure 14: pairwise property error (XiamiLike)"}};
+  for (const char* prop : {"linear", "coappear", "pairwise"}) {
+    Banner(figure.at(prop));
+    for (const std::string& scaler : scalers) {
+      std::printf("-- %s-Xiami --\n", scaler.c_str());
+      std::vector<std::string> cols = {"snapshot", "No-Tweak"};
+      cols.insert(cols.end(), perms.begin(), perms.end());
+      Header(cols);
+      for (const int snap : snapshots) {
+        Cell("D" + std::to_string(snap));
+        Cell(grid[prop][scaler][snap]["No-Tweak"]);
+        for (const std::string& label : perms) {
+          Cell(grid[prop][scaler][snap][label]);
+        }
+        EndRow();
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Reproduces Fig. 15: query errors Q1-Q4 on the Xiami-like dataset for
+// Dscaler and Rand (ReX is omitted exactly as in the paper: it cannot
+// scale to the ground-truth sizes, so there is no ground truth for its
+// query results), across snapshots and all six permutations.
+//
+// Expected shape: all permutations push every query error below ~0.05.
+#include <map>
+
+#include "bench_util.h"
+
+using namespace aspect;
+using namespace aspect::bench;
+
+int main() {
+  const std::vector<std::string> scalers = {"Dscaler", "Rand"};
+  const std::vector<std::string> perms = SixPermutations();
+  const std::vector<int> snapshots = {2, 3, 4, 5};
+
+  Banner("Figure 15: query errors Q1-Q4 (XiamiLike)");
+  for (const std::string& scaler : scalers) {
+    // query -> snapshot -> column -> error.
+    std::map<std::string, std::map<int, std::map<std::string, double>>> grid;
+    for (const int snap : snapshots) {
+      ExperimentConfig base;
+      base.blueprint = XiamiLike(0.5);
+      base.seed = kSeed;
+      base.source_snapshot = 1;
+      base.target_snapshot = snap;
+      base.scaler = scaler;
+      base.run_queries = true;
+
+      ExperimentConfig baseline = base;
+      baseline.tweak = false;
+      const ExperimentResult nb = RunExperiment(baseline).ValueOrAbort();
+      for (const auto& [q, err] : nb.query_errors_before) {
+        grid[q][snap]["No-Tweak"] = err;
+      }
+      for (const std::string& label : perms) {
+        ExperimentConfig c = base;
+        c.order = OrderFromLabel(label).ValueOrAbort();
+        const ExperimentResult r = RunExperiment(c).ValueOrAbort();
+        for (const auto& [q, err] : r.query_errors_after) {
+          grid[q][snap][label] = err;
+        }
+      }
+    }
+    for (const auto& [q, rows] : grid) {
+      std::printf("-- %s-Xiami, %s --\n", scaler.c_str(), q.c_str());
+      std::vector<std::string> cols = {"snapshot", "No-Tweak"};
+      cols.insert(cols.end(), perms.begin(), perms.end());
+      Header(cols);
+      for (const int snap : snapshots) {
+        Cell("D" + std::to_string(snap));
+        Cell(rows.at(snap).at("No-Tweak"));
+        for (const std::string& label : perms) {
+          Cell(rows.at(snap).at(label));
+        }
+        EndRow();
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Reproduces Fig. 17: execution time of each tweaking permutation on
+// the Xiami-like dataset, per size-scaler and snapshot.
+//
+// Expected shapes: time grows roughly linearly with dataset size;
+// L-first orders (L-C-P, L-P-C) are the cheapest; scalers with larger
+// initial error need more tweaking time.
+#include "bench_util.h"
+
+using namespace aspect;
+using namespace aspect::bench;
+
+int main() {
+  const std::vector<std::string> scalers = {"Dscaler", "ReX", "Rand"};
+  const std::vector<std::string> perms = SixPermutations();
+  const std::vector<int> snapshots = {2, 3, 4, 5, 6};
+
+  Banner("Figure 17: tweaking execution time in seconds (XiamiLike)");
+  for (const std::string& scaler : scalers) {
+    std::printf("-- %s-Xiami --\n", scaler.c_str());
+    std::vector<std::string> cols = {"snapshot"};
+    cols.insert(cols.end(), perms.begin(), perms.end());
+    Header(cols);
+    for (const int snap : snapshots) {
+      Cell("D" + std::to_string(snap));
+      for (const std::string& label : perms) {
+        ExperimentConfig c;
+        c.blueprint = XiamiLike(0.5);
+        c.seed = kSeed;
+        c.source_snapshot = 1;
+        c.target_snapshot = snap;
+        c.scaler = scaler;
+        c.order = OrderFromLabel(label).ValueOrAbort();
+        Cell(RunExperiment(c).ValueOrAbort().tweak_seconds);
+      }
+      EndRow();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Reproduces Figs. 25, 26 and 27 (Appendix X-E): linear / coappear /
+// pairwise property error on the three Douban-like datasets, for all
+// scalers and permutations.
+//
+// Expected shapes match Figs. 12-14: huge reductions everywhere, the
+// later a tool runs the smaller its error; highly-overlapping groups
+// (Review as both post table and coappear member) retain the largest
+// residuals when their tool runs early.
+#include <map>
+
+#include "bench_util.h"
+
+using namespace aspect;
+using namespace aspect::bench;
+
+int main() {
+  struct DatasetRef {
+    const char* name;
+    DatasetBlueprint (*factory)(double);
+  };
+  const DatasetRef datasets[] = {{"DoubanMovie", &DoubanMovieLike},
+                                 {"DoubanMusic", &DoubanMusicLike},
+                                 {"DoubanBook", &DoubanBookLike}};
+  const std::vector<std::string> scalers = {"Dscaler", "ReX", "Rand"};
+  const std::vector<std::string> perms = SixPermutations();
+  const std::vector<int> snapshots = {2, 4, 6};
+
+  const std::map<std::string, std::string> figure = {
+      {"linear", "Figure 25: linear property error (Douban datasets)"},
+      {"coappear", "Figure 26: coappear property error (Douban datasets)"},
+      {"pairwise", "Figure 27: pairwise property error (Douban datasets)"}};
+
+  // property -> dataset -> scaler -> snapshot -> column -> error.
+  std::map<std::string,
+           std::map<std::string,
+                    std::map<std::string,
+                             std::map<int, std::map<std::string, double>>>>>
+      grid;
+  for (const DatasetRef& ds : datasets) {
+    for (const std::string& scaler : scalers) {
+      for (const int snap : snapshots) {
+        ExperimentConfig base;
+        base.blueprint = ds.factory(0.5);
+        base.seed = kSeed;
+        base.source_snapshot = 1;
+        base.target_snapshot = snap;
+        base.scaler = scaler;
+        ExperimentConfig baseline = base;
+        baseline.tweak = false;
+        const ExperimentResult nb = RunExperiment(baseline).ValueOrAbort();
+        for (const char* prop : {"linear", "coappear", "pairwise"}) {
+          grid[prop][ds.name][scaler][snap]["No-Tweak"] =
+              PropertyOf(nb.before, prop);
+        }
+        for (const std::string& label : perms) {
+          ExperimentConfig c = base;
+          c.order = OrderFromLabel(label).ValueOrAbort();
+          const ExperimentResult r = RunExperiment(c).ValueOrAbort();
+          for (const char* prop : {"linear", "coappear", "pairwise"}) {
+            grid[prop][ds.name][scaler][snap][label] =
+                PropertyOf(r.after, prop);
+          }
+        }
+      }
+    }
+  }
+  for (const char* prop : {"linear", "coappear", "pairwise"}) {
+    Banner(figure.at(prop));
+    for (const DatasetRef& ds : datasets) {
+      for (const std::string& scaler : scalers) {
+        std::printf("-- %s-%s --\n", scaler.c_str(), ds.name);
+        std::vector<std::string> cols = {"snapshot", "No-Tweak"};
+        cols.insert(cols.end(), perms.begin(), perms.end());
+        Header(cols);
+        for (const int snap : snapshots) {
+          Cell("D" + std::to_string(snap));
+          Cell(grid[prop][ds.name][scaler][snap]["No-Tweak"]);
+          for (const std::string& label : perms) {
+            Cell(grid[prop][ds.name][scaler][snap][label]);
+          }
+          EndRow();
+        }
+      }
+    }
+  }
+  return 0;
+}

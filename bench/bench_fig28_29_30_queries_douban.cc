@@ -1,0 +1,75 @@
+// Reproduces Figs. 28, 29 and 30 (Appendix X-E2): query errors Q1-Q4
+// on DoubanMovie / DoubanMusic / DoubanBook for Dscaler and Rand.
+//
+// Expected shape: tweaking reduces query errors to < 0.05 for most
+// permutations; linear-related queries suffer when T_linear runs first
+// (the paper's Fig. 30 L-C-P exception).
+#include <map>
+
+#include "bench_util.h"
+
+using namespace aspect;
+using namespace aspect::bench;
+
+int main() {
+  struct DatasetRef {
+    const char* name;
+    const char* figure;
+    DatasetBlueprint (*factory)(double);
+  };
+  const DatasetRef datasets[] = {
+      {"DoubanMovie", "Figure 28", &DoubanMovieLike},
+      {"DoubanMusic", "Figure 29", &DoubanMusicLike},
+      {"DoubanBook", "Figure 30", &DoubanBookLike}};
+  const std::vector<std::string> scalers = {"Dscaler", "Rand"};
+  const std::vector<std::string> perms = SixPermutations();
+  const std::vector<int> snapshots = {3, 5};
+
+  for (const DatasetRef& ds : datasets) {
+    Banner(std::string(ds.figure) + ": query errors Q1-Q4 (" + ds.name +
+           ")");
+    for (const std::string& scaler : scalers) {
+      std::map<std::string, std::map<int, std::map<std::string, double>>>
+          grid;
+      for (const int snap : snapshots) {
+        ExperimentConfig base;
+        base.blueprint = ds.factory(0.5);
+        base.seed = kSeed;
+        base.source_snapshot = 1;
+        base.target_snapshot = snap;
+        base.scaler = scaler;
+        base.run_queries = true;
+        ExperimentConfig baseline = base;
+        baseline.tweak = false;
+        const ExperimentResult nb = RunExperiment(baseline).ValueOrAbort();
+        for (const auto& [q, err] : nb.query_errors_before) {
+          grid[q][snap]["No-Tweak"] = err;
+        }
+        for (const std::string& label : perms) {
+          ExperimentConfig c = base;
+          c.order = OrderFromLabel(label).ValueOrAbort();
+          const ExperimentResult r = RunExperiment(c).ValueOrAbort();
+          for (const auto& [q, err] : r.query_errors_after) {
+            grid[q][snap][label] = err;
+          }
+        }
+      }
+      for (const auto& [q, rows] : grid) {
+        std::printf("-- %s-%s, %s --\n", scaler.c_str(), ds.name,
+                    q.c_str());
+        std::vector<std::string> cols = {"snapshot", "No-Tweak"};
+        cols.insert(cols.end(), perms.begin(), perms.end());
+        Header(cols);
+        for (const int snap : snapshots) {
+          Cell("D" + std::to_string(snap));
+          Cell(rows.at(snap).at("No-Tweak"));
+          for (const std::string& label : perms) {
+            Cell(rows.at(snap).at(label));
+          }
+          EndRow();
+        }
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Reproduces Fig. 31 (Appendix X-E2): the Q1 error of L-C-P on
+// Dscaler-DoubanBook across 1..4 iterations. In the paper the single
+// pass can even be worse than the baseline (Q1 is linear-related and
+// T_linear is modified by the later tools); from the second iteration
+// the error collapses below 1e-3.
+#include "bench_util.h"
+
+using namespace aspect;
+using namespace aspect::bench;
+
+int main() {
+  Banner("Figure 31: L-C-P query errors vs iterations "
+         "(Dscaler-DoubanBook)");
+  ExperimentConfig base;
+  base.blueprint = DoubanBookLike(0.5);
+  base.seed = kSeed;
+  base.source_snapshot = 1;
+  base.target_snapshot = 5;
+  base.scaler = "Dscaler";
+  base.order = OrderFromLabel("L-C-P").ValueOrAbort();
+  base.run_queries = true;
+
+  ExperimentConfig baseline = base;
+  baseline.tweak = false;
+  const ExperimentResult nb = RunExperiment(baseline).ValueOrAbort();
+
+  Header({"query", "No-Tweak", "iter1", "iter2", "iter3", "iter4"});
+  std::vector<ExperimentResult> per_iter;
+  for (int iters = 1; iters <= 4; ++iters) {
+    ExperimentConfig c = base;
+    c.iterations = iters;
+    per_iter.push_back(RunExperiment(c).ValueOrAbort());
+  }
+  for (size_t q = 0; q < nb.query_errors_before.size(); ++q) {
+    Cell(nb.query_errors_before[q].first);
+    Cell(nb.query_errors_before[q].second);
+    for (const ExperimentResult& r : per_iter) {
+      Cell(r.query_errors_after[q].second);
+    }
+    EndRow();
+  }
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces Figs. 32, 33 and 34 (Appendix X-F): property error after
+// 1..4 iterations for every permutation, one table per size-scaler
+// (Dscaler / ReX / Rand), on the Xiami-like dataset.
+//
+// Expected shape: more iterations, less error; by iteration 2-3 the
+// residuals sit around 0.02 or below (order-of-magnitude reductions
+// from the No-Tweak baseline).
+#include "bench_util.h"
+
+using namespace aspect;
+using namespace aspect::bench;
+
+int main() {
+  struct FigRef {
+    const char* figure;
+    const char* scaler;
+  };
+  const FigRef figs[] = {{"Figure 32", "Dscaler"},
+                         {"Figure 33", "ReX"},
+                         {"Figure 34", "Rand"}};
+  for (const FigRef& fig : figs) {
+    Banner(std::string(fig.figure) + ": error after 1..4 iterations (" +
+           fig.scaler + "-Xiami)");
+    ExperimentConfig base;
+    base.blueprint = XiamiLike(0.4);
+    base.seed = kSeed;
+    base.source_snapshot = 1;
+    base.target_snapshot = 4;
+    base.scaler = fig.scaler;
+
+    ExperimentConfig baseline = base;
+    baseline.tweak = false;
+    const ExperimentResult nb = RunExperiment(baseline).ValueOrAbort();
+
+    for (const char* prop : {"linear", "coappear", "pairwise"}) {
+      std::printf("-- %s property --\n", prop);
+      Header({"order", "No-Tweak", "iter1", "iter2", "iter3", "iter4"});
+      for (const std::string& label : SixPermutations()) {
+        Cell(label);
+        Cell(PropertyOf(nb.before, prop));
+        for (int iters = 1; iters <= 4; ++iters) {
+          ExperimentConfig c = base;
+          c.order = OrderFromLabel(label).ValueOrAbort();
+          c.iterations = iters;
+          Cell(PropertyOf(RunExperiment(c).ValueOrAbort().after, prop));
+        }
+        EndRow();
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces Fig. 35 (Appendix X-G): tweaking execution time on the
+// three Douban-like datasets per scaler, snapshot and permutation.
+//
+// Expected shapes: roughly linear growth with dataset size; the
+// largest dataset (DoubanMovie) costs the most; L-first orders are the
+// cheapest.
+#include "bench_util.h"
+
+using namespace aspect;
+using namespace aspect::bench;
+
+int main() {
+  struct DatasetRef {
+    const char* name;
+    DatasetBlueprint (*factory)(double);
+  };
+  const DatasetRef datasets[] = {{"DoubanMovie", &DoubanMovieLike},
+                                 {"DoubanMusic", &DoubanMusicLike},
+                                 {"DoubanBook", &DoubanBookLike}};
+  const std::vector<std::string> scalers = {"Dscaler", "ReX", "Rand"};
+  const std::vector<std::string> perms = SixPermutations();
+  const std::vector<int> snapshots = {2, 4, 6};
+
+  Banner("Figure 35: tweaking execution time in seconds (Douban)");
+  for (const DatasetRef& ds : datasets) {
+    for (const std::string& scaler : scalers) {
+      std::printf("-- %s-%s --\n", scaler.c_str(), ds.name);
+      std::vector<std::string> cols = {"snapshot"};
+      cols.insert(cols.end(), perms.begin(), perms.end());
+      Header(cols);
+      for (const int snap : snapshots) {
+        Cell("D" + std::to_string(snap));
+        for (const std::string& label : perms) {
+          ExperimentConfig c;
+          c.blueprint = ds.factory(0.5);
+          c.seed = kSeed;
+          c.source_snapshot = 1;
+          c.target_snapshot = snap;
+          c.scaler = scaler;
+          c.order = OrderFromLabel(label).ValueOrAbort();
+          Cell(RunExperiment(c).ValueOrAbort().tweak_seconds);
+        }
+        EndRow();
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Shared helpers for the figure-reproduction benches: fixed-width
+// table printing and the common experiment grid drivers.
+//
+// Every bench prints the same rows/series as the corresponding figure
+// or table in the paper; EXPERIMENTS.md records the comparison.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "measure/runner.h"
+
+namespace aspect {
+namespace bench {
+
+/// The seed used by every figure bench (fully deterministic output).
+inline constexpr uint64_t kSeed = 20190401;
+
+inline void Banner(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+inline void Header(const std::vector<std::string>& cols) {
+  for (const std::string& c : cols) std::printf("%-10s", c.c_str());
+  std::printf("\n");
+}
+
+inline void Cell(const std::string& s) { std::printf("%-10s", s.c_str()); }
+
+inline void Cell(double v) {
+  if (v == 0) {
+    std::printf("%-10s", "0");
+  } else if (v < 0.001) {
+    std::printf("%-10.1e", v);
+  } else if (v >= 1000) {
+    std::printf("%-10.0f", v);
+  } else {
+    std::printf("%-10.4f", v);
+  }
+}
+
+inline void EndRow() { std::printf("\n"); }
+
+/// Pulls the named property error out of an experiment result.
+inline double PropertyOf(const PropertyErrors& e, const std::string& name) {
+  if (name == "linear") return e.linear;
+  if (name == "coappear") return e.coappear;
+  return e.pairwise;
+}
+
+}  // namespace bench
+}  // namespace aspect

@@ -1,0 +1,79 @@
+#include "aspect/access_monitor.h"
+
+#include <cassert>
+
+namespace aspect {
+
+AccessMonitor::AccessMonitor(int num_tools)
+    : touched_(static_cast<size_t>(num_tools)) {}
+
+uint64_t AccessMonitor::CellKey(int table, TupleId tuple, int col) {
+  // 12 bits table | 40 bits tuple | 12 bits column.
+  return (static_cast<uint64_t>(table) << 52) |
+         ((static_cast<uint64_t>(tuple) & 0xFFFFFFFFFFull) << 12) |
+         (static_cast<uint64_t>(col) & 0xFFFull);
+}
+
+void AccessMonitor::Record(int tool_id, int table_index,
+                           const Modification& mod) {
+  if (tool_id < 0 || tool_id >= num_tools()) return;
+  auto& set = touched_[static_cast<size_t>(tool_id)];
+  switch (mod.kind) {
+    case OpKind::kDeleteValues:
+    case OpKind::kInsertValues:
+    case OpKind::kReplaceValues:
+      for (const TupleId t : mod.tuples) {
+        for (const int c : mod.cols) {
+          set.insert(CellKey(table_index, t, c));
+        }
+      }
+      break;
+    case OpKind::kInsertTuple:
+      // New tuples cannot overlap with cells other tools wrote before,
+      // but later writes to them can; record the whole row under a
+      // synthetic column fan-out once the id is known via the tuples
+      // vector (the coordinator records post-apply with the new id).
+      for (const TupleId t : mod.tuples) {
+        for (size_t c = 0; c < mod.values.size(); ++c) {
+          set.insert(CellKey(table_index, t, static_cast<int>(c)));
+        }
+      }
+      break;
+    case OpKind::kDeleteTuple:
+      for (const TupleId t : mod.tuples) {
+        // A row deletion touches every column; 64 columns is far above
+        // any schema in this repo.
+        for (int c = 0; c < 64; ++c) {
+          set.insert(CellKey(table_index, t, c));
+        }
+      }
+      break;
+  }
+}
+
+bool AccessMonitor::Overlaps(int a, int b) const {
+  const auto& sa = touched_[static_cast<size_t>(a)];
+  const auto& sb = touched_[static_cast<size_t>(b)];
+  const auto& small = sa.size() <= sb.size() ? sa : sb;
+  const auto& large = sa.size() <= sb.size() ? sb : sa;
+  for (const uint64_t key : small) {
+    if (large.count(key) > 0) return true;
+  }
+  return false;
+}
+
+std::vector<std::vector<bool>> AccessMonitor::OverlapGraph() const {
+  const int n = num_tools();
+  std::vector<std::vector<bool>> adj(
+      static_cast<size_t>(n), std::vector<bool>(static_cast<size_t>(n)));
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      const bool o = Overlaps(a, b);
+      adj[static_cast<size_t>(a)][static_cast<size_t>(b)] = o;
+      adj[static_cast<size_t>(b)][static_cast<size_t>(a)] = o;
+    }
+  }
+  return adj;
+}
+
+}  // namespace aspect

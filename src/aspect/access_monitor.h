@@ -1,0 +1,45 @@
+// AccessMonitor: records which cells each tool modified, implementing
+// observation O2 of the paper - because every tweak flows through the
+// uniform API, ASPECT knows when two tools touched the same tuples and
+// can build the tool-overlap graph.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "relational/database.h"
+
+namespace aspect {
+
+class AccessMonitor {
+ public:
+  explicit AccessMonitor(int num_tools);
+
+  int num_tools() const { return static_cast<int>(touched_.size()); }
+
+  /// Records the cells written by `mod` on behalf of tool `tool_id`.
+  /// `table_index` is the table's index in the schema.
+  void Record(int tool_id, int table_index, const Modification& mod);
+
+  /// True if the two tools wrote at least one common cell. Row
+  /// insert/delete counts as touching every column of that tuple.
+  bool Overlaps(int a, int b) const;
+
+  /// Number of distinct cells tool `tool_id` wrote.
+  int64_t CellsTouched(int tool_id) const {
+    return static_cast<int64_t>(touched_[static_cast<size_t>(tool_id)].size());
+  }
+
+  /// Adjacency matrix of the overlap graph (see overlap.h).
+  std::vector<std::vector<bool>> OverlapGraph() const;
+
+ private:
+  // Cell key: (table, tuple, column) packed into 64 bits; column -1
+  // (whole row) is recorded as a per-column fan-out.
+  static uint64_t CellKey(int table, TupleId tuple, int col);
+
+  std::vector<std::unordered_set<uint64_t>> touched_;
+};
+
+}  // namespace aspect

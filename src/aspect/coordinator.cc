@@ -1,0 +1,218 @@
+#include "aspect/coordinator.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+
+#include "aspect/tweak_context.h"
+#include "common/logging.h"
+#include "common/string_util.h"
+
+namespace aspect {
+namespace {
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::string RunReport::ToString() const {
+  std::ostringstream os;
+  for (const ToolReport& s : steps) {
+    os << StrFormat("%-10s error %.6f -> %.6f (applied %lld, vetoed %lld, "
+                    "forced %lld, %.2fs)\n",
+                    s.tool.c_str(), s.error_before, s.error_after,
+                    static_cast<long long>(s.applied),
+                    static_cast<long long>(s.vetoed),
+                    static_cast<long long>(s.forced), s.seconds);
+  }
+  os << StrFormat("total %.2fs", total_seconds);
+  return os.str();
+}
+
+int Coordinator::AddTool(std::unique_ptr<PropertyTool> tool) {
+  tools_.push_back(std::move(tool));
+  return static_cast<int>(tools_.size()) - 1;
+}
+
+int Coordinator::FindTool(const std::string& name) const {
+  for (size_t i = 0; i < tools_.size(); ++i) {
+    if (tools_[i]->name() == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Coordinator::SetTargetsFromDataset(const Database& ground_truth) {
+  for (const auto& t : tools_) {
+    ASPECT_RETURN_NOT_OK(t->SetTargetFromDataset(ground_truth));
+  }
+  return Status::OK();
+}
+
+Result<RunReport> Coordinator::Run(Database* db,
+                                   const std::vector<int>& order,
+                                   const CoordinatorOptions& options) {
+  for (const int id : order) {
+    if (id < 0 || id >= num_tools()) {
+      return Status::OutOfRange(StrFormat("tool id %d", id));
+    }
+  }
+  RunReport report;
+  const double run_start = Now();
+  monitor_ = std::make_unique<AccessMonitor>(num_tools());
+  Rng rng(options.seed);
+
+  // Bind all tools in the order so each maintains statistics (and can
+  // validate) from the start of the run.
+  for (const int id : order) {
+    PropertyTool* t = tools_[static_cast<size_t>(id)].get();
+    ASPECT_RETURN_NOT_OK(t->Bind(db));
+    if (options.repair_targets) {
+      ASPECT_RETURN_NOT_OK(t->RepairTarget());
+    }
+  }
+
+  // Validators accumulate: a tool that has completed at least one
+  // Tweak vetoes later tools' damaging proposals (Sec. III-C).
+  std::vector<int> enforced;
+  double prev_total = -1;
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    for (const int id : order) {
+      PropertyTool* t = tools_[static_cast<size_t>(id)].get();
+      std::vector<PropertyTool*> validators;
+      if (options.validate) {
+        for (const int e : enforced) {
+          if (e != id) {
+            validators.push_back(tools_[static_cast<size_t>(e)].get());
+          }
+        }
+      }
+      Rng child = rng.Fork();
+      TweakContext ctx(db, std::move(validators), &child, monitor_.get(),
+                       id);
+      ToolReport step;
+      step.tool = t->name();
+      step.error_before = t->Error();
+      // For rollback: the summed error of everything already enforced
+      // plus this tool, and a snapshot to restore.
+      std::unique_ptr<Database> snapshot;
+      double guarded_before = 0;
+      if (options.rollback_on_regression) {
+        snapshot = db->Clone();
+        guarded_before = step.error_before;
+        for (const int e : enforced) {
+          if (e != id) guarded_before += tools_[static_cast<size_t>(e)]->Error();
+        }
+      }
+      const double t0 = Now();
+      const Status st = t->Tweak(&ctx);
+      step.seconds = Now() - t0;
+      if (!st.ok()) {
+        for (const int uid : order) {
+          tools_[static_cast<size_t>(uid)]->Unbind();
+        }
+        return st;
+      }
+      if (options.rollback_on_regression) {
+        double guarded_after = t->Error();
+        for (const int e : enforced) {
+          if (e != id) guarded_after += tools_[static_cast<size_t>(e)]->Error();
+        }
+        if (guarded_after > guarded_before + 1e-12) {
+          // Restore the snapshot and rebuild every bound tool's state.
+          for (const int uid : order) {
+            tools_[static_cast<size_t>(uid)]->Unbind();
+          }
+          ASPECT_RETURN_NOT_OK(db->CopyContentFrom(*snapshot));
+          for (const int uid : order) {
+            ASPECT_RETURN_NOT_OK(tools_[static_cast<size_t>(uid)]->Bind(db));
+          }
+          ASPECT_LOG(Info) << "rolled back " << t->name()
+                           << " (regression " << guarded_before << " -> "
+                           << guarded_after << ")";
+        }
+      }
+      step.error_after = t->Error();
+      step.applied = ctx.applied();
+      step.vetoed = ctx.vetoed();
+      step.forced = ctx.forced();
+      ASPECT_LOG(Info) << "tweak " << step.tool << ": "
+                       << step.error_before << " -> " << step.error_after;
+      report.steps.push_back(std::move(step));
+      if (std::find(enforced.begin(), enforced.end(), id) ==
+          enforced.end()) {
+        enforced.push_back(id);
+      }
+    }
+    if (options.converge_epsilon > 0) {
+      double total = 0;
+      for (const int id : order) {
+        total += tools_[static_cast<size_t>(id)]->Error();
+      }
+      if (prev_total >= 0 &&
+          prev_total - total < options.converge_epsilon) {
+        break;
+      }
+      prev_total = total;
+    }
+  }
+
+  report.final_errors.resize(tools_.size(), 0.0);
+  for (size_t i = 0; i < tools_.size(); ++i) {
+    if (tools_[i]->bound()) {
+      report.final_errors[i] = tools_[i]->Error();
+    }
+  }
+  for (const int id : order) {
+    tools_[static_cast<size_t>(id)]->Unbind();
+  }
+  report.total_seconds = Now() - run_start;
+  return report;
+}
+
+Result<std::vector<Coordinator::OrderOutcome>> Coordinator::CompareOrders(
+    const Database& db, const std::vector<std::vector<int>>& orders,
+    const CoordinatorOptions& options) {
+  std::vector<OrderOutcome> outcomes;
+  for (const std::vector<int>& order : orders) {
+    std::unique_ptr<Database> scratch = db.Clone();
+    OrderOutcome outcome;
+    outcome.order = order;
+    ASPECT_ASSIGN_OR_RETURN(outcome.report,
+                            Run(scratch.get(), order, options));
+    for (const int id : order) {
+      outcome.total_error +=
+          outcome.report.final_errors[static_cast<size_t>(id)];
+    }
+    outcomes.push_back(std::move(outcome));
+  }
+  std::stable_sort(outcomes.begin(), outcomes.end(),
+                   [](const OrderOutcome& a, const OrderOutcome& b) {
+                     return a.total_error < b.total_error;
+                   });
+  return outcomes;
+}
+
+std::vector<std::pair<std::string, std::vector<int>>> AllPermutations(
+    const Coordinator& coordinator, const std::vector<int>& tool_ids) {
+  std::vector<int> ids = tool_ids;
+  std::sort(ids.begin(), ids.end());
+  std::vector<std::pair<std::string, std::vector<int>>> out;
+  do {
+    std::string label;
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (i > 0) label += "-";
+      const std::string& name =
+          coordinator.tool(ids[i])->name();
+      label += static_cast<char>(
+          std::toupper(static_cast<unsigned char>(name.empty() ? '?' : name[0])));
+    }
+    out.emplace_back(label, ids);
+  } while (std::next_permutation(ids.begin(), ids.end()));
+  return out;
+}
+
+}  // namespace aspect

@@ -1,0 +1,115 @@
+// Coordinator: ASPECT's stage-2 driver (Fig. 2 / Sec. III-B). Applies
+// the registered tweaking tools to a scaled database in a chosen order,
+// routing every proposed modification through the validators of the
+// tools applied earlier, and optionally iterating the whole permutation
+// several times (Sec. VII-C).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "aspect/access_monitor.h"
+#include "aspect/property_tool.h"
+#include "common/result.h"
+#include "common/rng.h"
+
+namespace aspect {
+
+struct CoordinatorOptions {
+  /// Number of full passes over the tool order (Sec. VII-C shows 2-3
+  /// passes drive residual errors to ~0.02).
+  int iterations = 1;
+  /// When positive, stop iterating early once a full pass improves the
+  /// summed error by less than this absolute amount ("the room for
+  /// improvement becomes limited", Sec. VII-C).
+  double converge_epsilon = 0.0;
+  /// If false, validators never vote (ablation: raw sequential tweak).
+  bool validate = true;
+  /// Safety net beyond the paper: snapshot the database before each
+  /// tool and roll the step back if it left the summed error of the
+  /// already-enforced properties plus its own *higher* than before
+  /// (O4's accepted-error policy, but bounded). Costs one deep copy
+  /// per step.
+  bool rollback_on_regression = false;
+  /// Repair each tool's target onto its feasible set before tweaking
+  /// (needed for ReX-scaled data, Sec. VI-B).
+  bool repair_targets = true;
+  /// RNG seed for all tweaking randomness.
+  uint64_t seed = 1;
+};
+
+/// Per-tool outcome of one coordinator run.
+struct ToolReport {
+  std::string tool;
+  double error_before = 0;
+  double error_after = 0;
+  int64_t applied = 0;
+  int64_t vetoed = 0;
+  int64_t forced = 0;
+  double seconds = 0;
+};
+
+struct RunReport {
+  /// One entry per (iteration, tool-in-order) step, in execution order.
+  std::vector<ToolReport> steps;
+  /// Final error per registered tool (tool registration order).
+  std::vector<double> final_errors;
+  double total_seconds = 0;
+
+  std::string ToString() const;
+};
+
+class Coordinator {
+ public:
+  /// Registers a tool; returns its id (registration order).
+  int AddTool(std::unique_ptr<PropertyTool> tool);
+
+  int num_tools() const { return static_cast<int>(tools_.size()); }
+  PropertyTool* tool(int id) { return tools_[static_cast<size_t>(id)].get(); }
+  const PropertyTool* tool(int id) const {
+    return tools_[static_cast<size_t>(id)].get();
+  }
+
+  /// Finds a tool id by name (-1 if absent).
+  int FindTool(const std::string& name) const;
+
+  /// Sets every tool's target from the ground-truth dataset.
+  Status SetTargetsFromDataset(const Database& ground_truth);
+
+  /// Runs the tools over `db` in the given order (a permutation of a
+  /// subset of tool ids). Tools are bound to `db` for the duration and
+  /// unbound afterwards.
+  Result<RunReport> Run(Database* db, const std::vector<int>& order,
+                        const CoordinatorOptions& options);
+
+  /// The access monitor of the last Run (overlap analysis, O2).
+  const AccessMonitor* last_monitor() const { return monitor_.get(); }
+
+  /// Outcome of trying one tool order on a scratch copy.
+  struct OrderOutcome {
+    std::vector<int> order;
+    double total_error = 0;  // summed final error over the order's tools
+    RunReport report;
+  };
+
+  /// The pragmatic answer to the Property Tweaking Order Problem
+  /// (Sec. VIII-A): runs every candidate order on a clone of `db`
+  /// (leaving `db` untouched) and reports the outcomes sorted by total
+  /// final error, best first.
+  Result<std::vector<OrderOutcome>> CompareOrders(
+      const Database& db, const std::vector<std::vector<int>>& orders,
+      const CoordinatorOptions& options);
+
+ private:
+  std::vector<std::unique_ptr<PropertyTool>> tools_;
+  std::unique_ptr<AccessMonitor> monitor_;
+};
+
+/// All 6 orderings of three tool ids, in the paper's naming scheme
+/// (e.g. "C-L-P" = coappear, then linear, then pairwise). The label
+/// uses the first letter of each tool's name, upper-cased.
+std::vector<std::pair<std::string, std::vector<int>>> AllPermutations(
+    const Coordinator& coordinator, const std::vector<int>& tool_ids);
+
+}  // namespace aspect

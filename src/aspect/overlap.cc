@@ -1,0 +1,92 @@
+#include "aspect/overlap.h"
+
+#include <algorithm>
+
+namespace aspect {
+namespace {
+
+void Search(const std::vector<std::vector<bool>>& adj,
+            std::vector<int>* candidates, std::vector<int>* current,
+            std::vector<int>* best) {
+  if (current->size() + candidates->size() <= best->size()) return;
+  if (candidates->empty()) {
+    if (current->size() > best->size()) *best = *current;
+    return;
+  }
+  // Branch on the candidate with the most candidate-neighbours (fail
+  // fast); include-then-exclude.
+  size_t pick = 0;
+  int max_deg = -1;
+  for (size_t i = 0; i < candidates->size(); ++i) {
+    int deg = 0;
+    for (const int v : *candidates) {
+      if (adj[static_cast<size_t>((*candidates)[i])][static_cast<size_t>(v)]) {
+        ++deg;
+      }
+    }
+    if (deg > max_deg) {
+      max_deg = deg;
+      pick = i;
+    }
+  }
+  const int v = (*candidates)[pick];
+  // Include v.
+  std::vector<int> next;
+  for (const int u : *candidates) {
+    if (u != v && !adj[static_cast<size_t>(v)][static_cast<size_t>(u)]) {
+      next.push_back(u);
+    }
+  }
+  current->push_back(v);
+  Search(adj, &next, current, best);
+  current->pop_back();
+  // Exclude v.
+  std::vector<int> rest;
+  for (const int u : *candidates) {
+    if (u != v) rest.push_back(u);
+  }
+  Search(adj, &rest, current, best);
+}
+
+}  // namespace
+
+std::vector<int> MaximumIndependentSet(
+    const std::vector<std::vector<bool>>& adj) {
+  std::vector<int> candidates;
+  for (size_t i = 0; i < adj.size(); ++i) {
+    candidates.push_back(static_cast<int>(i));
+  }
+  std::vector<int> current, best;
+  Search(adj, &candidates, &current, &best);
+  std::sort(best.begin(), best.end());
+  return best;
+}
+
+std::vector<std::vector<int>> IndependentClasses(
+    const std::vector<std::vector<bool>>& adj) {
+  const int n = static_cast<int>(adj.size());
+  std::vector<std::vector<int>> classes;
+  std::vector<bool> placed(static_cast<size_t>(n), false);
+  for (int v = 0; v < n; ++v) {
+    bool done = false;
+    for (auto& cls : classes) {
+      bool ok = true;
+      for (const int u : cls) {
+        if (adj[static_cast<size_t>(v)][static_cast<size_t>(u)]) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        cls.push_back(v);
+        done = true;
+        break;
+      }
+    }
+    if (!done) classes.push_back({v});
+    placed[static_cast<size_t>(v)] = true;
+  }
+  return classes;
+}
+
+}  // namespace aspect

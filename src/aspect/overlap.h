@@ -1,0 +1,25 @@
+// Overlap analysis (observations O1-O4): given the tool-overlap graph
+// from the AccessMonitor, finds the non-overlapping tool sets whose
+// properties provably cannot disturb each other (O1). Finding the
+// largest such set is maximum independent set; the paper cites
+// Robson's O(1.22^n) bound - for the handful of tools in a run, the
+// exact branch-and-bound below is instant.
+#pragma once
+
+#include <vector>
+
+namespace aspect {
+
+/// Exact maximum independent set of an undirected graph given as an
+/// adjacency matrix. Returns the vertex set (sorted ascending).
+/// Intended for small n (tools in a run); complexity is exponential.
+std::vector<int> MaximumIndependentSet(
+    const std::vector<std::vector<bool>>& adj);
+
+/// Greedy partition of the vertices into independent sets (a proper
+/// coloring by another name): tools within one class can be tweaked
+/// in any relative order without interference.
+std::vector<std::vector<int>> IndependentClasses(
+    const std::vector<std::vector<bool>>& adj);
+
+}  // namespace aspect

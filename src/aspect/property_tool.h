@@ -1,0 +1,89 @@
+// PropertyTool: the uniform interface every tweaking tool implements
+// (Sec. III-C). A tool bundles the paper's five components:
+//
+//   Target Generator     - SetTarget* methods (user input / developer
+//                          generation / statistical extrapolation)
+//   Tweaking Algorithm   - Tweak(), proposing modifications through a
+//                          TweakContext
+//   Property Evaluator   - Error(), the property distance to target
+//   Property Validator   - ValidationPenalty(), voting on proposals
+//   Statistics Updater   - OnApplied() (from ModificationListener),
+//                          incremental statistics maintenance
+//
+// Tools are independently developed; ASPECT coordinates them through
+// this interface, which is what makes the repository collaborative.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "relational/database.h"
+
+namespace aspect {
+
+class TweakContext;
+
+class PropertyTool : public ModificationListener {
+ public:
+  ~PropertyTool() override = default;
+
+  /// Stable tool name ("linear", "coappear", ...).
+  virtual std::string name() const = 0;
+
+  // --- Target Generator ------------------------------------------------
+  /// Extracts the target property statistics from a ground-truth
+  /// dataset (the default Target Generator mode used in Sec. VI).
+  virtual Status SetTargetFromDataset(const Database& ground_truth) = 0;
+
+  /// Projects the current target onto the feasible set for the bound
+  /// database's table sizes (the necessary conditions of Sec. V). Used
+  /// when the size-scaler could not hit the ground-truth sizes, as the
+  /// paper does for ReX (Sec. VI-B). Requires a bound database.
+  virtual Status RepairTarget() = 0;
+
+  /// Verifies the target satisfies this property's necessary
+  /// conditions for the bound database; Infeasible otherwise.
+  virtual Status CheckTargetFeasible() const = 0;
+
+  /// Serializes / restores the target statistics (so a target
+  /// extracted once can be reused without the ground-truth dataset;
+  /// see aspect/targets_io.h). Optional: the default declines.
+  virtual Status SaveTarget(std::ostream* out) const {
+    (void)out;
+    return Status::NotImplemented(name() + ": SaveTarget");
+  }
+  virtual Status LoadTarget(std::istream* in) {
+    (void)in;
+    return Status::NotImplemented(name() + ": LoadTarget");
+  }
+
+  // --- Binding ----------------------------------------------------------
+  /// Attaches to `db`: scans it to build the property statistics and
+  /// registers as a modification listener. A tool is bound to at most
+  /// one database at a time.
+  virtual Status Bind(Database* db) = 0;
+  virtual void Unbind() = 0;
+  virtual bool bound() const = 0;
+
+  // --- Property Evaluator -----------------------------------------------
+  /// Error of the bound database's property against the target, using
+  /// the paper's measure for this property (Sec. VI-C). Requires bound.
+  virtual double Error() const = 0;
+
+  // --- Property Validator -----------------------------------------------
+  /// How much this (already enforced) property would be hurt by `mod`:
+  /// > 0 means the tool votes against. The default coordinator policy
+  /// rejects any positive penalty (Sec. III-C voting).
+  virtual double ValidationPenalty(const Modification& mod) const = 0;
+
+  // --- Tweaking Algorithm -----------------------------------------------
+  /// Tweaks the bound database toward the target, proposing every
+  /// modification through `ctx` so other tools' validators can vote.
+  virtual Status Tweak(TweakContext* ctx) = 0;
+};
+
+}  // namespace aspect

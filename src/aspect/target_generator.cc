@@ -1,0 +1,44 @@
+#include "aspect/target_generator.h"
+
+#include <cmath>
+#include <map>
+
+#include "stats/fitting.h"
+
+namespace aspect {
+
+Result<FrequencyDistribution> ExtrapolateDistribution(
+    const std::vector<const Database*>& snapshots,
+    const DistributionExtractor& extract, double target_size,
+    const ExtrapolationOptions& options) {
+  if (static_cast<int>(snapshots.size()) < options.degree + 1) {
+    return Status::Invalid("not enough snapshots for extrapolation degree");
+  }
+  std::vector<double> sizes;
+  std::vector<FrequencyDistribution> dists;
+  for (const Database* db : snapshots) {
+    sizes.push_back(static_cast<double>(db->TotalTuples()));
+    dists.push_back(extract(*db));
+  }
+  const int dim = dists.empty() ? 1 : dists[0].dim();
+  // Union of keys across snapshots; missing keys count as zero.
+  std::map<FrequencyDistribution::Key, std::vector<double>> trajectories;
+  for (size_t s = 0; s < dists.size(); ++s) {
+    for (const auto& [key, count] : dists[s].counts()) {
+      auto [it, inserted] = trajectories.try_emplace(
+          key, std::vector<double>(dists.size(), 0.0));
+      it->second[s] = static_cast<double>(count);
+    }
+  }
+  FrequencyDistribution out(dim);
+  for (const auto& [key, ys] : trajectories) {
+    ASPECT_ASSIGN_OR_RETURN(std::vector<double> fit,
+                            PolyFit(sizes, ys, options.degree));
+    const double predicted = PolyEval(fit, target_size);
+    const int64_t count = static_cast<int64_t>(std::llround(predicted));
+    if (count >= options.min_count) out.Add(key, count);
+  }
+  return out;
+}
+
+}  // namespace aspect

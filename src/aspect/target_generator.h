@@ -1,0 +1,44 @@
+// Target generation (Sec. III-C). The three modes:
+//
+//  (a) User input           - every tool exposes an explicit SetTarget
+//                             overload for its statistics type.
+//  (b) Developer generation - tool-specific code (e.g. the default of
+//                             extracting from the ground truth).
+//  (c) Statistical extrapolation - this module: extract a frequency
+//      distribution from each snapshot D1..Dr (or from nested VDFS
+//      samples, stats/sampler.h), fit each statistic against dataset
+//      size, and evaluate the fit at the target size.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/database.h"
+#include "stats/freq_dist.h"
+
+namespace aspect {
+
+/// Extracts one frequency distribution from a database (a property
+/// statistic, e.g. comments-per-post).
+using DistributionExtractor =
+    std::function<FrequencyDistribution(const Database&)>;
+
+struct ExtrapolationOptions {
+  /// Degree of the per-key least-squares polynomial in dataset size.
+  int degree = 1;
+  /// Keys whose extrapolated count falls below this are dropped.
+  int64_t min_count = 1;
+};
+
+/// Extrapolates the distribution to a dataset of `target_size` total
+/// tuples, given snapshots of increasing size. Each key's count is
+/// fitted against snapshot total size with a polynomial; the total
+/// sizes come from the snapshots themselves. Needs at least
+/// options.degree + 1 snapshots.
+Result<FrequencyDistribution> ExtrapolateDistribution(
+    const std::vector<const Database*>& snapshots,
+    const DistributionExtractor& extract, double target_size,
+    const ExtrapolationOptions& options = {});
+
+}  // namespace aspect

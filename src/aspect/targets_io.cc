@@ -1,0 +1,59 @@
+#include "aspect/targets_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace aspect {
+
+namespace {
+constexpr const char* kHeader = "aspect-targets v1";
+}  // namespace
+
+Status SaveTargets(const Coordinator& coordinator,
+                   const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  out << kHeader << "\n";
+  for (int i = 0; i < coordinator.num_tools(); ++i) {
+    const PropertyTool* tool = coordinator.tool(i);
+    std::ostringstream body;
+    const Status st = tool->SaveTarget(&body);
+    if (st.code() == StatusCode::kNotImplemented) continue;
+    ASPECT_RETURN_NOT_OK(st);
+    out << "tool " << tool->name() << "\n" << body.str();
+  }
+  return Status::OK();
+}
+
+Status LoadTargets(Coordinator* coordinator, const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    return Status::IoError("bad targets file header");
+  }
+  std::string tag;
+  while (in >> tag) {
+    if (tag != "tool") {
+      return Status::IoError(
+          StrFormat("expected 'tool', got '%s'", tag.c_str()));
+    }
+    std::string name;
+    if (!(in >> name)) return Status::IoError("truncated targets file");
+    const int id = coordinator->FindTool(name);
+    if (id < 0) {
+      return Status::KeyError(
+          StrFormat("targets file names unknown tool '%s'", name.c_str()));
+    }
+    ASPECT_RETURN_NOT_OK(coordinator->tool(id)->LoadTarget(&in));
+  }
+  return Status::OK();
+}
+
+}  // namespace aspect

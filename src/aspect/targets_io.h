@@ -1,0 +1,26 @@
+// Target persistence: save every tool's target statistics to one file
+// and restore them later, so a target set extracted (or extrapolated)
+// once can drive many scaling runs without the ground-truth dataset.
+//
+// File format: a header line, then per tool a line "tool <name>"
+// followed by the tool's own serialization (see each tool's
+// SaveTarget). Tools that do not implement persistence are skipped on
+// save and must not appear on load.
+#pragma once
+
+#include <string>
+
+#include "aspect/coordinator.h"
+#include "common/status.h"
+
+namespace aspect {
+
+/// Saves the targets of every persistence-capable registered tool.
+Status SaveTargets(const Coordinator& coordinator, const std::string& path);
+
+/// Restores targets into the coordinator's tools by name. Unknown tool
+/// names in the file are an error; tools absent from the file keep
+/// their current targets.
+Status LoadTargets(Coordinator* coordinator, const std::string& path);
+
+}  // namespace aspect

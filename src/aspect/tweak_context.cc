@@ -1,0 +1,57 @@
+#include "aspect/tweak_context.h"
+
+#include "aspect/access_monitor.h"
+#include "aspect/property_tool.h"
+
+namespace aspect {
+
+TweakContext::TweakContext(Database* db,
+                           std::vector<PropertyTool*> validators, Rng* rng,
+                           AccessMonitor* monitor, int tool_id)
+    : db_(db),
+      validators_(std::move(validators)),
+      rng_(rng),
+      monitor_(monitor),
+      tool_id_(tool_id) {}
+
+Status TweakContext::Apply(const Modification& mod, TupleId* new_tuple) {
+  TupleId inserted = kInvalidTuple;
+  ASPECT_RETURN_NOT_OK(db_->Apply(mod, &inserted));
+  ++applied_;
+  if (new_tuple != nullptr) *new_tuple = inserted;
+  if (monitor_ != nullptr) {
+    const int table_index = db_->schema().TableIndex(mod.table);
+    if (mod.kind == OpKind::kInsertTuple) {
+      // Record under the id the insert actually produced.
+      Modification with_id = mod;
+      with_id.tuples = {inserted};
+      monitor_->Record(tool_id_, table_index, with_id);
+    } else {
+      monitor_->Record(tool_id_, table_index, mod);
+    }
+  }
+  return Status::OK();
+}
+
+Status TweakContext::TryApply(const Modification& mod, TupleId* new_tuple) {
+  for (PropertyTool* v : validators_) {
+    if (v->ValidationPenalty(mod) > 0) {
+      ++vetoed_;
+      return Status::ValidationFailed("vetoed by " + v->name());
+    }
+  }
+  return Apply(mod, new_tuple);
+}
+
+Status TweakContext::ForceApply(const Modification& mod,
+                                TupleId* new_tuple) {
+  for (PropertyTool* v : validators_) {
+    if (v->ValidationPenalty(mod) > 0) {
+      ++forced_;
+      break;
+    }
+  }
+  return Apply(mod, new_tuple);
+}
+
+}  // namespace aspect

@@ -1,0 +1,63 @@
+// TweakContext: the coordinator-provided channel through which a
+// tweaking algorithm modifies the dataset.
+//
+// Every proposal is first put to the vote of the validators of the
+// already-applied tools (Sec. III-C): if any votes against, the
+// proposal is rejected and the tool must find an alternative. After
+// enough failed alternatives a tool may ForceApply, accepting the
+// error increase, exactly as the paper allows ("If no such alternative
+// is possible, ASPECT can allow a modification to proceed").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "relational/database.h"
+
+namespace aspect {
+
+class PropertyTool;
+
+/// Records which cells each tool wrote, for overlap detection (O2).
+class AccessMonitor;
+
+class TweakContext {
+ public:
+  TweakContext(Database* db, std::vector<PropertyTool*> validators,
+               Rng* rng, AccessMonitor* monitor = nullptr,
+               int tool_id = -1);
+
+  Database* db() { return db_; }
+  const Database& db() const { return *db_; }
+  Rng* rng() { return rng_; }
+
+  /// Applies `mod` if every validator accepts it; returns
+  /// ValidationFailed (without applying) otherwise.
+  Status TryApply(const Modification& mod, TupleId* new_tuple = nullptr);
+
+  /// Applies `mod` regardless of votes (accepted error increase).
+  Status ForceApply(const Modification& mod, TupleId* new_tuple = nullptr);
+
+  /// Number of proposals rejected by validators so far.
+  int64_t vetoed() const { return vetoed_; }
+  /// Number of modifications applied bypassing a veto.
+  int64_t forced() const { return forced_; }
+  /// Number of modifications applied (accepted + forced).
+  int64_t applied() const { return applied_; }
+
+ private:
+  Status Apply(const Modification& mod, TupleId* new_tuple);
+
+  Database* db_;
+  std::vector<PropertyTool*> validators_;
+  Rng* rng_;
+  AccessMonitor* monitor_;
+  int tool_id_;
+  int64_t vetoed_ = 0;
+  int64_t forced_ = 0;
+  int64_t applied_ = 0;
+};
+
+}  // namespace aspect

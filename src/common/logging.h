@@ -1,0 +1,40 @@
+// Minimal leveled logger used by long-running benches and the
+// coordinator. Defaults to WARNING so unit tests stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace aspect {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace aspect
+
+#define ASPECT_LOG(level)                                              \
+  ::aspect::internal::LogMessage(::aspect::LogLevel::k##level, __FILE__, \
+                                 __LINE__)

@@ -1,0 +1,76 @@
+// Result<T>: a value or an error Status, in the style of arrow::Result.
+#pragma once
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace aspect {
+
+/// Holds either a successfully computed T or the Status describing why
+/// the computation failed. A Result constructed from an OK Status is a
+/// programming error and is normalized to an Internal error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : repr_(std::move(status)) {  // NOLINT implicit
+    if (std::get<Status>(repr_).ok()) {
+      repr_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  const Status& status() const {
+    static const Status kOk = Status::OK();
+    return ok() ? kOk : std::get<Status>(repr_);
+  }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T&& ValueOrDie() && {
+    assert(ok());
+    return std::get<T>(std::move(repr_));
+  }
+
+  /// Moves the value out, aborting the process if this Result holds an
+  /// error. Use only in tests, benches and examples.
+  T ValueOrAbort() && {
+    status().Check();
+    return std::get<T>(std::move(repr_));
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace aspect
+
+/// Propagates a non-OK Status from an expression to the caller.
+#define ASPECT_RETURN_NOT_OK(expr)                 \
+  do {                                             \
+    ::aspect::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                     \
+  } while (0)
+
+#define ASPECT_CONCAT_IMPL(a, b) a##b
+#define ASPECT_CONCAT(a, b) ASPECT_CONCAT_IMPL(a, b)
+
+/// Evaluates an expression returning Result<T>; on success binds the
+/// value to `lhs`, otherwise returns the error Status to the caller.
+#define ASPECT_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  ASPECT_ASSIGN_OR_RETURN_IMPL(ASPECT_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#define ASPECT_ASSIGN_OR_RETURN_IMPL(res, lhs, rexpr) \
+  auto res = (rexpr);                                 \
+  if (!res.ok()) return res.status();                 \
+  lhs = std::move(res).ValueOrDie()

@@ -1,0 +1,130 @@
+#include "common/rng.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace aspect {
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::Seed(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : s_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  const uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+  if (range == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  uint64_t r;
+  do {
+    r = Next();
+  } while (r >= limit);
+  return lo + static_cast<int64_t>(r % range);
+}
+
+double Rng::UniformDouble() {
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+int64_t Rng::Poisson(double mean) {
+  if (mean <= 0) return 0;
+  if (mean < 64.0) {
+    // Knuth's multiplication method.
+    const double limit = std::exp(-mean);
+    double prod = 1.0;
+    int64_t n = -1;
+    do {
+      ++n;
+      prod *= UniformDouble();
+    } while (prod > limit);
+    return n;
+  }
+  // Normal approximation with continuity correction for large means.
+  double u1 = UniformDouble();
+  double u2 = UniformDouble();
+  if (u1 <= 0) u1 = 1e-300;
+  const double z =
+      std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  const double v = mean + std::sqrt(mean) * z + 0.5;
+  return v < 0 ? 0 : static_cast<int64_t>(v);
+}
+
+int64_t Rng::Geometric(double p) {
+  assert(p > 0 && p <= 1.0);
+  if (p >= 1.0) return 0;
+  double u = UniformDouble();
+  if (u <= 0) u = 1e-300;
+  return static_cast<int64_t>(std::log(u) / std::log1p(-p));
+}
+
+int64_t Rng::Zipf(int64_t n, double s) {
+  assert(n >= 1);
+  if (n == 1) return 1;
+  if (s <= 0) return UniformInt(1, n);
+  // Rejection sampling from the continuous envelope g(x) ~ x^-s on
+  // [0.5, n + 0.5]: invert the envelope CDF, round to the nearest rank
+  // k, and accept with probability (k^-s x^s) / M where
+  // M = ((k + 0.5) / k)^s bounds the ratio over the rank's interval.
+  const double a = 0.5;
+  const double b = static_cast<double>(n) + 0.5;
+  for (;;) {
+    const double u = UniformDouble();
+    double x;
+    if (s == 1.0) {
+      x = a * std::pow(b / a, u);
+    } else {
+      const double a1 = std::pow(a, 1.0 - s);
+      const double b1 = std::pow(b, 1.0 - s);
+      x = std::pow(u * (b1 - a1) + a1, 1.0 / (1.0 - s));
+    }
+    const int64_t k = static_cast<int64_t>(x + 0.5);
+    if (k < 1 || k > n) continue;
+    const double ratio = std::pow(x / (static_cast<double>(k) + 0.5), s);
+    if (UniformDouble() <= ratio) return k;
+  }
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0;
+  for (double w : weights) total += w;
+  assert(total > 0);
+  double r = UniformDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    r -= weights[i];
+    if (r <= 0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Rng Rng::Fork() {
+  Rng child(0);
+  for (auto& s : child.s_) s = Next();
+  return child;
+}
+
+}  // namespace aspect

@@ -1,0 +1,67 @@
+// Deterministic pseudo-random number generation for the whole library.
+//
+// Every randomized component (generators, scalers, tweaking algorithms)
+// takes an explicit Rng or seed, so experiments and tests are exactly
+// reproducible. The engine is xoshiro256**, seeded through SplitMix64.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace aspect {
+
+/// xoshiro256** PRNG with distribution helpers.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0xA5FEC7u) { Seed(seed); }
+
+  /// Re-seeds the generator (SplitMix64 state expansion).
+  void Seed(uint64_t seed);
+
+  /// Next raw 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [lo, hi], inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Poisson-distributed count with the given mean (Knuth for small
+  /// means, normal approximation above 64).
+  int64_t Poisson(double mean);
+
+  /// Geometric number of failures before first success, p in (0, 1].
+  int64_t Geometric(double p);
+
+  /// Zipf-distributed rank in [1, n] with exponent `s` (rejection
+  /// sampling, correct for s >= 0; s = 0 degenerates to uniform).
+  int64_t Zipf(int64_t n, double s);
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Linear scan; intended for small weight vectors.
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i)));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Forks an independent child generator (for parallel-safe use).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace aspect

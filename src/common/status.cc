@@ -1,0 +1,46 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace aspect {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "Invalid argument";
+    case StatusCode::kKeyError:
+      return "Key error";
+    case StatusCode::kOutOfRange:
+      return "Out of range";
+    case StatusCode::kNotImplemented:
+      return "Not implemented";
+    case StatusCode::kIoError:
+      return "IO error";
+    case StatusCode::kInfeasible:
+      return "Infeasible";
+    case StatusCode::kValidationFailed:
+      return "Validation failed";
+    case StatusCode::kInternal:
+      return "Internal error";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code());
+  out += ": ";
+  out += message();
+  return out;
+}
+
+void Status::Check() const {
+  if (ok()) return;
+  std::fprintf(stderr, "Status check failed: %s\n", ToString().c_str());
+  std::abort();
+}
+
+}  // namespace aspect

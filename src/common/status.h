@@ -1,0 +1,110 @@
+// Status: error propagation without exceptions, in the style of
+// Arrow/RocksDB. Functions that can fail return Status (or Result<T>,
+// see result.h); callers propagate with ASPECT_RETURN_NOT_OK.
+#pragma once
+
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace aspect {
+
+/// Machine-readable category of a failure.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kKeyError = 2,         // lookup of a table/column/tuple that does not exist
+  kOutOfRange = 3,       // index or id out of range
+  kNotImplemented = 4,
+  kIoError = 5,
+  kInfeasible = 6,       // a target property violates its necessary conditions
+  kValidationFailed = 7, // a proposed modification was vetoed by validators
+  kInternal = 8,
+};
+
+/// Returns a human-readable name for `code` ("OK", "Invalid argument", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of an operation: OK, or a code plus message.
+///
+/// An OK Status carries no allocation; error states allocate a small
+/// state block. Status is cheap to move and to copy-on-OK.
+class Status {
+ public:
+  Status() noexcept = default;
+  Status(StatusCode code, std::string msg)
+      : state_(code == StatusCode::kOk
+                   ? nullptr
+                   : std::make_unique<State>(State{code, std::move(msg)})) {}
+
+  Status(const Status& other)
+      : state_(other.state_ ? std::make_unique<State>(*other.state_)
+                            : nullptr) {}
+  Status& operator=(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  static Status OK() { return Status(); }
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status KeyError(std::string msg) {
+    return Status(StatusCode::kKeyError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Infeasible(std::string msg) {
+    return Status(StatusCode::kInfeasible, std::move(msg));
+  }
+  static Status ValidationFailed(std::string msg) {
+    return Status(StatusCode::kValidationFailed, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return state_ == nullptr; }
+  StatusCode code() const {
+    return state_ ? state_->code : StatusCode::kOk;
+  }
+  bool IsInfeasible() const { return code() == StatusCode::kInfeasible; }
+  bool IsValidationFailed() const {
+    return code() == StatusCode::kValidationFailed;
+  }
+
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return state_ ? state_->msg : kEmpty;
+  }
+
+  /// "OK" or "<code name>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with the status message if not OK. Use only in
+  /// tests, benches and examples, never in library code.
+  void Check() const;
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+  std::unique_ptr<State> state_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& st) {
+  return os << st.ToString();
+}
+
+}  // namespace aspect

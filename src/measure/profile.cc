@@ -1,0 +1,89 @@
+#include "measure/profile.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "relational/refgraph.h"
+
+namespace aspect {
+
+std::string DatasetProfile::ToString() const {
+  std::ostringstream os;
+  os << "dataset " << name << ": " << total_tuples << " tuples in "
+     << table_sizes.size() << " tables\n";
+  os << "tables:\n";
+  for (const auto& [table, size] : table_sizes) {
+    os << StrFormat("  %-24s %lld\n", table.c_str(),
+                    static_cast<long long>(size));
+  }
+  os << "foreign-key edges (" << edges.size() << "):\n";
+  for (const EdgeProfile& e : edges) {
+    os << StrFormat(
+        "  %-32s -> %-16s fanout mean %.2f max %lld, %lld/%lld parents "
+        "hit\n",
+        e.child.c_str(), e.parent.c_str(), e.mean_fanout,
+        static_cast<long long>(e.max_fanout),
+        static_cast<long long>(e.parents_hit),
+        static_cast<long long>(e.parents));
+  }
+  os << "maximal reference chains (" << chains.size()
+     << ", the linear property domain):\n";
+  for (const std::string& c : chains) os << "  " << c << "\n";
+  os << "coappear groups (" << coappear_groups.size() << "):\n";
+  for (const std::string& g : coappear_groups) os << "  " << g << "\n";
+  os << "response2post instantiations (" << response_specs.size()
+     << ", the pairwise property domain):\n";
+  for (const std::string& r : response_specs) os << "  " << r << "\n";
+  return os.str();
+}
+
+Result<DatasetProfile> ProfileDataset(const Database& db) {
+  DatasetProfile profile;
+  profile.name = db.name();
+  profile.total_tuples = db.TotalTuples();
+  for (int t = 0; t < db.num_tables(); ++t) {
+    profile.table_sizes.emplace_back(db.table(t).name(),
+                                     db.table(t).NumTuples());
+  }
+  ReferenceGraph graph(db.schema());
+  for (const FkEdge& e : graph.edges()) {
+    const Table& child = db.table(e.child_table);
+    const Table& parent = db.table(e.parent_table);
+    EdgeProfile ep;
+    ep.child = child.name() + "." + child.column(e.fk_col).name();
+    ep.parent = parent.name();
+    ep.parents = parent.NumTuples();
+    std::map<TupleId, int64_t> fanout;
+    child.ForEachLive([&](TupleId t) {
+      if (child.column(e.fk_col).IsValue(t)) {
+        ++fanout[child.column(e.fk_col).GetInt(t)];
+        ++ep.children;
+      }
+    });
+    ep.parents_hit = static_cast<int64_t>(fanout.size());
+    for (const auto& [p, d] : fanout) {
+      ep.max_fanout = std::max(ep.max_fanout, d);
+    }
+    ep.mean_fanout = ep.parents == 0
+                         ? 0.0
+                         : static_cast<double>(ep.children) /
+                               static_cast<double>(ep.parents);
+    profile.edges.push_back(std::move(ep));
+  }
+  for (const ReferenceChain& chain : graph.MaximalChains()) {
+    profile.chains.push_back(chain.ToString(db.schema()));
+  }
+  for (const CoappearGroup& group : graph.CoappearGroups()) {
+    profile.coappear_groups.push_back(group.ToString(db.schema()));
+  }
+  for (const ResponseSpec& r : db.schema().responses) {
+    profile.response_specs.push_back(
+        r.response_table + " responds to " + r.post_table + " (user " +
+        db.schema().user_table + ")");
+  }
+  return profile;
+}
+
+}  // namespace aspect

@@ -1,0 +1,43 @@
+// Dataset profiling: a structural summary of a database - table sizes,
+// per-edge fan-out statistics, the discovered reference chains and
+// coappear groups, and sonSchema annotations. Used by aspect_cli
+// (--profile) and handy when bringing a new empirical dataset into
+// ASPECT (which properties exist to be enforced?).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/database.h"
+
+namespace aspect {
+
+struct EdgeProfile {
+  std::string child;        // "Comment.post"
+  std::string parent;       // "Post"
+  int64_t children = 0;     // live referencing tuples
+  int64_t parents = 0;      // live referenced tuples
+  int64_t parents_hit = 0;  // parents with at least one child
+  int64_t max_fanout = 0;
+  double mean_fanout = 0;   // children / parents
+};
+
+struct DatasetProfile {
+  std::string name;
+  int64_t total_tuples = 0;
+  std::vector<std::pair<std::string, int64_t>> table_sizes;
+  std::vector<EdgeProfile> edges;
+  std::vector<std::string> chains;          // rendered maximal chains
+  std::vector<std::string> coappear_groups; // rendered groups
+  std::vector<std::string> response_specs;  // "Comment -> Post by User"
+
+  /// Human-readable multi-line report.
+  std::string ToString() const;
+};
+
+/// Profiles the database (structure from the schema, statistics from
+/// the live tuples).
+Result<DatasetProfile> ProfileDataset(const Database& db);
+
+}  // namespace aspect

@@ -1,0 +1,223 @@
+#include "properties/chain_stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace aspect {
+
+double JoinMatrix::ErrorAgainst(const JoinMatrix& target) const {
+  assert(k_ == target.k_);
+  if (k_ < 2) return 0.0;
+  double sum = 0;
+  int n = 0;
+  for (int j = 1; j < k_; ++j) {
+    for (int i = 0; i < j; ++i) {
+      const double t = static_cast<double>(target.at(j, i));
+      const double v = static_cast<double>(at(j, i));
+      sum += std::fabs(v - t) / std::max(t, 1.0);
+      ++n;
+    }
+  }
+  return n == 0 ? 0.0 : sum / n;
+}
+
+std::string JoinMatrix::ToString() const {
+  std::ostringstream os;
+  for (int j = 1; j < k_; ++j) {
+    os << "[";
+    for (int i = 0; i < j; ++i) {
+      if (i > 0) os << " ";
+      os << at(j, i);
+    }
+    os << "]";
+  }
+  return os.str();
+}
+
+ChainStats::ChainStats(ReferenceChain chain)
+    : chain_(std::move(chain)), h_(static_cast<int>(chain_.tables.size())) {}
+
+int ChainStats::LevelOfTable(int table_index) const {
+  for (size_t l = 0; l < chain_.tables.size(); ++l) {
+    if (chain_.tables[l] == table_index) return static_cast<int>(l);
+  }
+  return -1;
+}
+
+int32_t ChainStats::Cnt(int level, TupleId t, int j) const {
+  assert(j > level && j < k());
+  const int width = k() - 1 - level;
+  return cnt_[static_cast<size_t>(level)]
+             [static_cast<size_t>(t) * static_cast<size_t>(width) +
+              static_cast<size_t>(j - level - 1)];
+}
+
+int ChainStats::MaxReach(int level, TupleId t) const {
+  int r = level;
+  for (int j = level + 1; j < k(); ++j) {
+    if (Cnt(level, t, j) > 0) {
+      r = j;
+    } else {
+      break;  // reach sets are contiguous
+    }
+  }
+  return r;
+}
+
+TupleId ChainStats::AncestorAt(int level, TupleId t, int target_level) const {
+  assert(target_level <= level);
+  TupleId cur = t;
+  for (int l = level; l > target_level; --l) {
+    cur = Parent(l, cur);
+    if (cur == kInvalidTuple) return kInvalidTuple;
+  }
+  return cur;
+}
+
+TupleId ChainStats::DescendantAt(int level, TupleId t,
+                                 int target_level) const {
+  assert(target_level >= level);
+  TupleId cur = t;
+  for (int l = level; l < target_level; ++l) {
+    const auto& kids = Children(l, cur);
+    TupleId next = kInvalidTuple;
+    for (const TupleId c : kids) {
+      if (Reaches(l + 1, c, target_level)) {
+        next = c;
+        break;
+      }
+    }
+    if (next == kInvalidTuple) return kInvalidTuple;
+    cur = next;
+  }
+  return cur;
+}
+
+void ChainStats::Propagate(int level, TupleId t, int j, int delta) {
+  // Adjusts cnt(level, t, j) by delta and, when the tuple's reach to j
+  // flips, updates h(j, level) and recurses to the parent.
+  int l = level;
+  TupleId cur = t;
+  while (true) {
+    const int width = k() - 1 - l;
+    int32_t& c = cnt_[static_cast<size_t>(l)]
+                     [static_cast<size_t>(cur) * static_cast<size_t>(width) +
+                      static_cast<size_t>(j - l - 1)];
+    c += static_cast<int32_t>(delta);
+    assert(c >= 0);
+    const bool flipped =
+        (delta > 0 && c == 1) || (delta < 0 && c == 0);
+    if (!flipped) return;
+    h_.add(j, l, delta);
+    if (l == 0) return;
+    const TupleId p = Parent(l, cur);
+    if (p == kInvalidTuple) return;
+    cur = p;
+    --l;
+  }
+}
+
+void ChainStats::Attach(int level, TupleId child, TupleId parent) {
+  assert(level >= 1 && level < k());
+  assert(Parent(level, child) == kInvalidTuple);
+  parent_[static_cast<size_t>(level)][static_cast<size_t>(child)] = parent;
+  auto& kids = children_[static_cast<size_t>(level - 1)]
+                        [static_cast<size_t>(parent)];
+  child_pos_[static_cast<size_t>(level)][static_cast<size_t>(child)] =
+      static_cast<int32_t>(kids.size());
+  kids.push_back(child);
+  // The child contributes its whole (contiguous) reach set upward.
+  const int max_reach = MaxReach(level, child);
+  for (int j = level; j <= max_reach; ++j) {
+    Propagate(level - 1, parent, j, +1);
+  }
+}
+
+void ChainStats::Detach(int level, TupleId child) {
+  assert(level >= 1 && level < k());
+  const TupleId parent =
+      parent_[static_cast<size_t>(level)][static_cast<size_t>(child)];
+  if (parent == kInvalidTuple) return;
+  const int max_reach = MaxReach(level, child);
+  for (int j = level; j <= max_reach; ++j) {
+    Propagate(level - 1, parent, j, -1);
+  }
+  // Swap-remove from the parent's children list.
+  auto& kids = children_[static_cast<size_t>(level - 1)]
+                        [static_cast<size_t>(parent)];
+  const int32_t pos =
+      child_pos_[static_cast<size_t>(level)][static_cast<size_t>(child)];
+  const TupleId last = kids.back();
+  kids[static_cast<size_t>(pos)] = last;
+  child_pos_[static_cast<size_t>(level)][static_cast<size_t>(last)] = pos;
+  kids.pop_back();
+  parent_[static_cast<size_t>(level)][static_cast<size_t>(child)] =
+      kInvalidTuple;
+}
+
+void ChainStats::EnsureSlotCount(int level, int64_t slots) {
+  const int kk = k();
+  const size_t n = static_cast<size_t>(slots);
+  const size_t l = static_cast<size_t>(level);
+  if (level >= 1) {
+    if (parent_[l].size() < n) parent_[l].resize(n, kInvalidTuple);
+    if (child_pos_[l].size() < n) child_pos_[l].resize(n, -1);
+  }
+  if (level <= kk - 2 && children_[l].size() < n) {
+    children_[l].resize(n);
+  }
+  const size_t width = static_cast<size_t>(kk - 1 - level);
+  if (cnt_[l].size() < n * width) cnt_[l].resize(n * width, 0);
+}
+
+void ChainStats::EnsureCapacity(const Database& db) {
+  const int kk = k();
+  parent_.resize(static_cast<size_t>(kk));
+  children_.resize(static_cast<size_t>(kk));
+  child_pos_.resize(static_cast<size_t>(kk));
+  cnt_.resize(static_cast<size_t>(kk));
+  for (int l = 0; l < kk; ++l) {
+    const Table& t = db.table(chain_.tables[static_cast<size_t>(l)]);
+    const size_t slots = static_cast<size_t>(t.NumSlots());
+    if (l >= 1) {
+      parent_[static_cast<size_t>(l)].resize(slots, kInvalidTuple);
+      child_pos_[static_cast<size_t>(l)].resize(slots, -1);
+    }
+    if (l <= kk - 2) {
+      children_[static_cast<size_t>(l)].resize(slots);
+    }
+    const size_t width = static_cast<size_t>(kk - 1 - l);
+    cnt_[static_cast<size_t>(l)].resize(slots * width, 0);
+  }
+}
+
+void ChainStats::Build(const Database& db) {
+  const int kk = k();
+  h_ = JoinMatrix(kk);
+  parent_.assign(static_cast<size_t>(kk), {});
+  children_.assign(static_cast<size_t>(kk), {});
+  child_pos_.assign(static_cast<size_t>(kk), {});
+  cnt_.assign(static_cast<size_t>(kk), {});
+  EnsureCapacity(db);
+  // Attach top-down so a child's reach set is complete before it is
+  // attached to its parent.
+  for (int l = kk - 1; l >= 1; --l) {
+    const Table& t = db.table(chain_.tables[static_cast<size_t>(l)]);
+    const Column& fk = t.column(chain_.fk_cols[static_cast<size_t>(l - 1)]);
+    t.ForEachLive([&](TupleId tid) {
+      if (!fk.IsValue(tid)) return;
+      Attach(l, tid, fk.GetInt(tid));
+    });
+  }
+}
+
+JoinMatrix ComputeJoinMatrix(const Database& db,
+                             const ReferenceChain& chain) {
+  ChainStats stats(chain);
+  stats.Build(db);
+  return stats.matrix();
+}
+
+}  // namespace aspect

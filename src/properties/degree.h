@@ -1,0 +1,98 @@
+// DegreeDistributionTool: enforces per-edge fan-out distributions.
+//
+// Degree distributions are the most popular similarity property in the
+// data-scaling literature the paper surveys (gMark, GScaler, UpSizeR
+// all preserve them); this tool contributes them to the ASPECT
+// repository as an additional, independently developed tweaking tool -
+// exactly the collaborative extension story of Sec. I-B.
+//
+// For every FK edge C.col -> P the property is
+//   f(d) = number of parent tuples in P with exactly d children in C,
+// with f(0) implicit (= |P| - stored mass). Necessary conditions for a
+// target f~ mirror Theorem 2:
+//   (D1) sum_d d * f~(d) = |C|      (every child sits under a parent)
+//   (D2) sum_{d>=1} f~(d) <= |P|    (enough parents)
+//
+// The tweak computes the target degree multiset, assigns each parent a
+// target degree rank-by-rank (sorted current vs sorted target, which
+// minimizes moved children), then re-points children from over-degree
+// parents to under-degree parents.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "aspect/property_tool.h"
+#include "aspect/tweak_context.h"
+#include "relational/refgraph.h"
+#include "stats/freq_dist.h"
+
+namespace aspect {
+
+class DegreeDistributionTool : public PropertyTool {
+ public:
+  /// Enforces the distribution of every FK edge of the schema.
+  explicit DegreeDistributionTool(const Schema& schema);
+
+  std::string name() const override { return "degree"; }
+
+  Status SetTargetFromDataset(const Database& ground_truth) override;
+  /// User-input mode: one distribution per edge, in `edges()` order,
+  /// plus the target parent counts (for the implicit zero degree).
+  Status SetTargetDistributions(std::vector<FrequencyDistribution> targets,
+                                std::vector<int64_t> target_parents);
+  /// Statistical-extrapolation mode (Sec. III-C, mode (c)): fits every
+  /// edge's fan-out distribution across the snapshots and extrapolates
+  /// to a dataset of `target_size` total tuples.
+  Status SetTargetByExtrapolation(
+      const std::vector<const Database*>& snapshots, double target_size);
+  Status RepairTarget() override;
+  Status CheckTargetFeasible() const override;
+  Status SaveTarget(std::ostream* out) const override;
+  Status LoadTarget(std::istream* in) override;
+
+  Status Bind(Database* db) override;
+  void Unbind() override;
+  bool bound() const override { return db_ != nullptr; }
+
+  double Error() const override;
+  double ValidationPenalty(const Modification& mod) const override;
+  Status Tweak(TweakContext* ctx) override;
+
+  void OnApplied(const Modification& mod,
+                 const std::vector<Value>& old_values,
+                 TupleId new_tuple) override;
+
+  const std::vector<FkEdge>& edges() const { return edges_; }
+  const FrequencyDistribution& CurrentDist(int edge) const {
+    return dist_[static_cast<size_t>(edge)];
+  }
+  const FrequencyDistribution& TargetDist(int edge) const {
+    return target_[static_cast<size_t>(edge)];
+  }
+
+ private:
+  struct EdgeState {
+    // Children count per parent slot (live parents only meaningful).
+    std::vector<int64_t> degree;
+    // Child tuples per parent (for donor selection).
+    std::map<TupleId, std::vector<TupleId>> children;
+  };
+
+  void AdjustEdge(int edge, TupleId parent, TupleId child, int64_t delta);
+  double EdgeError(int edge) const;
+  /// Expands the target distribution of an edge into a sorted (desc)
+  /// degree multiset covering every live parent.
+  std::vector<int64_t> TargetDegreeSequence(int edge) const;
+
+  Schema schema_;
+  std::vector<FkEdge> edges_;
+  Database* db_ = nullptr;
+  std::vector<EdgeState> state_;
+  std::vector<FrequencyDistribution> dist_;    // over d >= 1
+  std::vector<FrequencyDistribution> target_;  // over d >= 1
+  std::vector<int64_t> target_parents_;
+  int max_attempts_ = 24;
+};
+
+}  // namespace aspect

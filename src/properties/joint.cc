@@ -1,0 +1,344 @@
+#include "properties/joint.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace aspect {
+
+JointDistributionTool::JointDistributionTool(const Schema& schema,
+                                             std::string table,
+                                             std::vector<std::string> columns,
+                                             std::string tool_name)
+    : name_(tool_name.empty() ? "joint:" + table + "." + Join(columns, "+")
+                              : std::move(tool_name)),
+      table_(std::move(table)),
+      column_names_(std::move(columns)),
+      current_(static_cast<int>(column_names_.size())),
+      target_(static_cast<int>(column_names_.size())) {
+  (void)schema;
+}
+
+JointDistributionTool::Key JointDistributionTool::ReadKey(TupleId t) const {
+  const Table* tbl = db_->FindTable(table_);
+  Key key;
+  key.reserve(cols_.size());
+  for (const int c : cols_) {
+    if (t >= tbl->NumSlots() || !tbl->column(c).IsValue(t)) return Key{};
+    key.push_back(tbl->column(c).GetInt(t));
+  }
+  return key;
+}
+
+FrequencyDistribution JointDistributionTool::Extract(
+    const Database& db) const {
+  FrequencyDistribution dist(static_cast<int>(column_names_.size()));
+  const Table* t = db.FindTable(table_);
+  if (t == nullptr) return dist;
+  std::vector<int> cols;
+  for (const std::string& name : column_names_) {
+    const int c = t->ColumnIndex(name);
+    if (c < 0) return dist;
+    cols.push_back(c);
+  }
+  t->ForEachLive([&](TupleId tid) {
+    Key key;
+    for (const int c : cols) {
+      if (!t->column(c).IsValue(tid)) return;
+      key.push_back(t->column(c).GetInt(tid));
+    }
+    dist.Add(key, 1);
+  });
+  return dist;
+}
+
+Status JointDistributionTool::SetTargetFromDataset(
+    const Database& ground_truth) {
+  target_ = Extract(ground_truth);
+  return Status::OK();
+}
+
+Status JointDistributionTool::SetTargetDistribution(
+    FrequencyDistribution target) {
+  if (target.dim() != static_cast<int>(column_names_.size())) {
+    return Status::Invalid("joint: target dimension mismatch");
+  }
+  target_ = std::move(target);
+  return Status::OK();
+}
+
+Status JointDistributionTool::RepairTarget() {
+  if (!bound()) return Status::Invalid("joint: RepairTarget needs Bind");
+  const int64_t want = current_.TotalMass();
+  const int64_t have = target_.TotalMass();
+  if (have == want || have == 0) return Status::OK();
+  FrequencyDistribution scaled(target_.dim());
+  int64_t placed = 0;
+  Key largest;
+  int64_t largest_count = -1;
+  for (const auto& [k, c] : target_.counts()) {
+    const int64_t v = static_cast<int64_t>(std::llround(
+        static_cast<double>(c) * static_cast<double>(want) /
+        static_cast<double>(have)));
+    if (v > 0) scaled.Add(k, v);
+    placed += v;
+    if (c > largest_count) {
+      largest_count = c;
+      largest = k;
+    }
+  }
+  if (placed != want && !largest.empty()) {
+    const int64_t fix =
+        std::max<int64_t>(-scaled.Count(largest), want - placed);
+    scaled.Add(largest, fix);
+  }
+  target_ = std::move(scaled);
+  return Status::OK();
+}
+
+Status JointDistributionTool::CheckTargetFeasible() const {
+  if (!bound()) return Status::Invalid("joint: needs Bind");
+  for (const auto& [k, c] : target_.counts()) {
+    if (c < 0) return Status::Infeasible("joint: negative count");
+  }
+  if (target_.TotalMass() != current_.TotalMass()) {
+    return Status::Infeasible("joint: total mass != population");
+  }
+  return Status::OK();
+}
+
+Status JointDistributionTool::Bind(Database* db) {
+  const Table* t = db->FindTable(table_);
+  if (t == nullptr) return Status::KeyError("joint: no table " + table_);
+  cols_.clear();
+  for (const std::string& name : column_names_) {
+    const int c = t->ColumnIndex(name);
+    if (c < 0) return Status::KeyError("joint: no column " + name);
+    if (t->column(c).type() != ColumnType::kInt64) {
+      return Status::Invalid("joint: columns must be int64");
+    }
+    cols_.push_back(c);
+  }
+  db_ = db;
+  current_ = Extract(*db);
+  tuple_key_.assign(static_cast<size_t>(t->NumSlots()), Key{});
+  tuples_by_key_.clear();
+  t->ForEachLive([&](TupleId tid) {
+    const Key key = ReadKey(tid);
+    if (key.empty()) return;
+    tuple_key_[static_cast<size_t>(tid)] = key;
+    tuples_by_key_[key].push_back(tid);
+  });
+  db_->AddListener(this);
+  return Status::OK();
+}
+
+void JointDistributionTool::Unbind() {
+  if (db_ != nullptr) {
+    db_->RemoveListener(this);
+    db_ = nullptr;
+  }
+  tuple_key_.clear();
+  tuples_by_key_.clear();
+}
+
+double JointDistributionTool::Error() const {
+  const int64_t n = std::max<int64_t>(1, target_.TotalMass());
+  return static_cast<double>(current_.L1Distance(target_)) /
+         static_cast<double>(n);
+}
+
+void JointDistributionTool::OnApplied(const Modification& mod,
+                                      const std::vector<Value>& old_values,
+                                      TupleId new_tuple) {
+  (void)old_values;  // pre-images live in the key cache
+  if (db_ == nullptr || mod.table != table_) return;
+  auto retag = [&](TupleId t, const Key& new_key) {
+    if (t >= static_cast<TupleId>(tuple_key_.size())) {
+      tuple_key_.resize(static_cast<size_t>(t) + 1, Key{});
+    }
+    Key& cached = tuple_key_[static_cast<size_t>(t)];
+    if (cached == new_key) return;
+    if (!cached.empty()) {
+      current_.Add(cached, -1);
+      auto& list = tuples_by_key_[cached];
+      const auto it = std::find(list.begin(), list.end(), t);
+      if (it != list.end()) {
+        *it = list.back();
+        list.pop_back();
+      }
+      if (list.empty()) tuples_by_key_.erase(cached);
+    }
+    cached = new_key;
+    if (!new_key.empty()) {
+      current_.Add(new_key, 1);
+      tuples_by_key_[new_key].push_back(t);
+    }
+  };
+  switch (mod.kind) {
+    case OpKind::kDeleteValues:
+    case OpKind::kInsertValues:
+    case OpKind::kReplaceValues: {
+      bool touches = false;
+      for (const int c : mod.cols) {
+        touches |= std::find(cols_.begin(), cols_.end(), c) != cols_.end();
+      }
+      if (!touches) return;
+      for (const TupleId t : mod.tuples) retag(t, ReadKey(t));
+      break;
+    }
+    case OpKind::kInsertTuple: {
+      retag(new_tuple, ReadKey(new_tuple));
+      break;
+    }
+    case OpKind::kDeleteTuple:
+      retag(mod.tuples[0], Key{});
+      break;
+  }
+}
+
+double JointDistributionTool::ValidationPenalty(
+    const Modification& mod) const {
+  if (db_ == nullptr || mod.table != table_) return 0.0;
+  // Simulated per-key deltas.
+  std::map<Key, int64_t> delta;
+  auto cached = [&](TupleId t) -> Key {
+    return t < static_cast<TupleId>(tuple_key_.size())
+               ? tuple_key_[static_cast<size_t>(t)]
+               : Key{};
+  };
+  auto overlay_key = [&](TupleId t) -> Key {
+    Key key;
+    const Table* tbl = db_->FindTable(table_);
+    for (const int c : cols_) {
+      int j = -1;
+      for (size_t cj = 0; cj < mod.cols.size(); ++cj) {
+        if (mod.cols[cj] == c) j = static_cast<int>(cj);
+      }
+      if (j >= 0) {
+        if (mod.kind == OpKind::kDeleteValues ||
+            mod.values[static_cast<size_t>(j)].is_null()) {
+          return Key{};
+        }
+        key.push_back(mod.values[static_cast<size_t>(j)].int64());
+      } else {
+        if (!tbl->column(c).IsValue(t)) return Key{};
+        key.push_back(tbl->column(c).GetInt(t));
+      }
+    }
+    return key;
+  };
+  switch (mod.kind) {
+    case OpKind::kDeleteValues:
+    case OpKind::kInsertValues:
+    case OpKind::kReplaceValues: {
+      bool touches = false;
+      for (const int c : mod.cols) {
+        touches |= std::find(cols_.begin(), cols_.end(), c) != cols_.end();
+      }
+      if (!touches) return 0.0;
+      for (const TupleId t : mod.tuples) {
+        const Key before = cached(t);
+        const Key after = overlay_key(t);
+        if (before == after) continue;
+        if (!before.empty()) --delta[before];
+        if (!after.empty()) ++delta[after];
+      }
+      break;
+    }
+    case OpKind::kInsertTuple: {
+      Key key;
+      for (const int c : cols_) {
+        const Value& v = mod.values[static_cast<size_t>(c)];
+        if (v.is_null()) {
+          key.clear();
+          break;
+        }
+        key.push_back(v.int64());
+      }
+      if (!key.empty()) ++delta[key];
+      break;
+    }
+    case OpKind::kDeleteTuple: {
+      const Key before = cached(mod.tuples[0]);
+      if (!before.empty()) --delta[before];
+      break;
+    }
+  }
+  double penalty = 0;
+  const int64_t n = std::max<int64_t>(1, target_.TotalMass());
+  for (const auto& [key, d] : delta) {
+    if (d == 0) continue;
+    const int64_t cur = current_.Count(key);
+    const int64_t tgt = target_.Count(key);
+    penalty += static_cast<double>(std::llabs(cur + d - tgt) -
+                                   std::llabs(cur - tgt)) /
+               static_cast<double>(n);
+  }
+  return penalty;
+}
+
+Status JointDistributionTool::Tweak(TweakContext* ctx) {
+  if (!bound()) return Status::Invalid("joint: Tweak needs Bind");
+  int64_t guard = current_.L1Distance(target_) + 16;
+  int veto_budget = max_attempts_;
+  while (guard-- > 0) {
+    // Find a deficit key and the Manhattan-closest surplus key.
+    Key deficit;
+    bool found = false;
+    for (const auto& [k, c] : target_.counts()) {
+      if (current_.Count(k) < c) {
+        deficit = k;
+        found = true;
+        break;
+      }
+    }
+    if (!found) break;
+    Key surplus;
+    int64_t best = -1;
+    for (const auto& [k, c] : current_.counts()) {
+      if (c <= target_.Count(k)) continue;
+      const int64_t d = ManhattanDistance(k, deficit);
+      if (best < 0 || d < best) {
+        best = d;
+        surplus = k;
+      }
+    }
+    if (best < 0) break;
+    const auto lit = tuples_by_key_.find(surplus);
+    if (lit == tuples_by_key_.end() || lit->second.empty()) break;
+    const TupleId victim = lit->second[static_cast<size_t>(
+        ctx->rng()->UniformInt(0, static_cast<int64_t>(lit->second.size()) -
+                                      1))];
+    // Replace only the columns that differ.
+    std::vector<int> change_cols;
+    std::vector<Value> change_vals;
+    for (size_t i = 0; i < cols_.size(); ++i) {
+      if (surplus[i] != deficit[i]) {
+        change_cols.push_back(cols_[i]);
+        change_vals.push_back(Value(deficit[i]));
+      }
+    }
+    Modification mod = Modification::ReplaceValues(
+        table_, {victim}, change_cols, change_vals);
+    Status st = ctx->TryApply(mod);
+    if (st.IsValidationFailed()) {
+      if (veto_budget-- > 0) continue;  // retry with another victim
+      st = ctx->ForceApply(mod);
+    }
+    ASPECT_RETURN_NOT_OK(st);
+  }
+  return Status::OK();
+}
+
+FrequencyDistribution JointDistributionTool::Marginal(
+    const FrequencyDistribution& dist, int dim) {
+  FrequencyDistribution out(1);
+  for (const auto& [k, c] : dist.counts()) {
+    out.Add({k[static_cast<size_t>(dim)]}, c);
+  }
+  return out;
+}
+
+}  // namespace aspect

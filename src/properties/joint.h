@@ -1,0 +1,74 @@
+// JointDistributionTool: enforces the joint frequency distribution of
+// several int64 columns of one table - the inter-column correlation
+// property the paper's Target Generator discusses ("frequency
+// distribution f where v is a vector of attribute values, e.g.
+// (age, income, gender)", Sec. III-C), and the substrate for
+// Theorem 7: two joint properties sharing a column can never both be
+// exact beyond their shared-column agreement.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "aspect/property_tool.h"
+#include "aspect/tweak_context.h"
+#include "stats/freq_dist.h"
+
+namespace aspect {
+
+class JointDistributionTool : public PropertyTool {
+ public:
+  JointDistributionTool(const Schema& schema, std::string table,
+                        std::vector<std::string> columns,
+                        std::string tool_name = "");
+
+  std::string name() const override { return name_; }
+
+  Status SetTargetFromDataset(const Database& ground_truth) override;
+  Status SetTargetDistribution(FrequencyDistribution target);
+  Status RepairTarget() override;
+  Status CheckTargetFeasible() const override;
+
+  Status Bind(Database* db) override;
+  void Unbind() override;
+  bool bound() const override { return db_ != nullptr; }
+
+  double Error() const override;
+  double ValidationPenalty(const Modification& mod) const override;
+  Status Tweak(TweakContext* ctx) override;
+
+  void OnApplied(const Modification& mod,
+                 const std::vector<Value>& old_values,
+                 TupleId new_tuple) override;
+
+  const FrequencyDistribution& Current() const { return current_; }
+  const FrequencyDistribution& Target() const { return target_; }
+
+  /// Marginal of a stored distribution onto one of its dimensions
+  /// (used by the Theorem 7 analysis and its tests).
+  static FrequencyDistribution Marginal(const FrequencyDistribution& dist,
+                                        int dim);
+
+ private:
+  using Key = FrequencyDistribution::Key;
+
+  /// Reads a tuple's key from the database; empty when any cell is not
+  /// a value.
+  Key ReadKey(TupleId t) const;
+  FrequencyDistribution Extract(const Database& db) const;
+
+  std::string name_;
+  std::string table_;
+  std::vector<std::string> column_names_;
+  std::vector<int> cols_;
+  Database* db_ = nullptr;
+  // Per-slot key cache (empty = uncounted), kept in sync by OnApplied.
+  std::vector<Key> tuple_key_;
+  // key -> tuples carrying it (for tweak victim selection).
+  std::map<Key, std::vector<TupleId>> tuples_by_key_;
+  FrequencyDistribution current_{1};
+  FrequencyDistribution target_{1};
+  int max_attempts_ = 16;
+};
+
+}  // namespace aspect

@@ -1,0 +1,786 @@
+#include "properties/simple.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "aspect/target_generator.h"
+#include "common/string_util.h"
+
+namespace aspect {
+
+// ---------------------------------------------------------------------
+// ColumnFreqTool
+// ---------------------------------------------------------------------
+
+ColumnFreqTool::ColumnFreqTool(const Schema& schema, std::string table,
+                               std::string column, std::string tool_name)
+    : name_(tool_name.empty() ? "freq:" + table + "." + column
+                              : std::move(tool_name)),
+      table_(std::move(table)),
+      column_(std::move(column)) {
+  (void)schema;
+}
+
+FrequencyDistribution ColumnFreqTool::Extract(const Database& db) const {
+  FrequencyDistribution dist(1);
+  const Table* t = db.FindTable(table_);
+  if (t == nullptr) return dist;
+  const int col = t->ColumnIndex(column_);
+  if (col < 0) return dist;
+  t->ForEachLive([&](TupleId tid) {
+    if (t->column(col).IsValue(tid)) {
+      dist.Add({t->column(col).GetInt(tid)}, 1);
+    }
+  });
+  return dist;
+}
+
+Status ColumnFreqTool::SetTargetFromDataset(const Database& ground_truth) {
+  target_ = Extract(ground_truth);
+  return Status::OK();
+}
+
+Status ColumnFreqTool::SetTargetDistribution(FrequencyDistribution target) {
+  if (target.dim() != 1) {
+    return Status::Invalid("column frequency targets are 1-dimensional");
+  }
+  target_ = std::move(target);
+  return Status::OK();
+}
+
+Status ColumnFreqTool::SetTargetByExtrapolation(
+    const std::vector<const Database*>& snapshots, double target_size) {
+  ASPECT_ASSIGN_OR_RETURN(
+      FrequencyDistribution predicted,
+      ExtrapolateDistribution(
+          snapshots,
+          [this](const Database& db) { return Extract(db); }, target_size));
+  target_ = std::move(predicted);
+  return Status::OK();
+}
+
+Status ColumnFreqTool::RepairTarget() {
+  if (!bound()) return Status::Invalid("freq: RepairTarget needs Bind");
+  // Rescale counts proportionally so their total equals the bound
+  // table's (non-null) population.
+  const int64_t want = current_.TotalMass();
+  const int64_t have = target_.TotalMass();
+  if (have == want || have == 0) return Status::OK();
+  FrequencyDistribution scaled(1);
+  int64_t placed = 0;
+  FrequencyDistribution::Key largest;
+  int64_t largest_count = -1;
+  for (const auto& [k, c] : target_.counts()) {
+    const int64_t v = static_cast<int64_t>(std::llround(
+        static_cast<double>(c) * static_cast<double>(want) /
+        static_cast<double>(have)));
+    if (v > 0) scaled.Add(k, v);
+    placed += v;
+    if (c > largest_count) {
+      largest_count = c;
+      largest = k;
+    }
+  }
+  if (placed != want && !largest.empty()) {
+    // Put the rounding residual on the most frequent value; clamp so
+    // the entry never goes negative.
+    const int64_t fix =
+        std::max<int64_t>(-scaled.Count(largest), want - placed);
+    scaled.Add(largest, fix);
+  }
+  target_ = std::move(scaled);
+  return Status::OK();
+}
+
+Status ColumnFreqTool::CheckTargetFeasible() const {
+  if (!bound()) return Status::Invalid("freq: needs Bind");
+  for (const auto& [k, c] : target_.counts()) {
+    if (c < 0) return Status::Infeasible("negative frequency");
+  }
+  if (target_.TotalMass() != current_.TotalMass()) {
+    return Status::Infeasible(StrFormat(
+        "frequency total %lld != population %lld",
+        static_cast<long long>(target_.TotalMass()),
+        static_cast<long long>(current_.TotalMass())));
+  }
+  return Status::OK();
+}
+
+Status ColumnFreqTool::Bind(Database* db) {
+  if (db->FindTable(table_) == nullptr ||
+      db->FindTable(table_)->ColumnIndex(column_) < 0) {
+    return Status::KeyError(
+        StrFormat("freq: no column %s.%s", table_.c_str(), column_.c_str()));
+  }
+  db_ = db;
+  current_ = Extract(*db_);
+  db_->AddListener(this);
+  return Status::OK();
+}
+
+void ColumnFreqTool::Unbind() {
+  if (db_ != nullptr) {
+    db_->RemoveListener(this);
+    db_ = nullptr;
+  }
+}
+
+double ColumnFreqTool::Error() const {
+  const int64_t n = std::max<int64_t>(1, target_.TotalMass());
+  return static_cast<double>(current_.L1Distance(target_)) /
+         static_cast<double>(n);
+}
+
+void ColumnFreqTool::OnApplied(const Modification& mod,
+                               const std::vector<Value>& old_values,
+                               TupleId new_tuple) {
+  if (db_ == nullptr || mod.table != table_) return;
+  const Table* t = db_->FindTable(table_);
+  const int col = t->ColumnIndex(column_);
+  switch (mod.kind) {
+    case OpKind::kDeleteValues:
+    case OpKind::kInsertValues:
+    case OpKind::kReplaceValues: {
+      for (size_t cj = 0; cj < mod.cols.size(); ++cj) {
+        if (mod.cols[cj] != col) continue;
+        for (size_t tj = 0; tj < mod.tuples.size(); ++tj) {
+          const Value& old_v = old_values[tj * mod.cols.size() + cj];
+          if (!old_v.is_null()) current_.Add({old_v.int64()}, -1);
+          if (mod.kind != OpKind::kDeleteValues &&
+              !mod.values[cj].is_null()) {
+            current_.Add({mod.values[cj].int64()}, 1);
+          }
+        }
+      }
+      break;
+    }
+    case OpKind::kInsertTuple: {
+      (void)new_tuple;
+      const Value& v = mod.values[static_cast<size_t>(col)];
+      if (!v.is_null()) current_.Add({v.int64()}, 1);
+      break;
+    }
+    case OpKind::kDeleteTuple: {
+      const Value& v = old_values[static_cast<size_t>(col)];
+      if (!v.is_null()) current_.Add({v.int64()}, -1);
+      break;
+    }
+  }
+}
+
+double ColumnFreqTool::ValidationPenalty(const Modification& mod) const {
+  if (db_ == nullptr || mod.table != table_) return 0.0;
+  const Table* t = db_->FindTable(table_);
+  const int col = t->ColumnIndex(column_);
+  const int64_t n = std::max<int64_t>(1, target_.TotalMass());
+  auto delta_for = [&](const Value& old_v, const Value& new_v) {
+    double d = 0;
+    if (!old_v.is_null()) {
+      const int64_t cur = current_.Count({old_v.int64()});
+      const int64_t tgt = target_.Count({old_v.int64()});
+      d += std::llabs(cur - 1 - tgt) - std::llabs(cur - tgt);
+    }
+    if (!new_v.is_null() && new_v != old_v) {
+      const int64_t cur = current_.Count({new_v.int64()});
+      const int64_t tgt = target_.Count({new_v.int64()});
+      d += std::llabs(cur + 1 - tgt) - std::llabs(cur - tgt);
+    }
+    return d / static_cast<double>(n);
+  };
+  double penalty = 0;
+  switch (mod.kind) {
+    case OpKind::kDeleteValues:
+    case OpKind::kInsertValues:
+    case OpKind::kReplaceValues:
+      for (size_t cj = 0; cj < mod.cols.size(); ++cj) {
+        if (mod.cols[cj] != col) continue;
+        for (const TupleId tid : mod.tuples) {
+          const Value old_v = t->column(col).Get(tid);
+          const Value new_v = mod.kind == OpKind::kDeleteValues
+                                  ? Value()
+                                  : mod.values[cj];
+          penalty += delta_for(old_v, new_v);
+        }
+      }
+      break;
+    case OpKind::kInsertTuple:
+      penalty += delta_for(Value(), mod.values[static_cast<size_t>(col)]);
+      break;
+    case OpKind::kDeleteTuple:
+      penalty += delta_for(t->column(col).Get(mod.tuples[0]), Value());
+      break;
+  }
+  return penalty;
+}
+
+Status ColumnFreqTool::Tweak(TweakContext* ctx) {
+  if (!bound()) return Status::Invalid("freq: Tweak needs Bind");
+  Table* t = db_->FindTable(table_);
+  const int col = t->ColumnIndex(column_);
+  // Build per-value surplus tuple pools once, then move tuples from
+  // surplus values to deficit values.
+  FrequencyDistribution diff = current_.Difference(target_);
+  std::vector<std::pair<int64_t, int64_t>> deficits;   // value, amount
+  std::map<int64_t, int64_t> surplus;                  // value -> amount
+  for (const auto& [k, c] : diff.counts()) {
+    if (c < 0) deficits.emplace_back(k[0], -c);
+    if (c > 0) surplus[k[0]] = c;
+  }
+  if (deficits.empty()) return Status::OK();
+  // Collect surplus tuples by scanning once.
+  std::map<int64_t, std::vector<TupleId>> pool;
+  t->ForEachLive([&](TupleId tid) {
+    if (!t->column(col).IsValue(tid)) return;
+    const int64_t v = t->column(col).GetInt(tid);
+    const auto it = surplus.find(v);
+    if (it != surplus.end() &&
+        static_cast<int64_t>(pool[v].size()) < it->second) {
+      pool[v].push_back(tid);
+    }
+  });
+  auto pool_it = pool.begin();
+  int veto_budget = max_attempts_;
+  for (const auto& [value, amount] : deficits) {
+    for (int64_t i = 0; i < amount; ++i) {
+      // Next surplus tuple.
+      while (pool_it != pool.end() && pool_it->second.empty()) ++pool_it;
+      if (pool_it == pool.end()) return Status::OK();
+      const TupleId victim = pool_it->second.back();
+      Modification mod = Modification::ReplaceValues(
+          table_, {victim}, {col}, {Value(value)});
+      Status st = ctx->TryApply(mod);
+      if (st.IsValidationFailed()) {
+        if (veto_budget-- > 0) {
+          // Alternatives cannot help a value-level conflict (the
+          // penalty depends on values, not tuples), so keep the victim
+          // and burn budget until the forced fallback kicks in.
+          --i;
+          continue;
+        }
+        st = ctx->ForceApply(mod);
+      }
+      ASPECT_RETURN_NOT_OK(st);
+      pool_it->second.pop_back();
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// NullCountTool
+// ---------------------------------------------------------------------
+
+NullCountTool::NullCountTool(const Schema& schema, std::string table,
+                             std::string column)
+    : name_("nulls:" + table + "." + column),
+      table_(std::move(table)),
+      column_(std::move(column)) {
+  (void)schema;
+}
+
+Status NullCountTool::SetTargetFromDataset(const Database& ground_truth) {
+  const Table* t = ground_truth.FindTable(table_);
+  if (t == nullptr) return Status::KeyError("nulls: no table " + table_);
+  const int col = t->ColumnIndex(column_);
+  if (col < 0) return Status::KeyError("nulls: no column " + column_);
+  target_ = 0;
+  t->ForEachLive([&](TupleId tid) { target_ += t->column(col).IsNull(tid); });
+  return Status::OK();
+}
+
+Status NullCountTool::RepairTarget() {
+  if (!bound()) return Status::Invalid("nulls: RepairTarget needs Bind");
+  target_ = std::min(target_, db_->FindTable(table_)->NumTuples());
+  return Status::OK();
+}
+
+Status NullCountTool::CheckTargetFeasible() const {
+  if (!bound()) return Status::Invalid("nulls: needs Bind");
+  if (target_ < 0 || target_ > db_->FindTable(table_)->NumTuples()) {
+    return Status::Infeasible("null count outside [0, |T|]");
+  }
+  return Status::OK();
+}
+
+Status NullCountTool::Bind(Database* db) {
+  const Table* t = db->FindTable(table_);
+  if (t == nullptr || t->ColumnIndex(column_) < 0) {
+    return Status::KeyError("nulls: missing " + table_ + "." + column_);
+  }
+  if (t->column(t->ColumnIndex(column_)).is_foreign_key()) {
+    return Status::Invalid("nulls: foreign keys cannot be nulled");
+  }
+  db_ = db;
+  const int col = t->ColumnIndex(column_);
+  current_ = 0;
+  t->ForEachLive([&](TupleId tid) { current_ += t->column(col).IsNull(tid); });
+  db_->AddListener(this);
+  return Status::OK();
+}
+
+void NullCountTool::Unbind() {
+  if (db_ != nullptr) {
+    db_->RemoveListener(this);
+    db_ = nullptr;
+  }
+}
+
+double NullCountTool::Error() const {
+  const int64_t n =
+      std::max<int64_t>(1, db_->FindTable(table_)->NumTuples());
+  return static_cast<double>(std::llabs(current_ - target_)) /
+         static_cast<double>(n);
+}
+
+void NullCountTool::OnApplied(const Modification& mod,
+                              const std::vector<Value>& old_values,
+                              TupleId new_tuple) {
+  (void)new_tuple;
+  if (db_ == nullptr || mod.table != table_) return;
+  const Table* t = db_->FindTable(table_);
+  const int col = t->ColumnIndex(column_);
+  switch (mod.kind) {
+    case OpKind::kDeleteValues:
+    case OpKind::kInsertValues:
+    case OpKind::kReplaceValues:
+      for (size_t cj = 0; cj < mod.cols.size(); ++cj) {
+        if (mod.cols[cj] != col) continue;
+        for (size_t tj = 0; tj < mod.tuples.size(); ++tj) {
+          current_ -= old_values[tj * mod.cols.size() + cj].is_null();
+          if (mod.kind != OpKind::kDeleteValues) {
+            current_ += mod.values[cj].is_null();
+          }
+        }
+      }
+      break;
+    case OpKind::kInsertTuple:
+      current_ += mod.values[static_cast<size_t>(col)].is_null();
+      break;
+    case OpKind::kDeleteTuple:
+      current_ -= old_values[static_cast<size_t>(col)].is_null();
+      break;
+  }
+}
+
+double NullCountTool::ValidationPenalty(const Modification& mod) const {
+  if (db_ == nullptr || mod.table != table_) return 0.0;
+  const Table* t = db_->FindTable(table_);
+  const int col = t->ColumnIndex(column_);
+  int64_t delta = 0;
+  switch (mod.kind) {
+    case OpKind::kDeleteValues:
+    case OpKind::kInsertValues:
+    case OpKind::kReplaceValues:
+      for (size_t cj = 0; cj < mod.cols.size(); ++cj) {
+        if (mod.cols[cj] != col) continue;
+        for (const TupleId tid : mod.tuples) {
+          delta -= t->column(col).IsNull(tid);
+          if (mod.kind != OpKind::kDeleteValues) {
+            delta += mod.values[cj].is_null();
+          }
+        }
+      }
+      break;
+    case OpKind::kInsertTuple:
+      delta += mod.values[static_cast<size_t>(col)].is_null();
+      break;
+    case OpKind::kDeleteTuple:
+      delta -= t->column(col).IsNull(mod.tuples[0]);
+      break;
+  }
+  if (delta == 0) return 0.0;
+  const int64_t n =
+      std::max<int64_t>(1, db_->FindTable(table_)->NumTuples());
+  return static_cast<double>(std::llabs(current_ + delta - target_) -
+                             std::llabs(current_ - target_)) /
+         static_cast<double>(n);
+}
+
+Status NullCountTool::Tweak(TweakContext* ctx) {
+  if (!bound()) return Status::Invalid("nulls: Tweak needs Bind");
+  Table* t = db_->FindTable(table_);
+  const int col = t->ColumnIndex(column_);
+  int64_t delta = target_ - current_;
+  // Null surplus values or fill surplus nulls with a sampled value.
+  Value fill;
+  t->ForEachLive([&](TupleId tid) {
+    if (fill.is_null() && t->column(col).IsValue(tid)) {
+      fill = t->column(col).Get(tid);
+    }
+  });
+  if (fill.is_null()) fill = Value(int64_t{0});
+  std::vector<TupleId> candidates;
+  t->ForEachLive([&](TupleId tid) {
+    if (delta > 0 ? t->column(col).IsValue(tid)
+                  : t->column(col).IsNull(tid)) {
+      candidates.push_back(tid);
+    }
+  });
+  ctx->rng()->Shuffle(&candidates);
+  for (const TupleId tid : candidates) {
+    if (delta == 0) break;
+    Modification mod = Modification::ReplaceValues(
+        table_, {tid}, {col}, {delta > 0 ? Value() : fill});
+    Status st = ctx->TryApply(mod);
+    if (st.IsValidationFailed()) continue;  // plenty of alternatives
+    ASPECT_RETURN_NOT_OK(st);
+    delta += delta > 0 ? -1 : 1;
+  }
+  // Force the remainder if validators blocked everything.
+  for (const TupleId tid : candidates) {
+    if (delta == 0) break;
+    if (delta > 0 ? !t->column(col).IsValue(tid)
+                  : !t->column(col).IsNull(tid)) {
+      continue;
+    }
+    ASPECT_RETURN_NOT_OK(ctx->ForceApply(Modification::ReplaceValues(
+        table_, {tid}, {col}, {delta > 0 ? Value() : fill})));
+    delta += delta > 0 ? -1 : 1;
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// DomainBoundsTool
+// ---------------------------------------------------------------------
+
+DomainBoundsTool::DomainBoundsTool(const Schema& schema, std::string table,
+                                   std::string column)
+    : name_("bounds:" + table + "." + column),
+      table_(std::move(table)),
+      column_(std::move(column)) {
+  (void)schema;
+}
+
+Status DomainBoundsTool::SetTargetFromDataset(const Database& ground_truth) {
+  const Table* t = ground_truth.FindTable(table_);
+  if (t == nullptr) return Status::KeyError("bounds: no table " + table_);
+  const int col = t->ColumnIndex(column_);
+  if (col < 0) return Status::KeyError("bounds: no column " + column_);
+  bool any = false;
+  t->ForEachLive([&](TupleId tid) {
+    if (!t->column(col).IsValue(tid)) return;
+    const int64_t v = t->column(col).GetInt(tid);
+    if (!any) {
+      target_min_ = target_max_ = v;
+      any = true;
+    } else {
+      target_min_ = std::min(target_min_, v);
+      target_max_ = std::max(target_max_, v);
+    }
+  });
+  if (!any) return Status::Invalid("bounds: ground-truth column empty");
+  return Status::OK();
+}
+
+Status DomainBoundsTool::RepairTarget() {
+  if (target_min_ > target_max_) std::swap(target_min_, target_max_);
+  return Status::OK();
+}
+
+Status DomainBoundsTool::CheckTargetFeasible() const {
+  if (!bound()) return Status::Invalid("bounds: needs Bind");
+  if (target_min_ > target_max_) {
+    return Status::Infeasible("bounds: min above max");
+  }
+  if (db_->FindTable(table_)->NumTuples() < 2 &&
+      target_min_ != target_max_) {
+    return Status::Infeasible("bounds: need two tuples for two bounds");
+  }
+  return Status::OK();
+}
+
+void DomainBoundsTool::Recount() {
+  const Table* t = db_->FindTable(table_);
+  const int col = t->ColumnIndex(column_);
+  out_of_range_ = at_min_ = at_max_ = 0;
+  t->ForEachLive([&](TupleId tid) {
+    if (!t->column(col).IsValue(tid)) return;
+    const int64_t v = t->column(col).GetInt(tid);
+    out_of_range_ += v < target_min_ || v > target_max_;
+    at_min_ += v == target_min_;
+    at_max_ += v == target_max_;
+  });
+}
+
+Status DomainBoundsTool::Bind(Database* db) {
+  const Table* t = db->FindTable(table_);
+  if (t == nullptr || t->ColumnIndex(column_) < 0) {
+    return Status::KeyError("bounds: missing " + table_ + "." + column_);
+  }
+  if (t->column(t->ColumnIndex(column_)).type() != ColumnType::kInt64) {
+    return Status::Invalid("bounds: column must be int64");
+  }
+  db_ = db;
+  Recount();
+  db_->AddListener(this);
+  return Status::OK();
+}
+
+void DomainBoundsTool::Unbind() {
+  if (db_ != nullptr) {
+    db_->RemoveListener(this);
+    db_ = nullptr;
+  }
+}
+
+double DomainBoundsTool::ErrorOf(int64_t out_of_range, bool has_min,
+                                 bool has_max) const {
+  const double n = static_cast<double>(
+      std::max<int64_t>(1, db_->FindTable(table_)->NumTuples()));
+  return static_cast<double>(out_of_range) / n + (has_min ? 0.0 : 1.0) +
+         (has_max ? 0.0 : 1.0);
+}
+
+double DomainBoundsTool::Error() const {
+  return ErrorOf(out_of_range_, at_min_ > 0, at_max_ > 0);
+}
+
+void DomainBoundsTool::OnApplied(const Modification& mod,
+                                 const std::vector<Value>& old_values,
+                                 TupleId new_tuple) {
+  (void)new_tuple;
+  if (db_ == nullptr || mod.table != table_) return;
+  const int col = db_->FindTable(table_)->ColumnIndex(column_);
+  auto remove = [&](const Value& v) {
+    if (v.is_null()) return;
+    const int64_t x = v.int64();
+    out_of_range_ -= x < target_min_ || x > target_max_;
+    at_min_ -= x == target_min_;
+    at_max_ -= x == target_max_;
+  };
+  auto add = [&](const Value& v) {
+    if (v.is_null()) return;
+    const int64_t x = v.int64();
+    out_of_range_ += x < target_min_ || x > target_max_;
+    at_min_ += x == target_min_;
+    at_max_ += x == target_max_;
+  };
+  switch (mod.kind) {
+    case OpKind::kDeleteValues:
+    case OpKind::kInsertValues:
+    case OpKind::kReplaceValues:
+      for (size_t cj = 0; cj < mod.cols.size(); ++cj) {
+        if (mod.cols[cj] != col) continue;
+        for (size_t tj = 0; tj < mod.tuples.size(); ++tj) {
+          remove(old_values[tj * mod.cols.size() + cj]);
+          if (mod.kind != OpKind::kDeleteValues) add(mod.values[cj]);
+        }
+      }
+      break;
+    case OpKind::kInsertTuple:
+      add(mod.values[static_cast<size_t>(col)]);
+      break;
+    case OpKind::kDeleteTuple:
+      remove(old_values[static_cast<size_t>(col)]);
+      break;
+  }
+}
+
+double DomainBoundsTool::ValidationPenalty(const Modification& mod) const {
+  if (db_ == nullptr || mod.table != table_) return 0.0;
+  const Table* t = db_->FindTable(table_);
+  const int col = t->ColumnIndex(column_);
+  int64_t oor = 0, dmin = 0, dmax = 0;
+  auto remove = [&](const Value& v) {
+    if (v.is_null()) return;
+    const int64_t x = v.int64();
+    oor -= x < target_min_ || x > target_max_;
+    dmin -= x == target_min_;
+    dmax -= x == target_max_;
+  };
+  auto add = [&](const Value& v) {
+    if (v.is_null()) return;
+    const int64_t x = v.int64();
+    oor += x < target_min_ || x > target_max_;
+    dmin += x == target_min_;
+    dmax += x == target_max_;
+  };
+  switch (mod.kind) {
+    case OpKind::kDeleteValues:
+    case OpKind::kInsertValues:
+    case OpKind::kReplaceValues:
+      for (size_t cj = 0; cj < mod.cols.size(); ++cj) {
+        if (mod.cols[cj] != col) continue;
+        for (const TupleId tid : mod.tuples) {
+          remove(t->column(col).Get(tid));
+          if (mod.kind != OpKind::kDeleteValues) add(mod.values[cj]);
+        }
+      }
+      break;
+    case OpKind::kInsertTuple:
+      add(mod.values[static_cast<size_t>(col)]);
+      break;
+    case OpKind::kDeleteTuple:
+      remove(t->column(col).Get(mod.tuples[0]));
+      break;
+  }
+  if (oor == 0 && dmin == 0 && dmax == 0) return 0.0;
+  return ErrorOf(out_of_range_ + oor, at_min_ + dmin > 0,
+                 at_max_ + dmax > 0) -
+         Error();
+}
+
+Status DomainBoundsTool::Tweak(TweakContext* ctx) {
+  if (!bound()) return Status::Invalid("bounds: Tweak needs Bind");
+  Table* t = db_->FindTable(table_);
+  const int col = t->ColumnIndex(column_);
+  // Clamp every out-of-range value.
+  std::vector<TupleId> victims;
+  t->ForEachLive([&](TupleId tid) {
+    if (!t->column(col).IsValue(tid)) return;
+    const int64_t v = t->column(col).GetInt(tid);
+    if (v < target_min_ || v > target_max_) victims.push_back(tid);
+  });
+  for (const TupleId tid : victims) {
+    const int64_t v = t->column(col).GetInt(tid);
+    Modification mod = Modification::ReplaceValues(
+        table_, {tid}, {col},
+        {Value(v < target_min_ ? target_min_ : target_max_)});
+    Status st = ctx->TryApply(mod);
+    if (st.IsValidationFailed()) st = ctx->ForceApply(mod);
+    ASPECT_RETURN_NOT_OK(st);
+  }
+  // Pin one tuple to each missing bound.
+  for (const auto& [needed, value] :
+       {std::pair<bool, int64_t>{at_min_ == 0, target_min_},
+        std::pair<bool, int64_t>{at_max_ == 0, target_max_}}) {
+    if (!needed || t->NumTuples() == 0) continue;
+    for (int tries = 0; tries < 64; ++tries) {
+      const TupleId tid = ctx->rng()->UniformInt(0, t->NumSlots() - 1);
+      if (!t->IsLive(tid) || !t->column(col).IsValue(tid)) continue;
+      const int64_t v = t->column(col).GetInt(tid);
+      if (v == target_min_ || v == target_max_) continue;  // keep bounds
+      Modification mod = Modification::ReplaceValues(table_, {tid}, {col},
+                                                     {Value(value)});
+      Status st = ctx->TryApply(mod);
+      if (st.IsValidationFailed()) st = ctx->ForceApply(mod);
+      ASPECT_RETURN_NOT_OK(st);
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------
+// TupleCountTool
+// ---------------------------------------------------------------------
+
+TupleCountTool::TupleCountTool(const Schema& schema) : schema_(schema) {}
+
+Status TupleCountTool::SetTargetFromDataset(const Database& ground_truth) {
+  targets_.clear();
+  for (int t = 0; t < ground_truth.num_tables(); ++t) {
+    targets_.push_back(ground_truth.table(t).NumTuples());
+  }
+  return Status::OK();
+}
+
+Status TupleCountTool::SetTargetSizes(std::vector<int64_t> sizes) {
+  if (sizes.size() != schema_.tables.size()) {
+    return Status::Invalid("tuple-count: wrong number of sizes");
+  }
+  targets_ = std::move(sizes);
+  return Status::OK();
+}
+
+Status TupleCountTool::RepairTarget() {
+  if (!bound()) return Status::Invalid("tuple-count: needs Bind");
+  for (int64_t& s : targets_) s = std::max<int64_t>(1, s);
+  return Status::OK();
+}
+
+Status TupleCountTool::CheckTargetFeasible() const {
+  if (!bound()) return Status::Invalid("tuple-count: needs Bind");
+  if (targets_.size() != schema_.tables.size()) {
+    return Status::Infeasible("tuple-count: no targets");
+  }
+  for (const int64_t s : targets_) {
+    if (s < 1) return Status::Infeasible("tuple-count: size below 1");
+  }
+  return Status::OK();
+}
+
+Status TupleCountTool::Bind(Database* db) {
+  db_ = db;
+  refcount_ = std::make_unique<RefCounter>(db_);
+  db_->AddListener(this);
+  return Status::OK();
+}
+
+void TupleCountTool::Unbind() {
+  refcount_.reset();
+  if (db_ != nullptr) {
+    db_->RemoveListener(this);
+    db_ = nullptr;
+  }
+}
+
+double TupleCountTool::Error() const {
+  if (targets_.empty()) return 0.0;
+  double sum = 0;
+  for (int t = 0; t < db_->num_tables(); ++t) {
+    const double tgt =
+        std::max<int64_t>(1, targets_[static_cast<size_t>(t)]);
+    sum += std::fabs(static_cast<double>(db_->table(t).NumTuples()) - tgt) /
+           tgt;
+  }
+  return sum / static_cast<double>(db_->num_tables());
+}
+
+void TupleCountTool::OnApplied(const Modification& mod,
+                               const std::vector<Value>& old_values,
+                               TupleId new_tuple) {
+  // Sizes are read live from the database; nothing cached here.
+  (void)mod;
+  (void)old_values;
+  (void)new_tuple;
+}
+
+double TupleCountTool::ValidationPenalty(const Modification& mod) const {
+  if (db_ == nullptr || targets_.empty()) return 0.0;
+  if (mod.kind != OpKind::kInsertTuple && mod.kind != OpKind::kDeleteTuple) {
+    return 0.0;
+  }
+  const int t = db_->schema().TableIndex(mod.table);
+  if (t < 0) return 0.0;
+  const double tgt = std::max<int64_t>(1, targets_[static_cast<size_t>(t)]);
+  const double cur = static_cast<double>(db_->table(t).NumTuples());
+  const double next = cur + (mod.kind == OpKind::kInsertTuple ? 1 : -1);
+  return (std::fabs(next - tgt) - std::fabs(cur - tgt)) / tgt /
+         static_cast<double>(db_->num_tables());
+}
+
+Status TupleCountTool::Tweak(TweakContext* ctx) {
+  if (!bound()) return Status::Invalid("tuple-count: Tweak needs Bind");
+  for (int ti = 0; ti < db_->num_tables(); ++ti) {
+    Table& t = db_->table(ti);
+    const int64_t want = targets_[static_cast<size_t>(ti)];
+    // Grow: clone random template tuples.
+    while (t.NumTuples() < want) {
+      TupleId tmpl = kInvalidTuple;
+      for (int tries = 0; tries < 64 && tmpl == kInvalidTuple; ++tries) {
+        const TupleId cand = ctx->rng()->UniformInt(0, t.NumSlots() - 1);
+        if (t.IsLive(cand)) tmpl = cand;
+      }
+      if (tmpl == kInvalidTuple) break;
+      Modification mod = Modification::InsertTuple(t.name(), t.GetRow(tmpl));
+      Status st = ctx->TryApply(mod);
+      if (st.IsValidationFailed()) st = ctx->ForceApply(mod);
+      ASPECT_RETURN_NOT_OK(st);
+    }
+    // Shrink: delete unreferenced tuples.
+    int64_t scan = t.NumSlots();
+    while (t.NumTuples() > want && scan-- > 0) {
+      const TupleId cand = ctx->rng()->UniformInt(0, t.NumSlots() - 1);
+      if (!t.IsLive(cand) || !refcount_->Unreferenced(ti, cand)) continue;
+      Modification mod = Modification::DeleteTuple(t.name(), cand);
+      Status st = ctx->TryApply(mod);
+      if (st.IsValidationFailed()) st = ctx->ForceApply(mod);
+      ASPECT_RETURN_NOT_OK(st);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace aspect

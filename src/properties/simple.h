@@ -1,0 +1,185 @@
+// Simple property tools (Sec. V: "Tools for simple properties, such as
+// 'number of null values in a column' or 'number of tuples in each
+// table', are easy to implement; they are already in the current
+// version of ASPECT").
+//
+// ColumnFreqTool additionally powers the Theorem 6-8 experiments: when
+// several tools enforce frequency distributions over the same column,
+// the total error and the optimal tweaking order have closed forms.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "aspect/property_tool.h"
+#include "aspect/tweak_context.h"
+#include "relational/refcount.h"
+#include "stats/freq_dist.h"
+
+namespace aspect {
+
+/// Enforces the value-frequency distribution of one int64 column.
+/// Error is the L1 distance normalized by the table size (bounded by
+/// 2), matching the frequency-difference measure of Theorem 6.
+class ColumnFreqTool : public PropertyTool {
+ public:
+  ColumnFreqTool(const Schema& schema, std::string table,
+                 std::string column, std::string tool_name = "");
+
+  std::string name() const override { return name_; }
+
+  Status SetTargetFromDataset(const Database& ground_truth) override;
+  /// User-input mode (also used by the Theorem 6-8 benches).
+  Status SetTargetDistribution(FrequencyDistribution target);
+  /// Statistical-extrapolation mode (Sec. III-C, mode (c)): fits the
+  /// column's distribution across the snapshots and extrapolates to a
+  /// dataset of `target_size` total tuples.
+  Status SetTargetByExtrapolation(
+      const std::vector<const Database*>& snapshots, double target_size);
+  Status RepairTarget() override;
+  Status CheckTargetFeasible() const override;
+
+  Status Bind(Database* db) override;
+  void Unbind() override;
+  bool bound() const override { return db_ != nullptr; }
+
+  double Error() const override;
+  double ValidationPenalty(const Modification& mod) const override;
+  Status Tweak(TweakContext* ctx) override;
+
+  void OnApplied(const Modification& mod,
+                 const std::vector<Value>& old_values,
+                 TupleId new_tuple) override;
+
+  const FrequencyDistribution& Current() const { return current_; }
+  const FrequencyDistribution& Target() const { return target_; }
+
+ private:
+  FrequencyDistribution Extract(const Database& db) const;
+
+  std::string name_;
+  std::string table_;
+  std::string column_;
+  Database* db_ = nullptr;
+  FrequencyDistribution current_{1};
+  FrequencyDistribution target_{1};
+  int max_attempts_ = 8;
+};
+
+/// Enforces the number of NULL values in one (non-FK) column.
+class NullCountTool : public PropertyTool {
+ public:
+  NullCountTool(const Schema& schema, std::string table,
+                std::string column);
+
+  std::string name() const override { return name_; }
+
+  Status SetTargetFromDataset(const Database& ground_truth) override;
+  void SetTargetCount(int64_t nulls) { target_ = nulls; }
+  Status RepairTarget() override;
+  Status CheckTargetFeasible() const override;
+
+  Status Bind(Database* db) override;
+  void Unbind() override;
+  bool bound() const override { return db_ != nullptr; }
+
+  double Error() const override;
+  double ValidationPenalty(const Modification& mod) const override;
+  Status Tweak(TweakContext* ctx) override;
+
+  void OnApplied(const Modification& mod,
+                 const std::vector<Value>& old_values,
+                 TupleId new_tuple) override;
+
+ private:
+  std::string name_;
+  std::string table_;
+  std::string column_;
+  Database* db_ = nullptr;
+  int64_t current_ = 0;
+  int64_t target_ = 0;
+};
+
+/// Enforces min/max domain bounds of one numeric (int64) column - the
+/// DBSynth-style metadata constraint from the paper's related work
+/// (Sec. II). The property is the pair (min, max): the tweak clamps
+/// out-of-range values and pins one tuple to each bound so the scaled
+/// data's value domain matches the original's.
+class DomainBoundsTool : public PropertyTool {
+ public:
+  DomainBoundsTool(const Schema& schema, std::string table,
+                   std::string column);
+
+  std::string name() const override { return name_; }
+
+  Status SetTargetFromDataset(const Database& ground_truth) override;
+  void SetTargetBounds(int64_t min, int64_t max) {
+    target_min_ = min;
+    target_max_ = max;
+  }
+  Status RepairTarget() override;
+  Status CheckTargetFeasible() const override;
+
+  Status Bind(Database* db) override;
+  void Unbind() override;
+  bool bound() const override { return db_ != nullptr; }
+
+  double Error() const override;
+  double ValidationPenalty(const Modification& mod) const override;
+  Status Tweak(TweakContext* ctx) override;
+
+  void OnApplied(const Modification& mod,
+                 const std::vector<Value>& old_values,
+                 TupleId new_tuple) override;
+
+ private:
+  /// Fraction of values outside [min, max] plus a unit charge when a
+  /// bound value is absent entirely.
+  double ErrorOf(int64_t out_of_range, bool has_min, bool has_max) const;
+  void Recount();
+
+  std::string name_;
+  std::string table_;
+  std::string column_;
+  Database* db_ = nullptr;
+  int64_t target_min_ = 0;
+  int64_t target_max_ = 0;
+  // Current statistics (maintained incrementally).
+  int64_t out_of_range_ = 0;
+  int64_t at_min_ = 0;
+  int64_t at_max_ = 0;
+};
+
+/// Enforces per-table tuple counts (the size-scaler contract); its
+/// tweak inserts template tuples or deletes unreferenced ones.
+class TupleCountTool : public PropertyTool {
+ public:
+  explicit TupleCountTool(const Schema& schema);
+
+  std::string name() const override { return "tuple-count"; }
+
+  Status SetTargetFromDataset(const Database& ground_truth) override;
+  Status SetTargetSizes(std::vector<int64_t> sizes);
+  Status RepairTarget() override;
+  Status CheckTargetFeasible() const override;
+
+  Status Bind(Database* db) override;
+  void Unbind() override;
+  bool bound() const override { return db_ != nullptr; }
+
+  double Error() const override;
+  double ValidationPenalty(const Modification& mod) const override;
+  Status Tweak(TweakContext* ctx) override;
+
+  void OnApplied(const Modification& mod,
+                 const std::vector<Value>& old_values,
+                 TupleId new_tuple) override;
+
+ private:
+  Schema schema_;
+  Database* db_ = nullptr;
+  std::vector<int64_t> targets_;
+  std::unique_ptr<RefCounter> refcount_;
+};
+
+}  // namespace aspect

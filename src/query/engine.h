@@ -1,0 +1,62 @@
+// Minimal aggregate query engine over the relational layer: the
+// primitives needed by the paper's query-similarity experiments
+// (Sec. VII-B): hash-join style traversals, COUNT(DISTINCT ...),
+// group-by-having and averages over FK fan-outs.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+
+#include "common/result.h"
+#include "relational/database.h"
+
+namespace aspect {
+
+/// Number of distinct values in a FK column (live tuples only).
+Result<int64_t> CountDistinctFk(const Database& db,
+                                const std::string& table,
+                                const std::string& fk_col);
+
+/// Per-parent fan-out: parent tuple id -> number of live child tuples
+/// referencing it through `fk_col`.
+Result<std::map<TupleId, int64_t>> FanOut(const Database& db,
+                                          const std::string& table,
+                                          const std::string& fk_col);
+
+/// Per-parent distinct-secondary counts: for each value of `group_col`
+/// the number of distinct values of `distinct_col` among its tuples.
+Result<std::map<TupleId, int64_t>> DistinctPerGroup(
+    const Database& db, const std::string& table,
+    const std::string& group_col, const std::string& distinct_col);
+
+/// COUNT of users who authored at least one post that received at
+/// least one response (the Q1 family: "users who uploaded a photo with
+/// commenters").
+Result<int64_t> CountUsersWithRespondedPost(const Database& db,
+                                            const ResponseSpec& spec);
+
+/// COUNT of entities referenced by [1, k] distinct users through an
+/// activity table (the Q2 family: "MVs commented on by at most 10
+/// different users").
+Result<int64_t> CountEntitiesWithAtMostKUsers(const Database& db,
+                                              const std::string& activity,
+                                              const std::string& entity_col,
+                                              const std::string& user_col,
+                                              int64_t k);
+
+/// AVG over all entities of the number of distinct users interacting
+/// with them (the Q3 family: "average number of listeners per song").
+/// Entities without interactions count as zero.
+Result<double> AvgDistinctUsersPerEntity(const Database& db,
+                                         const std::string& entity_table,
+                                         const std::string& activity,
+                                         const std::string& entity_col,
+                                         const std::string& user_col);
+
+/// COUNT of unordered user pairs {u, v}, u != v, interacting through a
+/// response2post table (the Q4 family).
+Result<int64_t> CountInteractingUserPairs(const Database& db,
+                                          const ResponseSpec& spec);
+
+}  // namespace aspect

@@ -1,0 +1,31 @@
+// The paper's per-dataset query families (Sec. VII-B, Figs. 15/28-30):
+// each dataset gets four aggregate queries Q1-Q4 tied to the three
+// enforced properties (linear joins, coappear multiplicities, pairwise
+// interactions).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/database.h"
+
+namespace aspect {
+
+struct NamedQuery {
+  std::string name;
+  std::string description;
+  std::function<Result<double>(const Database&)> eval;
+};
+
+/// The Q1-Q4 suite for one of the four built-in dataset schemas
+/// (dispatches on schema.name). Fails for unknown schemas.
+Result<std::vector<NamedQuery>> QuerySuiteFor(const Schema& schema);
+
+/// Relative query error |q(truth) - q(scaled)| / q(truth) (Sec. VI-C2);
+/// zero-valued truths fall back to the absolute difference.
+Result<double> QueryError(const NamedQuery& q, const Database& truth,
+                          const Database& scaled);
+
+}  // namespace aspect

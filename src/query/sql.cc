@@ -1,0 +1,679 @@
+#include "query/sql.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace aspect {
+namespace {
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+struct Token {
+  enum Kind { kIdent, kNumber, kSymbol, kEnd } kind = kEnd;
+  std::string text;   // idents upper-cased copy in `upper`
+  std::string upper;
+  double number = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) {
+    size_t i = 0;
+    while (i < input.size()) {
+      const char c = input[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      Token t;
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t j = i;
+        while (j < input.size() &&
+               (std::isalnum(static_cast<unsigned char>(input[j])) ||
+                input[j] == '_')) {
+          ++j;
+        }
+        t.kind = Token::kIdent;
+        t.text = input.substr(i, j - i);
+        t.upper = t.text;
+        for (char& ch : t.upper) {
+          ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+        }
+        i = j;
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 (c == '-' && i + 1 < input.size() &&
+                  std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+        size_t j = i + 1;
+        while (j < input.size() &&
+               (std::isdigit(static_cast<unsigned char>(input[j])) ||
+                input[j] == '.')) {
+          ++j;
+        }
+        t.kind = Token::kNumber;
+        t.text = input.substr(i, j - i);
+        t.number = std::strtod(t.text.c_str(), nullptr);
+        i = j;
+      } else {
+        t.kind = Token::kSymbol;
+        // Two-character comparators.
+        if (i + 1 < input.size() &&
+            ((c == '<' && input[i + 1] == '=') ||
+             (c == '>' && input[i + 1] == '=') ||
+             (c == '!' && input[i + 1] == '='))) {
+          t.text = input.substr(i, 2);
+          i += 2;
+        } else {
+          t.text = std::string(1, c);
+          ++i;
+        }
+      }
+      tokens_.push_back(std::move(t));
+    }
+    Token end;
+    end.kind = Token::kEnd;
+    tokens_.push_back(end);
+  }
+
+  const Token& Peek(int ahead = 0) const {
+    const size_t i = std::min(pos_ + static_cast<size_t>(ahead),
+                              tokens_.size() - 1);
+    return tokens_[i];
+  }
+  Token Next() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  bool AcceptKeyword(const char* kw) {
+    if (Peek().kind == Token::kIdent && Peek().upper == kw) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  bool AcceptSymbol(const char* s) {
+    if (Peek().kind == Token::kSymbol && Peek().text == s) {
+      Next();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!AcceptKeyword(kw)) {
+      return Status::Invalid(StrFormat("SQL: expected %s near '%s'", kw,
+                                       Peek().text.c_str()));
+    }
+    return Status::OK();
+  }
+  Status ExpectSymbol(const char* s) {
+    if (!AcceptSymbol(s)) {
+      return Status::Invalid(StrFormat("SQL: expected '%s' near '%s'", s,
+                                       Peek().text.c_str()));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// AST
+// ---------------------------------------------------------------------
+
+struct ColRef {
+  std::string table;  // may be empty (unqualified)
+  std::string column;
+  std::string ToString() const {
+    return table.empty() ? column : table + "." + column;
+  }
+};
+
+enum class AggKind {
+  kCountStar,
+  kCountDistinct,
+  kCount,
+  kSum,
+  kAvg,
+  kMin,
+  kMax
+};
+
+struct Aggregate {
+  AggKind kind = AggKind::kCountStar;
+  ColRef col;
+};
+
+struct SelectItem {
+  bool is_agg = false;
+  Aggregate agg;
+  ColRef col;
+  std::string alias;
+};
+
+struct Operand {
+  enum Kind { kCol, kNum, kAgg } kind = kNum;
+  ColRef col;
+  double num = 0;
+  Aggregate agg;
+};
+
+struct Condition {
+  Operand lhs;
+  std::string cmp;
+  Operand rhs;
+};
+
+struct Join {
+  std::string table;
+  ColRef left, right;
+};
+
+struct Query {
+  std::vector<SelectItem> select;
+  std::string from_table;
+  std::unique_ptr<Query> from_subquery;
+  std::string from_alias;
+  std::vector<Join> joins;
+  std::vector<Condition> where;
+  bool has_group = false;
+  ColRef group_col;
+  std::vector<Condition> having;
+};
+
+// ---------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------
+
+Result<ColRef> ParseColRef(Lexer* lex) {
+  if (lex->Peek().kind != Token::kIdent) {
+    return Status::Invalid(StrFormat("SQL: expected column near '%s'",
+                                     lex->Peek().text.c_str()));
+  }
+  ColRef ref;
+  ref.column = lex->Next().text;
+  if (lex->AcceptSymbol(".")) {
+    if (lex->Peek().kind != Token::kIdent) {
+      return Status::Invalid("SQL: expected column after '.'");
+    }
+    ref.table = ref.column;
+    ref.column = lex->Next().text;
+  }
+  return ref;
+}
+
+bool PeekAggregate(const Lexer& lex) {
+  const std::string& kw = lex.Peek().upper;
+  return lex.Peek(1).kind == Token::kSymbol && lex.Peek(1).text == "(" &&
+         (kw == "COUNT" || kw == "SUM" || kw == "AVG" || kw == "MIN" ||
+          kw == "MAX");
+}
+
+Result<Aggregate> ParseAggregate(Lexer* lex) {
+  Aggregate agg;
+  const std::string kw = lex->Next().upper;
+  ASPECT_RETURN_NOT_OK(lex->ExpectSymbol("("));
+  if (kw == "COUNT") {
+    if (lex->AcceptSymbol("*")) {
+      agg.kind = AggKind::kCountStar;
+    } else if (lex->AcceptKeyword("DISTINCT")) {
+      agg.kind = AggKind::kCountDistinct;
+      ASPECT_ASSIGN_OR_RETURN(agg.col, ParseColRef(lex));
+    } else {
+      agg.kind = AggKind::kCount;
+      ASPECT_ASSIGN_OR_RETURN(agg.col, ParseColRef(lex));
+    }
+  } else {
+    agg.kind = kw == "SUM"   ? AggKind::kSum
+               : kw == "AVG" ? AggKind::kAvg
+               : kw == "MIN" ? AggKind::kMin
+                             : AggKind::kMax;
+    ASPECT_ASSIGN_OR_RETURN(agg.col, ParseColRef(lex));
+  }
+  ASPECT_RETURN_NOT_OK(lex->ExpectSymbol(")"));
+  return agg;
+}
+
+Result<Operand> ParseOperand(Lexer* lex, bool allow_agg) {
+  Operand op;
+  if (lex->Peek().kind == Token::kNumber) {
+    op.kind = Operand::kNum;
+    op.num = lex->Next().number;
+    return op;
+  }
+  if (PeekAggregate(*lex)) {
+    if (!allow_agg) {
+      return Status::Invalid("SQL: aggregates are only valid in HAVING");
+    }
+    op.kind = Operand::kAgg;
+    ASPECT_ASSIGN_OR_RETURN(op.agg, ParseAggregate(lex));
+    return op;
+  }
+  op.kind = Operand::kCol;
+  ASPECT_ASSIGN_OR_RETURN(op.col, ParseColRef(lex));
+  return op;
+}
+
+Result<std::vector<Condition>> ParseConditions(Lexer* lex, bool allow_agg) {
+  std::vector<Condition> out;
+  do {
+    Condition cond;
+    ASPECT_ASSIGN_OR_RETURN(cond.lhs, ParseOperand(lex, allow_agg));
+    const Token& t = lex->Peek();
+    if (t.kind != Token::kSymbol ||
+        (t.text != "=" && t.text != "!=" && t.text != "<" &&
+         t.text != "<=" && t.text != ">" && t.text != ">=")) {
+      return Status::Invalid(StrFormat("SQL: expected comparator near '%s'",
+                                       t.text.c_str()));
+    }
+    cond.cmp = lex->Next().text;
+    ASPECT_ASSIGN_OR_RETURN(cond.rhs, ParseOperand(lex, allow_agg));
+    out.push_back(std::move(cond));
+  } while (lex->AcceptKeyword("AND"));
+  return out;
+}
+
+Result<std::unique_ptr<Query>> ParseQuery(Lexer* lex) {
+  auto q = std::make_unique<Query>();
+  ASPECT_RETURN_NOT_OK(lex->ExpectKeyword("SELECT"));
+  do {
+    SelectItem item;
+    if (PeekAggregate(*lex)) {
+      item.is_agg = true;
+      ASPECT_ASSIGN_OR_RETURN(item.agg, ParseAggregate(lex));
+    } else {
+      ASPECT_ASSIGN_OR_RETURN(item.col, ParseColRef(lex));
+    }
+    if (lex->AcceptKeyword("AS")) {
+      if (lex->Peek().kind != Token::kIdent) {
+        return Status::Invalid("SQL: expected alias after AS");
+      }
+      item.alias = lex->Next().text;
+    }
+    q->select.push_back(std::move(item));
+  } while (lex->AcceptSymbol(","));
+
+  ASPECT_RETURN_NOT_OK(lex->ExpectKeyword("FROM"));
+  if (lex->AcceptSymbol("(")) {
+    ASPECT_ASSIGN_OR_RETURN(q->from_subquery, ParseQuery(lex));
+    ASPECT_RETURN_NOT_OK(lex->ExpectSymbol(")"));
+    lex->AcceptKeyword("AS");
+    if (lex->Peek().kind == Token::kIdent) {
+      q->from_alias = lex->Next().text;
+    }
+  } else {
+    if (lex->Peek().kind != Token::kIdent) {
+      return Status::Invalid("SQL: expected table after FROM");
+    }
+    q->from_table = lex->Next().text;
+  }
+
+  while (lex->AcceptKeyword("JOIN")) {
+    Join join;
+    if (lex->Peek().kind != Token::kIdent) {
+      return Status::Invalid("SQL: expected table after JOIN");
+    }
+    join.table = lex->Next().text;
+    ASPECT_RETURN_NOT_OK(lex->ExpectKeyword("ON"));
+    ASPECT_ASSIGN_OR_RETURN(join.left, ParseColRef(lex));
+    ASPECT_RETURN_NOT_OK(lex->ExpectSymbol("="));
+    ASPECT_ASSIGN_OR_RETURN(join.right, ParseColRef(lex));
+    q->joins.push_back(std::move(join));
+  }
+  if (lex->AcceptKeyword("WHERE")) {
+    ASPECT_ASSIGN_OR_RETURN(q->where,
+                            ParseConditions(lex, /*allow_agg=*/false));
+  }
+  if (lex->AcceptKeyword("GROUP")) {
+    ASPECT_RETURN_NOT_OK(lex->ExpectKeyword("BY"));
+    q->has_group = true;
+    ASPECT_ASSIGN_OR_RETURN(q->group_col, ParseColRef(lex));
+    if (lex->AcceptKeyword("HAVING")) {
+      ASPECT_ASSIGN_OR_RETURN(q->having,
+                              ParseConditions(lex, /*allow_agg=*/true));
+    }
+  }
+  return q;
+}
+
+// ---------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------
+
+struct RowSet {
+  // Column names are "alias.column".
+  std::vector<std::string> cols;
+  std::vector<std::vector<Value>> rows;
+};
+
+Result<int> ResolveCol(const RowSet& rs, const ColRef& ref) {
+  const std::string want = ref.ToString();
+  int found = -1;
+  for (size_t i = 0; i < rs.cols.size(); ++i) {
+    const std::string& name = rs.cols[i];
+    const bool match =
+        ref.table.empty()
+            ? (name.size() > ref.column.size() &&
+               name.compare(name.size() - ref.column.size(),
+                            ref.column.size(), ref.column) == 0 &&
+               name[name.size() - ref.column.size() - 1] == '.')
+            : name == want;
+    if (match) {
+      if (found >= 0) {
+        return Status::Invalid(
+            StrFormat("SQL: ambiguous column '%s'", want.c_str()));
+      }
+      found = static_cast<int>(i);
+    }
+  }
+  if (found < 0) {
+    return Status::KeyError(StrFormat("SQL: no column '%s'", want.c_str()));
+  }
+  return found;
+}
+
+Result<RowSet> ScanTable(const Database& db, const std::string& table) {
+  const Table* t = db.FindTable(table);
+  if (t == nullptr) {
+    return Status::KeyError(StrFormat("SQL: no table '%s'", table.c_str()));
+  }
+  RowSet rs;
+  rs.cols.push_back(table + ".id");
+  for (int c = 0; c < t->num_columns(); ++c) {
+    rs.cols.push_back(table + "." + t->column(c).name());
+  }
+  t->ForEachLive([&](TupleId tid) {
+    std::vector<Value> row;
+    row.reserve(rs.cols.size());
+    row.push_back(Value(static_cast<int64_t>(tid)));
+    for (int c = 0; c < t->num_columns(); ++c) {
+      row.push_back(t->column(c).Get(tid));
+    }
+    rs.rows.push_back(std::move(row));
+  });
+  return rs;
+}
+
+double NumericOf(const Value& v) {
+  if (v.is_int64()) return static_cast<double>(v.int64());
+  if (v.is_double()) return v.dbl();
+  return 0.0;
+}
+
+bool CompareValues(const Value& a, const std::string& cmp, const Value& b) {
+  if (a.is_string() || b.is_string()) {
+    if (cmp == "=") return a == b;
+    if (cmp == "!=") return a != b;
+    return false;  // ordering strings vs numbers: unsupported
+  }
+  const double x = NumericOf(a);
+  const double y = NumericOf(b);
+  if (cmp == "=") return x == y;
+  if (cmp == "!=") return x != y;
+  if (cmp == "<") return x < y;
+  if (cmp == "<=") return x <= y;
+  if (cmp == ">") return x > y;
+  return x >= y;
+}
+
+Result<bool> EvalWhere(const RowSet& rs, const std::vector<Value>& row,
+                       const Condition& cond) {
+  auto value_of = [&](const Operand& op) -> Result<Value> {
+    if (op.kind == Operand::kNum) return Value(op.num);
+    if (op.kind == Operand::kCol) {
+      ASPECT_ASSIGN_OR_RETURN(const int i, ResolveCol(rs, op.col));
+      return row[static_cast<size_t>(i)];
+    }
+    return Status::Invalid("SQL: aggregate outside HAVING");
+  };
+  ASPECT_ASSIGN_OR_RETURN(const Value lhs, value_of(cond.lhs));
+  ASPECT_ASSIGN_OR_RETURN(const Value rhs, value_of(cond.rhs));
+  return CompareValues(lhs, cond.cmp, rhs);
+}
+
+/// Computes one aggregate over a set of row indexes.
+Result<double> ComputeAggregate(const RowSet& rs,
+                                const std::vector<size_t>& rows,
+                                const Aggregate& agg) {
+  if (agg.kind == AggKind::kCountStar) {
+    return static_cast<double>(rows.size());
+  }
+  ASPECT_ASSIGN_OR_RETURN(const int col, ResolveCol(rs, agg.col));
+  switch (agg.kind) {
+    case AggKind::kCountDistinct: {
+      std::set<Value> seen;
+      for (const size_t r : rows) {
+        const Value& v = rs.rows[r][static_cast<size_t>(col)];
+        if (!v.is_null()) seen.insert(v);
+      }
+      return static_cast<double>(seen.size());
+    }
+    case AggKind::kCount: {
+      int64_t n = 0;
+      for (const size_t r : rows) {
+        n += !rs.rows[r][static_cast<size_t>(col)].is_null();
+      }
+      return static_cast<double>(n);
+    }
+    case AggKind::kSum:
+    case AggKind::kAvg: {
+      double sum = 0;
+      int64_t n = 0;
+      for (const size_t r : rows) {
+        const Value& v = rs.rows[r][static_cast<size_t>(col)];
+        if (v.is_null()) continue;
+        sum += NumericOf(v);
+        ++n;
+      }
+      if (agg.kind == AggKind::kSum) return sum;
+      return n == 0 ? 0.0 : sum / static_cast<double>(n);
+    }
+    case AggKind::kMin:
+    case AggKind::kMax: {
+      bool any = false;
+      double best = 0;
+      for (const size_t r : rows) {
+        const Value& v = rs.rows[r][static_cast<size_t>(col)];
+        if (v.is_null()) continue;
+        const double x = NumericOf(v);
+        if (!any || (agg.kind == AggKind::kMin ? x < best : x > best)) {
+          best = x;
+          any = true;
+        }
+      }
+      return best;
+    }
+    case AggKind::kCountStar:
+      break;
+  }
+  return Status::Internal("unreachable aggregate");
+}
+
+Result<RowSet> ExecuteRowSet(const Database& db, const Query& q);
+
+Result<RowSet> ExecuteSource(const Database& db, const Query& q) {
+  if (q.from_subquery != nullptr) {
+    ASPECT_ASSIGN_OR_RETURN(RowSet rs, ExecuteRowSet(db, *q.from_subquery));
+    if (!q.from_alias.empty()) {
+      for (std::string& name : rs.cols) {
+        const size_t dot = name.find('.');
+        name = q.from_alias + "." + name.substr(dot + 1);
+      }
+    }
+    return rs;
+  }
+  return ScanTable(db, q.from_table);
+}
+
+Result<RowSet> ExecuteJoinsAndWhere(const Database& db, const Query& q) {
+  ASPECT_ASSIGN_OR_RETURN(RowSet rs, ExecuteSource(db, q));
+  for (const Join& join : q.joins) {
+    ASPECT_ASSIGN_OR_RETURN(RowSet right, ScanTable(db, join.table));
+    // Decide which side of the ON clause lives where.
+    ColRef left_ref = join.left;
+    ColRef right_ref = join.right;
+    if (!ResolveCol(rs, left_ref).ok()) std::swap(left_ref, right_ref);
+    ASPECT_ASSIGN_OR_RETURN(const int li, ResolveCol(rs, left_ref));
+    ASPECT_ASSIGN_OR_RETURN(const int ri, ResolveCol(right, right_ref));
+    std::map<Value, std::vector<size_t>> hash;
+    for (size_t r = 0; r < right.rows.size(); ++r) {
+      const Value& v = right.rows[r][static_cast<size_t>(ri)];
+      if (!v.is_null()) hash[v].push_back(r);
+    }
+    RowSet joined;
+    joined.cols = rs.cols;
+    joined.cols.insert(joined.cols.end(), right.cols.begin(),
+                       right.cols.end());
+    for (const auto& lrow : rs.rows) {
+      const Value& v = lrow[static_cast<size_t>(li)];
+      const auto it = hash.find(v);
+      if (v.is_null() || it == hash.end()) continue;
+      for (const size_t r : it->second) {
+        std::vector<Value> row = lrow;
+        row.insert(row.end(), right.rows[r].begin(), right.rows[r].end());
+        joined.rows.push_back(std::move(row));
+      }
+    }
+    rs = std::move(joined);
+  }
+  if (!q.where.empty()) {
+    RowSet filtered;
+    filtered.cols = rs.cols;
+    for (const auto& row : rs.rows) {
+      bool keep = true;
+      for (const Condition& cond : q.where) {
+        ASPECT_ASSIGN_OR_RETURN(const bool ok, EvalWhere(rs, row, cond));
+        keep &= ok;
+        if (!keep) break;
+      }
+      if (keep) filtered.rows.push_back(row);
+    }
+    rs = std::move(filtered);
+  }
+  return rs;
+}
+
+Result<RowSet> ExecuteRowSet(const Database& db, const Query& q) {
+  ASPECT_ASSIGN_OR_RETURN(RowSet rs, ExecuteJoinsAndWhere(db, q));
+  if (!q.has_group) {
+    // Project the select list (aggregates become single-row output).
+    bool any_agg = false;
+    for (const SelectItem& item : q.select) any_agg |= item.is_agg;
+    if (any_agg) {
+      std::vector<size_t> all(rs.rows.size());
+      for (size_t i = 0; i < all.size(); ++i) all[i] = i;
+      RowSet out;
+      std::vector<Value> row;
+      int agg_index = 0;
+      for (const SelectItem& item : q.select) {
+        if (!item.is_agg) {
+          return Status::Invalid(
+              "SQL: mixing columns and aggregates needs GROUP BY");
+        }
+        out.cols.push_back(
+            "q." + (item.alias.empty()
+                        ? "agg" + std::to_string(agg_index)
+                        : item.alias));
+        ++agg_index;
+        ASPECT_ASSIGN_OR_RETURN(const double v,
+                                ComputeAggregate(rs, all, item.agg));
+        row.push_back(Value(v));
+      }
+      out.rows.push_back(std::move(row));
+      return out;
+    }
+    // Plain projection.
+    RowSet out;
+    std::vector<int> idx;
+    for (const SelectItem& item : q.select) {
+      ASPECT_ASSIGN_OR_RETURN(const int i, ResolveCol(rs, item.col));
+      idx.push_back(i);
+      out.cols.push_back("q." + (item.alias.empty() ? item.col.column
+                                                    : item.alias));
+    }
+    for (const auto& row : rs.rows) {
+      std::vector<Value> projected;
+      for (const int i : idx) projected.push_back(row[static_cast<size_t>(i)]);
+      out.rows.push_back(std::move(projected));
+    }
+    return out;
+  }
+
+  // GROUP BY: bucket rows, evaluate HAVING, project the select list.
+  ASPECT_ASSIGN_OR_RETURN(const int gi, ResolveCol(rs, q.group_col));
+  std::map<Value, std::vector<size_t>> groups;
+  for (size_t r = 0; r < rs.rows.size(); ++r) {
+    groups[rs.rows[r][static_cast<size_t>(gi)]].push_back(r);
+  }
+  RowSet out;
+  int agg_index = 0;
+  for (const SelectItem& item : q.select) {
+    std::string name;
+    if (!item.alias.empty()) {
+      name = item.alias;
+    } else if (item.is_agg) {
+      name = "agg" + std::to_string(agg_index);
+    } else {
+      name = item.col.column;
+    }
+    if (item.is_agg) ++agg_index;
+    out.cols.push_back("q." + name);
+  }
+  for (const auto& [key, rows] : groups) {
+    bool keep = true;
+    for (const Condition& cond : q.having) {
+      auto value_of = [&](const Operand& op) -> Result<double> {
+        if (op.kind == Operand::kNum) return op.num;
+        if (op.kind == Operand::kAgg) {
+          return ComputeAggregate(rs, rows, op.agg);
+        }
+        ASPECT_ASSIGN_OR_RETURN(const int i, ResolveCol(rs, op.col));
+        return NumericOf(rs.rows[rows.front()][static_cast<size_t>(i)]);
+      };
+      ASPECT_ASSIGN_OR_RETURN(const double lhs, value_of(cond.lhs));
+      ASPECT_ASSIGN_OR_RETURN(const double rhs, value_of(cond.rhs));
+      keep &= CompareValues(Value(lhs), cond.cmp, Value(rhs));
+      if (!keep) break;
+    }
+    if (!keep) continue;
+    std::vector<Value> row;
+    for (const SelectItem& item : q.select) {
+      if (item.is_agg) {
+        ASPECT_ASSIGN_OR_RETURN(const double v,
+                                ComputeAggregate(rs, rows, item.agg));
+        row.push_back(Value(v));
+      } else {
+        ASPECT_ASSIGN_OR_RETURN(const int i, ResolveCol(rs, item.col));
+        row.push_back(rs.rows[rows.front()][static_cast<size_t>(i)]);
+      }
+    }
+    out.rows.push_back(std::move(row));
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<double> ExecuteScalarQuery(const Database& db,
+                                  const std::string& sql) {
+  Lexer lex(sql);
+  ASPECT_ASSIGN_OR_RETURN(std::unique_ptr<Query> q, ParseQuery(&lex));
+  if (lex.Peek().kind != Token::kEnd) {
+    return Status::Invalid(StrFormat("SQL: trailing input near '%s'",
+                                     lex.Peek().text.c_str()));
+  }
+  ASPECT_ASSIGN_OR_RETURN(RowSet rs, ExecuteRowSet(db, *q));
+  if (rs.rows.size() != 1 || rs.rows[0].size() != 1) {
+    return Status::Invalid(StrFormat(
+        "SQL: scalar query produced %zu rows x %zu cols", rs.rows.size(),
+        rs.rows.empty() ? 0 : rs.rows[0].size()));
+  }
+  return NumericOf(rs.rows[0][0]);
+}
+
+}  // namespace aspect

@@ -1,0 +1,44 @@
+// A small SQL subset for aggregate queries over the relational layer -
+// enough to express the paper's query-similarity workload (Sec. VII-B)
+// declaratively, and a second, independent implementation to
+// cross-validate the hand-written query engine.
+//
+// Supported grammar (keywords case-insensitive):
+//
+//   query       := SELECT select_list FROM source join* where?
+//                  (GROUP BY colref having?)?
+//   select_list := select_item (',' select_item)*
+//   select_item := aggregate (AS ident)? | colref (AS ident)?
+//   aggregate   := COUNT '(' '*' ')'
+//                | COUNT '(' DISTINCT colref ')'
+//                | COUNT '(' colref ')'
+//                | SUM '(' colref ')'
+//                | AVG '(' colref ')'
+//                | MIN '(' colref ')' | MAX '(' colref ')'
+//   source      := ident | '(' query ')' (AS? ident)?
+//   join        := JOIN ident ON colref '=' colref
+//   where       := WHERE condition (AND condition)*
+//   having      := HAVING condition (AND condition)*
+//   condition   := operand cmp operand
+//   operand     := colref | number | aggregate   (aggregates in HAVING)
+//   cmp         := '=' | '!=' | '<' | '<=' | '>' | '>='
+//   colref      := ident ('.' ident)?
+//
+// Every table exposes its tuple id as the pseudo-column `id`, so FK
+// joins read `JOIN Post ON Comment.post = Post.id`. Without GROUP BY,
+// the select list must be one aggregate and the query returns its
+// scalar; with GROUP BY, one row per group (use as a subquery).
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "relational/database.h"
+
+namespace aspect {
+
+/// Parses and executes a scalar aggregate query.
+Result<double> ExecuteScalarQuery(const Database& db,
+                                  const std::string& sql);
+
+}  // namespace aspect

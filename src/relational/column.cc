@@ -1,0 +1,101 @@
+#include "relational/column.h"
+
+#include <cassert>
+
+#include "common/string_util.h"
+
+namespace aspect {
+
+Column::Column(std::string name, ColumnType type, std::string ref_table)
+    : name_(std::move(name)),
+      type_(type),
+      ref_table_(std::move(ref_table)) {
+  assert(type_ == ColumnType::kForeignKey || ref_table_.empty());
+}
+
+Value Column::Get(int64_t row) const {
+  const size_t r = static_cast<size_t>(row);
+  if (state_[r] != CellState::kValue) return Value::Null();
+  switch (type_) {
+    case ColumnType::kInt64:
+    case ColumnType::kForeignKey:
+      return Value(ints_[r]);
+    case ColumnType::kDouble:
+      return Value(doubles_[r]);
+    case ColumnType::kString:
+      return Value(strings_[r]);
+  }
+  return Value::Null();
+}
+
+Status Column::Set(int64_t row, const Value& v) {
+  const size_t r = static_cast<size_t>(row);
+  if (v.is_null()) {
+    state_[r] = CellState::kNull;
+    return Status::OK();
+  }
+  switch (type_) {
+    case ColumnType::kInt64:
+    case ColumnType::kForeignKey:
+      if (!v.is_int64()) {
+        return Status::Invalid(StrFormat(
+            "column '%s' expects int64, got %s", name_.c_str(),
+            v.ToString().c_str()));
+      }
+      ints_[r] = v.int64();
+      break;
+    case ColumnType::kDouble:
+      if (!v.is_double()) {
+        return Status::Invalid(StrFormat(
+            "column '%s' expects double, got %s", name_.c_str(),
+            v.ToString().c_str()));
+      }
+      doubles_[r] = v.dbl();
+      break;
+    case ColumnType::kString:
+      if (!v.is_string()) {
+        return Status::Invalid(StrFormat(
+            "column '%s' expects string, got %s", name_.c_str(),
+            v.ToString().c_str()));
+      }
+      strings_[r] = v.str();
+      break;
+  }
+  state_[r] = CellState::kValue;
+  return Status::OK();
+}
+
+void Column::Erase(int64_t row) {
+  state_[static_cast<size_t>(row)] = CellState::kEmpty;
+}
+
+Status Column::Append(const Value& v) {
+  switch (type_) {
+    case ColumnType::kInt64:
+    case ColumnType::kForeignKey:
+      ints_.push_back(0);
+      break;
+    case ColumnType::kDouble:
+      doubles_.push_back(0);
+      break;
+    case ColumnType::kString:
+      strings_.emplace_back();
+      break;
+  }
+  state_.push_back(CellState::kNull);
+  return Set(size() - 1, v);
+}
+
+void Column::SetInt(int64_t row, int64_t v) {
+  assert(type_ == ColumnType::kInt64 || type_ == ColumnType::kForeignKey);
+  ints_[static_cast<size_t>(row)] = v;
+  state_[static_cast<size_t>(row)] = CellState::kValue;
+}
+
+void Column::SetDouble(int64_t row, double v) {
+  assert(type_ == ColumnType::kDouble);
+  doubles_[static_cast<size_t>(row)] = v;
+  state_[static_cast<size_t>(row)] = CellState::kValue;
+}
+
+}  // namespace aspect

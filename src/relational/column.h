@@ -1,0 +1,84 @@
+// Column: typed columnar storage with per-cell state.
+//
+// A cell is in one of three states:
+//   - kValue: holds a value of the column's type;
+//   - kNull:  an SQL NULL;
+//   - kEmpty: temporarily erased by the ASPECT deleteValues operation and
+//             awaiting re-fill by insertValues (Sec. III-D of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/value.h"
+
+namespace aspect {
+
+/// Per-cell state marker (see file comment).
+enum class CellState : uint8_t { kValue = 0, kNull = 1, kEmpty = 2 };
+
+/// One column of a Table. Rows are addressed by dense row index; the
+/// enclosing Table maps tuple ids onto row indexes (they coincide).
+class Column {
+ public:
+  Column(std::string name, ColumnType type, std::string ref_table = "");
+
+  const std::string& name() const { return name_; }
+  ColumnType type() const { return type_; }
+  bool is_foreign_key() const { return type_ == ColumnType::kForeignKey; }
+  /// Name of the referenced table; empty unless is_foreign_key().
+  const std::string& ref_table() const { return ref_table_; }
+
+  int64_t size() const { return static_cast<int64_t>(state_.size()); }
+
+  CellState state(int64_t row) const {
+    return state_[static_cast<size_t>(row)];
+  }
+  bool IsValue(int64_t row) const { return state(row) == CellState::kValue; }
+  bool IsEmpty(int64_t row) const { return state(row) == CellState::kEmpty; }
+  bool IsNull(int64_t row) const { return state(row) == CellState::kNull; }
+
+  /// Reads the cell as a dynamically typed Value (null/empty -> Null).
+  Value Get(int64_t row) const;
+
+  /// Fast paths for the hot types. Preconditions: matching type and a
+  /// kValue cell state (checked only by assert).
+  int64_t GetInt(int64_t row) const { return ints_[static_cast<size_t>(row)]; }
+  double GetDouble(int64_t row) const {
+    return doubles_[static_cast<size_t>(row)];
+  }
+  const std::string& GetString(int64_t row) const {
+    return strings_[static_cast<size_t>(row)];
+  }
+
+  /// Writes the cell; a null Value sets the kNull state. Returns
+  /// Invalid if the value's dynamic type does not match the column.
+  Status Set(int64_t row, const Value& v);
+
+  /// Marks the cell kEmpty (ASPECT deleteValues semantics).
+  void Erase(int64_t row);
+
+  /// Appends one cell (growing the column by one row).
+  Status Append(const Value& v);
+
+  /// Fast typed setters.
+  void SetInt(int64_t row, int64_t v);
+  void SetDouble(int64_t row, double v);
+
+ private:
+  std::string name_;
+  ColumnType type_;
+  std::string ref_table_;
+
+  // Exactly one of these is populated, chosen by type_ (int64 and
+  // foreign keys share ints_).
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  std::vector<CellState> state_;
+};
+
+}  // namespace aspect

@@ -1,0 +1,186 @@
+#include "relational/csv.h"
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace aspect {
+namespace {
+
+std::string CsvEscape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += "\"\"";
+    out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+// Splits one CSV line honouring quoted fields.
+std::vector<std::string> CsvSplit(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool quoted = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+Result<Value> ParseValue(const std::string& field, ColumnType type) {
+  if (field.empty()) return Value::Null();
+  switch (type) {
+    case ColumnType::kInt64:
+    case ColumnType::kForeignKey: {
+      errno = 0;
+      char* end = nullptr;
+      const long long v = std::strtoll(field.c_str(), &end, 10);
+      if (errno != 0 || end == field.c_str() || *end != '\0') {
+        return Status::IoError(StrFormat("bad int64 '%s'", field.c_str()));
+      }
+      return Value(static_cast<int64_t>(v));
+    }
+    case ColumnType::kDouble: {
+      errno = 0;
+      char* end = nullptr;
+      const double v = std::strtod(field.c_str(), &end);
+      if (errno != 0 || end == field.c_str() || *end != '\0') {
+        return Status::IoError(StrFormat("bad double '%s'", field.c_str()));
+      }
+      return Value(v);
+    }
+    case ColumnType::kString:
+      return Value(field);
+  }
+  return Status::Internal("unreachable");
+}
+
+}  // namespace
+
+Status ExportCsv(const Database& db, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IoError(StrFormat("cannot create '%s': %s", dir.c_str(),
+                                     ec.message().c_str()));
+  }
+  for (int ti = 0; ti < db.num_tables(); ++ti) {
+    const Table& t = db.table(ti);
+    const std::string path = dir + "/" + t.name() + ".csv";
+    std::ofstream out(path);
+    if (!out) {
+      return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+    }
+    out << "tuple_id";
+    for (int ci = 0; ci < t.num_columns(); ++ci) {
+      out << "," << CsvEscape(t.column(ci).name());
+    }
+    out << "\n";
+    t.ForEachLive([&](TupleId tid) {
+      out << tid;
+      for (int ci = 0; ci < t.num_columns(); ++ci) {
+        out << "," << CsvEscape(t.column(ci).Get(tid).ToString());
+      }
+      out << "\n";
+    });
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<Database>> ImportCsv(const Schema& schema,
+                                            const std::string& dir) {
+  ASPECT_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                          Database::Create(schema));
+  // Pass 1: read rows and record, per table, the original tuple ids so
+  // FK values can be remapped onto densified ids.
+  struct RawTable {
+    std::vector<int64_t> original_ids;
+    std::vector<std::vector<Value>> rows;
+  };
+  std::map<std::string, RawTable> raw;
+  std::map<std::string, std::map<int64_t, TupleId>> id_map;
+  for (const TableSpec& spec : schema.tables) {
+    const std::string path = dir + "/" + spec.name + ".csv";
+    std::ifstream in(path);
+    if (!in) {
+      return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+    }
+    std::string line;
+    if (!std::getline(in, line)) {
+      return Status::IoError(StrFormat("'%s' has no header", path.c_str()));
+    }
+    RawTable& rt = raw[spec.name];
+    auto& ids = id_map[spec.name];
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      const std::vector<std::string> fields = CsvSplit(line);
+      if (fields.size() != spec.columns.size() + 1) {
+        return Status::IoError(
+            StrFormat("'%s': row with %zu fields, expected %zu",
+                      path.c_str(), fields.size(), spec.columns.size() + 1));
+      }
+      ASPECT_ASSIGN_OR_RETURN(Value idv,
+                              ParseValue(fields[0], ColumnType::kInt64));
+      std::vector<Value> row;
+      for (size_t ci = 0; ci < spec.columns.size(); ++ci) {
+        ASPECT_ASSIGN_OR_RETURN(
+            Value v, ParseValue(fields[ci + 1], spec.columns[ci].type));
+        row.push_back(std::move(v));
+      }
+      ids[idv.int64()] = static_cast<TupleId>(rt.rows.size());
+      rt.original_ids.push_back(idv.int64());
+      rt.rows.push_back(std::move(row));
+    }
+  }
+  // Pass 2: remap FK values and append.
+  for (const TableSpec& spec : schema.tables) {
+    RawTable& rt = raw[spec.name];
+    for (std::vector<Value>& row : rt.rows) {
+      for (size_t ci = 0; ci < spec.columns.size(); ++ci) {
+        const ColumnSpec& cs = spec.columns[ci];
+        if (cs.type != ColumnType::kForeignKey || row[ci].is_null()) {
+          continue;
+        }
+        const auto& ids = id_map[cs.ref_table];
+        const auto it = ids.find(row[ci].int64());
+        if (it == ids.end()) {
+          return Status::IoError(StrFormat(
+              "'%s.%s': dangling foreign key %lld", spec.name.c_str(),
+              cs.name.c_str(),
+              static_cast<long long>(row[ci].int64())));
+        }
+        row[ci] = Value(static_cast<int64_t>(it->second));
+      }
+      ASPECT_RETURN_NOT_OK(
+          db->FindTable(spec.name)->Append(row).status());
+    }
+  }
+  return db;
+}
+
+}  // namespace aspect

@@ -1,0 +1,27 @@
+// CSV import/export so users can bring their own empirical datasets
+// (the paper's input D) and inspect scaled outputs.
+//
+// Layout: one file per table named <table>.csv inside a directory, with
+// a header row "tuple_id,<col>,...". Foreign keys are written as the
+// referenced tuple id. Tombstoned tuples are skipped on export; on
+// import, tuple ids are re-densified and FK values remapped.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/database.h"
+
+namespace aspect {
+
+/// Writes every table of `db` to `<dir>/<table>.csv`.
+Status ExportCsv(const Database& db, const std::string& dir);
+
+/// Reads a database with the given schema from `<dir>/<table>.csv`
+/// files previously produced by ExportCsv (or hand-authored).
+Result<std::unique_ptr<Database>> ImportCsv(const Schema& schema,
+                                            const std::string& dir);
+
+}  // namespace aspect

@@ -1,0 +1,269 @@
+#include "relational/database.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace aspect {
+
+const char* OpKindToString(OpKind kind) {
+  switch (kind) {
+    case OpKind::kDeleteValues:
+      return "deleteValues";
+    case OpKind::kInsertValues:
+      return "insertValues";
+    case OpKind::kReplaceValues:
+      return "replaceValues";
+    case OpKind::kInsertTuple:
+      return "insertTuple";
+    case OpKind::kDeleteTuple:
+      return "deleteTuple";
+  }
+  return "?";
+}
+
+Modification Modification::DeleteValues(std::string table,
+                                        std::vector<TupleId> tuples,
+                                        std::vector<int> cols) {
+  Modification m;
+  m.kind = OpKind::kDeleteValues;
+  m.table = std::move(table);
+  m.tuples = std::move(tuples);
+  m.cols = std::move(cols);
+  return m;
+}
+
+Modification Modification::InsertValues(std::string table,
+                                        std::vector<TupleId> tuples,
+                                        std::vector<int> cols,
+                                        std::vector<Value> values) {
+  Modification m;
+  m.kind = OpKind::kInsertValues;
+  m.table = std::move(table);
+  m.tuples = std::move(tuples);
+  m.cols = std::move(cols);
+  m.values = std::move(values);
+  return m;
+}
+
+Modification Modification::ReplaceValues(std::string table,
+                                         std::vector<TupleId> tuples,
+                                         std::vector<int> cols,
+                                         std::vector<Value> values) {
+  Modification m;
+  m.kind = OpKind::kReplaceValues;
+  m.table = std::move(table);
+  m.tuples = std::move(tuples);
+  m.cols = std::move(cols);
+  m.values = std::move(values);
+  return m;
+}
+
+Modification Modification::InsertTuple(std::string table,
+                                       std::vector<Value> row) {
+  Modification m;
+  m.kind = OpKind::kInsertTuple;
+  m.table = std::move(table);
+  m.values = std::move(row);
+  return m;
+}
+
+Modification Modification::DeleteTuple(std::string table, TupleId tuple) {
+  Modification m;
+  m.kind = OpKind::kDeleteTuple;
+  m.table = std::move(table);
+  m.tuples = {tuple};
+  return m;
+}
+
+Database::Database(Schema schema) : schema_(std::move(schema)) {
+  tables_.reserve(schema_.tables.size());
+  for (const TableSpec& spec : schema_.tables) {
+    tables_.push_back(std::make_unique<Table>(spec));
+  }
+}
+
+Result<std::unique_ptr<Database>> Database::Create(const Schema& schema) {
+  ASPECT_RETURN_NOT_OK(schema.Validate());
+  return std::unique_ptr<Database>(new Database(schema));
+}
+
+const Table* Database::FindTable(const std::string& name) const {
+  const int i = schema_.TableIndex(name);
+  return i < 0 ? nullptr : tables_[static_cast<size_t>(i)].get();
+}
+
+Table* Database::FindTable(const std::string& name) {
+  const int i = schema_.TableIndex(name);
+  return i < 0 ? nullptr : tables_[static_cast<size_t>(i)].get();
+}
+
+int64_t Database::TotalTuples() const {
+  int64_t total = 0;
+  for (const auto& t : tables_) total += t->NumTuples();
+  return total;
+}
+
+void Database::AddListener(ModificationListener* listener) {
+  listeners_.push_back(listener);
+}
+
+void Database::RemoveListener(ModificationListener* listener) {
+  listeners_.erase(
+      std::remove(listeners_.begin(), listeners_.end(), listener),
+      listeners_.end());
+}
+
+Status Database::ApplyCellOp(const Modification& mod, Table* t,
+                             std::vector<Value>* old_values) {
+  // Validate indices and cell-state preconditions first so the
+  // operation is all-or-nothing.
+  for (const int c : mod.cols) {
+    if (c < 0 || c >= t->num_columns()) {
+      return Status::OutOfRange(StrFormat("table '%s': column %d",
+                                          mod.table.c_str(), c));
+    }
+  }
+  if (mod.kind != OpKind::kDeleteValues) {
+    if (mod.values.size() != mod.cols.size()) {
+      return Status::Invalid(
+          StrFormat("%s on '%s': %zu values for %zu columns",
+                    OpKindToString(mod.kind), mod.table.c_str(),
+                    mod.values.size(), mod.cols.size()));
+    }
+    // Type-check up front so the operation stays all-or-nothing.
+    for (size_t j = 0; j < mod.cols.size(); ++j) {
+      const Value& v = mod.values[j];
+      if (v.is_null()) continue;
+      const ColumnType type = t->column(mod.cols[j]).type();
+      const bool ok =
+          (v.is_int64() && (type == ColumnType::kInt64 ||
+                            type == ColumnType::kForeignKey)) ||
+          (v.is_double() && type == ColumnType::kDouble) ||
+          (v.is_string() && type == ColumnType::kString);
+      if (!ok) {
+        return Status::Invalid(StrFormat(
+            "%s on '%s': value %zu has wrong type for column %d",
+            OpKindToString(mod.kind), mod.table.c_str(), j, mod.cols[j]));
+      }
+    }
+  }
+  for (const TupleId tid : mod.tuples) {
+    if (!t->IsLive(tid)) {
+      return Status::KeyError(StrFormat("table '%s': tuple %lld not live",
+                                        mod.table.c_str(),
+                                        static_cast<long long>(tid)));
+    }
+    for (size_t j = 0; j < mod.cols.size(); ++j) {
+      const Column& col = t->column(mod.cols[j]);
+      const bool empty = col.IsEmpty(tid);
+      switch (mod.kind) {
+        case OpKind::kDeleteValues:
+          if (empty) {
+            return Status::Invalid(StrFormat(
+                "deleteValues on '%s': cell (%lld, %d) already empty",
+                mod.table.c_str(), static_cast<long long>(tid),
+                mod.cols[j]));
+          }
+          break;
+        case OpKind::kInsertValues:
+          if (!empty) {
+            return Status::Invalid(StrFormat(
+                "insertValues on '%s': cell (%lld, %d) is not empty",
+                mod.table.c_str(), static_cast<long long>(tid),
+                mod.cols[j]));
+          }
+          break;
+        case OpKind::kReplaceValues:
+          if (empty) {
+            return Status::Invalid(StrFormat(
+                "replaceValues on '%s': cell (%lld, %d) is empty",
+                mod.table.c_str(), static_cast<long long>(tid),
+                mod.cols[j]));
+          }
+          break;
+        default:
+          return Status::Internal("not a cell op");
+      }
+    }
+  }
+  // Capture pre-images, then apply.
+  old_values->reserve(mod.tuples.size() * mod.cols.size());
+  for (const TupleId tid : mod.tuples) {
+    for (const int c : mod.cols) {
+      old_values->push_back(t->column(c).Get(tid));
+    }
+  }
+  for (const TupleId tid : mod.tuples) {
+    for (size_t j = 0; j < mod.cols.size(); ++j) {
+      Column& col = t->column(mod.cols[j]);
+      if (mod.kind == OpKind::kDeleteValues) {
+        col.Erase(tid);
+      } else {
+        ASPECT_RETURN_NOT_OK(col.Set(tid, mod.values[j]));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::Apply(const Modification& mod, TupleId* new_tuple) {
+  Table* t = FindTable(mod.table);
+  if (t == nullptr) {
+    return Status::KeyError(StrFormat("no table '%s'", mod.table.c_str()));
+  }
+  std::vector<Value> old_values;
+  TupleId inserted = kInvalidTuple;
+  switch (mod.kind) {
+    case OpKind::kDeleteValues:
+    case OpKind::kInsertValues:
+    case OpKind::kReplaceValues:
+      ASPECT_RETURN_NOT_OK(ApplyCellOp(mod, t, &old_values));
+      break;
+    case OpKind::kInsertTuple: {
+      ASPECT_ASSIGN_OR_RETURN(inserted, t->Append(mod.values));
+      break;
+    }
+    case OpKind::kDeleteTuple: {
+      if (mod.tuples.size() != 1) {
+        return Status::Invalid("deleteTuple expects exactly one tuple id");
+      }
+      if (!t->IsLive(mod.tuples[0])) {
+        return Status::KeyError(
+            StrFormat("table '%s': tuple %lld not live", mod.table.c_str(),
+                      static_cast<long long>(mod.tuples[0])));
+      }
+      old_values = t->GetRow(mod.tuples[0]);
+      ASPECT_RETURN_NOT_OK(t->Delete(mod.tuples[0]));
+      break;
+    }
+  }
+  if (new_tuple != nullptr) *new_tuple = inserted;
+  for (ModificationListener* l : listeners_) {
+    l->OnApplied(mod, old_values, inserted);
+  }
+  return Status::OK();
+}
+
+Status Database::CopyContentFrom(const Database& other) {
+  if (schema_.tables.size() != other.schema_.tables.size()) {
+    return Status::Invalid("CopyContentFrom: schema mismatch");
+  }
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (tables_[i]->name() != other.tables_[i]->name()) {
+      return Status::Invalid("CopyContentFrom: schema mismatch");
+    }
+    *tables_[i] = *other.tables_[i];
+  }
+  return Status::OK();
+}
+
+std::unique_ptr<Database> Database::Clone() const {
+  std::unique_ptr<Database> copy(new Database(schema_));
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    *copy->tables_[i] = *tables_[i];
+  }
+  return copy;
+}
+
+}  // namespace aspect

@@ -1,0 +1,124 @@
+// Database: a named collection of tables plus the uniform modification
+// API of Sec. III-D (deleteValues / insertValues / replaceValues) and
+// row-level insert/delete, all observable by registered listeners.
+//
+// Every tweaking tool's Statistics Updater registers as a
+// ModificationListener: it is notified after each applied modification
+// with both the new state and the captured pre-images, so it can update
+// its property statistics incrementally (Fig. 5 of the paper).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/schema.h"
+#include "relational/table.h"
+
+namespace aspect {
+
+/// The kind of a modification in the uniform ASPECT API.
+enum class OpKind : int {
+  kDeleteValues = 0,   // erase cells (they become kEmpty)
+  kInsertValues = 1,   // fill previously erased cells
+  kReplaceValues = 2,  // overwrite non-empty cells
+  kInsertTuple = 3,    // append a full tuple
+  kDeleteTuple = 4,    // tombstone a tuple
+};
+
+const char* OpKindToString(OpKind kind);
+
+/// One proposed or applied modification. For the three cell operations,
+/// `values` is broadcast: every tuple in `tuples` receives values[j] in
+/// column cols[j] (the paper's insertValues/replaceValues semantics).
+/// For kInsertTuple, `values` is the full row and `tuples`/`cols` are
+/// empty; for kDeleteTuple, `tuples` holds the single victim id.
+struct Modification {
+  OpKind kind = OpKind::kReplaceValues;
+  std::string table;
+  std::vector<TupleId> tuples;
+  std::vector<int> cols;
+  std::vector<Value> values;
+
+  static Modification DeleteValues(std::string table,
+                                   std::vector<TupleId> tuples,
+                                   std::vector<int> cols);
+  static Modification InsertValues(std::string table,
+                                   std::vector<TupleId> tuples,
+                                   std::vector<int> cols,
+                                   std::vector<Value> values);
+  static Modification ReplaceValues(std::string table,
+                                    std::vector<TupleId> tuples,
+                                    std::vector<int> cols,
+                                    std::vector<Value> values);
+  static Modification InsertTuple(std::string table,
+                                  std::vector<Value> row);
+  static Modification DeleteTuple(std::string table, TupleId tuple);
+};
+
+/// Observer of applied modifications (the Statistics Updater hook).
+class ModificationListener {
+ public:
+  virtual ~ModificationListener() = default;
+
+  /// Called after `mod` has been applied.
+  ///
+  /// `old_values` carries pre-images: for cell operations it is laid out
+  /// row-major as tuples.size() x cols.size(); for kDeleteTuple it is
+  /// the deleted row; for kInsertTuple it is empty. `new_tuple` is the
+  /// id assigned by kInsertTuple (kInvalidTuple otherwise).
+  virtual void OnApplied(const Modification& mod,
+                         const std::vector<Value>& old_values,
+                         TupleId new_tuple) = 0;
+};
+
+class Database {
+ public:
+  /// Creates an empty database with the given schema (must validate).
+  static Result<std::unique_ptr<Database>> Create(const Schema& schema);
+
+  const Schema& schema() const { return schema_; }
+  const std::string& name() const { return schema_.name; }
+
+  int num_tables() const { return static_cast<int>(tables_.size()); }
+  const Table& table(int i) const { return *tables_[static_cast<size_t>(i)]; }
+  Table& table(int i) { return *tables_[static_cast<size_t>(i)]; }
+
+  /// Finds a table by name (nullptr if absent).
+  const Table* FindTable(const std::string& name) const;
+  Table* FindTable(const std::string& name);
+
+  /// Total number of live tuples across all tables.
+  int64_t TotalTuples() const;
+
+  /// Registers/unregisters a modification listener (not owned).
+  void AddListener(ModificationListener* listener);
+  void RemoveListener(ModificationListener* listener);
+
+  /// Validates and applies a modification, then notifies listeners.
+  /// On kInsertTuple success, *new_tuple (if non-null) receives the id.
+  Status Apply(const Modification& mod, TupleId* new_tuple = nullptr);
+
+  /// Deep copy (listeners are not copied).
+  std::unique_ptr<Database> Clone() const;
+
+  /// Replaces this database's table contents with a deep copy of
+  /// `other`'s. Schemas must match. Listeners stay registered but are
+  /// NOT notified - callers must rebuild any listener-held state (the
+  /// coordinator rebinds its tools after a rollback).
+  Status CopyContentFrom(const Database& other);
+
+ private:
+  explicit Database(Schema schema);
+
+  Status ApplyCellOp(const Modification& mod, Table* t,
+                     std::vector<Value>* old_values);
+
+  Schema schema_;
+  std::vector<std::unique_ptr<Table>> tables_;
+  std::vector<ModificationListener*> listeners_;
+};
+
+}  // namespace aspect

@@ -1,0 +1,50 @@
+#include "relational/integrity.h"
+
+#include "common/string_util.h"
+
+namespace aspect {
+
+Status CheckIntegrity(const Database& db, const IntegrityOptions& options) {
+  for (int ti = 0; ti < db.num_tables(); ++ti) {
+    const Table& t = db.table(ti);
+    for (int ci = 0; ci < t.num_columns(); ++ci) {
+      const Column& col = t.column(ci);
+      const Table* parent =
+          col.is_foreign_key() ? db.FindTable(col.ref_table()) : nullptr;
+      Status failure = Status::OK();
+      t.ForEachLive([&](TupleId tid) {
+        if (!failure.ok()) return;
+        if (col.IsEmpty(tid)) {
+          if (options.forbid_empty_cells) {
+            failure = Status::Invalid(
+                StrFormat("empty cell at %s[%lld].%s", t.name().c_str(),
+                          static_cast<long long>(tid), col.name().c_str()));
+          }
+          return;
+        }
+        if (!col.is_foreign_key()) return;
+        if (col.IsNull(tid)) {
+          if (options.forbid_null_foreign_keys) {
+            failure = Status::Invalid(
+                StrFormat("NULL foreign key at %s[%lld].%s",
+                          t.name().c_str(), static_cast<long long>(tid),
+                          col.name().c_str()));
+          }
+          return;
+        }
+        const TupleId ref = col.GetInt(tid);
+        if (parent == nullptr || !parent->IsLive(ref)) {
+          failure = Status::Invalid(StrFormat(
+              "dangling foreign key %s[%lld].%s -> %s[%lld]",
+              t.name().c_str(), static_cast<long long>(tid),
+              col.name().c_str(), col.ref_table().c_str(),
+              static_cast<long long>(ref)));
+        }
+      });
+      ASPECT_RETURN_NOT_OK(failure);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace aspect

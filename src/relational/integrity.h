@@ -1,0 +1,26 @@
+// Referential-integrity checking. The paper's size-scaler contract
+// (Sec. III-A) requires expected tuple counts and no invalid foreign
+// keys; this module verifies both, and that no cell is left in the
+// temporarily-empty state outside a tweak transaction.
+#pragma once
+
+#include "common/status.h"
+#include "relational/database.h"
+
+namespace aspect {
+
+/// Options for CheckIntegrity.
+struct IntegrityOptions {
+  /// If true, kEmpty cells are a violation (the default between tweaks;
+  /// tools may disable this mid-transaction).
+  bool forbid_empty_cells = true;
+  /// If true, FK cells must not be NULL.
+  bool forbid_null_foreign_keys = true;
+};
+
+/// Returns OK iff every FK value in every live tuple refers to a live
+/// tuple of the referenced table, subject to `options`.
+Status CheckIntegrity(const Database& db,
+                      const IntegrityOptions& options = {});
+
+}  // namespace aspect

@@ -1,0 +1,77 @@
+#include "relational/modlog.h"
+
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace aspect {
+
+ModificationLog::ModificationLog(Database* db) : db_(db) {
+  db_->AddListener(this);
+}
+
+ModificationLog::~ModificationLog() {
+  if (db_ != nullptr) db_->RemoveListener(this);
+}
+
+void ModificationLog::OnApplied(const Modification& mod,
+                                const std::vector<Value>& old_values,
+                                TupleId new_tuple) {
+  if (!recording_) return;
+  Entry e;
+  e.mod = mod;
+  e.old_values = old_values;
+  e.new_tuple = new_tuple;
+  entries_.push_back(std::move(e));
+}
+
+Status ModificationLog::ReplayOnto(Database* target) const {
+  for (const Entry& e : entries_) {
+    TupleId new_tuple = kInvalidTuple;
+    ASPECT_RETURN_NOT_OK(target->Apply(e.mod, &new_tuple));
+    if (e.mod.kind == OpKind::kInsertTuple && new_tuple != e.new_tuple) {
+      return Status::Internal(StrFormat(
+          "replay divergence: insert produced id %lld, log has %lld",
+          static_cast<long long>(new_tuple),
+          static_cast<long long>(e.new_tuple)));
+    }
+  }
+  return Status::OK();
+}
+
+std::map<std::string, ModificationLog::TableSummary>
+ModificationLog::Summarize() const {
+  std::map<std::string, TableSummary> out;
+  for (const Entry& e : entries_) {
+    TableSummary& s = out[e.mod.table];
+    switch (e.mod.kind) {
+      case OpKind::kDeleteValues:
+      case OpKind::kInsertValues:
+      case OpKind::kReplaceValues:
+        s.cells_written += static_cast<int64_t>(e.mod.tuples.size()) *
+                           static_cast<int64_t>(e.mod.cols.size());
+        break;
+      case OpKind::kInsertTuple:
+        ++s.rows_inserted;
+        break;
+      case OpKind::kDeleteTuple:
+        ++s.rows_deleted;
+        break;
+    }
+  }
+  return out;
+}
+
+std::string ModificationLog::ToString() const {
+  std::ostringstream os;
+  os << entries_.size() << " modifications\n";
+  for (const auto& [table, s] : Summarize()) {
+    os << StrFormat("  %-24s cells %-8lld +rows %-6lld -rows %lld\n",
+                    table.c_str(), static_cast<long long>(s.cells_written),
+                    static_cast<long long>(s.rows_inserted),
+                    static_cast<long long>(s.rows_deleted));
+  }
+  return os.str();
+}
+
+}  // namespace aspect

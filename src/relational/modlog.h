@@ -1,0 +1,66 @@
+// ModificationLog: records every modification applied to a database
+// (with pre-images), so a tweaking run can be audited, summarized per
+// table, or replayed onto another copy of the same starting database.
+// The coordinator's rollback policy and the CLI's --report are built
+// on it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "relational/database.h"
+
+namespace aspect {
+
+class ModificationLog : public ModificationListener {
+ public:
+  /// Starts recording `db` (registers as a listener).
+  explicit ModificationLog(Database* db);
+  ~ModificationLog() override;
+
+  ModificationLog(const ModificationLog&) = delete;
+  ModificationLog& operator=(const ModificationLog&) = delete;
+
+  struct Entry {
+    Modification mod;
+    std::vector<Value> old_values;
+    TupleId new_tuple = kInvalidTuple;
+  };
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+  void Clear() { entries_.clear(); }
+
+  /// Stops/starts recording without unregistering.
+  void Pause() { recording_ = false; }
+  void Resume() { recording_ = true; }
+
+  /// Applies every logged modification, in order, to another database
+  /// with the same schema and starting state. Tuple ids line up
+  /// because appends are deterministic given identical starting state.
+  Status ReplayOnto(Database* target) const;
+
+  /// Per-table counts of cells written and rows inserted/deleted.
+  struct TableSummary {
+    int64_t cells_written = 0;
+    int64_t rows_inserted = 0;
+    int64_t rows_deleted = 0;
+  };
+  std::map<std::string, TableSummary> Summarize() const;
+
+  /// Human-readable one-line-per-table report.
+  std::string ToString() const;
+
+  void OnApplied(const Modification& mod,
+                 const std::vector<Value>& old_values,
+                 TupleId new_tuple) override;
+
+ private:
+  Database* db_;
+  bool recording_ = true;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace aspect

@@ -1,0 +1,137 @@
+#include "relational/refgraph.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+#include "common/string_util.h"
+
+namespace aspect {
+
+std::string ReferenceChain::ToString(const Schema& schema) const {
+  std::vector<std::string> names;
+  for (auto it = tables.rbegin(); it != tables.rend(); ++it) {
+    names.push_back(schema.tables[static_cast<size_t>(*it)].name);
+  }
+  return Join(names, " -> ");
+}
+
+std::string CoappearGroup::ToString(const Schema& schema) const {
+  std::vector<std::string> members;
+  for (int t : member_tables) {
+    members.push_back(schema.tables[static_cast<size_t>(t)].name);
+  }
+  std::vector<std::string> parents;
+  for (int t : parent_tables) {
+    parents.push_back(schema.tables[static_cast<size_t>(t)].name);
+  }
+  return "{" + Join(members, ", ") + "} -> (" + Join(parents, ", ") + ")";
+}
+
+ReferenceGraph::ReferenceGraph(const Schema& schema) : schema_(schema) {
+  const size_t n = schema_.tables.size();
+  out_.resize(n);
+  in_.resize(n);
+  for (size_t ti = 0; ti < n; ++ti) {
+    const TableSpec& t = schema_.tables[ti];
+    for (size_t ci = 0; ci < t.columns.size(); ++ci) {
+      const ColumnSpec& c = t.columns[ci];
+      if (c.type != ColumnType::kForeignKey) continue;
+      FkEdge e;
+      e.child_table = static_cast<int>(ti);
+      e.fk_col = static_cast<int>(ci);
+      e.parent_table = schema_.TableIndex(c.ref_table);
+      edges_.push_back(e);
+      out_[ti].push_back(e);
+      in_[static_cast<size_t>(e.parent_table)].push_back(e);
+    }
+  }
+}
+
+bool ReferenceGraph::IsAcyclic() const {
+  const size_t n = schema_.tables.size();
+  std::vector<int> color(n, 0);  // 0 white, 1 gray, 2 black
+  std::function<bool(int)> dfs = [&](int u) -> bool {
+    color[static_cast<size_t>(u)] = 1;
+    for (const FkEdge& e : out_[static_cast<size_t>(u)]) {
+      const int v = e.parent_table;
+      if (color[static_cast<size_t>(v)] == 1) return false;
+      if (color[static_cast<size_t>(v)] == 0 && !dfs(v)) return false;
+    }
+    color[static_cast<size_t>(u)] = 2;
+    return true;
+  };
+  for (size_t u = 0; u < n; ++u) {
+    if (color[u] == 0 && !dfs(static_cast<int>(u))) return false;
+  }
+  return true;
+}
+
+std::vector<ReferenceChain> ReferenceGraph::MaximalChains() const {
+  std::vector<ReferenceChain> chains;
+  if (!IsAcyclic()) return chains;
+  const size_t n = schema_.tables.size();
+
+  // A chain is maximal iff its top table is referenced by nobody and
+  // its bottom table references nobody. Enumerate every directed path
+  // between such endpoints, branching on each FK choice.
+  std::vector<int> path_tables;
+  std::vector<int> path_cols;
+  std::function<void(int)> dfs = [&](int u) {
+    path_tables.push_back(u);
+    if (out_[static_cast<size_t>(u)].empty()) {
+      if (path_tables.size() >= 2) {
+        ReferenceChain chain;
+        // The path runs top-down; chains are stored bottom-up.
+        chain.tables.assign(path_tables.rbegin(), path_tables.rend());
+        chain.fk_cols.assign(path_cols.rbegin(), path_cols.rend());
+        chains.push_back(std::move(chain));
+      }
+    } else {
+      for (const FkEdge& e : out_[static_cast<size_t>(u)]) {
+        path_cols.push_back(e.fk_col);
+        dfs(e.parent_table);
+        path_cols.pop_back();
+      }
+    }
+    path_tables.pop_back();
+  };
+  for (size_t u = 0; u < n; ++u) {
+    if (in_[u].empty()) dfs(static_cast<int>(u));
+  }
+  return chains;
+}
+
+std::vector<CoappearGroup> ReferenceGraph::CoappearGroups(
+    int min_parents) const {
+  // Key: the sorted multiset of referenced table indexes.
+  std::map<std::vector<int>, CoappearGroup> groups;
+  for (size_t ti = 0; ti < schema_.tables.size(); ++ti) {
+    const auto& out = out_[ti];
+    if (static_cast<int>(out.size()) < min_parents) continue;
+    // Sort this table's FK columns by (parent table, column index) so
+    // every member lists its columns in the same parent order.
+    std::vector<FkEdge> sorted = out;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const FkEdge& a, const FkEdge& b) {
+                return std::tie(a.parent_table, a.fk_col) <
+                       std::tie(b.parent_table, b.fk_col);
+              });
+    std::vector<int> key;
+    std::vector<int> cols;
+    for (const FkEdge& e : sorted) {
+      key.push_back(e.parent_table);
+      cols.push_back(e.fk_col);
+    }
+    CoappearGroup& g = groups[key];
+    if (g.parent_tables.empty()) g.parent_tables = key;
+    g.member_tables.push_back(static_cast<int>(ti));
+    g.member_fk_cols.push_back(std::move(cols));
+  }
+  std::vector<CoappearGroup> out;
+  out.reserve(groups.size());
+  for (auto& [key, g] : groups) out.push_back(std::move(g));
+  return out;
+}
+
+}  // namespace aspect

@@ -1,0 +1,85 @@
+// ReferenceGraph: foreign-key structure analysis over a Schema.
+//
+// Provides the two structural discoveries the property tools rely on:
+//   - maximal reference chains Tk -> ... -> T1 (Definition 1), the
+//     domain of the linear property;
+//   - coappear groups: sets of tables referencing the same parent
+//     tables (Definition 4), the domain of the coappear property.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "relational/schema.h"
+
+namespace aspect {
+
+/// One foreign-key edge: `child_table`.columns[fk_col] -> `parent_table`.
+struct FkEdge {
+  int child_table = -1;
+  int fk_col = -1;
+  int parent_table = -1;
+};
+
+/// A reference chain Tk -> ... -> T1, stored bottom-up:
+/// tables[0] is T1 (the root table), tables[k-1] is Tk.
+/// fk_cols[i] is the FK column in tables[i+1] that references tables[i].
+struct ReferenceChain {
+  std::vector<int> tables;
+  std::vector<int> fk_cols;
+
+  int length() const { return static_cast<int>(tables.size()); }
+
+  /// "Tk -> ... -> T1" with table names, for reports.
+  std::string ToString(const Schema& schema) const;
+};
+
+/// A set of tables referencing the same parent tables. Member i uses
+/// member_fk_cols[i][j] as its FK column to parent_tables[j]. Parent
+/// tables are sorted (as a multiset, so self-pair schemas like
+/// user->user fan tables work).
+struct CoappearGroup {
+  std::vector<int> member_tables;
+  std::vector<std::vector<int>> member_fk_cols;
+  std::vector<int> parent_tables;
+
+  std::string ToString(const Schema& schema) const;
+};
+
+class ReferenceGraph {
+ public:
+  explicit ReferenceGraph(const Schema& schema);
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<FkEdge>& edges() const { return edges_; }
+
+  /// Outgoing FK edges of a table (the tables it references).
+  const std::vector<FkEdge>& OutEdges(int table) const {
+    return out_[static_cast<size_t>(table)];
+  }
+  /// Incoming FK edges of a table (the tables referencing it).
+  const std::vector<FkEdge>& InEdges(int table) const {
+    return in_[static_cast<size_t>(table)];
+  }
+
+  /// True if the FK graph has no directed cycle (chains require this).
+  bool IsAcyclic() const;
+
+  /// Enumerates all maximal reference chains of length >= 2: every
+  /// directed FK path from a table nobody references down to a table
+  /// that references nothing (Definition 1).
+  std::vector<ReferenceChain> MaximalChains() const;
+
+  /// Groups tables by the multiset of tables they reference; only
+  /// groups whose parent multiset has >= min_parents entries are
+  /// returned. Each group carries one coappear distribution.
+  std::vector<CoappearGroup> CoappearGroups(int min_parents = 2) const;
+
+ private:
+  Schema schema_;
+  std::vector<FkEdge> edges_;
+  std::vector<std::vector<FkEdge>> out_;
+  std::vector<std::vector<FkEdge>> in_;
+};
+
+}  // namespace aspect

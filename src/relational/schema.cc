@@ -1,0 +1,90 @@
+#include "relational/schema.h"
+
+#include <set>
+
+#include "common/string_util.h"
+
+namespace aspect {
+
+int TableSpec::ColumnIndex(const std::string& col_name) const {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].name == col_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int Schema::TableIndex(const std::string& table_name) const {
+  for (size_t i = 0; i < tables.size(); ++i) {
+    if (tables[i].name == table_name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Status Schema::Validate() const {
+  std::set<std::string> names;
+  for (const TableSpec& t : tables) {
+    if (!names.insert(t.name).second) {
+      return Status::Invalid(StrFormat("duplicate table '%s'", t.name.c_str()));
+    }
+    std::set<std::string> col_names;
+    for (const ColumnSpec& c : t.columns) {
+      if (!col_names.insert(c.name).second) {
+        return Status::Invalid(StrFormat("duplicate column '%s.%s'",
+                                         t.name.c_str(), c.name.c_str()));
+      }
+      const bool is_fk = c.type == ColumnType::kForeignKey;
+      if (is_fk != !c.ref_table.empty()) {
+        return Status::Invalid(
+            StrFormat("column '%s.%s': ref_table must be set exactly for "
+                      "foreign keys",
+                      t.name.c_str(), c.name.c_str()));
+      }
+    }
+  }
+  for (const TableSpec& t : tables) {
+    for (const ColumnSpec& c : t.columns) {
+      if (c.type == ColumnType::kForeignKey &&
+          TableIndex(c.ref_table) < 0) {
+        return Status::Invalid(
+            StrFormat("column '%s.%s' references unknown table '%s'",
+                      t.name.c_str(), c.name.c_str(), c.ref_table.c_str()));
+      }
+    }
+  }
+  if (!user_table.empty() && TableIndex(user_table) < 0) {
+    return Status::Invalid(
+        StrFormat("user table '%s' not in schema", user_table.c_str()));
+  }
+  for (const ResponseSpec& r : responses) {
+    const int rt = TableIndex(r.response_table);
+    const int pt = TableIndex(r.post_table);
+    if (rt < 0 || pt < 0) {
+      return Status::Invalid(StrFormat(
+          "response annotation '%s'->'%s' names unknown tables",
+          r.response_table.c_str(), r.post_table.c_str()));
+    }
+    const TableSpec& rts = tables[static_cast<size_t>(rt)];
+    const TableSpec& pts = tables[static_cast<size_t>(pt)];
+    auto check_fk = [&](const TableSpec& ts, int col,
+                        const std::string& expect) -> Status {
+      if (col < 0 || col >= static_cast<int>(ts.columns.size())) {
+        return Status::Invalid(
+            StrFormat("response annotation: bad column index %d in '%s'",
+                      col, ts.name.c_str()));
+      }
+      const ColumnSpec& cs = ts.columns[static_cast<size_t>(col)];
+      if (cs.type != ColumnType::kForeignKey || cs.ref_table != expect) {
+        return Status::Invalid(StrFormat(
+            "response annotation: '%s.%s' is not a FK to '%s'",
+            ts.name.c_str(), cs.name.c_str(), expect.c_str()));
+      }
+      return Status::OK();
+    };
+    ASPECT_RETURN_NOT_OK(check_fk(rts, r.responder_col, user_table));
+    ASPECT_RETURN_NOT_OK(check_fk(rts, r.post_col, r.post_table));
+    ASPECT_RETURN_NOT_OK(check_fk(pts, r.author_col, user_table));
+  }
+  return Status::OK();
+}
+
+}  // namespace aspect

@@ -1,0 +1,60 @@
+// Schema: declarative description of a relational database, plus the
+// sonSchema role annotations (user / post / response2post) used by the
+// pairwise property (Sec. V-C of the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/value.h"
+
+namespace aspect {
+
+/// Declares one column of a table. `ref_table` names the referenced
+/// table for kForeignKey columns and must be empty otherwise.
+struct ColumnSpec {
+  std::string name;
+  ColumnType type = ColumnType::kInt64;
+  std::string ref_table;
+};
+
+/// Declares one table. The primary key is implicit: the tuple id.
+struct TableSpec {
+  std::string name;
+  std::vector<ColumnSpec> columns;
+
+  /// Index of the column with the given name, or -1.
+  int ColumnIndex(const std::string& col_name) const;
+};
+
+/// sonSchema annotation: one response2post table and how it wires into
+/// its post table and the user table (Fig. 11 of the paper).
+struct ResponseSpec {
+  std::string response_table;  // e.g. "Photo_Comment"
+  int responder_col = -1;      // FK column in response_table -> user table
+  int post_col = -1;           // FK column in response_table -> post table
+  std::string post_table;      // e.g. "Photo"
+  int author_col = -1;         // FK column in post_table -> user table
+};
+
+/// Full database schema with sonSchema annotations.
+struct Schema {
+  std::string name;
+  std::vector<TableSpec> tables;
+
+  /// Name of the (human) user table, empty if the schema has none.
+  std::string user_table;
+  /// All post/response2post instantiations in the schema.
+  std::vector<ResponseSpec> responses;
+
+  /// Index of the table with the given name, or -1.
+  int TableIndex(const std::string& table_name) const;
+
+  /// Verifies internal consistency: unique names, FK targets exist,
+  /// response annotations reference real FK columns.
+  Status Validate() const;
+};
+
+}  // namespace aspect

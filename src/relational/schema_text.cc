@@ -1,0 +1,168 @@
+#include "relational/schema_text.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace aspect {
+namespace {
+
+std::vector<std::string> Tokens(std::string_view line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : line) {
+    if (c == '#') break;
+    if (c == ' ' || c == '\t') {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+Result<Schema> ParseSchemaText(const std::string& text) {
+  Schema schema;
+  struct PendingResponse {
+    std::string resp, post_col, responder_col, post_table, author_col;
+    int line;
+  };
+  std::vector<PendingResponse> responses;
+  int line_no = 0;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::vector<std::string> tok = Tokens(line);
+    if (tok.empty()) continue;
+    auto fail = [&](const char* why) {
+      return Status::Invalid(
+          StrFormat("schema line %d: %s", line_no, why));
+    };
+    if (tok[0] == "dataset") {
+      if (tok.size() != 2) return fail("dataset needs a name");
+      schema.name = tok[1];
+    } else if (tok[0] == "user") {
+      if (tok.size() != 2) return fail("user needs a table name");
+      schema.user_table = tok[1];
+    } else if (tok[0] == "table") {
+      if (tok.size() != 2) return fail("table needs a name");
+      schema.tables.push_back({tok[1], {}});
+    } else if (tok[0] == "col") {
+      if (schema.tables.empty()) return fail("col before any table");
+      ColumnSpec col;
+      if (tok.size() == 3) {
+        col.name = tok[1];
+        if (tok[2] == "int64") {
+          col.type = ColumnType::kInt64;
+        } else if (tok[2] == "double") {
+          col.type = ColumnType::kDouble;
+        } else if (tok[2] == "string") {
+          col.type = ColumnType::kString;
+        } else {
+          return fail("unknown column type");
+        }
+      } else if (tok.size() == 4 && tok[2] == "fk") {
+        col.name = tok[1];
+        col.type = ColumnType::kForeignKey;
+        col.ref_table = tok[3];
+      } else {
+        return fail("col needs: name type | name fk table");
+      }
+      schema.tables.back().columns.push_back(std::move(col));
+    } else if (tok[0] == "response") {
+      if (tok.size() != 6) {
+        return fail("response needs: resp post_col responder_col "
+                    "post_table author_col");
+      }
+      responses.push_back({tok[1], tok[2], tok[3], tok[4], tok[5], line_no});
+    } else {
+      return fail("unknown directive");
+    }
+  }
+  for (const PendingResponse& p : responses) {
+    const int rt = schema.TableIndex(p.resp);
+    const int pt = schema.TableIndex(p.post_table);
+    if (rt < 0 || pt < 0) {
+      return Status::Invalid(StrFormat(
+          "schema line %d: response names unknown tables", p.line));
+    }
+    ResponseSpec spec;
+    spec.response_table = p.resp;
+    spec.post_table = p.post_table;
+    spec.post_col =
+        schema.tables[static_cast<size_t>(rt)].ColumnIndex(p.post_col);
+    spec.responder_col =
+        schema.tables[static_cast<size_t>(rt)].ColumnIndex(p.responder_col);
+    spec.author_col =
+        schema.tables[static_cast<size_t>(pt)].ColumnIndex(p.author_col);
+    if (spec.post_col < 0 || spec.responder_col < 0 ||
+        spec.author_col < 0) {
+      return Status::Invalid(StrFormat(
+          "schema line %d: response names unknown columns", p.line));
+    }
+    schema.responses.push_back(std::move(spec));
+  }
+  ASPECT_RETURN_NOT_OK(schema.Validate());
+  return schema;
+}
+
+std::string FormatSchemaText(const Schema& schema) {
+  std::ostringstream out;
+  out << "dataset " << schema.name << "\n";
+  if (!schema.user_table.empty()) {
+    out << "user " << schema.user_table << "\n";
+  }
+  for (const TableSpec& t : schema.tables) {
+    out << "table " << t.name << "\n";
+    for (const ColumnSpec& c : t.columns) {
+      out << "  col " << c.name << " ";
+      switch (c.type) {
+        case ColumnType::kInt64:
+          out << "int64";
+          break;
+        case ColumnType::kDouble:
+          out << "double";
+          break;
+        case ColumnType::kString:
+          out << "string";
+          break;
+        case ColumnType::kForeignKey:
+          out << "fk " << c.ref_table;
+          break;
+      }
+      out << "\n";
+    }
+  }
+  for (const ResponseSpec& r : schema.responses) {
+    const TableSpec& rt =
+        schema.tables[static_cast<size_t>(schema.TableIndex(r.response_table))];
+    const TableSpec& pt =
+        schema.tables[static_cast<size_t>(schema.TableIndex(r.post_table))];
+    out << "response " << r.response_table << " "
+        << rt.columns[static_cast<size_t>(r.post_col)].name << " "
+        << rt.columns[static_cast<size_t>(r.responder_col)].name << " "
+        << r.post_table << " "
+        << pt.columns[static_cast<size_t>(r.author_col)].name << "\n";
+  }
+  return out.str();
+}
+
+Result<Schema> LoadSchemaFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IoError(StrFormat("cannot open '%s'", path.c_str()));
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return ParseSchemaText(buf.str());
+}
+
+}  // namespace aspect

@@ -1,0 +1,34 @@
+// A small line-oriented text format for schemas, so users can describe
+// their own datasets without writing C++ (used by the aspect_cli
+// example). Grammar (one directive per line, '#' starts a comment):
+//
+//   dataset <name>
+//   user <table>                      # the sonSchema user table
+//   table <name>
+//     col <name> int64|double|string
+//     col <name> fk <table>
+//   response <resp_table> <post_fk_col> <responder_col>
+//            <post_table> <author_col>
+//
+// Columns attach to the most recent `table`. Response directives name
+// columns, not indexes.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "relational/schema.h"
+
+namespace aspect {
+
+/// Parses the text format; the result is validated.
+Result<Schema> ParseSchemaText(const std::string& text);
+
+/// Renders a schema back to the text format (round-trips through
+/// ParseSchemaText).
+std::string FormatSchemaText(const Schema& schema);
+
+/// Reads and parses a schema file.
+Result<Schema> LoadSchemaFile(const std::string& path);
+
+}  // namespace aspect

@@ -1,0 +1,56 @@
+#include "relational/table.h"
+
+#include "common/string_util.h"
+
+namespace aspect {
+
+Table::Table(const TableSpec& spec) : spec_(spec) {
+  columns_.reserve(spec_.columns.size());
+  for (const ColumnSpec& c : spec_.columns) {
+    columns_.emplace_back(c.name, c.type, c.ref_table);
+  }
+}
+
+Result<TupleId> Table::Append(const std::vector<Value>& values) {
+  if (static_cast<int>(values.size()) != num_columns()) {
+    return Status::Invalid(StrFormat(
+        "table '%s': append with %zu values, expected %d columns",
+        name().c_str(), values.size(), num_columns()));
+  }
+  for (int c = 0; c < num_columns(); ++c) {
+    ASPECT_RETURN_NOT_OK(columns_[static_cast<size_t>(c)].Append(
+        values[static_cast<size_t>(c)]));
+  }
+  live_.push_back(1);
+  ++num_live_;
+  return NumSlots() - 1;
+}
+
+Status Table::Delete(TupleId t) {
+  if (!IsLive(t)) {
+    return Status::KeyError(
+        StrFormat("table '%s': tuple %lld is not live", name().c_str(),
+                  static_cast<long long>(t)));
+  }
+  live_[static_cast<size_t>(t)] = 0;
+  --num_live_;
+  return Status::OK();
+}
+
+std::vector<TupleId> Table::LiveTuples() const {
+  std::vector<TupleId> out;
+  out.reserve(static_cast<size_t>(num_live_));
+  ForEachLive([&](TupleId t) { out.push_back(t); });
+  return out;
+}
+
+std::vector<Value> Table::GetRow(TupleId t) const {
+  std::vector<Value> row;
+  row.reserve(static_cast<size_t>(num_columns()));
+  for (int c = 0; c < num_columns(); ++c) {
+    row.push_back(columns_[static_cast<size_t>(c)].Get(t));
+  }
+  return row;
+}
+
+}  // namespace aspect

@@ -1,0 +1,77 @@
+// Table: columnar tuple storage with stable tuple ids.
+//
+// Tuple ids are dense row indexes that remain stable for the lifetime of
+// the table: deletion tombstones a row instead of moving others, so the
+// per-tuple statistics that tweaking tools maintain stay valid across
+// modifications. Appends allocate fresh ids at the end.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "relational/column.h"
+#include "relational/schema.h"
+
+namespace aspect {
+
+using TupleId = int64_t;
+inline constexpr TupleId kInvalidTuple = -1;
+
+class Table {
+ public:
+  explicit Table(const TableSpec& spec);
+
+  const std::string& name() const { return spec_.name; }
+  const TableSpec& spec() const { return spec_; }
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const Column& column(int i) const {
+    return columns_[static_cast<size_t>(i)];
+  }
+  Column& column(int i) { return columns_[static_cast<size_t>(i)]; }
+  int ColumnIndex(const std::string& col_name) const {
+    return spec_.ColumnIndex(col_name);
+  }
+
+  /// Number of live (non-tombstoned) tuples — this is |T| everywhere in
+  /// the paper's formulas.
+  int64_t NumTuples() const { return num_live_; }
+  /// Number of row slots including tombstones; tuple ids range over
+  /// [0, NumSlots()).
+  int64_t NumSlots() const { return static_cast<int64_t>(live_.size()); }
+
+  bool IsLive(TupleId t) const {
+    return t >= 0 && t < NumSlots() && live_[static_cast<size_t>(t)];
+  }
+
+  /// Appends a tuple with the given per-column values; returns its id.
+  Result<TupleId> Append(const std::vector<Value>& values);
+
+  /// Tombstones a live tuple.
+  Status Delete(TupleId t);
+
+  /// Iterates live tuple ids in increasing order.
+  template <typename Fn>
+  void ForEachLive(Fn&& fn) const {
+    for (TupleId t = 0; t < NumSlots(); ++t) {
+      if (live_[static_cast<size_t>(t)]) fn(t);
+    }
+  }
+
+  /// Collects the ids of all live tuples.
+  std::vector<TupleId> LiveTuples() const;
+
+  /// Reads a full row (null for empty cells).
+  std::vector<Value> GetRow(TupleId t) const;
+
+ private:
+  TableSpec spec_;
+  std::vector<Column> columns_;
+  std::vector<uint8_t> live_;
+  int64_t num_live_ = 0;
+};
+
+}  // namespace aspect

@@ -1,0 +1,32 @@
+#include "relational/value.h"
+
+#include <cstdio>
+
+namespace aspect {
+
+const char* ColumnTypeToString(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt64:
+      return "int64";
+    case ColumnType::kDouble:
+      return "double";
+    case ColumnType::kString:
+      return "string";
+    case ColumnType::kForeignKey:
+      return "fk";
+  }
+  return "?";
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "";
+  if (is_int64()) return std::to_string(int64());
+  if (is_double()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", dbl());
+    return buf;
+  }
+  return str();
+}
+
+}  // namespace aspect

@@ -1,0 +1,51 @@
+// Value: a dynamically typed cell value (null / int64 / double / string).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+namespace aspect {
+
+/// Static type of a column.
+enum class ColumnType : int {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+  /// 64-bit reference to a tuple id of another table.
+  kForeignKey = 3,
+};
+
+const char* ColumnTypeToString(ColumnType type);
+
+/// A dynamically typed cell value. Foreign keys surface as kInt64.
+class Value {
+ public:
+  Value() : repr_(std::monostate{}) {}
+  explicit Value(int64_t v) : repr_(v) {}
+  explicit Value(double v) : repr_(v) {}
+  explicit Value(std::string v) : repr_(std::move(v)) {}
+
+  static Value Null() { return Value(); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(repr_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(repr_); }
+  bool is_double() const { return std::holds_alternative<double>(repr_); }
+  bool is_string() const { return std::holds_alternative<std::string>(repr_); }
+
+  int64_t int64() const { return std::get<int64_t>(repr_); }
+  double dbl() const { return std::get<double>(repr_); }
+  const std::string& str() const { return std::get<std::string>(repr_); }
+
+  bool operator==(const Value& other) const { return repr_ == other.repr_; }
+  bool operator!=(const Value& other) const { return repr_ != other.repr_; }
+  bool operator<(const Value& other) const { return repr_ < other.repr_; }
+
+  /// Renders the value for CSV output and debugging; null renders as "".
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> repr_;
+};
+
+}  // namespace aspect

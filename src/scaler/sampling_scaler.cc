@@ -1,0 +1,116 @@
+#include "scaler/sampling_scaler.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "relational/refgraph.h"
+
+namespace aspect {
+
+Result<std::unique_ptr<Database>> SamplingScaler::Scale(
+    const Database& source, const std::vector<int64_t>& target_sizes,
+    uint64_t seed) const {
+  if (static_cast<int>(target_sizes.size()) != source.num_tables()) {
+    return Status::Invalid("sampling: wrong number of target sizes");
+  }
+  ReferenceGraph graph(source.schema());
+  if (!graph.IsAcyclic()) {
+    return Status::Invalid("sampling requires an acyclic FK graph");
+  }
+  const int n = source.num_tables();
+  std::vector<int> out_degree(static_cast<size_t>(n), 0);
+  std::vector<int> order, ready;
+  for (int t = 0; t < n; ++t) {
+    out_degree[static_cast<size_t>(t)] =
+        static_cast<int>(graph.OutEdges(t).size());
+    if (out_degree[static_cast<size_t>(t)] == 0) ready.push_back(t);
+  }
+  while (!ready.empty()) {
+    const int t = ready.back();
+    ready.pop_back();
+    order.push_back(t);
+    for (const FkEdge& e : graph.InEdges(t)) {
+      if (--out_degree[static_cast<size_t>(e.child_table)] == 0) {
+        ready.push_back(e.child_table);
+      }
+    }
+  }
+
+  Rng rng(seed);
+  ASPECT_ASSIGN_OR_RETURN(std::unique_ptr<Database> out,
+                          Database::Create(source.schema()));
+  std::vector<std::vector<TupleId>> remap(static_cast<size_t>(n));
+  for (const int ti : order) {
+    const Table& src = source.table(ti);
+    Table* dst = out->FindTable(src.name());
+    const int64_t want = target_sizes[static_cast<size_t>(ti)];
+    if (want < 1) return Status::Invalid("sampling: target below 1");
+    auto& rm = remap[static_cast<size_t>(ti)];
+    rm.assign(static_cast<size_t>(src.NumSlots()), kInvalidTuple);
+
+    // Candidates: live tuples whose parents all survived.
+    std::vector<TupleId> candidates;
+    src.ForEachLive([&](TupleId t) {
+      for (int ci = 0; ci < src.num_columns(); ++ci) {
+        const Column& col = src.column(ci);
+        if (!col.is_foreign_key() || !col.IsValue(t)) continue;
+        const int pi = source.schema().TableIndex(col.ref_table());
+        if (remap[static_cast<size_t>(pi)]
+                 [static_cast<size_t>(col.GetInt(t))] == kInvalidTuple) {
+          return;
+        }
+      }
+      candidates.push_back(t);
+    });
+    rng.Shuffle(&candidates);
+    if (static_cast<int64_t>(candidates.size()) > want) {
+      candidates.resize(static_cast<size_t>(want));
+    }
+    auto append_from = [&](TupleId tmpl, bool record) -> Status {
+      std::vector<Value> row = src.GetRow(tmpl);
+      for (int ci = 0; ci < src.num_columns(); ++ci) {
+        const Column& col = src.column(ci);
+        if (!col.is_foreign_key() ||
+            row[static_cast<size_t>(ci)].is_null()) {
+          continue;
+        }
+        const int pi = source.schema().TableIndex(col.ref_table());
+        row[static_cast<size_t>(ci)] = Value(static_cast<int64_t>(
+            remap[static_cast<size_t>(pi)][static_cast<size_t>(
+                row[static_cast<size_t>(ci)].int64())]));
+      }
+      ASPECT_ASSIGN_OR_RETURN(const TupleId id, dst->Append(row));
+      if (record) rm[static_cast<size_t>(tmpl)] = id;
+      return Status::OK();
+    };
+    for (const TupleId t : candidates) {
+      ASPECT_RETURN_NOT_OK(append_from(t, /*record=*/true));
+    }
+    // Top up by cloning sampled survivors (scale-up within the sampled
+    // world); fall back to random valid FKs if nothing survived.
+    while (dst->NumTuples() < want) {
+      if (!candidates.empty()) {
+        const TupleId tmpl = candidates[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(candidates.size()) - 1))];
+        ASPECT_RETURN_NOT_OK(append_from(tmpl, /*record=*/false));
+        continue;
+      }
+      std::vector<Value> row;
+      for (int ci = 0; ci < src.num_columns(); ++ci) {
+        const Column& col = src.column(ci);
+        if (col.is_foreign_key()) {
+          const int pi = source.schema().TableIndex(col.ref_table());
+          row.push_back(Value(
+              rng.UniformInt(0, out->table(pi).NumTuples() - 1)));
+        } else {
+          row.push_back(col.Get(src.LiveTuples().front()));
+        }
+      }
+      ASPECT_RETURN_NOT_OK(dst->Append(row).status());
+    }
+  }
+  return out;
+}
+
+}  // namespace aspect

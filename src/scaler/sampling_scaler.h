@@ -1,0 +1,24 @@
+// SamplingScaler: a fourth size-scaler, oriented at scale-DOWN (the
+// enterprise use case of the paper's introduction). Parents are
+// sampled first; children keep only tuples whose parents survived
+// (preserving real joint structure), then each table is trimmed or
+// topped up to hit the exact targets.
+//
+// Like every scaler it only honours the size-scaler contract of
+// Sec. III-A - exact sizes, valid FKs - leaving property enforcement
+// to the tweaking stage.
+#pragma once
+
+#include "scaler/size_scaler.h"
+
+namespace aspect {
+
+class SamplingScaler : public SizeScaler {
+ public:
+  std::string name() const override { return "Sampling"; }
+  Result<std::unique_ptr<Database>> Scale(
+      const Database& source, const std::vector<int64_t>& target_sizes,
+      uint64_t seed) const override;
+};
+
+}  // namespace aspect

@@ -1,0 +1,164 @@
+#include "scaler/upsizer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "relational/refgraph.h"
+
+namespace aspect {
+namespace {
+
+/// Samples a degree sequence of length `parents` from the empirical
+/// multiset `empirical`, then adjusts it so it sums to `children`.
+std::vector<int64_t> SampleDegreeSequence(
+    const std::vector<int64_t>& empirical, int64_t parents,
+    int64_t children, Rng* rng) {
+  std::vector<int64_t> seq(static_cast<size_t>(parents), 0);
+  for (auto& d : seq) {
+    d = empirical[static_cast<size_t>(
+        rng->UniformInt(0, static_cast<int64_t>(empirical.size()) - 1))];
+  }
+  int64_t total = std::accumulate(seq.begin(), seq.end(), int64_t{0});
+  // Stochastic fix-up: spread the residual one unit at a time, biased
+  // toward already-loaded parents when adding (rich get richer) and
+  // away from empty parents when removing.
+  while (total != children) {
+    const size_t i =
+        static_cast<size_t>(rng->UniformInt(0, parents - 1));
+    if (total < children) {
+      ++seq[i];
+      ++total;
+    } else if (seq[i] > 0) {
+      --seq[i];
+      --total;
+    }
+  }
+  return seq;
+}
+
+}  // namespace
+
+Result<std::unique_ptr<Database>> UpSizerScaler::Scale(
+    const Database& source, const std::vector<int64_t>& target_sizes,
+    uint64_t seed) const {
+  if (static_cast<int>(target_sizes.size()) != source.num_tables()) {
+    return Status::Invalid("UpSizeR: wrong number of target sizes");
+  }
+  ReferenceGraph graph(source.schema());
+  if (!graph.IsAcyclic()) {
+    return Status::Invalid("UpSizeR requires an acyclic FK graph");
+  }
+  const int n = source.num_tables();
+  std::vector<int> out_degree(static_cast<size_t>(n), 0);
+  std::vector<int> order, ready;
+  for (int t = 0; t < n; ++t) {
+    out_degree[static_cast<size_t>(t)] =
+        static_cast<int>(graph.OutEdges(t).size());
+    if (out_degree[static_cast<size_t>(t)] == 0) ready.push_back(t);
+  }
+  while (!ready.empty()) {
+    const int t = ready.back();
+    ready.pop_back();
+    order.push_back(t);
+    for (const FkEdge& e : graph.InEdges(t)) {
+      if (--out_degree[static_cast<size_t>(e.child_table)] == 0) {
+        ready.push_back(e.child_table);
+      }
+    }
+  }
+
+  Rng rng(seed);
+  ASPECT_ASSIGN_OR_RETURN(std::unique_ptr<Database> out,
+                          Database::Create(source.schema()));
+  for (const int ti : order) {
+    const Table& src = source.table(ti);
+    Table* dst = out->FindTable(src.name());
+    const int64_t want = target_sizes[static_cast<size_t>(ti)];
+    if (want < 1) return Status::Invalid("UpSizeR: target below 1");
+    const std::vector<TupleId> live = src.LiveTuples();
+    if (live.empty()) {
+      return Status::Invalid(
+          StrFormat("UpSizeR: source table '%s' empty", src.name().c_str()));
+    }
+
+    // Primary FK: the first FK column. Its degree distribution is
+    // preserved by construction.
+    int primary = -1;
+    for (int c = 0; c < src.num_columns(); ++c) {
+      if (src.column(c).is_foreign_key()) {
+        primary = c;
+        break;
+      }
+    }
+
+    std::vector<TupleId> parent_of;  // new parent per new child
+    if (primary >= 0) {
+      const int pi = source.schema().TableIndex(
+          src.column(primary).ref_table());
+      const Table& src_parent = source.table(pi);
+      // Empirical per-parent fan-out, zeros included.
+      std::vector<int64_t> fanout(
+          static_cast<size_t>(src_parent.NumSlots()), 0);
+      int64_t counted_children = 0;
+      for (const TupleId t : live) {
+        if (src.column(primary).IsValue(t)) {
+          ++fanout[static_cast<size_t>(src.column(primary).GetInt(t))];
+          ++counted_children;
+        }
+      }
+      std::vector<int64_t> empirical;
+      src_parent.ForEachLive([&](TupleId p) {
+        empirical.push_back(fanout[static_cast<size_t>(p)]);
+      });
+      (void)counted_children;
+      const int64_t new_parents = out->table(pi).NumTuples();
+      const std::vector<int64_t> seq =
+          SampleDegreeSequence(empirical, new_parents, want, &rng);
+      // Deal children onto parents per the sampled sequence.
+      parent_of.reserve(static_cast<size_t>(want));
+      for (int64_t p = 0; p < new_parents; ++p) {
+        for (int64_t d = 0; d < seq[static_cast<size_t>(p)]; ++d) {
+          parent_of.push_back(p);
+        }
+      }
+      rng.Shuffle(&parent_of);
+    }
+
+    for (int64_t j = 0; j < want; ++j) {
+      // Template child for attributes and secondary FKs.
+      const TupleId tmpl = live[static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1))];
+      std::vector<Value> row = src.GetRow(tmpl);
+      for (int c = 0; c < src.num_columns(); ++c) {
+        const Column& col = src.column(c);
+        if (!col.is_foreign_key() ||
+            row[static_cast<size_t>(c)].is_null()) {
+          continue;
+        }
+        if (c == primary) {
+          row[static_cast<size_t>(c)] =
+              Value(static_cast<int64_t>(parent_of[static_cast<size_t>(j)]));
+          continue;
+        }
+        // Secondary FK: proportional remap with jitter, preserving the
+        // template's joint pattern approximately.
+        const int pi = source.schema().TableIndex(col.ref_table());
+        const int64_t n_src = source.table(pi).NumTuples();
+        const int64_t n_dst = out->table(pi).NumTuples();
+        const double pos =
+            static_cast<double>(row[static_cast<size_t>(c)].int64()) +
+            rng.UniformDouble();
+        int64_t mapped = static_cast<int64_t>(
+            pos * static_cast<double>(n_dst) / static_cast<double>(n_src));
+        mapped = std::clamp<int64_t>(mapped, 0, n_dst - 1);
+        row[static_cast<size_t>(c)] = Value(mapped);
+      }
+      ASPECT_RETURN_NOT_OK(dst->Append(row).status());
+    }
+  }
+  return out;
+}
+
+}  // namespace aspect

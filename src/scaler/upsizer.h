@@ -1,0 +1,26 @@
+// UpSizerScaler: a size-scaler modelled on UpSizeR [34], the first
+// Dataset Scaling Problem solution (cited as an S0 candidate in
+// Sec. II). Where the Dscaler stand-in replays per-tuple templates
+// with proportional key remapping, UpSizeR regenerates each FK edge
+// from its *degree distribution*: every synthetic parent draws a
+// fan-out from the empirical distribution (rescaled so totals match),
+// and children are dealt onto parents accordingly. Attribute columns
+// and secondary FKs come from per-child templates, preserving joint
+// column correlation.
+//
+// Contract (Sec. III-A): exact per-table sizes and valid foreign keys.
+#pragma once
+
+#include "scaler/size_scaler.h"
+
+namespace aspect {
+
+class UpSizerScaler : public SizeScaler {
+ public:
+  std::string name() const override { return "UpSizeR"; }
+  Result<std::unique_ptr<Database>> Scale(
+      const Database& source, const std::vector<int64_t>& target_sizes,
+      uint64_t seed) const override;
+};
+
+}  // namespace aspect

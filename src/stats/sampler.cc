@@ -1,0 +1,110 @@
+#include "stats/sampler.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "relational/refgraph.h"
+
+namespace aspect {
+
+Result<std::vector<std::unique_ptr<Database>>> NestedSamples(
+    const Database& db, const std::vector<double>& fractions,
+    uint64_t seed) {
+  for (const double f : fractions) {
+    if (f <= 0 || f > 1) {
+      return Status::Invalid(StrFormat("bad sample fraction %f", f));
+    }
+  }
+  ReferenceGraph graph(db.schema());
+  if (!graph.IsAcyclic()) {
+    return Status::Invalid("sampling requires an acyclic FK graph");
+  }
+  // Topological order, parents first (Kahn on the reversed FK edges).
+  const int n = db.num_tables();
+  std::vector<int> out_degree(static_cast<size_t>(n), 0);
+  for (int t = 0; t < n; ++t) {
+    out_degree[static_cast<size_t>(t)] =
+        static_cast<int>(graph.OutEdges(t).size());
+  }
+  std::vector<int> order;
+  std::vector<int> ready;
+  for (int t = 0; t < n; ++t) {
+    if (out_degree[static_cast<size_t>(t)] == 0) ready.push_back(t);
+  }
+  while (!ready.empty()) {
+    const int t = ready.back();
+    ready.pop_back();
+    order.push_back(t);
+    for (const FkEdge& e : graph.InEdges(t)) {
+      if (--out_degree[static_cast<size_t>(e.child_table)] == 0) {
+        ready.push_back(e.child_table);
+      }
+    }
+  }
+
+  // Per-table per-tuple level (keyed by slot id; dead slots unused).
+  Rng rng(seed);
+  std::vector<std::vector<double>> level(static_cast<size_t>(n));
+  for (const int ti : order) {
+    const Table& t = db.table(ti);
+    auto& lv = level[static_cast<size_t>(ti)];
+    lv.assign(static_cast<size_t>(t.NumSlots()), 2.0);  // 2.0 = excluded
+    t.ForEachLive([&](TupleId tid) {
+      double u = rng.UniformDouble();
+      for (int ci = 0; ci < t.num_columns(); ++ci) {
+        const Column& col = t.column(ci);
+        if (!col.is_foreign_key() || !col.IsValue(tid)) continue;
+        const int pi = db.schema().TableIndex(col.ref_table());
+        u = std::max(u, level[static_cast<size_t>(pi)]
+                            [static_cast<size_t>(col.GetInt(tid))]);
+      }
+      lv[static_cast<size_t>(tid)] = u;
+    });
+  }
+
+  std::vector<std::unique_ptr<Database>> samples;
+  for (const double cut : fractions) {
+    ASPECT_ASSIGN_OR_RETURN(std::unique_ptr<Database> sample,
+                            Database::Create(db.schema()));
+    // Id remap per table, filled parents-first.
+    std::vector<std::vector<TupleId>> remap(static_cast<size_t>(n));
+    for (const int ti : order) {
+      const Table& src = db.table(ti);
+      Table* dst = sample->FindTable(src.name());
+      auto& rm = remap[static_cast<size_t>(ti)];
+      rm.assign(static_cast<size_t>(src.NumSlots()), kInvalidTuple);
+      Status failure = Status::OK();
+      src.ForEachLive([&](TupleId tid) {
+        if (!failure.ok()) return;
+        if (level[static_cast<size_t>(ti)][static_cast<size_t>(tid)] >=
+            cut) {
+          return;
+        }
+        std::vector<Value> row = src.GetRow(tid);
+        for (int ci = 0; ci < src.num_columns(); ++ci) {
+          const Column& col = src.column(ci);
+          if (!col.is_foreign_key() || row[static_cast<size_t>(ci)].is_null()) {
+            continue;
+          }
+          const int pi = db.schema().TableIndex(col.ref_table());
+          const TupleId mapped =
+              remap[static_cast<size_t>(pi)]
+                   [static_cast<size_t>(row[static_cast<size_t>(ci)].int64())];
+          row[static_cast<size_t>(ci)] = Value(static_cast<int64_t>(mapped));
+        }
+        auto appended = dst->Append(row);
+        if (!appended.ok()) {
+          failure = appended.status();
+          return;
+        }
+        rm[static_cast<size_t>(tid)] = appended.ValueOrDie();
+      });
+      ASPECT_RETURN_NOT_OK(failure);
+    }
+    samples.push_back(std::move(sample));
+  }
+  return samples;
+}
+
+}  // namespace aspect

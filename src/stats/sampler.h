@@ -1,0 +1,29 @@
+// Nested FK-consistent sampling, standing in for the VDFS sampling the
+// paper defaults to in the Target Generator (Sec. III-C): when the
+// dataset has no time attribute, ASPECT samples sub-datasets
+// D1 < D2 < ... < Dr of increasing size and extrapolates property
+// statistics across them.
+//
+// Each tuple draws a level u in [0,1), lifted to at least the maximum
+// level of its FK parents; sample i keeps every tuple with
+// u < fractions[i]. This makes the samples nested and FK-closed by
+// construction (a kept child's parents are always kept).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/database.h"
+
+namespace aspect {
+
+/// Produces nested samples of `db`, one per entry of `fractions`
+/// (values in (0, 1], need not be sorted; each output i keeps roughly
+/// fractions[i] of each root table). Tuple ids are re-densified, FK
+/// values remapped.
+Result<std::vector<std::unique_ptr<Database>>> NestedSamples(
+    const Database& db, const std::vector<double>& fractions,
+    uint64_t seed);
+
+}  // namespace aspect

@@ -1,0 +1,83 @@
+#include "workload/chronological.h"
+
+#include "common/string_util.h"
+#include "relational/refgraph.h"
+
+namespace aspect {
+
+Result<std::vector<std::unique_ptr<Database>>> ChronologicalSnapshots(
+    const Database& db, const std::string& ts_column,
+    const std::vector<int64_t>& cuts) {
+  ReferenceGraph graph(db.schema());
+  if (!graph.IsAcyclic()) {
+    return Status::Invalid("snapshots require an acyclic FK graph");
+  }
+  // Parents-first topological order.
+  const int n = db.num_tables();
+  std::vector<int> out_degree(static_cast<size_t>(n), 0);
+  std::vector<int> order, ready;
+  for (int t = 0; t < n; ++t) {
+    out_degree[static_cast<size_t>(t)] =
+        static_cast<int>(graph.OutEdges(t).size());
+    if (out_degree[static_cast<size_t>(t)] == 0) ready.push_back(t);
+  }
+  while (!ready.empty()) {
+    const int t = ready.back();
+    ready.pop_back();
+    order.push_back(t);
+    for (const FkEdge& e : graph.InEdges(t)) {
+      if (--out_degree[static_cast<size_t>(e.child_table)] == 0) {
+        ready.push_back(e.child_table);
+      }
+    }
+  }
+
+  std::vector<std::unique_ptr<Database>> snapshots;
+  for (const int64_t cut : cuts) {
+    ASPECT_ASSIGN_OR_RETURN(std::unique_ptr<Database> snap,
+                            Database::Create(db.schema()));
+    std::vector<std::vector<TupleId>> remap(static_cast<size_t>(n));
+    for (const int ti : order) {
+      const Table& src = db.table(ti);
+      Table* dst = snap->FindTable(src.name());
+      const int ts_col = src.ColumnIndex(ts_column);
+      auto& rm = remap[static_cast<size_t>(ti)];
+      rm.assign(static_cast<size_t>(src.NumSlots()), kInvalidTuple);
+      Status failure = Status::OK();
+      src.ForEachLive([&](TupleId t) {
+        if (!failure.ok()) return;
+        if (ts_col >= 0) {
+          if (!src.column(ts_col).IsValue(t) ||
+              src.column(ts_col).GetInt(t) > cut) {
+            return;
+          }
+        }
+        std::vector<Value> row = src.GetRow(t);
+        for (int ci = 0; ci < src.num_columns(); ++ci) {
+          const Column& col = src.column(ci);
+          if (!col.is_foreign_key() ||
+              row[static_cast<size_t>(ci)].is_null()) {
+            continue;
+          }
+          const int pi = db.schema().TableIndex(col.ref_table());
+          const TupleId mapped =
+              remap[static_cast<size_t>(pi)][static_cast<size_t>(
+                  row[static_cast<size_t>(ci)].int64())];
+          if (mapped == kInvalidTuple) return;  // parent not in snapshot
+          row[static_cast<size_t>(ci)] = Value(static_cast<int64_t>(mapped));
+        }
+        auto appended = dst->Append(row);
+        if (!appended.ok()) {
+          failure = appended.status();
+          return;
+        }
+        rm[static_cast<size_t>(t)] = appended.ValueOrDie();
+      });
+      ASPECT_RETURN_NOT_OK(failure);
+    }
+    snapshots.push_back(std::move(snap));
+  }
+  return snapshots;
+}
+
+}  // namespace aspect

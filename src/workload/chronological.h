@@ -1,0 +1,29 @@
+// Chronological snapshot extraction (Sec. III-C / VI-A): when the
+// dataset has a time attribute, ASPECT takes snapshots D1 < ... < Dr
+// directly from it instead of sampling.
+//
+// A tuple belongs to the snapshot at cut `c` iff its timestamp column
+// (when it has one) is <= c AND all of its FK parents belong too -
+// real datasets satisfy the latter automatically (you cannot comment
+// on a post that does not exist yet), and enforcing it keeps snapshots
+// FK-closed even on noisy inputs. Tables without the timestamp column
+// are taken whole.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/database.h"
+
+namespace aspect {
+
+/// Extracts one FK-closed snapshot per cut (cuts need not be sorted).
+/// `ts_column` names the timestamp column (tables lacking it are
+/// copied whole). Tuple ids are densified; FK values remapped.
+Result<std::vector<std::unique_ptr<Database>>> ChronologicalSnapshots(
+    const Database& db, const std::string& ts_column,
+    const std::vector<int64_t>& cuts);
+
+}  // namespace aspect

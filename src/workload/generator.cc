@@ -1,0 +1,143 @@
+#include "workload/generator.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/string_util.h"
+
+namespace aspect {
+namespace {
+
+const char* kCountries[] = {"sg", "cn", "us", "jp", "kr", "de", "fr", "br"};
+
+/// Target size of a table at 1-based snapshot s.
+int64_t SizeAt(const TableBlueprint& t, int s) {
+  const double v =
+      static_cast<double>(t.base_size) * std::pow(t.growth, s - 1);
+  const int64_t n = static_cast<int64_t>(std::llround(v));
+  return n < 1 ? 1 : n;
+}
+
+/// Picks a parent tuple id among the first `count` tuples with the
+/// given Zipf skew; rank 1 maps to tuple 0, so early (old) tuples are
+/// the popular ones - the rich-get-richer shape of real social data.
+TupleId PickParent(Rng* rng, int64_t count, double zipf) {
+  return rng->Zipf(count, zipf) - 1;
+}
+
+Value AttributeValue(Rng* rng, const ColumnSpec& attr, int snapshot) {
+  if (attr.name == "country") {
+    return Value(std::string(
+        kCountries[rng->UniformInt(0, 7)]));
+  }
+  if (attr.name == "gender") return Value(rng->UniformInt(0, 1));
+  if (attr.name == "ts") return Value(static_cast<int64_t>(snapshot));
+  if (attr.type == ColumnType::kInt64) return Value(rng->UniformInt(0, 4));
+  if (attr.type == ColumnType::kDouble) return Value(rng->UniformDouble());
+  return Value(std::string("x"));
+}
+
+}  // namespace
+
+SnapshotSet::SnapshotSet(Schema schema, std::unique_ptr<Database> full,
+                         std::vector<std::vector<int64_t>> sizes)
+    : schema_(std::move(schema)),
+      full_(std::move(full)),
+      sizes_(std::move(sizes)) {}
+
+std::vector<int64_t> SnapshotSet::SnapshotSizes(int snapshot) const {
+  std::vector<int64_t> out;
+  out.reserve(sizes_.size());
+  for (size_t t = 0; t < sizes_.size(); ++t) {
+    out.push_back(TableSize(static_cast<int>(t), snapshot));
+  }
+  return out;
+}
+
+Result<std::unique_ptr<Database>> SnapshotSet::Materialize(
+    int snapshot) const {
+  if (snapshot < 1 || snapshot > num_snapshots()) {
+    return Status::OutOfRange(StrFormat("snapshot %d", snapshot));
+  }
+  ASPECT_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                          Database::Create(schema_));
+  for (int ti = 0; ti < full_->num_tables(); ++ti) {
+    const Table& src = full_->table(ti);
+    Table* dst = db->FindTable(src.name());
+    const int64_t limit = TableSize(ti, snapshot);
+    for (TupleId t = 0; t < limit; ++t) {
+      ASPECT_RETURN_NOT_OK(dst->Append(src.GetRow(t)).status());
+    }
+  }
+  return db;
+}
+
+Result<SnapshotSet> GenerateDataset(const DatasetBlueprint& blueprint,
+                                    uint64_t seed) {
+  Schema schema = blueprint.ToSchema();
+  ASPECT_RETURN_NOT_OK(schema.Validate());
+  // Parents must precede children so FK targets exist while growing.
+  for (size_t ti = 0; ti < blueprint.tables.size(); ++ti) {
+    for (const std::string& p : blueprint.tables[ti].parents) {
+      const int pi = schema.TableIndex(p);
+      if (pi < 0 || pi >= static_cast<int>(ti)) {
+        return Status::Invalid(StrFormat(
+            "blueprint table '%s': parent '%s' must be declared earlier",
+            blueprint.tables[ti].name.c_str(), p.c_str()));
+      }
+    }
+  }
+
+  ASPECT_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
+                          Database::Create(schema));
+  Rng rng(seed);
+  const int num_tables = static_cast<int>(blueprint.tables.size());
+  std::vector<std::vector<int64_t>> sizes(
+      static_cast<size_t>(num_tables),
+      std::vector<int64_t>(static_cast<size_t>(blueprint.num_snapshots), 0));
+
+  // Pre-resolve response wiring for self-responses.
+  const int user_index = schema.TableIndex(blueprint.user_table);
+  std::vector<int> response_author_col(static_cast<size_t>(num_tables), -1);
+  for (const ResponseSpec& r : schema.responses) {
+    const int ti = schema.TableIndex(r.response_table);
+    response_author_col[static_cast<size_t>(ti)] = r.author_col;
+  }
+
+  for (int s = 1; s <= blueprint.num_snapshots; ++s) {
+    for (int ti = 0; ti < num_tables; ++ti) {
+      const TableBlueprint& tb = blueprint.tables[static_cast<size_t>(ti)];
+      Table* table = &db->table(ti);
+      const int64_t target = SizeAt(tb, s);
+      while (table->NumTuples() < target) {
+        std::vector<Value> row;
+        row.reserve(tb.parents.size() + tb.attributes.size());
+        for (size_t p = 0; p < tb.parents.size(); ++p) {
+          const int pi = schema.TableIndex(tb.parents[p]);
+          const int64_t count = db->table(pi).NumTuples();
+          row.push_back(Value(static_cast<int64_t>(
+              PickParent(&rng, count, tb.parent_zipf))));
+        }
+        // Occasionally make a response a self-response.
+        if (tb.kind == TableKind::kResponse && user_index >= 0 &&
+            response_author_col[static_cast<size_t>(ti)] >= 0 &&
+            rng.Bernoulli(blueprint.self_response_rate)) {
+          const int pi = schema.TableIndex(tb.parents[0]);
+          const TupleId post = row[0].int64();
+          const Column& author = db->table(pi).column(
+              response_author_col[static_cast<size_t>(ti)]);
+          row[1] = Value(author.GetInt(post));
+        }
+        for (const ColumnSpec& attr : tb.attributes) {
+          row.push_back(AttributeValue(&rng, attr, s));
+        }
+        ASPECT_RETURN_NOT_OK(table->Append(row).status());
+      }
+      sizes[static_cast<size_t>(ti)][static_cast<size_t>(s - 1)] =
+          table->NumTuples();
+    }
+  }
+  return SnapshotSet(std::move(schema), std::move(db), std::move(sizes));
+}
+
+}  // namespace aspect

@@ -1,0 +1,221 @@
+// Tests for the coappear property: Definition 4 extraction, Theorem 2
+// conditions/repair, Algorithm 2 tweaking, incremental maintenance.
+#include <gtest/gtest.h>
+
+#include "aspect/tweak_context.h"
+#include "properties/coappear.h"
+#include "relational/integrity.h"
+#include "scaler/size_scaler.h"
+#include "workload/generator.h"
+
+namespace aspect {
+namespace {
+
+// Fig. 10's shape: T_A, T_B, T_C all reference T_K and T_H.
+Schema Fig10Schema() {
+  Schema s;
+  s.name = "fig10";
+  s.tables.push_back({"K", {{"x", ColumnType::kInt64, ""}}});
+  s.tables.push_back({"H", {{"x", ColumnType::kInt64, ""}}});
+  for (const char* n : {"A", "B", "C"}) {
+    s.tables.push_back({n,
+                        {{"k", ColumnType::kForeignKey, "K"},
+                         {"h", ColumnType::kForeignKey, "H"}}});
+  }
+  return s;
+}
+
+std::unique_ptr<Database> Fig10Db() {
+  auto db = Database::Create(Fig10Schema()).ValueOrAbort();
+  for (const char* n : {"K", "H"}) {
+    for (int i = 0; i < 3; ++i) {
+      db->FindTable(n)->Append({Value(int64_t{i})}).status().Check();
+    }
+  }
+  auto add = [&](const char* t, int64_t k, int64_t h, int times) {
+    for (int i = 0; i < times; ++i) {
+      db->FindTable(t)->Append({Value(k), Value(h)}).status().Check();
+    }
+  };
+  // <k0,h1> appears 3x in A, 3x in B, 1x in C -> xi(3,3,1) = 1.
+  add("A", 0, 1, 3);
+  add("B", 0, 1, 3);
+  add("C", 0, 1, 1);
+  // <k1,h2> and <k2,h0> each 1x in A, 1x in B, 2x in C -> xi(1,1,2)=2.
+  add("A", 1, 2, 1);
+  add("B", 1, 2, 1);
+  add("C", 1, 2, 2);
+  add("A", 2, 0, 1);
+  add("B", 2, 0, 1);
+  add("C", 2, 0, 2);
+  return db;
+}
+
+TEST(CoappearTest, Fig10DistributionExtracted) {
+  auto db = Fig10Db();
+  CoappearPropertyTool tool(db->schema());
+  ASSERT_EQ(tool.groups().size(), 1u);
+  ASSERT_TRUE(tool.SetTargetFromDataset(*db).ok());
+  const FrequencyDistribution& xi = tool.TargetXi(0);
+  EXPECT_EQ(xi.Count({3, 3, 1}), 1);
+  EXPECT_EQ(xi.Count({1, 1, 2}), 2);
+  EXPECT_EQ(xi.NumKeys(), 2);
+}
+
+TEST(CoappearTest, TheoremTwoConditionsHoldForExtraction) {
+  auto db = Fig10Db();
+  CoappearPropertyTool tool(db->schema());
+  ASSERT_TRUE(tool.SetTargetFromDataset(*db).ok());
+  ASSERT_TRUE(tool.Bind(db.get()).ok());
+  // C1/C2 hold for a target extracted from the same-size dataset.
+  EXPECT_TRUE(tool.CheckTargetFeasible().ok());
+  // Error against self is zero.
+  EXPECT_DOUBLE_EQ(tool.Error(), 0.0);
+  tool.Unbind();
+}
+
+TEST(CoappearTest, IncrementalMatchesRebuild) {
+  auto gen = GenerateDataset(DoubanMusicLike(0.3), 31).ValueOrAbort();
+  auto db = gen.Materialize(3).ValueOrAbort();
+  CoappearPropertyTool tool(db->schema());
+  ASSERT_TRUE(tool.SetTargetFromDataset(*db).ok());
+  ASSERT_TRUE(tool.Bind(db.get()).ok());
+
+  Rng rng(6);
+  Table* t = db->FindTable("Album_Heard");
+  for (int step = 0; step < 80; ++step) {
+    const TupleId tid = rng.UniformInt(0, t->NumTuples() - 1);
+    const int col = static_cast<int>(rng.UniformInt(0, 1));
+    const int64_t max_parent =
+        (col == 0 ? db->FindTable("Album") : db->FindTable("User"))
+            ->NumTuples() -
+        1;
+    ASSERT_TRUE(db->Apply(Modification::ReplaceValues(
+                              "Album_Heard", {tid}, {col},
+                              {Value(rng.UniformInt(0, max_parent))}))
+                    .ok());
+  }
+  TupleId nt = kInvalidTuple;
+  ASSERT_TRUE(db->Apply(Modification::InsertTuple(
+                            "Album_Heard",
+                            {Value(int64_t{0}), Value(int64_t{1}),
+                             Value(int64_t{1})}),
+                        &nt)
+                  .ok());
+  ASSERT_TRUE(db->Apply(Modification::DeleteTuple("Album_Heard", nt)).ok());
+
+  // Compare with a freshly bound tool.
+  CoappearPropertyTool fresh(db->schema());
+  ASSERT_TRUE(fresh.SetTargetFromDataset(*db).ok());
+  ASSERT_TRUE(fresh.Bind(db.get()).ok());
+  for (int g = 0; g < static_cast<int>(tool.groups().size()); ++g) {
+    EXPECT_EQ(tool.CurrentXi(g), fresh.CurrentXi(g)) << "group " << g;
+  }
+  fresh.Unbind();
+  tool.Unbind();
+}
+
+class CoappearTweakTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CoappearTweakTest, TweaksRandScaledDatasetToGroundTruth) {
+  const uint64_t seed = GetParam();
+  auto gen = GenerateDataset(DoubanMusicLike(0.3), seed).ValueOrAbort();
+  auto truth = gen.Materialize(4).ValueOrAbort();
+  RandScaler scaler;
+  auto scaled = scaler
+                    .Scale(*gen.Materialize(2).ValueOrAbort(),
+                           gen.SnapshotSizes(4), seed)
+                    .ValueOrAbort();
+
+  CoappearPropertyTool tool(truth->schema());
+  ASSERT_TRUE(tool.SetTargetFromDataset(*truth).ok());
+  ASSERT_TRUE(tool.Bind(scaled.get()).ok());
+  // Same sizes, so the extracted target is feasible without repair.
+  ASSERT_TRUE(tool.CheckTargetFeasible().ok()) << tool.CheckTargetFeasible();
+
+  const double before = tool.Error();
+  EXPECT_GT(before, 0.001);
+  Rng rng(seed + 1);
+  TweakContext ctx(scaled.get(), {}, &rng);
+  ASSERT_TRUE(tool.Tweak(&ctx).ok());
+  const double after = tool.Error();
+  EXPECT_LT(after, before / 20.0);
+  EXPECT_LT(after, 1e-6);
+  EXPECT_TRUE(CheckIntegrity(*scaled).ok());
+  tool.Unbind();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoappearTweakTest,
+                         ::testing::Values(41u, 42u, 43u));
+
+TEST(CoappearTest, TweakPreservesTableSizes) {
+  // Theorem 2 C1: the tweak must leave every member table's size
+  // unchanged (insertions balance deletions).
+  auto gen = GenerateDataset(DoubanMusicLike(0.3), 55).ValueOrAbort();
+  auto truth = gen.Materialize(3).ValueOrAbort();
+  RandScaler scaler;
+  auto scaled = scaler
+                    .Scale(*gen.Materialize(2).ValueOrAbort(),
+                           gen.SnapshotSizes(3), 55)
+                    .ValueOrAbort();
+  std::vector<int64_t> sizes_before;
+  for (int t = 0; t < scaled->num_tables(); ++t) {
+    sizes_before.push_back(scaled->table(t).NumTuples());
+  }
+  CoappearPropertyTool tool(truth->schema());
+  ASSERT_TRUE(tool.SetTargetFromDataset(*truth).ok());
+  ASSERT_TRUE(tool.Bind(scaled.get()).ok());
+  Rng rng(7);
+  TweakContext ctx(scaled.get(), {}, &rng);
+  ASSERT_TRUE(tool.Tweak(&ctx).ok());
+  for (int t = 0; t < scaled->num_tables(); ++t) {
+    EXPECT_EQ(scaled->table(t).NumTuples(),
+              sizes_before[static_cast<size_t>(t)])
+        << scaled->table(t).name();
+  }
+  tool.Unbind();
+}
+
+TEST(CoappearTest, RepairEstablishesFeasibility) {
+  // Scale to *different* sizes than the ground truth (like ReX does):
+  // the raw target violates C1 until repaired.
+  auto gen = GenerateDataset(DoubanMusicLike(0.3), 61).ValueOrAbort();
+  auto truth = gen.Materialize(4).ValueOrAbort();
+  RexScaler scaler;
+  auto scaled = scaler
+                    .Scale(*gen.Materialize(2).ValueOrAbort(),
+                           gen.SnapshotSizes(4), 61)
+                    .ValueOrAbort();
+  CoappearPropertyTool tool(truth->schema());
+  ASSERT_TRUE(tool.SetTargetFromDataset(*truth).ok());
+  ASSERT_TRUE(tool.Bind(scaled.get()).ok());
+  EXPECT_FALSE(tool.CheckTargetFeasible().ok());
+  ASSERT_TRUE(tool.RepairTarget().ok());
+  EXPECT_TRUE(tool.CheckTargetFeasible().ok()) << tool.CheckTargetFeasible();
+  // And the repaired target is reachable.
+  Rng rng(8);
+  TweakContext ctx(scaled.get(), {}, &rng);
+  ASSERT_TRUE(tool.Tweak(&ctx).ok());
+  EXPECT_LT(tool.Error(), 1e-6);
+  tool.Unbind();
+}
+
+TEST(CoappearTest, ValidationPenaltySigns) {
+  auto db = Fig10Db();
+  CoappearPropertyTool tool(db->schema());
+  ASSERT_TRUE(tool.SetTargetFromDataset(*db).ok());
+  ASSERT_TRUE(tool.Bind(db.get()).ok());
+  // Moving a tuple of combo <k0,h1> to <k0,h0> splits the (3,3,1)
+  // combo: positive penalty.
+  const Modification bad = Modification::ReplaceValues(
+      "A", {0}, {1}, {Value(int64_t{0})});
+  EXPECT_GT(tool.ValidationPenalty(bad), 0.0);
+  // Touching a non-FK column of an unrelated table: no penalty.
+  const Modification neutral =
+      Modification::ReplaceValues("K", {0}, {0}, {Value(int64_t{9})});
+  EXPECT_DOUBLE_EQ(tool.ValidationPenalty(neutral), 0.0);
+  tool.Unbind();
+}
+
+}  // namespace
+}  // namespace aspect

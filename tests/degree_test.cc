@@ -1,0 +1,176 @@
+// Tests for the degree-distribution tool (the contributed fourth
+// complex property).
+#include <gtest/gtest.h>
+
+#include "aspect/coordinator.h"
+#include "aspect/tweak_context.h"
+#include "properties/degree.h"
+#include "relational/integrity.h"
+#include "scaler/size_scaler.h"
+#include "workload/generator.h"
+
+namespace aspect {
+namespace {
+
+Schema TwoTableSchema() {
+  Schema s;
+  s.name = "deg";
+  s.tables.push_back({"P", {{"x", ColumnType::kInt64, ""}}});
+  s.tables.push_back({"C", {{"p", ColumnType::kForeignKey, "P"}}});
+  return s;
+}
+
+std::unique_ptr<Database> TwoTableDb(const std::vector<int64_t>& fks,
+                                     int64_t parents) {
+  auto db = Database::Create(TwoTableSchema()).ValueOrAbort();
+  for (int64_t i = 0; i < parents; ++i) {
+    db->FindTable("P")->Append({Value(i)}).status().Check();
+  }
+  for (const int64_t p : fks) {
+    db->FindTable("C")->Append({Value(p)}).status().Check();
+  }
+  return db;
+}
+
+TEST(DegreeTest, ExtractionMatchesHandCount) {
+  // Degrees: p0:3, p1:1, p2:0, p3:2.
+  auto db = TwoTableDb({0, 0, 0, 1, 3, 3}, 4);
+  DegreeDistributionTool tool(db->schema());
+  ASSERT_EQ(tool.edges().size(), 1u);
+  ASSERT_TRUE(tool.SetTargetFromDataset(*db).ok());
+  EXPECT_EQ(tool.TargetDist(0).Count({3}), 1);
+  EXPECT_EQ(tool.TargetDist(0).Count({2}), 1);
+  EXPECT_EQ(tool.TargetDist(0).Count({1}), 1);
+  EXPECT_EQ(tool.TargetDist(0).Count({0}), 0);  // implicit
+  ASSERT_TRUE(tool.Bind(db.get()).ok());
+  EXPECT_DOUBLE_EQ(tool.Error(), 0.0);
+  EXPECT_TRUE(tool.CheckTargetFeasible().ok());
+  tool.Unbind();
+}
+
+TEST(DegreeTest, TweakReachesExactSequence) {
+  auto db = TwoTableDb({0, 0, 0, 0, 0, 0, 1, 2}, 5);  // degrees 6,1,1,0,0
+  DegreeDistributionTool tool(db->schema());
+  ASSERT_TRUE(tool.Bind(db.get()).ok());
+  // Target: degrees {2, 2, 2, 1, 1}.
+  FrequencyDistribution f(1);
+  f.Add({2}, 3);
+  f.Add({1}, 2);
+  ASSERT_TRUE(tool.SetTargetDistributions({f}, {5}).ok());
+  ASSERT_TRUE(tool.CheckTargetFeasible().ok()) << tool.CheckTargetFeasible();
+  EXPECT_GT(tool.Error(), 0.0);
+  Rng rng(1);
+  TweakContext ctx(db.get(), {}, &rng);
+  ASSERT_TRUE(tool.Tweak(&ctx).ok());
+  EXPECT_DOUBLE_EQ(tool.Error(), 0.0);
+  EXPECT_TRUE(CheckIntegrity(*db).ok());
+  tool.Unbind();
+}
+
+TEST(DegreeTest, InfeasibleTargetsDetectedAndRepaired) {
+  auto db = TwoTableDb({0, 0, 1}, 3);
+  DegreeDistributionTool tool(db->schema());
+  ASSERT_TRUE(tool.Bind(db.get()).ok());
+  FrequencyDistribution f(1);
+  f.Add({5}, 2);  // weighted sum 10 != |C| = 3
+  ASSERT_TRUE(tool.SetTargetDistributions({f}, {3}).ok());
+  EXPECT_FALSE(tool.CheckTargetFeasible().ok());
+  ASSERT_TRUE(tool.RepairTarget().ok());
+  EXPECT_TRUE(tool.CheckTargetFeasible().ok()) << tool.CheckTargetFeasible();
+  tool.Unbind();
+}
+
+class DegreeTweakTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DegreeTweakTest, TweaksRandScaledDatasetToGroundTruth) {
+  const uint64_t seed = GetParam();
+  auto gen = GenerateDataset(DoubanMusicLike(0.3), seed).ValueOrAbort();
+  auto truth = gen.Materialize(4).ValueOrAbort();
+  RandScaler scaler;
+  auto scaled = scaler
+                    .Scale(*gen.Materialize(2).ValueOrAbort(),
+                           gen.SnapshotSizes(4), seed)
+                    .ValueOrAbort();
+  DegreeDistributionTool tool(truth->schema());
+  ASSERT_TRUE(tool.SetTargetFromDataset(*truth).ok());
+  ASSERT_TRUE(tool.Bind(scaled.get()).ok());
+  ASSERT_TRUE(tool.CheckTargetFeasible().ok()) << tool.CheckTargetFeasible();
+  const double before = tool.Error();
+  EXPECT_GT(before, 0.05);
+  Rng rng(seed);
+  TweakContext ctx(scaled.get(), {}, &rng);
+  ASSERT_TRUE(tool.Tweak(&ctx).ok());
+  EXPECT_LT(tool.Error(), 1e-9);
+  EXPECT_TRUE(CheckIntegrity(*scaled).ok());
+  tool.Unbind();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DegreeTweakTest,
+                         ::testing::Values(51u, 52u, 53u));
+
+TEST(DegreeTest, IncrementalMatchesRebuild) {
+  auto gen = GenerateDataset(DoubanMusicLike(0.3), 3).ValueOrAbort();
+  auto db = gen.Materialize(3).ValueOrAbort();
+  DegreeDistributionTool tool(db->schema());
+  ASSERT_TRUE(tool.SetTargetFromDataset(*db).ok());
+  ASSERT_TRUE(tool.Bind(db.get()).ok());
+  Rng rng(9);
+  Table* t = db->FindTable("Album_Comment");
+  for (int step = 0; step < 60; ++step) {
+    const TupleId tid = rng.UniformInt(0, t->NumTuples() - 1);
+    const int col = static_cast<int>(rng.UniformInt(0, 1));
+    const Table* p = col == 0 ? db->FindTable("Album") : db->FindTable("User");
+    ASSERT_TRUE(db->Apply(Modification::ReplaceValues(
+                              "Album_Comment", {tid}, {col},
+                              {Value(rng.UniformInt(0, p->NumTuples() - 1))}))
+                    .ok());
+  }
+  DegreeDistributionTool fresh(db->schema());
+  ASSERT_TRUE(fresh.SetTargetFromDataset(*db).ok());
+  ASSERT_TRUE(fresh.Bind(db.get()).ok());
+  for (size_t e = 0; e < tool.edges().size(); ++e) {
+    EXPECT_EQ(tool.CurrentDist(static_cast<int>(e)),
+              fresh.CurrentDist(static_cast<int>(e)))
+        << e;
+  }
+  fresh.Unbind();
+  tool.Unbind();
+}
+
+TEST(DegreeTest, ValidationPenaltySigns) {
+  auto db = TwoTableDb({0, 0, 1}, 3);
+  DegreeDistributionTool tool(db->schema());
+  ASSERT_TRUE(tool.SetTargetFromDataset(*db).ok());
+  ASSERT_TRUE(tool.Bind(db.get()).ok());
+  // Moving c2 from p1 to p0 turns degrees {2,1} into {3}: positive.
+  EXPECT_GT(tool.ValidationPenalty(Modification::ReplaceValues(
+                "C", {2}, {0}, {Value(int64_t{0})})),
+            0.0);
+  // No-op move: zero.
+  EXPECT_DOUBLE_EQ(tool.ValidationPenalty(Modification::ReplaceValues(
+                       "C", {2}, {0}, {Value(int64_t{1})})),
+                   0.0);
+  tool.Unbind();
+}
+
+TEST(DegreeTest, ComposesWithOtherToolsInCoordinator) {
+  auto gen = GenerateDataset(DoubanMusicLike(0.3), 19).ValueOrAbort();
+  auto truth = gen.Materialize(4).ValueOrAbort();
+  RandScaler scaler;
+  auto scaled = scaler
+                    .Scale(*gen.Materialize(2).ValueOrAbort(),
+                           gen.SnapshotSizes(4), 19)
+                    .ValueOrAbort();
+  Coordinator coordinator;
+  const int deg = coordinator.AddTool(
+      std::make_unique<DegreeDistributionTool>(truth->schema()));
+  coordinator.SetTargetsFromDataset(*truth).Check();
+  CoordinatorOptions opts;
+  opts.seed = 21;
+  auto report =
+      coordinator.Run(scaled.get(), {deg}, opts).ValueOrAbort();
+  EXPECT_LT(report.final_errors[static_cast<size_t>(deg)], 1e-9);
+}
+
+}  // namespace
+}  // namespace aspect

@@ -1,0 +1,289 @@
+// Cross-tool consistency fuzz: drive random modification sequences
+// through the uniform API with every complex tool bound, then check
+// that each tool's incrementally maintained statistics equal a fresh
+// from-scratch rebuild. This is the strongest guard on the Statistics
+// Updater contract - any missed or double-counted event shows up here.
+#include <gtest/gtest.h>
+
+#include "properties/coappear.h"
+#include "properties/degree.h"
+#include "properties/linear.h"
+#include "properties/pairwise.h"
+#include "relational/integrity.h"
+#include "relational/refcount.h"
+#include "workload/generator.h"
+
+namespace aspect {
+namespace {
+
+class FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzTest, IncrementalStatsSurviveRandomOperations) {
+  const uint64_t seed = GetParam();
+  auto gen = GenerateDataset(DoubanMusicLike(0.3), seed).ValueOrAbort();
+  auto db = gen.Materialize(3).ValueOrAbort();
+
+  LinearPropertyTool linear(db->schema());
+  CoappearPropertyTool coappear(db->schema());
+  PairwisePropertyTool pairwise(db->schema());
+  DegreeDistributionTool degree(db->schema());
+  for (PropertyTool* t : std::initializer_list<PropertyTool*>{
+           &linear, &coappear, &pairwise, &degree}) {
+    ASSERT_TRUE(t->SetTargetFromDataset(*db).ok());
+    ASSERT_TRUE(t->Bind(db.get()).ok());
+  }
+  RefCounter refcount(db.get());
+
+  Rng rng(seed * 31 + 7);
+  // Tables whose tuples nothing references (safe to delete).
+  const std::vector<std::string> leaf_tables = {
+      "Album_Comment", "Album_Listening", "Album_Heard", "Album_Wish",
+      "Review_Comment", "Artist_Fan", "User_Fan"};
+  int64_t applied = 0;
+  for (int step = 0; step < 400; ++step) {
+    const int kind = static_cast<int>(rng.UniformInt(0, 5));
+    switch (kind) {
+      case 0:
+      case 1: {  // ReplaceValues on a random FK cell
+        const int ti = static_cast<int>(
+            rng.UniformInt(0, db->num_tables() - 1));
+        Table& t = db->table(ti);
+        std::vector<int> fk_cols;
+        for (int c = 0; c < t.num_columns(); ++c) {
+          if (t.column(c).is_foreign_key()) fk_cols.push_back(c);
+        }
+        if (fk_cols.empty() || t.NumTuples() == 0) break;
+        const int col = fk_cols[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(fk_cols.size()) - 1))];
+        TupleId victim = rng.UniformInt(0, t.NumSlots() - 1);
+        if (!t.IsLive(victim)) break;
+        const Table* parent = db->FindTable(t.column(col).ref_table());
+        TupleId np = rng.UniformInt(0, parent->NumSlots() - 1);
+        if (!parent->IsLive(np)) break;
+        applied += db->Apply(Modification::ReplaceValues(
+                                 t.name(), {victim}, {col}, {Value(np)}))
+                       .ok();
+        break;
+      }
+      case 2: {  // Insert a tuple into a leaf table
+        const std::string& name = leaf_tables[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(leaf_tables.size()) - 1))];
+        Table* t = db->FindTable(name);
+        std::vector<Value> row;
+        bool ok = true;
+        for (int c = 0; c < t->num_columns(); ++c) {
+          const Column& col = t->column(c);
+          if (col.is_foreign_key()) {
+            const Table* parent = db->FindTable(col.ref_table());
+            const TupleId p = rng.UniformInt(0, parent->NumSlots() - 1);
+            if (!parent->IsLive(p)) {
+              ok = false;
+              break;
+            }
+            row.push_back(Value(static_cast<int64_t>(p)));
+          } else {
+            row.push_back(Value(int64_t{1}));
+          }
+        }
+        if (ok) {
+          applied +=
+              db->Apply(Modification::InsertTuple(name, row)).ok();
+        }
+        break;
+      }
+      case 3: {  // Delete an unreferenced tuple from a leaf table
+        const std::string& name = leaf_tables[static_cast<size_t>(
+            rng.UniformInt(0, static_cast<int64_t>(leaf_tables.size()) - 1))];
+        Table* t = db->FindTable(name);
+        if (t->NumTuples() <= 1) break;
+        const TupleId victim = rng.UniformInt(0, t->NumSlots() - 1);
+        const int ti = db->schema().TableIndex(name);
+        if (!t->IsLive(victim) || !refcount.Unreferenced(ti, victim)) break;
+        applied +=
+            db->Apply(Modification::DeleteTuple(name, victim)).ok();
+        break;
+      }
+      case 4: {  // deleteValues then insertValues (the Fig. 6 cycle)
+        Table* t = db->FindTable("User_Fan");
+        if (t->NumTuples() == 0) break;
+        const TupleId victim = rng.UniformInt(0, t->NumSlots() - 1);
+        if (!t->IsLive(victim) || !t->column(0).IsValue(victim)) break;
+        ASSERT_TRUE(db->Apply(Modification::DeleteValues("User_Fan",
+                                                         {victim}, {0}))
+                        .ok());
+        const Table* users = db->FindTable("User");
+        TupleId nu = rng.UniformInt(0, users->NumSlots() - 1);
+        while (!users->IsLive(nu)) {
+          nu = rng.UniformInt(0, users->NumSlots() - 1);
+        }
+        ASSERT_TRUE(db->Apply(Modification::InsertValues(
+                                  "User_Fan", {victim}, {0},
+                                  {Value(static_cast<int64_t>(nu))}))
+                        .ok());
+        applied += 2;
+        break;
+      }
+      case 5: {  // Re-author a post (the pairwise-heavy structural op)
+        const ResponseSpec& spec = db->schema().responses[0];
+        Table* post = db->FindTable(spec.post_table);
+        const TupleId pid = rng.UniformInt(0, post->NumSlots() - 1);
+        if (!post->IsLive(pid)) break;
+        const Table* users = db->FindTable("User");
+        TupleId na = rng.UniformInt(0, users->NumSlots() - 1);
+        if (!users->IsLive(na)) break;
+        applied += db->Apply(Modification::ReplaceValues(
+                                 spec.post_table, {pid},
+                                 {spec.author_col},
+                                 {Value(static_cast<int64_t>(na))}))
+                       .ok();
+        break;
+      }
+    }
+  }
+  EXPECT_GT(applied, 100);
+  EXPECT_TRUE(CheckIntegrity(*db).ok());
+
+  // Fresh rebuilds must agree with the incrementally maintained state.
+  LinearPropertyTool linear2(db->schema());
+  ASSERT_TRUE(linear2.SetTargetFromDataset(*db).ok());
+  ASSERT_TRUE(linear2.Bind(db.get()).ok());
+  for (size_t c = 0; c < linear.chains().size(); ++c) {
+    EXPECT_EQ(linear.CurrentMatrix(static_cast<int>(c)),
+              linear2.CurrentMatrix(static_cast<int>(c)))
+        << "chain " << c;
+  }
+  CoappearPropertyTool coappear2(db->schema());
+  ASSERT_TRUE(coappear2.SetTargetFromDataset(*db).ok());
+  ASSERT_TRUE(coappear2.Bind(db.get()).ok());
+  for (size_t g = 0; g < coappear.groups().size(); ++g) {
+    EXPECT_EQ(coappear.CurrentXi(static_cast<int>(g)),
+              coappear2.CurrentXi(static_cast<int>(g)))
+        << "group " << g;
+  }
+  PairwisePropertyTool pairwise2(db->schema());
+  ASSERT_TRUE(pairwise2.SetTargetFromDataset(*db).ok());
+  ASSERT_TRUE(pairwise2.Bind(db.get()).ok());
+  for (int s = 0; s < pairwise.num_specs(); ++s) {
+    EXPECT_EQ(pairwise.CurrentRho(s), pairwise2.CurrentRho(s)) << s;
+    EXPECT_EQ(pairwise.CurrentRhoSelf(s), pairwise2.CurrentRhoSelf(s)) << s;
+  }
+  DegreeDistributionTool degree2(db->schema());
+  ASSERT_TRUE(degree2.SetTargetFromDataset(*db).ok());
+  ASSERT_TRUE(degree2.Bind(db.get()).ok());
+  for (size_t e = 0; e < degree.edges().size(); ++e) {
+    EXPECT_EQ(degree.CurrentDist(static_cast<int>(e)),
+              degree2.CurrentDist(static_cast<int>(e)))
+        << "edge " << e;
+  }
+
+  for (PropertyTool* t : std::initializer_list<PropertyTool*>{
+           &linear, &coappear, &pairwise, &degree, &linear2, &coappear2,
+           &pairwise2, &degree2}) {
+    t->Unbind();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzTest,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(FuzzXiamiTest, HeavySchemaConsistency) {
+  // The same cross-check on the 31-table Xiami-like schema (42 chains,
+  // 12 coappear groups, 4 pairwise specs) with a shorter op sequence.
+  auto gen = GenerateDataset(XiamiLike(0.2), 99).ValueOrAbort();
+  auto db = gen.Materialize(2).ValueOrAbort();
+  LinearPropertyTool linear(db->schema());
+  CoappearPropertyTool coappear(db->schema());
+  PairwisePropertyTool pairwise(db->schema());
+  for (PropertyTool* t : std::initializer_list<PropertyTool*>{
+           &linear, &coappear, &pairwise}) {
+    ASSERT_TRUE(t->SetTargetFromDataset(*db).ok());
+    ASSERT_TRUE(t->Bind(db.get()).ok());
+  }
+  Rng rng(4);
+  for (int step = 0; step < 150; ++step) {
+    const int ti = static_cast<int>(rng.UniformInt(0, db->num_tables() - 1));
+    Table& t = db->table(ti);
+    std::vector<int> fk_cols;
+    for (int c = 0; c < t.num_columns(); ++c) {
+      if (t.column(c).is_foreign_key()) fk_cols.push_back(c);
+    }
+    if (fk_cols.empty() || t.NumTuples() == 0) continue;
+    const int col = fk_cols[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(fk_cols.size()) - 1))];
+    const TupleId victim = rng.UniformInt(0, t.NumSlots() - 1);
+    if (!t.IsLive(victim)) continue;
+    const Table* parent = db->FindTable(t.column(col).ref_table());
+    const TupleId np = rng.UniformInt(0, parent->NumSlots() - 1);
+    if (!parent->IsLive(np)) continue;
+    ASSERT_TRUE(db->Apply(Modification::ReplaceValues(
+                              t.name(), {victim}, {col}, {Value(np)}))
+                    .ok());
+  }
+  LinearPropertyTool linear2(db->schema());
+  ASSERT_TRUE(linear2.SetTargetFromDataset(*db).ok());
+  ASSERT_TRUE(linear2.Bind(db.get()).ok());
+  for (size_t c = 0; c < linear.chains().size(); ++c) {
+    ASSERT_EQ(linear.CurrentMatrix(static_cast<int>(c)),
+              linear2.CurrentMatrix(static_cast<int>(c)))
+        << c;
+  }
+  CoappearPropertyTool coappear2(db->schema());
+  ASSERT_TRUE(coappear2.SetTargetFromDataset(*db).ok());
+  ASSERT_TRUE(coappear2.Bind(db.get()).ok());
+  for (size_t g = 0; g < coappear.groups().size(); ++g) {
+    ASSERT_EQ(coappear.CurrentXi(static_cast<int>(g)),
+              coappear2.CurrentXi(static_cast<int>(g)))
+        << g;
+  }
+  PairwisePropertyTool pairwise2(db->schema());
+  ASSERT_TRUE(pairwise2.SetTargetFromDataset(*db).ok());
+  ASSERT_TRUE(pairwise2.Bind(db.get()).ok());
+  for (int s = 0; s < pairwise.num_specs(); ++s) {
+    ASSERT_EQ(pairwise.CurrentRho(s), pairwise2.CurrentRho(s)) << s;
+  }
+  for (PropertyTool* t : std::initializer_list<PropertyTool*>{
+           &linear, &coappear, &pairwise, &linear2, &coappear2,
+           &pairwise2}) {
+    t->Unbind();
+  }
+}
+
+TEST(RefCounterTest, TracksAllOperations) {
+  auto gen = GenerateDataset(DoubanMusicLike(0.2), 6).ValueOrAbort();
+  auto db = gen.Materialize(2).ValueOrAbort();
+  RefCounter rc(db.get());
+  const int album = db->schema().TableIndex("Album");
+  const Table* heard = db->FindTable("Album_Heard");
+  // Count references to album 0 by hand.
+  int64_t expected = 0;
+  for (int ti = 0; ti < db->num_tables(); ++ti) {
+    const Table& t = db->table(ti);
+    for (int c = 0; c < t.num_columns(); ++c) {
+      const Column& col = t.column(c);
+      if (!col.is_foreign_key() || col.ref_table() != "Album") continue;
+      t.ForEachLive([&](TupleId tid) {
+        expected += col.IsValue(tid) && col.GetInt(tid) == 0;
+      });
+    }
+  }
+  EXPECT_EQ(rc.Count(album, 0), expected);
+  // Point one more tuple at album 0.
+  TupleId victim = kInvalidTuple;
+  heard->ForEachLive([&](TupleId t) {
+    if (victim == kInvalidTuple && heard->column(0).GetInt(t) != 0) {
+      victim = t;
+    }
+  });
+  ASSERT_NE(victim, kInvalidTuple);
+  ASSERT_TRUE(db->Apply(Modification::ReplaceValues(
+                            "Album_Heard", {victim}, {0},
+                            {Value(int64_t{0})}))
+                  .ok());
+  EXPECT_EQ(rc.Count(album, 0), expected + 1);
+  ASSERT_TRUE(
+      db->Apply(Modification::DeleteTuple("Album_Heard", victim)).ok());
+  EXPECT_EQ(rc.Count(album, 0), expected);
+}
+
+}  // namespace
+}  // namespace aspect

@@ -1,0 +1,168 @@
+// Tests for the joint-distribution tool, including Theorem 7's
+// shared-column lower bound.
+#include <gtest/gtest.h>
+
+#include "aspect/coordinator.h"
+#include "properties/joint.h"
+#include "workload/generator.h"
+
+namespace aspect {
+namespace {
+
+Schema ThreeColSchema() {
+  Schema s;
+  s.name = "joint";
+  s.tables.push_back({"T",
+                      {{"a", ColumnType::kInt64, ""},
+                       {"b", ColumnType::kInt64, ""},
+                       {"c", ColumnType::kInt64, ""}}});
+  return s;
+}
+
+std::unique_ptr<Database> ThreeColDb(
+    const std::vector<std::array<int64_t, 3>>& rows) {
+  auto db = Database::Create(ThreeColSchema()).ValueOrAbort();
+  for (const auto& r : rows) {
+    db->FindTable("T")
+        ->Append({Value(r[0]), Value(r[1]), Value(r[2])})
+        .status()
+        .Check();
+  }
+  return db;
+}
+
+TEST(JointTest, ExtractAndTweakToExactTarget) {
+  auto db = ThreeColDb({{0, 0, 0}, {0, 0, 0}, {1, 1, 0}, {1, 0, 0}});
+  JointDistributionTool tool(db->schema(), "T", {"a", "b"});
+  ASSERT_TRUE(tool.Bind(db.get()).ok());
+  EXPECT_EQ(tool.Current().Count({0, 0}), 2);
+  EXPECT_EQ(tool.Current().Count({1, 1}), 1);
+
+  FrequencyDistribution target(2);
+  target.Add({0, 1}, 2);
+  target.Add({1, 0}, 2);
+  ASSERT_TRUE(tool.SetTargetDistribution(target).ok());
+  ASSERT_TRUE(tool.CheckTargetFeasible().ok());
+  Rng rng(1);
+  TweakContext ctx(db.get(), {}, &rng);
+  ASSERT_TRUE(tool.Tweak(&ctx).ok());
+  EXPECT_DOUBLE_EQ(tool.Error(), 0.0);
+  EXPECT_EQ(tool.Current().Count({0, 1}), 2);
+  EXPECT_EQ(tool.Current().Count({1, 0}), 2);
+  tool.Unbind();
+}
+
+TEST(JointTest, IncrementalTrackingAndPenalty) {
+  auto db = ThreeColDb({{0, 0, 0}, {1, 1, 0}});
+  JointDistributionTool tool(db->schema(), "T", {"a", "b"});
+  ASSERT_TRUE(tool.SetTargetFromDataset(*db).ok());
+  ASSERT_TRUE(tool.Bind(db.get()).ok());
+  EXPECT_DOUBLE_EQ(tool.Error(), 0.0);
+  // A damaging proposal has positive penalty.
+  EXPECT_GT(tool.ValidationPenalty(Modification::ReplaceValues(
+                "T", {0}, {0}, {Value(int64_t{1})})),
+            0.0);
+  // Changing the uninvolved column c is free.
+  EXPECT_DOUBLE_EQ(tool.ValidationPenalty(Modification::ReplaceValues(
+                       "T", {0}, {2}, {Value(int64_t{5})})),
+                   0.0);
+  // Incremental tracking through real modifications.
+  ASSERT_TRUE(db->Apply(Modification::ReplaceValues(
+                            "T", {0}, {0}, {Value(int64_t{1})}))
+                  .ok());
+  EXPECT_EQ(tool.Current().Count({1, 0}), 1);
+  EXPECT_GT(tool.Error(), 0.0);
+  TupleId nt = kInvalidTuple;
+  ASSERT_TRUE(db->Apply(Modification::InsertTuple(
+                            "T", {Value(int64_t{0}), Value(int64_t{0}),
+                                  Value(int64_t{0})}),
+                        &nt)
+                  .ok());
+  EXPECT_EQ(tool.Current().Count({0, 0}), 1);
+  ASSERT_TRUE(db->Apply(Modification::DeleteTuple("T", nt)).ok());
+  EXPECT_EQ(tool.Current().Count({0, 0}), 0);
+  tool.Unbind();
+}
+
+TEST(JointTest, MarginalProjection) {
+  FrequencyDistribution d(2);
+  d.Add({1, 7}, 2);
+  d.Add({1, 8}, 3);
+  d.Add({2, 7}, 1);
+  const FrequencyDistribution m0 = JointDistributionTool::Marginal(d, 0);
+  EXPECT_EQ(m0.Count({1}), 5);
+  EXPECT_EQ(m0.Count({2}), 1);
+  const FrequencyDistribution m1 = JointDistributionTool::Marginal(d, 1);
+  EXPECT_EQ(m1.Count({7}), 3);
+}
+
+// Theorem 7: two joint properties over (a, b) and (a, c) share column
+// a. After the second runs, the first's error is at least the L1
+// difference of the targets' a-marginals (normalized).
+TEST(TheoremSevenTest, SharedColumnLowerBound) {
+  auto db = ThreeColDb({{0, 0, 0}, {0, 0, 1}, {1, 1, 0}, {1, 1, 1},
+                        {2, 0, 0}, {2, 1, 1}});
+  // pi1 over (a,b): wants a-marginal {0:4, 1:2, 2:0}.
+  FrequencyDistribution pi1(2);
+  pi1.Add({0, 0}, 4);
+  pi1.Add({1, 1}, 2);
+  // pi2 over (a,c): wants a-marginal {0:1, 1:1, 2:4}.
+  FrequencyDistribution pi2(2);
+  pi2.Add({0, 0}, 1);
+  pi2.Add({1, 1}, 1);
+  pi2.Add({2, 0}, 4);
+
+  Coordinator coordinator;
+  auto t1 = std::make_unique<JointDistributionTool>(
+      db->schema(), "T", std::vector<std::string>{"a", "b"}, "j1");
+  auto t2 = std::make_unique<JointDistributionTool>(
+      db->schema(), "T", std::vector<std::string>{"a", "c"}, "j2");
+  t1->SetTargetDistribution(pi1).Check();
+  t2->SetTargetDistribution(pi2).Check();
+  JointDistributionTool* p1 = t1.get();
+  JointDistributionTool* p2 = t2.get();
+  coordinator.AddTool(std::move(t1));
+  coordinator.AddTool(std::move(t2));
+  CoordinatorOptions opts;
+  opts.validate = false;
+  opts.repair_targets = false;
+  coordinator.Run(db.get(), {0, 1}, opts).ValueOrAbort();
+
+  ASSERT_TRUE(p2->Bind(db.get()).ok());
+  EXPECT_DOUBLE_EQ(p2->Error(), 0.0);  // ran last: exact
+  p2->Unbind();
+  ASSERT_TRUE(p1->Bind(db.get()).ok());
+  const double err1 = p1->Error();
+  p1->Unbind();
+  // Theorem 7 bound: ||pi1 - pi2||_{a} / |T|.
+  const double bound =
+      static_cast<double>(JointDistributionTool::Marginal(pi1, 0)
+                              .L1Distance(
+                                  JointDistributionTool::Marginal(pi2, 0))) /
+      6.0;
+  EXPECT_GE(err1 + 1e-12, bound);
+  EXPECT_GT(bound, 0.0);
+}
+
+TEST(JointTest, RepairRescales) {
+  auto db = ThreeColDb({{0, 0, 0}, {1, 1, 0}});
+  auto truth = ThreeColDb({{0, 0, 0}, {0, 0, 0}, {1, 1, 0}, {1, 1, 0}});
+  JointDistributionTool tool(db->schema(), "T", {"a", "b"});
+  ASSERT_TRUE(tool.SetTargetFromDataset(*truth).ok());
+  ASSERT_TRUE(tool.Bind(db.get()).ok());
+  EXPECT_FALSE(tool.CheckTargetFeasible().ok());
+  ASSERT_TRUE(tool.RepairTarget().ok());
+  EXPECT_TRUE(tool.CheckTargetFeasible().ok());
+  tool.Unbind();
+}
+
+TEST(JointTest, RejectsBadColumns) {
+  auto db = ThreeColDb({{0, 0, 0}});
+  JointDistributionTool missing(db->schema(), "T", {"a", "nope"});
+  EXPECT_FALSE(missing.Bind(db.get()).ok());
+  JointDistributionTool bad_table(db->schema(), "Nope", {"a"});
+  EXPECT_FALSE(bad_table.Bind(db.get()).ok());
+}
+
+}  // namespace
+}  // namespace aspect

@@ -1,0 +1,236 @@
+// Tests for the pairwise property: Definition 5 extraction, Theorem 4
+// conditions/repair, Algorithm 3 tweaking (incl. post stealing and the
+// self-response extension of Theorems 10-11).
+#include <gtest/gtest.h>
+
+#include "aspect/tweak_context.h"
+#include "properties/pairwise.h"
+#include "relational/integrity.h"
+#include "scaler/size_scaler.h"
+#include "workload/generator.h"
+
+namespace aspect {
+namespace {
+
+// Fig. 11's sonSchema: User, Post (author), Response (responder, post).
+Schema Fig11Schema() {
+  Schema s;
+  s.name = "fig11";
+  s.tables.push_back({"User", {{"g", ColumnType::kInt64, ""}}});
+  s.tables.push_back({"Post", {{"author", ColumnType::kForeignKey, "User"}}});
+  s.tables.push_back({"Resp",
+                      {{"post", ColumnType::kForeignKey, "Post"},
+                       {"responder", ColumnType::kForeignKey, "User"}}});
+  s.user_table = "User";
+  ResponseSpec r;
+  r.response_table = "Resp";
+  r.post_col = 0;
+  r.responder_col = 1;
+  r.post_table = "Post";
+  r.author_col = 0;
+  s.responses.push_back(r);
+  return s;
+}
+
+std::unique_ptr<Database> Fig11Db() {
+  auto db = Database::Create(Fig11Schema()).ValueOrAbort();
+  for (int i = 0; i < 4; ++i) {
+    db->FindTable("User")->Append({Value(int64_t{0})}).status().Check();
+  }
+  // p0, p1 by u0; p2 by u1.
+  for (const int64_t a : {0, 0, 1}) {
+    db->FindTable("Post")->Append({Value(a)}).status().Check();
+  }
+  // u0 responds twice to u1's post p2; u1 responds 4 times to u0's
+  // posts p0/p1 (Fig. 11): rho(2,4) pair.
+  auto resp = [&](int64_t post, int64_t user) {
+    db->FindTable("Resp")
+        ->Append({Value(post), Value(user)})
+        .status()
+        .Check();
+  };
+  resp(2, 0);
+  resp(2, 0);
+  resp(0, 1);
+  resp(0, 1);
+  resp(1, 1);
+  resp(1, 1);
+  // u3 responds once to his own post... u3 has no post; give u2 a
+  // self-response via p2's author u1 -> make u1 self-respond once.
+  resp(2, 1);
+  return db;
+}
+
+TEST(PairwiseTest, Fig11DistributionExtracted) {
+  auto db = Fig11Db();
+  PairwisePropertyTool tool(db->schema());
+  ASSERT_EQ(tool.num_specs(), 1);
+  ASSERT_TRUE(tool.SetTargetFromDataset(*db).ok());
+  const FrequencyDistribution& rho = tool.TargetRho(0);
+  // Ordered entries: (2,4) for (u0,u1) and (4,2) for (u1,u0).
+  EXPECT_EQ(rho.Count({2, 4}), 1);
+  EXPECT_EQ(rho.Count({4, 2}), 1);
+  EXPECT_EQ(rho.NumKeys(), 2);
+}
+
+TEST(PairwiseTest, SelfResponsesSeparated) {
+  auto db = Fig11Db();
+  PairwisePropertyTool tool(db->schema());
+  ASSERT_TRUE(tool.SetTargetFromDataset(*db).ok());
+  ASSERT_TRUE(tool.Bind(db.get()).ok());
+  // u1 responded once to his own post p2.
+  EXPECT_EQ(tool.CurrentRhoSelf(0).Count({1}), 1);
+  // Self responses are not in the pair distribution.
+  EXPECT_EQ(tool.CurrentRho(0).Count({1, 1}), 0);
+  EXPECT_DOUBLE_EQ(tool.Error(), 0.0);
+  EXPECT_TRUE(tool.CheckTargetFeasible().ok()) << tool.CheckTargetFeasible();
+  tool.Unbind();
+}
+
+TEST(PairwiseTest, IncrementalMatchesRebuild) {
+  auto gen = GenerateDataset(DoubanMusicLike(0.3), 91).ValueOrAbort();
+  auto db = gen.Materialize(3).ValueOrAbort();
+  PairwisePropertyTool tool(db->schema());
+  ASSERT_TRUE(tool.SetTargetFromDataset(*db).ok());
+  ASSERT_TRUE(tool.Bind(db.get()).ok());
+
+  Rng rng(12);
+  const ResponseSpec& spec = db->schema().responses[0];
+  Table* resp = db->FindTable(spec.response_table);
+  Table* post = db->FindTable(spec.post_table);
+  for (int step = 0; step < 60; ++step) {
+    const TupleId rid = rng.UniformInt(0, resp->NumTuples() - 1);
+    if (step % 3 == 0) {
+      // Re-aim a response at another post.
+      ASSERT_TRUE(
+          db->Apply(Modification::ReplaceValues(
+                        spec.response_table, {rid}, {spec.post_col},
+                        {Value(rng.UniformInt(0, post->NumTuples() - 1))}))
+              .ok());
+    } else if (step % 3 == 1) {
+      // Change a responder.
+      ASSERT_TRUE(db->Apply(Modification::ReplaceValues(
+                                spec.response_table, {rid},
+                                {spec.responder_col},
+                                {Value(rng.UniformInt(
+                                    0, db->FindTable("User")->NumTuples() -
+                                           1))}))
+                      .ok());
+    } else {
+      // Re-author a post (moves every response on it between pairs).
+      const TupleId pid = rng.UniformInt(0, post->NumTuples() - 1);
+      ASSERT_TRUE(db->Apply(Modification::ReplaceValues(
+                                spec.post_table, {pid}, {spec.author_col},
+                                {Value(rng.UniformInt(
+                                    0, db->FindTable("User")->NumTuples() -
+                                           1))}))
+                      .ok());
+    }
+  }
+  PairwisePropertyTool fresh(db->schema());
+  ASSERT_TRUE(fresh.SetTargetFromDataset(*db).ok());
+  ASSERT_TRUE(fresh.Bind(db.get()).ok());
+  EXPECT_EQ(tool.CurrentRho(0), fresh.CurrentRho(0));
+  EXPECT_EQ(tool.CurrentRhoSelf(0), fresh.CurrentRhoSelf(0));
+  fresh.Unbind();
+  tool.Unbind();
+}
+
+class PairwiseTweakTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PairwiseTweakTest, TweaksRandScaledDatasetToGroundTruth) {
+  const uint64_t seed = GetParam();
+  auto gen = GenerateDataset(DoubanMusicLike(0.3), seed).ValueOrAbort();
+  auto truth = gen.Materialize(4).ValueOrAbort();
+  RandScaler scaler;
+  auto scaled = scaler
+                    .Scale(*gen.Materialize(2).ValueOrAbort(),
+                           gen.SnapshotSizes(4), seed)
+                    .ValueOrAbort();
+
+  PairwisePropertyTool tool(truth->schema());
+  ASSERT_TRUE(tool.SetTargetFromDataset(*truth).ok());
+  ASSERT_TRUE(tool.Bind(scaled.get()).ok());
+  ASSERT_TRUE(tool.CheckTargetFeasible().ok()) << tool.CheckTargetFeasible();
+
+  const double before = tool.Error();
+  EXPECT_GT(before, 1e-5);
+  Rng rng(seed + 1);
+  TweakContext ctx(scaled.get(), {}, &rng);
+  ASSERT_TRUE(tool.Tweak(&ctx).ok());
+  const double after = tool.Error();
+  EXPECT_LT(after, before / 10.0);
+  EXPECT_LT(after, 1e-5);
+  EXPECT_TRUE(CheckIntegrity(*scaled).ok());
+  tool.Unbind();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PairwiseTweakTest,
+                         ::testing::Values(71u, 72u, 73u));
+
+TEST(PairwiseTest, PostStealingGivesPostlessUsersAPost) {
+  // Force a deficit pair whose target author has no posts: the tool
+  // must steal or create a post (Theorem 5) without changing rho of
+  // unrelated pairs.
+  auto db = Fig11Db();
+  auto truth = db->Clone();
+  // Target: make u2 (who has no post) receive one response from u3.
+  truth->FindTable("Post")->Append({Value(int64_t{2})}).status().Check();
+  truth->FindTable("Resp")
+      ->Append({Value(int64_t{3}), Value(int64_t{3})})
+      .status()
+      .Check();
+  // Keep |Resp| equal between truth and db for P2: remove one of u1's
+  // responses in the truth.
+  truth->FindTable("Resp")->Delete(6).Check();
+
+  PairwisePropertyTool tool(db->schema());
+  ASSERT_TRUE(tool.SetTargetFromDataset(*truth).ok());
+  ASSERT_TRUE(tool.Bind(db.get()).ok());
+  ASSERT_TRUE(tool.CheckTargetFeasible().ok()) << tool.CheckTargetFeasible();
+  Rng rng(3);
+  TweakContext ctx(db.get(), {}, &rng);
+  ASSERT_TRUE(tool.Tweak(&ctx).ok());
+  EXPECT_LT(tool.Error(), 1e-9);
+  EXPECT_TRUE(CheckIntegrity(*db).ok());
+  tool.Unbind();
+}
+
+TEST(PairwiseTest, RepairEstablishesFeasibility) {
+  auto gen = GenerateDataset(DoubanMusicLike(0.3), 81).ValueOrAbort();
+  auto truth = gen.Materialize(4).ValueOrAbort();
+  RexScaler scaler;
+  auto scaled = scaler
+                    .Scale(*gen.Materialize(2).ValueOrAbort(),
+                           gen.SnapshotSizes(4), 81)
+                    .ValueOrAbort();
+  PairwisePropertyTool tool(truth->schema());
+  ASSERT_TRUE(tool.SetTargetFromDataset(*truth).ok());
+  ASSERT_TRUE(tool.Bind(scaled.get()).ok());
+  EXPECT_FALSE(tool.CheckTargetFeasible().ok());
+  ASSERT_TRUE(tool.RepairTarget().ok());
+  EXPECT_TRUE(tool.CheckTargetFeasible().ok()) << tool.CheckTargetFeasible();
+  Rng rng(9);
+  TweakContext ctx(scaled.get(), {}, &rng);
+  ASSERT_TRUE(tool.Tweak(&ctx).ok());
+  EXPECT_LT(tool.Error(), 1e-5);
+  tool.Unbind();
+}
+
+TEST(PairwiseTest, ValidationPenaltySigns) {
+  auto db = Fig11Db();
+  PairwisePropertyTool tool(db->schema());
+  ASSERT_TRUE(tool.SetTargetFromDataset(*db).ok());
+  ASSERT_TRUE(tool.Bind(db.get()).ok());
+  // Deleting a response breaks the enforced (2,4) pair: positive.
+  EXPECT_GT(tool.ValidationPenalty(Modification::DeleteTuple("Resp", 0)),
+            0.0);
+  // Changing a user attribute: no penalty.
+  EXPECT_DOUBLE_EQ(tool.ValidationPenalty(Modification::ReplaceValues(
+                       "User", {0}, {0}, {Value(int64_t{1})})),
+                   0.0);
+  tool.Unbind();
+}
+
+}  // namespace
+}  // namespace aspect

@@ -1,0 +1,149 @@
+// Tests for the query engine and the per-dataset Q1-Q4 suites.
+#include <gtest/gtest.h>
+
+#include "query/engine.h"
+#include "query/queries.h"
+#include "workload/generator.h"
+
+namespace aspect {
+namespace {
+
+// Tiny hand-checked dataset: User, Post(author), Comment(post, user).
+Schema QSchema() {
+  Schema s;
+  s.name = "q";
+  s.tables.push_back({"User", {{"g", ColumnType::kInt64, ""}}});
+  s.tables.push_back({"Post", {{"author", ColumnType::kForeignKey, "User"}}});
+  s.tables.push_back({"Comment",
+                      {{"post", ColumnType::kForeignKey, "Post"},
+                       {"user", ColumnType::kForeignKey, "User"}}});
+  s.user_table = "User";
+  ResponseSpec r;
+  r.response_table = "Comment";
+  r.post_col = 0;
+  r.responder_col = 1;
+  r.post_table = "Post";
+  r.author_col = 0;
+  s.responses.push_back(r);
+  return s;
+}
+
+std::unique_ptr<Database> QDb() {
+  auto db = Database::Create(QSchema()).ValueOrAbort();
+  for (int i = 0; i < 5; ++i) {
+    db->FindTable("User")->Append({Value(int64_t{0})}).status().Check();
+  }
+  // Posts: p0 by u0, p1 by u0, p2 by u1, p3 by u2.
+  for (const int64_t a : {0, 0, 1, 2}) {
+    db->FindTable("Post")->Append({Value(a)}).status().Check();
+  }
+  // Comments: (p0,u1), (p0,u2), (p2,u0), (p2,u0), (p3,u3).
+  const std::pair<int64_t, int64_t> comments[] = {
+      {0, 1}, {0, 2}, {2, 0}, {2, 0}, {3, 3}};
+  for (const auto& [p, u] : comments) {
+    db->FindTable("Comment")->Append({Value(p), Value(u)}).status().Check();
+  }
+  return db;
+}
+
+TEST(EngineTest, CountDistinctFk) {
+  auto db = QDb();
+  EXPECT_EQ(CountDistinctFk(*db, "Comment", "post").ValueOrAbort(), 3);
+  EXPECT_EQ(CountDistinctFk(*db, "Comment", "user").ValueOrAbort(), 4);
+  EXPECT_FALSE(CountDistinctFk(*db, "Nope", "x").ok());
+  EXPECT_FALSE(CountDistinctFk(*db, "Comment", "nope").ok());
+}
+
+TEST(EngineTest, FanOut) {
+  auto db = QDb();
+  const auto fan = FanOut(*db, "Comment", "post").ValueOrAbort();
+  EXPECT_EQ(fan.at(0), 2);
+  EXPECT_EQ(fan.at(2), 2);
+  EXPECT_EQ(fan.at(3), 1);
+  EXPECT_EQ(fan.count(1), 0u);
+}
+
+TEST(EngineTest, DistinctPerGroup) {
+  auto db = QDb();
+  const auto d =
+      DistinctPerGroup(*db, "Comment", "post", "user").ValueOrAbort();
+  EXPECT_EQ(d.at(0), 2);  // p0 commented by u1, u2
+  EXPECT_EQ(d.at(2), 1);  // p2 commented by u0 twice
+}
+
+TEST(EngineTest, UsersWithRespondedPost) {
+  auto db = QDb();
+  // Authors of commented posts: u0 (p0), u1 (p2), u2 (p3) -> 3.
+  EXPECT_EQ(CountUsersWithRespondedPost(*db, db->schema().responses[0])
+                .ValueOrAbort(),
+            3);
+}
+
+TEST(EngineTest, AtMostKUsers) {
+  auto db = QDb();
+  EXPECT_EQ(CountEntitiesWithAtMostKUsers(*db, "Comment", "post", "user", 1)
+                .ValueOrAbort(),
+            2);  // p2, p3
+  EXPECT_EQ(CountEntitiesWithAtMostKUsers(*db, "Comment", "post", "user", 10)
+                .ValueOrAbort(),
+            3);
+}
+
+TEST(EngineTest, AvgDistinctUsersPerEntity) {
+  auto db = QDb();
+  // Distinct commenters: p0:2, p1:0, p2:1, p3:1 -> 4/4 = 1.0.
+  EXPECT_DOUBLE_EQ(
+      AvgDistinctUsersPerEntity(*db, "Post", "Comment", "post", "user")
+          .ValueOrAbort(),
+      1.0);
+}
+
+TEST(EngineTest, InteractingUserPairs) {
+  auto db = QDb();
+  // Pairs: {u1,u0} (p0 author u0), {u2,u0}, {u0,u1} (p2) = same as
+  // {u0,u1}!, {u3,u2}. Unordered distinct: {0,1}, {0,2}, {2,3} -> 3.
+  EXPECT_EQ(
+      CountInteractingUserPairs(*db, db->schema().responses[0])
+          .ValueOrAbort(),
+      3);
+}
+
+TEST(QuerySuiteTest, AllDatasetsHaveFourQueries) {
+  for (const auto factory :
+       {&XiamiLike, &DoubanMovieLike, &DoubanMusicLike, &DoubanBookLike,
+        &RetailLike}) {
+    const Schema schema = factory(0.3).ToSchema();
+    const auto suite = QuerySuiteFor(schema).ValueOrAbort();
+    ASSERT_EQ(suite.size(), 4u) << schema.name;
+    auto gen = GenerateDataset(factory(0.3), 17).ValueOrAbort();
+    auto db = gen.Materialize(2).ValueOrAbort();
+    for (const NamedQuery& q : suite) {
+      const auto v = q.eval(*db);
+      ASSERT_TRUE(v.ok()) << schema.name << " " << q.name << ": "
+                          << v.status();
+      EXPECT_GE(v.ValueOrDie(), 0.0) << schema.name << " " << q.name;
+    }
+  }
+}
+
+TEST(QuerySuiteTest, UnknownSchemaRejected) {
+  Schema s;
+  s.name = "mystery";
+  EXPECT_FALSE(QuerySuiteFor(s).ok());
+}
+
+TEST(QuerySuiteTest, QueryErrorRelative) {
+  auto gen = GenerateDataset(DoubanMusicLike(0.3), 23).ValueOrAbort();
+  auto d2 = gen.Materialize(2).ValueOrAbort();
+  auto d4 = gen.Materialize(4).ValueOrAbort();
+  const auto suite = QuerySuiteFor(gen.schema()).ValueOrAbort();
+  for (const NamedQuery& q : suite) {
+    // Identical datasets: zero error.
+    EXPECT_DOUBLE_EQ(QueryError(q, *d4, *d4).ValueOrAbort(), 0.0) << q.name;
+    // Different snapshots: non-trivial error for counting queries.
+    EXPECT_GE(QueryError(q, *d4, *d2).ValueOrAbort(), 0.0) << q.name;
+  }
+}
+
+}  // namespace
+}  // namespace aspect

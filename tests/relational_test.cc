@@ -1,0 +1,459 @@
+// Tests for src/relational: columns, tables, database ops, schema
+// validation, reference-graph analysis, integrity, CSV round-trip.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+
+#include "relational/csv.h"
+#include "relational/database.h"
+#include "relational/integrity.h"
+#include "relational/refgraph.h"
+
+namespace aspect {
+namespace {
+
+// A small sonSchema-flavoured test schema:
+//   User(country)
+//   Post(author -> User, kind)
+//   Comment(responder -> User, post -> Post)
+//   Like(responder -> User, post -> Post)
+Schema TestSchema() {
+  Schema s;
+  s.name = "test";
+  s.tables.push_back(
+      {"User", {{"country", ColumnType::kString, ""}}});
+  s.tables.push_back({"Post",
+                      {{"author", ColumnType::kForeignKey, "User"},
+                       {"kind", ColumnType::kInt64, ""}}});
+  s.tables.push_back({"Comment",
+                      {{"responder", ColumnType::kForeignKey, "User"},
+                       {"post", ColumnType::kForeignKey, "Post"}}});
+  s.tables.push_back({"Like",
+                      {{"responder", ColumnType::kForeignKey, "User"},
+                       {"post", ColumnType::kForeignKey, "Post"}}});
+  s.user_table = "User";
+  ResponseSpec r;
+  r.response_table = "Comment";
+  r.responder_col = 0;
+  r.post_col = 1;
+  r.post_table = "Post";
+  r.author_col = 0;
+  s.responses.push_back(r);
+  return s;
+}
+
+std::unique_ptr<Database> MakeDb() {
+  auto db = Database::Create(TestSchema()).ValueOrAbort();
+  Table* user = db->FindTable("User");
+  for (int i = 0; i < 4; ++i) {
+    user->Append({Value(std::string(1, static_cast<char>('a' + i)))})
+        .status()
+        .Check();
+  }
+  Table* post = db->FindTable("Post");
+  post->Append({Value(int64_t{0}), Value(int64_t{1})}).status().Check();
+  post->Append({Value(int64_t{1}), Value(int64_t{2})}).status().Check();
+  post->Append({Value(int64_t{1}), Value(int64_t{1})}).status().Check();
+  Table* comment = db->FindTable("Comment");
+  comment->Append({Value(int64_t{2}), Value(int64_t{0})}).status().Check();
+  comment->Append({Value(int64_t{3}), Value(int64_t{1})}).status().Check();
+  Table* like = db->FindTable("Like");
+  like->Append({Value(int64_t{0}), Value(int64_t{2})}).status().Check();
+  return db;
+}
+
+TEST(ValueTest, TypesAndEquality) {
+  EXPECT_TRUE(Value().is_null());
+  EXPECT_EQ(Value(int64_t{3}).int64(), 3);
+  EXPECT_EQ(Value(2.5).dbl(), 2.5);
+  EXPECT_EQ(Value(std::string("x")).str(), "x");
+  EXPECT_EQ(Value(int64_t{3}), Value(int64_t{3}));
+  EXPECT_NE(Value(int64_t{3}), Value(3.0));
+  EXPECT_EQ(Value().ToString(), "");
+  EXPECT_EQ(Value(int64_t{-7}).ToString(), "-7");
+}
+
+TEST(ColumnTest, AppendGetSet) {
+  Column col("c", ColumnType::kInt64);
+  ASSERT_TRUE(col.Append(Value(int64_t{5})).ok());
+  ASSERT_TRUE(col.Append(Value::Null()).ok());
+  EXPECT_EQ(col.size(), 2);
+  EXPECT_EQ(col.Get(0), Value(int64_t{5}));
+  EXPECT_TRUE(col.IsNull(1));
+  ASSERT_TRUE(col.Set(1, Value(int64_t{9})).ok());
+  EXPECT_EQ(col.GetInt(1), 9);
+}
+
+TEST(ColumnTest, TypeMismatchRejected) {
+  Column col("c", ColumnType::kInt64);
+  ASSERT_TRUE(col.Append(Value(int64_t{1})).ok());
+  EXPECT_FALSE(col.Set(0, Value(std::string("no"))).ok());
+  EXPECT_FALSE(col.Set(0, Value(1.5)).ok());
+}
+
+TEST(ColumnTest, EraseMakesEmpty) {
+  Column col("c", ColumnType::kForeignKey, "User");
+  ASSERT_TRUE(col.Append(Value(int64_t{0})).ok());
+  col.Erase(0);
+  EXPECT_TRUE(col.IsEmpty(0));
+  EXPECT_TRUE(col.Get(0).is_null());
+}
+
+TEST(SchemaTest, ValidSchemaPasses) {
+  EXPECT_TRUE(TestSchema().Validate().ok());
+}
+
+TEST(SchemaTest, DuplicateTableRejected) {
+  Schema s = TestSchema();
+  s.tables.push_back({"User", {}});
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, UnknownFkTargetRejected) {
+  Schema s = TestSchema();
+  s.tables.push_back(
+      {"Bad", {{"x", ColumnType::kForeignKey, "Nope"}}});
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, FkRefTableConsistencyEnforced) {
+  Schema s = TestSchema();
+  s.tables.push_back({"Bad", {{"x", ColumnType::kInt64, "User"}}});
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(SchemaTest, BadResponseAnnotationRejected) {
+  Schema s = TestSchema();
+  s.responses[0].post_col = 0;  // points at the responder FK, not Post
+  EXPECT_FALSE(s.Validate().ok());
+}
+
+TEST(TableTest, AppendDeleteAndLiveness) {
+  auto db = MakeDb();
+  Table* post = db->FindTable("Post");
+  EXPECT_EQ(post->NumTuples(), 3);
+  ASSERT_TRUE(post->Delete(1).ok());
+  EXPECT_EQ(post->NumTuples(), 2);
+  EXPECT_FALSE(post->IsLive(1));
+  EXPECT_TRUE(post->IsLive(0));
+  EXPECT_FALSE(post->Delete(1).ok());  // double delete
+  EXPECT_EQ(post->LiveTuples(), (std::vector<TupleId>{0, 2}));
+  // Ids remain stable after a delete: appends go to the end.
+  const TupleId t = post->Append({Value(int64_t{2}), Value(int64_t{9})})
+                        .ValueOrAbort();
+  EXPECT_EQ(t, 3);
+}
+
+TEST(TableTest, AppendArityChecked) {
+  auto db = MakeDb();
+  EXPECT_FALSE(db->FindTable("User")->Append({}).ok());
+}
+
+TEST(DatabaseTest, FindTable) {
+  auto db = MakeDb();
+  EXPECT_NE(db->FindTable("User"), nullptr);
+  EXPECT_EQ(db->FindTable("Nope"), nullptr);
+  EXPECT_EQ(db->TotalTuples(), 4 + 3 + 2 + 1);
+}
+
+TEST(DatabaseTest, DeleteInsertValuesLifecycle) {
+  auto db = MakeDb();
+  // Fig. 6 of the paper: delete some cells, then insert into the holes.
+  ASSERT_TRUE(
+      db->Apply(Modification::DeleteValues("Comment", {0}, {0, 1})).ok());
+  const Table* c = db->FindTable("Comment");
+  EXPECT_TRUE(c->column(0).IsEmpty(0));
+  EXPECT_TRUE(c->column(1).IsEmpty(0));
+  // Double delete of the same cell is rejected.
+  EXPECT_FALSE(
+      db->Apply(Modification::DeleteValues("Comment", {0}, {0})).ok());
+  // Insert into non-empty cells is rejected.
+  EXPECT_FALSE(db->Apply(Modification::InsertValues(
+                             "Comment", {1}, {0}, {Value(int64_t{1})}))
+                   .ok());
+  // Filling the holes succeeds.
+  ASSERT_TRUE(db->Apply(Modification::InsertValues(
+                            "Comment", {0}, {0, 1},
+                            {Value(int64_t{1}), Value(int64_t{2})}))
+                  .ok());
+  EXPECT_EQ(c->column(0).GetInt(0), 1);
+  EXPECT_EQ(c->column(1).GetInt(0), 2);
+}
+
+TEST(DatabaseTest, ReplaceValuesBroadcasts) {
+  auto db = MakeDb();
+  ASSERT_TRUE(db->Apply(Modification::ReplaceValues(
+                            "Comment", {0, 1}, {0}, {Value(int64_t{0})}))
+                  .ok());
+  const Table* c = db->FindTable("Comment");
+  EXPECT_EQ(c->column(0).GetInt(0), 0);
+  EXPECT_EQ(c->column(0).GetInt(1), 0);
+  // replaceValues on an empty cell is rejected.
+  ASSERT_TRUE(
+      db->Apply(Modification::DeleteValues("Comment", {0}, {0})).ok());
+  EXPECT_FALSE(db->Apply(Modification::ReplaceValues(
+                             "Comment", {0}, {0}, {Value(int64_t{1})}))
+                   .ok());
+}
+
+TEST(DatabaseTest, InsertAndDeleteTuple) {
+  auto db = MakeDb();
+  TupleId nt = kInvalidTuple;
+  ASSERT_TRUE(db->Apply(Modification::InsertTuple(
+                            "Like", {Value(int64_t{1}), Value(int64_t{0})}),
+                        &nt)
+                  .ok());
+  EXPECT_EQ(nt, 1);
+  EXPECT_EQ(db->FindTable("Like")->NumTuples(), 2);
+  ASSERT_TRUE(db->Apply(Modification::DeleteTuple("Like", 0)).ok());
+  EXPECT_EQ(db->FindTable("Like")->NumTuples(), 1);
+  EXPECT_FALSE(db->Apply(Modification::DeleteTuple("Like", 0)).ok());
+}
+
+TEST(DatabaseTest, BadTableAndColumnRejected) {
+  auto db = MakeDb();
+  EXPECT_FALSE(
+      db->Apply(Modification::DeleteValues("Nope", {0}, {0})).ok());
+  EXPECT_FALSE(
+      db->Apply(Modification::DeleteValues("User", {0}, {5})).ok());
+  EXPECT_FALSE(
+      db->Apply(Modification::DeleteValues("User", {99}, {0})).ok());
+}
+
+
+TEST(DatabaseTest, CellOpsAreAtomicOnTypeErrors) {
+  auto db = MakeDb();
+  const Table* c = db->FindTable("Comment");
+  const int64_t before0 = c->column(0).GetInt(0);
+  // Second value has the wrong type: nothing may be applied.
+  EXPECT_FALSE(db->Apply(Modification::ReplaceValues(
+                             "Comment", {0}, {0, 1},
+                             {Value(int64_t{1}), Value(std::string("x"))}))
+                   .ok());
+  EXPECT_EQ(c->column(0).GetInt(0), before0);
+  EXPECT_TRUE(c->column(1).IsValue(0));
+}
+
+class RecordingListener : public ModificationListener {
+ public:
+  void OnApplied(const Modification& mod,
+                 const std::vector<Value>& old_values,
+                 TupleId new_tuple) override {
+    kinds.push_back(mod.kind);
+    last_old = old_values;
+    last_new_tuple = new_tuple;
+  }
+  std::vector<OpKind> kinds;
+  std::vector<Value> last_old;
+  TupleId last_new_tuple = kInvalidTuple;
+};
+
+TEST(DatabaseTest, ListenerSeesOldValues) {
+  auto db = MakeDb();
+  RecordingListener listener;
+  db->AddListener(&listener);
+  ASSERT_TRUE(db->Apply(Modification::ReplaceValues(
+                            "Comment", {0}, {0}, {Value(int64_t{0})}))
+                  .ok());
+  ASSERT_EQ(listener.kinds.size(), 1u);
+  EXPECT_EQ(listener.kinds[0], OpKind::kReplaceValues);
+  ASSERT_EQ(listener.last_old.size(), 1u);
+  EXPECT_EQ(listener.last_old[0], Value(int64_t{2}));
+
+  TupleId nt = kInvalidTuple;
+  ASSERT_TRUE(db->Apply(Modification::InsertTuple(
+                            "Like", {Value(int64_t{2}), Value(int64_t{1})}),
+                        &nt)
+                  .ok());
+  EXPECT_EQ(listener.last_new_tuple, nt);
+
+  ASSERT_TRUE(db->Apply(Modification::DeleteTuple("Like", 0)).ok());
+  ASSERT_EQ(listener.last_old.size(), 2u);  // the deleted row
+  EXPECT_EQ(listener.last_old[0], Value(int64_t{0}));
+
+  db->RemoveListener(&listener);
+  ASSERT_TRUE(db->Apply(Modification::DeleteTuple("Like", nt)).ok());
+  EXPECT_EQ(listener.kinds.size(), 3u);  // no further notifications
+}
+
+TEST(DatabaseTest, FailedOpDoesNotNotify) {
+  auto db = MakeDb();
+  RecordingListener listener;
+  db->AddListener(&listener);
+  EXPECT_FALSE(
+      db->Apply(Modification::DeleteValues("Nope", {0}, {0})).ok());
+  EXPECT_TRUE(listener.kinds.empty());
+}
+
+TEST(DatabaseTest, CloneIsDeepAndDetached) {
+  auto db = MakeDb();
+  auto copy = db->Clone();
+  ASSERT_TRUE(db->Apply(Modification::ReplaceValues(
+                            "Comment", {0}, {0}, {Value(int64_t{0})}))
+                  .ok());
+  EXPECT_EQ(copy->FindTable("Comment")->column(0).GetInt(0), 2);
+  EXPECT_EQ(db->FindTable("Comment")->column(0).GetInt(0), 0);
+}
+
+TEST(RefGraphTest, EdgesAndAcyclic) {
+  ReferenceGraph g(TestSchema());
+  EXPECT_EQ(g.edges().size(), 5u);
+  EXPECT_TRUE(g.IsAcyclic());
+  EXPECT_EQ(g.OutEdges(0).size(), 0u);  // User
+  EXPECT_EQ(g.InEdges(0).size(), 3u);   // referenced by Post x1, C, L
+}
+
+TEST(RefGraphTest, CyclicDetected) {
+  Schema s;
+  s.name = "cyc";
+  s.tables.push_back({"A", {{"b", ColumnType::kForeignKey, "B"}}});
+  s.tables.push_back({"B", {{"a", ColumnType::kForeignKey, "A"}}});
+  ReferenceGraph g(s);
+  EXPECT_FALSE(g.IsAcyclic());
+  EXPECT_TRUE(g.MaximalChains().empty());
+}
+
+TEST(RefGraphTest, MaximalChains) {
+  ReferenceGraph g(TestSchema());
+  const auto chains = g.MaximalChains();
+  // Comment->User, Comment->Post->User, Like->User, Like->Post->User.
+  ASSERT_EQ(chains.size(), 4u);
+  std::set<std::string> rendered;
+  for (const auto& c : chains) rendered.insert(c.ToString(g.schema()));
+  EXPECT_TRUE(rendered.count("Comment -> User"));
+  EXPECT_TRUE(rendered.count("Comment -> Post -> User"));
+  EXPECT_TRUE(rendered.count("Like -> User"));
+  EXPECT_TRUE(rendered.count("Like -> Post -> User"));
+}
+
+TEST(RefGraphTest, ChainStoredBottomUp) {
+  ReferenceGraph g(TestSchema());
+  for (const auto& c : g.MaximalChains()) {
+    // tables[0] must be the root (User = table 0).
+    EXPECT_EQ(c.tables[0], 0);
+    EXPECT_EQ(c.fk_cols.size(), c.tables.size() - 1);
+  }
+}
+
+TEST(RefGraphTest, CoappearGroups) {
+  ReferenceGraph g(TestSchema());
+  const auto groups = g.CoappearGroups();
+  // Comment and Like both reference (User, Post).
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].member_tables.size(), 2u);
+  EXPECT_EQ(groups[0].parent_tables.size(), 2u);
+}
+
+TEST(RefGraphTest, SelfPairParents) {
+  Schema s;
+  s.name = "fan";
+  s.tables.push_back({"User", {{"x", ColumnType::kInt64, ""}}});
+  s.tables.push_back({"Fan",
+                      {{"from", ColumnType::kForeignKey, "User"},
+                       {"to", ColumnType::kForeignKey, "User"}}});
+  ReferenceGraph g(s);
+  const auto groups = g.CoappearGroups();
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].parent_tables, (std::vector<int>{0, 0}));
+  // Two distinct maximal chains via the two FK columns.
+  EXPECT_EQ(g.MaximalChains().size(), 2u);
+}
+
+TEST(IntegrityTest, ValidDatabasePasses) {
+  auto db = MakeDb();
+  EXPECT_TRUE(CheckIntegrity(*db).ok());
+}
+
+TEST(IntegrityTest, DanglingFkDetected) {
+  auto db = MakeDb();
+  ASSERT_TRUE(db->Apply(Modification::ReplaceValues(
+                            "Comment", {0}, {0}, {Value(int64_t{99})}))
+                  .ok());
+  EXPECT_FALSE(CheckIntegrity(*db).ok());
+}
+
+TEST(IntegrityTest, DeletedParentDetected) {
+  auto db = MakeDb();
+  ASSERT_TRUE(db->Apply(Modification::DeleteTuple("User", 2)).ok());
+  // Comment[0].responder references User 2.
+  EXPECT_FALSE(CheckIntegrity(*db).ok());
+}
+
+TEST(IntegrityTest, EmptyCellPolicy) {
+  auto db = MakeDb();
+  ASSERT_TRUE(
+      db->Apply(Modification::DeleteValues("Comment", {0}, {0})).ok());
+  EXPECT_FALSE(CheckIntegrity(*db).ok());
+  IntegrityOptions opts;
+  opts.forbid_empty_cells = false;
+  EXPECT_TRUE(CheckIntegrity(*db, opts).ok());
+}
+
+TEST(CsvTest, RoundTrip) {
+  auto db = MakeDb();
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "aspect_csv_test").string();
+  ASSERT_TRUE(ExportCsv(*db, dir).ok());
+  auto loaded = ImportCsv(TestSchema(), dir).ValueOrAbort();
+  ASSERT_EQ(loaded->num_tables(), db->num_tables());
+  for (int ti = 0; ti < db->num_tables(); ++ti) {
+    const Table& a = db->table(ti);
+    const Table& b = loaded->table(ti);
+    ASSERT_EQ(a.NumTuples(), b.NumTuples()) << a.name();
+    a.ForEachLive([&](TupleId t) {
+      EXPECT_EQ(a.GetRow(t), b.GetRow(t)) << a.name() << " tuple " << t;
+    });
+  }
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CsvTest, TombstonesCompactedOnRoundTrip) {
+  auto db = MakeDb();
+  // Delete Post tuple 1 and rewire its referencing comment to Post 2 so
+  // integrity holds.
+  ASSERT_TRUE(db->Apply(Modification::ReplaceValues(
+                            "Comment", {1}, {1}, {Value(int64_t{2})}))
+                  .ok());
+  ASSERT_TRUE(db->Apply(Modification::DeleteTuple("Post", 1)).ok());
+  ASSERT_TRUE(CheckIntegrity(*db).ok());
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "aspect_csv_test2").string();
+  ASSERT_TRUE(ExportCsv(*db, dir).ok());
+  auto loaded = ImportCsv(TestSchema(), dir).ValueOrAbort();
+  EXPECT_EQ(loaded->FindTable("Post")->NumTuples(), 2);
+  EXPECT_TRUE(CheckIntegrity(*loaded).ok());
+  // Remapped FK must point at the densified id of the old Post 2.
+  EXPECT_EQ(loaded->FindTable("Comment")->column(1).GetInt(1), 1);
+  std::filesystem::remove_all(dir);
+}
+
+
+TEST(CsvTest, QuotedFieldsRoundTrip) {
+  Schema s;
+  s.name = "quoted";
+  s.tables.push_back({"T", {{"s", ColumnType::kString, ""}}});
+  auto db = Database::Create(s).ValueOrAbort();
+  for (const char* v : {"plain", "with,comma", "with\"quote\"",
+                        "\"both\", yes"}) {
+    db->FindTable("T")->Append({Value(std::string(v))}).status().Check();
+  }
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "aspect_csv_quoted").string();
+  ASSERT_TRUE(ExportCsv(*db, dir).ok());
+  auto loaded = ImportCsv(s, dir).ValueOrAbort();
+  const Table* t = loaded->FindTable("T");
+  ASSERT_EQ(t->NumTuples(), 4);
+  EXPECT_EQ(t->column(0).GetString(1), "with,comma");
+  EXPECT_EQ(t->column(0).GetString(2), "with\"quote\"");
+  EXPECT_EQ(t->column(0).GetString(3), "\"both\", yes");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(CsvTest, MissingFileFails) {
+  EXPECT_FALSE(ImportCsv(TestSchema(), "/nonexistent/dir").ok());
+}
+
+}  // namespace
+}  // namespace aspect

@@ -1,0 +1,102 @@
+// Tests for the retail blueprint and dataset profiling: the framework
+// is not social-network specific - linear / coappear / degree tools
+// run unchanged on a TPC-H-flavoured schema without sonSchema roles.
+#include <gtest/gtest.h>
+
+#include "aspect/coordinator.h"
+#include "measure/profile.h"
+#include "properties/coappear.h"
+#include "properties/degree.h"
+#include "properties/linear.h"
+#include "properties/pairwise.h"
+#include "relational/integrity.h"
+#include "scaler/size_scaler.h"
+#include "workload/generator.h"
+
+namespace aspect {
+namespace {
+
+TEST(RetailTest, SchemaShape) {
+  const Schema s = RetailLike(1.0).ToSchema();
+  ASSERT_TRUE(s.Validate().ok());
+  EXPECT_EQ(s.tables.size(), 8u);
+  EXPECT_TRUE(s.user_table.empty());
+  EXPECT_TRUE(s.responses.empty());
+  ReferenceGraph graph(s);
+  // The 5-deep chain exists.
+  bool deep = false;
+  for (const auto& chain : graph.MaximalChains()) {
+    deep |= chain.ToString(s) ==
+            "Lineitem -> Orders -> Customer -> Nation -> Region";
+  }
+  EXPECT_TRUE(deep);
+  // PartSupp(Part, Supplier) and Lineitem(Orders, Part) each form a
+  // single-member coappear group.
+  EXPECT_EQ(graph.CoappearGroups().size(), 2u);
+}
+
+TEST(RetailTest, FullPipelineWithoutPairwise) {
+  auto gen = GenerateDataset(RetailLike(0.4), 99).ValueOrAbort();
+  auto truth = gen.Materialize(4).ValueOrAbort();
+  RandScaler scaler;
+  auto scaled = scaler
+                    .Scale(*gen.Materialize(1).ValueOrAbort(),
+                           gen.SnapshotSizes(4), 99)
+                    .ValueOrAbort();
+  Coordinator coordinator;
+  const int li = coordinator.AddTool(
+      std::make_unique<LinearPropertyTool>(truth->schema()));
+  const int co = coordinator.AddTool(
+      std::make_unique<CoappearPropertyTool>(truth->schema()));
+  const int de = coordinator.AddTool(
+      std::make_unique<DegreeDistributionTool>(truth->schema()));
+  // Pairwise binds trivially (no response2post instantiations).
+  const int pa = coordinator.AddTool(
+      std::make_unique<PairwisePropertyTool>(truth->schema()));
+  coordinator.SetTargetsFromDataset(*truth).Check();
+  CoordinatorOptions opts;
+  opts.seed = 3;
+  const auto report =
+      coordinator.Run(scaled.get(), {pa, co, de, li}, opts).ValueOrAbort();
+  EXPECT_DOUBLE_EQ(report.final_errors[static_cast<size_t>(pa)], 0.0);
+  EXPECT_LT(report.final_errors[static_cast<size_t>(li)], 1e-3);
+  EXPECT_LT(report.final_errors[static_cast<size_t>(de)], 0.05);
+  // Coappear runs second of four here and every later tool rewrites
+  // the same two FK columns (Lineitem/PartSupp are the whole schema's
+  // activity surface), so its residual is the largest - the retail
+  // schema is an extreme-overlap stress case.
+  EXPECT_LT(report.final_errors[static_cast<size_t>(co)], 0.25);
+  EXPECT_TRUE(CheckIntegrity(*scaled).ok());
+}
+
+TEST(ProfileTest, SummarizesStructureAndStatistics) {
+  auto gen = GenerateDataset(RetailLike(0.4), 7).ValueOrAbort();
+  auto db = gen.Materialize(3).ValueOrAbort();
+  const DatasetProfile profile = ProfileDataset(*db).ValueOrAbort();
+  EXPECT_EQ(profile.name, "RetailLike");
+  EXPECT_EQ(profile.table_sizes.size(), 8u);
+  EXPECT_EQ(profile.total_tuples, db->TotalTuples());
+  ASSERT_FALSE(profile.edges.empty());
+  for (const EdgeProfile& e : profile.edges) {
+    EXPECT_GE(e.max_fanout, 1) << e.child;
+    EXPECT_LE(e.parents_hit, e.parents) << e.child;
+    EXPECT_GT(e.children, 0) << e.child;
+  }
+  EXPECT_FALSE(profile.chains.empty());
+  EXPECT_EQ(profile.coappear_groups.size(), 2u);
+  EXPECT_TRUE(profile.response_specs.empty());
+  const std::string text = profile.ToString();
+  EXPECT_NE(text.find("Lineitem"), std::string::npos);
+  EXPECT_NE(text.find("maximal reference chains"), std::string::npos);
+}
+
+TEST(ProfileTest, SocialProfileListsResponses) {
+  auto gen = GenerateDataset(DoubanMusicLike(0.2), 8).ValueOrAbort();
+  auto db = gen.Materialize(2).ValueOrAbort();
+  const DatasetProfile profile = ProfileDataset(*db).ValueOrAbort();
+  EXPECT_EQ(profile.response_specs.size(), 1u);
+  EXPECT_NE(profile.ToString().find("Review_Comment"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace aspect

@@ -1,0 +1,88 @@
+// Tests for the experiment runner: the full paper pipeline in one call.
+#include <gtest/gtest.h>
+
+#include "measure/runner.h"
+
+namespace aspect {
+namespace {
+
+TEST(RunnerTest, PermutationLabels) {
+  EXPECT_EQ(SixPermutations().size(), 6u);
+  const auto order = OrderFromLabel("C-L-P").ValueOrAbort();
+  EXPECT_EQ(order,
+            (std::vector<std::string>{"coappear", "linear", "pairwise"}));
+  EXPECT_FALSE(OrderFromLabel("X-Y-Z").ok());
+  EXPECT_FALSE(OrderFromLabel("C-L").ok());
+}
+
+TEST(RunnerTest, FullPipelineReducesErrors) {
+  ExperimentConfig config;
+  config.blueprint = DoubanMusicLike(0.3);
+  config.seed = 5;
+  config.scaler = "Rand";
+  config.order = OrderFromLabel("C-L-P").ValueOrAbort();
+  config.run_queries = true;
+  const ExperimentResult r = RunExperiment(config).ValueOrAbort();
+  EXPECT_GT(r.before.linear, r.after.linear);
+  EXPECT_GT(r.before.coappear, r.after.coappear);
+  EXPECT_GT(r.before.pairwise, r.after.pairwise);
+  EXPECT_LT(r.after.pairwise, 1e-6);  // last tool is exact
+  ASSERT_EQ(r.query_errors_after.size(), 4u);
+  double sum_before = 0, sum_after = 0;
+  for (const auto& [name, err] : r.query_errors_before) sum_before += err;
+  for (const auto& [name, err] : r.query_errors_after) sum_after += err;
+  EXPECT_LT(sum_after, sum_before);
+  EXPECT_GT(r.tweak_seconds, 0.0);
+}
+
+TEST(RunnerTest, NoTweakBaseline) {
+  ExperimentConfig config;
+  config.blueprint = DoubanMusicLike(0.3);
+  config.seed = 5;
+  config.scaler = "Rand";
+  config.tweak = false;
+  const ExperimentResult r = RunExperiment(config).ValueOrAbort();
+  EXPECT_EQ(r.before.linear, r.after.linear);
+  EXPECT_GT(r.before.linear, 0.0);
+  EXPECT_TRUE(r.report.steps.empty());
+}
+
+TEST(RunnerTest, RexTargetsRepairedAutomatically) {
+  ExperimentConfig config;
+  config.blueprint = DoubanMusicLike(0.3);
+  config.seed = 6;
+  config.scaler = "ReX";
+  config.order = OrderFromLabel("P-C-L").ValueOrAbort();
+  const ExperimentResult r = RunExperiment(config).ValueOrAbort();
+  EXPECT_LT(r.after.linear, 0.01);  // linear last: near exact
+  EXPECT_LT(r.after.coappear, r.before.coappear + 1e-12);
+}
+
+TEST(RunnerTest, UnknownScalerRejected) {
+  ExperimentConfig config;
+  config.blueprint = DoubanMusicLike(0.2);
+  config.scaler = "Magic";
+  EXPECT_FALSE(RunExperiment(config).ok());
+}
+
+TEST(RunnerTest, UnknownToolRejected) {
+  ExperimentConfig config;
+  config.blueprint = DoubanMusicLike(0.2);
+  config.order = {"linear", "magic", "pairwise"};
+  EXPECT_FALSE(RunExperiment(config).ok());
+}
+
+TEST(RunnerTest, DeterministicInSeed) {
+  ExperimentConfig config;
+  config.blueprint = DoubanMusicLike(0.25);
+  config.seed = 9;
+  config.scaler = "Dscaler";
+  const ExperimentResult a = RunExperiment(config).ValueOrAbort();
+  const ExperimentResult b = RunExperiment(config).ValueOrAbort();
+  EXPECT_DOUBLE_EQ(a.after.linear, b.after.linear);
+  EXPECT_DOUBLE_EQ(a.after.coappear, b.after.coappear);
+  EXPECT_DOUBLE_EQ(a.after.pairwise, b.after.pairwise);
+}
+
+}  // namespace
+}  // namespace aspect

@@ -1,0 +1,221 @@
+// Tests for the SQL subset, including cross-validation against the
+// hand-written query engine on the Q1/Q2/Q4 patterns.
+#include <gtest/gtest.h>
+
+#include "query/engine.h"
+#include "query/sql.h"
+#include "workload/generator.h"
+
+namespace aspect {
+namespace {
+
+Schema MiniSchema() {
+  Schema s;
+  s.name = "mini";
+  s.tables.push_back({"User", {{"age", ColumnType::kInt64, ""}}});
+  s.tables.push_back({"Post",
+                      {{"author", ColumnType::kForeignKey, "User"},
+                       {"score", ColumnType::kDouble, ""}}});
+  s.tables.push_back({"Comment",
+                      {{"post", ColumnType::kForeignKey, "Post"},
+                       {"user", ColumnType::kForeignKey, "User"}}});
+  s.user_table = "User";
+  ResponseSpec r;
+  r.response_table = "Comment";
+  r.post_col = 0;
+  r.responder_col = 1;
+  r.post_table = "Post";
+  r.author_col = 0;
+  s.responses.push_back(r);
+  return s;
+}
+
+std::unique_ptr<Database> MiniDb() {
+  auto db = Database::Create(MiniSchema()).ValueOrAbort();
+  for (const int64_t age : {20, 30, 40, 30}) {
+    db->FindTable("User")->Append({Value(age)}).status().Check();
+  }
+  // Posts: (author, score).
+  const std::pair<int64_t, double> posts[] = {
+      {0, 1.5}, {0, 2.5}, {1, 4.0}, {2, 0.5}};
+  for (const auto& [a, s] : posts) {
+    db->FindTable("Post")->Append({Value(a), Value(s)}).status().Check();
+  }
+  // Comments: (post, user).
+  const std::pair<int64_t, int64_t> comments[] = {
+      {0, 1}, {0, 2}, {2, 0}, {2, 0}, {3, 3}};
+  for (const auto& [p, u] : comments) {
+    db->FindTable("Comment")->Append({Value(p), Value(u)}).status().Check();
+  }
+  return db;
+}
+
+double Q(const Database& db, const std::string& sql) {
+  auto r = ExecuteScalarQuery(db, sql);
+  EXPECT_TRUE(r.ok()) << sql << ": " << r.status();
+  return r.ok() ? r.ValueOrDie() : -1;
+}
+
+TEST(SqlTest, CountStar) {
+  auto db = MiniDb();
+  EXPECT_DOUBLE_EQ(Q(*db, "SELECT COUNT(*) FROM User"), 4);
+  EXPECT_DOUBLE_EQ(Q(*db, "select count(*) from Comment"), 5);
+}
+
+TEST(SqlTest, WhereFilters) {
+  auto db = MiniDb();
+  EXPECT_DOUBLE_EQ(Q(*db, "SELECT COUNT(*) FROM User WHERE age >= 30"), 3);
+  EXPECT_DOUBLE_EQ(
+      Q(*db, "SELECT COUNT(*) FROM User WHERE age >= 30 AND age < 40"), 2);
+  EXPECT_DOUBLE_EQ(Q(*db, "SELECT COUNT(*) FROM Post WHERE score > 1"), 3);
+}
+
+TEST(SqlTest, AggregatesOverColumns) {
+  auto db = MiniDb();
+  EXPECT_DOUBLE_EQ(Q(*db, "SELECT SUM(age) FROM User"), 120);
+  EXPECT_DOUBLE_EQ(Q(*db, "SELECT AVG(age) FROM User"), 30);
+  EXPECT_DOUBLE_EQ(Q(*db, "SELECT MIN(score) FROM Post"), 0.5);
+  EXPECT_DOUBLE_EQ(Q(*db, "SELECT MAX(score) FROM Post"), 4.0);
+  EXPECT_DOUBLE_EQ(Q(*db, "SELECT COUNT(DISTINCT age) FROM User"), 3);
+  EXPECT_DOUBLE_EQ(Q(*db, "SELECT COUNT(DISTINCT user) FROM Comment"), 4);
+}
+
+TEST(SqlTest, JoinOnTupleId) {
+  auto db = MiniDb();
+  // Comments on posts by user 0: comments on p0 (2) + p1 (0) = 2.
+  EXPECT_DOUBLE_EQ(
+      Q(*db,
+        "SELECT COUNT(*) FROM Comment JOIN Post ON Comment.post = Post.id "
+        "WHERE Post.author = 0"),
+      2);
+  // Q1 pattern: distinct authors of commented posts.
+  EXPECT_DOUBLE_EQ(
+      Q(*db,
+        "SELECT COUNT(DISTINCT Post.author) FROM Comment "
+        "JOIN Post ON Comment.post = Post.id"),
+      3);
+}
+
+TEST(SqlTest, GroupByHavingSubquery) {
+  auto db = MiniDb();
+  // Q2 pattern: posts with at most 1 distinct commenter.
+  EXPECT_DOUBLE_EQ(
+      Q(*db,
+        "SELECT COUNT(*) FROM (SELECT post FROM Comment GROUP BY post "
+        "HAVING COUNT(DISTINCT user) <= 1) sub"),
+      2);  // p2 (u0 twice) and p3 (u3)
+  // Average distinct commenters over commented posts.
+  EXPECT_DOUBLE_EQ(
+      Q(*db,
+        "SELECT AVG(c) FROM (SELECT post, COUNT(DISTINCT user) AS c "
+        "FROM Comment GROUP BY post) sub"),
+      (2 + 1 + 1) / 3.0);
+}
+
+TEST(SqlTest, MultiJoinChain) {
+  auto db = MiniDb();
+  // Distinct ages of users whose posts received comments.
+  EXPECT_DOUBLE_EQ(
+      Q(*db,
+        "SELECT COUNT(DISTINCT User.age) FROM Comment "
+        "JOIN Post ON Comment.post = Post.id "
+        "JOIN User ON Post.author = User.id"),
+      3);  // authors u0 (20), u1 (30), u2 (40)
+}
+
+TEST(SqlTest, ErrorsAreDiagnosed) {
+  auto db = MiniDb();
+  EXPECT_FALSE(ExecuteScalarQuery(*db, "SELEC COUNT(*) FROM User").ok());
+  EXPECT_FALSE(ExecuteScalarQuery(*db, "SELECT COUNT(*) FROM Nope").ok());
+  EXPECT_FALSE(
+      ExecuteScalarQuery(*db, "SELECT COUNT(*) FROM User WHERE nope = 1")
+          .ok());
+  EXPECT_FALSE(
+      ExecuteScalarQuery(*db, "SELECT age FROM User").ok());  // not scalar
+  EXPECT_FALSE(ExecuteScalarQuery(
+                   *db, "SELECT COUNT(*) FROM User trailing garbage")
+                   .ok());
+  // Ambiguous unqualified column across joined tables.
+  EXPECT_FALSE(
+      ExecuteScalarQuery(
+          *db,
+          "SELECT COUNT(DISTINCT id) FROM Comment JOIN Post ON "
+          "Comment.post = Post.id")
+          .ok());
+  // Aggregates are not allowed in WHERE.
+  EXPECT_FALSE(ExecuteScalarQuery(
+                   *db, "SELECT COUNT(*) FROM User WHERE COUNT(*) = 1")
+                   .ok());
+}
+
+
+TEST(SqlTest, ProjectionSubqueryAndMoreAggregates) {
+  auto db = MiniDb();
+  // Plain projection in a subquery, aggregated outside.
+  EXPECT_DOUBLE_EQ(
+      Q(*db, "SELECT COUNT(DISTINCT a) FROM (SELECT age AS a FROM User) s"),
+      3);
+  // COUNT(col) counts non-null values only.
+  ASSERT_TRUE(db->Apply(Modification::ReplaceValues(
+                            "User", {0}, {0}, {Value()}))
+                  .ok());
+  EXPECT_DOUBLE_EQ(Q(*db, "SELECT COUNT(age) FROM User"), 3);
+  EXPECT_DOUBLE_EQ(Q(*db, "SELECT COUNT(*) FROM User"), 4);
+  // MIN/MAX inside HAVING.
+  EXPECT_DOUBLE_EQ(
+      Q(*db,
+        "SELECT COUNT(*) FROM (SELECT post FROM Comment GROUP BY post "
+        "HAVING MAX(user) >= 2) s"),
+      2);  // p0 (users 1,2) and p3 (user 3)
+  // SUM inside HAVING.
+  EXPECT_DOUBLE_EQ(
+      Q(*db,
+        "SELECT COUNT(*) FROM (SELECT post FROM Comment GROUP BY post "
+        "HAVING SUM(user) = 3) s"),
+      2);  // p0 (1+2) and p3 (3)
+}
+
+TEST(SqlTest, GroupColumnProjectedWithAggregate) {
+  auto db = MiniDb();
+  // Mixed select list under GROUP BY, consumed by an outer aggregate.
+  EXPECT_DOUBLE_EQ(
+      Q(*db,
+        "SELECT MAX(c) FROM (SELECT post, COUNT(*) AS c FROM Comment "
+        "GROUP BY post) s"),
+      2);
+}
+
+TEST(SqlTest, CrossValidatesHandWrittenEngine) {
+  auto gen = GenerateDataset(DoubanMusicLike(0.4), 33).ValueOrAbort();
+  auto db = gen.Materialize(4).ValueOrAbort();
+  const ResponseSpec& spec = db->schema().responses[0];
+
+  // Q1 family.
+  const double sql_q1 = Q(
+      *db,
+      "SELECT COUNT(DISTINCT Review.fk_User_0) FROM Review_Comment "
+      "JOIN Review ON Review_Comment.fk_Review_0 = Review.id");
+  EXPECT_DOUBLE_EQ(
+      sql_q1,
+      static_cast<double>(
+          CountUsersWithRespondedPost(*db, spec).ValueOrAbort()));
+
+  // Q2 family.
+  const double sql_q2 = Q(
+      *db,
+      "SELECT COUNT(*) FROM (SELECT fk_Artist_0 FROM Artist_Fan GROUP BY "
+      "fk_Artist_0 HAVING COUNT(DISTINCT fk_User_1) <= 10) sub");
+  EXPECT_DOUBLE_EQ(sql_q2,
+                   static_cast<double>(
+                       CountEntitiesWithAtMostKUsers(
+                           *db, "Artist_Fan", "fk_Artist_0", "fk_User_1", 10)
+                           .ValueOrAbort()));
+
+  // Fan-out totals.
+  EXPECT_DOUBLE_EQ(
+      Q(*db, "SELECT COUNT(*) FROM Album_Heard"),
+      static_cast<double>(db->FindTable("Album_Heard")->NumTuples()));
+}
+
+}  // namespace
+}  // namespace aspect

@@ -1,0 +1,167 @@
+// Tests for src/stats: frequency distributions, fitting, sampling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "relational/integrity.h"
+#include "stats/fitting.h"
+#include "stats/freq_dist.h"
+#include "stats/sampler.h"
+#include "workload/generator.h"
+
+namespace aspect {
+namespace {
+
+TEST(FreqDistTest, AddAndCount) {
+  FrequencyDistribution f(2);
+  f.Add({1, 2});
+  f.Add({1, 2});
+  f.Add({3, 4}, 5);
+  EXPECT_EQ(f.Count({1, 2}), 2);
+  EXPECT_EQ(f.Count({3, 4}), 5);
+  EXPECT_EQ(f.Count({9, 9}), 0);
+  EXPECT_EQ(f.NumKeys(), 2);
+  EXPECT_EQ(f.TotalMass(), 7);
+}
+
+TEST(FreqDistTest, ZeroEntriesErased) {
+  FrequencyDistribution f(1);
+  f.Add({5}, 3);
+  f.Add({5}, -3);
+  EXPECT_EQ(f.NumKeys(), 0);
+  EXPECT_EQ(f.Count({5}), 0);
+}
+
+TEST(FreqDistTest, NegativeCountsAllowed) {
+  FrequencyDistribution f(1);
+  f.Add({1}, -4);
+  EXPECT_EQ(f.TotalMass(), -4);
+  EXPECT_EQ(f.TotalAbsMass(), 4);
+}
+
+TEST(FreqDistTest, WeightedSum) {
+  FrequencyDistribution f(2);
+  f.Add({2, 3}, 4);  // contributes 8 to dim0, 12 to dim1
+  f.Add({1, 0}, 2);  // contributes 2 to dim0, 0
+  EXPECT_EQ(f.WeightedSum(0), 10);
+  EXPECT_EQ(f.WeightedSum(1), 12);
+}
+
+TEST(FreqDistTest, L1Distance) {
+  FrequencyDistribution f(1), g(1);
+  f.Add({1}, 3);
+  f.Add({2}, 1);
+  g.Add({1}, 1);
+  g.Add({3}, 2);
+  // |3-1| + |1-0| + |0-2| = 5.
+  EXPECT_EQ(f.L1Distance(g), 5);
+  EXPECT_EQ(g.L1Distance(f), 5);
+  EXPECT_EQ(f.L1Distance(f), 0);
+}
+
+TEST(FreqDistTest, Difference) {
+  FrequencyDistribution f(1), g(1);
+  f.Add({1}, 3);
+  g.Add({1}, 1);
+  g.Add({2}, 2);
+  const FrequencyDistribution d = f.Difference(g);
+  EXPECT_EQ(d.Count({1}), 2);
+  EXPECT_EQ(d.Count({2}), -2);
+}
+
+TEST(FreqDistTest, EqualityAndToString) {
+  FrequencyDistribution f(2), g(2);
+  f.Add({1, 2});
+  g.Add({1, 2});
+  EXPECT_EQ(f, g);
+  g.Add({0, 0});
+  EXPECT_FALSE(f == g);
+  EXPECT_EQ(f.ToString(), "{(1,2):1}");
+}
+
+TEST(FreqDistTest, ManhattanDistance) {
+  EXPECT_EQ(ManhattanDistance({1, 2, 3}, {4, 0, 3}), 5);
+  EXPECT_EQ(ManhattanDistance({}, {}), 0);
+}
+
+TEST(FittingTest, ExactPolynomialRecovered) {
+  // y = 2 + 3x - x^2
+  std::vector<double> xs, ys;
+  for (int i = 0; i < 8; ++i) {
+    const double x = i;
+    xs.push_back(x);
+    ys.push_back(2 + 3 * x - x * x);
+  }
+  const auto fit = PolyFit(xs, ys, 2).ValueOrAbort();
+  ASSERT_EQ(fit.size(), 3u);
+  EXPECT_NEAR(fit[0], 2.0, 1e-6);
+  EXPECT_NEAR(fit[1], 3.0, 1e-6);
+  EXPECT_NEAR(fit[2], -1.0, 1e-6);
+  EXPECT_NEAR(PolyEval(fit, 10.0), 2 + 30 - 100, 1e-5);
+}
+
+TEST(FittingTest, UnderdeterminedRejected) {
+  EXPECT_FALSE(PolyFit({1.0}, {2.0}, 2).ok());
+}
+
+TEST(FittingTest, SingularRejected) {
+  // All x equal: Vandermonde is rank deficient for degree >= 1.
+  EXPECT_FALSE(PolyFit({2.0, 2.0, 2.0}, {1.0, 2.0, 3.0}, 1).ok());
+}
+
+TEST(FittingTest, PoissonMle) {
+  EXPECT_DOUBLE_EQ(PoissonMle({}), 0.0);
+  EXPECT_DOUBLE_EQ(PoissonMle({2, 4, 6}), 4.0);
+}
+
+TEST(FittingTest, PowerLawFit) {
+  // y = 5 * x^1.5
+  std::vector<double> xs, ys;
+  for (double x : {1.0, 2.0, 4.0, 8.0}) {
+    xs.push_back(x);
+    ys.push_back(5.0 * std::pow(x, 1.5));
+  }
+  const auto fit = PowerLawFit(xs, ys).ValueOrAbort();
+  EXPECT_NEAR(fit[0], 5.0, 1e-6);
+  EXPECT_NEAR(fit[1], 1.5, 1e-6);
+}
+
+class SamplerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto gen = GenerateDataset(DoubanMusicLike(0.5), 42);
+    ASSERT_TRUE(gen.ok()) << gen.status();
+    set_ = std::make_unique<SnapshotSet>(std::move(gen).ValueOrDie());
+  }
+  std::unique_ptr<SnapshotSet> set_;
+};
+
+TEST_F(SamplerTest, SamplesAreFkClosedAndShrinking) {
+  const auto samples =
+      NestedSamples(set_->full(), {0.2, 0.5, 0.9}, 7).ValueOrAbort();
+  ASSERT_EQ(samples.size(), 3u);
+  int64_t prev = 0;
+  for (const auto& s : samples) {
+    EXPECT_TRUE(CheckIntegrity(*s).ok());
+    EXPECT_GT(s->TotalTuples(), prev);
+    prev = s->TotalTuples();
+  }
+  EXPECT_LT(samples[2]->TotalTuples(), set_->full().TotalTuples());
+}
+
+TEST_F(SamplerTest, FractionRoughlyHitsRootTables) {
+  const auto samples =
+      NestedSamples(set_->full(), {0.5}, 11).ValueOrAbort();
+  const double got =
+      static_cast<double>(samples[0]->FindTable("User")->NumTuples()) /
+      static_cast<double>(set_->full().FindTable("User")->NumTuples());
+  EXPECT_NEAR(got, 0.5, 0.15);
+}
+
+TEST_F(SamplerTest, BadFractionRejected) {
+  EXPECT_FALSE(NestedSamples(set_->full(), {0.0}, 1).ok());
+  EXPECT_FALSE(NestedSamples(set_->full(), {1.5}, 1).ok());
+}
+
+}  // namespace
+}  // namespace aspect

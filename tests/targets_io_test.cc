@@ -1,0 +1,144 @@
+// Tests for target persistence: save every tool's targets, reload them
+// into fresh tools, and verify the tweak outcome is identical to using
+// the ground truth directly.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "aspect/targets_io.h"
+#include "properties/coappear.h"
+#include "properties/degree.h"
+#include "properties/linear.h"
+#include "properties/pairwise.h"
+#include "properties/simple.h"
+#include "scaler/size_scaler.h"
+#include "workload/generator.h"
+
+namespace aspect {
+namespace {
+
+std::string TempFile(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+Coordinator MakeCoordinator(const Schema& schema) {
+  Coordinator c;
+  c.AddTool(std::make_unique<LinearPropertyTool>(schema));
+  c.AddTool(std::make_unique<CoappearPropertyTool>(schema));
+  c.AddTool(std::make_unique<PairwisePropertyTool>(schema));
+  c.AddTool(std::make_unique<DegreeDistributionTool>(schema));
+  return c;
+}
+
+TEST(TargetsIoTest, RoundTripPreservesTargets) {
+  auto gen = GenerateDataset(DoubanMusicLike(0.3), 71).ValueOrAbort();
+  auto truth = gen.Materialize(4).ValueOrAbort();
+  Coordinator original = MakeCoordinator(truth->schema());
+  original.SetTargetsFromDataset(*truth).Check();
+  const std::string path = TempFile("aspect_targets_roundtrip.txt");
+  ASSERT_TRUE(SaveTargets(original, path).ok());
+
+  Coordinator restored = MakeCoordinator(truth->schema());
+  ASSERT_TRUE(LoadTargets(&restored, path).ok());
+
+  // Targets must be byte-identical when re-serialized.
+  const std::string again = TempFile("aspect_targets_roundtrip2.txt");
+  ASSERT_TRUE(SaveTargets(restored, again).ok());
+  std::ifstream a(path), b(again);
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+  EXPECT_GT(sa.str().size(), 100u);
+  std::filesystem::remove(path);
+  std::filesystem::remove(again);
+}
+
+TEST(TargetsIoTest, LoadedTargetsDriveTweakingLikeGroundTruth) {
+  auto gen = GenerateDataset(DoubanMusicLike(0.3), 73).ValueOrAbort();
+  auto truth = gen.Materialize(4).ValueOrAbort();
+  RandScaler scaler;
+  auto scaled_a = scaler
+                      .Scale(*gen.Materialize(2).ValueOrAbort(),
+                             gen.SnapshotSizes(4), 73)
+                      .ValueOrAbort();
+  auto scaled_b = scaled_a->Clone();
+
+  const std::string path = TempFile("aspect_targets_drive.txt");
+  Coordinator with_truth = MakeCoordinator(truth->schema());
+  with_truth.SetTargetsFromDataset(*truth).Check();
+  ASSERT_TRUE(SaveTargets(with_truth, path).ok());
+
+  Coordinator with_file = MakeCoordinator(truth->schema());
+  ASSERT_TRUE(LoadTargets(&with_file, path).ok());
+
+  CoordinatorOptions opts;
+  opts.seed = 9;
+  const auto ra =
+      with_truth.Run(scaled_a.get(), {1, 2, 0}, opts).ValueOrAbort();
+  const auto rb =
+      with_file.Run(scaled_b.get(), {1, 2, 0}, opts).ValueOrAbort();
+  ASSERT_EQ(ra.final_errors.size(), rb.final_errors.size());
+  for (size_t i = 0; i < ra.final_errors.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ra.final_errors[i], rb.final_errors[i]) << i;
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(TargetsIoTest, ErrorsDiagnosed) {
+  auto gen = GenerateDataset(DoubanMusicLike(0.2), 3).ValueOrAbort();
+  Coordinator c = MakeCoordinator(gen.schema());
+  EXPECT_FALSE(LoadTargets(&c, "/no/such/file").ok());
+  // Corrupt file.
+  const std::string path = TempFile("aspect_targets_bad.txt");
+  {
+    std::ofstream out(path);
+    out << "aspect-targets v1\ntool nonsense\n";
+  }
+  EXPECT_FALSE(LoadTargets(&c, path).ok());
+  {
+    std::ofstream out(path);
+    out << "wrong header\n";
+  }
+  EXPECT_FALSE(LoadTargets(&c, path).ok());
+  std::filesystem::remove(path);
+}
+
+TEST(TargetsIoTest, ToolsWithoutPersistenceAreSkipped) {
+  auto gen = GenerateDataset(DoubanMusicLike(0.2), 4).ValueOrAbort();
+  auto truth = gen.Materialize(2).ValueOrAbort();
+  Coordinator c;
+  c.AddTool(std::make_unique<LinearPropertyTool>(truth->schema()));
+  // NullCountTool has no SaveTarget: it must be skipped, not fail.
+  c.AddTool(std::make_unique<NullCountTool>(truth->schema(), "User",
+                                            "gender"));
+  c.SetTargetsFromDataset(*truth).Check();
+  const std::string path = TempFile("aspect_targets_skip.txt");
+  ASSERT_TRUE(SaveTargets(c, path).ok());
+  std::ifstream in(path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  EXPECT_NE(ss.str().find("tool linear"), std::string::npos);
+  EXPECT_EQ(ss.str().find("nulls:"), std::string::npos);
+  std::filesystem::remove(path);
+}
+
+TEST(FreqDistIoTest, WriteReadRoundTrip) {
+  FrequencyDistribution d(3);
+  d.Add({1, 2, 3}, 4);
+  d.Add({0, 0, 9}, -2);
+  std::stringstream ss;
+  d.Write(&ss);
+  const auto back = FrequencyDistribution::Read(&ss).ValueOrAbort();
+  EXPECT_EQ(back, d);
+  // Corrupt input.
+  std::stringstream bad("dist x");
+  EXPECT_FALSE(FrequencyDistribution::Read(&bad).ok());
+  std::stringstream truncated("dist 2 3\n1 2 5\n");
+  EXPECT_FALSE(FrequencyDistribution::Read(&truncated).ok());
+}
+
+}  // namespace
+}  // namespace aspect

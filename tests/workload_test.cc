@@ -1,0 +1,172 @@
+// Tests for src/workload: blueprints, snapshot generation, and the
+// structural counts that match the paper's datasets.
+#include <gtest/gtest.h>
+
+#include "relational/integrity.h"
+#include "relational/refgraph.h"
+#include "workload/blueprint.h"
+#include "workload/generator.h"
+
+namespace aspect {
+namespace {
+
+struct DatasetCounts {
+  const char* name;
+  DatasetBlueprint (*factory)(double);
+  size_t tables, chains, coappear, pairwise;
+};
+
+class BlueprintCountTest : public ::testing::TestWithParam<DatasetCounts> {};
+
+TEST_P(BlueprintCountTest, StructuralCountsMatchDesign) {
+  const DatasetCounts& c = GetParam();
+  const DatasetBlueprint bp = c.factory(1.0);
+  const Schema schema = bp.ToSchema();
+  ASSERT_TRUE(schema.Validate().ok()) << schema.Validate();
+  EXPECT_EQ(schema.tables.size(), c.tables);
+  ReferenceGraph graph(schema);
+  EXPECT_TRUE(graph.IsAcyclic());
+  EXPECT_EQ(graph.MaximalChains().size(), c.chains);
+  EXPECT_EQ(graph.CoappearGroups().size(), c.coappear);
+  EXPECT_EQ(schema.responses.size(), c.pairwise);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllDatasets, BlueprintCountTest,
+    ::testing::Values(
+        DatasetCounts{"XiamiLike", &XiamiLike, 31, 42, 12, 4},
+        DatasetCounts{"DoubanMovieLike", &DoubanMovieLike, 17, 24, 6, 2},
+        DatasetCounts{"DoubanBookLike", &DoubanBookLike, 12, 16, 4, 2},
+        DatasetCounts{"DoubanMusicLike", &DoubanMusicLike, 11, 15, 4, 1}),
+    [](const ::testing::TestParamInfo<DatasetCounts>& info) {
+      return info.param.name;
+    });
+
+TEST(BlueprintTest, ResponseAnnotationsWired) {
+  const Schema s = XiamiLike(1.0).ToSchema();
+  ASSERT_EQ(s.responses.size(), 4u);
+  for (const ResponseSpec& r : s.responses) {
+    EXPECT_GE(r.author_col, 0) << r.response_table;
+    EXPECT_EQ(r.post_col, 0);
+    EXPECT_EQ(r.responder_col, 1);
+  }
+  EXPECT_EQ(s.user_table, "User");
+}
+
+TEST(BlueprintTest, ScaleMultipliesSizes) {
+  const DatasetBlueprint small = XiamiLike(0.5);
+  const DatasetBlueprint big = XiamiLike(2.0);
+  EXPECT_LT(small.tables[0].base_size, big.tables[0].base_size);
+}
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto gen = GenerateDataset(DoubanBookLike(0.5), 99);
+    ASSERT_TRUE(gen.ok()) << gen.status();
+    set_ = std::make_unique<SnapshotSet>(std::move(gen).ValueOrDie());
+  }
+  std::unique_ptr<SnapshotSet> set_;
+};
+
+TEST_F(GeneratorTest, SixSnapshotsGrowing) {
+  EXPECT_EQ(set_->num_snapshots(), 6);
+  for (int t = 0; t < static_cast<int>(set_->schema().tables.size()); ++t) {
+    for (int s = 2; s <= 6; ++s) {
+      EXPECT_GE(set_->TableSize(t, s), set_->TableSize(t, s - 1))
+          << "table " << t << " snapshot " << s;
+    }
+    EXPECT_GT(set_->TableSize(t, 6), set_->TableSize(t, 1)) << t;
+  }
+}
+
+TEST_F(GeneratorTest, FullDatasetHasIntegrity) {
+  EXPECT_TRUE(CheckIntegrity(set_->full()).ok());
+}
+
+TEST_F(GeneratorTest, SnapshotsArePrefixesAndFkClosed) {
+  for (int s = 1; s <= 6; s += 2) {
+    auto snap = set_->Materialize(s).ValueOrAbort();
+    EXPECT_TRUE(CheckIntegrity(*snap).ok()) << "snapshot " << s;
+    for (int t = 0; t < snap->num_tables(); ++t) {
+      EXPECT_EQ(snap->table(t).NumTuples(), set_->TableSize(t, s));
+      // Prefix property: rows agree with the full dataset.
+      if (snap->table(t).NumTuples() > 0) {
+        EXPECT_EQ(snap->table(t).GetRow(0), set_->full().table(t).GetRow(0));
+      }
+    }
+  }
+}
+
+TEST_F(GeneratorTest, MaterializeOutOfRangeRejected) {
+  EXPECT_FALSE(set_->Materialize(0).ok());
+  EXPECT_FALSE(set_->Materialize(7).ok());
+}
+
+TEST_F(GeneratorTest, DeterministicInSeed) {
+  auto again = GenerateDataset(DoubanBookLike(0.5), 99).ValueOrAbort();
+  const Table& a = set_->full().table(3);
+  const Table& b = again.full().table(3);
+  ASSERT_EQ(a.NumTuples(), b.NumTuples());
+  for (TupleId t = 0; t < std::min<int64_t>(a.NumTuples(), 50); ++t) {
+    EXPECT_EQ(a.GetRow(t), b.GetRow(t)) << t;
+  }
+}
+
+TEST_F(GeneratorTest, DifferentSeedsDiffer) {
+  auto other = GenerateDataset(DoubanBookLike(0.5), 100).ValueOrAbort();
+  const Table& a = set_->full().table(3);
+  const Table& b = other.full().table(3);
+  int diffs = 0;
+  for (TupleId t = 0; t < std::min<int64_t>(a.NumTuples(), 50); ++t) {
+    diffs += (a.GetRow(t) != b.GetRow(t));
+  }
+  EXPECT_GT(diffs, 0);
+}
+
+TEST_F(GeneratorTest, NonUniformGrowthAcrossTables) {
+  // The paper stresses that real tables do not scale uniformly; check
+  // that at least two tables have visibly different D6/D1 ratios.
+  double min_ratio = 1e9, max_ratio = 0;
+  for (int t = 0; t < static_cast<int>(set_->schema().tables.size()); ++t) {
+    const double r = static_cast<double>(set_->TableSize(t, 6)) /
+                     static_cast<double>(set_->TableSize(t, 1));
+    min_ratio = std::min(min_ratio, r);
+    max_ratio = std::max(max_ratio, r);
+  }
+  EXPECT_GT(max_ratio / min_ratio, 1.5);
+}
+
+TEST(GeneratorSelfResponseTest, SelfResponsesGenerated) {
+  DatasetBlueprint bp = DoubanMusicLike(1.0);
+  bp.self_response_rate = 0.3;
+  auto set = GenerateDataset(bp, 5).ValueOrAbort();
+  const Database& db = set.full();
+  const ResponseSpec& r = db.schema().responses[0];
+  const Table* resp = db.FindTable(r.response_table);
+  const Table* post = db.FindTable(r.post_table);
+  int64_t self = 0;
+  resp->ForEachLive([&](TupleId t) {
+    const TupleId p = resp->column(r.post_col).GetInt(t);
+    const TupleId responder = resp->column(r.responder_col).GetInt(t);
+    if (post->column(r.author_col).GetInt(p) == responder) ++self;
+  });
+  EXPECT_GT(self, resp->NumTuples() / 5);
+}
+
+TEST(GeneratorErrorTest, ParentDeclaredLaterRejected) {
+  DatasetBlueprint bp;
+  bp.name = "bad";
+  bp.user_table = "A";
+  TableBlueprint a;
+  a.name = "A";
+  a.kind = TableKind::kActivity;
+  a.parents = {"B"};
+  TableBlueprint b;
+  b.name = "B";
+  bp.tables = {a, b};
+  EXPECT_FALSE(GenerateDataset(bp, 1).ok());
+}
+
+}  // namespace
+}  // namespace aspect
