@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_scalers.dir/bench/bench_ablation_scalers.cc.o"
+  "CMakeFiles/bench_ablation_scalers.dir/bench/bench_ablation_scalers.cc.o.d"
+  "bench/bench_ablation_scalers"
+  "bench/bench_ablation_scalers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_scalers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_13_14_properties.dir/bench/bench_fig12_13_14_properties.cc.o"
+  "CMakeFiles/bench_fig12_13_14_properties.dir/bench/bench_fig12_13_14_properties.cc.o.d"
+  "bench/bench_fig12_13_14_properties"
+  "bench/bench_fig12_13_14_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_13_14_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_queries.dir/bench/bench_fig15_queries.cc.o"
+  "CMakeFiles/bench_fig15_queries.dir/bench/bench_fig15_queries.cc.o.d"
+  "bench/bench_fig15_queries"
+  "bench/bench_fig15_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

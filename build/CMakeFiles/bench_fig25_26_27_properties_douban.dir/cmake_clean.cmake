@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig25_26_27_properties_douban.dir/bench/bench_fig25_26_27_properties_douban.cc.o"
+  "CMakeFiles/bench_fig25_26_27_properties_douban.dir/bench/bench_fig25_26_27_properties_douban.cc.o.d"
+  "bench/bench_fig25_26_27_properties_douban"
+  "bench/bench_fig25_26_27_properties_douban.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig25_26_27_properties_douban.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig28_29_30_queries_douban.
+# This may be replaced when dependencies are built.

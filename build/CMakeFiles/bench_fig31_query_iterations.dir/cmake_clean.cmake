@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig31_query_iterations.dir/bench/bench_fig31_query_iterations.cc.o"
+  "CMakeFiles/bench_fig31_query_iterations.dir/bench/bench_fig31_query_iterations.cc.o.d"
+  "bench/bench_fig31_query_iterations"
+  "bench/bench_fig31_query_iterations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig31_query_iterations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

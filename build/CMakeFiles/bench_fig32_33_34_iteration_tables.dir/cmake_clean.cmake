@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig32_33_34_iteration_tables.dir/bench/bench_fig32_33_34_iteration_tables.cc.o"
+  "CMakeFiles/bench_fig32_33_34_iteration_tables.dir/bench/bench_fig32_33_34_iteration_tables.cc.o.d"
+  "bench/bench_fig32_33_34_iteration_tables"
+  "bench/bench_fig32_33_34_iteration_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig32_33_34_iteration_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig35_time_douban.cc" "CMakeFiles/bench_fig35_time_douban.dir/bench/bench_fig35_time_douban.cc.o" "gcc" "CMakeFiles/bench_fig35_time_douban.dir/bench/bench_fig35_time_douban.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/measure/CMakeFiles/aspect_measure.dir/DependInfo.cmake"
+  "/root/repo/build/src/properties/CMakeFiles/aspect_properties.dir/DependInfo.cmake"
+  "/root/repo/build/src/aspect/CMakeFiles/aspect_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/aspect_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/scaler/CMakeFiles/aspect_scaler.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/aspect_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/aspect_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/aspect_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aspect_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig35_time_douban.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aspect_cli.dir/aspect_cli.cpp.o"
+  "CMakeFiles/aspect_cli.dir/aspect_cli.cpp.o.d"
+  "aspect_cli"
+  "aspect_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aspect_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchmark_scaling.dir/benchmark_scaling.cpp.o"
+  "CMakeFiles/benchmark_scaling.dir/benchmark_scaling.cpp.o.d"
+  "benchmark_scaling"
+  "benchmark_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchmark_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

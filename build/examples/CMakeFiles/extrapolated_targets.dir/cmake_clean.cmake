@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extrapolated_targets.dir/extrapolated_targets.cpp.o"
+  "CMakeFiles/extrapolated_targets.dir/extrapolated_targets.cpp.o.d"
+  "extrapolated_targets"
+  "extrapolated_targets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extrapolated_targets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

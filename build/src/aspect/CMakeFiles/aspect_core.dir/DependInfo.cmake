@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/aspect/access_monitor.cc" "src/aspect/CMakeFiles/aspect_core.dir/access_monitor.cc.o" "gcc" "src/aspect/CMakeFiles/aspect_core.dir/access_monitor.cc.o.d"
+  "/root/repo/src/aspect/coordinator.cc" "src/aspect/CMakeFiles/aspect_core.dir/coordinator.cc.o" "gcc" "src/aspect/CMakeFiles/aspect_core.dir/coordinator.cc.o.d"
+  "/root/repo/src/aspect/overlap.cc" "src/aspect/CMakeFiles/aspect_core.dir/overlap.cc.o" "gcc" "src/aspect/CMakeFiles/aspect_core.dir/overlap.cc.o.d"
+  "/root/repo/src/aspect/registry.cc" "src/aspect/CMakeFiles/aspect_core.dir/registry.cc.o" "gcc" "src/aspect/CMakeFiles/aspect_core.dir/registry.cc.o.d"
+  "/root/repo/src/aspect/target_generator.cc" "src/aspect/CMakeFiles/aspect_core.dir/target_generator.cc.o" "gcc" "src/aspect/CMakeFiles/aspect_core.dir/target_generator.cc.o.d"
+  "/root/repo/src/aspect/targets_io.cc" "src/aspect/CMakeFiles/aspect_core.dir/targets_io.cc.o" "gcc" "src/aspect/CMakeFiles/aspect_core.dir/targets_io.cc.o.d"
+  "/root/repo/src/aspect/tweak_context.cc" "src/aspect/CMakeFiles/aspect_core.dir/tweak_context.cc.o" "gcc" "src/aspect/CMakeFiles/aspect_core.dir/tweak_context.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aspect_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/aspect_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/aspect_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

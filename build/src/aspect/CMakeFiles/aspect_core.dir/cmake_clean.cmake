@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aspect_core.dir/access_monitor.cc.o"
+  "CMakeFiles/aspect_core.dir/access_monitor.cc.o.d"
+  "CMakeFiles/aspect_core.dir/coordinator.cc.o"
+  "CMakeFiles/aspect_core.dir/coordinator.cc.o.d"
+  "CMakeFiles/aspect_core.dir/overlap.cc.o"
+  "CMakeFiles/aspect_core.dir/overlap.cc.o.d"
+  "CMakeFiles/aspect_core.dir/registry.cc.o"
+  "CMakeFiles/aspect_core.dir/registry.cc.o.d"
+  "CMakeFiles/aspect_core.dir/target_generator.cc.o"
+  "CMakeFiles/aspect_core.dir/target_generator.cc.o.d"
+  "CMakeFiles/aspect_core.dir/targets_io.cc.o"
+  "CMakeFiles/aspect_core.dir/targets_io.cc.o.d"
+  "CMakeFiles/aspect_core.dir/tweak_context.cc.o"
+  "CMakeFiles/aspect_core.dir/tweak_context.cc.o.d"
+  "libaspect_core.a"
+  "libaspect_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aspect_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

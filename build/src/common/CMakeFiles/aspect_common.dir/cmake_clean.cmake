@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aspect_common.dir/logging.cc.o"
+  "CMakeFiles/aspect_common.dir/logging.cc.o.d"
+  "CMakeFiles/aspect_common.dir/rng.cc.o"
+  "CMakeFiles/aspect_common.dir/rng.cc.o.d"
+  "CMakeFiles/aspect_common.dir/status.cc.o"
+  "CMakeFiles/aspect_common.dir/status.cc.o.d"
+  "CMakeFiles/aspect_common.dir/string_util.cc.o"
+  "CMakeFiles/aspect_common.dir/string_util.cc.o.d"
+  "libaspect_common.a"
+  "libaspect_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aspect_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aspect_measure.dir/profile.cc.o"
+  "CMakeFiles/aspect_measure.dir/profile.cc.o.d"
+  "CMakeFiles/aspect_measure.dir/runner.cc.o"
+  "CMakeFiles/aspect_measure.dir/runner.cc.o.d"
+  "libaspect_measure.a"
+  "libaspect_measure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aspect_measure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/properties/builtin.cc" "src/properties/CMakeFiles/aspect_properties.dir/builtin.cc.o" "gcc" "src/properties/CMakeFiles/aspect_properties.dir/builtin.cc.o.d"
+  "/root/repo/src/properties/chain_stats.cc" "src/properties/CMakeFiles/aspect_properties.dir/chain_stats.cc.o" "gcc" "src/properties/CMakeFiles/aspect_properties.dir/chain_stats.cc.o.d"
+  "/root/repo/src/properties/coappear.cc" "src/properties/CMakeFiles/aspect_properties.dir/coappear.cc.o" "gcc" "src/properties/CMakeFiles/aspect_properties.dir/coappear.cc.o.d"
+  "/root/repo/src/properties/degree.cc" "src/properties/CMakeFiles/aspect_properties.dir/degree.cc.o" "gcc" "src/properties/CMakeFiles/aspect_properties.dir/degree.cc.o.d"
+  "/root/repo/src/properties/joint.cc" "src/properties/CMakeFiles/aspect_properties.dir/joint.cc.o" "gcc" "src/properties/CMakeFiles/aspect_properties.dir/joint.cc.o.d"
+  "/root/repo/src/properties/linear.cc" "src/properties/CMakeFiles/aspect_properties.dir/linear.cc.o" "gcc" "src/properties/CMakeFiles/aspect_properties.dir/linear.cc.o.d"
+  "/root/repo/src/properties/pairwise.cc" "src/properties/CMakeFiles/aspect_properties.dir/pairwise.cc.o" "gcc" "src/properties/CMakeFiles/aspect_properties.dir/pairwise.cc.o.d"
+  "/root/repo/src/properties/simple.cc" "src/properties/CMakeFiles/aspect_properties.dir/simple.cc.o" "gcc" "src/properties/CMakeFiles/aspect_properties.dir/simple.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/aspect/CMakeFiles/aspect_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/aspect_relational.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/aspect_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/aspect_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aspect_properties.dir/builtin.cc.o"
+  "CMakeFiles/aspect_properties.dir/builtin.cc.o.d"
+  "CMakeFiles/aspect_properties.dir/chain_stats.cc.o"
+  "CMakeFiles/aspect_properties.dir/chain_stats.cc.o.d"
+  "CMakeFiles/aspect_properties.dir/coappear.cc.o"
+  "CMakeFiles/aspect_properties.dir/coappear.cc.o.d"
+  "CMakeFiles/aspect_properties.dir/degree.cc.o"
+  "CMakeFiles/aspect_properties.dir/degree.cc.o.d"
+  "CMakeFiles/aspect_properties.dir/joint.cc.o"
+  "CMakeFiles/aspect_properties.dir/joint.cc.o.d"
+  "CMakeFiles/aspect_properties.dir/linear.cc.o"
+  "CMakeFiles/aspect_properties.dir/linear.cc.o.d"
+  "CMakeFiles/aspect_properties.dir/pairwise.cc.o"
+  "CMakeFiles/aspect_properties.dir/pairwise.cc.o.d"
+  "CMakeFiles/aspect_properties.dir/simple.cc.o"
+  "CMakeFiles/aspect_properties.dir/simple.cc.o.d"
+  "libaspect_properties.a"
+  "libaspect_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aspect_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

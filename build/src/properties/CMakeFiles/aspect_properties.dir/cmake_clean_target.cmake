@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaspect_properties.a"
+)

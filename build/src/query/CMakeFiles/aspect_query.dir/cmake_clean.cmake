@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aspect_query.dir/engine.cc.o"
+  "CMakeFiles/aspect_query.dir/engine.cc.o.d"
+  "CMakeFiles/aspect_query.dir/queries.cc.o"
+  "CMakeFiles/aspect_query.dir/queries.cc.o.d"
+  "CMakeFiles/aspect_query.dir/sql.cc.o"
+  "CMakeFiles/aspect_query.dir/sql.cc.o.d"
+  "libaspect_query.a"
+  "libaspect_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aspect_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aspect_relational.dir/column.cc.o"
+  "CMakeFiles/aspect_relational.dir/column.cc.o.d"
+  "CMakeFiles/aspect_relational.dir/csv.cc.o"
+  "CMakeFiles/aspect_relational.dir/csv.cc.o.d"
+  "CMakeFiles/aspect_relational.dir/database.cc.o"
+  "CMakeFiles/aspect_relational.dir/database.cc.o.d"
+  "CMakeFiles/aspect_relational.dir/integrity.cc.o"
+  "CMakeFiles/aspect_relational.dir/integrity.cc.o.d"
+  "CMakeFiles/aspect_relational.dir/modlog.cc.o"
+  "CMakeFiles/aspect_relational.dir/modlog.cc.o.d"
+  "CMakeFiles/aspect_relational.dir/refcount.cc.o"
+  "CMakeFiles/aspect_relational.dir/refcount.cc.o.d"
+  "CMakeFiles/aspect_relational.dir/refgraph.cc.o"
+  "CMakeFiles/aspect_relational.dir/refgraph.cc.o.d"
+  "CMakeFiles/aspect_relational.dir/schema.cc.o"
+  "CMakeFiles/aspect_relational.dir/schema.cc.o.d"
+  "CMakeFiles/aspect_relational.dir/schema_text.cc.o"
+  "CMakeFiles/aspect_relational.dir/schema_text.cc.o.d"
+  "CMakeFiles/aspect_relational.dir/table.cc.o"
+  "CMakeFiles/aspect_relational.dir/table.cc.o.d"
+  "CMakeFiles/aspect_relational.dir/value.cc.o"
+  "CMakeFiles/aspect_relational.dir/value.cc.o.d"
+  "libaspect_relational.a"
+  "libaspect_relational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aspect_relational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

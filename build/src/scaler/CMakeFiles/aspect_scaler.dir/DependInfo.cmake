@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scaler/sampling_scaler.cc" "src/scaler/CMakeFiles/aspect_scaler.dir/sampling_scaler.cc.o" "gcc" "src/scaler/CMakeFiles/aspect_scaler.dir/sampling_scaler.cc.o.d"
+  "/root/repo/src/scaler/size_scaler.cc" "src/scaler/CMakeFiles/aspect_scaler.dir/size_scaler.cc.o" "gcc" "src/scaler/CMakeFiles/aspect_scaler.dir/size_scaler.cc.o.d"
+  "/root/repo/src/scaler/upsizer.cc" "src/scaler/CMakeFiles/aspect_scaler.dir/upsizer.cc.o" "gcc" "src/scaler/CMakeFiles/aspect_scaler.dir/upsizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aspect_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/aspect_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aspect_scaler.dir/sampling_scaler.cc.o"
+  "CMakeFiles/aspect_scaler.dir/sampling_scaler.cc.o.d"
+  "CMakeFiles/aspect_scaler.dir/size_scaler.cc.o"
+  "CMakeFiles/aspect_scaler.dir/size_scaler.cc.o.d"
+  "CMakeFiles/aspect_scaler.dir/upsizer.cc.o"
+  "CMakeFiles/aspect_scaler.dir/upsizer.cc.o.d"
+  "libaspect_scaler.a"
+  "libaspect_scaler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aspect_scaler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

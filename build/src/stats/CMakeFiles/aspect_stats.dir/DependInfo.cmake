@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/fitting.cc" "src/stats/CMakeFiles/aspect_stats.dir/fitting.cc.o" "gcc" "src/stats/CMakeFiles/aspect_stats.dir/fitting.cc.o.d"
+  "/root/repo/src/stats/freq_dist.cc" "src/stats/CMakeFiles/aspect_stats.dir/freq_dist.cc.o" "gcc" "src/stats/CMakeFiles/aspect_stats.dir/freq_dist.cc.o.d"
+  "/root/repo/src/stats/sampler.cc" "src/stats/CMakeFiles/aspect_stats.dir/sampler.cc.o" "gcc" "src/stats/CMakeFiles/aspect_stats.dir/sampler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/aspect_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relational/CMakeFiles/aspect_relational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aspect_stats.dir/fitting.cc.o"
+  "CMakeFiles/aspect_stats.dir/fitting.cc.o.d"
+  "CMakeFiles/aspect_stats.dir/freq_dist.cc.o"
+  "CMakeFiles/aspect_stats.dir/freq_dist.cc.o.d"
+  "CMakeFiles/aspect_stats.dir/sampler.cc.o"
+  "CMakeFiles/aspect_stats.dir/sampler.cc.o.d"
+  "libaspect_stats.a"
+  "libaspect_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aspect_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

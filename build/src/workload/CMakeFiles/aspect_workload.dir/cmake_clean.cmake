@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aspect_workload.dir/blueprint.cc.o"
+  "CMakeFiles/aspect_workload.dir/blueprint.cc.o.d"
+  "CMakeFiles/aspect_workload.dir/chronological.cc.o"
+  "CMakeFiles/aspect_workload.dir/chronological.cc.o.d"
+  "CMakeFiles/aspect_workload.dir/generator.cc.o"
+  "CMakeFiles/aspect_workload.dir/generator.cc.o.d"
+  "libaspect_workload.a"
+  "libaspect_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aspect_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

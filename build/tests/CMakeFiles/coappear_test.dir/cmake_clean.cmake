@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coappear_test.dir/coappear_test.cc.o"
+  "CMakeFiles/coappear_test.dir/coappear_test.cc.o.d"
+  "coappear_test"
+  "coappear_test.pdb"
+  "coappear_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coappear_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

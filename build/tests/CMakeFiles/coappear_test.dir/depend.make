@@ -1,0 +1,2 @@
+# Empty dependencies file for coappear_test.
+# This may be replaced when dependencies are built.

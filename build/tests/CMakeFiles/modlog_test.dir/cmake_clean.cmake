@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modlog_test.dir/modlog_test.cc.o"
+  "CMakeFiles/modlog_test.dir/modlog_test.cc.o.d"
+  "modlog_test"
+  "modlog_test.pdb"
+  "modlog_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modlog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retail_test.dir/retail_test.cc.o"
+  "CMakeFiles/retail_test.dir/retail_test.cc.o.d"
+  "retail_test"
+  "retail_test.pdb"
+  "retail_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retail_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

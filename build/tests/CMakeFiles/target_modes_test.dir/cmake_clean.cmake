@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/target_modes_test.dir/target_modes_test.cc.o"
+  "CMakeFiles/target_modes_test.dir/target_modes_test.cc.o.d"
+  "target_modes_test"
+  "target_modes_test.pdb"
+  "target_modes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/target_modes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

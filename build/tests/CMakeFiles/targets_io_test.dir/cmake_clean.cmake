@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/targets_io_test.dir/targets_io_test.cc.o"
+  "CMakeFiles/targets_io_test.dir/targets_io_test.cc.o.d"
+  "targets_io_test"
+  "targets_io_test.pdb"
+  "targets_io_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/targets_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/relational_test[1]_include.cmake")
+include("/root/repo/build/tests/stats_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/scaler_test[1]_include.cmake")
+include("/root/repo/build/tests/linear_test[1]_include.cmake")
+include("/root/repo/build/tests/coappear_test[1]_include.cmake")
+include("/root/repo/build/tests/pairwise_test[1]_include.cmake")
+include("/root/repo/build/tests/simple_test[1]_include.cmake")
+include("/root/repo/build/tests/coordinator_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+include("/root/repo/build/tests/runner_test[1]_include.cmake")
+include("/root/repo/build/tests/degree_test[1]_include.cmake")
+include("/root/repo/build/tests/extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/target_modes_test[1]_include.cmake")
+include("/root/repo/build/tests/sql_test[1]_include.cmake")
+include("/root/repo/build/tests/targets_io_test[1]_include.cmake")
+include("/root/repo/build/tests/retail_test[1]_include.cmake")
+include("/root/repo/build/tests/modlog_test[1]_include.cmake")
+include("/root/repo/build/tests/joint_test[1]_include.cmake")
