@@ -7,10 +7,16 @@
 // with the "median" distribution is optimal. The bench runs all six
 // orders and prints measured vs predicted totals.
 #include <algorithm>
+#include <chrono>
 
 #include "aspect/coordinator.h"
 #include "bench_util.h"
+#include "properties/coappear.h"
+#include "properties/linear.h"
+#include "properties/pairwise.h"
 #include "properties/simple.h"
+#include "scaler/size_scaler.h"
+#include "workload/generator.h"
 
 using namespace aspect;
 using namespace aspect::bench;
@@ -101,5 +107,56 @@ int main() {
   } while (std::next_permutation(order.begin(), order.end()));
   std::printf("best order: %s (Theorem 8 predicts the median f2 last)\n",
               best_order.c_str());
+
+  // Wall-clock of the order search itself: CompareOrders probes the
+  // same six candidate orders at 1 thread and at one per core. The
+  // rankings and errors are identical; only the elapsed time changes.
+  auto gen = GenerateDataset(XiamiLike(0.4), kSeed).ValueOrAbort();
+  auto truth = gen.Materialize(4).ValueOrAbort();
+  RandScaler rand;
+  auto base = rand.Scale(*gen.Materialize(1).ValueOrAbort(),
+                         gen.SnapshotSizes(4), kSeed)
+                  .ValueOrAbort();
+  Coordinator coordinator;
+  coordinator.AddTool(
+      std::make_unique<LinearPropertyTool>(truth->schema()));
+  coordinator.AddTool(
+      std::make_unique<CoappearPropertyTool>(truth->schema()));
+  coordinator.AddTool(
+      std::make_unique<PairwisePropertyTool>(truth->schema()));
+  coordinator.SetTargetsFromDataset(*truth).Check();
+  std::vector<std::vector<int>> orders;
+  for (const auto& [perm_label, perm] :
+       AllPermutations(coordinator, {0, 1, 2})) {
+    orders.push_back(perm);
+  }
+
+  Banner("Parallel order search (CompareOrders, Rand-XiamiLike D4)");
+  Header({"threads", "seconds", "speedup", "best", "best-err"});
+  double serial_seconds = 0;
+  for (const int threads : {1, 0}) {  // 0 = one per hardware thread
+    CoordinatorOptions opts;
+    opts.seed = kSeed;
+    opts.order_search_threads = threads;
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto outcomes =
+        coordinator.CompareOrders(*base, orders, opts).ValueOrAbort();
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    if (threads == 1) serial_seconds = seconds;
+    std::string best;
+    for (const int id : outcomes.front().order) {
+      if (!best.empty()) best += "-";
+      best += coordinator.tool(id)->name().substr(0, 1);
+    }
+    Cell(std::to_string(threads));
+    Cell(seconds);
+    Cell(serial_seconds / std::max(1e-9, seconds));
+    Cell(best);
+    Cell(outcomes.front().total_error);
+    EndRow();
+  }
   return 0;
 }

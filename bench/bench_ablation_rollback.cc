@@ -1,8 +1,10 @@
 // Ablation: the rollback-on-regression safety net (an extension beyond
 // the paper's O4 accepted-error policy). Compares each permutation's
-// final errors and tweak time with and without rollback on Rand-Xiami:
-// rollback guarantees no step leaves the guarded error worse, at the
-// cost of one database snapshot per step.
+// final errors and rollback overhead on Rand-Xiami across the three
+// policies: off, clone (deep-copy snapshot per step, O(database)) and
+// undo (revert the step's modification log, O(modifications)). Both
+// restore modes reach identical errors; the rb_s columns show what the
+// safety net itself costs.
 #include "aspect/coordinator.h"
 #include "bench_util.h"
 #include "properties/coappear.h"
@@ -23,11 +25,14 @@ int main() {
                   .ValueOrAbort();
 
   Banner("Ablation: rollback-on-regression (Rand-XiamiLike, D4)");
-  Header({"order", "total(off)", "total(on)", "s(off)", "s(on)"});
+  Header({"order", "tot(off)", "tot(clon)", "tot(undo)", "rb_s(clon)",
+          "rb_s(undo)", "undone"});
   for (const std::string& label : SixPermutations()) {
-    double totals[2] = {0, 0};
-    double seconds[2] = {0, 0};
-    for (const bool rollback : {false, true}) {
+    // 0 = off, 1 = clone, 2 = undo log.
+    double totals[3] = {0, 0, 0};
+    double rollback_seconds[3] = {0, 0, 0};
+    int64_t undone_mods = 0;
+    for (const int mode : {0, 1, 2}) {
       auto scaled = base->Clone();
       Coordinator coordinator;
       coordinator.AddTool(
@@ -44,21 +49,24 @@ int main() {
       }
       CoordinatorOptions opts;
       opts.seed = kSeed;
-      opts.rollback_on_regression = rollback;
+      opts.rollback_on_regression = mode != 0;
+      opts.rollback_mode =
+          mode == 1 ? RollbackMode::kClone : RollbackMode::kUndoLog;
       const RunReport report =
           coordinator.Run(scaled.get(), order, opts).ValueOrAbort();
-      for (const double e : report.final_errors) {
-        totals[rollback ? 1 : 0] += e;
-      }
+      for (const double e : report.final_errors) totals[mode] += e;
       for (const ToolReport& s : report.steps) {
-        seconds[rollback ? 1 : 0] += s.seconds;
+        rollback_seconds[mode] += s.rollback_seconds;
+        if (mode == 2 && s.rolled_back) undone_mods += s.rollback_mods;
       }
     }
     Cell(label);
     Cell(totals[0]);
     Cell(totals[1]);
-    Cell(seconds[0]);
-    Cell(seconds[1]);
+    Cell(totals[2]);
+    Cell(rollback_seconds[1]);
+    Cell(rollback_seconds[2]);
+    Cell(std::to_string(undone_mods));
     EndRow();
   }
   return 0;

@@ -2,7 +2,14 @@
 // time growing linearly with dataset size across snapshots; this bench
 // extends the claim across generator scales (4x more data per step)
 // and reports tuples-per-second throughput for scaling + tweaking.
+#include <chrono>
+
+#include "aspect/coordinator.h"
 #include "bench_util.h"
+#include "properties/coappear.h"
+#include "properties/linear.h"
+#include "properties/pairwise.h"
+#include "scaler/size_scaler.h"
 #include "workload/generator.h"
 
 using namespace aspect;
@@ -33,6 +40,50 @@ int main() {
     Cell(r.after.coappear);
     Cell(r.after.pairwise);
     EndRow();
+  }
+
+  // How the order search scales with workers: the six candidate
+  // permutations probed serially and with one worker per core.
+  Banner("Order-search scalability (CompareOrders, Rand-XiamiLike D4)");
+  Header({"scale", "threads", "seconds", "speedup"});
+  for (const double scale : {0.25, 0.5}) {
+    auto gen = GenerateDataset(XiamiLike(scale), kSeed).ValueOrAbort();
+    auto truth = gen.Materialize(4).ValueOrAbort();
+    RandScaler rand;
+    auto base = rand.Scale(*gen.Materialize(1).ValueOrAbort(),
+                           gen.SnapshotSizes(4), kSeed)
+                    .ValueOrAbort();
+    Coordinator coordinator;
+    coordinator.AddTool(
+        std::make_unique<LinearPropertyTool>(truth->schema()));
+    coordinator.AddTool(
+        std::make_unique<CoappearPropertyTool>(truth->schema()));
+    coordinator.AddTool(
+        std::make_unique<PairwisePropertyTool>(truth->schema()));
+    coordinator.SetTargetsFromDataset(*truth).Check();
+    std::vector<std::vector<int>> orders;
+    for (const auto& [label, order] :
+         AllPermutations(coordinator, {0, 1, 2})) {
+      orders.push_back(order);
+    }
+    double serial_seconds = 0;
+    for (const int threads : {1, 0}) {
+      CoordinatorOptions opts;
+      opts.seed = kSeed;
+      opts.order_search_threads = threads;
+      const auto t0 = std::chrono::steady_clock::now();
+      coordinator.CompareOrders(*base, orders, opts).ValueOrAbort();
+      const double seconds =
+          std::chrono::duration<double>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      if (threads == 1) serial_seconds = seconds;
+      Cell(scale);
+      Cell(std::to_string(threads));
+      Cell(seconds);
+      Cell(serial_seconds / std::max(1e-9, seconds));
+      EndRow();
+    }
   }
   return 0;
 }

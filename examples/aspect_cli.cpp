@@ -5,7 +5,8 @@
 //              [--tools coappear,linear,pairwise] [--iterations 2]
 //              [--seed 7] [--truth truth_dir]
 //              [--save-targets file] [--load-targets file] [--profile]
-//              [--report] [--compare-orders]
+//              [--report] [--compare-orders] [--threads N]
+//              [--rollback off|clone|undo]
 //
 // Reads one CSV per table from --data, scales every table by --scale
 // (rounded, at least 1), enforces the chosen properties and writes the
@@ -49,8 +50,10 @@ struct Args {
   bool compare_orders = false;
   std::string scaler = "Dscaler";
   std::string tools = "coappear,linear,pairwise";
+  std::string rollback = "off";
   double scale = 2.0;
   int iterations = 1;
+  int threads = 0;
   uint64_t seed = 1;
 };
 
@@ -98,6 +101,15 @@ Result<Args> ParseArgs(int argc, char** argv) {
     } else if (flag == "--iterations") {
       ASPECT_ASSIGN_OR_RETURN(const std::string v, next());
       args.iterations = std::atoi(v.c_str());
+    } else if (flag == "--threads") {
+      ASPECT_ASSIGN_OR_RETURN(const std::string v, next());
+      args.threads = std::atoi(v.c_str());
+    } else if (flag == "--rollback") {
+      ASPECT_ASSIGN_OR_RETURN(args.rollback, next());
+      if (args.rollback != "off" && args.rollback != "clone" &&
+          args.rollback != "undo") {
+        return Status::Invalid("--rollback must be off, clone or undo");
+      }
     } else if (flag == "--seed") {
       ASPECT_ASSIGN_OR_RETURN(const std::string v, next());
       args.seed = std::strtoull(v.c_str(), nullptr, 10);
@@ -199,6 +211,10 @@ Status Run(const Args& args) {
   CoordinatorOptions options;
   options.iterations = a.iterations;
   options.seed = a.seed;
+  options.order_search_threads = a.threads;
+  options.rollback_on_regression = a.rollback != "off";
+  options.rollback_mode =
+      a.rollback == "clone" ? RollbackMode::kClone : RollbackMode::kUndoLog;
   if (a.compare_orders && order.size() >= 2 && order.size() <= 4) {
     // Try every permutation on a scratch copy (the Property Tweaking
     // Order Problem, answered empirically) and keep the best.

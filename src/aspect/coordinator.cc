@@ -1,12 +1,16 @@
 #include "aspect/coordinator.h"
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
+#include <map>
 #include <sstream>
 
 #include "aspect/tweak_context.h"
 #include "common/logging.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "relational/modlog.h"
 
 namespace aspect {
 namespace {
@@ -19,17 +23,40 @@ double Now() {
 
 }  // namespace
 
+const char* StopReasonToString(RunReport::StopReason reason) {
+  switch (reason) {
+    case RunReport::StopReason::kIterationsExhausted:
+      return "iterations exhausted";
+    case RunReport::StopReason::kConverged:
+      return "converged";
+    case RunReport::StopReason::kRegressed:
+      return "regressed";
+  }
+  return "?";
+}
+
 std::string RunReport::ToString() const {
   std::ostringstream os;
   for (const ToolReport& s : steps) {
     os << StrFormat("%-10s error %.6f -> %.6f (applied %lld, vetoed %lld, "
-                    "forced %lld, %.2fs)\n",
+                    "forced %lld, %.2fs)",
                     s.tool.c_str(), s.error_before, s.error_after,
                     static_cast<long long>(s.applied),
                     static_cast<long long>(s.vetoed),
                     static_cast<long long>(s.forced), s.seconds);
+    if (s.rolled_back) {
+      os << StrFormat(" [rolled back %lld mods in %.3fs]",
+                      static_cast<long long>(s.rollback_mods),
+                      s.rollback_seconds);
+    } else if (s.rollback_seconds > 0) {
+      os << StrFormat(" [rollback net %.3fs]", s.rollback_seconds);
+    }
+    os << "\n";
   }
   os << StrFormat("total %.2fs", total_seconds);
+  if (stop_reason != StopReason::kIterationsExhausted) {
+    os << " (" << StopReasonToString(stop_reason) << ")";
+  }
   return os.str();
 }
 
@@ -79,6 +106,13 @@ Result<RunReport> Coordinator::Run(Database* db,
   // Tweak vetoes later tools' damaging proposals (Sec. III-C).
   std::vector<int> enforced;
   double prev_total = -1;
+  // Undo-log rollback records every step's modifications with
+  // pre-images; a regressed step is reverted in reverse at a cost
+  // linear in the step's modifications, not the database size.
+  const bool undo_mode = options.rollback_on_regression &&
+                         options.rollback_mode == RollbackMode::kUndoLog;
+  std::unique_ptr<ModificationLog> undo_log;
+  if (undo_mode) undo_log = std::make_unique<ModificationLog>(db);
   for (int iter = 0; iter < options.iterations; ++iter) {
     for (const int id : order) {
       PropertyTool* t = tools_[static_cast<size_t>(id)].get();
@@ -97,11 +131,17 @@ Result<RunReport> Coordinator::Run(Database* db,
       step.tool = t->name();
       step.error_before = t->Error();
       // For rollback: the summed error of everything already enforced
-      // plus this tool, and a snapshot to restore.
+      // plus this tool, and a way to restore the pre-step state.
       std::unique_ptr<Database> snapshot;
       double guarded_before = 0;
       if (options.rollback_on_regression) {
-        snapshot = db->Clone();
+        const double snap0 = Now();
+        if (undo_mode) {
+          undo_log->Clear();
+        } else {
+          snapshot = db->Clone();
+        }
+        step.rollback_seconds += Now() - snap0;
         guarded_before = step.error_before;
         for (const int e : enforced) {
           if (e != id) guarded_before += tools_[static_cast<size_t>(e)]->Error();
@@ -117,19 +157,29 @@ Result<RunReport> Coordinator::Run(Database* db,
         return st;
       }
       if (options.rollback_on_regression) {
+        if (undo_mode) step.rollback_mods = undo_log->size();
         double guarded_after = t->Error();
         for (const int e : enforced) {
           if (e != id) guarded_after += tools_[static_cast<size_t>(e)]->Error();
         }
         if (guarded_after > guarded_before + 1e-12) {
-          // Restore the snapshot and rebuild every bound tool's state.
+          // Restore the pre-step state and rebuild every bound tool's
+          // statistics.
+          const double undo0 = Now();
           for (const int uid : order) {
             tools_[static_cast<size_t>(uid)]->Unbind();
           }
-          ASPECT_RETURN_NOT_OK(db->CopyContentFrom(*snapshot));
+          if (undo_mode) {
+            ASPECT_RETURN_NOT_OK(undo_log->UndoOnto(db));
+            undo_log->Clear();
+          } else {
+            ASPECT_RETURN_NOT_OK(db->CopyContentFrom(*snapshot));
+          }
           for (const int uid : order) {
             ASPECT_RETURN_NOT_OK(tools_[static_cast<size_t>(uid)]->Bind(db));
           }
+          step.rolled_back = true;
+          step.rollback_seconds += Now() - undo0;
           ASPECT_LOG(Info) << "rolled back " << t->name()
                            << " (regression " << guarded_before << " -> "
                            << guarded_after << ")";
@@ -152,9 +202,21 @@ Result<RunReport> Coordinator::Run(Database* db,
       for (const int id : order) {
         total += tools_[static_cast<size_t>(id)]->Error();
       }
-      if (prev_total >= 0 &&
-          prev_total - total < options.converge_epsilon) {
-        break;
+      if (prev_total >= 0) {
+        const double improvement = prev_total - total;
+        if (improvement < 0) {
+          // A pass that made things worse is not convergence: report
+          // it as a regression (previously conflated with kConverged).
+          report.stop_reason = RunReport::StopReason::kRegressed;
+          ASPECT_LOG(Warning)
+              << "pass " << iter + 1 << " regressed: total error "
+              << prev_total << " -> " << total;
+          break;
+        }
+        if (improvement < options.converge_epsilon) {
+          report.stop_reason = RunReport::StopReason::kConverged;
+          break;
+        }
       }
       prev_total = total;
     }
@@ -176,19 +238,91 @@ Result<RunReport> Coordinator::Run(Database* db,
 Result<std::vector<Coordinator::OrderOutcome>> Coordinator::CompareOrders(
     const Database& db, const std::vector<std::vector<int>>& orders,
     const CoordinatorOptions& options) {
-  std::vector<OrderOutcome> outcomes;
-  for (const std::vector<int>& order : orders) {
-    std::unique_ptr<Database> scratch = db.Clone();
-    OrderOutcome outcome;
-    outcome.order = order;
-    ASPECT_ASSIGN_OR_RETURN(outcome.report,
-                            Run(scratch.get(), order, options));
-    for (const int id : order) {
-      outcome.total_error +=
-          outcome.report.final_errors[static_cast<size_t>(id)];
+  const size_t n = orders.size();
+  std::vector<OrderOutcome> outcomes(n);
+
+  // Candidates are independent given their own tool set: Run seeds its
+  // RNG from options.seed, so a worker Coordinator with cloned tools
+  // and a database snapshot produces exactly the serial result.
+  const auto clone_tools = [this]() {
+    std::vector<std::unique_ptr<PropertyTool>> clones;
+    clones.reserve(tools_.size());
+    for (const auto& t : tools_) {
+      std::unique_ptr<PropertyTool> c = t->Clone();
+      if (c == nullptr) return std::vector<std::unique_ptr<PropertyTool>>();
+      clones.push_back(std::move(c));
     }
-    outcomes.push_back(std::move(outcome));
+    return clones;
+  };
+  bool cloneable = !tools_.empty();
+  if (cloneable) {
+    cloneable = clone_tools().size() == tools_.size();
   }
+
+  if (!cloneable) {
+    // Legacy path for tools without Clone(): candidates share this
+    // coordinator's tools and must run one at a time.
+    for (size_t i = 0; i < n; ++i) {
+      std::unique_ptr<Database> scratch = db.Clone();
+      OrderOutcome& outcome = outcomes[i];
+      outcome.order = orders[i];
+      const double t0 = Now();
+      ASPECT_ASSIGN_OR_RETURN(outcome.report,
+                              Run(scratch.get(), orders[i], options));
+      outcome.seconds = Now() - t0;
+      for (const int id : orders[i]) {
+        outcome.total_error +=
+            outcome.report.final_errors[static_cast<size_t>(id)];
+      }
+    }
+  } else {
+    std::vector<Status> statuses(n, Status::OK());
+    std::vector<std::unique_ptr<AccessMonitor>> monitors(n);
+    const auto run_one = [&](size_t i) {
+      Coordinator worker;
+      for (auto& c : clone_tools()) worker.AddTool(std::move(c));
+      std::unique_ptr<Database> scratch = db.Clone();
+      OrderOutcome& outcome = outcomes[i];
+      outcome.order = orders[i];
+      const double t0 = Now();
+      Result<RunReport> r = worker.Run(scratch.get(), orders[i], options);
+      outcome.seconds = Now() - t0;
+      if (!r.ok()) {
+        statuses[i] = r.status();
+        return;
+      }
+      outcome.report = std::move(r).ValueOrDie();
+      for (const int id : orders[i]) {
+        outcome.total_error +=
+            outcome.report.final_errors[static_cast<size_t>(id)];
+      }
+      monitors[i] = std::move(worker.monitor_);
+    };
+    int threads = options.order_search_threads;
+    if (threads <= 0) threads = ThreadPool::HardwareThreads();
+    threads = std::min<int>(threads, static_cast<int>(n));
+    if (threads > 1) {
+      ThreadPool pool(threads);
+      for (size_t i = 0; i < n; ++i) {
+        pool.Submit([&run_one, i]() { run_one(i); });
+      }
+      pool.Wait();
+    } else {
+      for (size_t i = 0; i < n; ++i) run_one(i);
+    }
+    for (const Status& st : statuses) {
+      if (!st.ok()) return st;
+    }
+    // Keep last_monitor() meaningful: adopt the final candidate's
+    // monitor, matching what a serial sequence of Runs would leave.
+    for (size_t i = n; i-- > 0;) {
+      if (monitors[i] != nullptr) {
+        monitor_ = std::move(monitors[i]);
+        break;
+      }
+    }
+  }
+
   std::stable_sort(outcomes.begin(), outcomes.end(),
                    [](const OrderOutcome& a, const OrderOutcome& b) {
                      return a.total_error < b.total_error;
@@ -200,15 +334,53 @@ std::vector<std::pair<std::string, std::vector<int>>> AllPermutations(
     const Coordinator& coordinator, const std::vector<int>& tool_ids) {
   std::vector<int> ids = tool_ids;
   std::sort(ids.begin(), ids.end());
+
+  // Label each tool with the shortest prefix of its name that no other
+  // participating tool's name shares; first initials alone collide for
+  // names like "coappear" and "chain".
+  std::map<int, std::string> prefix;
+  for (const int id : ids) {
+    const std::string& name = coordinator.tool(id)->name();
+    std::string label;
+    for (size_t len = 1; len <= name.size(); ++len) {
+      bool unique = true;
+      for (const int other : ids) {
+        if (other == id) continue;
+        const std::string& o = coordinator.tool(other)->name();
+        if (o.compare(0, len, name, 0, len) == 0) {
+          unique = false;
+          break;
+        }
+      }
+      if (unique) {
+        label = name.substr(0, len);
+        break;
+      }
+    }
+    if (label.empty()) {
+      // No distinguishing prefix: another tool's name is a duplicate
+      // (or an extension) of this one. Use the full name, plus the id
+      // for exact duplicates.
+      label = name.empty() ? "?" : name;
+      for (const int other : ids) {
+        if (other != id && coordinator.tool(other)->name() == name) {
+          label += "#" + std::to_string(id);
+          break;
+        }
+      }
+    }
+    for (char& c : label) {
+      c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+    }
+    prefix[id] = label;
+  }
+
   std::vector<std::pair<std::string, std::vector<int>>> out;
   do {
     std::string label;
     for (size_t i = 0; i < ids.size(); ++i) {
       if (i > 0) label += "-";
-      const std::string& name =
-          coordinator.tool(ids[i])->name();
-      label += static_cast<char>(
-          std::toupper(static_cast<unsigned char>(name.empty() ? '?' : name[0])));
+      label += prefix[ids[i]];
     }
     out.emplace_back(label, ids);
   } while (std::next_permutation(ids.begin(), ids.end()));

@@ -16,6 +16,17 @@
 
 namespace aspect {
 
+/// How rollback_on_regression restores the pre-step state.
+enum class RollbackMode : int {
+  /// Deep-copy the database before every tool step and restore the
+  /// copy on regression. O(database) per step.
+  kClone = 0,
+  /// Record an undo log (ModificationLog pre-images) during the step
+  /// and revert it in reverse on regression. O(modifications in the
+  /// step) per step — the default.
+  kUndoLog = 1,
+};
+
 struct CoordinatorOptions {
   /// Number of full passes over the tool order (Sec. VII-C shows 2-3
   /// passes drive residual errors to ~0.02).
@@ -26,12 +37,21 @@ struct CoordinatorOptions {
   double converge_epsilon = 0.0;
   /// If false, validators never vote (ablation: raw sequential tweak).
   bool validate = true;
-  /// Safety net beyond the paper: snapshot the database before each
-  /// tool and roll the step back if it left the summed error of the
-  /// already-enforced properties plus its own *higher* than before
-  /// (O4's accepted-error policy, but bounded). Costs one deep copy
-  /// per step.
+  /// Safety net beyond the paper: guard each tool step and roll it
+  /// back if it left the summed error of the already-enforced
+  /// properties plus its own *higher* than before (O4's accepted-error
+  /// policy, but bounded). Cost depends on rollback_mode.
   bool rollback_on_regression = false;
+  /// Restore strategy for rollback_on_regression. kUndoLog reverts the
+  /// step's recorded modifications in reverse (cheap); kClone restores
+  /// a per-step deep copy. Both restore byte-identical state.
+  RollbackMode rollback_mode = RollbackMode::kUndoLog;
+  /// Worker threads for CompareOrders (one candidate order per task):
+  /// 0 = one per hardware thread, 1 = serial. Rankings and errors are
+  /// identical for every thread count: each candidate runs on its own
+  /// database snapshot with its own cloned tools, seeded only by
+  /// `seed`.
+  int order_search_threads = 0;
   /// Repair each tool's target onto its feasible set before tweaking
   /// (needed for ReX-scaled data, Sec. VI-B).
   bool repair_targets = true;
@@ -48,17 +68,38 @@ struct ToolReport {
   int64_t vetoed = 0;
   int64_t forced = 0;
   double seconds = 0;
+  /// Rollback safety-net cost of this step (rollback_on_regression):
+  /// seconds spent snapshotting and, if the step regressed, restoring.
+  double rollback_seconds = 0;
+  /// Modifications recorded in the step's undo log (kUndoLog only) —
+  /// the rollback cost is linear in this, not in the database size.
+  int64_t rollback_mods = 0;
+  /// True if the step regressed and was rolled back.
+  bool rolled_back = false;
 };
 
 struct RunReport {
+  /// Why the iteration loop stopped (meaningful with converge_epsilon).
+  enum class StopReason : int {
+    kIterationsExhausted = 0,
+    /// A full pass improved the total error by less than epsilon.
+    kConverged = 1,
+    /// A full pass made the total error strictly worse. Previously
+    /// this was silently reported as convergence.
+    kRegressed = 2,
+  };
+
   /// One entry per (iteration, tool-in-order) step, in execution order.
   std::vector<ToolReport> steps;
   /// Final error per registered tool (tool registration order).
   std::vector<double> final_errors;
   double total_seconds = 0;
+  StopReason stop_reason = StopReason::kIterationsExhausted;
 
   std::string ToString() const;
 };
+
+const char* StopReasonToString(RunReport::StopReason reason);
 
 class Coordinator {
  public:
@@ -90,6 +131,7 @@ class Coordinator {
   struct OrderOutcome {
     std::vector<int> order;
     double total_error = 0;  // summed final error over the order's tools
+    double seconds = 0;      // wall-clock of this candidate's run
     RunReport report;
   };
 
@@ -97,6 +139,12 @@ class Coordinator {
   /// (Sec. VIII-A): runs every candidate order on a clone of `db`
   /// (leaving `db` untouched) and reports the outcomes sorted by total
   /// final error, best first.
+  ///
+  /// Candidates are independent, so when every tool supports Clone()
+  /// they run concurrently on options.order_search_threads workers,
+  /// each on its own snapshot with its own tool set. Rankings and
+  /// errors are byte-identical for every thread count. If any tool
+  /// cannot be cloned, candidates run serially on the shared tools.
   Result<std::vector<OrderOutcome>> CompareOrders(
       const Database& db, const std::vector<std::vector<int>>& orders,
       const CoordinatorOptions& options);
@@ -106,9 +154,11 @@ class Coordinator {
   std::unique_ptr<AccessMonitor> monitor_;
 };
 
-/// All 6 orderings of three tool ids, in the paper's naming scheme
-/// (e.g. "C-L-P" = coappear, then linear, then pairwise). The label
-/// uses the first letter of each tool's name, upper-cased.
+/// All orderings of the given tool ids, in the paper's naming scheme
+/// (e.g. "C-L-P" = coappear, then linear, then pairwise). Each tool is
+/// labelled by the shortest upper-cased prefix of its name that is
+/// unique among the given tools ("coappear"/"chain" become CO/CH);
+/// duplicate names fall back to the full name plus "#<id>".
 std::vector<std::pair<std::string, std::vector<int>>> AllPermutations(
     const Coordinator& coordinator, const std::vector<int>& tool_ids);
 

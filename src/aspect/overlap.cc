@@ -66,7 +66,6 @@ std::vector<std::vector<int>> IndependentClasses(
     const std::vector<std::vector<bool>>& adj) {
   const int n = static_cast<int>(adj.size());
   std::vector<std::vector<int>> classes;
-  std::vector<bool> placed(static_cast<size_t>(n), false);
   for (int v = 0; v < n; ++v) {
     bool done = false;
     for (auto& cls : classes) {
@@ -84,7 +83,6 @@ std::vector<std::vector<int>> IndependentClasses(
       }
     }
     if (!done) classes.push_back({v});
-    placed[static_cast<size_t>(v)] = true;
   }
   return classes;
 }

@@ -34,6 +34,14 @@ class PropertyTool : public ModificationListener {
   /// Stable tool name ("linear", "coappear", ...).
   virtual std::string name() const = 0;
 
+  /// Deep-copies this tool's configuration and targets so several
+  /// copies can run on different databases concurrently (the parallel
+  /// order search of Coordinator::CompareOrders). Only meaningful for
+  /// an unbound tool; bound state is rebuilt by Bind. Tools that do
+  /// not support cloning return nullptr, and the order search falls
+  /// back to running candidates serially on the shared tool set.
+  virtual std::unique_ptr<PropertyTool> Clone() const { return nullptr; }
+
   // --- Target Generator ------------------------------------------------
   /// Extracts the target property statistics from a ground-truth
   /// dataset (the default Target Generator mode used in Sec. VI).

@@ -1,10 +1,13 @@
 #include "common/logging.h"
 
+#include <atomic>
 #include <cstdio>
 
 namespace aspect {
 namespace {
-LogLevel g_level = LogLevel::kWarning;
+// Atomic so worker threads (parallel order search) can log while the
+// main thread adjusts the level.
+std::atomic<LogLevel> g_level{LogLevel::kWarning};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -21,13 +24,13 @@ const char* LevelName(LogLevel level) {
 }
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+void SetLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel GetLogLevel() { return g_level.load(); }
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
-    : enabled_(static_cast<int>(level) >= static_cast<int>(g_level)) {
+    : enabled_(static_cast<int>(level) >= static_cast<int>(g_level.load())) {
   if (enabled_) {
     const char* base = file;
     for (const char* p = file; *p; ++p) {

@@ -109,10 +109,17 @@ int64_t Rng::Zipf(int64_t n, double s) {
   }
 }
 
-size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+Result<size_t> Rng::WeightedIndex(const std::vector<double>& weights) {
   double total = 0;
-  for (double w : weights) total += w;
-  assert(total > 0);
+  for (double w : weights) {
+    if (!(w >= 0)) {  // negative or NaN
+      return Status::Invalid("WeightedIndex: negative or NaN weight");
+    }
+    total += w;
+  }
+  if (!(total > 0)) {
+    return Status::Invalid("WeightedIndex: weights sum to zero");
+  }
   double r = UniformDouble() * total;
   for (size_t i = 0; i < weights.size(); ++i) {
     r -= weights[i];

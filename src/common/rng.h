@@ -10,6 +10,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/result.h"
+
 namespace aspect {
 
 /// xoshiro256** PRNG with distribution helpers.
@@ -44,8 +46,10 @@ class Rng {
   int64_t Zipf(int64_t n, double s);
 
   /// Samples an index in [0, weights.size()) proportionally to weights.
-  /// Linear scan; intended for small weight vectors.
-  size_t WeightedIndex(const std::vector<double>& weights);
+  /// Linear scan; intended for small weight vectors. Invalid when the
+  /// weights are empty, contain a negative/NaN entry, or sum to zero
+  /// (previously this silently returned index 0 in release builds).
+  Result<size_t> WeightedIndex(const std::vector<double>& weights);
 
   /// Fisher-Yates shuffle.
   template <typename T>

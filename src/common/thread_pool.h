@@ -1,0 +1,56 @@
+// ThreadPool: a small fixed-size worker pool for embarrassingly
+// parallel library work (the coordinator's order search runs each
+// candidate permutation on its own snapshot, Sec. VIII-A).
+//
+// Tasks are plain std::function<void()>; error propagation is the
+// caller's job (collect per-task Status into a pre-sized vector and
+// inspect it after Wait(), so failures are reported in a deterministic
+// order regardless of scheduling).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace aspect {
+
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(int num_threads);
+  /// Waits for all submitted tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Safe to call from any thread, including from a
+  /// running task.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished running.
+  void Wait();
+
+  /// std::thread::hardware_concurrency(), clamped to at least 1.
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  // Queued plus currently-running tasks.
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace aspect

@@ -94,6 +94,18 @@ Status CoappearPropertyTool::SetTargetDistributions(
   return Status::OK();
 }
 
+std::unique_ptr<PropertyTool> CoappearPropertyTool::Clone() const {
+  if (bound()) return nullptr;
+  // The constructor rebuilds groups_ and the index maps from the
+  // schema; only the targets need copying.
+  auto copy = std::make_unique<CoappearPropertyTool>(schema_);
+  copy->target_xi_ = target_xi_;
+  copy->target_parent_sizes_ = target_parent_sizes_;
+  copy->target_member_sizes_ = target_member_sizes_;
+  copy->max_attempts_ = max_attempts_;
+  return copy;
+}
+
 Status CoappearPropertyTool::Bind(Database* db) {
   db_ = db;
   state_.assign(groups_.size(), GroupState{});

@@ -30,6 +30,9 @@ class CoappearPropertyTool : public PropertyTool {
 
   std::string name() const override { return "coappear"; }
 
+  /// Custom clone: the refcount cache is non-copyable bound state.
+  std::unique_ptr<PropertyTool> Clone() const override;
+
   Status SetTargetFromDataset(const Database& ground_truth) override;
   /// User-input mode: explicit target distributions, one per group (in
   /// `groups()` order), plus the target parent sizes used for the

@@ -36,6 +36,11 @@ class DegreeDistributionTool : public PropertyTool {
 
   std::string name() const override { return "degree"; }
 
+  std::unique_ptr<PropertyTool> Clone() const override {
+    return bound() ? nullptr
+                   : std::make_unique<DegreeDistributionTool>(*this);
+  }
+
   Status SetTargetFromDataset(const Database& ground_truth) override;
   /// User-input mode: one distribution per edge, in `edges()` order,
   /// plus the target parent counts (for the implicit zero degree).

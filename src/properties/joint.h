@@ -24,6 +24,11 @@ class JointDistributionTool : public PropertyTool {
 
   std::string name() const override { return name_; }
 
+  std::unique_ptr<PropertyTool> Clone() const override {
+    return bound() ? nullptr
+                   : std::make_unique<JointDistributionTool>(*this);
+  }
+
   Status SetTargetFromDataset(const Database& ground_truth) override;
   Status SetTargetDistribution(FrequencyDistribution target);
   Status RepairTarget() override;

@@ -29,6 +29,10 @@ class LinearPropertyTool : public PropertyTool {
 
   std::string name() const override { return "linear"; }
 
+  std::unique_ptr<PropertyTool> Clone() const override {
+    return bound() ? nullptr : std::make_unique<LinearPropertyTool>(*this);
+  }
+
   // Target Generator.
   Status SetTargetFromDataset(const Database& ground_truth) override;
   /// User-input mode: sets all targets explicitly (chain order as in

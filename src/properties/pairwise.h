@@ -31,6 +31,11 @@ class PairwisePropertyTool : public PropertyTool {
 
   std::string name() const override { return "pairwise"; }
 
+  std::unique_ptr<PropertyTool> Clone() const override {
+    return bound() ? nullptr
+                   : std::make_unique<PairwisePropertyTool>(*this);
+  }
+
   Status SetTargetFromDataset(const Database& ground_truth) override;
   Status RepairTarget() override;
   Status CheckTargetFeasible() const override;

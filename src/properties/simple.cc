@@ -701,6 +701,13 @@ Status TupleCountTool::CheckTargetFeasible() const {
   return Status::OK();
 }
 
+std::unique_ptr<PropertyTool> TupleCountTool::Clone() const {
+  if (bound()) return nullptr;
+  auto copy = std::make_unique<TupleCountTool>(schema_);
+  copy->targets_ = targets_;
+  return copy;
+}
+
 Status TupleCountTool::Bind(Database* db) {
   db_ = db;
   refcount_ = std::make_unique<RefCounter>(db_);

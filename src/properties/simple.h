@@ -28,6 +28,10 @@ class ColumnFreqTool : public PropertyTool {
 
   std::string name() const override { return name_; }
 
+  std::unique_ptr<PropertyTool> Clone() const override {
+    return bound() ? nullptr : std::make_unique<ColumnFreqTool>(*this);
+  }
+
   Status SetTargetFromDataset(const Database& ground_truth) override;
   /// User-input mode (also used by the Theorem 6-8 benches).
   Status SetTargetDistribution(FrequencyDistribution target);
@@ -74,6 +78,10 @@ class NullCountTool : public PropertyTool {
 
   std::string name() const override { return name_; }
 
+  std::unique_ptr<PropertyTool> Clone() const override {
+    return bound() ? nullptr : std::make_unique<NullCountTool>(*this);
+  }
+
   Status SetTargetFromDataset(const Database& ground_truth) override;
   void SetTargetCount(int64_t nulls) { target_ = nulls; }
   Status RepairTarget() override;
@@ -111,6 +119,10 @@ class DomainBoundsTool : public PropertyTool {
                    std::string column);
 
   std::string name() const override { return name_; }
+
+  std::unique_ptr<PropertyTool> Clone() const override {
+    return bound() ? nullptr : std::make_unique<DomainBoundsTool>(*this);
+  }
 
   Status SetTargetFromDataset(const Database& ground_truth) override;
   void SetTargetBounds(int64_t min, int64_t max) {
@@ -157,6 +169,9 @@ class TupleCountTool : public PropertyTool {
   explicit TupleCountTool(const Schema& schema);
 
   std::string name() const override { return "tuple-count"; }
+
+  /// Custom clone: the refcount cache is non-copyable bound state.
+  std::unique_ptr<PropertyTool> Clone() const override;
 
   Status SetTargetFromDataset(const Database& ground_truth) override;
   Status SetTargetSizes(std::vector<int64_t> sizes);

@@ -86,6 +86,23 @@ Status Column::Append(const Value& v) {
   return Set(size() - 1, v);
 }
 
+void Column::PopBack() {
+  assert(!state_.empty());
+  switch (type_) {
+    case ColumnType::kInt64:
+    case ColumnType::kForeignKey:
+      ints_.pop_back();
+      break;
+    case ColumnType::kDouble:
+      doubles_.pop_back();
+      break;
+    case ColumnType::kString:
+      strings_.pop_back();
+      break;
+  }
+  state_.pop_back();
+}
+
 void Column::SetInt(int64_t row, int64_t v) {
   assert(type_ == ColumnType::kInt64 || type_ == ColumnType::kForeignKey);
   ints_[static_cast<size_t>(row)] = v;

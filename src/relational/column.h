@@ -64,6 +64,9 @@ class Column {
   /// Appends one cell (growing the column by one row).
   Status Append(const Value& v);
 
+  /// Removes the last row (undo of Append; requires size() > 0).
+  void PopBack();
+
   /// Fast typed setters.
   void SetInt(int64_t row, int64_t v);
   void SetDouble(int64_t row, double v);

@@ -245,6 +245,57 @@ Status Database::Apply(const Modification& mod, TupleId* new_tuple) {
   return Status::OK();
 }
 
+Status Database::Undo(const Modification& mod,
+                      const std::vector<Value>& old_values,
+                      TupleId new_tuple) {
+  Table* t = FindTable(mod.table);
+  if (t == nullptr) {
+    return Status::KeyError(StrFormat("no table '%s'", mod.table.c_str()));
+  }
+  switch (mod.kind) {
+    case OpKind::kInsertValues:
+      // The cells were kEmpty before the insert: erase them again.
+      for (const TupleId tid : mod.tuples) {
+        for (const int c : mod.cols) {
+          t->column(c).Erase(tid);
+        }
+      }
+      return Status::OK();
+    case OpKind::kDeleteValues:
+    case OpKind::kReplaceValues: {
+      // Restore the captured pre-images (row-major tuples x cols). The
+      // cells were non-empty before, so a null pre-image means kNull.
+      if (old_values.size() != mod.tuples.size() * mod.cols.size()) {
+        return Status::Internal(StrFormat(
+            "undo %s on '%s': %zu pre-images for %zu cells",
+            OpKindToString(mod.kind), mod.table.c_str(), old_values.size(),
+            mod.tuples.size() * mod.cols.size()));
+      }
+      size_t k = 0;
+      for (const TupleId tid : mod.tuples) {
+        for (const int c : mod.cols) {
+          ASPECT_RETURN_NOT_OK(t->column(c).Set(tid, old_values[k]));
+          ++k;
+        }
+      }
+      return Status::OK();
+    }
+    case OpKind::kInsertTuple:
+      if (new_tuple != t->NumSlots() - 1) {
+        return Status::Internal(StrFormat(
+            "undo insertTuple on '%s': tuple %lld is not the last slot "
+            "%lld (entries must be undone in reverse order)",
+            mod.table.c_str(), static_cast<long long>(new_tuple),
+            static_cast<long long>(t->NumSlots() - 1)));
+      }
+      return t->PopBack();
+    case OpKind::kDeleteTuple:
+      // Delete only tombstones; the slot's values are still in place.
+      return t->Undelete(mod.tuples[0]);
+  }
+  return Status::Internal("unknown modification kind");
+}
+
 Status Database::CopyContentFrom(const Database& other) {
   if (schema_.tables.size() != other.schema_.tables.size()) {
     return Status::Invalid("CopyContentFrom: schema mismatch");

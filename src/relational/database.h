@@ -101,6 +101,16 @@ class Database {
   /// On kInsertTuple success, *new_tuple (if non-null) receives the id.
   Status Apply(const Modification& mod, TupleId* new_tuple = nullptr);
 
+  /// Reverts one applied modification given the pre-images captured by
+  /// the listener notification (`old_values` / `new_tuple` exactly as
+  /// OnApplied received them). Listeners are NOT notified, like
+  /// CopyContentFrom: callers rebuild listener-held state afterwards.
+  /// Modifications must be undone in reverse application order so that
+  /// a kInsertTuple always reverts the table's last slot (see
+  /// ModificationLog::UndoOnto).
+  Status Undo(const Modification& mod, const std::vector<Value>& old_values,
+              TupleId new_tuple);
+
   /// Deep copy (listeners are not copied).
   std::unique_ptr<Database> Clone() const;
 

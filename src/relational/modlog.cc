@@ -39,6 +39,14 @@ Status ModificationLog::ReplayOnto(Database* target) const {
   return Status::OK();
 }
 
+Status ModificationLog::UndoOnto(Database* target) const {
+  for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+    ASPECT_RETURN_NOT_OK(target->Undo(it->mod, it->old_values,
+                                      it->new_tuple));
+  }
+  return Status::OK();
+}
+
 std::map<std::string, ModificationLog::TableSummary>
 ModificationLog::Summarize() const {
   std::map<std::string, TableSummary> out;

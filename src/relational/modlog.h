@@ -42,6 +42,15 @@ class ModificationLog : public ModificationListener {
   /// because appends are deterministic given identical starting state.
   Status ReplayOnto(Database* target) const;
 
+  /// Reverts every logged modification, in reverse order, using the
+  /// recorded pre-images. `target` must be in the post-log state
+  /// (usually the recorded database itself); afterwards it is back in
+  /// the pre-log state. Listeners are NOT notified (Database::Undo),
+  /// so callers rebuild listener-held state — the coordinator rebinds
+  /// its tools. This is the undo-log rollback: cost is O(entries), not
+  /// O(database) like a clone-restore.
+  Status UndoOnto(Database* target) const;
+
   /// Per-table counts of cells written and rows inserted/deleted.
   struct TableSummary {
     int64_t cells_written = 0;

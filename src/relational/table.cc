@@ -37,6 +37,33 @@ Status Table::Delete(TupleId t) {
   return Status::OK();
 }
 
+Status Table::Undelete(TupleId t) {
+  if (t < 0 || t >= NumSlots()) {
+    return Status::KeyError(
+        StrFormat("table '%s': tuple %lld out of range", name().c_str(),
+                  static_cast<long long>(t)));
+  }
+  if (live_[static_cast<size_t>(t)]) {
+    return Status::Invalid(
+        StrFormat("table '%s': tuple %lld is not tombstoned",
+                  name().c_str(), static_cast<long long>(t)));
+  }
+  live_[static_cast<size_t>(t)] = 1;
+  ++num_live_;
+  return Status::OK();
+}
+
+Status Table::PopBack() {
+  if (NumSlots() == 0) {
+    return Status::Invalid(
+        StrFormat("table '%s': PopBack on empty table", name().c_str()));
+  }
+  if (live_.back()) --num_live_;
+  live_.pop_back();
+  for (Column& c : columns_) c.PopBack();
+  return Status::OK();
+}
+
 std::vector<TupleId> Table::LiveTuples() const {
   std::vector<TupleId> out;
   out.reserve(static_cast<size_t>(num_live_));

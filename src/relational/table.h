@@ -53,6 +53,16 @@ class Table {
   /// Tombstones a live tuple.
   Status Delete(TupleId t);
 
+  /// Reverts a Delete: makes a tombstoned slot live again. The slot's
+  /// cell values are untouched by Delete, so this restores the tuple
+  /// exactly (the undo-log rollback fast path).
+  Status Undelete(TupleId t);
+
+  /// Reverts the most recent Append: removes the last slot entirely
+  /// (live or tombstoned). The undo-log applies entries in reverse, so
+  /// the tuple being reverted is always the last slot.
+  Status PopBack();
+
   /// Iterates live tuple ids in increasing order.
   template <typename Fn>
   void ForEachLive(Fn&& fn) const {

@@ -2,14 +2,18 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <map>
 #include <numeric>
+
+#include <atomic>
 
 #include "common/logging.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace aspect {
 namespace {
@@ -183,10 +187,26 @@ TEST(RngTest, WeightedIndexProportional) {
   const std::vector<double> w = {1.0, 3.0, 6.0};
   std::vector<int> counts(3, 0);
   const int n = 30000;
-  for (int i = 0; i < n; ++i) counts[rng.WeightedIndex(w)]++;
+  for (int i = 0; i < n; ++i) {
+    counts[rng.WeightedIndex(w).ValueOrDie()]++;
+  }
   EXPECT_NEAR(counts[0] / static_cast<double>(n), 0.1, 0.02);
   EXPECT_NEAR(counts[1] / static_cast<double>(n), 0.3, 0.02);
   EXPECT_NEAR(counts[2] / static_cast<double>(n), 0.6, 0.02);
+}
+
+TEST(RngTest, WeightedIndexRejectsDegenerateWeights) {
+  Rng rng(29);
+  EXPECT_FALSE(rng.WeightedIndex({}).ok());
+  EXPECT_FALSE(rng.WeightedIndex({0.0, 0.0, 0.0}).ok());
+  EXPECT_FALSE(rng.WeightedIndex({1.0, -2.0}).ok());
+  EXPECT_FALSE(
+      rng.WeightedIndex({1.0, std::numeric_limits<double>::quiet_NaN()})
+          .ok());
+  // A single positive entry among zeros is always chosen.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.WeightedIndex({0.0, 5.0, 0.0}).ValueOrDie(), 1u);
+  }
 }
 
 TEST(RngTest, ShufflePreservesElements) {
@@ -204,6 +224,45 @@ TEST(RngTest, ForkIsIndependent) {
   Rng parent(37);
   Rng child = parent.Fork();
   EXPECT_NE(parent.Next(), child.Next());
+}
+
+TEST(ThreadPoolTest, RunsAllSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { counter++; });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+  // The pool stays usable after Wait.
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&counter] { counter++; });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 110);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&counter] { counter++; });
+    }
+    // No Wait: destruction must finish every submitted task first.
+  }
+  EXPECT_EQ(counter.load(), 20);
+}
+
+TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::atomic<int> counter{0};
+  pool.Submit([&counter] { counter++; });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1);
 }
 
 TEST(StringTest, JoinAndSplitRoundTrip) {

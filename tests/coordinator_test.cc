@@ -193,6 +193,80 @@ TEST(CoordinatorTest, PermutationLabels) {
   EXPECT_TRUE(labels.count("P-C-L"));
 }
 
+// A tool whose error sequence is scripted (indexed by completed Tweak
+// calls), for exercising the convergence bookkeeping in isolation.
+class ScriptedTool : public PropertyTool {
+ public:
+  ScriptedTool(std::string name, std::vector<double> errors)
+      : name_(std::move(name)), errors_(std::move(errors)) {}
+  std::string name() const override { return name_; }
+  Status SetTargetFromDataset(const Database&) override {
+    return Status::OK();
+  }
+  Status RepairTarget() override { return Status::OK(); }
+  Status CheckTargetFeasible() const override { return Status::OK(); }
+  Status Bind(Database* db) override {
+    db_ = db;
+    return Status::OK();
+  }
+  void Unbind() override { db_ = nullptr; }
+  bool bound() const override { return db_ != nullptr; }
+  double Error() const override {
+    return errors_[std::min(calls_, errors_.size() - 1)];
+  }
+  double ValidationPenalty(const Modification&) const override { return 0; }
+  Status Tweak(TweakContext*) override {
+    ++calls_;
+    return Status::OK();
+  }
+  void OnApplied(const Modification&, const std::vector<Value>&,
+                 TupleId) override {}
+
+ private:
+  std::string name_;
+  std::vector<double> errors_;
+  size_t calls_ = 0;
+  Database* db_ = nullptr;
+};
+
+RunReport RunScripted(std::vector<double> errors, int iterations) {
+  Schema s;
+  s.name = "one";
+  s.tables.push_back({"T", {{"a", ColumnType::kInt64, ""}}});
+  auto db = Database::Create(s).ValueOrAbort();
+  Coordinator coordinator;
+  const int id = coordinator.AddTool(
+      std::make_unique<ScriptedTool>("scripted", std::move(errors)));
+  CoordinatorOptions opts;
+  opts.iterations = iterations;
+  opts.converge_epsilon = 0.01;
+  return coordinator.Run(db.get(), {id}, opts).ValueOrAbort();
+}
+
+TEST(CoordinatorTest, StopReasonDistinguishesOutcomes) {
+  // Totals after each pass: 0.5, 0.499 -> improvement below epsilon.
+  const RunReport converged = RunScripted({1.0, 0.5, 0.499}, 5);
+  EXPECT_EQ(converged.stop_reason, RunReport::StopReason::kConverged);
+  EXPECT_EQ(converged.steps.size(), 2u);
+
+  // Totals 0.5, 0.7: the second pass made things strictly worse.
+  // Before the fix this counted as convergence.
+  const RunReport regressed = RunScripted({1.0, 0.5, 0.7}, 5);
+  EXPECT_EQ(regressed.stop_reason, RunReport::StopReason::kRegressed);
+  EXPECT_EQ(regressed.steps.size(), 2u);
+
+  // Big strict improvements all the way: the loop runs out.
+  const RunReport exhausted = RunScripted({4.0, 3.0, 2.0, 1.0, 0.5}, 3);
+  EXPECT_EQ(exhausted.stop_reason,
+            RunReport::StopReason::kIterationsExhausted);
+  EXPECT_EQ(exhausted.steps.size(), 3u);
+
+  EXPECT_STREQ(StopReasonToString(RunReport::StopReason::kConverged),
+               "converged");
+  EXPECT_STREQ(StopReasonToString(RunReport::StopReason::kRegressed),
+               "regressed");
+}
+
 TEST(CoordinatorTest, AccessMonitorSeesOverlaps) {
   RandScaler rand;
   Pipeline p = MakePipeline(131, rand);
@@ -273,6 +347,97 @@ TEST(CoordinatorTest, CompareOrdersPicksTheBestOrderWithoutMutating) {
   // And the winning order actually beats the worst by a margin.
   EXPECT_LT(outcomes.front().total_error,
             outcomes.back().total_error + 1e-12);
+}
+
+TEST(CoordinatorTest, CompareOrdersDeterministicAcrossThreadCounts) {
+  // The acceptance bar for the parallel order search: rankings and
+  // errors are exactly the thread-count-independent serial results.
+  RandScaler rand;
+  auto run_at = [&](int threads) {
+    Pipeline p = MakePipeline(137, rand);
+    CoordinatorOptions opts;
+    opts.seed = 29;
+    opts.order_search_threads = threads;
+    std::vector<std::vector<int>> orders;
+    for (const auto& [label, order] : AllPermutations(
+             *p.coordinator, {p.linear, p.coappear, p.pairwise})) {
+      orders.push_back(order);
+    }
+    return p.coordinator->CompareOrders(*p.scaled, orders, opts)
+        .ValueOrAbort();
+  };
+  const auto serial = run_at(1);
+  ASSERT_EQ(serial.size(), 6u);
+  for (const int threads : {2, 0}) {  // 0 = one per hardware thread
+    const auto parallel = run_at(threads);
+    ASSERT_EQ(parallel.size(), serial.size()) << threads;
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(parallel[i].order, serial[i].order)
+          << threads << " rank " << i;
+      EXPECT_EQ(parallel[i].total_error, serial[i].total_error)
+          << threads << " rank " << i;
+      EXPECT_EQ(parallel[i].report.final_errors,
+                serial[i].report.final_errors)
+          << threads << " rank " << i;
+    }
+  }
+}
+
+TEST(CoordinatorTest, PermutationLabelsUseShortestUniquePrefix) {
+  // "chain" and "coappear" share the initial C: labels must extend to
+  // the shortest distinguishing prefix instead of colliding.
+  Schema s;
+  s.name = "two";
+  s.tables.push_back({"T",
+                      {{"a", ColumnType::kInt64, ""},
+                       {"b", ColumnType::kInt64, ""}}});
+  Coordinator coordinator;
+  const int ch = coordinator.AddTool(
+      std::make_unique<ColumnFreqTool>(s, "T", "a", "chain"));
+  const int co = coordinator.AddTool(
+      std::make_unique<ColumnFreqTool>(s, "T", "b", "coappear"));
+  const auto perms = AllPermutations(coordinator, {ch, co});
+  ASSERT_EQ(perms.size(), 2u);
+  EXPECT_EQ(perms[0].first, "CH-CO");
+  EXPECT_EQ(perms[1].first, "CO-CH");
+
+  // Exact duplicates cannot be told apart by any prefix: fall back to
+  // the full name tagged with the tool id.
+  Coordinator dup;
+  const int d0 =
+      dup.AddTool(std::make_unique<ColumnFreqTool>(s, "T", "a", "freq"));
+  const int d1 =
+      dup.AddTool(std::make_unique<ColumnFreqTool>(s, "T", "b", "freq"));
+  const auto dperms = AllPermutations(dup, {d0, d1});
+  ASSERT_EQ(dperms.size(), 2u);
+  EXPECT_EQ(dperms[0].first, "FREQ#0-FREQ#1");
+}
+
+TEST(OverlapTest, IndependentClassesGreedyPartition) {
+  // Path graph 0-1-2-3-4: first-fit colors it {0,2,4} / {1,3}.
+  std::vector<std::vector<bool>> adj(5, std::vector<bool>(5, false));
+  for (int i = 0; i + 1 < 5; ++i) {
+    adj[static_cast<size_t>(i)][static_cast<size_t>(i + 1)] = true;
+    adj[static_cast<size_t>(i + 1)][static_cast<size_t>(i)] = true;
+  }
+  const auto classes = IndependentClasses(adj);
+  ASSERT_EQ(classes.size(), 2u);
+  EXPECT_EQ(classes[0], (std::vector<int>{0, 2, 4}));
+  EXPECT_EQ(classes[1], (std::vector<int>{1, 3}));
+  // Every class is actually independent.
+  for (const auto& cls : classes) {
+    for (const int u : cls) {
+      for (const int v : cls) {
+        EXPECT_FALSE(adj[static_cast<size_t>(u)][static_cast<size_t>(v)]);
+      }
+    }
+  }
+  // Triangle: three singleton classes.
+  std::vector<std::vector<bool>> tri(3, std::vector<bool>(3, true));
+  for (int i = 0; i < 3; ++i) {
+    tri[static_cast<size_t>(i)][static_cast<size_t>(i)] = false;
+  }
+  EXPECT_EQ(IndependentClasses(tri).size(), 3u);
 }
 
 TEST(OverlapTest, MaximumIndependentSetExact) {

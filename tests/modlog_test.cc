@@ -13,6 +13,30 @@
 namespace aspect {
 namespace {
 
+// Byte-level equality: slots, tombstones, and every cell's state (a
+// kNull cell is not a kEmpty cell even though both read back as Null).
+void ExpectDatabasesIdentical(const Database& a, const Database& b) {
+  ASSERT_EQ(a.num_tables(), b.num_tables());
+  for (int t = 0; t < a.num_tables(); ++t) {
+    const Table& ta = a.table(t);
+    const Table& tb = b.table(t);
+    ASSERT_EQ(ta.NumSlots(), tb.NumSlots()) << ta.name();
+    ASSERT_EQ(ta.NumTuples(), tb.NumTuples()) << ta.name();
+    for (TupleId tid = 0; tid < ta.NumSlots(); ++tid) {
+      ASSERT_EQ(ta.IsLive(tid), tb.IsLive(tid)) << ta.name() << " " << tid;
+      for (int c = 0; c < ta.num_columns(); ++c) {
+        ASSERT_EQ(static_cast<int>(ta.column(c).state(tid)),
+                  static_cast<int>(tb.column(c).state(tid)))
+            << ta.name() << " " << tid << " col " << c;
+        if (ta.column(c).IsValue(tid)) {
+          ASSERT_EQ(ta.column(c).Get(tid), tb.column(c).Get(tid))
+              << ta.name() << " " << tid << " col " << c;
+        }
+      }
+    }
+  }
+}
+
 TEST(ModLogTest, RecordsAndSummarizes) {
   auto gen = GenerateDataset(DoubanMusicLike(0.2), 5).ValueOrAbort();
   auto db = gen.Materialize(2).ValueOrAbort();
@@ -90,6 +114,64 @@ TEST(ModLogTest, ReplayReproducesTweakedDatabase) {
   }
 }
 
+TEST(ModLogTest, UndoOntoRevertsAllOpKinds) {
+  auto gen = GenerateDataset(DoubanMusicLike(0.2), 5).ValueOrAbort();
+  auto db = gen.Materialize(2).ValueOrAbort();
+  auto original = db->Clone();
+
+  ModificationLog log(db.get());
+  // One of each op kind, including an erase/re-fill pair on the same
+  // cell so the undo has to restore the intermediate kEmpty state.
+  ASSERT_TRUE(db->Apply(Modification::ReplaceValues(
+                            "Album_Heard", {0, 1}, {0},
+                            {Value(int64_t{7})}))
+                  .ok());
+  ASSERT_TRUE(
+      db->Apply(Modification::DeleteValues("Album_Heard", {0}, {0})).ok());
+  ASSERT_TRUE(db->Apply(Modification::InsertValues(
+                            "Album_Heard", {0}, {0}, {Value(int64_t{9})}))
+                  .ok());
+  TupleId nt = kInvalidTuple;
+  ASSERT_TRUE(db->Apply(Modification::InsertTuple(
+                            "User_Fan",
+                            {Value(int64_t{0}), Value(int64_t{1}),
+                             Value(int64_t{1})}),
+                        &nt)
+                  .ok());
+  ASSERT_TRUE(db->Apply(Modification::DeleteTuple("User_Fan", 0)).ok());
+  ASSERT_EQ(log.size(), 5);
+
+  ASSERT_TRUE(log.UndoOnto(db.get()).ok());
+  ExpectDatabasesIdentical(*db, *original);
+}
+
+TEST(ModLogTest, UndoOntoRevertsATweakingRun) {
+  // Record a whole tweaking run, undo it in place, and expect the
+  // starting state back byte for byte.
+  auto gen = GenerateDataset(DoubanMusicLike(0.25), 15).ValueOrAbort();
+  auto truth = gen.Materialize(3).ValueOrAbort();
+  RandScaler scaler;
+  auto scaled = scaler
+                    .Scale(*gen.Materialize(1).ValueOrAbort(),
+                           gen.SnapshotSizes(3), 15)
+                    .ValueOrAbort();
+  auto start = scaled->Clone();
+
+  ModificationLog log(scaled.get());
+  Coordinator coordinator;
+  coordinator.AddTool(std::make_unique<LinearPropertyTool>(truth->schema()));
+  coordinator.AddTool(
+      std::make_unique<CoappearPropertyTool>(truth->schema()));
+  coordinator.SetTargetsFromDataset(*truth).Check();
+  CoordinatorOptions opts;
+  opts.seed = 2;
+  coordinator.Run(scaled.get(), {1, 0}, opts).ValueOrAbort();
+  ASSERT_GT(log.size(), 0);
+
+  ASSERT_TRUE(log.UndoOnto(scaled.get()).ok());
+  ExpectDatabasesIdentical(*scaled, *start);
+}
+
 TEST(RollbackTest, RegressionStepsAreUndone) {
   // Order P-C-L on Rand data: without rollback, the middle tools can
   // leave earlier-enforced properties worse; with rollback the summed
@@ -121,6 +203,60 @@ TEST(RollbackTest, RegressionStepsAreUndone) {
   }
   EXPECT_LT(report.final_errors[static_cast<size_t>(li)], 0.05);
   (void)co;
+}
+
+TEST(RollbackTest, UndoLogMatchesCloneRollback) {
+  // The undo-log restore must be indistinguishable from the deep-copy
+  // restore: same per-step reports, same final errors, and the two
+  // final databases byte-identical.
+  auto gen = GenerateDataset(DoubanMusicLike(0.3), 17).ValueOrAbort();
+  auto truth = gen.Materialize(4).ValueOrAbort();
+  RandScaler scaler;
+  auto base = scaler
+                  .Scale(*gen.Materialize(1).ValueOrAbort(),
+                         gen.SnapshotSizes(4), 17)
+                  .ValueOrAbort();
+
+  auto run_with = [&](RollbackMode mode, std::unique_ptr<Database>* out) {
+    Coordinator coordinator;
+    const int li = coordinator.AddTool(
+        std::make_unique<LinearPropertyTool>(truth->schema()));
+    const int co = coordinator.AddTool(
+        std::make_unique<CoappearPropertyTool>(truth->schema()));
+    const int pa = coordinator.AddTool(
+        std::make_unique<PairwisePropertyTool>(truth->schema()));
+    coordinator.SetTargetsFromDataset(*truth).Check();
+    CoordinatorOptions opts;
+    opts.seed = 23;
+    opts.iterations = 2;
+    opts.rollback_on_regression = true;
+    opts.rollback_mode = mode;
+    *out = base->Clone();
+    (void)co;
+    return coordinator.Run(out->get(), {pa, co, li}, opts).ValueOrAbort();
+  };
+
+  std::unique_ptr<Database> via_clone, via_undo;
+  const RunReport clone_report = run_with(RollbackMode::kClone, &via_clone);
+  const RunReport undo_report = run_with(RollbackMode::kUndoLog, &via_undo);
+
+  ASSERT_EQ(clone_report.steps.size(), undo_report.steps.size());
+  bool any_rolled_back = false;
+  for (size_t i = 0; i < clone_report.steps.size(); ++i) {
+    const ToolReport& a = clone_report.steps[i];
+    const ToolReport& b = undo_report.steps[i];
+    EXPECT_EQ(a.tool, b.tool) << i;
+    EXPECT_EQ(a.error_before, b.error_before) << i;
+    EXPECT_EQ(a.error_after, b.error_after) << i;
+    EXPECT_EQ(a.applied, b.applied) << i;
+    EXPECT_EQ(a.vetoed, b.vetoed) << i;
+    EXPECT_EQ(a.rolled_back, b.rolled_back) << i;
+    any_rolled_back = any_rolled_back || b.rolled_back;
+  }
+  EXPECT_TRUE(any_rolled_back)
+      << "scenario never exercised the rollback path";
+  EXPECT_EQ(clone_report.final_errors, undo_report.final_errors);
+  ExpectDatabasesIdentical(*via_clone, *via_undo);
 }
 
 TEST(DatabaseCopyTest, CopyContentFromRestoresState) {
