@@ -33,6 +33,7 @@ aspect_add_bench(bench_error_analysis)
 aspect_add_bench(bench_scalability)
 aspect_add_bench(bench_ablation_scalers)
 aspect_add_bench(bench_ablation_rollback)
+aspect_add_bench(bench_batch_pipeline)
 
 add_executable(bench_micro_ops ${CMAKE_SOURCE_DIR}/bench/bench_micro_ops.cc)
 set_target_properties(bench_micro_ops PROPERTIES RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

@@ -39,6 +39,7 @@ FrequencyDistribution Dist(std::vector<std::pair<int64_t, int64_t>> e) {
 }  // namespace
 
 int main() {
+  BenchReport report("ablation_order");
   const Schema schema = OneColumnSchema();
   const int64_t population = 1200;
   const std::vector<FrequencyDistribution> pis = {

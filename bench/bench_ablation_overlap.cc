@@ -15,6 +15,7 @@ using namespace aspect;
 using namespace aspect::bench;
 
 int main() {
+  BenchReport report("ablation_overlap");
   auto gen = GenerateDataset(XiamiLike(0.4), kSeed).ValueOrAbort();
   auto truth = gen.Materialize(4).ValueOrAbort();
   RandScaler rand;

@@ -17,6 +17,7 @@ using namespace aspect;
 using namespace aspect::bench;
 
 int main() {
+  BenchReport report("ablation_rollback");
   auto gen = GenerateDataset(XiamiLike(0.4), kSeed).ValueOrAbort();
   auto truth = gen.Materialize(4).ValueOrAbort();
   RandScaler rand;

@@ -15,6 +15,7 @@ using namespace aspect;
 using namespace aspect::bench;
 
 int main() {
+  BenchReport report("ablation_scalers");
   Banner("Ablation: size-scalers before/after tweaking "
          "(DoubanMusicLike, D4, C-P-L)");
   Header({"scaler", "L-before", "L-after", "C-before", "C-after",

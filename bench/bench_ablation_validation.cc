@@ -9,6 +9,7 @@ using namespace aspect;
 using namespace aspect::bench;
 
 int main() {
+  BenchReport report("ablation_validation");
   Banner("Ablation: validator voting on/off (Rand-XiamiLike, D4)");
   Header({"order", "L(on)", "L(off)", "C(on)", "C(off)", "P(on)",
           "P(off)", "s(on)", "s(off)"});

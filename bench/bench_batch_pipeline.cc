@@ -1,0 +1,170 @@
+// Batched modification pipeline vs the serial per-modification
+// baseline: a 3-tool column-frequency enforcement pass on Rand-scaled
+// Xiami-like social-network data, run once with batch=1 on one thread
+// (the historical path) and once with batch=64 under the O1-parallel
+// pass scheduler at 8 threads.
+//
+// The three tools write disjoint (table, column) access sets, so the
+// parallel pass may run them concurrently (observation O1) and the
+// batched path folds up to 64 same-value replacements into a single
+// broadcast modification: one validator vote, one columnar write, one
+// log segment. Both runs must end at identical per-tool errors; the
+// bench aborts if they do not.
+#include <chrono>
+
+#include "aspect/coordinator.h"
+#include "bench_util.h"
+#include "properties/simple.h"
+#include "relational/modlog.h"
+#include "scaler/size_scaler.h"
+#include "workload/generator.h"
+
+using namespace aspect;
+using namespace aspect::bench;
+
+namespace {
+
+constexpr int kBatch = 256;
+constexpr int kThreads = 8;
+
+struct ToolRef {
+  const char* table;
+  const char* column;
+};
+constexpr ToolRef kTools[] = {
+    {"User", "gender"}, {"Photo", "kind"}, {"Space", "kind"}};
+
+struct RunOutcome {
+  double seconds = 0;
+  int64_t applied = 0;
+  int64_t vetoed = 0;
+  std::vector<double> errors;
+};
+
+RunOutcome RunOnce(const Database& base, const Database& truth,
+                   bool parallel, int batch, int threads,
+                   bool verbose) {
+  auto scaled = base.Clone();
+  // Log the enforcement modifications like the CLI's --report and the
+  // replay-onto-snapshot path do: the log is a per-modification
+  // listener, so the serial baseline pays one entry per modification
+  // while the batched pipeline delivers one segment per batch.
+  ModificationLog log(scaled.get());
+  Coordinator coordinator;
+  std::vector<int> order;
+  for (const ToolRef& t : kTools) {
+    order.push_back(coordinator.AddTool(std::make_unique<ColumnFreqTool>(
+        truth.schema(), t.table, t.column)));
+  }
+  coordinator.SetTargetsFromDataset(truth).Check();
+  CoordinatorOptions opts;
+  opts.seed = kSeed;
+  opts.parallel_pass = parallel;
+  opts.pass_threads = threads;
+  opts.batch_size = batch;
+  const auto t0 = std::chrono::steady_clock::now();
+  const RunReport report =
+      coordinator.Run(scaled.get(), order, opts).ValueOrAbort();
+  RunOutcome out;
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  out.errors = report.final_errors;
+  for (const ToolReport& step : report.steps) {
+    out.applied += step.applied;
+    out.vetoed += step.vetoed;
+    if (verbose) {
+      std::printf("  step %-16s %.4fs applied=%lld%s\n",
+                  step.tool.c_str(), step.seconds,
+                  static_cast<long long>(step.applied),
+                  step.parallel ? " (parallel)" : "");
+    }
+  }
+  return out;
+}
+
+/// Best of `kReps` identical runs: the coordinator is deterministic for
+/// a fixed seed, so repetitions only differ by scheduling noise and the
+/// minimum is the honest cost on a busy machine.
+RunOutcome Best(const Database& base, const Database& truth, bool parallel,
+                int batch, int threads) {
+  constexpr int kReps = 5;
+  RunOutcome best;
+  for (int r = 0; r < kReps; ++r) {
+    RunOutcome o = RunOnce(base, truth, parallel, batch, threads, r == 0);
+    if (r == 0 || o.seconds < best.seconds) best = std::move(o);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  BenchReport report("batch_pipeline");
+  Banner("Setup: generate + Rand-scale (XiamiLike)");
+  auto gen = GenerateDataset(XiamiLike(48.0), kSeed).ValueOrAbort();
+  auto truth = gen.Materialize(4).ValueOrAbort();
+  RandScaler rand;
+  auto base = rand.Scale(*gen.Materialize(1).ValueOrAbort(),
+                         gen.SnapshotSizes(4), kSeed)
+                  .ValueOrAbort();
+  // Rand clones tuples, so the scaled columns already match the target
+  // frequencies; flatten each enforced column to a constant to make
+  // the tools rebuild the whole distribution.
+  for (const ToolRef& t : kTools) {
+    Table* table = base->FindTable(t.table);
+    const int col = table->ColumnIndex(t.column);
+    std::vector<TupleId> rows;
+    table->ForEachLive([&](TupleId tid) { rows.push_back(tid); });
+    base->Apply(Modification::ReplaceValues(t.table, rows, {col},
+                                            {Value(int64_t{0})}))
+        .Check();
+  }
+  std::printf("scaled dataset: %lld tuples\n",
+              static_cast<long long>(base->TotalTuples()));
+  report.AddTuples(base->TotalTuples());
+
+  Banner("Serial per-modification baseline (batch=1, serial pass)");
+  const RunOutcome serial = Best(*base, *truth, false, 1, 1);
+  Banner("Batched + O1-parallel (batch=" + std::to_string(kBatch) +
+         ", " + std::to_string(kThreads) + " threads)");
+  const RunOutcome batched = Best(*base, *truth, true, kBatch, kThreads);
+
+  const RunOutcome batch_only = Best(*base, *truth, false, kBatch, 1);
+  const RunOutcome par_only = Best(*base, *truth, true, 1, kThreads);
+  const RunOutcome batched_1t = Best(*base, *truth, true, kBatch, 1);
+
+  Banner("Batch pipeline: serial vs batched+parallel");
+  Header({"config", "seconds", "applied", "vetoed", "err0", "err1",
+          "err2"});
+  const auto row = [](const char* label, const RunOutcome& o) {
+    Cell(label);
+    Cell(o.seconds);
+    Cell(std::to_string(o.applied));
+    Cell(std::to_string(o.vetoed));
+    for (const double e : o.errors) Cell(e);
+    EndRow();
+  };
+  row("serial", serial);
+  row("batch-only", batch_only);
+  row("par-only", par_only);
+  row("batched", batched);
+  row("batched-1t", batched_1t);
+
+  for (size_t i = 0; i < serial.errors.size(); ++i) {
+    if (serial.errors[i] != batched.errors[i]) {
+      std::fprintf(stderr,
+                   "FAIL: final error of tool %zu differs: %.9f vs %.9f\n",
+                   i, serial.errors[i], batched.errors[i]);
+      return 1;
+    }
+  }
+  const double speedup = serial.seconds / std::max(1e-9, batched.seconds);
+  std::printf("identical final errors; speedup %.2fx\n", speedup);
+  report.Metric("serial_s", serial.seconds);
+  report.Metric("batched_parallel_s", batched.seconds);
+  report.Metric("speedup", speedup);
+  report.Metric("batch", kBatch);
+  report.Metric("threads", kThreads);
+  return 0;
+}

@@ -21,6 +21,7 @@ using namespace aspect;
 using namespace aspect::bench;
 
 int main() {
+  BenchReport report("error_analysis");
   Banner("Sec. IV / Fig. 7: same tools, different datasets");
   Header({"dataset", "coappear", "pairwise", "linear"});
   for (const uint64_t data_seed : {1u, 2u, 3u, 4u}) {

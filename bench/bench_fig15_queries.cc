@@ -12,6 +12,7 @@ using namespace aspect;
 using namespace aspect::bench;
 
 int main() {
+  BenchReport report("fig15_queries");
   const std::vector<std::string> scalers = {"Dscaler", "Rand"};
   const std::vector<std::string> perms = SixPermutations();
   const std::vector<int> snapshots = {2, 3, 4, 5};

@@ -10,6 +10,7 @@ using namespace aspect;
 using namespace aspect::bench;
 
 int main() {
+  BenchReport report("fig16_iterations");
   Banner("Figure 16: error vs tweaking iterations (Dscaler-Xiami)");
   for (const std::string& label : {std::string("C-L-P"), std::string("C-P-L")}) {
     std::printf("-- %s --\n", label.c_str());

@@ -10,6 +10,7 @@ using namespace aspect;
 using namespace aspect::bench;
 
 int main() {
+  BenchReport report("fig17_time");
   const std::vector<std::string> scalers = {"Dscaler", "ReX", "Rand"};
   const std::vector<std::string> perms = SixPermutations();
   const std::vector<int> snapshots = {2, 3, 4, 5, 6};

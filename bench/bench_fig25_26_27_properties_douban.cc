@@ -14,6 +14,7 @@ using namespace aspect;
 using namespace aspect::bench;
 
 int main() {
+  BenchReport report("fig25_26_27_properties_douban");
   struct DatasetRef {
     const char* name;
     DatasetBlueprint (*factory)(double);

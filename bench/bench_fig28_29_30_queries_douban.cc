@@ -12,6 +12,7 @@ using namespace aspect;
 using namespace aspect::bench;
 
 int main() {
+  BenchReport report("fig28_29_30_queries_douban");
   struct DatasetRef {
     const char* name;
     const char* figure;

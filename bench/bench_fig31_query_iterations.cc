@@ -9,6 +9,7 @@ using namespace aspect;
 using namespace aspect::bench;
 
 int main() {
+  BenchReport report("fig31_query_iterations");
   Banner("Figure 31: L-C-P query errors vs iterations "
          "(Dscaler-DoubanBook)");
   ExperimentConfig base;

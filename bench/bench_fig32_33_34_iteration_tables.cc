@@ -11,6 +11,7 @@ using namespace aspect;
 using namespace aspect::bench;
 
 int main() {
+  BenchReport report("fig32_33_34_iteration_tables");
   struct FigRef {
     const char* figure;
     const char* scaler;

@@ -10,6 +10,7 @@ using namespace aspect;
 using namespace aspect::bench;
 
 int main() {
+  BenchReport report("fig35_time_douban");
   struct DatasetRef {
     const char* name;
     DatasetBlueprint (*factory)(double);

@@ -3,6 +3,7 @@
 // distribution updates, and the three size-scalers.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "common/rng.h"
 #include "properties/chain_stats.h"
 #include "relational/refgraph.h"
@@ -127,4 +128,14 @@ BENCHMARK(BM_Scaler)->Arg(0)->Arg(1)->Arg(2);
 }  // namespace
 }  // namespace aspect
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN so the run is wrapped in a BenchReport like
+// every other bench binary.
+int main(int argc, char** argv) {
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  aspect::bench::BenchReport report("micro_ops");
+  report.Phase("benchmarks");
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

@@ -16,6 +16,7 @@ using namespace aspect;
 using namespace aspect::bench;
 
 int main() {
+  BenchReport report("scalability");
   Banner("Ablation: pipeline scalability (Rand-XiamiLike, C-L-P, D4)");
   Header({"scale", "tuples", "tweak-s", "tuples/s", "err-L", "err-C",
           "err-P"});
@@ -32,6 +33,7 @@ int main() {
     auto gen = GenerateDataset(c.blueprint, c.seed).ValueOrAbort();
     int64_t tuples = 0;
     for (const int64_t s : gen.SnapshotSizes(4)) tuples += s;
+    report.AddTuples(tuples);
     Cell(scale);
     Cell(std::to_string(tuples));
     Cell(r.tweak_seconds);

@@ -5,8 +5,10 @@
 // or table in the paper; EXPERIMENTS.md records the comparison.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "measure/runner.h"
@@ -17,8 +19,116 @@ namespace bench {
 /// The seed used by every figure bench (fully deterministic output).
 inline constexpr uint64_t kSeed = 20190401;
 
+class BenchReport;
+
+/// The report the free helpers (Banner) feed phases into.
+inline BenchReport*& ActiveBenchReport() {
+  static BenchReport* active = nullptr;
+  return active;
+}
+
+/// Machine-readable run record. Construct one at the top of main and
+/// every Banner() becomes a timed phase; the destructor writes
+/// BENCH_<name>.json (name, wall-clock ms, tuples/s, per-phase
+/// breakdown, free-form metrics) into the working directory so CI and
+/// regression scripts can diff runs without scraping the tables.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name)
+      : name_(std::move(name)), start_(Clock::now()) {
+    ActiveBenchReport() = this;
+  }
+  BenchReport(const BenchReport&) = delete;
+  BenchReport& operator=(const BenchReport&) = delete;
+
+  ~BenchReport() {
+    if (ActiveBenchReport() == this) ActiveBenchReport() = nullptr;
+    Write();
+  }
+
+  /// Starts a new timed phase, ending the previous one.
+  void Phase(const std::string& title) {
+    ClosePhase();
+    current_ = title;
+    in_phase_ = true;
+    phase_start_ = Clock::now();
+  }
+
+  /// Tuples processed by the bench; reported as tuples/s over the
+  /// whole wall clock.
+  void AddTuples(int64_t n) { tuples_ += n; }
+
+  /// Free-form scalar (speedups, errors, thread counts, ...).
+  void Metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  static double MsBetween(Clock::time_point a, Clock::time_point b) {
+    return std::chrono::duration<double, std::milli>(b - a).count();
+  }
+
+  static std::string Escaped(const std::string& s) {
+    std::string out;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  void ClosePhase() {
+    if (!in_phase_) return;
+    phases_.emplace_back(current_, MsBetween(phase_start_, Clock::now()));
+    in_phase_ = false;
+  }
+
+  void Write() {
+    ClosePhase();
+    const double wall_ms = MsBetween(start_, Clock::now());
+    const std::string path = "BENCH_" + name_ + ".json";
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"name\": \"%s\",\n", Escaped(name_).c_str());
+    std::fprintf(f, "  \"wall_clock_ms\": %.3f,\n", wall_ms);
+    std::fprintf(f, "  \"tuples\": %lld,\n",
+                 static_cast<long long>(tuples_));
+    std::fprintf(f, "  \"tuples_per_s\": %.1f,\n",
+                 tuples_ > 0 ? tuples_ / (wall_ms / 1000.0) : 0.0);
+    std::fprintf(f, "  \"phases\": [");
+    for (size_t i = 0; i < phases_.size(); ++i) {
+      std::fprintf(f, "%s\n    {\"name\": \"%s\", \"ms\": %.3f}",
+                   i == 0 ? "" : ",", Escaped(phases_[i].first).c_str(),
+                   phases_[i].second);
+    }
+    std::fprintf(f, "\n  ],\n  \"metrics\": {");
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "%s\n    \"%s\": %.6f", i == 0 ? "" : ",",
+                   Escaped(metrics_[i].first).c_str(), metrics_[i].second);
+    }
+    std::fprintf(f, "\n  }\n}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "wrote %s\n", path.c_str());
+  }
+
+  std::string name_;
+  Clock::time_point start_;
+  Clock::time_point phase_start_;
+  std::string current_;
+  bool in_phase_ = false;
+  int64_t tuples_ = 0;
+  std::vector<std::pair<std::string, double>> phases_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
 inline void Banner(const std::string& title) {
   std::printf("\n=== %s ===\n", title.c_str());
+  if (ActiveBenchReport() != nullptr) ActiveBenchReport()->Phase(title);
 }
 
 inline void Header(const std::vector<std::string>& cols) {

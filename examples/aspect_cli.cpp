@@ -7,6 +7,7 @@
 //              [--save-targets file] [--load-targets file] [--profile]
 //              [--report] [--compare-orders] [--threads N]
 //              [--rollback off|clone|undo]
+//              [--parallel-pass on|off] [--batch N]
 //
 // Reads one CSV per table from --data, scales every table by --scale
 // (rounded, at least 1), enforces the chosen properties and writes the
@@ -54,6 +55,8 @@ struct Args {
   double scale = 2.0;
   int iterations = 1;
   int threads = 0;
+  bool parallel_pass = false;
+  int batch = 1;
   uint64_t seed = 1;
 };
 
@@ -104,6 +107,18 @@ Result<Args> ParseArgs(int argc, char** argv) {
     } else if (flag == "--threads") {
       ASPECT_ASSIGN_OR_RETURN(const std::string v, next());
       args.threads = std::atoi(v.c_str());
+    } else if (flag == "--parallel-pass") {
+      ASPECT_ASSIGN_OR_RETURN(const std::string v, next());
+      if (v != "on" && v != "off") {
+        return Status::Invalid("--parallel-pass must be on or off");
+      }
+      args.parallel_pass = v == "on";
+    } else if (flag == "--batch") {
+      ASPECT_ASSIGN_OR_RETURN(const std::string v, next());
+      args.batch = std::atoi(v.c_str());
+      if (args.batch < 1) {
+        return Status::Invalid("--batch must be at least 1");
+      }
     } else if (flag == "--rollback") {
       ASPECT_ASSIGN_OR_RETURN(args.rollback, next());
       if (args.rollback != "off" && args.rollback != "clone" &&
@@ -212,6 +227,9 @@ Status Run(const Args& args) {
   options.iterations = a.iterations;
   options.seed = a.seed;
   options.order_search_threads = a.threads;
+  options.parallel_pass = a.parallel_pass;
+  options.pass_threads = a.threads;
+  options.batch_size = a.batch;
   options.rollback_on_regression = a.rollback != "off";
   options.rollback_mode =
       a.rollback == "clone" ? RollbackMode::kClone : RollbackMode::kUndoLog;

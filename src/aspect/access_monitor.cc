@@ -1,11 +1,13 @@
 #include "aspect/access_monitor.h"
 
+#include <algorithm>
 #include <cassert>
 
 namespace aspect {
 
 AccessMonitor::AccessMonitor(int num_tools)
-    : touched_(static_cast<size_t>(num_tools)) {}
+    : touched_(static_cast<size_t>(num_tools)),
+      atoms_(static_cast<size_t>(num_tools)) {}
 
 uint64_t AccessMonitor::CellKey(int table, TupleId tuple, int col) {
   // 12 bits table | 40 bits tuple | 12 bits column.
@@ -18,10 +20,14 @@ void AccessMonitor::Record(int tool_id, int table_index,
                            const Modification& mod) {
   if (tool_id < 0 || tool_id >= num_tools()) return;
   auto& set = touched_[static_cast<size_t>(tool_id)];
+  auto& atoms = atoms_[static_cast<size_t>(tool_id)];
   switch (mod.kind) {
     case OpKind::kDeleteValues:
     case OpKind::kInsertValues:
     case OpKind::kReplaceValues:
+      for (const int c : mod.cols) {
+        atoms.insert({table_index, c});
+      }
       for (const TupleId t : mod.tuples) {
         for (const int c : mod.cols) {
           set.insert(CellKey(table_index, t, c));
@@ -33,6 +39,7 @@ void AccessMonitor::Record(int tool_id, int table_index,
       // but later writes to them can; record the whole row under a
       // synthetic column fan-out once the id is known via the tuples
       // vector (the coordinator records post-apply with the new id).
+      atoms.insert({table_index, AccessScope::kWholeTable});
       for (const TupleId t : mod.tuples) {
         for (size_t c = 0; c < mod.values.size(); ++c) {
           set.insert(CellKey(table_index, t, static_cast<int>(c)));
@@ -40,6 +47,7 @@ void AccessMonitor::Record(int tool_id, int table_index,
       }
       break;
     case OpKind::kDeleteTuple:
+      atoms.insert({table_index, AccessScope::kWholeTable});
       for (const TupleId t : mod.tuples) {
         // A row deletion touches every column; 64 columns is far above
         // any schema in this repo.
@@ -48,6 +56,34 @@ void AccessMonitor::Record(int tool_id, int table_index,
         }
       }
       break;
+  }
+}
+
+void AccessMonitor::MergeFrom(const AccessMonitor& other) {
+  const size_t n =
+      std::min(touched_.size(), other.touched_.size());
+  for (size_t i = 0; i < n; ++i) {
+    touched_[i].insert(other.touched_[i].begin(), other.touched_[i].end());
+    atoms_[i].insert(other.atoms_[i].begin(), other.atoms_[i].end());
+  }
+}
+
+void AccessMonitor::MergeFrom(AccessMonitor&& other) {
+  const size_t n =
+      std::min(touched_.size(), other.touched_.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (touched_[i].empty()) {
+      touched_[i] = std::move(other.touched_[i]);
+    } else {
+      touched_[i].insert(other.touched_[i].begin(), other.touched_[i].end());
+    }
+    other.touched_[i].clear();
+    if (atoms_[i].empty()) {
+      atoms_[i] = std::move(other.atoms_[i]);
+    } else {
+      atoms_[i].insert(other.atoms_[i].begin(), other.atoms_[i].end());
+    }
+    other.atoms_[i].clear();
   }
 }
 
@@ -60,6 +96,18 @@ bool AccessMonitor::Overlaps(int a, int b) const {
     if (large.count(key) > 0) return true;
   }
   return false;
+}
+
+AccessScope AccessMonitor::ObservedScope(int tool_id) const {
+  AccessScope scope;
+  if (tool_id < 0 || tool_id >= num_tools()) return scope;
+  const auto& atoms = atoms_[static_cast<size_t>(tool_id)];
+  if (atoms.empty()) return scope;  // never ran: unknown
+  scope.known = true;
+  for (const AccessScope::Atom& a : atoms) {
+    scope.AddWrite(a.first, a.second);
+  }
+  return scope;
 }
 
 std::vector<std::vector<bool>> AccessMonitor::OverlapGraph() const {

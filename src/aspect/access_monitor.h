@@ -5,9 +5,11 @@
 #pragma once
 
 #include <cstdint>
+#include <set>
 #include <unordered_set>
 #include <vector>
 
+#include "aspect/access_scope.h"
 #include "relational/database.h"
 
 namespace aspect {
@@ -22,6 +24,19 @@ class AccessMonitor {
   /// `table_index` is the table's index in the schema.
   void Record(int tool_id, int table_index, const Modification& mod);
 
+  /// Unions another monitor's records into this one (same num_tools).
+  /// The parallel pass records each task into a private monitor and
+  /// merges the successful ones, so a discarded attempt leaves no
+  /// phantom cells behind.
+  void MergeFrom(const AccessMonitor& other);
+
+  /// Move-merge: same union, but a tool whose records are empty on this
+  /// side adopts the other side's sets wholesale instead of re-inserting
+  /// tens of thousands of cell keys one by one. This is the common case
+  /// when merging a parallel task's monitor (the main monitor is reset
+  /// per Run and each tool runs once per pass). `other` is left empty.
+  void MergeFrom(AccessMonitor&& other);
+
   /// True if the two tools wrote at least one common cell. Row
   /// insert/delete counts as touching every column of that tuple.
   bool Overlaps(int a, int b) const;
@@ -34,12 +49,22 @@ class AccessMonitor {
   /// Adjacency matrix of the overlap graph (see overlap.h).
   std::vector<std::vector<bool>> OverlapGraph() const;
 
+  /// The coarse (table, column) scope tool `tool_id` was observed to
+  /// write (O2's empirical answer to "what does this tool access?").
+  /// Row inserts/deletes coarsen to (table, kWholeTable). Reads are
+  /// approximated by writes — the monitor only sees modifications, so
+  /// this is what the paper's empirical overlap detection can know.
+  /// Unknown (scope.known == false) until the tool records something.
+  AccessScope ObservedScope(int tool_id) const;
+
  private:
   // Cell key: (table, tuple, column) packed into 64 bits; column -1
   // (whole row) is recorded as a per-column fan-out.
   static uint64_t CellKey(int table, TupleId tuple, int col);
 
   std::vector<std::unordered_set<uint64_t>> touched_;
+  // Coarse (table, column) write atoms per tool, for ObservedScope.
+  std::vector<std::set<AccessScope::Atom>> atoms_;
 };
 
 }  // namespace aspect

@@ -1,0 +1,47 @@
+#include "aspect/access_scope.h"
+
+namespace aspect {
+
+void AccessScope::AddRead(int table, int column) {
+  reads.insert({table, column});
+}
+
+void AccessScope::AddWrite(int table, int column) {
+  writes.insert({table, column});
+  reads.insert({table, column});
+}
+
+void AccessScope::MergeFrom(const AccessScope& other) {
+  known = known && other.known;
+  reads.insert(other.reads.begin(), other.reads.end());
+  writes.insert(other.writes.begin(), other.writes.end());
+}
+
+bool AtomsOverlap(AccessScope::Atom a, AccessScope::Atom b) {
+  if (a.first != b.first) return false;
+  return a.second == AccessScope::kWholeTable ||
+         b.second == AccessScope::kWholeTable || a.second == b.second;
+}
+
+bool AtomSetsOverlap(const std::set<AccessScope::Atom>& a,
+                     const std::set<AccessScope::Atom>& b) {
+  // Atom sets are tiny (a handful of (table, column) pairs per tool),
+  // so the quadratic scan beats anything cleverer.
+  for (const AccessScope::Atom& x : a) {
+    for (const AccessScope::Atom& y : b) {
+      if (AtomsOverlap(x, y)) return true;
+    }
+  }
+  return false;
+}
+
+bool WritesDisturb(const AccessScope& writer, const AccessScope& reader) {
+  if (!writer.known || !reader.known) return true;
+  return AtomSetsOverlap(writer.writes, reader.reads);
+}
+
+bool ScopesConflict(const AccessScope& a, const AccessScope& b) {
+  return WritesDisturb(a, b) || WritesDisturb(b, a);
+}
+
+}  // namespace aspect

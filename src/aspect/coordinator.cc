@@ -6,6 +6,7 @@
 #include <map>
 #include <sstream>
 
+#include "aspect/overlap.h"
 #include "aspect/tweak_context.h"
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -19,6 +20,132 @@ double Now() {
   return std::chrono::duration<double>(
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
+}
+
+/// Listener attached to a parallel task's database clone. Records every
+/// applied modification (with pre-images and delivery shape) so the
+/// coordinator can replay the notifications to the main database's
+/// remaining listeners after the merge, and the coarse (table, column)
+/// atoms actually written so the task's assumed scope can be verified.
+class WriteRecorder : public ModificationListener {
+ public:
+  /// `record_entries` = false tracks only the written atoms (the scope
+  /// guard); full notification copies are kept only when somebody will
+  /// actually replay them, since the copies dominate the recorder's
+  /// per-modification cost.
+  WriteRecorder(const Schema* schema, bool record_entries)
+      : schema_(schema), record_entries_(record_entries) {}
+
+  /// One notification to replay: `count` entries starting at `begin`,
+  /// delivered as OnAppliedBatch when `batch`, else as a single
+  /// OnApplied call.
+  struct Delivery {
+    size_t begin = 0;
+    size_t count = 0;
+    bool batch = false;
+  };
+
+  void OnApplied(const Modification& mod, const std::vector<Value>& old_values,
+                 TupleId new_tuple) override {
+    AddAtoms(mod);
+    if (!record_entries_) return;
+    deliveries_.push_back({mods_.size(), 1, false});
+    mods_.push_back(mod);
+    old_values_.push_back(old_values);
+    new_tuples_.push_back(new_tuple);
+  }
+
+  void OnAppliedBatch(std::span<const Modification> mods,
+                      std::span<const std::vector<Value>> old_values,
+                      std::span<const TupleId> new_tuples) override {
+    if (!record_entries_) {
+      for (const Modification& m : mods) AddAtoms(m);
+      return;
+    }
+    deliveries_.push_back({mods_.size(), mods.size(), true});
+    for (size_t i = 0; i < mods.size(); ++i) {
+      AddAtoms(mods[i]);
+      mods_.push_back(mods[i]);
+      old_values_.push_back(old_values[i]);
+      new_tuples_.push_back(new_tuples[i]);
+    }
+  }
+
+  /// Replays every recorded notification, in order and with the
+  /// original delivery shape, to `listener`.
+  void ReplayTo(ModificationListener* listener) const {
+    for (const Delivery& d : deliveries_) {
+      if (d.batch) {
+        listener->OnAppliedBatch(
+            std::span<const Modification>(&mods_[d.begin], d.count),
+            std::span<const std::vector<Value>>(&old_values_[d.begin],
+                                                d.count),
+            std::span<const TupleId>(&new_tuples_[d.begin], d.count));
+      } else {
+        listener->OnApplied(mods_[d.begin], old_values_[d.begin],
+                            new_tuples_[d.begin]);
+      }
+    }
+  }
+
+  /// Equivalent to ReplayTo for a modification log, but moves the
+  /// recorded entries instead of copying them through the listener
+  /// interface (the recorder is discarded after the merge, so the
+  /// copies would be pure waste). Valid once; leaves the recorder's
+  /// written-atom set intact.
+  void MoveInto(ModificationLog* log) {
+    for (const Delivery& d : deliveries_) {
+      if (d.batch) log->CountAdoptedBatch();
+      for (size_t i = d.begin; i < d.begin + d.count; ++i) {
+        ModificationLog::Entry e;
+        e.mod = std::move(mods_[i]);
+        e.old_values = std::move(old_values_[i]);
+        e.new_tuple = new_tuples_[i];
+        log->Adopt(std::move(e));
+      }
+    }
+    deliveries_.clear();
+    mods_.clear();
+    old_values_.clear();
+    new_tuples_.clear();
+  }
+
+  /// Coarse (table, column) atoms actually written on the clone.
+  const std::set<AccessScope::Atom>& written() const { return written_; }
+
+ private:
+  void AddAtoms(const Modification& mod) {
+    const int t = schema_->TableIndex(mod.table);
+    switch (mod.kind) {
+      case OpKind::kDeleteValues:
+      case OpKind::kInsertValues:
+      case OpKind::kReplaceValues:
+        for (const int c : mod.cols) written_.insert({t, c});
+        break;
+      case OpKind::kInsertTuple:
+      case OpKind::kDeleteTuple:
+        written_.insert({t, AccessScope::kWholeTable});
+        break;
+    }
+  }
+
+  const Schema* schema_;
+  bool record_entries_ = true;
+  std::set<AccessScope::Atom> written_;
+  std::vector<Modification> mods_;
+  std::vector<std::vector<Value>> old_values_;
+  std::vector<TupleId> new_tuples_;
+  std::vector<Delivery> deliveries_;
+};
+
+/// True when `atom` lies inside the write set `writes`: listed exactly,
+/// or covered by that table's whole-table atom. A whole-table atom is
+/// only covered by itself.
+bool AtomCovered(AccessScope::Atom atom,
+                 const std::set<AccessScope::Atom>& writes) {
+  if (writes.count(atom) > 0) return true;
+  return atom.second != AccessScope::kWholeTable &&
+         writes.count({atom.first, AccessScope::kWholeTable}) > 0;
 }
 
 }  // namespace
@@ -51,6 +178,7 @@ std::string RunReport::ToString() const {
     } else if (s.rollback_seconds > 0) {
       os << StrFormat(" [rollback net %.3fs]", s.rollback_seconds);
     }
+    if (s.parallel) os << " [parallel]";
     os << "\n";
   }
   os << StrFormat("total %.2fs", total_seconds);
@@ -113,89 +241,456 @@ Result<RunReport> Coordinator::Run(Database* db,
                          options.rollback_mode == RollbackMode::kUndoLog;
   std::unique_ptr<ModificationLog> undo_log;
   if (undo_mode) undo_log = std::make_unique<ModificationLog>(db);
-  for (int iter = 0; iter < options.iterations; ++iter) {
-    for (const int id : order) {
-      PropertyTool* t = tools_[static_cast<size_t>(id)].get();
-      std::vector<PropertyTool*> validators;
-      if (options.validate) {
-        for (const int e : enforced) {
-          if (e != id) {
-            validators.push_back(tools_[static_cast<size_t>(e)].get());
-          }
+
+  // One preforked RNG child per order position of the current pass.
+  // The fork sequence is identical to forking immediately before each
+  // step (one Fork per step, in order), so serial results are
+  // unchanged, and each parallel task's randomness is fixed before any
+  // scheduling happens.
+  std::vector<Rng> children;
+
+  // Scope the pass planner assumes for a tool: declared if the tool
+  // knows it, else what the AccessMonitor has observed so far (O2),
+  // else unknown (which keeps the tool serial).
+  const auto resolve_scope = [this](int id) {
+    AccessScope s = tools_[static_cast<size_t>(id)]->DeclaredScope();
+    if (s.known) return s;
+    return monitor_->ObservedScope(id);
+  };
+
+  // One serial tool step (the historical path); `child` is the
+  // position's preforked RNG.
+  const auto serial_step = [&](size_t pos, Rng* child) -> Status {
+    const int id = order[pos];
+    PropertyTool* t = tools_[static_cast<size_t>(id)].get();
+    std::vector<PropertyTool*> validators;
+    if (options.validate) {
+      for (const int e : enforced) {
+        if (e != id) {
+          validators.push_back(tools_[static_cast<size_t>(e)].get());
         }
       }
-      Rng child = rng.Fork();
-      TweakContext ctx(db, std::move(validators), &child, monitor_.get(),
-                       id);
-      ToolReport step;
-      step.tool = t->name();
-      step.error_before = t->Error();
-      // For rollback: the summed error of everything already enforced
-      // plus this tool, and a way to restore the pre-step state.
-      std::unique_ptr<Database> snapshot;
-      double guarded_before = 0;
-      if (options.rollback_on_regression) {
-        const double snap0 = Now();
-        if (undo_mode) {
-          undo_log->Clear();
-        } else {
-          snapshot = db->Clone();
-        }
-        step.rollback_seconds += Now() - snap0;
-        guarded_before = step.error_before;
-        for (const int e : enforced) {
-          if (e != id) guarded_before += tools_[static_cast<size_t>(e)]->Error();
-        }
+    }
+    TweakContext ctx(db, std::move(validators), child, monitor_.get(), id);
+    ctx.set_batch_hint(options.batch_size);
+    ToolReport step;
+    step.tool = t->name();
+    step.error_before = t->Error();
+    // For rollback: the summed error of everything already enforced
+    // plus this tool, and a way to restore the pre-step state.
+    std::unique_ptr<Database> snapshot;
+    double guarded_before = 0;
+    if (options.rollback_on_regression) {
+      const double snap0 = Now();
+      if (undo_mode) {
+        undo_log->Clear();
+      } else {
+        snapshot = db->Clone();
       }
-      const double t0 = Now();
-      const Status st = t->Tweak(&ctx);
-      step.seconds = Now() - t0;
-      if (!st.ok()) {
+      step.rollback_seconds += Now() - snap0;
+      guarded_before = step.error_before;
+      for (const int e : enforced) {
+        if (e != id) guarded_before += tools_[static_cast<size_t>(e)]->Error();
+      }
+    }
+    const double t0 = Now();
+    const Status st = t->Tweak(&ctx);
+    step.seconds = Now() - t0;
+    if (!st.ok()) {
+      for (const int uid : order) {
+        tools_[static_cast<size_t>(uid)]->Unbind();
+      }
+      return st;
+    }
+    if (options.rollback_on_regression) {
+      if (undo_mode) step.rollback_mods = undo_log->size();
+      double guarded_after = t->Error();
+      for (const int e : enforced) {
+        if (e != id) guarded_after += tools_[static_cast<size_t>(e)]->Error();
+      }
+      if (guarded_after > guarded_before + 1e-12) {
+        // Restore the pre-step state and rebuild every bound tool's
+        // statistics.
+        const double undo0 = Now();
         for (const int uid : order) {
           tools_[static_cast<size_t>(uid)]->Unbind();
         }
-        return st;
-      }
-      if (options.rollback_on_regression) {
-        if (undo_mode) step.rollback_mods = undo_log->size();
-        double guarded_after = t->Error();
-        for (const int e : enforced) {
-          if (e != id) guarded_after += tools_[static_cast<size_t>(e)]->Error();
+        if (undo_mode) {
+          ASPECT_RETURN_NOT_OK(undo_log->UndoOnto(db));
+          undo_log->Clear();
+        } else {
+          ASPECT_RETURN_NOT_OK(db->CopyContentFrom(*snapshot));
         }
-        if (guarded_after > guarded_before + 1e-12) {
-          // Restore the pre-step state and rebuild every bound tool's
-          // statistics.
-          const double undo0 = Now();
-          for (const int uid : order) {
-            tools_[static_cast<size_t>(uid)]->Unbind();
-          }
-          if (undo_mode) {
-            ASPECT_RETURN_NOT_OK(undo_log->UndoOnto(db));
-            undo_log->Clear();
-          } else {
-            ASPECT_RETURN_NOT_OK(db->CopyContentFrom(*snapshot));
-          }
-          for (const int uid : order) {
-            ASPECT_RETURN_NOT_OK(tools_[static_cast<size_t>(uid)]->Bind(db));
-          }
-          step.rolled_back = true;
-          step.rollback_seconds += Now() - undo0;
-          ASPECT_LOG(Info) << "rolled back " << t->name()
-                           << " (regression " << guarded_before << " -> "
-                           << guarded_after << ")";
+        for (const int uid : order) {
+          ASPECT_RETURN_NOT_OK(tools_[static_cast<size_t>(uid)]->Bind(db));
+        }
+        step.rolled_back = true;
+        step.rollback_seconds += Now() - undo0;
+        ASPECT_LOG(Info) << "rolled back " << t->name()
+                         << " (regression " << guarded_before << " -> "
+                         << guarded_after << ")";
+      }
+    }
+    step.error_after = t->Error();
+    step.applied = ctx.applied();
+    step.vetoed = ctx.vetoed();
+    step.forced = ctx.forced();
+    ASPECT_LOG(Info) << "tweak " << step.tool << ": "
+                     << step.error_before << " -> " << step.error_after;
+    report.steps.push_back(std::move(step));
+    if (std::find(enforced.begin(), enforced.end(), id) == enforced.end()) {
+      enforced.push_back(id);
+    }
+    return Status::OK();
+  };
+
+  // A position may run inside a parallel group only if its scope is
+  // known and every enforced validator's vote on its proposals is
+  // provably zero: the validator's reads must be known and disjoint
+  // from the position's writes (O1). Votes of group co-members are
+  // covered by the group's pairwise non-conflict.
+  const auto parallel_eligible = [&](size_t pos, AccessScope* out) {
+    const AccessScope s = resolve_scope(order[pos]);
+    if (!s.known) return false;
+    if (options.validate) {
+      for (const int e : enforced) {
+        if (e == order[pos]) continue;
+        const AccessScope vs = resolve_scope(e);
+        if (!vs.known || AtomSetsOverlap(s.writes, vs.reads)) return false;
+      }
+    }
+    *out = s;
+    return true;
+  };
+
+  // One worker pool for the whole run (thread spawns are too expensive
+  // to pay per group); constructed lazily once parallel eligibility is
+  // established, below.
+  std::unique_ptr<ThreadPool> pass_pool;
+
+  // State of one parallel task: the tool runs on its own clone of the
+  // main database with a recording listener and a private monitor, so
+  // nothing it does is visible to other tasks until the merge.
+  struct GroupTask {
+    size_t pos = 0;
+    int id = -1;
+    AccessScope scope;
+    Rng rng;
+    std::unique_ptr<Database> clone;
+    std::unique_ptr<WriteRecorder> recorder;
+    std::unique_ptr<AccessMonitor> local_monitor;
+    Status status = Status::OK();
+    double seconds = 0;
+    int64_t applied = 0;
+    int64_t vetoed = 0;
+    int64_t forced = 0;
+  };
+
+  // Runs the given consecutive, pairwise non-conflicting order
+  // positions concurrently (clone-and-merge), falling back to a
+  // deterministic serial redo of the whole group if any task errors or
+  // writes outside its assumed scope.
+  const auto run_group = [&](const std::vector<size_t>& members,
+                             const std::vector<AccessScope>& mscopes)
+      -> Status {
+    // The listeners that stay on the main database and need the tasks'
+    // notifications replayed after the merge — modification logs and
+    // other non-tool observers (bound tools are handled by the rebind
+    // rules instead). Computed up front: when there are none, the
+    // recorders skip the notification copies entirely.
+    std::vector<ModificationListener*> replay_to;
+    for (ModificationListener* l : db->listeners()) {
+      bool is_tool = false;
+      for (const auto& t : tools_) {
+        if (static_cast<ModificationListener*>(t.get()) == l) {
+          is_tool = true;
+          break;
         }
       }
+      if (!is_tool) replay_to.push_back(l);
+    }
+
+    std::vector<GroupTask> tasks(members.size());
+    std::vector<double> error_before(members.size(), 0.0);
+    for (size_t k = 0; k < members.size(); ++k) {
+      GroupTask& task = tasks[k];
+      task.pos = members[k];
+      task.id = order[task.pos];
+      task.scope = mscopes[k];
+      // Copy, not the child itself: a scope violation redoes the group
+      // serially with the pristine children.
+      task.rng = children[task.pos];
+      // Measured at group start, this equals the serial value: the
+      // co-members scheduled before this position cannot disturb the
+      // tool's reads.
+      error_before[k] = tools_[static_cast<size_t>(task.id)]->Error();
+    }
+    for (GroupTask& task : tasks) {
+      PropertyTool* t = tools_[static_cast<size_t>(task.id)].get();
+      if (t->DeclaredScope().known) {
+        // A declared scope is a complete access-set contract, so the
+        // task only needs the atoms it names: scoped columns are deep-
+        // copied, the rest of their tables become kEmpty shells, and
+        // the clone cost scales with the tool's scope (a kWholeTable
+        // atom maps to CloneAtoms' negative-column whole-table copy).
+        std::set<AccessScope::Atom> touched;
+        touched.insert(task.scope.reads.begin(), task.scope.reads.end());
+        touched.insert(task.scope.writes.begin(), task.scope.writes.end());
+        task.clone = db->CloneAtoms(touched);
+      } else {
+        task.clone = db->Clone();
+      }
+      task.recorder = std::make_unique<WriteRecorder>(
+          &task.clone->schema(), !replay_to.empty());
+      task.local_monitor = std::make_unique<AccessMonitor>(num_tools());
+      // Move the tool onto its clone now, while the group is still
+      // serial: Rebase unhooks the tool from the shared main
+      // database's listener list, which concurrent tasks must not
+      // mutate. The clone is content-identical for every table in the
+      // task's scope, so a bound tool keeps its statistics (no
+      // rescan).
+      task.status = t->Rebase(task.clone.get());
+      if (task.status.ok()) {
+        task.clone->AddListener(task.recorder.get());
+      }
+    }
+    const auto run_task = [&](GroupTask& task) {
+      if (!task.status.ok()) return;
+      PropertyTool* t = tools_[static_cast<size_t>(task.id)].get();
+      // No validators: eligibility proved every enforced vote is zero,
+      // and co-member votes are zero by the group's non-conflict.
+      TweakContext ctx(task.clone.get(), {}, &task.rng,
+                       task.local_monitor.get(), task.id);
+      ctx.set_batch_hint(options.batch_size);
+      const double t0 = Now();
+      task.status = t->Tweak(&ctx);
+      task.seconds = Now() - t0;
+      task.applied = ctx.applied();
+      task.vetoed = ctx.vetoed();
+      task.forced = ctx.forced();
+      task.clone->RemoveListener(task.recorder.get());
+    };
+    int threads = options.pass_threads;
+    if (threads <= 0) threads = ThreadPool::HardwareThreads();
+    if (threads > 1 && tasks.size() > 1) {
+      if (pass_pool == nullptr) {
+        pass_pool = std::make_unique<ThreadPool>(threads);
+      }
+      for (GroupTask& task : tasks) {
+        pass_pool->Submit([&run_task, &task]() { run_task(task); });
+      }
+      pass_pool->Wait();
+    } else {
+      for (GroupTask& task : tasks) run_task(task);
+    }
+
+    // Verify every task stayed inside the scope the grouping assumed.
+    bool discard = false;
+    for (GroupTask& task : tasks) {
+      PropertyTool* t = tools_[static_cast<size_t>(task.id)].get();
+      if (!task.status.ok()) {
+        ASPECT_LOG(Warning) << "parallel group discarded: " << t->name()
+                            << " failed (" << task.status.ToString()
+                            << "); redoing serially";
+        discard = true;
+        continue;
+      }
+      for (const AccessScope::Atom& a : task.recorder->written()) {
+        if (!AtomCovered(a, task.scope.writes)) {
+          ASPECT_LOG(Warning)
+              << "parallel group discarded: " << t->name()
+              << " wrote (table " << a.first << ", col " << a.second
+              << ") outside its assumed scope; redoing serially";
+          discard = true;
+          break;
+        }
+      }
+    }
+    if (discard) {
+      // Drop every clone (the main database was never touched) and
+      // replay the group serially with the pristine preforked RNGs —
+      // exact serial semantics, bit for bit.
+      for (GroupTask& task : tasks) {
+        PropertyTool* t = tools_[static_cast<size_t>(task.id)].get();
+        if (t->bound()) t->Unbind();
+        task.clone.reset();
+      }
+      for (GroupTask& task : tasks) {
+        ASPECT_RETURN_NOT_OK(
+            tools_[static_cast<size_t>(task.id)]->Bind(db));
+      }
+      for (GroupTask& task : tasks) {
+        ASPECT_RETURN_NOT_OK(serial_step(task.pos, &children[task.pos]));
+      }
+      return Status::OK();
+    }
+
+    // Merge, in order-position order: move each task's written columns
+    // (whole tables for row-structure changes) from its clone into the
+    // main database — the clone is discarded right after the merge, so
+    // stealing the storage avoids a second full copy. Scopes are
+    // pairwise disjoint, so no cell is written by two tasks.
+    for (GroupTask& task : tasks) {
+      for (const AccessScope::Atom& a : task.recorder->written()) {
+        Table& dst = db->table(a.first);
+        Table& src = task.clone->table(a.first);
+        if (a.second == AccessScope::kWholeTable) {
+          dst = std::move(src);
+        } else {
+          dst.column(a.second) = std::move(src.column(a.second));
+        }
+      }
+    }
+
+    // Replay the recorded notifications (original order and delivery
+    // shape) to the main database's remaining listeners. A lone
+    // modification log — the common case — adopts the entries by move.
+    for (GroupTask& task : tasks) {
+      if (replay_to.size() == 1) {
+        if (auto* log = dynamic_cast<ModificationLog*>(replay_to[0])) {
+          task.recorder->MoveInto(log);
+          continue;
+        }
+      }
+      for (ModificationListener* l : replay_to) {
+        task.recorder->ReplayTo(l);
+      }
+    }
+
+    // Hand the group's tools back to the merged main database. The
+    // merge copied the task's written tables verbatim, so for every
+    // table in the tool's scope the main database now equals its clone
+    // and Rebase keeps the incrementally maintained statistics.
+    for (GroupTask& task : tasks) {
+      PropertyTool* t = tools_[static_cast<size_t>(task.id)].get();
+      ASPECT_RETURN_NOT_OK(t->Rebase(db));
+      task.clone.reset();
+    }
+    // Any other bound tool whose reads the group may have touched (or
+    // whose scope is unknown) gets its statistics rebuilt the same
+    // way; tools with known reads disjoint from the group's observed
+    // writes are provably undisturbed (O1) and keep their state.
+    std::set<AccessScope::Atom> group_written;
+    std::set<int> group_ids;
+    for (GroupTask& task : tasks) {
+      group_ids.insert(task.id);
+      group_written.insert(task.recorder->written().begin(),
+                           task.recorder->written().end());
+    }
+    std::set<int> considered;
+    for (const int v : order) {
+      if (group_ids.count(v) > 0 || !considered.insert(v).second) continue;
+      PropertyTool* vt = tools_[static_cast<size_t>(v)].get();
+      if (!vt->bound()) continue;
+      const AccessScope vs = resolve_scope(v);
+      if (!vs.known || AtomSetsOverlap(group_written, vs.reads)) {
+        vt->Unbind();
+        ASPECT_RETURN_NOT_OK(vt->Bind(db));
+      }
+    }
+
+    // Adopt the tasks' access records and file the reports in order.
+    for (GroupTask& task : tasks) {
+      monitor_->MergeFrom(std::move(*task.local_monitor));
+    }
+    for (size_t k = 0; k < tasks.size(); ++k) {
+      GroupTask& task = tasks[k];
+      PropertyTool* t = tools_[static_cast<size_t>(task.id)].get();
+      ToolReport step;
+      step.tool = t->name();
+      step.error_before = error_before[k];
       step.error_after = t->Error();
-      step.applied = ctx.applied();
-      step.vetoed = ctx.vetoed();
-      step.forced = ctx.forced();
-      ASPECT_LOG(Info) << "tweak " << step.tool << ": "
+      step.applied = task.applied;
+      step.vetoed = task.vetoed;
+      step.forced = task.forced;
+      step.seconds = task.seconds;
+      step.parallel = true;
+      ASPECT_LOG(Info) << "tweak " << step.tool << " (parallel): "
                        << step.error_before << " -> " << step.error_after;
       report.steps.push_back(std::move(step));
-      if (std::find(enforced.begin(), enforced.end(), id) ==
+      if (std::find(enforced.begin(), enforced.end(), task.id) ==
           enforced.end()) {
-        enforced.push_back(id);
+        enforced.push_back(task.id);
       }
+    }
+    return Status::OK();
+  };
+
+  const bool try_parallel = options.parallel_pass &&
+                            !options.rollback_on_regression &&
+                            order.size() > 1;
+  for (int iter = 0; iter < options.iterations; ++iter) {
+    children.clear();
+    children.reserve(order.size());
+    for (size_t i = 0; i < order.size(); ++i) children.push_back(rng.Fork());
+
+    size_t pos = 0;
+    while (pos < order.size()) {
+      if (!try_parallel) {
+        ASPECT_RETURN_NOT_OK(serial_step(pos, &children[pos]));
+        ++pos;
+        continue;
+      }
+      // Collect the maximal run of consecutive parallel-eligible
+      // positions starting here; anything shorter than two runs serial.
+      std::vector<AccessScope> window;
+      size_t end = pos;
+      while (end < order.size()) {
+        AccessScope s;
+        if (!parallel_eligible(end, &s)) break;
+        window.push_back(std::move(s));
+        ++end;
+      }
+      if (end - pos < 2) {
+        ASPECT_RETURN_NOT_OK(serial_step(pos, &children[pos]));
+        ++pos;
+        continue;
+      }
+      // Partition the window by scope conflicts (O1): positions in one
+      // independence class are pairwise non-conflicting. The group is
+      // the maximal consecutive prefix sharing the first position's
+      // class — consecutiveness means no conflicting tool was
+      // scheduled between the members, so running them concurrently is
+      // exactly the commutation O1 licenses.
+      const size_t wn = end - pos;
+      std::vector<std::vector<bool>> adj(wn, std::vector<bool>(wn, false));
+      for (size_t a = 0; a < wn; ++a) {
+        for (size_t b = a + 1; b < wn; ++b) {
+          const bool c = ScopesConflict(window[a], window[b]);
+          adj[a][b] = c;
+          adj[b][a] = c;
+        }
+      }
+      const std::vector<std::vector<int>> classes = IndependentClasses(adj);
+      std::vector<int> class_of(wn, 0);
+      for (size_t k = 0; k < classes.size(); ++k) {
+        for (const int v : classes[k]) {
+          class_of[static_cast<size_t>(v)] = static_cast<int>(k);
+        }
+      }
+      std::vector<size_t> members = {pos};
+      std::vector<AccessScope> mscopes = {window[0]};
+      for (size_t j = 1; j < wn; ++j) {
+        if (class_of[j] != class_of[0]) break;
+        // The same tool twice in one group would race with itself.
+        bool duplicate = false;
+        for (const size_t m : members) {
+          if (order[m] == order[pos + j]) {
+            duplicate = true;
+            break;
+          }
+        }
+        if (duplicate) break;
+        members.push_back(pos + j);
+        mscopes.push_back(window[j]);
+      }
+      if (members.size() < 2) {
+        ASPECT_RETURN_NOT_OK(serial_step(pos, &children[pos]));
+        ++pos;
+        continue;
+      }
+      ASPECT_RETURN_NOT_OK(run_group(members, mscopes));
+      pos = members.back() + 1;
     }
     if (options.converge_epsilon > 0) {
       double total = 0;

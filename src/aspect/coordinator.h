@@ -57,6 +57,25 @@ struct CoordinatorOptions {
   bool repair_targets = true;
   /// RNG seed for all tweaking randomness.
   uint64_t seed = 1;
+  /// Run each pass O1-parallel: consecutive order positions whose
+  /// access scopes (declared by the tool, else observed by the
+  /// AccessMonitor) provably cannot disturb each other — and whose
+  /// enforced validators' votes are provably zero — are tweaked
+  /// concurrently on database clones, with the written columns merged
+  /// back afterwards. Falls back to serial steps when scopes are
+  /// unknown (first pass of undeclared tools), scopes overlap, or
+  /// rollback_on_regression is on. For a fixed seed the results are
+  /// identical for every thread count; see DESIGN.md for the
+  /// determinism argument.
+  bool parallel_pass = false;
+  /// Worker threads for parallel_pass groups: 0 = one per hardware
+  /// thread, 1 = run the same grouped schedule on the calling thread.
+  int pass_threads = 0;
+  /// Batch-size hint handed to tools via TweakContext::batch_hint():
+  /// how many modifications to group per proposal. 1 (the default)
+  /// keeps the historical one-modification-at-a-time pipeline
+  /// bit-identical.
+  int batch_size = 1;
 };
 
 /// Per-tool outcome of one coordinator run.
@@ -76,6 +95,8 @@ struct ToolReport {
   int64_t rollback_mods = 0;
   /// True if the step regressed and was rolled back.
   bool rolled_back = false;
+  /// True if the step ran inside an O1-parallel group (parallel_pass).
+  bool parallel = false;
 };
 
 struct RunReport {

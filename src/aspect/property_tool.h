@@ -16,8 +16,10 @@
 
 #include <iosfwd>
 #include <memory>
+#include <span>
 #include <string>
 
+#include "aspect/access_scope.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -77,6 +79,19 @@ class PropertyTool : public ModificationListener {
   virtual void Unbind() = 0;
   virtual bool bound() const = 0;
 
+  /// Moves a bound tool onto `db` WITHOUT rescanning, assuming `db`'s
+  /// content is identical, tuple id for tuple id, to the currently
+  /// bound database for every table in the tool's access set. The
+  /// default rebuilds from scratch (Unbind + Bind); tools whose bound
+  /// state is keyed only by stable tuple ids can override with a
+  /// listener re-registration and pointer swap. The O1-parallel pass
+  /// uses this to hand tools between the main database and content-
+  /// identical task clones without paying two full rescans per pass.
+  virtual Status Rebase(Database* db) {
+    Unbind();
+    return Bind(db);
+  }
+
   // --- Property Evaluator -----------------------------------------------
   /// Error of the bound database's property against the target, using
   /// the paper's measure for this property (Sec. VI-C). Requires bound.
@@ -87,6 +102,26 @@ class PropertyTool : public ModificationListener {
   /// > 0 means the tool votes against. The default coordinator policy
   /// rejects any positive penalty (Sec. III-C voting).
   virtual double ValidationPenalty(const Modification& mod) const = 0;
+
+  /// Vote on a whole batch as one composite proposal: the penalty the
+  /// property incurs if ALL of `mods` are applied. The default sums
+  /// the single-modification penalties, which matches the composite
+  /// semantics whenever the modifications touch disjoint statistics;
+  /// tools whose penalty is non-additive override this with an exact
+  /// cumulative simulation. Used by TweakContext::TryApplyBatch.
+  virtual double ValidationPenaltyBatch(
+      std::span<const Modification> mods) const {
+    double total = 0;
+    for (const Modification& m : mods) total += ValidationPenalty(m);
+    return total;
+  }
+
+  /// The (table, column) atoms this tool's Tweak may read and write,
+  /// derived from its configured schema. Used by the O1-parallel pass
+  /// to prove two tools independent before running them concurrently.
+  /// The default is an unknown scope, which keeps the tool on the
+  /// serial path until the AccessMonitor has observed it (O2).
+  virtual AccessScope DeclaredScope() const { return AccessScope(); }
 
   // --- Tweaking Algorithm -----------------------------------------------
   /// Tweaks the bound database toward the target, proposing every

@@ -54,4 +54,56 @@ Status TweakContext::ForceApply(const Modification& mod,
   return Apply(mod, new_tuple);
 }
 
+Status TweakContext::ApplyBatch(std::span<const Modification> mods,
+                                std::vector<TupleId>* new_tuples) {
+  std::vector<TupleId> inserted;
+  ASPECT_RETURN_NOT_OK(db_->ApplyBatch(mods, &inserted));
+  applied_ += static_cast<int64_t>(mods.size());
+  if (monitor_ != nullptr) {
+    for (size_t i = 0; i < mods.size(); ++i) {
+      const Modification& mod = mods[i];
+      const int table_index = db_->schema().TableIndex(mod.table);
+      if (mod.kind == OpKind::kInsertTuple) {
+        Modification with_id = mod;
+        with_id.tuples = {inserted[i]};
+        monitor_->Record(tool_id_, table_index, with_id);
+      } else {
+        monitor_->Record(tool_id_, table_index, mod);
+      }
+    }
+  }
+  if (new_tuples != nullptr) *new_tuples = std::move(inserted);
+  return Status::OK();
+}
+
+Status TweakContext::TryApplyBatch(std::span<const Modification> mods,
+                                   std::vector<TupleId>* new_tuples) {
+  if (mods.empty()) {
+    if (new_tuples != nullptr) new_tuples->clear();
+    return Status::OK();
+  }
+  for (PropertyTool* v : validators_) {
+    if (v->ValidationPenaltyBatch(mods) > 0) {
+      ++vetoed_;
+      return Status::ValidationFailed("batch vetoed by " + v->name());
+    }
+  }
+  return ApplyBatch(mods, new_tuples);
+}
+
+Status TweakContext::ForceApplyBatch(std::span<const Modification> mods,
+                                     std::vector<TupleId>* new_tuples) {
+  if (mods.empty()) {
+    if (new_tuples != nullptr) new_tuples->clear();
+    return Status::OK();
+  }
+  for (PropertyTool* v : validators_) {
+    if (v->ValidationPenaltyBatch(mods) > 0) {
+      ++forced_;
+      break;
+    }
+  }
+  return ApplyBatch(mods, new_tuples);
+}
+
 }  // namespace aspect

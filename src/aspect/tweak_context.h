@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/rng.h"
@@ -40,6 +41,30 @@ class TweakContext {
   /// Applies `mod` regardless of votes (accepted error increase).
   Status ForceApply(const Modification& mod, TupleId* new_tuple = nullptr);
 
+  /// Puts the whole batch to the vote as ONE composite proposal
+  /// (PropertyTool::ValidationPenaltyBatch): if any validator's batch
+  /// penalty is positive, nothing is applied, vetoed() grows by one,
+  /// and ValidationFailed is returned. Otherwise all modifications are
+  /// applied atomically (Database::ApplyBatch) with a single listener
+  /// notification. Caller contract: no two modifications in the batch
+  /// may touch the same tuple (see DESIGN.md). `new_tuples`, when
+  /// non-null, receives one id per modification (kInvalidTuple for
+  /// non-inserts).
+  Status TryApplyBatch(std::span<const Modification> mods,
+                       std::vector<TupleId>* new_tuples = nullptr);
+
+  /// Applies the batch regardless of votes (counts forced() once if
+  /// any validator objected).
+  Status ForceApplyBatch(std::span<const Modification> mods,
+                         std::vector<TupleId>* new_tuples = nullptr);
+
+  /// Batch-size hint from CoordinatorOptions.batch_size: how many
+  /// modifications a tool should try to group per proposal. 1 (the
+  /// default) means the tool should use the single-modification path,
+  /// keeping pre-batching behaviour bit-identical.
+  int batch_hint() const { return batch_hint_; }
+  void set_batch_hint(int hint) { batch_hint_ = hint < 1 ? 1 : hint; }
+
   /// Number of proposals rejected by validators so far.
   int64_t vetoed() const { return vetoed_; }
   /// Number of modifications applied bypassing a veto.
@@ -49,12 +74,15 @@ class TweakContext {
 
  private:
   Status Apply(const Modification& mod, TupleId* new_tuple);
+  Status ApplyBatch(std::span<const Modification> mods,
+                    std::vector<TupleId>* new_tuples);
 
   Database* db_;
   std::vector<PropertyTool*> validators_;
   Rng* rng_;
   AccessMonitor* monitor_;
   int tool_id_;
+  int batch_hint_ = 1;
   int64_t vetoed_ = 0;
   int64_t forced_ = 0;
   int64_t applied_ = 0;

@@ -148,6 +148,9 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   opts.iterations = config.iterations;
   opts.validate = config.validate;
   opts.seed = config.seed + 1;
+  opts.parallel_pass = config.parallel_pass;
+  opts.pass_threads = config.pass_threads;
+  opts.batch_size = config.batch_size;
   ASPECT_ASSIGN_OR_RETURN(result.report,
                           coordinator.Run(scaled.get(), order, opts));
   for (const ToolReport& step : result.report.steps) {

@@ -35,6 +35,13 @@ struct ExperimentConfig {
   bool tweak = true;
   /// Also evaluate the dataset's Q1-Q4 query errors.
   bool run_queries = false;
+  /// Run access-disjoint tools of each pass concurrently (observation
+  /// O1); deterministic for a fixed seed regardless of thread count.
+  bool parallel_pass = false;
+  /// Worker threads for the parallel pass (0 = hardware concurrency).
+  int pass_threads = 0;
+  /// Preferred modifications per batched proposal (1 = no batching).
+  int batch_size = 1;
 };
 
 /// The three property errors of Sec. VI-C1.

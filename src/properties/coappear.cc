@@ -369,6 +369,43 @@ double CoappearPropertyTool::ValidationPenalty(
   if (db_ == nullptr) return 0.0;
   const std::vector<Transition> ts =
       CollectTransitions(mod, kInvalidTuple, /*pre_apply=*/true);
+  return PenaltyOfTransitions(ts);
+}
+
+double CoappearPropertyTool::ValidationPenaltyBatch(
+    std::span<const Modification> mods) const {
+  if (db_ == nullptr) return 0.0;
+  std::vector<Transition> ts;
+  for (const Modification& mod : mods) {
+    std::vector<Transition> one =
+        CollectTransitions(mod, kInvalidTuple, /*pre_apply=*/true);
+    ts.insert(ts.end(), std::make_move_iterator(one.begin()),
+              std::make_move_iterator(one.end()));
+  }
+  return PenaltyOfTransitions(ts);
+}
+
+AccessScope CoappearPropertyTool::DeclaredScope() const {
+  AccessScope scope;
+  scope.known = true;
+  for (const CoappearGroup& grp : groups_) {
+    for (const int m : grp.member_tables) {
+      scope.AddWrite(m, AccessScope::kWholeTable);
+      const auto iit = inbound_.find(m);
+      if (iit == inbound_.end()) continue;
+      for (const FkEdge& e : iit->second) {
+        scope.AddWrite(e.child_table, e.fk_col);
+      }
+    }
+    for (const int p : grp.parent_tables) {
+      scope.AddRead(p, AccessScope::kWholeTable);
+    }
+  }
+  return scope;
+}
+
+double CoappearPropertyTool::PenaltyOfTransitions(
+    const std::vector<Transition>& ts) const {
   if (ts.empty()) return 0.0;
   // Per group, per vector: delta of xi caused by the transitions.
   std::map<std::pair<int, Key>, int64_t> xi_delta;
@@ -591,7 +628,34 @@ bool CoappearPropertyTool::ConvertOne(TweakContext* ctx, int g,
     const int64_t have = from[mi];
     const int64_t want = to[mi];
     const Table& table = db_->table(grp.member_tables[mi]);
-    for (int64_t d = have; d > want; --d) {
+    const int table_index = grp.member_tables[mi];
+    int64_t d = have;
+    while (d > want) {
+      // Batched deletion: propose all unreferenced victims of this
+      // combo as one span (one composite vote, one log segment);
+      // fall back to the per-victim escalation path on veto.
+      if (ctx->batch_hint() > 1 && d - want > 1) {
+        const auto lit = st.tuples_by_combo[mi].find(b);
+        if (lit == st.tuples_by_combo[mi].end() || lit->second.empty()) {
+          return false;  // statistics drifted; caller re-evaluates
+        }
+        const auto& list = lit->second;
+        const size_t cap = static_cast<size_t>(
+            std::min<int64_t>(d - want, ctx->batch_hint()));
+        std::vector<Modification> batch;
+        const size_t boff = static_cast<size_t>(ctx->rng()->UniformInt(
+            0, static_cast<int64_t>(list.size()) - 1));
+        for (size_t j = 0; j < list.size() && batch.size() < cap; ++j) {
+          const TupleId cand = list[(boff + j) % list.size()];
+          if (refcount_->Unreferenced(table_index, cand)) {
+            batch.push_back(Modification::DeleteTuple(table.name(), cand));
+          }
+        }
+        if (batch.size() > 1 && ctx->TryApplyBatch(batch).ok()) {
+          d -= static_cast<int64_t>(batch.size());
+          continue;
+        }
+      }
       // Delete one tuple carrying combo b, trying alternatives on veto.
       bool deleted = false;
       while (!deleted) {
@@ -600,7 +664,6 @@ bool CoappearPropertyTool::ConvertOne(TweakContext* ctx, int g,
           return false;  // statistics drifted; caller re-evaluates
         }
         const auto& list = lit->second;
-        const int table_index = grp.member_tables[mi];
         // Prefer an unreferenced victim; otherwise evacuate one.
         TupleId victim = kInvalidTuple;
         const size_t offset = static_cast<size_t>(
@@ -621,37 +684,55 @@ bool CoappearPropertyTool::ConvertOne(TweakContext* ctx, int g,
             &veto_budget);
         deleted = s.ok();
       }
+      --d;
     }
-    for (int64_t d = have; d < want; ++d) {
-      // Insert one tuple with FK values b; non-FK attributes are
-      // copied from a random live template tuple.
-      std::vector<Value> row(static_cast<size_t>(table.num_columns()));
-      TupleId tmpl = kInvalidTuple;
-      if (table.NumTuples() > 0) {
-        for (int tries = 0; tries < 32 && tmpl == kInvalidTuple; ++tries) {
-          const TupleId cand =
-              ctx->rng()->UniformInt(0, table.NumSlots() - 1);
-          if (table.IsLive(cand)) tmpl = cand;
+    while (d < want) {
+      // Insert tuples with FK values b; non-FK attributes are copied
+      // from a random live template tuple. With a batch hint the
+      // missing tuples are proposed as one span (one composite vote,
+      // one columnar append), degrading to per-tuple force on veto.
+      const int64_t pending =
+          ctx->batch_hint() > 1
+              ? std::min<int64_t>(want - d, ctx->batch_hint())
+              : 1;
+      std::vector<Modification> batch;
+      for (int64_t j = 0; j < pending; ++j) {
+        std::vector<Value> row(static_cast<size_t>(table.num_columns()));
+        TupleId tmpl = kInvalidTuple;
+        if (table.NumTuples() > 0) {
+          for (int tries = 0; tries < 32 && tmpl == kInvalidTuple;
+               ++tries) {
+            const TupleId cand =
+                ctx->rng()->UniformInt(0, table.NumSlots() - 1);
+            if (table.IsLive(cand)) tmpl = cand;
+          }
         }
-      }
-      for (int c = 0; c < table.num_columns(); ++c) {
-        if (tmpl != kInvalidTuple) {
-          row[static_cast<size_t>(c)] = table.column(c).Get(tmpl);
-        } else if (table.column(c).type() == ColumnType::kString) {
-          row[static_cast<size_t>(c)] = Value(std::string());
-        } else if (table.column(c).type() == ColumnType::kDouble) {
-          row[static_cast<size_t>(c)] = Value(0.0);
-        } else {
-          row[static_cast<size_t>(c)] = Value(int64_t{0});
+        for (int c = 0; c < table.num_columns(); ++c) {
+          if (tmpl != kInvalidTuple) {
+            row[static_cast<size_t>(c)] = table.column(c).Get(tmpl);
+          } else if (table.column(c).type() == ColumnType::kString) {
+            row[static_cast<size_t>(c)] = Value(std::string());
+          } else if (table.column(c).type() == ColumnType::kDouble) {
+            row[static_cast<size_t>(c)] = Value(0.0);
+          } else {
+            row[static_cast<size_t>(c)] = Value(int64_t{0});
+          }
         }
+        for (size_t p = 0; p < grp.member_fk_cols[mi].size(); ++p) {
+          row[static_cast<size_t>(grp.member_fk_cols[mi][p])] = Value(b[p]);
+        }
+        batch.push_back(Modification::InsertTuple(table.name(), row));
       }
-      for (size_t p = 0; p < grp.member_fk_cols[mi].size(); ++p) {
-        row[static_cast<size_t>(grp.member_fk_cols[mi][p])] = Value(b[p]);
+      if (batch.size() > 1 && ctx->TryApplyBatch(batch).ok()) {
+        d += static_cast<int64_t>(batch.size());
+        continue;
       }
-      Modification mod = Modification::InsertTuple(table.name(), row);
-      Status s = ctx->TryApply(mod);
-      if (s.IsValidationFailed()) s = ctx->ForceApply(mod);
-      if (!s.ok()) return false;
+      for (const Modification& mod : batch) {
+        Status s = ctx->TryApply(mod);
+        if (s.IsValidationFailed()) s = ctx->ForceApply(mod);
+        if (!s.ok()) return false;
+      }
+      d += static_cast<int64_t>(batch.size());
     }
   }
   return true;
@@ -682,6 +763,18 @@ bool CoappearPropertyTool::EvacuateReferences(TweakContext* ctx,
     child.ForEachLive([&](TupleId t) {
       if (col.IsValue(t) && col.GetInt(t) == victim) referrers.push_back(t);
     });
+    if (referrers.empty()) continue;
+    if (ctx->batch_hint() > 1 && referrers.size() > 1) {
+      // One broadcast modification re-points every referrer at once
+      // (columnar write, one vote, one notification).
+      Modification mod = Modification::ReplaceValues(
+          child.name(), referrers, {e.fk_col},
+          {Value(static_cast<int64_t>(survivor))});
+      Status st = ctx->TryApply(mod);
+      if (st.IsValidationFailed()) st = ctx->ForceApply(mod);
+      if (!st.ok()) return false;
+      continue;
+    }
     for (const TupleId r : referrers) {
       Modification mod = Modification::ReplaceValues(
           child.name(), {r}, {e.fk_col},

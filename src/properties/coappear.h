@@ -52,6 +52,17 @@ class CoappearPropertyTool : public PropertyTool {
 
   double Error() const override;
   double ValidationPenalty(const Modification& mod) const override;
+  /// Exact composite vote: transitions of all modifications are
+  /// simulated against one shared overlay, so several tuples of the
+  /// batch moving onto (or off) the same combo are priced jointly.
+  /// Assumes disjoint tuples (the ApplyBatch caller contract).
+  double ValidationPenaltyBatch(
+      std::span<const Modification> mods) const override;
+  /// Whole-table row structure of member tables (inserts/deletes copy
+  /// entire template rows), whole-table reads of parent tables (combo
+  /// sampling and the implicit-zero space), and the FK columns of
+  /// tables referencing a member (reference evacuation).
+  AccessScope DeclaredScope() const override;
   Status Tweak(TweakContext* ctx) override;
 
   void OnApplied(const Modification& mod,
@@ -95,6 +106,9 @@ class CoappearPropertyTool : public PropertyTool {
                                              TupleId new_tuple,
                                              bool pre_apply) const;
   void ApplyTransitions(const std::vector<Transition>& ts);
+  /// Simulated error change of applying `ts` (shared across the single
+  /// and batch validation paths).
+  double PenaltyOfTransitions(const std::vector<Transition>& ts) const;
 
   /// Reads the combo of a member tuple from the database (empty key if
   /// any FK cell is not a value). With `overlay`, the given columns

@@ -362,6 +362,52 @@ double LinearPropertyTool::ValidationPenalty(const Modification& mod) const {
   return (after - before) / static_cast<double>(chains_.size());
 }
 
+double LinearPropertyTool::ValidationPenaltyBatch(
+    std::span<const Modification> mods) const {
+  if (db_ == nullptr) return 0.0;
+  std::vector<EdgeChange> changes;
+  for (const Modification& mod : mods) {
+    std::vector<EdgeChange> one =
+        CollectEdgeChanges(mod, nullptr, kInvalidTuple);
+    changes.insert(changes.end(), one.begin(), one.end());
+  }
+  if (changes.empty()) return 0.0;
+  std::vector<int> affected;
+  for (const EdgeChange& c : changes) affected.push_back(c.chain);
+  std::sort(affected.begin(), affected.end());
+  affected.erase(std::unique(affected.begin(), affected.end()),
+                 affected.end());
+  double before = 0;
+  for (const int ci : affected) {
+    before += stats_[static_cast<size_t>(ci)].matrix().ErrorAgainst(
+        targets_[static_cast<size_t>(ci)]);
+  }
+  auto* self = const_cast<LinearPropertyTool*>(this);
+  self->ApplyEdgeChanges(changes);
+  double after = 0;
+  for (const int ci : affected) {
+    after += stats_[static_cast<size_t>(ci)].matrix().ErrorAgainst(
+        targets_[static_cast<size_t>(ci)]);
+  }
+  self->RevertEdgeChanges(changes);
+  return (after - before) / static_cast<double>(chains_.size());
+}
+
+AccessScope LinearPropertyTool::DeclaredScope() const {
+  AccessScope scope;
+  scope.known = true;
+  for (const ReferenceChain& c : chains_) {
+    // Reach counts depend on which root tuples are live, and row
+    // inserts/deletes record whole-table writes, so a whole-table read
+    // on the root is what makes them conflict here.
+    scope.AddRead(c.tables[0], AccessScope::kWholeTable);
+    for (size_t l = 1; l < c.tables.size(); ++l) {
+      scope.AddWrite(c.tables[l], c.fk_cols[l - 1]);
+    }
+  }
+  return scope;
+}
+
 std::vector<LinearPropertyTool::ChainDelta>
 LinearPropertyTool::EvaluateEdgeMove(int table, int col, TupleId child,
                                      TupleId new_parent) const {
@@ -381,6 +427,49 @@ LinearPropertyTool::EvaluateEdgeMove(int table, int col, TupleId child,
     // Revert.
     s.Detach(level, child);
     if (old_parent != kInvalidTuple) s.Attach(level, child, old_parent);
+    ChainDelta d;
+    d.chain = chain;
+    const int k = before.k();
+    for (int j = 1; j < k; ++j) {
+      for (int i = 0; i < j; ++i) {
+        const int64_t delta = after.at(j, i) - before.at(j, i);
+        if (delta != 0) d.entries.emplace_back(j, i, delta);
+      }
+    }
+    if (!d.entries.empty()) out.push_back(std::move(d));
+  }
+  return out;
+}
+
+std::vector<LinearPropertyTool::ChainDelta>
+LinearPropertyTool::EvaluateGroupMove(int table, int col,
+                                      const std::vector<TupleId>& children,
+                                      TupleId new_parent) const {
+  std::vector<ChainDelta> out;
+  const auto it = edges_.find({table, col});
+  if (it == edges_.end()) return out;
+  auto* self = const_cast<LinearPropertyTool*>(this);
+  for (const auto& [chain, level] : it->second) {
+    ChainStats& s = self->stats_[static_cast<size_t>(chain)];
+    const JoinMatrix before = s.matrix();
+    // Apply every move, remembering old parents for the revert; moves
+    // that are no-ops on this chain are skipped.
+    std::vector<std::pair<TupleId, TupleId>> applied;  // (child, old)
+    for (const TupleId child : children) {
+      const TupleId old_parent = s.Parent(level, child);
+      if (old_parent == new_parent) continue;
+      if (old_parent != kInvalidTuple) s.Detach(level, child);
+      s.EnsureSlotCount(level - 1, new_parent + 1);
+      s.Attach(level, child, new_parent);
+      applied.emplace_back(child, old_parent);
+    }
+    const JoinMatrix after = s.matrix();
+    for (auto rit = applied.rbegin(); rit != applied.rend(); ++rit) {
+      s.Detach(level, rit->first);
+      if (rit->second != kInvalidTuple) {
+        s.Attach(level, rit->first, rit->second);
+      }
+    }
     ChainDelta d;
     d.chain = chain;
     const int k = before.k();
@@ -493,37 +582,102 @@ bool LinearPropertyTool::ReduceOnce(TweakContext* ctx, int ci, int J, int i,
   const int table = chain.tables[static_cast<size_t>(J)];
   const int col = chain.fk_cols[static_cast<size_t>(J - 1)];
   int veto_budget = max_attempts_;
+
+  auto find_dest = [&](int attempt, TupleId q) {
+    TupleId dest = kInvalidTuple;
+    if (attempt % 2 == 0) {
+      const TupleId anchor = FindTuple(ctx, ci, J, [&](TupleId cand) {
+        if (cand == q) return false;
+        const TupleId anc = s.AncestorAt(J, cand, i);
+        return anc != kInvalidTuple && anc != x;
+      });
+      if (anchor != kInvalidTuple) dest = s.Parent(J, anchor);
+    } else {
+      dest = FindTuple(ctx, ci, J - 1, [&](TupleId cand) {
+        const TupleId anc = s.AncestorAt(J - 1, cand, i);
+        return anc != kInvalidTuple && anc != x;
+      });
+    }
+    return dest;
+  };
+  // The move must not damage protected entries nor push the entry being
+  // reduced upward.
+  auto move_ok = [&](const std::vector<ChainDelta>& deltas) {
+    if (MoveDamagesProtected(deltas, ci, protected_upto, J, i)) {
+      return false;
+    }
+    for (const ChainDelta& d : deltas) {
+      if (d.chain != ci) continue;
+      for (const auto& [dj, di, delta] : d.entries) {
+        if (dj == J && di == i && delta > 0) return false;
+      }
+    }
+    return true;
+  };
+
+  if (ctx->batch_hint() > 1) {
+    // Grouped Leaf Tuple Attaching: pluck a run of leaves onto one
+    // destination with a single multi-tuple modification (columnar
+    // apply, one validator vote, one notification). The combined move
+    // is re-simulated exactly at every extension, so the group obeys
+    // the same damage rules as its serial equivalent.
+    const size_t hint = static_cast<size_t>(ctx->batch_hint());
+    size_t qi = 0;
+    while (qi < q_set.size()) {
+      const TupleId q = q_set[qi];
+      bool moved = false;
+      size_t consumed = 1;
+      for (int attempt = 0; attempt < 64 && !moved; ++attempt) {
+        const TupleId dest = find_dest(attempt, q);
+        if (dest == kInvalidTuple || dest == s.Parent(J, q)) continue;
+        std::vector<TupleId> group = {q};
+        if (!move_ok(EvaluateGroupMove(table, col, group, dest))) {
+          continue;
+        }
+        while (group.size() < hint && qi + group.size() < q_set.size()) {
+          const TupleId qn = q_set[qi + group.size()];
+          if (dest == s.Parent(J, qn)) break;
+          group.push_back(qn);
+          if (!move_ok(EvaluateGroupMove(table, col, group, dest))) {
+            group.pop_back();
+            break;
+          }
+        }
+        const Modification mod = Modification::ReplaceValues(
+            db_->table(table).name(), group, {col},
+            {Value(static_cast<int64_t>(dest))});
+        Status st = ctx->TryApply(mod);
+        if (st.IsValidationFailed() && group.size() > 1) {
+          // The grouped proposal was vetoed; retry the leading leaf
+          // alone through the serial escalation path.
+          st = ProposeMove(ctx, ci, J, q, dest, &veto_budget);
+          if (st.ok()) moved = true;
+          continue;
+        }
+        if (st.IsValidationFailed()) {
+          if (veto_budget > 0) {
+            --veto_budget;
+            continue;
+          }
+          st = ctx->ForceApply(mod);
+        }
+        if (st.ok()) {
+          moved = true;
+          consumed = group.size();
+        }
+      }
+      if (!moved) return false;
+      qi += consumed;
+    }
+    return true;
+  }
+
   for (const TupleId q : q_set) {
     bool moved = false;
     for (int attempt = 0; attempt < 64 && !moved; ++attempt) {
-      TupleId dest = kInvalidTuple;
-      if (attempt % 2 == 0) {
-        const TupleId anchor = FindTuple(ctx, ci, J, [&](TupleId cand) {
-          if (cand == q) return false;
-          const TupleId anc = s.AncestorAt(J, cand, i);
-          return anc != kInvalidTuple && anc != x;
-        });
-        if (anchor != kInvalidTuple) dest = s.Parent(J, anchor);
-      } else {
-        dest = FindTuple(ctx, ci, J - 1, [&](TupleId cand) {
-          const TupleId anc = s.AncestorAt(J - 1, cand, i);
-          return anc != kInvalidTuple && anc != x;
-        });
-      }
+      const TupleId dest = find_dest(attempt, q);
       if (dest == kInvalidTuple || dest == s.Parent(J, q)) continue;
-      const auto deltas = EvaluateEdgeMove(table, col, q, dest);
-      if (MoveDamagesProtected(deltas, ci, protected_upto, J, i)) {
-        continue;
-      }
-      // Never move the entry being reduced upward.
-      bool counterproductive = false;
-      for (const ChainDelta& d : deltas) {
-        if (d.chain != ci) continue;
-        for (const auto& [dj, di, delta] : d.entries) {
-          counterproductive |= dj == J && di == i && delta > 0;
-        }
-      }
-      if (counterproductive) continue;
+      if (!move_ok(EvaluateEdgeMove(table, col, q, dest))) continue;
       const Status st = ProposeMove(ctx, ci, J, q, dest, &veto_budget);
       if (st.ok()) moved = true;
     }

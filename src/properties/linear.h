@@ -49,6 +49,17 @@ class LinearPropertyTool : public PropertyTool {
 
   double Error() const override;
   double ValidationPenalty(const Modification& mod) const override;
+  /// Exact composite vote: all edge changes of the batch are applied to
+  /// the chain stats together before measuring, so moves that only
+  /// cancel out jointly are priced as a unit (the default per-mod sum
+  /// would veto them). Assumes the batch's tuples are disjoint (the
+  /// ApplyBatch caller contract), so pre-apply old parents are current.
+  double ValidationPenaltyBatch(
+      std::span<const Modification> mods) const override;
+  /// Writes the FK columns of every chain edge; reads the same columns
+  /// plus the root tables' row structure (reach counts depend on which
+  /// root tuples exist).
+  AccessScope DeclaredScope() const override;
   Status Tweak(TweakContext* ctx) override;
 
   // Statistics Updater.
@@ -99,6 +110,13 @@ class LinearPropertyTool : public PropertyTool {
   std::vector<ChainDelta> EvaluateEdgeMove(int table, int col,
                                            TupleId child,
                                            TupleId new_parent) const;
+
+  /// Combined per-chain deltas of re-parenting every child in
+  /// `children` (distinct tuples) to the same `new_parent` - the exact
+  /// evaluation behind grouped leaf attaching (batch_hint > 1).
+  std::vector<ChainDelta> EvaluateGroupMove(
+      int table, int col, const std::vector<TupleId>& children,
+      TupleId new_parent) const;
 
   /// True if the move damages any chain in `protected_upto` (chain
   /// index < protected_upto), or touches rows < row_limit / entries

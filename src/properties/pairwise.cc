@@ -214,7 +214,7 @@ PairwisePropertyTool::CollectNChanges(const Modification& mod,
             p >= static_cast<TupleId>(st.post_author.size())) {
           // A post appended after Bind: read from the database.
           const Table* post = db_->FindTable(spec.post_table);
-          if (p < 0 || p >= post->NumSlots() ||
+          if (post == nullptr || p < 0 || p >= post->NumSlots() ||
               !post->column(spec.author_col).IsValue(p)) {
             return kInvalidTuple;
           }
@@ -518,8 +518,9 @@ void PairwisePropertyTool::OnApplied(const Modification& mod,
 }
 
 int64_t PairwisePropertyTool::CurrentZeroPairs(int s) const {
-  const int64_t users =
-      db_->FindTable(schema_.user_table)->NumTuples();
+  const Table* t = db_->FindTable(schema_.user_table);
+  if (t == nullptr) return 0;  // user table dropped since the bind
+  const int64_t users = t->NumTuples();
   return users * (users - 1) - rho_[static_cast<size_t>(s)].TotalMass();
 }
 
@@ -530,8 +531,9 @@ int64_t PairwisePropertyTool::TargetZeroPairs(int s) const {
 }
 
 int64_t PairwisePropertyTool::CurrentZeroSelf(int s) const {
-  return db_->FindTable(schema_.user_table)->NumTuples() -
-         rho_self_[static_cast<size_t>(s)].TotalMass();
+  const Table* t = db_->FindTable(schema_.user_table);
+  if (t == nullptr) return 0;  // user table dropped since the bind
+  return t->NumTuples() - rho_self_[static_cast<size_t>(s)].TotalMass();
 }
 
 int64_t PairwisePropertyTool::TargetZeroSelf(int s) const {
@@ -567,8 +569,38 @@ double PairwisePropertyTool::Error() const {
 double PairwisePropertyTool::ValidationPenalty(
     const Modification& mod) const {
   if (db_ == nullptr) return 0.0;
-  const std::vector<NChange> changes =
-      CollectNChanges(mod, kInvalidTuple, /*pre_apply=*/true);
+  return PenaltyOfChanges(
+      CollectNChanges(mod, kInvalidTuple, /*pre_apply=*/true));
+}
+
+double PairwisePropertyTool::ValidationPenaltyBatch(
+    std::span<const Modification> mods) const {
+  if (db_ == nullptr) return 0.0;
+  std::vector<NChange> changes;
+  for (const Modification& mod : mods) {
+    const std::vector<NChange> one =
+        CollectNChanges(mod, kInvalidTuple, /*pre_apply=*/true);
+    changes.insert(changes.end(), one.begin(), one.end());
+  }
+  return PenaltyOfChanges(changes);
+}
+
+AccessScope PairwisePropertyTool::DeclaredScope() const {
+  AccessScope scope;
+  scope.known = true;
+  for (const ResponseSpec& spec : specs_) {
+    scope.AddWrite(schema_.TableIndex(spec.response_table),
+                   AccessScope::kWholeTable);
+    scope.AddWrite(schema_.TableIndex(spec.post_table),
+                   AccessScope::kWholeTable);
+  }
+  const int user = schema_.TableIndex(schema_.user_table);
+  if (user >= 0) scope.AddRead(user, AccessScope::kWholeTable);
+  return scope;
+}
+
+double PairwisePropertyTool::PenaltyOfChanges(
+    const std::vector<NChange>& changes) const {
   if (changes.empty()) return 0.0;
   // Simulate: n-values overlay, rho deltas.
   std::map<std::tuple<int, TupleId, TupleId>, int64_t> sim_n;
@@ -769,6 +801,7 @@ TupleId PairwisePropertyTool::EnsurePost(TweakContext* ctx, int s,
         0, static_cast<int64_t>(posts.size()) - 1))];
   }
   Table* post = db_->FindTable(spec.post_table);
+  if (post == nullptr) return kInvalidTuple;
   // Steal a post from a user with more than one (Theorem 5).
   for (int tries = 0; tries < 32; ++tries) {
     const TupleId cand = ctx->rng()->UniformInt(0, post->NumSlots() - 1);
@@ -805,13 +838,23 @@ TupleId PairwisePropertyTool::EnsurePost(TweakContext* ctx, int s,
     const std::vector<TupleId> rids =
         lit == st.responses_by_post.end() ? std::vector<TupleId>{}
                                           : lit->second;
-    for (const TupleId rid : rids) {
+    if (ctx->batch_hint() > 1 && rids.size() > 1) {
+      // One broadcast modification re-homes every response at once.
       Modification shift = Modification::ReplaceValues(
-          spec.response_table, {rid}, {spec.post_col},
+          spec.response_table, rids, {spec.post_col},
           {Value(static_cast<int64_t>(sibling))});
       Status sh = ctx->TryApply(shift);
       if (sh.IsValidationFailed()) sh = ctx->ForceApply(shift);
       if (!sh.ok()) return kInvalidTuple;
+    } else {
+      for (const TupleId rid : rids) {
+        Modification shift = Modification::ReplaceValues(
+            spec.response_table, {rid}, {spec.post_col},
+            {Value(static_cast<int64_t>(sibling))});
+        Status sh = ctx->TryApply(shift);
+        if (sh.IsValidationFailed()) sh = ctx->ForceApply(shift);
+        if (!sh.ok()) return kInvalidTuple;
+      }
     }
     // Re-author the now-empty post to v.
     Modification reauthor = Modification::ReplaceValues(
@@ -861,6 +904,24 @@ bool PairwisePropertyTool::AdjustResponses(TweakContext* ctx, int s,
     const auto lit = st.responses.find({u, v});
     if (lit == st.responses.end() || lit->second.empty()) return false;
     const auto& list = lit->second;
+    // Batched deletion: propose a span of victims as one composite
+    // vote; fall back to the per-victim escalation path on veto.
+    if (ctx->batch_hint() > 1 && delta < -1 && list.size() > 1) {
+      const size_t take = std::min<size_t>(
+          static_cast<size_t>(std::min<int64_t>(-delta, ctx->batch_hint())),
+          list.size());
+      const size_t boff = static_cast<size_t>(ctx->rng()->UniformInt(
+          0, static_cast<int64_t>(list.size()) - 1));
+      std::vector<Modification> batch;
+      for (size_t j = 0; j < take; ++j) {
+        batch.push_back(Modification::DeleteTuple(
+            spec.response_table, list[(boff + j) % list.size()]));
+      }
+      if (batch.size() > 1 && ctx->TryApplyBatch(batch).ok()) {
+        delta += static_cast<int64_t>(batch.size());
+        continue;
+      }
+    }
     const TupleId victim = list[static_cast<size_t>(ctx->rng()->UniformInt(
         0, static_cast<int64_t>(list.size()) - 1))];
     Modification del =
@@ -875,25 +936,52 @@ bool PairwisePropertyTool::AdjustResponses(TweakContext* ctx, int s,
   }
   while (delta > 0) {
     Table* resp = db_->FindTable(spec.response_table);
-    std::vector<Value> row(static_cast<size_t>(resp->num_columns()));
-    TupleId tmpl = kInvalidTuple;
-    for (int tries = 0; tries < 32 && tmpl == kInvalidTuple; ++tries) {
-      const TupleId cand = ctx->rng()->UniformInt(0, resp->NumSlots() - 1);
-      if (resp->IsLive(cand)) tmpl = cand;
-    }
-    for (int c = 0; c < resp->num_columns(); ++c) {
-      if (tmpl != kInvalidTuple) {
-        row[static_cast<size_t>(c)] = resp->column(c).Get(tmpl);
-      } else if (resp->column(c).type() == ColumnType::kString) {
-        row[static_cast<size_t>(c)] = Value(std::string());
-      } else if (resp->column(c).type() == ColumnType::kDouble) {
-        row[static_cast<size_t>(c)] = Value(0.0);
-      } else {
-        row[static_cast<size_t>(c)] = Value(int64_t{0});
+    if (resp == nullptr) return false;  // table dropped since the bind
+    auto make_row = [&]() {
+      std::vector<Value> row(static_cast<size_t>(resp->num_columns()));
+      TupleId tmpl = kInvalidTuple;
+      for (int tries = 0; tries < 32 && tmpl == kInvalidTuple; ++tries) {
+        const TupleId cand =
+            ctx->rng()->UniformInt(0, resp->NumSlots() - 1);
+        if (resp->IsLive(cand)) tmpl = cand;
+      }
+      for (int c = 0; c < resp->num_columns(); ++c) {
+        if (tmpl != kInvalidTuple) {
+          row[static_cast<size_t>(c)] = resp->column(c).Get(tmpl);
+        } else if (resp->column(c).type() == ColumnType::kString) {
+          row[static_cast<size_t>(c)] = Value(std::string());
+        } else if (resp->column(c).type() == ColumnType::kDouble) {
+          row[static_cast<size_t>(c)] = Value(0.0);
+        } else {
+          row[static_cast<size_t>(c)] = Value(int64_t{0});
+        }
+      }
+      row[static_cast<size_t>(spec.responder_col)] =
+          Value(static_cast<int64_t>(u));
+      return row;
+    };
+    // Batched insertion: every missing response proposed as one span
+    // (each under its own EnsurePost destination), degrading to the
+    // per-insert escalation below when the span is vetoed.
+    if (ctx->batch_hint() > 1 && delta > 1) {
+      const int64_t pending =
+          std::min<int64_t>(delta, ctx->batch_hint());
+      std::vector<Modification> batch;
+      for (int64_t j = 0; j < pending; ++j) {
+        const TupleId p = EnsurePost(ctx, s, v);
+        if (p == kInvalidTuple) return false;
+        std::vector<Value> row = make_row();
+        row[static_cast<size_t>(spec.post_col)] =
+            Value(static_cast<int64_t>(p));
+        batch.push_back(
+            Modification::InsertTuple(spec.response_table, row));
+      }
+      if (ctx->TryApplyBatch(batch).ok()) {
+        delta -= pending;
+        continue;
       }
     }
-    row[static_cast<size_t>(spec.responder_col)] =
-        Value(static_cast<int64_t>(u));
+    std::vector<Value> row = make_row();
     // Try several of v's posts before forcing: inserting under a
     // different post can satisfy the other tools' validators (e.g. the
     // linear tool cares which post gains its first response).

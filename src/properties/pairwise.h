@@ -48,6 +48,16 @@ class PairwisePropertyTool : public PropertyTool {
 
   double Error() const override;
   double ValidationPenalty(const Modification& mod) const override;
+  /// Exact composite vote: counted-response changes of all
+  /// modifications are simulated against one shared n-overlay, so a
+  /// batch whose tuples move the same ordered pair is priced jointly.
+  /// Assumes disjoint tuples (the ApplyBatch caller contract).
+  double ValidationPenaltyBatch(
+      std::span<const Modification> mods) const override;
+  /// Whole-table row structure of the response and post tables
+  /// (inserts, deletes, re-authoring) plus whole-table reads of the
+  /// user table (pair sampling and the implicit zero mass).
+  AccessScope DeclaredScope() const override;
   Status Tweak(TweakContext* ctx) override;
 
   void OnApplied(const Modification& mod,
@@ -106,6 +116,9 @@ class PairwisePropertyTool : public PropertyTool {
                                        TupleId new_tuple,
                                        bool pre_apply) const;
   void ApplyNChange(const NChange& c);
+  /// Simulated error change of applying `changes` (shared across the
+  /// single and batch validation paths).
+  double PenaltyOfChanges(const std::vector<NChange>& changes) const;
   /// Maintains the structural caches (authors, posts lists, response
   /// lists) for an applied modification.
   void ApplyStructural(const Modification& mod,

@@ -18,7 +18,19 @@ ColumnFreqTool::ColumnFreqTool(const Schema& schema, std::string table,
                               : std::move(tool_name)),
       table_(std::move(table)),
       column_(std::move(column)) {
-  (void)schema;
+  table_index_ = schema.TableIndex(table_);
+  if (table_index_ >= 0) {
+    col_index_ =
+        schema.tables[static_cast<size_t>(table_index_)].ColumnIndex(column_);
+  }
+}
+
+AccessScope ColumnFreqTool::DeclaredScope() const {
+  AccessScope scope;
+  if (table_index_ < 0 || col_index_ < 0) return scope;  // unknown
+  scope.known = true;
+  scope.AddWrite(table_index_, col_index_);
+  return scope;
 }
 
 FrequencyDistribution ColumnFreqTool::Extract(const Database& db) const {
@@ -125,6 +137,14 @@ void ColumnFreqTool::Unbind() {
   }
 }
 
+Status ColumnFreqTool::Rebase(Database* db) {
+  if (db_ == nullptr) return Bind(db);
+  db_->RemoveListener(this);
+  db_ = db;
+  db_->AddListener(this);
+  return Status::OK();
+}
+
 double ColumnFreqTool::Error() const {
   const int64_t n = std::max<int64_t>(1, target_.TotalMass());
   return static_cast<double>(current_.L1Distance(target_)) /
@@ -136,6 +156,7 @@ void ColumnFreqTool::OnApplied(const Modification& mod,
                                TupleId new_tuple) {
   if (db_ == nullptr || mod.table != table_) return;
   const Table* t = db_->FindTable(table_);
+  if (t == nullptr) return;  // table dropped since the bind
   const int col = t->ColumnIndex(column_);
   switch (mod.kind) {
     case OpKind::kDeleteValues:
@@ -171,6 +192,7 @@ void ColumnFreqTool::OnApplied(const Modification& mod,
 double ColumnFreqTool::ValidationPenalty(const Modification& mod) const {
   if (db_ == nullptr || mod.table != table_) return 0.0;
   const Table* t = db_->FindTable(table_);
+  if (t == nullptr) return 0.0;  // table dropped: nothing to defend
   const int col = t->ColumnIndex(column_);
   const int64_t n = std::max<int64_t>(1, target_.TotalMass());
   auto delta_for = [&](const Value& old_v, const Value& new_v) {
@@ -213,6 +235,73 @@ double ColumnFreqTool::ValidationPenalty(const Modification& mod) const {
   return penalty;
 }
 
+double ColumnFreqTool::ValidationPenaltyBatch(
+    std::span<const Modification> mods) const {
+  if (db_ == nullptr) return 0.0;
+  const Table* t = db_->FindTable(table_);
+  if (t == nullptr) return 0.0;
+  const int col = t->ColumnIndex(column_);
+  const int64_t n = std::max<int64_t>(1, target_.TotalMass());
+  // Cumulative overlay over current_: several modifications of one
+  // batch may move the same value's count, so each step is priced
+  // against the counts the earlier steps left behind. The per-step L1
+  // deltas telescope to the batch's total L1 change.
+  std::map<int64_t, int64_t> overlay;
+  const auto count = [&](int64_t v) {
+    const auto it = overlay.find(v);
+    return current_.Count({v}) + (it == overlay.end() ? 0 : it->second);
+  };
+  double penalty = 0;
+  const auto step = [&](const Value& old_v, const Value& new_v) {
+    if (!old_v.is_null()) {
+      const int64_t v = old_v.int64();
+      const int64_t cur = count(v);
+      const int64_t tgt = target_.Count({v});
+      penalty += static_cast<double>(std::llabs(cur - 1 - tgt) -
+                                     std::llabs(cur - tgt)) /
+                 static_cast<double>(n);
+      --overlay[v];
+    }
+    if (!new_v.is_null() && new_v != old_v) {
+      const int64_t v = new_v.int64();
+      const int64_t cur = count(v);
+      const int64_t tgt = target_.Count({v});
+      penalty += static_cast<double>(std::llabs(cur + 1 - tgt) -
+                                     std::llabs(cur - tgt)) /
+                 static_cast<double>(n);
+      ++overlay[v];
+    }
+  };
+  for (const Modification& mod : mods) {
+    if (mod.table != table_) continue;
+    switch (mod.kind) {
+      case OpKind::kDeleteValues:
+      case OpKind::kInsertValues:
+      case OpKind::kReplaceValues:
+        for (size_t cj = 0; cj < mod.cols.size(); ++cj) {
+          if (mod.cols[cj] != col) continue;
+          for (const TupleId tid : mod.tuples) {
+            // Batches touch disjoint tuples, so the stored cell is
+            // still this tuple's pre-batch value.
+            const Value old_v = t->column(col).Get(tid);
+            const Value new_v = mod.kind == OpKind::kDeleteValues
+                                    ? Value()
+                                    : mod.values[cj];
+            step(old_v, new_v);
+          }
+        }
+        break;
+      case OpKind::kInsertTuple:
+        step(Value(), mod.values[static_cast<size_t>(col)]);
+        break;
+      case OpKind::kDeleteTuple:
+        step(t->column(col).Get(mod.tuples[0]), Value());
+        break;
+    }
+  }
+  return penalty;
+}
+
 Status ColumnFreqTool::Tweak(TweakContext* ctx) {
   if (!bound()) return Status::Invalid("freq: Tweak needs Bind");
   Table* t = db_->FindTable(table_);
@@ -240,6 +329,50 @@ Status ColumnFreqTool::Tweak(TweakContext* ctx) {
   });
   auto pool_it = pool.begin();
   int veto_budget = max_attempts_;
+  if (ctx->batch_hint() > 1) {
+    // Batched pipeline: all victims destined for one deficit value
+    // receive the same new value, so up to batch_hint of them fit in a
+    // single broadcast ReplaceValues — one validator vote, one columnar
+    // write, one listener notification. A vetoed chunk falls back to
+    // the one-at-a-time policy below (burn the veto budget, then
+    // force), preserving the serial semantics per tuple.
+    const int64_t hint = ctx->batch_hint();
+    for (const auto& [value, amount] : deficits) {
+      int64_t remaining = amount;
+      while (remaining > 0) {
+        std::vector<TupleId> chunk;
+        const int64_t want = std::min<int64_t>(remaining, hint);
+        while (static_cast<int64_t>(chunk.size()) < want) {
+          while (pool_it != pool.end() && pool_it->second.empty()) {
+            ++pool_it;
+          }
+          if (pool_it == pool.end()) break;
+          chunk.push_back(pool_it->second.back());
+          pool_it->second.pop_back();
+        }
+        if (chunk.empty()) return Status::OK();
+        remaining -= static_cast<int64_t>(chunk.size());
+        Modification mod = Modification::ReplaceValues(
+            table_, chunk, {col}, {Value(value)});
+        Status st = ctx->TryApply(mod);
+        if (st.IsValidationFailed()) {
+          for (const TupleId victim : chunk) {
+            Modification one = Modification::ReplaceValues(
+                table_, {victim}, {col}, {Value(value)});
+            Status s1 = ctx->TryApply(one);
+            while (s1.IsValidationFailed() && veto_budget-- > 0) {
+              s1 = ctx->TryApply(one);
+            }
+            if (s1.IsValidationFailed()) s1 = ctx->ForceApply(one);
+            ASPECT_RETURN_NOT_OK(s1);
+          }
+          continue;
+        }
+        ASPECT_RETURN_NOT_OK(st);
+      }
+    }
+    return Status::OK();
+  }
   for (const auto& [value, amount] : deficits) {
     for (int64_t i = 0; i < amount; ++i) {
       // Next surplus tuple.
@@ -275,7 +408,19 @@ NullCountTool::NullCountTool(const Schema& schema, std::string table,
     : name_("nulls:" + table + "." + column),
       table_(std::move(table)),
       column_(std::move(column)) {
-  (void)schema;
+  table_index_ = schema.TableIndex(table_);
+  if (table_index_ >= 0) {
+    col_index_ =
+        schema.tables[static_cast<size_t>(table_index_)].ColumnIndex(column_);
+  }
+}
+
+AccessScope NullCountTool::DeclaredScope() const {
+  AccessScope scope;
+  if (table_index_ < 0 || col_index_ < 0) return scope;  // unknown
+  scope.known = true;
+  scope.AddWrite(table_index_, col_index_);
+  return scope;
 }
 
 Status NullCountTool::SetTargetFromDataset(const Database& ground_truth) {
@@ -325,6 +470,14 @@ void NullCountTool::Unbind() {
   }
 }
 
+Status NullCountTool::Rebase(Database* db) {
+  if (db_ == nullptr) return Bind(db);
+  db_->RemoveListener(this);
+  db_ = db;
+  db_->AddListener(this);
+  return Status::OK();
+}
+
 double NullCountTool::Error() const {
   const int64_t n =
       std::max<int64_t>(1, db_->FindTable(table_)->NumTuples());
@@ -338,6 +491,7 @@ void NullCountTool::OnApplied(const Modification& mod,
   (void)new_tuple;
   if (db_ == nullptr || mod.table != table_) return;
   const Table* t = db_->FindTable(table_);
+  if (t == nullptr) return;  // table dropped since the bind
   const int col = t->ColumnIndex(column_);
   switch (mod.kind) {
     case OpKind::kDeleteValues:
@@ -362,9 +516,10 @@ void NullCountTool::OnApplied(const Modification& mod,
   }
 }
 
-double NullCountTool::ValidationPenalty(const Modification& mod) const {
-  if (db_ == nullptr || mod.table != table_) return 0.0;
+int64_t NullCountTool::DeltaOf(const Modification& mod) const {
+  if (mod.table != table_) return 0;
   const Table* t = db_->FindTable(table_);
+  if (t == nullptr) return 0;  // table dropped: nothing to defend
   const int col = t->ColumnIndex(column_);
   int64_t delta = 0;
   switch (mod.kind) {
@@ -388,9 +543,32 @@ double NullCountTool::ValidationPenalty(const Modification& mod) const {
       delta -= t->column(col).IsNull(mod.tuples[0]);
       break;
   }
+  return delta;
+}
+
+double NullCountTool::ValidationPenalty(const Modification& mod) const {
+  if (db_ == nullptr) return 0.0;
+  const int64_t delta = DeltaOf(mod);
   if (delta == 0) return 0.0;
   const int64_t n =
       std::max<int64_t>(1, db_->FindTable(table_)->NumTuples());
+  return static_cast<double>(std::llabs(current_ + delta - target_) -
+                             std::llabs(current_ - target_)) /
+         static_cast<double>(n);
+}
+
+double NullCountTool::ValidationPenaltyBatch(
+    std::span<const Modification> mods) const {
+  if (db_ == nullptr) return 0.0;
+  // Disjoint-tuple batches make the per-mod deltas independent, so the
+  // composite is one |sum| evaluation (the per-mod penalty sum is not:
+  // |.| is not additive).
+  int64_t delta = 0;
+  for (const Modification& mod : mods) delta += DeltaOf(mod);
+  if (delta == 0) return 0.0;
+  const Table* t = db_->FindTable(table_);
+  if (t == nullptr) return 0.0;
+  const int64_t n = std::max<int64_t>(1, t->NumTuples());
   return static_cast<double>(std::llabs(current_ + delta - target_) -
                              std::llabs(current_ - target_)) /
          static_cast<double>(n);
@@ -449,7 +627,19 @@ DomainBoundsTool::DomainBoundsTool(const Schema& schema, std::string table,
     : name_("bounds:" + table + "." + column),
       table_(std::move(table)),
       column_(std::move(column)) {
-  (void)schema;
+  table_index_ = schema.TableIndex(table_);
+  if (table_index_ >= 0) {
+    col_index_ =
+        schema.tables[static_cast<size_t>(table_index_)].ColumnIndex(column_);
+  }
+}
+
+AccessScope DomainBoundsTool::DeclaredScope() const {
+  AccessScope scope;
+  if (table_index_ < 0 || col_index_ < 0) return scope;  // unknown
+  scope.known = true;
+  scope.AddWrite(table_index_, col_index_);
+  return scope;
 }
 
 Status DomainBoundsTool::SetTargetFromDataset(const Database& ground_truth) {
@@ -524,6 +714,14 @@ void DomainBoundsTool::Unbind() {
   }
 }
 
+Status DomainBoundsTool::Rebase(Database* db) {
+  if (db_ == nullptr) return Bind(db);
+  db_->RemoveListener(this);
+  db_ = db;
+  db_->AddListener(this);
+  return Status::OK();
+}
+
 double DomainBoundsTool::ErrorOf(int64_t out_of_range, bool has_min,
                                  bool has_max) const {
   const double n = static_cast<double>(
@@ -541,7 +739,9 @@ void DomainBoundsTool::OnApplied(const Modification& mod,
                                  TupleId new_tuple) {
   (void)new_tuple;
   if (db_ == nullptr || mod.table != table_) return;
-  const int col = db_->FindTable(table_)->ColumnIndex(column_);
+  const Table* table = db_->FindTable(table_);
+  if (table == nullptr) return;  // table dropped since the bind
+  const int col = table->ColumnIndex(column_);
   auto remove = [&](const Value& v) {
     if (v.is_null()) return;
     const int64_t x = v.int64();
@@ -577,24 +777,23 @@ void DomainBoundsTool::OnApplied(const Modification& mod,
   }
 }
 
-double DomainBoundsTool::ValidationPenalty(const Modification& mod) const {
-  if (db_ == nullptr || mod.table != table_) return 0.0;
-  const Table* t = db_->FindTable(table_);
-  const int col = t->ColumnIndex(column_);
-  int64_t oor = 0, dmin = 0, dmax = 0;
+void DomainBoundsTool::AccumulateDeltas(const Modification& mod,
+                                        const Table* t, int col,
+                                        int64_t* oor, int64_t* dmin,
+                                        int64_t* dmax) const {
   auto remove = [&](const Value& v) {
     if (v.is_null()) return;
     const int64_t x = v.int64();
-    oor -= x < target_min_ || x > target_max_;
-    dmin -= x == target_min_;
-    dmax -= x == target_max_;
+    *oor -= x < target_min_ || x > target_max_;
+    *dmin -= x == target_min_;
+    *dmax -= x == target_max_;
   };
   auto add = [&](const Value& v) {
     if (v.is_null()) return;
     const int64_t x = v.int64();
-    oor += x < target_min_ || x > target_max_;
-    dmin += x == target_min_;
-    dmax += x == target_max_;
+    *oor += x < target_min_ || x > target_max_;
+    *dmin += x == target_min_;
+    *dmax += x == target_max_;
   };
   switch (mod.kind) {
     case OpKind::kDeleteValues:
@@ -614,6 +813,35 @@ double DomainBoundsTool::ValidationPenalty(const Modification& mod) const {
     case OpKind::kDeleteTuple:
       remove(t->column(col).Get(mod.tuples[0]));
       break;
+  }
+}
+
+double DomainBoundsTool::ValidationPenalty(const Modification& mod) const {
+  if (db_ == nullptr || mod.table != table_) return 0.0;
+  const Table* t = db_->FindTable(table_);
+  if (t == nullptr) return 0.0;  // table dropped: nothing to defend
+  const int col = t->ColumnIndex(column_);
+  int64_t oor = 0, dmin = 0, dmax = 0;
+  AccumulateDeltas(mod, t, col, &oor, &dmin, &dmax);
+  if (oor == 0 && dmin == 0 && dmax == 0) return 0.0;
+  return ErrorOf(out_of_range_ + oor, at_min_ + dmin > 0,
+                 at_max_ + dmax > 0) -
+         Error();
+}
+
+double DomainBoundsTool::ValidationPenaltyBatch(
+    std::span<const Modification> mods) const {
+  if (db_ == nullptr) return 0.0;
+  const Table* t = db_->FindTable(table_);
+  if (t == nullptr) return 0.0;
+  const int col = t->ColumnIndex(column_);
+  // The at-bound error terms are thresholded, not additive: sum every
+  // mod's deltas first (independent on disjoint tuples), then price the
+  // composite once.
+  int64_t oor = 0, dmin = 0, dmax = 0;
+  for (const Modification& mod : mods) {
+    if (mod.table != table_) continue;
+    AccumulateDeltas(mod, t, col, &oor, &dmin, &dmax);
   }
   if (oor == 0 && dmin == 0 && dmax == 0) return 0.0;
   return ErrorOf(out_of_range_ + oor, at_min_ + dmin > 0,
@@ -667,6 +895,15 @@ Status DomainBoundsTool::Tweak(TweakContext* ctx) {
 // ---------------------------------------------------------------------
 
 TupleCountTool::TupleCountTool(const Schema& schema) : schema_(schema) {}
+
+AccessScope TupleCountTool::DeclaredScope() const {
+  AccessScope scope;
+  scope.known = true;
+  for (size_t t = 0; t < schema_.tables.size(); ++t) {
+    scope.AddWrite(static_cast<int>(t), AccessScope::kWholeTable);
+  }
+  return scope;
+}
 
 Status TupleCountTool::SetTargetFromDataset(const Database& ground_truth) {
   targets_.clear();

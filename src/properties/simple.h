@@ -46,9 +46,18 @@ class ColumnFreqTool : public PropertyTool {
   Status Bind(Database* db) override;
   void Unbind() override;
   bool bound() const override { return db_ != nullptr; }
+  /// Statistics are one id-independent distribution: pointer swap.
+  Status Rebase(Database* db) override;
 
   double Error() const override;
   double ValidationPenalty(const Modification& mod) const override;
+  /// Exact composite vote: simulates the batch's cumulative frequency
+  /// deltas, so values hit by several modifications of one batch are
+  /// priced correctly (the default sum over singles is only exact for
+  /// disjoint values).
+  double ValidationPenaltyBatch(
+      std::span<const Modification> mods) const override;
+  AccessScope DeclaredScope() const override;
   Status Tweak(TweakContext* ctx) override;
 
   void OnApplied(const Modification& mod,
@@ -64,6 +73,8 @@ class ColumnFreqTool : public PropertyTool {
   std::string name_;
   std::string table_;
   std::string column_;
+  int table_index_ = -1;
+  int col_index_ = -1;
   Database* db_ = nullptr;
   FrequencyDistribution current_{1};
   FrequencyDistribution target_{1};
@@ -90,9 +101,16 @@ class NullCountTool : public PropertyTool {
   Status Bind(Database* db) override;
   void Unbind() override;
   bool bound() const override { return db_ != nullptr; }
+  /// Statistics are one counter: pointer swap.
+  Status Rebase(Database* db) override;
 
   double Error() const override;
   double ValidationPenalty(const Modification& mod) const override;
+  /// Exact composite vote: one |delta| evaluation over the batch's
+  /// summed null-count change instead of a (non-additive) per-mod sum.
+  double ValidationPenaltyBatch(
+      std::span<const Modification> mods) const override;
+  AccessScope DeclaredScope() const override;
   Status Tweak(TweakContext* ctx) override;
 
   void OnApplied(const Modification& mod,
@@ -100,9 +118,14 @@ class NullCountTool : public PropertyTool {
                  TupleId new_tuple) override;
 
  private:
+  /// Null-count change `mod` would cause (0 for other tables/columns).
+  int64_t DeltaOf(const Modification& mod) const;
+
   std::string name_;
   std::string table_;
   std::string column_;
+  int table_index_ = -1;
+  int col_index_ = -1;
   Database* db_ = nullptr;
   int64_t current_ = 0;
   int64_t target_ = 0;
@@ -135,9 +158,16 @@ class DomainBoundsTool : public PropertyTool {
   Status Bind(Database* db) override;
   void Unbind() override;
   bool bound() const override { return db_ != nullptr; }
+  /// Statistics are three counters: pointer swap.
+  Status Rebase(Database* db) override;
 
   double Error() const override;
   double ValidationPenalty(const Modification& mod) const override;
+  /// Exact composite vote: accumulates the batch's out-of-range and
+  /// at-bound deltas before the (non-additive) error difference.
+  double ValidationPenaltyBatch(
+      std::span<const Modification> mods) const override;
+  AccessScope DeclaredScope() const override;
   Status Tweak(TweakContext* ctx) override;
 
   void OnApplied(const Modification& mod,
@@ -149,10 +179,15 @@ class DomainBoundsTool : public PropertyTool {
   /// bound value is absent entirely.
   double ErrorOf(int64_t out_of_range, bool has_min, bool has_max) const;
   void Recount();
+  /// Accumulates `mod`'s deltas into the three counters.
+  void AccumulateDeltas(const Modification& mod, const Table* t, int col,
+                        int64_t* oor, int64_t* dmin, int64_t* dmax) const;
 
   std::string name_;
   std::string table_;
   std::string column_;
+  int table_index_ = -1;
+  int col_index_ = -1;
   Database* db_ = nullptr;
   int64_t target_min_ = 0;
   int64_t target_max_ = 0;
@@ -184,6 +219,9 @@ class TupleCountTool : public PropertyTool {
 
   double Error() const override;
   double ValidationPenalty(const Modification& mod) const override;
+  /// Whole-table row structure everywhere: the tweak inserts and
+  /// deletes tuples in every table and its refcounts read all FKs.
+  AccessScope DeclaredScope() const override;
   Status Tweak(TweakContext* ctx) override;
 
   void OnApplied(const Modification& mod,

@@ -65,6 +65,92 @@ Status Column::Set(int64_t row, const Value& v) {
   return Status::OK();
 }
 
+Status Column::SetBroadcast(const std::vector<int64_t>& rows,
+                            const Value& v) {
+  if (v.is_null()) {
+    for (const int64_t row : rows) {
+      state_[static_cast<size_t>(row)] = CellState::kNull;
+    }
+    return Status::OK();
+  }
+  switch (type_) {
+    case ColumnType::kInt64:
+    case ColumnType::kForeignKey: {
+      if (!v.is_int64()) {
+        return Status::Invalid(StrFormat(
+            "column '%s' expects int64, got %s", name_.c_str(),
+            v.ToString().c_str()));
+      }
+      const int64_t x = v.int64();
+      for (const int64_t row : rows) {
+        ints_[static_cast<size_t>(row)] = x;
+        state_[static_cast<size_t>(row)] = CellState::kValue;
+      }
+      break;
+    }
+    case ColumnType::kDouble: {
+      if (!v.is_double()) {
+        return Status::Invalid(StrFormat(
+            "column '%s' expects double, got %s", name_.c_str(),
+            v.ToString().c_str()));
+      }
+      const double x = v.dbl();
+      for (const int64_t row : rows) {
+        doubles_[static_cast<size_t>(row)] = x;
+        state_[static_cast<size_t>(row)] = CellState::kValue;
+      }
+      break;
+    }
+    case ColumnType::kString: {
+      if (!v.is_string()) {
+        return Status::Invalid(StrFormat(
+            "column '%s' expects string, got %s", name_.c_str(),
+            v.ToString().c_str()));
+      }
+      for (const int64_t row : rows) {
+        strings_[static_cast<size_t>(row)] = v.str();
+        state_[static_cast<size_t>(row)] = CellState::kValue;
+      }
+      break;
+    }
+  }
+  return Status::OK();
+}
+
+void Column::Reserve(int64_t n) {
+  const size_t cap = static_cast<size_t>(n);
+  state_.reserve(cap);
+  switch (type_) {
+    case ColumnType::kInt64:
+    case ColumnType::kForeignKey:
+      ints_.reserve(cap);
+      break;
+    case ColumnType::kDouble:
+      doubles_.reserve(cap);
+      break;
+    case ColumnType::kString:
+      strings_.reserve(cap);
+      break;
+  }
+}
+
+void Column::ResizeEmpty(int64_t n) {
+  const size_t rows = static_cast<size_t>(n);
+  state_.assign(rows, CellState::kEmpty);
+  switch (type_) {
+    case ColumnType::kInt64:
+    case ColumnType::kForeignKey:
+      ints_.assign(rows, 0);
+      break;
+    case ColumnType::kDouble:
+      doubles_.assign(rows, 0);
+      break;
+    case ColumnType::kString:
+      strings_.assign(rows, std::string());
+      break;
+  }
+}
+
 void Column::Erase(int64_t row) {
   state_[static_cast<size_t>(row)] = CellState::kEmpty;
 }

@@ -58,6 +58,21 @@ class Column {
   /// Invalid if the value's dynamic type does not match the column.
   Status Set(int64_t row, const Value& v);
 
+  /// Broadcast write: stores the same value into every listed row with
+  /// a single type dispatch (the columnar fast path behind multi-tuple
+  /// cell modifications). Returns Invalid on a type mismatch, in which
+  /// case no row is written.
+  Status SetBroadcast(const std::vector<int64_t>& rows, const Value& v);
+
+  /// Pre-allocates capacity for `n` total rows.
+  void Reserve(int64_t n);
+
+  /// Grows the column to exactly `n` rows of kEmpty cells with
+  /// default-initialized storage. Shell columns of a partial table
+  /// clone (Database::CloneAtoms) use this so out-of-scope cells stay
+  /// addressable without paying for a deep copy.
+  void ResizeEmpty(int64_t n);
+
   /// Marks the cell kEmpty (ASPECT deleteValues semantics).
   void Erase(int64_t row);
 

@@ -187,41 +187,41 @@ Status Database::ApplyCellOp(const Modification& mod, Table* t,
       }
     }
   }
-  // Capture pre-images, then apply.
+  // Capture pre-images, then apply. Writes go column-major: `values`
+  // is broadcast (values[j] lands in cols[j] for every tuple), so one
+  // type dispatch per column covers the whole tuple span.
   old_values->reserve(mod.tuples.size() * mod.cols.size());
   for (const TupleId tid : mod.tuples) {
     for (const int c : mod.cols) {
       old_values->push_back(t->column(c).Get(tid));
     }
   }
-  for (const TupleId tid : mod.tuples) {
-    for (size_t j = 0; j < mod.cols.size(); ++j) {
-      Column& col = t->column(mod.cols[j]);
-      if (mod.kind == OpKind::kDeleteValues) {
-        col.Erase(tid);
-      } else {
-        ASPECT_RETURN_NOT_OK(col.Set(tid, mod.values[j]));
-      }
+  for (size_t j = 0; j < mod.cols.size(); ++j) {
+    Column& col = t->column(mod.cols[j]);
+    if (mod.kind == OpKind::kDeleteValues) {
+      for (const TupleId tid : mod.tuples) col.Erase(tid);
+    } else {
+      ASPECT_RETURN_NOT_OK(col.SetBroadcast(mod.tuples, mod.values[j]));
     }
   }
   return Status::OK();
 }
 
-Status Database::Apply(const Modification& mod, TupleId* new_tuple) {
+Status Database::ApplyOne(const Modification& mod,
+                          std::vector<Value>* old_values,
+                          TupleId* inserted) {
   Table* t = FindTable(mod.table);
   if (t == nullptr) {
     return Status::KeyError(StrFormat("no table '%s'", mod.table.c_str()));
   }
-  std::vector<Value> old_values;
-  TupleId inserted = kInvalidTuple;
   switch (mod.kind) {
     case OpKind::kDeleteValues:
     case OpKind::kInsertValues:
     case OpKind::kReplaceValues:
-      ASPECT_RETURN_NOT_OK(ApplyCellOp(mod, t, &old_values));
+      ASPECT_RETURN_NOT_OK(ApplyCellOp(mod, t, old_values));
       break;
     case OpKind::kInsertTuple: {
-      ASPECT_ASSIGN_OR_RETURN(inserted, t->Append(mod.values));
+      ASPECT_ASSIGN_OR_RETURN(*inserted, t->Append(mod.values));
       break;
     }
     case OpKind::kDeleteTuple: {
@@ -233,16 +233,62 @@ Status Database::Apply(const Modification& mod, TupleId* new_tuple) {
             StrFormat("table '%s': tuple %lld not live", mod.table.c_str(),
                       static_cast<long long>(mod.tuples[0])));
       }
-      old_values = t->GetRow(mod.tuples[0]);
+      *old_values = t->GetRow(mod.tuples[0]);
       ASPECT_RETURN_NOT_OK(t->Delete(mod.tuples[0]));
       break;
     }
   }
+  return Status::OK();
+}
+
+Status Database::Apply(const Modification& mod, TupleId* new_tuple) {
+  std::vector<Value> old_values;
+  TupleId inserted = kInvalidTuple;
+  ASPECT_RETURN_NOT_OK(ApplyOne(mod, &old_values, &inserted));
   if (new_tuple != nullptr) *new_tuple = inserted;
   for (ModificationListener* l : listeners_) {
     l->OnApplied(mod, old_values, inserted);
   }
   return Status::OK();
+}
+
+Status Database::ApplyBatch(std::span<const Modification> mods,
+                            std::vector<TupleId>* new_tuples) {
+  if (new_tuples != nullptr) {
+    new_tuples->assign(mods.size(), kInvalidTuple);
+  }
+  if (mods.empty()) return Status::OK();
+  std::vector<std::vector<Value>> old_values(mods.size());
+  std::vector<TupleId> inserted(mods.size(), kInvalidTuple);
+  size_t done = 0;
+  Status st = Status::OK();
+  for (; done < mods.size(); ++done) {
+    st = ApplyOne(mods[done], &old_values[done], &inserted[done]);
+    if (!st.ok()) break;
+  }
+  if (!st.ok()) {
+    // All-or-nothing: revert the applied prefix in reverse order (so a
+    // kInsertTuple always reverts the table's last slot).
+    for (size_t i = done; i-- > 0;) {
+      const Status undo = Undo(mods[i], old_values[i], inserted[i]);
+      if (!undo.ok()) return undo;  // state corrupt; surface loudly
+    }
+    return st;
+  }
+  if (new_tuples != nullptr) *new_tuples = inserted;
+  for (ModificationListener* l : listeners_) {
+    l->OnAppliedBatch(mods, old_values, inserted);
+  }
+  return Status::OK();
+}
+
+void ModificationListener::OnAppliedBatch(
+    std::span<const Modification> mods,
+    std::span<const std::vector<Value>> old_values,
+    std::span<const TupleId> new_tuples) {
+  for (size_t i = 0; i < mods.size(); ++i) {
+    OnApplied(mods[i], old_values[i], new_tuples[i]);
+  }
 }
 
 Status Database::Undo(const Modification& mod,
@@ -313,6 +359,34 @@ std::unique_ptr<Database> Database::Clone() const {
   std::unique_ptr<Database> copy(new Database(schema_));
   for (size_t i = 0; i < tables_.size(); ++i) {
     *copy->tables_[i] = *tables_[i];
+  }
+  return copy;
+}
+
+std::unique_ptr<Database> Database::CloneAtoms(
+    const std::set<std::pair<int, int>>& atoms) const {
+  std::unique_ptr<Database> copy(new Database(schema_));
+  // Group the requested columns by table; a negative column index
+  // requests the table whole.
+  std::vector<std::set<int>> cols(tables_.size());
+  std::vector<bool> whole(tables_.size(), false);
+  std::vector<bool> requested(tables_.size(), false);
+  for (const auto& [t, c] : atoms) {
+    if (t < 0 || t >= static_cast<int>(tables_.size())) continue;
+    requested[static_cast<size_t>(t)] = true;
+    if (c < 0) {
+      whole[static_cast<size_t>(t)] = true;
+    } else {
+      cols[static_cast<size_t>(t)].insert(c);
+    }
+  }
+  for (size_t i = 0; i < tables_.size(); ++i) {
+    if (!requested[i]) continue;
+    if (whole[i]) {
+      *copy->tables_[i] = *tables_[i];
+    } else {
+      copy->tables_[i]->CopyColumnsFrom(*tables_[i], cols[i]);
+    }
   }
   return copy;
 }

@@ -9,7 +9,10 @@
 #pragma once
 
 #include <memory>
+#include <set>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/result.h"
@@ -72,6 +75,17 @@ class ModificationListener {
   virtual void OnApplied(const Modification& mod,
                          const std::vector<Value>& old_values,
                          TupleId new_tuple) = 0;
+
+  /// Called once after a whole batch applied via Database::ApplyBatch.
+  /// The spans are parallel: old_values[i] / new_tuples[i] belong to
+  /// mods[i], with the same layouts as OnApplied. The default forwards
+  /// entry by entry; listeners with a columnar fast path override it.
+  /// Batches never touch the same tuple twice (the ApplyBatch
+  /// contract), so observing all writes at once is equivalent to
+  /// observing them one at a time.
+  virtual void OnAppliedBatch(std::span<const Modification> mods,
+                              std::span<const std::vector<Value>> old_values,
+                              std::span<const TupleId> new_tuples);
 };
 
 class Database {
@@ -97,9 +111,28 @@ class Database {
   void AddListener(ModificationListener* listener);
   void RemoveListener(ModificationListener* listener);
 
+  /// The registered listeners, in registration order. The coordinator's
+  /// parallel pass uses this to replay notifications recorded on a
+  /// clone to the listeners that stayed on the main database.
+  const std::vector<ModificationListener*>& listeners() const {
+    return listeners_;
+  }
+
   /// Validates and applies a modification, then notifies listeners.
   /// On kInsertTuple success, *new_tuple (if non-null) receives the id.
   Status Apply(const Modification& mod, TupleId* new_tuple = nullptr);
+
+  /// Applies a batch of modifications all-or-nothing: either every one
+  /// applies and listeners receive a single OnAppliedBatch call, or the
+  /// applied prefix is rolled back and the first error returned (with
+  /// no listener notification). `new_tuples` (if non-null) receives one
+  /// id per modification (kInvalidTuple for non-inserts). Callers must
+  /// not address the same tuple from two modifications of one batch:
+  /// listener notifications are deferred until the whole batch has been
+  /// written, which is only equivalent to one-at-a-time application
+  /// when the touched tuple sets are disjoint (see DESIGN.md).
+  Status ApplyBatch(std::span<const Modification> mods,
+                    std::vector<TupleId>* new_tuples = nullptr);
 
   /// Reverts one applied modification given the pre-images captured by
   /// the listener notification (`old_values` / `new_tuple` exactly as
@@ -114,6 +147,16 @@ class Database {
   /// Deep copy (listeners are not copied).
   std::unique_ptr<Database> Clone() const;
 
+  /// Deep copy of only the listed (table index, column index) atoms; a
+  /// negative column index copies that table whole. Unlisted tables
+  /// exist but are empty; unlisted columns of a listed table keep the
+  /// row structure (slot count, tombstones) but hold only kEmpty
+  /// cells. The O1-parallel pass hands a task exactly the atoms its
+  /// declared access set names, so the clone cost scales with the
+  /// task's scope, not the database.
+  std::unique_ptr<Database> CloneAtoms(
+      const std::set<std::pair<int, int>>& atoms) const;
+
   /// Replaces this database's table contents with a deep copy of
   /// `other`'s. Schemas must match. Listeners stay registered but are
   /// NOT notified - callers must rebuild any listener-held state (the
@@ -125,6 +168,11 @@ class Database {
 
   Status ApplyCellOp(const Modification& mod, Table* t,
                      std::vector<Value>* old_values);
+
+  /// Applies one modification without notifying listeners; fills the
+  /// pre-images and (for kInsertTuple) the produced id.
+  Status ApplyOne(const Modification& mod, std::vector<Value>* old_values,
+                  TupleId* inserted);
 
   Schema schema_;
   std::vector<std::unique_ptr<Table>> tables_;

@@ -25,6 +25,22 @@ void ModificationLog::OnApplied(const Modification& mod,
   entries_.push_back(std::move(e));
 }
 
+void ModificationLog::OnAppliedBatch(
+    std::span<const Modification> mods,
+    std::span<const std::vector<Value>> old_values,
+    std::span<const TupleId> new_tuples) {
+  if (!recording_) return;
+  ++num_batches_;
+  entries_.reserve(entries_.size() + mods.size());
+  for (size_t i = 0; i < mods.size(); ++i) {
+    Entry e;
+    e.mod = mods[i];
+    e.old_values = old_values[i];
+    e.new_tuple = new_tuples[i];
+    entries_.push_back(std::move(e));
+  }
+}
+
 Status ModificationLog::ReplayOnto(Database* target) const {
   for (const Entry& e : entries_) {
     TupleId new_tuple = kInvalidTuple;

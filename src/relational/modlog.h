@@ -62,14 +62,39 @@ class ModificationLog : public ModificationListener {
   /// Human-readable one-line-per-table report.
   std::string ToString() const;
 
+  /// Move-appends an entry recorded elsewhere: the coordinator's
+  /// parallel pass adopts a task's recorded notifications instead of
+  /// replaying copies of them through the listener interface. Honors
+  /// Pause() like the listener callbacks.
+  void Adopt(Entry&& e) {
+    if (recording_) entries_.push_back(std::move(e));
+  }
+  /// Counts one adopted batch delivery (keeps num_batches() identical
+  /// to what direct listening would have produced).
+  void CountAdoptedBatch() {
+    if (recording_) ++num_batches_;
+  }
+
   void OnApplied(const Modification& mod,
                  const std::vector<Value>& old_values,
                  TupleId new_tuple) override;
+
+  /// Batch fast path: one reserve + append per batch instead of one
+  /// push_back per modification.
+  void OnAppliedBatch(std::span<const Modification> mods,
+                      std::span<const std::vector<Value>> old_values,
+                      std::span<const TupleId> new_tuples) override;
+
+  /// Number of OnAppliedBatch deliveries observed (the batch pipeline's
+  /// effectiveness counter: entries() grows per modification, this per
+  /// batch).
+  int64_t num_batches() const { return num_batches_; }
 
  private:
   Database* db_;
   bool recording_ = true;
   std::vector<Entry> entries_;
+  int64_t num_batches_ = 0;
 };
 
 }  // namespace aspect

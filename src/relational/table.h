@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,17 @@ class Table {
 
   /// Appends a tuple with the given per-column values; returns its id.
   Result<TupleId> Append(const std::vector<Value>& values);
+
+  /// Pre-allocates capacity for `n` total slots across all columns.
+  void Reserve(int64_t n);
+
+  /// Rebuilds this table as a partial copy of `src` (same spec): the
+  /// row structure (slot count, tombstones) and the columns named in
+  /// `cols` are deep-copied; every other column becomes a kEmpty shell
+  /// of the same height. Cells outside `cols` read as erased, so a
+  /// caller must only touch the copied columns (the declared-access-
+  /// set contract of the O1-parallel pass).
+  void CopyColumnsFrom(const Table& src, const std::set<int>& cols);
 
   /// Tombstones a live tuple.
   Status Delete(TupleId t);

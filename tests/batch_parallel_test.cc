@@ -1,0 +1,339 @@
+// Tests for the batched modification pipeline and the O1-parallel
+// pass: applying a batch through TweakContext::TryApplyBatch must
+// leave the database, the modification log, and every listening tool's
+// statistics byte-identical to applying the same modifications one at
+// a time, and a parallel pass must match the serial pass error for
+// error at any thread count.
+#include <gtest/gtest.h>
+
+#include "aspect/coordinator.h"
+#include "aspect/tweak_context.h"
+#include "properties/coappear.h"
+#include "properties/linear.h"
+#include "properties/pairwise.h"
+#include "properties/simple.h"
+#include "relational/modlog.h"
+#include "scaler/size_scaler.h"
+#include "workload/generator.h"
+
+namespace aspect {
+namespace {
+
+// Byte-level equality: slots, tombstones, and every cell's state (a
+// kNull cell is not a kEmpty cell even though both read back as Null).
+void ExpectDatabasesIdentical(const Database& a, const Database& b) {
+  ASSERT_EQ(a.num_tables(), b.num_tables());
+  for (int t = 0; t < a.num_tables(); ++t) {
+    const Table& ta = a.table(t);
+    const Table& tb = b.table(t);
+    ASSERT_EQ(ta.NumSlots(), tb.NumSlots()) << ta.name();
+    ASSERT_EQ(ta.NumTuples(), tb.NumTuples()) << ta.name();
+    for (TupleId tid = 0; tid < ta.NumSlots(); ++tid) {
+      ASSERT_EQ(ta.IsLive(tid), tb.IsLive(tid)) << ta.name() << " " << tid;
+      for (int c = 0; c < ta.num_columns(); ++c) {
+        ASSERT_EQ(static_cast<int>(ta.column(c).state(tid)),
+                  static_cast<int>(tb.column(c).state(tid)))
+            << ta.name() << " " << tid << " col " << c;
+        if (ta.column(c).IsValue(tid)) {
+          ASSERT_EQ(ta.column(c).Get(tid), tb.column(c).Get(tid))
+              << ta.name() << " " << tid << " col " << c;
+        }
+      }
+    }
+  }
+}
+
+// Entry-level equality of two modification logs: same modifications,
+// same order, same pre-images, same assigned tuple ids.
+void ExpectLogsIdentical(const ModificationLog& a, const ModificationLog& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    const ModificationLog::Entry& ea = a.entries()[static_cast<size_t>(i)];
+    const ModificationLog::Entry& eb = b.entries()[static_cast<size_t>(i)];
+    ASSERT_EQ(static_cast<int>(ea.mod.kind), static_cast<int>(eb.mod.kind))
+        << "entry " << i;
+    ASSERT_EQ(ea.mod.table, eb.mod.table) << "entry " << i;
+    ASSERT_EQ(ea.mod.tuples, eb.mod.tuples) << "entry " << i;
+    ASSERT_EQ(ea.mod.cols, eb.mod.cols) << "entry " << i;
+    ASSERT_EQ(ea.mod.values, eb.mod.values) << "entry " << i;
+    ASSERT_EQ(ea.old_values, eb.old_values) << "entry " << i;
+    ASSERT_EQ(ea.new_tuple, eb.new_tuple) << "entry " << i;
+  }
+}
+
+std::vector<TupleId> LiveTuples(const Table& t) {
+  std::vector<TupleId> live;
+  t.ForEachLive([&](TupleId tid) { live.push_back(tid); });
+  return live;
+}
+
+// Builds one randomized batch of modifications of the given kind
+// against the current state of `db`, touching pairwise-disjoint tuples
+// (the ApplyBatch contract). Replacement values are sampled from donor
+// tuples of the same column, so they are type-correct and stay in the
+// column's observed domain.
+std::vector<Modification> RandomBatch(const Database& db, int table_index,
+                                      OpKind kind, Rng* rng) {
+  const Table& t = db.table(table_index);
+  std::vector<TupleId> live = LiveTuples(t);
+  std::vector<Modification> batch;
+  if (live.size() < 4) return batch;
+  rng->Shuffle(&live);
+  const size_t n =
+      static_cast<size_t>(rng->UniformInt(2, 9)) % (live.size() / 2) + 2;
+  for (size_t i = 0; i < n; ++i) {
+    const TupleId victim = live[i];
+    switch (kind) {
+      case OpKind::kReplaceValues: {
+        if (t.num_columns() == 0) break;  // attribute-less root table
+        const int c =
+            static_cast<int>(rng->UniformInt(0, t.num_columns() - 1));
+        const TupleId donor = live[static_cast<size_t>(rng->UniformInt(
+            0, static_cast<int64_t>(live.size()) - 1))];
+        if (!t.column(c).IsValue(victim) || !t.column(c).IsValue(donor)) {
+          continue;
+        }
+        batch.push_back(Modification::ReplaceValues(
+            t.name(), {victim}, {c}, {t.column(c).Get(donor)}));
+        break;
+      }
+      case OpKind::kInsertTuple: {
+        std::vector<Value> row;
+        bool full = true;
+        for (int c = 0; c < t.num_columns(); ++c) {
+          if (!t.column(c).IsValue(victim)) {
+            full = false;
+            break;
+          }
+          row.push_back(t.column(c).Get(victim));
+        }
+        if (full) {
+          batch.push_back(Modification::InsertTuple(t.name(), std::move(row)));
+        }
+        break;
+      }
+      case OpKind::kDeleteTuple:
+        batch.push_back(Modification::DeleteTuple(t.name(), victim));
+        break;
+      default:
+        break;
+    }
+  }
+  return batch;
+}
+
+// The per-converted-tool equivalence check: bind one instance of the
+// tool to each of two identical databases, push randomized batches of
+// every modification kind through TryApplyBatch on one side and
+// one-at-a-time TryApply on the other, and require the databases, the
+// modification logs, the context counters, and the tools' statistics
+// (error and validation votes) to come out identical. This exercises
+// the tool's OnAppliedBatch fast path against its OnApplied loop.
+void CheckBatchMatchesSingles(PropertyTool* tool_a, PropertyTool* tool_b,
+                              const Database& truth, uint64_t seed) {
+  ASSERT_TRUE(tool_a->SetTargetFromDataset(truth).ok());
+  ASSERT_TRUE(tool_b->SetTargetFromDataset(truth).ok());
+  std::unique_ptr<Database> a = truth.Clone();
+  std::unique_ptr<Database> b = truth.Clone();
+  ModificationLog log_a(a.get());
+  ModificationLog log_b(b.get());
+  ASSERT_TRUE(tool_a->Bind(a.get()).ok());
+  ASSERT_TRUE(tool_b->Bind(b.get()).ok());
+
+  Rng rng_mods(seed);  // drives batch construction, shared by design
+  Rng rng_a(seed + 1), rng_b(seed + 1);
+  TweakContext ctx_a(a.get(), {}, &rng_a);
+  TweakContext ctx_b(b.get(), {}, &rng_b);
+
+  const OpKind kKinds[] = {OpKind::kReplaceValues, OpKind::kInsertTuple,
+                           OpKind::kDeleteTuple};
+  int64_t batches_applied = 0;
+  for (int round = 0; round < 6; ++round) {
+    for (int ti = 0; ti < a->num_tables(); ++ti) {
+      for (const OpKind kind : kKinds) {
+        // Both sides receive the same batch; construct it from side A
+        // (the sides are identical by induction).
+        const std::vector<Modification> batch =
+            RandomBatch(*a, ti, kind, &rng_mods);
+        if (batch.empty()) continue;
+        ASSERT_TRUE(ctx_a.TryApplyBatch(batch).ok());
+        for (const Modification& m : batch) {
+          ASSERT_TRUE(ctx_b.TryApply(m).ok());
+        }
+        ++batches_applied;
+      }
+    }
+  }
+  ASSERT_GT(batches_applied, 0);
+  EXPECT_EQ(ctx_a.applied(), ctx_b.applied());
+  EXPECT_EQ(ctx_a.vetoed(), ctx_b.vetoed());
+  ExpectDatabasesIdentical(*a, *b);
+  ExpectLogsIdentical(log_a, log_b);
+  // The batch side must have delivered one segment per batch; the
+  // single side, none.
+  EXPECT_EQ(log_a.num_batches(), batches_applied);
+  EXPECT_EQ(log_b.num_batches(), 0);
+  // Tool statistics: identical error and identical votes on a probe.
+  EXPECT_EQ(tool_a->Error(), tool_b->Error());
+  for (int ti = 0; ti < a->num_tables(); ++ti) {
+    const std::vector<Modification> probe =
+        RandomBatch(*a, ti, OpKind::kDeleteTuple, &rng_mods);
+    if (probe.empty()) continue;
+    EXPECT_EQ(tool_a->ValidationPenalty(probe[0]),
+              tool_b->ValidationPenalty(probe[0]));
+    EXPECT_EQ(tool_a->ValidationPenaltyBatch(probe),
+              tool_b->ValidationPenaltyBatch(probe));
+  }
+  tool_a->Unbind();
+  tool_b->Unbind();
+}
+
+std::unique_ptr<Database> MusicDataset(uint64_t seed) {
+  auto gen = GenerateDataset(DoubanMusicLike(0.3), seed).ValueOrAbort();
+  return gen.Materialize(2).ValueOrAbort();
+}
+
+TEST(BatchPipelineTest, LinearBatchMatchesSingles) {
+  auto truth = MusicDataset(17);
+  LinearPropertyTool a(truth->schema()), b(truth->schema());
+  CheckBatchMatchesSingles(&a, &b, *truth, 91);
+}
+
+TEST(BatchPipelineTest, CoappearBatchMatchesSingles) {
+  auto truth = MusicDataset(18);
+  CoappearPropertyTool a(truth->schema()), b(truth->schema());
+  CheckBatchMatchesSingles(&a, &b, *truth, 92);
+}
+
+TEST(BatchPipelineTest, PairwiseBatchMatchesSingles) {
+  auto truth = MusicDataset(19);
+  PairwisePropertyTool a(truth->schema()), b(truth->schema());
+  CheckBatchMatchesSingles(&a, &b, *truth, 93);
+}
+
+TEST(BatchPipelineTest, ColumnFreqBatchMatchesSingles) {
+  auto gen = GenerateDataset(XiamiLike(1.0), 20).ValueOrAbort();
+  auto truth = gen.Materialize(2).ValueOrAbort();
+  ColumnFreqTool a(truth->schema(), "User", "gender");
+  ColumnFreqTool b(truth->schema(), "User", "gender");
+  CheckBatchMatchesSingles(&a, &b, *truth, 94);
+}
+
+// A batch the validators object to must be rejected as one composite
+// proposal: nothing applies, nothing is logged, and the veto counts
+// once. ForceApplyBatch then applies the same batch wholesale.
+TEST(BatchPipelineTest, VetoedBatchLeavesDatabaseUntouched) {
+  auto gen = GenerateDataset(XiamiLike(1.0), 21).ValueOrAbort();
+  auto db = gen.Materialize(2).ValueOrAbort();
+  auto pristine = db->Clone();
+
+  // Target equals the current distribution, so any gender change has a
+  // strictly positive penalty.
+  ColumnFreqTool validator(db->schema(), "User", "gender");
+  ASSERT_TRUE(validator.SetTargetFromDataset(*db).ok());
+  ASSERT_TRUE(validator.Bind(db.get()).ok());
+  ASSERT_EQ(validator.Error(), 0.0);
+
+  ModificationLog log(db.get());
+  Rng rng(7);
+  TweakContext ctx(db.get(), {&validator}, &rng);
+
+  const Table* user = db->FindTable("User");
+  ASSERT_NE(user, nullptr);
+  const int gender = user->ColumnIndex("gender");
+  std::vector<TupleId> live = LiveTuples(*user);
+  ASSERT_GE(live.size(), 3u);
+  std::vector<Modification> batch;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(user->column(gender).IsValue(live[static_cast<size_t>(i)]));
+    batch.push_back(Modification::ReplaceValues(
+        "User", {live[static_cast<size_t>(i)]}, {gender},
+        {Value(int64_t{777})}));
+  }
+
+  EXPECT_FALSE(ctx.TryApplyBatch(batch).ok());
+  EXPECT_EQ(ctx.vetoed(), 1);
+  EXPECT_EQ(ctx.applied(), 0);
+  EXPECT_EQ(log.size(), 0);
+  EXPECT_EQ(validator.Error(), 0.0);
+  ExpectDatabasesIdentical(*db, *pristine);
+
+  // Forcing applies the whole batch despite the objection.
+  ASSERT_TRUE(ctx.ForceApplyBatch(batch).ok());
+  EXPECT_EQ(ctx.forced(), 1);
+  EXPECT_EQ(ctx.applied(), 3);
+  EXPECT_EQ(log.size(), 3);
+  EXPECT_GT(validator.Error(), 0.0);
+}
+
+// The O1-parallel pass must be bitwise deterministic: for a fixed seed
+// it produces the same per-step errors, the same counters, and the
+// same final database as the serial pass, at every thread count.
+TEST(BatchPipelineTest, ParallelPassMatchesSerialAcrossThreads) {
+  auto gen = GenerateDataset(XiamiLike(2.0), 11).ValueOrAbort();
+  auto truth = gen.Materialize(4).ValueOrAbort();
+  RandScaler rand;
+  auto base = rand.Scale(*gen.Materialize(1).ValueOrAbort(),
+                         gen.SnapshotSizes(4), 11)
+                  .ValueOrAbort();
+  // Rand clones tuples, so the scaled columns already match the target
+  // frequencies; flatten each enforced column to a constant so the
+  // tools have real work to do.
+  const char* kCols[][2] = {
+      {"User", "gender"}, {"Photo", "kind"}, {"Space", "kind"}};
+  for (const auto& tc : kCols) {
+    Table* table = base->FindTable(tc[0]);
+    ASSERT_NE(table, nullptr);
+    const int col = table->ColumnIndex(tc[1]);
+    std::vector<TupleId> rows = LiveTuples(*table);
+    ASSERT_TRUE(base->Apply(Modification::ReplaceValues(
+                                tc[0], rows, {col}, {Value(int64_t{0})}))
+                    .ok());
+  }
+
+  struct Outcome {
+    RunReport report;
+    std::unique_ptr<Database> db;
+  };
+  const auto run_with = [&](bool parallel, int threads) {
+    Outcome out;
+    out.db = base->Clone();
+    Coordinator coordinator;
+    std::vector<int> order;
+    for (const auto& tc : kCols) {
+      order.push_back(coordinator.AddTool(std::make_unique<ColumnFreqTool>(
+          truth->schema(), tc[0], tc[1])));
+    }
+    coordinator.SetTargetsFromDataset(*truth).Check();
+    CoordinatorOptions opts;
+    opts.seed = 5;
+    opts.parallel_pass = parallel;
+    opts.pass_threads = threads;
+    opts.batch_size = 64;
+    out.report =
+        coordinator.Run(out.db.get(), order, opts).ValueOrAbort();
+    return out;
+  };
+
+  const Outcome serial = run_with(false, 1);
+  for (const int threads : {1, 2, 8}) {
+    const Outcome parallel = run_with(true, threads);
+    ASSERT_EQ(parallel.report.steps.size(), serial.report.steps.size())
+        << threads;
+    for (size_t i = 0; i < serial.report.steps.size(); ++i) {
+      const ToolReport& p = parallel.report.steps[i];
+      const ToolReport& s = serial.report.steps[i];
+      EXPECT_EQ(p.tool, s.tool) << threads << " step " << i;
+      EXPECT_EQ(p.error_before, s.error_before) << threads << " step " << i;
+      EXPECT_EQ(p.error_after, s.error_after) << threads << " step " << i;
+      EXPECT_EQ(p.applied, s.applied) << threads << " step " << i;
+      EXPECT_EQ(p.vetoed, s.vetoed) << threads << " step " << i;
+    }
+    EXPECT_EQ(parallel.report.final_errors, serial.report.final_errors)
+        << threads;
+    ExpectDatabasesIdentical(*parallel.db, *serial.db);
+  }
+}
+
+}  // namespace
+}  // namespace aspect
