@@ -104,6 +104,10 @@ AccessScope AccessMonitor::ObservedScope(int tool_id) const {
   const auto& atoms = atoms_[static_cast<size_t>(tool_id)];
   if (atoms.empty()) return scope;  // never ran: unknown
   scope.known = true;
+  // The monitor records modifications, i.e. writes; the tool may well
+  // read cells it never wrote, so the reconstructed read set is only a
+  // lower bound and must not be trusted for read-side checks.
+  scope.reads_complete = false;
   for (const AccessScope::Atom& a : atoms) {
     scope.AddWrite(a.first, a.second);
   }

@@ -51,9 +51,10 @@ class AccessMonitor {
 
   /// The coarse (table, column) scope tool `tool_id` was observed to
   /// write (O2's empirical answer to "what does this tool access?").
-  /// Row inserts/deletes coarsen to (table, kWholeTable). Reads are
-  /// approximated by writes — the monitor only sees modifications, so
-  /// this is what the paper's empirical overlap detection can know.
+  /// Row inserts/deletes coarsen to (table, kWholeTable). The monitor
+  /// only sees modifications, so the scope's read set is just a copy
+  /// of the writes and is marked incomplete (reads_complete == false):
+  /// read-side checks must not treat it as the tool's full read set.
   /// Unknown (scope.known == false) until the tool records something.
   AccessScope ObservedScope(int tool_id) const;
 

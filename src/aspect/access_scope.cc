@@ -13,6 +13,7 @@ void AccessScope::AddWrite(int table, int column) {
 
 void AccessScope::MergeFrom(const AccessScope& other) {
   known = known && other.known;
+  reads_complete = reads_complete && other.reads_complete;
   reads.insert(other.reads.begin(), other.reads.end());
   writes.insert(other.writes.begin(), other.writes.end());
 }
@@ -37,6 +38,10 @@ bool AtomSetsOverlap(const std::set<AccessScope::Atom>& a,
 
 bool WritesDisturb(const AccessScope& writer, const AccessScope& reader) {
   if (!writer.known || !reader.known) return true;
+  // A reader whose read set is a lower bound (observed scope) may read
+  // cells it never wrote; without the full set, disturbance cannot be
+  // ruled out.
+  if (!reader.reads_complete) return true;
   return AtomSetsOverlap(writer.writes, reader.reads);
 }
 

@@ -8,6 +8,9 @@
 // AccessMonitor after the tool has run once (O2). An unknown scope
 // conservatively conflicts with everything, which is what forces the
 // coordinator's serial fallback on a first pass of undeclared tools.
+// An observed scope is built from recorded writes only, so its read
+// set is incomplete (reads_complete = false) and read-side checks
+// treat it just as conservatively: undeclared tools stay serial.
 #pragma once
 
 #include <set>
@@ -26,6 +29,14 @@ struct AccessScope {
   /// False = the scope is not known (the conservative default): it
   /// must be treated as conflicting with everything.
   bool known = false;
+  /// True when `reads` accounts for every cell the tool may read.
+  /// Declared scopes are complete contracts; an observed scope is
+  /// reconstructed from recorded *writes* only, so its read set is a
+  /// lower bound and this is false — read-side checks (WritesDisturb
+  /// with this scope as the reader) must then treat the scope as
+  /// conservatively disturbed by everything. Writes stay trustworthy
+  /// either way: the coordinator's runtime scope guard verifies them.
+  bool reads_complete = true;
   std::set<Atom> reads;
   std::set<Atom> writes;
 

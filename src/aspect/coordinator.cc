@@ -345,18 +345,21 @@ Result<RunReport> Coordinator::Run(Database* db,
   };
 
   // A position may run inside a parallel group only if its scope is
-  // known and every enforced validator's vote on its proposals is
-  // provably zero: the validator's reads must be known and disjoint
-  // from the position's writes (O1). Votes of group co-members are
-  // covered by the group's pairwise non-conflict.
+  // known with a complete read set — an observed (write-only) scope
+  // cannot prove the tool's reads are undisturbed by co-members, so
+  // such tools stay on the serial path — and every enforced
+  // validator's vote on its proposals is provably zero: the
+  // validator's writes must not disturb it and vice versa (O1), which
+  // WritesDisturb refuses to certify for validators with incomplete
+  // read sets. Votes of group co-members are covered by the group's
+  // pairwise non-conflict.
   const auto parallel_eligible = [&](size_t pos, AccessScope* out) {
     const AccessScope s = resolve_scope(order[pos]);
-    if (!s.known) return false;
+    if (!s.known || !s.reads_complete) return false;
     if (options.validate) {
       for (const int e : enforced) {
         if (e == order[pos]) continue;
-        const AccessScope vs = resolve_scope(e);
-        if (!vs.known || AtomSetsOverlap(s.writes, vs.reads)) return false;
+        if (WritesDisturb(s, resolve_scope(e))) return false;
       }
     }
     *out = s;
@@ -529,14 +532,20 @@ Result<RunReport> Coordinator::Run(Database* db,
     // (whole tables for row-structure changes) from its clone into the
     // main database — the clone is discarded right after the merge, so
     // stealing the storage avoids a second full copy. Scopes are
-    // pairwise disjoint, so no cell is written by two tasks.
+    // pairwise disjoint, so no cell is written by two tasks. A task
+    // that wrote both (t, kWholeTable) and (t, c) atoms — tuple ops
+    // plus cell ops on one table — must move the table exactly once:
+    // the whole-table move already carries every column, and a
+    // subsequent per-column move would index the moved-from clone
+    // table's empty storage.
     for (GroupTask& task : tasks) {
-      for (const AccessScope::Atom& a : task.recorder->written()) {
+      const std::set<AccessScope::Atom>& written = task.recorder->written();
+      for (const AccessScope::Atom& a : written) {
         Table& dst = db->table(a.first);
         Table& src = task.clone->table(a.first);
         if (a.second == AccessScope::kWholeTable) {
           dst = std::move(src);
-        } else {
+        } else if (written.count({a.first, AccessScope::kWholeTable}) == 0) {
           dst.column(a.second) = std::move(src.column(a.second));
         }
       }
@@ -567,9 +576,10 @@ Result<RunReport> Coordinator::Run(Database* db,
       task.clone.reset();
     }
     // Any other bound tool whose reads the group may have touched (or
-    // whose scope is unknown) gets its statistics rebuilt the same
-    // way; tools with known reads disjoint from the group's observed
-    // writes are provably undisturbed (O1) and keep their state.
+    // whose scope is unknown or write-only observed) gets its
+    // statistics rebuilt the same way; tools with complete known reads
+    // disjoint from the group's observed writes are provably
+    // undisturbed (O1) and keep their state.
     std::set<AccessScope::Atom> group_written;
     std::set<int> group_ids;
     for (GroupTask& task : tasks) {
@@ -583,7 +593,8 @@ Result<RunReport> Coordinator::Run(Database* db,
       PropertyTool* vt = tools_[static_cast<size_t>(v)].get();
       if (!vt->bound()) continue;
       const AccessScope vs = resolve_scope(v);
-      if (!vs.known || AtomSetsOverlap(group_written, vs.reads)) {
+      if (!vs.known || !vs.reads_complete ||
+          AtomSetsOverlap(group_written, vs.reads)) {
         vt->Unbind();
         ASPECT_RETURN_NOT_OK(vt->Bind(db));
       }

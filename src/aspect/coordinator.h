@@ -58,13 +58,13 @@ struct CoordinatorOptions {
   /// RNG seed for all tweaking randomness.
   uint64_t seed = 1;
   /// Run each pass O1-parallel: consecutive order positions whose
-  /// access scopes (declared by the tool, else observed by the
-  /// AccessMonitor) provably cannot disturb each other — and whose
-  /// enforced validators' votes are provably zero — are tweaked
+  /// declared access scopes provably cannot disturb each other — and
+  /// whose enforced validators' votes are provably zero — are tweaked
   /// concurrently on database clones, with the written columns merged
   /// back afterwards. Falls back to serial steps when scopes are
-  /// unknown (first pass of undeclared tools), scopes overlap, or
-  /// rollback_on_regression is on. For a fixed seed the results are
+  /// undeclared (the AccessMonitor's observed scope covers writes
+  /// only, which cannot prove the tool's reads safe), scopes overlap,
+  /// or rollback_on_regression is on. For a fixed seed the results are
   /// identical for every thread count; see DESIGN.md for the
   /// determinism argument.
   bool parallel_pass = false;

@@ -118,9 +118,11 @@ class PropertyTool : public ModificationListener {
 
   /// The (table, column) atoms this tool's Tweak may read and write,
   /// derived from its configured schema. Used by the O1-parallel pass
-  /// to prove two tools independent before running them concurrently.
-  /// The default is an unknown scope, which keeps the tool on the
-  /// serial path until the AccessMonitor has observed it (O2).
+  /// to prove two tools independent before running them concurrently;
+  /// a declared scope is a completeness contract for BOTH sets (reads
+  /// and writes). The default is an unknown scope, which keeps the
+  /// tool on the serial path: the AccessMonitor's observed scope (O2)
+  /// covers writes only, which is not enough to join a parallel group.
   virtual AccessScope DeclaredScope() const { return AccessScope(); }
 
   // --- Tweaking Algorithm -----------------------------------------------

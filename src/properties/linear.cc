@@ -366,9 +366,23 @@ double LinearPropertyTool::ValidationPenaltyBatch(
     std::span<const Modification> mods) const {
   if (db_ == nullptr) return 0.0;
   std::vector<EdgeChange> changes;
+  // ApplyBatch appends inserts in order, so the k-th insert into a
+  // table lands at NumSlots() + k. Each insert must be simulated at
+  // its own predicted id: letting CollectEdgeChanges default them all
+  // to NumSlots() would attach several children at one slot, and the
+  // second Attach corrupts ChainStats.
+  std::map<int, TupleId> inserts_seen;
   for (const Modification& mod : mods) {
-    std::vector<EdgeChange> one =
-        CollectEdgeChanges(mod, nullptr, kInvalidTuple);
+    TupleId predicted = kInvalidTuple;
+    if (mod.kind == OpKind::kInsertTuple) {
+      const int table = db_->schema().TableIndex(mod.table);
+      if (table >= 0) {
+        TupleId& k = inserts_seen[table];
+        predicted = db_->table(table).NumSlots() + k;
+        ++k;
+      }
+    }
+    std::vector<EdgeChange> one = CollectEdgeChanges(mod, nullptr, predicted);
     changes.insert(changes.end(), one.begin(), one.end());
   }
   if (changes.empty()) return 0.0;

@@ -28,6 +28,20 @@ Value Column::Get(int64_t row) const {
   return Value::Null();
 }
 
+bool Column::Accepts(const Value& v) const {
+  if (v.is_null()) return true;
+  switch (type_) {
+    case ColumnType::kInt64:
+    case ColumnType::kForeignKey:
+      return v.is_int64();
+    case ColumnType::kDouble:
+      return v.is_double();
+    case ColumnType::kString:
+      return v.is_string();
+  }
+  return false;
+}
+
 Status Column::Set(int64_t row, const Value& v) {
   const size_t r = static_cast<size_t>(row);
   if (v.is_null()) {

@@ -54,6 +54,12 @@ class Column {
     return strings_[static_cast<size_t>(row)];
   }
 
+  /// True when `v` can be stored in this column: null always, else the
+  /// value's dynamic type must match the column type. Callers that
+  /// write several columns check every value with this first so a late
+  /// type mismatch cannot leave a row half-written.
+  bool Accepts(const Value& v) const;
+
   /// Writes the cell; a null Value sets the kNull state. Returns
   /// Invalid if the value's dynamic type does not match the column.
   Status Set(int64_t row, const Value& v);

@@ -133,15 +133,7 @@ Status Database::ApplyCellOp(const Modification& mod, Table* t,
     }
     // Type-check up front so the operation stays all-or-nothing.
     for (size_t j = 0; j < mod.cols.size(); ++j) {
-      const Value& v = mod.values[j];
-      if (v.is_null()) continue;
-      const ColumnType type = t->column(mod.cols[j]).type();
-      const bool ok =
-          (v.is_int64() && (type == ColumnType::kInt64 ||
-                            type == ColumnType::kForeignKey)) ||
-          (v.is_double() && type == ColumnType::kDouble) ||
-          (v.is_string() && type == ColumnType::kString);
-      if (!ok) {
+      if (!t->column(mod.cols[j]).Accepts(mod.values[j])) {
         return Status::Invalid(StrFormat(
             "%s on '%s': value %zu has wrong type for column %d",
             OpKindToString(mod.kind), mod.table.c_str(), j, mod.cols[j]));
@@ -268,7 +260,10 @@ Status Database::ApplyBatch(std::span<const Modification> mods,
   }
   if (!st.ok()) {
     // All-or-nothing: revert the applied prefix in reverse order (so a
-    // kInsertTuple always reverts the table's last slot).
+    // kInsertTuple always reverts the table's last slot). The failing
+    // modification itself needs no revert: ApplyOne is all-or-nothing
+    // per modification — cell ops and Table::Append both validate
+    // types and cell states before writing anything.
     for (size_t i = done; i-- > 0;) {
       const Status undo = Undo(mods[i], old_values[i], inserted[i]);
       if (!undo.ok()) return undo;  // state corrupt; surface loudly

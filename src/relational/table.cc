@@ -17,6 +17,17 @@ Result<TupleId> Table::Append(const std::vector<Value>& values) {
         "table '%s': append with %zu values, expected %d columns",
         name().c_str(), values.size(), num_columns()));
   }
+  // Type-check every value before growing any column, so a mismatch on
+  // a later column cannot leave the columns ragged.
+  for (int c = 0; c < num_columns(); ++c) {
+    if (!columns_[static_cast<size_t>(c)].Accepts(
+            values[static_cast<size_t>(c)])) {
+      return Status::Invalid(StrFormat(
+          "table '%s': append value %d has wrong type for column '%s'",
+          name().c_str(), c,
+          columns_[static_cast<size_t>(c)].name().c_str()));
+    }
+  }
   for (int c = 0; c < num_columns(); ++c) {
     ASPECT_RETURN_NOT_OK(columns_[static_cast<size_t>(c)].Append(
         values[static_cast<size_t>(c)]));

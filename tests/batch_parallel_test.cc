@@ -6,6 +6,8 @@
 // error at any thread count.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "aspect/coordinator.h"
 #include "aspect/tweak_context.h"
 #include "properties/coappear.h"
@@ -332,6 +334,241 @@ TEST(BatchPipelineTest, ParallelPassMatchesSerialAcrossThreads) {
     EXPECT_EQ(parallel.report.final_errors, serial.report.final_errors)
         << threads;
     ExpectDatabasesIdentical(*parallel.db, *serial.db);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Regression coverage for the parallel-group machinery itself, with
+// minimal deterministic tools that exercise paths the shipped tools
+// only hit on large workloads.
+// ---------------------------------------------------------------------
+
+// Schema: two independent single-column tables plus one two-column
+// table for the read-dependency test.
+Schema TinySchema() {
+  Schema s;
+  s.name = "tiny";
+  s.tables.push_back({"A", {{"x", ColumnType::kInt64, ""}}});
+  s.tables.push_back({"B", {{"x", ColumnType::kInt64, ""}}});
+  s.tables.push_back({"T",
+                      {{"a", ColumnType::kInt64, ""},
+                       {"b", ColumnType::kInt64, ""}}});
+  return s;
+}
+
+std::unique_ptr<Database> TinyDb() {
+  auto db = Database::Create(TinySchema()).ValueOrAbort();
+  for (const char* name : {"A", "B"}) {
+    Table* t = db->FindTable(name);
+    t->Append({Value(int64_t{1})}).status().Check();
+    t->Append({Value(int64_t{2})}).status().Check();
+  }
+  Table* t = db->FindTable("T");
+  t->Append({Value(int64_t{0}), Value(int64_t{0})}).status().Check();
+  t->Append({Value(int64_t{0}), Value(int64_t{0})}).status().Check();
+  return db;
+}
+
+// Grows its table to `target` live tuples by cloning row 0, and
+// rewrites cell (0, 0) after every insert — so one Tweak records BOTH
+// a whole-table atom and a column atom on the same table, the shape
+// that must merge as a single table move.
+class RowAndCellTool : public PropertyTool {
+ public:
+  RowAndCellTool(const Schema& schema, std::string table, int64_t target)
+      : table_(std::move(table)),
+        table_index_(schema.TableIndex(table_)),
+        target_(target) {}
+
+  std::string name() const override { return "rowcell:" + table_; }
+  Status SetTargetFromDataset(const Database&) override {
+    return Status::OK();
+  }
+  Status RepairTarget() override { return Status::OK(); }
+  Status CheckTargetFeasible() const override { return Status::OK(); }
+  Status Bind(Database* db) override {
+    db_ = db;
+    return Status::OK();
+  }
+  void Unbind() override { db_ = nullptr; }
+  bool bound() const override { return db_ != nullptr; }
+  double Error() const override {
+    const Table* t = db_->FindTable(table_);
+    return std::abs(static_cast<double>(t->NumTuples() - target_));
+  }
+  double ValidationPenalty(const Modification&) const override { return 0; }
+  void OnApplied(const Modification&, const std::vector<Value>&,
+                 TupleId) override {}
+  AccessScope DeclaredScope() const override {
+    AccessScope scope;
+    scope.known = true;
+    scope.AddWrite(table_index_);  // whole table: row-structure writes
+    return scope;
+  }
+  Status Tweak(TweakContext* ctx) override {
+    const Table* t = db_->FindTable(table_);
+    while (t->NumTuples() < target_) {
+      std::vector<Value> row;
+      for (int c = 0; c < t->num_columns(); ++c) {
+        row.push_back(t->column(c).Get(0));
+      }
+      ASPECT_RETURN_NOT_OK(
+          ctx->TryApply(Modification::InsertTuple(table_, std::move(row))));
+      ASPECT_RETURN_NOT_OK(ctx->TryApply(Modification::ReplaceValues(
+          table_, {0}, {0}, {Value(int64_t{t->NumTuples()})})));
+    }
+    return Status::OK();
+  }
+
+ private:
+  std::string table_;
+  int table_index_;
+  int64_t target_;
+  Database* db_ = nullptr;
+};
+
+// A task that inserts tuples AND rewrites cells on one table records
+// both (t, kWholeTable) and (t, c) atoms; the merge must move that
+// table exactly once instead of following the whole-table move with a
+// per-column move from the moved-from clone.
+TEST(BatchPipelineTest, ParallelMergeHandlesWholeTablePlusCellAtoms) {
+  const Schema schema = TinySchema();
+  const auto run_with = [&](bool parallel) {
+    auto db = TinyDb();
+    Coordinator coordinator;
+    std::vector<int> order = {
+        coordinator.AddTool(
+            std::make_unique<RowAndCellTool>(schema, "A", 6)),
+        coordinator.AddTool(
+            std::make_unique<RowAndCellTool>(schema, "B", 5)),
+    };
+    CoordinatorOptions opts;
+    opts.seed = 3;
+    opts.parallel_pass = parallel;
+    opts.pass_threads = 2;
+    RunReport report =
+        coordinator.Run(db.get(), order, opts).ValueOrAbort();
+    return std::make_pair(std::move(db), std::move(report));
+  };
+
+  const auto serial = run_with(false);
+  const auto parallel = run_with(true);
+  // The group must actually have formed (both scopes are declared and
+  // disjoint), or this test exercises nothing.
+  ASSERT_EQ(parallel.second.steps.size(), 2u);
+  for (const ToolReport& step : parallel.second.steps) {
+    EXPECT_TRUE(step.parallel) << step.tool;
+    EXPECT_EQ(step.error_after, 0.0) << step.tool;
+  }
+  EXPECT_EQ(parallel.second.final_errors, serial.second.final_errors);
+  ExpectDatabasesIdentical(*parallel.first, *serial.first);
+}
+
+// Writes `T.b[0] = T.b[0] + 1`; scope declared.
+class WriterTool : public PropertyTool {
+ public:
+  explicit WriterTool(const Schema& schema)
+      : table_index_(schema.TableIndex("T")) {}
+  std::string name() const override { return "writer"; }
+  Status SetTargetFromDataset(const Database&) override {
+    return Status::OK();
+  }
+  Status RepairTarget() override { return Status::OK(); }
+  Status CheckTargetFeasible() const override { return Status::OK(); }
+  Status Bind(Database* db) override {
+    db_ = db;
+    return Status::OK();
+  }
+  void Unbind() override { db_ = nullptr; }
+  bool bound() const override { return db_ != nullptr; }
+  double Error() const override { return 0; }
+  double ValidationPenalty(const Modification&) const override { return 0; }
+  void OnApplied(const Modification&, const std::vector<Value>&,
+                 TupleId) override {}
+  AccessScope DeclaredScope() const override {
+    AccessScope scope;
+    scope.known = true;
+    scope.AddWrite(table_index_, 1);  // T.b
+    return scope;
+  }
+  Status Tweak(TweakContext* ctx) override {
+    const Table* t = db_->FindTable("T");
+    return ctx->TryApply(Modification::ReplaceValues(
+        "T", {0}, {1}, {Value(t->column(1).GetInt(0) + 1)}));
+  }
+
+ private:
+  int table_index_;
+  Database* db_ = nullptr;
+};
+
+// Copies `T.b[0]` into `T.a[1]` — it READS a column it never writes
+// and declares nothing, so its observed scope under-reports its reads.
+class ShadowReaderTool : public PropertyTool {
+ public:
+  std::string name() const override { return "shadow"; }
+  Status SetTargetFromDataset(const Database&) override {
+    return Status::OK();
+  }
+  Status RepairTarget() override { return Status::OK(); }
+  Status CheckTargetFeasible() const override { return Status::OK(); }
+  Status Bind(Database* db) override {
+    db_ = db;
+    return Status::OK();
+  }
+  void Unbind() override { db_ = nullptr; }
+  bool bound() const override { return db_ != nullptr; }
+  double Error() const override { return 0; }
+  double ValidationPenalty(const Modification&) const override { return 0; }
+  void OnApplied(const Modification&, const std::vector<Value>&,
+                 TupleId) override {}
+  Status Tweak(TweakContext* ctx) override {
+    const Table* t = db_->FindTable("T");
+    return ctx->TryApply(Modification::ReplaceValues(
+        "T", {1}, {0}, {Value(t->column(1).GetInt(0))}));
+  }
+
+ private:
+  Database* db_ = nullptr;
+};
+
+// A tool without a declared scope reads a column it never writes, so
+// its observed (write-only) scope must NOT license grouping it with a
+// tool that writes that column: serial semantics would see the
+// writer's update, a group clone would not. The fix keeps such tools
+// on the serial path; results must match the serial run exactly and
+// no step may have run in a group.
+TEST(BatchPipelineTest, ObservedWriteOnlyScopeStaysSerial) {
+  const Schema schema = TinySchema();
+  const auto run_with = [&](bool parallel, int threads) {
+    auto db = TinyDb();
+    Coordinator coordinator;
+    std::vector<int> order = {
+        coordinator.AddTool(std::make_unique<WriterTool>(schema)),
+        coordinator.AddTool(std::make_unique<ShadowReaderTool>()),
+    };
+    CoordinatorOptions opts;
+    opts.seed = 9;
+    opts.iterations = 3;
+    opts.parallel_pass = parallel;
+    opts.pass_threads = threads;
+    RunReport report =
+        coordinator.Run(db.get(), order, opts).ValueOrAbort();
+    return std::make_pair(std::move(db), std::move(report));
+  };
+
+  const auto serial = run_with(false, 1);
+  // After 3 passes, serially: b[0] = 3 and a[1] holds the value of
+  // b[0] at the last shadow step, i.e. 3.
+  EXPECT_EQ(serial.first->FindTable("T")->column(1).GetInt(0), 3);
+  EXPECT_EQ(serial.first->FindTable("T")->column(0).GetInt(1), 3);
+  for (const int threads : {2, 8}) {
+    const auto parallel = run_with(true, threads);
+    ASSERT_EQ(parallel.second.steps.size(), serial.second.steps.size());
+    for (const ToolReport& step : parallel.second.steps) {
+      EXPECT_FALSE(step.parallel) << step.tool;
+    }
+    ExpectDatabasesIdentical(*parallel.first, *serial.first);
   }
 }
 

@@ -239,6 +239,35 @@ TEST(LinearToolTest, ValidationPenaltySigns) {
   tool.Unbind();
 }
 
+TEST(LinearToolTest, BatchPenaltyGivesDistinctIdsToBatchedInserts) {
+  // Two inserts in one batch land at consecutive tuple ids. The batch
+  // validator must simulate them at those ids: collapsing both onto
+  // the next-slot prediction double-attaches one ChainStats slot and
+  // corrupts the join matrix (this crashed the CLI's --batch mode).
+  auto db = ChainDb();
+  LinearPropertyTool tool(db->schema());
+  ASSERT_TRUE(tool.SetTargetFromDataset(*db).ok());
+  ASSERT_TRUE(tool.Bind(db.get()).ok());
+  EXPECT_DOUBLE_EQ(tool.Error(), 0.0);
+
+  // d2->c1 and d3->c2 turn b2 and b3 (and a2) into D-reaching tuples.
+  const std::vector<Modification> mods = {
+      Modification::InsertTuple("D", {Value(int64_t{1})}),
+      Modification::InsertTuple("D", {Value(int64_t{2})}),
+  };
+  const double penalty = tool.ValidationPenaltyBatch(mods);
+  EXPECT_GT(penalty, 0.0);
+  // The simulation must have been fully reverted...
+  EXPECT_DOUBLE_EQ(tool.Error(), 0.0);
+  // ...and its verdict must equal the error delta of really applying
+  // the batch (the incremental update sees the true ids).
+  ASSERT_TRUE(db->ApplyBatch(mods).ok());
+  EXPECT_DOUBLE_EQ(penalty, tool.Error());
+  EXPECT_EQ(tool.CurrentMatrix(0),
+            ComputeJoinMatrix(*db, tool.chains()[0]));
+  tool.Unbind();
+}
+
 TEST(LinearToolTest, StatsFollowForeignModifications) {
   // The Statistics Updater must track modifications made by *other*
   // tools (here: simulated by direct Database::Apply calls).

@@ -150,6 +150,19 @@ TEST(TableTest, AppendArityChecked) {
   EXPECT_FALSE(db->FindTable("User")->Append({}).ok());
 }
 
+TEST(TableTest, AppendIsAtomicOnTypeErrors) {
+  auto db = MakeDb();
+  Table* post = db->FindTable("Post");
+  const int64_t slots = post->NumSlots();
+  // The second value has the wrong type: no column may grow, or the
+  // table would be left ragged.
+  EXPECT_FALSE(
+      post->Append({Value(int64_t{0}), Value(std::string("bad"))}).ok());
+  EXPECT_EQ(post->NumSlots(), slots);
+  EXPECT_EQ(post->column(0).size(), slots);
+  EXPECT_EQ(post->column(1).size(), slots);
+}
+
 TEST(DatabaseTest, FindTable) {
   auto db = MakeDb();
   EXPECT_NE(db->FindTable("User"), nullptr);
@@ -275,6 +288,35 @@ TEST(DatabaseTest, ListenerSeesOldValues) {
   db->RemoveListener(&listener);
   ASSERT_TRUE(db->Apply(Modification::DeleteTuple("Like", nt)).ok());
   EXPECT_EQ(listener.kinds.size(), 3u);  // no further notifications
+}
+
+TEST(DatabaseTest, ApplyBatchRevertsAppliedPrefixOnFailure) {
+  auto db = MakeDb();
+  auto pristine = db->Clone();
+  RecordingListener listener;
+  db->AddListener(&listener);
+  // Two valid modifications followed by a failing one (wrong type in
+  // the inserted row): the prefix must be reverted, nothing notified.
+  const std::vector<Modification> batch = {
+      Modification::ReplaceValues("Post", {0}, {1}, {Value(int64_t{7})}),
+      Modification::InsertTuple("Post",
+                                {Value(int64_t{1}), Value(int64_t{4})}),
+      Modification::InsertTuple(
+          "Post", {Value(int64_t{0}), Value(std::string("bad"))}),
+  };
+  std::vector<TupleId> new_tuples;
+  EXPECT_FALSE(db->ApplyBatch(batch, &new_tuples).ok());
+  EXPECT_TRUE(listener.kinds.empty());
+  EXPECT_EQ(new_tuples, std::vector<TupleId>(3, kInvalidTuple));
+  const Table* post = db->FindTable("Post");
+  const Table* orig = pristine->FindTable("Post");
+  ASSERT_EQ(post->NumSlots(), orig->NumSlots());
+  EXPECT_EQ(post->column(0).size(), orig->column(0).size());
+  EXPECT_EQ(post->column(1).size(), orig->column(1).size());
+  for (TupleId t = 0; t < orig->NumSlots(); ++t) {
+    EXPECT_EQ(post->column(0).Get(t), orig->column(0).Get(t)) << t;
+    EXPECT_EQ(post->column(1).Get(t), orig->column(1).Get(t)) << t;
+  }
 }
 
 TEST(DatabaseTest, FailedOpDoesNotNotify) {
