@@ -8,6 +8,7 @@
 //              [--report] [--compare-orders] [--threads N]
 //              [--rollback off|clone|undo]
 //              [--parallel-pass on|off] [--batch N]
+//              [--check-scopes off|warn|strict]
 //
 // Reads one CSV per table from --data, scales every table by --scale
 // (rounded, at least 1), enforces the chosen properties and writes the
@@ -25,6 +26,7 @@
 #include <map>
 #include <string>
 
+#include "analysis/scope_checker.h"
 #include "aspect/coordinator.h"
 #include "aspect/registry.h"
 #include "aspect/targets_io.h"
@@ -58,13 +60,23 @@ struct Args {
   bool parallel_pass = false;
   int batch = 1;
   uint64_t seed = 1;
+  analysis::ScopeCheckMode check_scopes = analysis::ScopeCheckMode::kOff;
 };
 
 Result<Args> ParseArgs(int argc, char** argv) {
   Args args;
   for (int i = 1; i < argc; ++i) {
-    const std::string flag = argv[i];
+    // Accept both "--flag value" and "--flag=value".
+    std::string flag = argv[i];
+    std::string inline_value;
+    bool has_inline = false;
+    if (const size_t eq = flag.find('='); eq != std::string::npos) {
+      inline_value = flag.substr(eq + 1);
+      flag = flag.substr(0, eq);
+      has_inline = true;
+    }
     auto next = [&]() -> Result<std::string> {
+      if (has_inline) return inline_value;
       if (i + 1 >= argc) {
         return Status::Invalid(flag + " needs a value");
       }
@@ -118,6 +130,11 @@ Result<Args> ParseArgs(int argc, char** argv) {
       args.batch = std::atoi(v.c_str());
       if (args.batch < 1) {
         return Status::Invalid("--batch must be at least 1");
+      }
+    } else if (flag == "--check-scopes") {
+      ASPECT_ASSIGN_OR_RETURN(const std::string v, next());
+      if (!analysis::ParseScopeCheckMode(v, &args.check_scopes)) {
+        return Status::Invalid("--check-scopes must be off, warn or strict");
       }
     } else if (flag == "--rollback") {
       ASPECT_ASSIGN_OR_RETURN(args.rollback, next());
@@ -233,6 +250,7 @@ Status Run(const Args& args) {
   options.rollback_on_regression = a.rollback != "off";
   options.rollback_mode =
       a.rollback == "clone" ? RollbackMode::kClone : RollbackMode::kUndoLog;
+  options.check_scopes = a.check_scopes;
   if (a.compare_orders && order.size() >= 2 && order.size() <= 4) {
     // Try every permutation on a scratch copy (the Property Tweaking
     // Order Problem, answered empirically) and keep the best.
@@ -262,6 +280,17 @@ Status Run(const Args& args) {
   ASPECT_ASSIGN_OR_RETURN(const RunReport report,
                           coordinator.Run(scaled.get(), order, options));
   std::printf("%s\n", report.ToString().c_str());
+  if (a.check_scopes != analysis::ScopeCheckMode::kOff) {
+    if (report.scope_violations.empty()) {
+      std::printf("scope check: all tools conformant\n");
+    } else {
+      std::printf("scope check: %zu violation(s)\n",
+                  report.scope_violations.size());
+      for (const analysis::ScopeViolation& v : report.scope_violations) {
+        std::printf("  %s\n", v.ToString().c_str());
+      }
+    }
+  }
   if (log != nullptr) {
     std::printf("tweaking footprint: %s", log->ToString().c_str());
   }

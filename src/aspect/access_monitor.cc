@@ -6,7 +6,8 @@
 namespace aspect {
 
 AccessMonitor::AccessMonitor(int num_tools)
-    : touched_(static_cast<size_t>(num_tools)),
+    : num_tools_(num_tools),
+      touched_(static_cast<size_t>(num_tools)),
       atoms_(static_cast<size_t>(num_tools)) {}
 
 uint64_t AccessMonitor::CellKey(int table, TupleId tuple, int col) {
@@ -19,6 +20,7 @@ uint64_t AccessMonitor::CellKey(int table, TupleId tuple, int col) {
 void AccessMonitor::Record(int tool_id, int table_index,
                            const Modification& mod) {
   if (tool_id < 0 || tool_id >= num_tools()) return;
+  MutexLock lock(mu_);
   auto& set = touched_[static_cast<size_t>(tool_id)];
   auto& atoms = atoms_[static_cast<size_t>(tool_id)];
   switch (mod.kind) {
@@ -60,6 +62,8 @@ void AccessMonitor::Record(int tool_id, int table_index,
 }
 
 void AccessMonitor::MergeFrom(const AccessMonitor& other) {
+  MutexLock lock(mu_);
+  MutexLock other_lock(other.mu_);
   const size_t n =
       std::min(touched_.size(), other.touched_.size());
   for (size_t i = 0; i < n; ++i) {
@@ -69,6 +73,8 @@ void AccessMonitor::MergeFrom(const AccessMonitor& other) {
 }
 
 void AccessMonitor::MergeFrom(AccessMonitor&& other) {
+  MutexLock lock(mu_);
+  MutexLock other_lock(other.mu_);
   const size_t n =
       std::min(touched_.size(), other.touched_.size());
   for (size_t i = 0; i < n; ++i) {
@@ -88,6 +94,11 @@ void AccessMonitor::MergeFrom(AccessMonitor&& other) {
 }
 
 bool AccessMonitor::Overlaps(int a, int b) const {
+  MutexLock lock(mu_);
+  return OverlapsLocked(a, b);
+}
+
+bool AccessMonitor::OverlapsLocked(int a, int b) const {
   const auto& sa = touched_[static_cast<size_t>(a)];
   const auto& sb = touched_[static_cast<size_t>(b)];
   const auto& small = sa.size() <= sb.size() ? sa : sb;
@@ -101,6 +112,7 @@ bool AccessMonitor::Overlaps(int a, int b) const {
 AccessScope AccessMonitor::ObservedScope(int tool_id) const {
   AccessScope scope;
   if (tool_id < 0 || tool_id >= num_tools()) return scope;
+  MutexLock lock(mu_);
   const auto& atoms = atoms_[static_cast<size_t>(tool_id)];
   if (atoms.empty()) return scope;  // never ran: unknown
   scope.known = true;
@@ -118,9 +130,10 @@ std::vector<std::vector<bool>> AccessMonitor::OverlapGraph() const {
   const int n = num_tools();
   std::vector<std::vector<bool>> adj(
       static_cast<size_t>(n), std::vector<bool>(static_cast<size_t>(n)));
+  MutexLock lock(mu_);
   for (int a = 0; a < n; ++a) {
     for (int b = a + 1; b < n; ++b) {
-      const bool o = Overlaps(a, b);
+      const bool o = OverlapsLocked(a, b);
       adj[static_cast<size_t>(a)][static_cast<size_t>(b)] = o;
       adj[static_cast<size_t>(b)][static_cast<size_t>(a)] = o;
     }

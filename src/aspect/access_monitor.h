@@ -10,44 +10,54 @@
 #include <vector>
 
 #include "aspect/access_scope.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "relational/database.h"
 
 namespace aspect {
 
+/// Thread-safe: every method locks mu_, so a monitor may be shared
+/// between the coordinating thread and task threads (the parallel pass
+/// today keeps one private monitor per task and merges after the pool
+/// barrier, but the ROADMAP's shared-database design records into one
+/// monitor concurrently). The guard contracts are enforced at compile
+/// time by Clang's -Wthread-safety analysis.
 class AccessMonitor {
  public:
   explicit AccessMonitor(int num_tools);
 
-  int num_tools() const { return static_cast<int>(touched_.size()); }
+  int num_tools() const { return num_tools_; }
 
   /// Records the cells written by `mod` on behalf of tool `tool_id`.
   /// `table_index` is the table's index in the schema.
-  void Record(int tool_id, int table_index, const Modification& mod);
+  void Record(int tool_id, int table_index, const Modification& mod)
+      ASPECT_EXCLUDES(mu_);
 
   /// Unions another monitor's records into this one (same num_tools).
   /// The parallel pass records each task into a private monitor and
   /// merges the successful ones, so a discarded attempt leaves no
   /// phantom cells behind.
-  void MergeFrom(const AccessMonitor& other);
+  void MergeFrom(const AccessMonitor& other) ASPECT_EXCLUDES(mu_);
 
   /// Move-merge: same union, but a tool whose records are empty on this
   /// side adopts the other side's sets wholesale instead of re-inserting
   /// tens of thousands of cell keys one by one. This is the common case
   /// when merging a parallel task's monitor (the main monitor is reset
   /// per Run and each tool runs once per pass). `other` is left empty.
-  void MergeFrom(AccessMonitor&& other);
+  void MergeFrom(AccessMonitor&& other) ASPECT_EXCLUDES(mu_);
 
   /// True if the two tools wrote at least one common cell. Row
   /// insert/delete counts as touching every column of that tuple.
-  bool Overlaps(int a, int b) const;
+  bool Overlaps(int a, int b) const ASPECT_EXCLUDES(mu_);
 
   /// Number of distinct cells tool `tool_id` wrote.
-  int64_t CellsTouched(int tool_id) const {
+  int64_t CellsTouched(int tool_id) const ASPECT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return static_cast<int64_t>(touched_[static_cast<size_t>(tool_id)].size());
   }
 
   /// Adjacency matrix of the overlap graph (see overlap.h).
-  std::vector<std::vector<bool>> OverlapGraph() const;
+  std::vector<std::vector<bool>> OverlapGraph() const ASPECT_EXCLUDES(mu_);
 
   /// The coarse (table, column) scope tool `tool_id` was observed to
   /// write (O2's empirical answer to "what does this tool access?").
@@ -56,16 +66,20 @@ class AccessMonitor {
   /// of the writes and is marked incomplete (reads_complete == false):
   /// read-side checks must not treat it as the tool's full read set.
   /// Unknown (scope.known == false) until the tool records something.
-  AccessScope ObservedScope(int tool_id) const;
+  AccessScope ObservedScope(int tool_id) const ASPECT_EXCLUDES(mu_);
 
  private:
   // Cell key: (table, tuple, column) packed into 64 bits; column -1
   // (whole row) is recorded as a per-column fan-out.
   static uint64_t CellKey(int table, TupleId tuple, int col);
 
-  std::vector<std::unordered_set<uint64_t>> touched_;
+  bool OverlapsLocked(int a, int b) const ASPECT_REQUIRES(mu_);
+
+  const int num_tools_;
+  mutable Mutex mu_;
+  std::vector<std::unordered_set<uint64_t>> touched_ ASPECT_GUARDED_BY(mu_);
   // Coarse (table, column) write atoms per tool, for ObservedScope.
-  std::vector<std::set<AccessScope::Atom>> atoms_;
+  std::vector<std::set<AccessScope::Atom>> atoms_ ASPECT_GUARDED_BY(mu_);
 };
 
 }  // namespace aspect

@@ -1,73 +1,6 @@
-// AccessScope: the (table, column) cell sets a tweaking tool reads and
-// writes, used by the O1-parallel pass (Sec. IV, observation O1: tools
-// whose access sets do not overlap provably cannot disturb each other,
-// so their tweaks commute and their cross-votes are always zero).
-//
-// A scope is either *declared* by the tool up front
-// (PropertyTool::DeclaredScope) or *observed* empirically by the
-// AccessMonitor after the tool has run once (O2). An unknown scope
-// conservatively conflicts with everything, which is what forces the
-// coordinator's serial fallback on a first pass of undeclared tools.
-// An observed scope is built from recorded writes only, so its read
-// set is incomplete (reads_complete = false) and read-side checks
-// treat it just as conservatively: undeclared tools stay serial.
+// Forwarding header: AccessScope moved to the analysis library
+// (src/analysis/access_scope.h) so the scope-conformance checker and
+// the coordinator share one definition without a dependency cycle.
 #pragma once
 
-#include <set>
-#include <utility>
-
-namespace aspect {
-
-struct AccessScope {
-  /// One accessed region: (table index, column index). A column of
-  /// kWholeTable marks row-structure access (tuple inserts/deletes, or
-  /// an unpredictable column set) and overlaps every atom on that
-  /// table.
-  using Atom = std::pair<int, int>;
-  static constexpr int kWholeTable = -1;
-
-  /// False = the scope is not known (the conservative default): it
-  /// must be treated as conflicting with everything.
-  bool known = false;
-  /// True when `reads` accounts for every cell the tool may read.
-  /// Declared scopes are complete contracts; an observed scope is
-  /// reconstructed from recorded *writes* only, so its read set is a
-  /// lower bound and this is false — read-side checks (WritesDisturb
-  /// with this scope as the reader) must then treat the scope as
-  /// conservatively disturbed by everything. Writes stay trustworthy
-  /// either way: the coordinator's runtime scope guard verifies them.
-  bool reads_complete = true;
-  std::set<Atom> reads;
-  std::set<Atom> writes;
-
-  /// Adds a read atom (column defaults to the whole table).
-  void AddRead(int table, int column = kWholeTable);
-  /// Adds a write atom; a written cell is also a read (tools consult
-  /// what they write), so the atom lands in both sets.
-  void AddWrite(int table, int column = kWholeTable);
-  /// Unions `other` into this scope; the result is known only if both
-  /// inputs are.
-  void MergeFrom(const AccessScope& other);
-};
-
-/// True when two atoms can address a common cell: same table, and at
-/// least one side is kWholeTable or the columns coincide.
-bool AtomsOverlap(AccessScope::Atom a, AccessScope::Atom b);
-
-/// True when any atom of `a` overlaps any atom of `b`.
-bool AtomSetsOverlap(const std::set<AccessScope::Atom>& a,
-                     const std::set<AccessScope::Atom>& b);
-
-/// Directed disturbance test: can `writer`'s writes change a cell that
-/// `reader` reads? Unknown scopes disturb (and are disturbed by)
-/// everything. When this is false, every one of `reader`'s validator
-/// votes on `writer`'s proposals is provably zero, and `reader`'s
-/// statistics are unchanged by `writer`'s tweaks (O1).
-bool WritesDisturb(const AccessScope& writer, const AccessScope& reader);
-
-/// Symmetric conflict for the independence graph fed to
-/// IndependentClasses: either side's writes intersect the other's
-/// reads (writes are reads too, so write-write overlap is included).
-bool ScopesConflict(const AccessScope& a, const AccessScope& b);
-
-}  // namespace aspect
+#include "analysis/access_scope.h"

@@ -6,6 +6,7 @@
 #include <map>
 #include <sstream>
 
+#include "analysis/probe.h"
 #include "aspect/overlap.h"
 #include "aspect/tweak_context.h"
 #include "common/logging.h"
@@ -110,8 +111,19 @@ class WriteRecorder : public ModificationListener {
     new_tuples_.clear();
   }
 
-  /// Coarse (table, column) atoms actually written on the clone.
+  /// Coarse (table, column) atoms actually written on the clone, in
+  /// *merge* terms: a tuple insert/delete physically changes every
+  /// column, so it lands here as (table, kWholeTable) and the merge
+  /// moves the table whole.
   const std::set<AccessScope::Atom>& written() const { return written_; }
+
+  /// The same writes in *declaration* terms: tuple ops are
+  /// (table, kRowStructure), matching what DeclaredScope() promises
+  /// and what Database::Apply probes. The scope guard diffs this set
+  /// against the task's declared writes.
+  const std::set<AccessScope::Atom>& semantic_written() const {
+    return semantic_;
+  }
 
  private:
   void AddAtoms(const Modification& mod) {
@@ -120,11 +132,15 @@ class WriteRecorder : public ModificationListener {
       case OpKind::kDeleteValues:
       case OpKind::kInsertValues:
       case OpKind::kReplaceValues:
-        for (const int c : mod.cols) written_.insert({t, c});
+        for (const int c : mod.cols) {
+          written_.insert({t, c});
+          semantic_.insert({t, c});
+        }
         break;
       case OpKind::kInsertTuple:
       case OpKind::kDeleteTuple:
         written_.insert({t, AccessScope::kWholeTable});
+        semantic_.insert({t, AccessScope::kRowStructure});
         break;
     }
   }
@@ -132,21 +148,12 @@ class WriteRecorder : public ModificationListener {
   const Schema* schema_;
   bool record_entries_ = true;
   std::set<AccessScope::Atom> written_;
+  std::set<AccessScope::Atom> semantic_;
   std::vector<Modification> mods_;
   std::vector<std::vector<Value>> old_values_;
   std::vector<TupleId> new_tuples_;
   std::vector<Delivery> deliveries_;
 };
-
-/// True when `atom` lies inside the write set `writes`: listed exactly,
-/// or covered by that table's whole-table atom. A whole-table atom is
-/// only covered by itself.
-bool AtomCovered(AccessScope::Atom atom,
-                 const std::set<AccessScope::Atom>& writes) {
-  if (writes.count(atom) > 0) return true;
-  return atom.second != AccessScope::kWholeTable &&
-         writes.count({atom.first, AccessScope::kWholeTable}) > 0;
-}
 
 }  // namespace
 
@@ -218,6 +225,17 @@ Result<RunReport> Coordinator::Run(Database* db,
   RunReport report;
   const double run_start = Now();
   monitor_ = std::make_unique<AccessMonitor>(num_tools());
+  checker_.reset();
+  if (options.check_scopes != analysis::ScopeCheckMode::kOff) {
+    checker_ = std::make_unique<analysis::ScopeChecker>(options.check_scopes,
+                                                        num_tools());
+  }
+  // Footprint recorders are dense bitmaps shaped by the schema.
+  std::vector<int> columns_per_table;
+  columns_per_table.reserve(static_cast<size_t>(db->num_tables()));
+  for (int i = 0; i < db->num_tables(); ++i) {
+    columns_per_table.push_back(db->table(i).num_columns());
+  }
   Rng rng(options.seed);
 
   // Bind all tools in the order so each maintains statistics (and can
@@ -251,12 +269,21 @@ Result<RunReport> Coordinator::Run(Database* db,
 
   // Scope the pass planner assumes for a tool: declared if the tool
   // knows it, else what the AccessMonitor has observed so far (O2),
-  // else unknown (which keeps the tool serial).
+  // else unknown (which keeps the tool serial). A tool the checker has
+  // caught violating its declaration is distrusted: its declaration is
+  // ignored for the rest of the run, so it degrades to the observed
+  // (write-only) scope and the serial path.
   const auto resolve_scope = [this](int id) {
-    AccessScope s = tools_[static_cast<size_t>(id)]->DeclaredScope();
-    if (s.known) return s;
+    if (checker_ == nullptr || !checker_->IsDistrusted(id)) {
+      AccessScope s = tools_[static_cast<size_t>(id)]->DeclaredScope();
+      if (s.known) return s;
+    }
     return monitor_->ObservedScope(id);
   };
+
+  // 0-based pass index, for violation diagnostics ("first seen in
+  // pass N"); advanced by the iteration loop below.
+  int cur_pass = 0;
 
   // One serial tool step (the historical path); `child` is the
   // position's preforked RNG.
@@ -294,7 +321,18 @@ Result<RunReport> Coordinator::Run(Database* db,
       }
     }
     const double t0 = Now();
-    const Status st = t->Tweak(&ctx);
+    Status st;
+    if (checker_ != nullptr) {
+      analysis::FootprintRecorder footprint(columns_per_table);
+      {
+        analysis::ScopedAccessProbe probe(&footprint);
+        st = t->Tweak(&ctx);
+      }
+      checker_->CheckStep(id, t->name(), t->DeclaredScope(), footprint,
+                          cur_pass);
+    } else {
+      st = t->Tweak(&ctx);
+    }
     step.seconds = Now() - t0;
     if (!st.ok()) {
       for (const int uid : order) {
@@ -348,18 +386,21 @@ Result<RunReport> Coordinator::Run(Database* db,
   // known with a complete read set — an observed (write-only) scope
   // cannot prove the tool's reads are undisturbed by co-members, so
   // such tools stay on the serial path — and every enforced
-  // validator's vote on its proposals is provably zero: the
-  // validator's writes must not disturb it and vice versa (O1), which
-  // WritesDisturb refuses to certify for validators with incomplete
-  // read sets. Votes of group co-members are covered by the group's
-  // pairwise non-conflict.
+  // validator's vote on its proposals is provably zero. A vote depends
+  // on the validator's *statistics* (its Error/ValidationPenalty
+  // inputs), so the eligibility test is against stats_reads
+  // (ValidationDisturb), not the full Tweak read set: a validator's
+  // Tweak-only reads (e.g. TupleCountTool's whole template rows)
+  // cannot change its votes. ValidationDisturb still refuses to
+  // certify validators with incomplete read sets. Votes of group
+  // co-members are covered by the group's pairwise non-conflict.
   const auto parallel_eligible = [&](size_t pos, AccessScope* out) {
     const AccessScope s = resolve_scope(order[pos]);
     if (!s.known || !s.reads_complete) return false;
     if (options.validate) {
       for (const int e : enforced) {
         if (e == order[pos]) continue;
-        if (WritesDisturb(s, resolve_scope(e))) return false;
+        if (ValidationDisturb(s, resolve_scope(e))) return false;
       }
     }
     *out = s;
@@ -382,6 +423,9 @@ Result<RunReport> Coordinator::Run(Database* db,
     std::unique_ptr<Database> clone;
     std::unique_ptr<WriteRecorder> recorder;
     std::unique_ptr<AccessMonitor> local_monitor;
+    /// Observed read+write footprint of the task's Tweak (conformance
+    /// checking only; null when no checker is installed).
+    std::unique_ptr<analysis::FootprintRecorder> footprint;
     Status status = Status::OK();
     double seconds = 0;
     int64_t applied = 0;
@@ -446,6 +490,10 @@ Result<RunReport> Coordinator::Run(Database* db,
       task.recorder = std::make_unique<WriteRecorder>(
           &task.clone->schema(), !replay_to.empty());
       task.local_monitor = std::make_unique<AccessMonitor>(num_tools());
+      if (checker_ != nullptr) {
+        task.footprint =
+            std::make_unique<analysis::FootprintRecorder>(columns_per_table);
+      }
       // Move the tool onto its clone now, while the group is still
       // serial: Rebase unhooks the tool from the shared main
       // database's listener list, which concurrent tasks must not
@@ -466,7 +514,14 @@ Result<RunReport> Coordinator::Run(Database* db,
                        task.local_monitor.get(), task.id);
       ctx.set_batch_hint(options.batch_size);
       const double t0 = Now();
-      task.status = t->Tweak(&ctx);
+      if (task.footprint != nullptr) {
+        // The probe sink is thread-local, so each worker records into
+        // its own task's recorder without any sharing.
+        analysis::ScopedAccessProbe probe(task.footprint.get());
+        task.status = t->Tweak(&ctx);
+      } else {
+        task.status = t->Tweak(&ctx);
+      }
       task.seconds = Now() - t0;
       task.applied = ctx.applied();
       task.vetoed = ctx.vetoed();
@@ -498,8 +553,8 @@ Result<RunReport> Coordinator::Run(Database* db,
         discard = true;
         continue;
       }
-      for (const AccessScope::Atom& a : task.recorder->written()) {
-        if (!AtomCovered(a, task.scope.writes)) {
+      for (const AccessScope::Atom& a : task.recorder->semantic_written()) {
+        if (!AtomCoveredBy(a, task.scope.writes)) {
           ASPECT_LOG(Warning)
               << "parallel group discarded: " << t->name()
               << " wrote (table " << a.first << ", col " << a.second
@@ -507,6 +562,31 @@ Result<RunReport> Coordinator::Run(Database* db,
           discard = true;
           break;
         }
+      }
+    }
+    // Conformance: diff each task's observed footprint against its
+    // declaration, and cross-check that the group members' observed
+    // footprints really were pairwise non-disturbing — the grouping
+    // was proved on declarations, this verifies it held in fact. Run
+    // even when the group is about to be discarded: the violation that
+    // caused the discard is exactly what should be reported (and the
+    // offender distrusted before the serial redo re-plans).
+    if (checker_ != nullptr) {
+      std::vector<int> group_tools;
+      std::vector<std::string> group_names;
+      std::vector<const analysis::FootprintRecorder*> group_prints;
+      for (GroupTask& task : tasks) {
+        if (!task.status.ok()) continue;
+        PropertyTool* t = tools_[static_cast<size_t>(task.id)].get();
+        checker_->CheckStep(task.id, t->name(), t->DeclaredScope(),
+                            *task.footprint, cur_pass);
+        group_tools.push_back(task.id);
+        group_names.push_back(t->name());
+        group_prints.push_back(task.footprint.get());
+      }
+      if (group_prints.size() > 1) {
+        checker_->CheckGroupDisjoint(group_tools, group_names, group_prints,
+                                     cur_pass);
       }
     }
     if (discard) {
@@ -575,11 +655,13 @@ Result<RunReport> Coordinator::Run(Database* db,
       ASPECT_RETURN_NOT_OK(t->Rebase(db));
       task.clone.reset();
     }
-    // Any other bound tool whose reads the group may have touched (or
-    // whose scope is unknown or write-only observed) gets its
-    // statistics rebuilt the same way; tools with complete known reads
-    // disjoint from the group's observed writes are provably
-    // undisturbed (O1) and keep their state.
+    // Any other bound tool whose statistics the group may have touched
+    // (or whose scope is unknown or write-only observed) gets them
+    // rebuilt the same way. The rebind test is directional and against
+    // stats_reads: Bind only rebuilds statistics, so a tool whose
+    // statistics inputs no group write can disturb — e.g. a pure
+    // row-structure reader when the group wrote only cells — is
+    // provably unchanged (O1) and keeps its state.
     std::set<AccessScope::Atom> group_written;
     std::set<int> group_ids;
     for (GroupTask& task : tasks) {
@@ -594,7 +676,7 @@ Result<RunReport> Coordinator::Run(Database* db,
       if (!vt->bound()) continue;
       const AccessScope vs = resolve_scope(v);
       if (!vs.known || !vs.reads_complete ||
-          AtomSetsOverlap(group_written, vs.reads)) {
+          WritesDisturbAtoms(group_written, vs.stats_reads)) {
         vt->Unbind();
         ASPECT_RETURN_NOT_OK(vt->Bind(db));
       }
@@ -631,6 +713,7 @@ Result<RunReport> Coordinator::Run(Database* db,
                             !options.rollback_on_regression &&
                             order.size() > 1;
   for (int iter = 0; iter < options.iterations; ++iter) {
+    cur_pass = iter;
     children.clear();
     children.reserve(order.size());
     for (size_t i = 0; i < order.size(); ++i) children.push_back(rng.Fork());
@@ -738,6 +821,16 @@ Result<RunReport> Coordinator::Run(Database* db,
     tools_[static_cast<size_t>(id)]->Unbind();
   }
   report.total_seconds = Now() - run_start;
+  if (checker_ != nullptr) {
+    report.scope_violations = checker_->violations();
+    if (options.check_scopes == analysis::ScopeCheckMode::kStrict &&
+        !checker_->ok()) {
+      return Status::ValidationFailed(StrFormat(
+          "scope check (strict): %zu violation(s), first: %s",
+          report.scope_violations.size(),
+          report.scope_violations.front().ToString().c_str()));
+    }
+  }
   return report;
 }
 

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/scope_checker.h"
 #include "aspect/access_monitor.h"
 #include "aspect/property_tool.h"
 #include "common/result.h"
@@ -76,6 +77,14 @@ struct CoordinatorOptions {
   /// keeps the historical one-modification-at-a-time pipeline
   /// bit-identical.
   int batch_size = 1;
+  /// Scope-conformance checking (src/analysis): kWarn / kStrict
+  /// install access probes around every Tweak and diff each tool's
+  /// observed read+write footprint against its DeclaredScope(); a
+  /// caught tool's declaration is distrusted for the rest of the run
+  /// (it falls back to the observed scope, i.e. the serial path).
+  /// kStrict additionally fails the run if any violation was recorded.
+  /// kOff (the default) installs nothing and costs nothing.
+  analysis::ScopeCheckMode check_scopes = analysis::ScopeCheckMode::kOff;
 };
 
 /// Per-tool outcome of one coordinator run.
@@ -114,6 +123,11 @@ struct RunReport {
   std::vector<ToolReport> steps;
   /// Final error per registered tool (tool registration order).
   std::vector<double> final_errors;
+  /// Scope violations recorded by the conformance checker
+  /// (options.check_scopes != kOff). In strict mode a non-empty list
+  /// means the run itself returned an error; in warn mode the run
+  /// completes and this is the diagnosis.
+  std::vector<analysis::ScopeViolation> scope_violations;
   double total_seconds = 0;
   StopReason stop_reason = StopReason::kIterationsExhausted;
 
@@ -148,6 +162,13 @@ class Coordinator {
   /// The access monitor of the last Run (overlap analysis, O2).
   const AccessMonitor* last_monitor() const { return monitor_.get(); }
 
+  /// The scope checker of the last Run (null unless that run had
+  /// options.check_scopes != kOff). Exposes per-tool conformance and
+  /// the recorded violations.
+  const analysis::ScopeChecker* last_checker() const {
+    return checker_.get();
+  }
+
   /// Outcome of trying one tool order on a scratch copy.
   struct OrderOutcome {
     std::vector<int> order;
@@ -173,6 +194,7 @@ class Coordinator {
  private:
   std::vector<std::unique_ptr<PropertyTool>> tools_;
   std::unique_ptr<AccessMonitor> monitor_;
+  std::unique_ptr<analysis::ScopeChecker> checker_;
 };
 
 /// All orderings of the given tool ids, in the paper's naming scheme

@@ -1,5 +1,6 @@
 #include "aspect/tweak_context.h"
 
+#include "analysis/probe.h"
 #include "aspect/access_monitor.h"
 #include "aspect/property_tool.h"
 
@@ -34,10 +35,16 @@ Status TweakContext::Apply(const Modification& mod, TupleId* new_tuple) {
 }
 
 Status TweakContext::TryApply(const Modification& mod, TupleId* new_tuple) {
-  for (PropertyTool* v : validators_) {
-    if (v->ValidationPenalty(mod) > 0) {
-      ++vetoed_;
-      return Status::ValidationFailed("vetoed by " + v->name());
+  {
+    // Validator voting reads the *validators'* statistics, not the
+    // proposing tool's cells; keep it out of the tool's observed
+    // footprint (scope-conformance probes, analysis/probe.h).
+    analysis::ScopedProbeSuppress suppress;
+    for (PropertyTool* v : validators_) {
+      if (v->ValidationPenalty(mod) > 0) {
+        ++vetoed_;
+        return Status::ValidationFailed("vetoed by " + v->name());
+      }
     }
   }
   return Apply(mod, new_tuple);
@@ -45,10 +52,13 @@ Status TweakContext::TryApply(const Modification& mod, TupleId* new_tuple) {
 
 Status TweakContext::ForceApply(const Modification& mod,
                                 TupleId* new_tuple) {
-  for (PropertyTool* v : validators_) {
-    if (v->ValidationPenalty(mod) > 0) {
-      ++forced_;
-      break;
+  {
+    analysis::ScopedProbeSuppress suppress;
+    for (PropertyTool* v : validators_) {
+      if (v->ValidationPenalty(mod) > 0) {
+        ++forced_;
+        break;
+      }
     }
   }
   return Apply(mod, new_tuple);
@@ -82,10 +92,13 @@ Status TweakContext::TryApplyBatch(std::span<const Modification> mods,
     if (new_tuples != nullptr) new_tuples->clear();
     return Status::OK();
   }
-  for (PropertyTool* v : validators_) {
-    if (v->ValidationPenaltyBatch(mods) > 0) {
-      ++vetoed_;
-      return Status::ValidationFailed("batch vetoed by " + v->name());
+  {
+    analysis::ScopedProbeSuppress suppress;
+    for (PropertyTool* v : validators_) {
+      if (v->ValidationPenaltyBatch(mods) > 0) {
+        ++vetoed_;
+        return Status::ValidationFailed("batch vetoed by " + v->name());
+      }
     }
   }
   return ApplyBatch(mods, new_tuples);
@@ -97,10 +110,13 @@ Status TweakContext::ForceApplyBatch(std::span<const Modification> mods,
     if (new_tuples != nullptr) new_tuples->clear();
     return Status::OK();
   }
-  for (PropertyTool* v : validators_) {
-    if (v->ValidationPenaltyBatch(mods) > 0) {
-      ++forced_;
-      break;
+  {
+    analysis::ScopedProbeSuppress suppress;
+    for (PropertyTool* v : validators_) {
+      if (v->ValidationPenaltyBatch(mods) > 0) {
+        ++forced_;
+        break;
+      }
     }
   }
   return ApplyBatch(mods, new_tuples);

@@ -1,0 +1,64 @@
+// Annotated mutex primitives: thin wrappers over std::mutex /
+// std::condition_variable_any that carry Clang thread-safety
+// capability attributes (common/thread_annotations.h), so
+// -Wthread-safety can verify GUARDED_BY contracts. libstdc++'s
+// std::mutex has no such attributes; wrapping is the portable way to
+// make the analysis see the lock.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace aspect {
+
+/// A std::mutex the thread-safety analysis can track. Satisfies
+/// BasicLockable, so std::condition_variable_any can wait on it.
+class ASPECT_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ASPECT_ACQUIRE() { mu_.lock(); }
+  void unlock() ASPECT_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock for Mutex (the annotated std::lock_guard analogue).
+class ASPECT_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ASPECT_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() ASPECT_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable paired with Mutex. Wait() atomically releases
+/// and reacquires the lock, so from the caller's point of view the
+/// capability is held across the call — which is exactly what the
+/// REQUIRES annotation states; the internal unlock/relock is opaque to
+/// the analysis (it happens inside the standard library).
+class CondVar {
+ public:
+  /// Blocks until notified AND pred() holds. Caller must hold `mu`.
+  template <typename Pred>
+  void Wait(Mutex& mu, Pred pred) ASPECT_REQUIRES(mu) {
+    cv_.wait(mu, std::move(pred));
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace aspect

@@ -1,0 +1,58 @@
+// Clang thread-safety annotation macros (-Wthread-safety). Under any
+// other compiler (or Clang without the attribute) every macro expands
+// to nothing, so annotated code stays portable; the CI thread-safety
+// job builds with clang++ -Wthread-safety -Werror to enforce them.
+//
+// Conventions (see DESIGN.md section 9):
+//   - Every mutex-protected member is declared ASPECT_GUARDED_BY(mu_).
+//   - Private helpers that assume the caller holds the lock are
+//     annotated ASPECT_REQUIRES(mu_), never documented in prose only.
+//   - Prefer the annotated aspect::Mutex / aspect::MutexLock wrappers
+//     (common/mutex.h) over raw std::mutex: libstdc++'s std::mutex
+//     carries no capability attributes, so the analysis cannot track
+//     it.
+#pragma once
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(guarded_by)
+#define ASPECT_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef ASPECT_THREAD_ANNOTATION
+#define ASPECT_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+/// Declares a type to be a capability (a lock).
+#define ASPECT_CAPABILITY(x) ASPECT_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define ASPECT_SCOPED_CAPABILITY ASPECT_THREAD_ANNOTATION(scoped_lockable)
+
+/// The member may only be accessed while holding the given capability.
+#define ASPECT_GUARDED_BY(x) ASPECT_THREAD_ANNOTATION(guarded_by(x))
+
+/// The pointed-to data may only be accessed while holding the
+/// capability (the pointer itself is unguarded).
+#define ASPECT_PT_GUARDED_BY(x) ASPECT_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// The function may only be called while holding the capabilities.
+#define ASPECT_REQUIRES(...) \
+  ASPECT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// The function acquires the capability and does not release it.
+#define ASPECT_ACQUIRE(...) \
+  ASPECT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// The function releases the capability (which must be held).
+#define ASPECT_RELEASE(...) \
+  ASPECT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+/// The function may only be called while NOT holding the capabilities.
+#define ASPECT_EXCLUDES(...) \
+  ASPECT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Escape hatch: the function body is not analyzed. Reserve for
+/// constructs the analysis cannot model (condition-variable waits).
+#define ASPECT_NO_THREAD_SAFETY_ANALYSIS \
+  ASPECT_THREAD_ANNOTATION(no_thread_safety_analysis)

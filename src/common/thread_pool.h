@@ -6,15 +6,19 @@
 // caller's job (collect per-task Status into a pre-sized vector and
 // inspect it after Wait(), so failures are reported in a deterministic
 // order regardless of scheduling).
+//
+// All shared state is guarded by mu_ and annotated for Clang's
+// -Wthread-safety analysis (common/thread_annotations.h).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace aspect {
 
@@ -32,24 +36,25 @@ class ThreadPool {
 
   /// Enqueues a task. Safe to call from any thread, including from a
   /// running task.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) ASPECT_EXCLUDES(mu_);
 
   /// Blocks until every submitted task has finished running.
-  void Wait();
+  void Wait() ASPECT_EXCLUDES(mu_);
 
   /// std::thread::hardware_concurrency(), clamped to at least 1.
   static int HardwareThreads();
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() ASPECT_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable all_done_;
-  std::deque<std::function<void()>> queue_;
+  Mutex mu_;
+  CondVar work_available_;
+  CondVar all_done_;
+  std::deque<std::function<void()>> queue_ ASPECT_GUARDED_BY(mu_);
   // Queued plus currently-running tasks.
-  size_t in_flight_ = 0;
-  bool stop_ = false;
+  size_t in_flight_ ASPECT_GUARDED_BY(mu_) = 0;
+  bool stop_ ASPECT_GUARDED_BY(mu_) = false;
+  // Written only by the constructor, before any worker can observe it.
   std::vector<std::thread> workers_;
 };
 

@@ -395,6 +395,9 @@ AccessScope CoappearPropertyTool::DeclaredScope() const {
       if (iit == inbound_.end()) continue;
       for (const FkEdge& e : iit->second) {
         scope.AddWrite(e.child_table, e.fk_col);
+        // Rewiring scans the child table's live-tuple set, and the
+        // combo vectors count one entry per live child row.
+        scope.AddRead(e.child_table, AccessScope::kRowStructure);
       }
     }
     for (const int p : grp.parent_tables) {

@@ -417,6 +417,10 @@ AccessScope LinearPropertyTool::DeclaredScope() const {
     scope.AddRead(c.tables[0], AccessScope::kWholeTable);
     for (size_t l = 1; l < c.tables.size(); ++l) {
       scope.AddWrite(c.tables[l], c.fk_cols[l - 1]);
+      // Victim scans walk each level's slot/liveness structure, and
+      // the join matrices count per live tuple, so row membership of
+      // every level is part of the read contract.
+      scope.AddRead(c.tables[l], AccessScope::kRowStructure);
     }
   }
   return scope;

@@ -30,6 +30,10 @@ AccessScope ColumnFreqTool::DeclaredScope() const {
   if (table_index_ < 0 || col_index_ < 0) return scope;  // unknown
   scope.known = true;
   scope.AddWrite(table_index_, col_index_);
+  // Tweak scans the live-tuple set (ForEachLive / NumSlots) and the
+  // frequency statistics count one entry per live row, so row
+  // membership is part of the read contract, not just the column.
+  scope.AddRead(table_index_, AccessScope::kRowStructure);
   return scope;
 }
 
@@ -420,6 +424,8 @@ AccessScope NullCountTool::DeclaredScope() const {
   if (table_index_ < 0 || col_index_ < 0) return scope;  // unknown
   scope.known = true;
   scope.AddWrite(table_index_, col_index_);
+  // The null count is taken over the live-tuple set.
+  scope.AddRead(table_index_, AccessScope::kRowStructure);
   return scope;
 }
 
@@ -639,6 +645,9 @@ AccessScope DomainBoundsTool::DeclaredScope() const {
   if (table_index_ < 0 || col_index_ < 0) return scope;  // unknown
   scope.known = true;
   scope.AddWrite(table_index_, col_index_);
+  // Victim scans and the random bound-pinning picks walk the slot /
+  // liveness structure of the table.
+  scope.AddRead(table_index_, AccessScope::kRowStructure);
   return scope;
 }
 
@@ -897,10 +906,31 @@ Status DomainBoundsTool::Tweak(TweakContext* ctx) {
 TupleCountTool::TupleCountTool(const Schema& schema) : schema_(schema) {}
 
 AccessScope TupleCountTool::DeclaredScope() const {
+  // The tool only inserts and deletes whole tuples; it never rewrites
+  // another tool's cell values. Declaring row-structure writes instead
+  // of whole-table writes means cell-scoped tools stay parallel-
+  // eligible after this tool is enforced: its votes depend only on
+  // live-tuple counts (stats_reads = row structure), which cell writes
+  // cannot disturb.
   AccessScope scope;
   scope.known = true;
   for (size_t t = 0; t < schema_.tables.size(); ++t) {
-    scope.AddWrite(static_cast<int>(t), AccessScope::kWholeTable);
+    const int ti = static_cast<int>(t);
+    scope.AddWrite(ti, AccessScope::kRowStructure);
+    // Growing clones a random live template row, which reads every
+    // column of the table — but only inside Tweak; Error() and
+    // ValidationPenalty() never look at cell values.
+    scope.AddTweakOnlyRead(ti, AccessScope::kWholeTable);
+  }
+  // Shrinking deletes only unreferenced tuples: the RefCounter's
+  // victim test depends on every inbound foreign-key column.
+  for (size_t t = 0; t < schema_.tables.size(); ++t) {
+    const TableSpec& ts = schema_.tables[t];
+    for (size_t c = 0; c < ts.columns.size(); ++c) {
+      if (!ts.columns[c].ref_table.empty()) {
+        scope.AddTweakOnlyRead(static_cast<int>(t), static_cast<int>(c));
+      }
+    }
   }
   return scope;
 }

@@ -14,6 +14,7 @@ Column::Column(std::string name, ColumnType type, std::string ref_table)
 }
 
 Value Column::Get(int64_t row) const {
+  analysis::ProbeRead(probe_table_, probe_col_);
   const size_t r = static_cast<size_t>(row);
   if (state_[r] != CellState::kValue) return Value::Null();
   switch (type_) {
@@ -45,9 +46,11 @@ bool Column::Accepts(const Value& v) const {
 Status Column::Set(int64_t row, const Value& v) {
   const size_t r = static_cast<size_t>(row);
   if (v.is_null()) {
+    analysis::ProbeWrite(probe_table_, probe_col_);
     state_[r] = CellState::kNull;
     return Status::OK();
   }
+  analysis::ProbeWrite(probe_table_, probe_col_);
   switch (type_) {
     case ColumnType::kInt64:
     case ColumnType::kForeignKey:
@@ -81,6 +84,7 @@ Status Column::Set(int64_t row, const Value& v) {
 
 Status Column::SetBroadcast(const std::vector<int64_t>& rows,
                             const Value& v) {
+  analysis::ProbeWrite(probe_table_, probe_col_);
   if (v.is_null()) {
     for (const int64_t row : rows) {
       state_[static_cast<size_t>(row)] = CellState::kNull;
@@ -166,6 +170,7 @@ void Column::ResizeEmpty(int64_t n) {
 }
 
 void Column::Erase(int64_t row) {
+  analysis::ProbeWrite(probe_table_, probe_col_);
   state_[static_cast<size_t>(row)] = CellState::kEmpty;
 }
 
@@ -187,6 +192,7 @@ Status Column::Append(const Value& v) {
 }
 
 void Column::PopBack() {
+  analysis::ProbeWrite(probe_table_, probe_col_);
   assert(!state_.empty());
   switch (type_) {
     case ColumnType::kInt64:
@@ -204,12 +210,14 @@ void Column::PopBack() {
 }
 
 void Column::SetInt(int64_t row, int64_t v) {
+  analysis::ProbeWrite(probe_table_, probe_col_);
   assert(type_ == ColumnType::kInt64 || type_ == ColumnType::kForeignKey);
   ints_[static_cast<size_t>(row)] = v;
   state_[static_cast<size_t>(row)] = CellState::kValue;
 }
 
 void Column::SetDouble(int64_t row, double v) {
+  analysis::ProbeWrite(probe_table_, probe_col_);
   assert(type_ == ColumnType::kDouble);
   doubles_[static_cast<size_t>(row)] = v;
   state_[static_cast<size_t>(row)] = CellState::kValue;

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/probe.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "relational/value.h"
@@ -34,7 +35,17 @@ class Column {
 
   int64_t size() const { return static_cast<int64_t>(state_.size()); }
 
+  /// Probe identity for the scope-conformance analyzer: the enclosing
+  /// table's schema index and this column's index (analysis/probe.h).
+  /// Unset ids (-1, the default) disable the probes; Table::SetProbeTable
+  /// assigns them when the Database is built.
+  void SetProbeId(int table, int column) {
+    probe_table_ = table;
+    probe_col_ = column;
+  }
+
   CellState state(int64_t row) const {
+    analysis::ProbeRead(probe_table_, probe_col_);
     return state_[static_cast<size_t>(row)];
   }
   bool IsValue(int64_t row) const { return state(row) == CellState::kValue; }
@@ -46,11 +57,16 @@ class Column {
 
   /// Fast paths for the hot types. Preconditions: matching type and a
   /// kValue cell state (checked only by assert).
-  int64_t GetInt(int64_t row) const { return ints_[static_cast<size_t>(row)]; }
+  int64_t GetInt(int64_t row) const {
+    analysis::ProbeRead(probe_table_, probe_col_);
+    return ints_[static_cast<size_t>(row)];
+  }
   double GetDouble(int64_t row) const {
+    analysis::ProbeRead(probe_table_, probe_col_);
     return doubles_[static_cast<size_t>(row)];
   }
   const std::string& GetString(int64_t row) const {
+    analysis::ProbeRead(probe_table_, probe_col_);
     return strings_[static_cast<size_t>(row)];
   }
 
@@ -103,6 +119,11 @@ class Column {
   std::vector<double> doubles_;
   std::vector<std::string> strings_;
   std::vector<CellState> state_;
+
+  // Probe identity (see SetProbeId); copied with the column so moved
+  // storage keeps reporting the correct atom.
+  int probe_table_ = -1;
+  int probe_col_ = -1;
 };
 
 }  // namespace aspect

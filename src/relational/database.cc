@@ -2,9 +2,38 @@
 
 #include <algorithm>
 
+#include "analysis/probe.h"
 #include "common/string_util.h"
 
 namespace aspect {
+namespace {
+
+/// Emits the semantic write footprint of an applied modification for
+/// the scope-conformance analyzer: cell operations write their (table,
+/// column) atoms; tuple insert/delete writes the table's row structure.
+/// The physical per-column probes inside ApplyOne are suppressed (a
+/// tuple insert physically appends to every column, but semantically
+/// the tool changed the row set, not other tools' cell values — the
+/// directional disturbance rules of analysis/access_scope.h account for
+/// the new rows' cells), so this is the only write record an applied
+/// modification leaves.
+void ProbeModification(const Schema& schema, const Modification& mod) {
+  if (!analysis::ProbeInstalled()) return;
+  const int t = schema.TableIndex(mod.table);
+  switch (mod.kind) {
+    case OpKind::kDeleteValues:
+    case OpKind::kInsertValues:
+    case OpKind::kReplaceValues:
+      for (const int c : mod.cols) analysis::ProbeWrite(t, c);
+      break;
+    case OpKind::kInsertTuple:
+    case OpKind::kDeleteTuple:
+      analysis::ProbeWrite(t, analysis::kProbeRowStructure);
+      break;
+  }
+}
+
+}  // namespace
 
 const char* OpKindToString(OpKind kind) {
   switch (kind) {
@@ -80,6 +109,7 @@ Database::Database(Schema schema) : schema_(std::move(schema)) {
   tables_.reserve(schema_.tables.size());
   for (const TableSpec& spec : schema_.tables) {
     tables_.push_back(std::make_unique<Table>(spec));
+    tables_.back()->SetProbeTable(static_cast<int>(tables_.size()) - 1);
   }
 }
 
@@ -236,11 +266,19 @@ Status Database::ApplyOne(const Modification& mod,
 Status Database::Apply(const Modification& mod, TupleId* new_tuple) {
   std::vector<Value> old_values;
   TupleId inserted = kInvalidTuple;
-  ASPECT_RETURN_NOT_OK(ApplyOne(mod, &old_values, &inserted));
-  if (new_tuple != nullptr) *new_tuple = inserted;
-  for (ModificationListener* l : listeners_) {
-    l->OnApplied(mod, old_values, inserted);
+  {
+    // The probes inside ApplyOne (pre-image capture, physical column
+    // writes) and the listeners' statistics reads are framework
+    // machinery, not the proposing tool's own access; the semantic
+    // footprint is emitted below instead.
+    analysis::ScopedProbeSuppress suppress;
+    ASPECT_RETURN_NOT_OK(ApplyOne(mod, &old_values, &inserted));
+    if (new_tuple != nullptr) *new_tuple = inserted;
+    for (ModificationListener* l : listeners_) {
+      l->OnApplied(mod, old_values, inserted);
+    }
   }
+  ProbeModification(schema_, mod);
   return Status::OK();
 }
 
@@ -252,28 +290,35 @@ Status Database::ApplyBatch(std::span<const Modification> mods,
   if (mods.empty()) return Status::OK();
   std::vector<std::vector<Value>> old_values(mods.size());
   std::vector<TupleId> inserted(mods.size(), kInvalidTuple);
-  size_t done = 0;
-  Status st = Status::OK();
-  for (; done < mods.size(); ++done) {
-    st = ApplyOne(mods[done], &old_values[done], &inserted[done]);
-    if (!st.ok()) break;
-  }
-  if (!st.ok()) {
-    // All-or-nothing: revert the applied prefix in reverse order (so a
-    // kInsertTuple always reverts the table's last slot). The failing
-    // modification itself needs no revert: ApplyOne is all-or-nothing
-    // per modification — cell ops and Table::Append both validate
-    // types and cell states before writing anything.
-    for (size_t i = done; i-- > 0;) {
-      const Status undo = Undo(mods[i], old_values[i], inserted[i]);
-      if (!undo.ok()) return undo;  // state corrupt; surface loudly
+  {
+    // Same attribution rule as Apply: the physical machinery probes
+    // are suppressed and the semantic footprint is emitted below, only
+    // for a batch that actually applied.
+    analysis::ScopedProbeSuppress suppress;
+    size_t done = 0;
+    Status st = Status::OK();
+    for (; done < mods.size(); ++done) {
+      st = ApplyOne(mods[done], &old_values[done], &inserted[done]);
+      if (!st.ok()) break;
     }
-    return st;
+    if (!st.ok()) {
+      // All-or-nothing: revert the applied prefix in reverse order (so
+      // a kInsertTuple always reverts the table's last slot). The
+      // failing modification itself needs no revert: ApplyOne is
+      // all-or-nothing per modification — cell ops and Table::Append
+      // both validate types and cell states before writing anything.
+      for (size_t i = done; i-- > 0;) {
+        const Status undo = Undo(mods[i], old_values[i], inserted[i]);
+        if (!undo.ok()) return undo;  // state corrupt; surface loudly
+      }
+      return st;
+    }
+    if (new_tuples != nullptr) *new_tuples = inserted;
+    for (ModificationListener* l : listeners_) {
+      l->OnAppliedBatch(mods, old_values, inserted);
+    }
   }
-  if (new_tuples != nullptr) *new_tuples = inserted;
-  for (ModificationListener* l : listeners_) {
-    l->OnAppliedBatch(mods, old_values, inserted);
-  }
+  for (const Modification& mod : mods) ProbeModification(schema_, mod);
   return Status::OK();
 }
 
@@ -289,6 +334,9 @@ void ModificationListener::OnAppliedBatch(
 Status Database::Undo(const Modification& mod,
                       const std::vector<Value>& old_values,
                       TupleId new_tuple) {
+  // Reverting is framework machinery (rollback, batch-failure repair):
+  // it must not be attributed to whatever tool's probe is installed.
+  analysis::ScopedProbeSuppress suppress;
   Table* t = FindTable(mod.table);
   if (t == nullptr) {
     return Status::KeyError(StrFormat("no table '%s'", mod.table.c_str()));
@@ -369,10 +417,14 @@ std::unique_ptr<Database> Database::CloneAtoms(
   for (const auto& [t, c] : atoms) {
     if (t < 0 || t >= static_cast<int>(tables_.size())) continue;
     requested[static_cast<size_t>(t)] = true;
-    if (c < 0) {
-      whole[static_cast<size_t>(t)] = true;
-    } else {
+    if (c >= 0) {
       cols[static_cast<size_t>(t)].insert(c);
+    } else if (c != -2) {
+      // -1 (kWholeTable, or legacy negative columns) copies the table
+      // whole. -2 (kRowStructure) asks for the row skeleton only,
+      // which CopyColumnsFrom carries for free: slot count and
+      // tombstones are copied, columns stay kEmpty shells.
+      whole[static_cast<size_t>(t)] = true;
     }
   }
   for (size_t i = 0; i < tables_.size(); ++i) {

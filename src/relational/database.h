@@ -148,12 +148,13 @@ class Database {
   std::unique_ptr<Database> Clone() const;
 
   /// Deep copy of only the listed (table index, column index) atoms; a
-  /// negative column index copies that table whole. Unlisted tables
+  /// column of -1 (AccessScope::kWholeTable) copies that table whole,
+  /// and -2 (kRowStructure) copies just its row skeleton (slot count,
+  /// tombstones) with every column a kEmpty shell. Unlisted tables
   /// exist but are empty; unlisted columns of a listed table keep the
-  /// row structure (slot count, tombstones) but hold only kEmpty
-  /// cells. The O1-parallel pass hands a task exactly the atoms its
-  /// declared access set names, so the clone cost scales with the
-  /// task's scope, not the database.
+  /// row structure but hold only kEmpty cells. The O1-parallel pass
+  /// hands a task exactly the atoms its declared access set names, so
+  /// the clone cost scales with the task's scope, not the database.
   std::unique_ptr<Database> CloneAtoms(
       const std::set<std::pair<int, int>>& atoms) const;
 

@@ -28,13 +28,14 @@ Result<TupleId> Table::Append(const std::vector<Value>& values) {
           columns_[static_cast<size_t>(c)].name().c_str()));
     }
   }
+  analysis::ProbeWrite(probe_table_, analysis::kProbeRowStructure);
   for (int c = 0; c < num_columns(); ++c) {
     ASPECT_RETURN_NOT_OK(columns_[static_cast<size_t>(c)].Append(
         values[static_cast<size_t>(c)]));
   }
   live_.push_back(1);
   ++num_live_;
-  return NumSlots() - 1;
+  return static_cast<int64_t>(live_.size()) - 1;
 }
 
 void Table::Reserve(int64_t n) {
@@ -60,6 +61,7 @@ Status Table::Delete(TupleId t) {
         StrFormat("table '%s': tuple %lld is not live", name().c_str(),
                   static_cast<long long>(t)));
   }
+  analysis::ProbeWrite(probe_table_, analysis::kProbeRowStructure);
   live_[static_cast<size_t>(t)] = 0;
   --num_live_;
   return Status::OK();
@@ -76,6 +78,7 @@ Status Table::Undelete(TupleId t) {
         StrFormat("table '%s': tuple %lld is not tombstoned",
                   name().c_str(), static_cast<long long>(t)));
   }
+  analysis::ProbeWrite(probe_table_, analysis::kProbeRowStructure);
   live_[static_cast<size_t>(t)] = 1;
   ++num_live_;
   return Status::OK();
@@ -86,6 +89,7 @@ Status Table::PopBack() {
     return Status::Invalid(
         StrFormat("table '%s': PopBack on empty table", name().c_str()));
   }
+  analysis::ProbeWrite(probe_table_, analysis::kProbeRowStructure);
   if (live_.back()) --num_live_;
   live_.pop_back();
   for (Column& c : columns_) c.PopBack();

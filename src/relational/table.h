@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/probe.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "relational/column.h"
@@ -37,15 +38,35 @@ class Table {
     return spec_.ColumnIndex(col_name);
   }
 
+  /// Assigns this table's schema index as the probe identity for the
+  /// scope-conformance analyzer (analysis/probe.h) and propagates it to
+  /// every column. Row-structure accesses (liveness, slot counts, tuple
+  /// inserts/deletes) probe as (table, kProbeRowStructure); cell
+  /// accesses probe per column. Database's constructor calls this.
+  void SetProbeTable(int table) {
+    probe_table_ = table;
+    for (int c = 0; c < num_columns(); ++c) {
+      columns_[static_cast<size_t>(c)].SetProbeId(table, c);
+    }
+  }
+
   /// Number of live (non-tombstoned) tuples — this is |T| everywhere in
   /// the paper's formulas.
-  int64_t NumTuples() const { return num_live_; }
+  int64_t NumTuples() const {
+    analysis::ProbeRead(probe_table_, analysis::kProbeRowStructure);
+    return num_live_;
+  }
   /// Number of row slots including tombstones; tuple ids range over
   /// [0, NumSlots()).
-  int64_t NumSlots() const { return static_cast<int64_t>(live_.size()); }
+  int64_t NumSlots() const {
+    analysis::ProbeRead(probe_table_, analysis::kProbeRowStructure);
+    return static_cast<int64_t>(live_.size());
+  }
 
   bool IsLive(TupleId t) const {
-    return t >= 0 && t < NumSlots() && live_[static_cast<size_t>(t)];
+    analysis::ProbeRead(probe_table_, analysis::kProbeRowStructure);
+    return t >= 0 && t < static_cast<int64_t>(live_.size()) &&
+           live_[static_cast<size_t>(t)];
   }
 
   /// Appends a tuple with the given per-column values; returns its id.
@@ -78,7 +99,9 @@ class Table {
   /// Iterates live tuple ids in increasing order.
   template <typename Fn>
   void ForEachLive(Fn&& fn) const {
-    for (TupleId t = 0; t < NumSlots(); ++t) {
+    analysis::ProbeRead(probe_table_, analysis::kProbeRowStructure);
+    const TupleId slots = static_cast<TupleId>(live_.size());
+    for (TupleId t = 0; t < slots; ++t) {
       if (live_[static_cast<size_t>(t)]) fn(t);
     }
   }
@@ -94,6 +117,9 @@ class Table {
   std::vector<Column> columns_;
   std::vector<uint8_t> live_;
   int64_t num_live_ = 0;
+  // Probe identity (see SetProbeTable); copied with the table so merged
+  // storage keeps reporting the correct atom.
+  int probe_table_ = -1;
 };
 
 }  // namespace aspect
