@@ -1,19 +1,27 @@
 // Batched modification pipeline vs the serial per-modification
 // baseline: a 3-tool column-frequency enforcement pass on Rand-scaled
-// Xiami-like social-network data, run once with batch=1 on one thread
-// (the historical path) and once with batch=64 under the O1-parallel
-// pass scheduler at 8 threads.
+// Xiami-like social-network data, run with batch=1 on one thread (the
+// historical path) and batched under the O1-parallel pass scheduler at
+// 8 threads — in both parallel execution models: clone-and-merge and
+// the zero-copy shared-database mode with write leases.
 //
 // The three tools write disjoint (table, column) access sets, so the
 // parallel pass may run them concurrently (observation O1) and the
-// batched path folds up to 64 same-value replacements into a single
+// batched path folds up to 256 same-value replacements into a single
 // broadcast modification: one validator vote, one columnar write, one
-// log segment. Both runs must end at identical per-tool errors; the
-// bench aborts if they do not.
+// log segment. Every configuration must end at identical per-tool
+// errors; the bench aborts if any differs. The phase columns break a
+// group's coordinator-side overhead down: setup (clones + rebase-to-
+// clone, or lease partition + route assembly), merge (move-merge +
+// replay, or modlog splice alone), rebase (hand-back + rebinds) —
+// shared mode's merge and rebase are ~0 by construction.
 #include <chrono>
 
 #include "aspect/coordinator.h"
 #include "bench_util.h"
+#include "properties/coappear.h"
+#include "properties/linear.h"
+#include "properties/pairwise.h"
 #include "properties/simple.h"
 #include "relational/modlog.h"
 #include "scaler/size_scaler.h"
@@ -38,12 +46,16 @@ struct RunOutcome {
   double seconds = 0;
   int64_t applied = 0;
   int64_t vetoed = 0;
+  int64_t groups = 0;
+  double setup_s = 0;
+  double merge_s = 0;
+  double rebase_s = 0;
   std::vector<double> errors;
 };
 
 RunOutcome RunOnce(const Database& base, const Database& truth,
-                   bool parallel, int batch, int threads,
-                   bool verbose) {
+                   bool parallel, ParallelMode mode, int batch,
+                   int threads, bool verbose) {
   auto scaled = base.Clone();
   // Log the enforcement modifications like the CLI's --report and the
   // replay-onto-snapshot path do: the log is a per-modification
@@ -60,6 +72,7 @@ RunOutcome RunOnce(const Database& base, const Database& truth,
   CoordinatorOptions opts;
   opts.seed = kSeed;
   opts.parallel_pass = parallel;
+  opts.parallel_mode = mode;
   opts.pass_threads = threads;
   opts.batch_size = batch;
   const auto t0 = std::chrono::steady_clock::now();
@@ -69,6 +82,10 @@ RunOutcome RunOnce(const Database& base, const Database& truth,
   out.seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  out.groups = report.parallel_groups;
+  out.setup_s = report.group_setup_seconds;
+  out.merge_s = report.group_merge_seconds;
+  out.rebase_s = report.group_rebase_seconds;
   out.errors = report.final_errors;
   for (const ToolReport& step : report.steps) {
     out.applied += step.applied;
@@ -87,14 +104,73 @@ RunOutcome RunOnce(const Database& base, const Database& truth,
 /// a fixed seed, so repetitions only differ by scheduling noise and the
 /// minimum is the honest cost on a busy machine.
 RunOutcome Best(const Database& base, const Database& truth, bool parallel,
-                int batch, int threads) {
+                ParallelMode mode, int batch, int threads) {
   constexpr int kReps = 5;
   RunOutcome best;
   for (int r = 0; r < kReps; ++r) {
-    RunOutcome o = RunOnce(base, truth, parallel, batch, threads, r == 0);
+    RunOutcome o =
+        RunOnce(base, truth, parallel, mode, batch, threads, r == 0);
     if (r == 0 || o.seconds < best.seconds) best = std::move(o);
   }
   return best;
+}
+
+/// Swap-rebase microbench: the cost of handing a bound complex tool to
+/// a content-identical database — the operation the parallel pass pays
+/// twice per group member in clone mode (main -> clone -> main) — with
+/// the pointer-swap Rebase override vs the Unbind+Bind rebuild it
+/// replaced.
+void RebaseMicrobench(BenchReport* report) {
+  Banner("Swap-rebase microbench (DoubanMusicLike, complex tools)");
+  auto gen = GenerateDataset(DoubanMusicLike(4.0), kSeed).ValueOrAbort();
+  auto db = gen.Materialize(2).ValueOrAbort();
+  auto twin = db->Clone();
+  const Schema& schema = db->schema();
+
+  std::vector<std::unique_ptr<PropertyTool>> tools;
+  tools.push_back(std::make_unique<LinearPropertyTool>(schema));
+  tools.push_back(std::make_unique<CoappearPropertyTool>(schema));
+  tools.push_back(std::make_unique<PairwisePropertyTool>(schema));
+
+  Header({"tool", "swap_ms", "rebuild_ms"});
+  double swap_total = 0, rebuild_total = 0;
+  for (auto& tool : tools) {
+    tool->SetTargetFromDataset(*db).Check();
+    tool->Bind(db.get()).Check();
+    constexpr int kRounds = 20;
+    auto t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < kRounds; ++r) {
+      // One round trip, like a clone-mode group member.
+      tool->Rebase(twin.get()).Check();
+      tool->Rebase(db.get()).Check();
+    }
+    const double swap_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count() /
+        kRounds;
+    t0 = std::chrono::steady_clock::now();
+    for (int r = 0; r < kRounds; ++r) {
+      tool->Unbind();
+      tool->Bind(twin.get()).Check();
+      tool->Unbind();
+      tool->Bind(db.get()).Check();
+    }
+    const double rebuild_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - t0)
+            .count() /
+        kRounds;
+    Cell(tool->name());
+    Cell(swap_ms);
+    Cell(rebuild_ms);
+    EndRow();
+    swap_total += swap_ms;
+    rebuild_total += rebuild_ms;
+    tool->Unbind();
+  }
+  report->Metric("rebase_swap_ms", swap_total);
+  report->Metric("rebase_rebuild_ms", rebuild_total);
 }
 
 }  // namespace
@@ -125,46 +201,80 @@ int main() {
   report.AddTuples(base->TotalTuples());
 
   Banner("Serial per-modification baseline (batch=1, serial pass)");
-  const RunOutcome serial = Best(*base, *truth, false, 1, 1);
-  Banner("Batched + O1-parallel (batch=" + std::to_string(kBatch) +
-         ", " + std::to_string(kThreads) + " threads)");
-  const RunOutcome batched = Best(*base, *truth, true, kBatch, kThreads);
+  const RunOutcome serial =
+      Best(*base, *truth, false, ParallelMode::kShared, 1, 1);
+  Banner("Batched + O1-parallel, shared database (batch=" +
+         std::to_string(kBatch) + ", " + std::to_string(kThreads) +
+         " threads)");
+  const RunOutcome shared =
+      Best(*base, *truth, true, ParallelMode::kShared, kBatch, kThreads);
+  Banner("Batched + O1-parallel, clone-and-merge (batch=" +
+         std::to_string(kBatch) + ", " + std::to_string(kThreads) +
+         " threads)");
+  const RunOutcome clone =
+      Best(*base, *truth, true, ParallelMode::kClone, kBatch, kThreads);
 
-  const RunOutcome batch_only = Best(*base, *truth, false, kBatch, 1);
-  const RunOutcome par_only = Best(*base, *truth, true, 1, kThreads);
-  const RunOutcome batched_1t = Best(*base, *truth, true, kBatch, 1);
+  const RunOutcome batch_only =
+      Best(*base, *truth, false, ParallelMode::kShared, kBatch, 1);
+  const RunOutcome par_only =
+      Best(*base, *truth, true, ParallelMode::kShared, 1, kThreads);
+  const RunOutcome batched_1t =
+      Best(*base, *truth, true, ParallelMode::kShared, kBatch, 1);
 
-  Banner("Batch pipeline: serial vs batched+parallel");
-  Header({"config", "seconds", "applied", "vetoed", "err0", "err1",
-          "err2"});
+  Banner("Batch pipeline: serial vs batched+parallel (clone vs shared)");
+  Header({"config", "seconds", "applied", "vetoed", "setup_ms",
+          "merge_ms", "rebase_ms", "err0", "err1", "err2"});
   const auto row = [](const char* label, const RunOutcome& o) {
     Cell(label);
     Cell(o.seconds);
     Cell(std::to_string(o.applied));
     Cell(std::to_string(o.vetoed));
+    Cell(o.setup_s * 1e3);
+    Cell(o.merge_s * 1e3);
+    Cell(o.rebase_s * 1e3);
     for (const double e : o.errors) Cell(e);
     EndRow();
   };
   row("serial", serial);
   row("batch-only", batch_only);
   row("par-only", par_only);
-  row("batched", batched);
+  row("batched-clone", clone);
+  row("batched-shared", shared);
   row("batched-1t", batched_1t);
 
-  for (size_t i = 0; i < serial.errors.size(); ++i) {
-    if (serial.errors[i] != batched.errors[i]) {
-      std::fprintf(stderr,
-                   "FAIL: final error of tool %zu differs: %.9f vs %.9f\n",
-                   i, serial.errors[i], batched.errors[i]);
-      return 1;
+  const RunOutcome* const all[] = {&batch_only, &par_only, &clone,
+                                   &shared,     &batched_1t};
+  for (const RunOutcome* o : all) {
+    for (size_t i = 0; i < serial.errors.size(); ++i) {
+      if (serial.errors[i] != o->errors[i]) {
+        std::fprintf(
+            stderr,
+            "FAIL: final error of tool %zu differs: %.9f vs %.9f\n", i,
+            serial.errors[i], o->errors[i]);
+        return 1;
+      }
     }
   }
-  const double speedup = serial.seconds / std::max(1e-9, batched.seconds);
-  std::printf("identical final errors; speedup %.2fx\n", speedup);
+  const double speedup = serial.seconds / std::max(1e-9, shared.seconds);
+  std::printf(
+      "identical final errors across all configs; speedup %.2fx "
+      "(shared), %.2fx (clone)\n",
+      speedup, serial.seconds / std::max(1e-9, clone.seconds));
   report.Metric("serial_s", serial.seconds);
-  report.Metric("batched_parallel_s", batched.seconds);
+  report.Metric("batched_parallel_s", shared.seconds);
+  report.Metric("clone_s", clone.seconds);
+  report.Metric("shared_s", shared.seconds);
   report.Metric("speedup", speedup);
   report.Metric("batch", kBatch);
   report.Metric("threads", kThreads);
+  report.Metric("groups", static_cast<double>(shared.groups));
+  report.Metric("clone_setup_ms", clone.setup_s * 1e3);
+  report.Metric("clone_merge_ms", clone.merge_s * 1e3);
+  report.Metric("clone_rebase_ms", clone.rebase_s * 1e3);
+  report.Metric("shared_setup_ms", shared.setup_s * 1e3);
+  report.Metric("shared_merge_ms", shared.merge_s * 1e3);
+  report.Metric("shared_rebase_ms", shared.rebase_s * 1e3);
+
+  RebaseMicrobench(&report);
   return 0;
 }

@@ -7,8 +7,8 @@
 //              [--save-targets file] [--load-targets file] [--profile]
 //              [--report] [--compare-orders] [--threads N]
 //              [--rollback off|clone|undo]
-//              [--parallel-pass on|off] [--batch N]
-//              [--check-scopes off|warn|strict]
+//              [--parallel-pass on|off] [--parallel-mode shared|clone]
+//              [--batch N|auto] [--check-scopes off|warn|strict]
 //
 // Reads one CSV per table from --data, scales every table by --scale
 // (rounded, at least 1), enforces the chosen properties and writes the
@@ -58,7 +58,9 @@ struct Args {
   int iterations = 1;
   int threads = 0;
   bool parallel_pass = false;
+  ParallelMode parallel_mode = ParallelMode::kShared;
   int batch = 1;
+  bool batch_auto = false;
   uint64_t seed = 1;
   analysis::ScopeCheckMode check_scopes = analysis::ScopeCheckMode::kOff;
 };
@@ -125,11 +127,25 @@ Result<Args> ParseArgs(int argc, char** argv) {
         return Status::Invalid("--parallel-pass must be on or off");
       }
       args.parallel_pass = v == "on";
+    } else if (flag == "--parallel-mode") {
+      ASPECT_ASSIGN_OR_RETURN(const std::string v, next());
+      if (v == "shared") {
+        args.parallel_mode = ParallelMode::kShared;
+      } else if (v == "clone") {
+        args.parallel_mode = ParallelMode::kClone;
+      } else {
+        return Status::Invalid("--parallel-mode must be shared or clone");
+      }
     } else if (flag == "--batch") {
       ASPECT_ASSIGN_OR_RETURN(const std::string v, next());
-      args.batch = std::atoi(v.c_str());
-      if (args.batch < 1) {
-        return Status::Invalid("--batch must be at least 1");
+      if (v == "auto") {
+        args.batch_auto = true;
+        args.batch = 1;
+      } else {
+        args.batch = std::atoi(v.c_str());
+        if (args.batch < 1) {
+          return Status::Invalid("--batch must be at least 1, or auto");
+        }
       }
     } else if (flag == "--check-scopes") {
       ASPECT_ASSIGN_OR_RETURN(const std::string v, next());
@@ -246,7 +262,9 @@ Status Run(const Args& args) {
   options.order_search_threads = a.threads;
   options.parallel_pass = a.parallel_pass;
   options.pass_threads = a.threads;
+  options.parallel_mode = a.parallel_mode;
   options.batch_size = a.batch;
+  options.batch_auto = a.batch_auto;
   options.rollback_on_regression = a.rollback != "off";
   options.rollback_mode =
       a.rollback == "clone" ? RollbackMode::kClone : RollbackMode::kUndoLog;

@@ -4,9 +4,11 @@
 #include <cctype>
 #include <chrono>
 #include <map>
+#include <optional>
 #include <sstream>
 
 #include "analysis/probe.h"
+#include "aspect/lease.h"
 #include "aspect/overlap.h"
 #include "aspect/tweak_context.h"
 #include "common/logging.h"
@@ -87,6 +89,19 @@ class WriteRecorder : public ModificationListener {
                             new_tuples_[d.begin]);
       }
     }
+  }
+
+  /// Reverts every recorded modification on `db`, newest first, using
+  /// the captured pre-images (Database::Undo). The shared-database
+  /// pass discards a failed group this way: its writes landed directly
+  /// in the main database, so dropping a clone is not an option.
+  /// Listeners are not notified; callers rebuild listener-held state.
+  Status UndoOnto(Database* db) const {
+    for (size_t i = mods_.size(); i-- > 0;) {
+      ASPECT_RETURN_NOT_OK(
+          db->Undo(mods_[i], old_values_[i], new_tuples_[i]));
+    }
+    return Status::OK();
   }
 
   /// Equivalent to ReplayTo for a modification log, but moves the
@@ -186,6 +201,9 @@ std::string RunReport::ToString() const {
       os << StrFormat(" [rollback net %.3fs]", s.rollback_seconds);
     }
     if (s.parallel) os << " [parallel]";
+    if (s.batch_final > 1) {
+      os << StrFormat(" [batch %d]", s.batch_final);
+    }
     os << "\n";
   }
   os << StrFormat("total %.2fs", total_seconds);
@@ -285,6 +303,15 @@ Result<RunReport> Coordinator::Run(Database* db,
   // pass N"); advanced by the iteration loop below.
   int cur_pass = 0;
 
+  // Autotuned batch-size hint per tool (options.batch_auto): a step
+  // starts from the size the tool's previous step settled on, so the
+  // tuning survives across passes. Committed only by steps that stuck
+  // (serial steps and successful parallel groups, in execution order),
+  // so a discarded group's serial redo starts from the same hint the
+  // group did — the trajectory is identical in every execution mode.
+  std::vector<int> tool_batch_hint(static_cast<size_t>(num_tools()),
+                                   options.batch_size);
+
   // One serial tool step (the historical path); `child` is the
   // position's preforked RNG.
   const auto serial_step = [&](size_t pos, Rng* child) -> Status {
@@ -299,7 +326,10 @@ Result<RunReport> Coordinator::Run(Database* db,
       }
     }
     TweakContext ctx(db, std::move(validators), child, monitor_.get(), id);
-    ctx.set_batch_hint(options.batch_size);
+    ctx.set_batch_hint(options.batch_auto
+                           ? tool_batch_hint[static_cast<size_t>(id)]
+                           : options.batch_size);
+    ctx.set_batch_auto(options.batch_auto);
     ToolReport step;
     step.tool = t->name();
     step.error_before = t->Error();
@@ -373,6 +403,10 @@ Result<RunReport> Coordinator::Run(Database* db,
     step.applied = ctx.applied();
     step.vetoed = ctx.vetoed();
     step.forced = ctx.forced();
+    step.batch_final = ctx.batch_hint();
+    if (options.batch_auto) {
+      tool_batch_hint[static_cast<size_t>(id)] = ctx.batch_hint();
+    }
     ASPECT_LOG(Info) << "tweak " << step.tool << ": "
                      << step.error_before << " -> " << step.error_after;
     report.steps.push_back(std::move(step));
@@ -397,6 +431,11 @@ Result<RunReport> Coordinator::Run(Database* db,
   const auto parallel_eligible = [&](size_t pos, AccessScope* out) {
     const AccessScope s = resolve_scope(order[pos]);
     if (!s.known || !s.reads_complete) return false;
+    // A known-but-empty scope means the tool touches no data at all.
+    // Grouping it buys nothing and used to cost something: CloneAtoms
+    // with an empty `touched` set still deep-copies the schema
+    // scaffolding (every table as an empty shell). Run it serially.
+    if (s.reads.empty() && s.writes.empty()) return false;
     if (options.validate) {
       for (const int e : enforced) {
         if (e == order[pos]) continue;
@@ -426,11 +465,22 @@ Result<RunReport> Coordinator::Run(Database* db,
     /// Observed read+write footprint of the task's Tweak (conformance
     /// checking only; null when no checker is installed).
     std::unique_ptr<analysis::FootprintRecorder> footprint;
+    /// Shared mode only: the task's write ownership on the main
+    /// database (null in clone mode) and its private notification
+    /// route — the member tool's own listeners plus the recorder.
+    /// Database::Apply on the task's thread notifies only this route.
+    const WriteLease* lease = nullptr;
+    std::vector<ModificationListener*> route;
+    /// Shared mode, probe-enforced builds: the first write observed
+    /// outside the lease, latched by LeaseProbeSink.
+    bool lease_violated = false;
+    AccessScope::Atom lease_violation{-1, -1};
     Status status = Status::OK();
     double seconds = 0;
     int64_t applied = 0;
     int64_t vetoed = 0;
     int64_t forced = 0;
+    int batch_final = 1;
   };
 
   // Runs the given consecutive, pairwise non-conflicting order
@@ -440,21 +490,58 @@ Result<RunReport> Coordinator::Run(Database* db,
   const auto run_group = [&](const std::vector<size_t>& members,
                              const std::vector<AccessScope>& mscopes)
       -> Status {
-    // The listeners that stay on the main database and need the tasks'
-    // notifications replayed after the merge — modification logs and
-    // other non-tool observers (bound tools are handled by the rebind
-    // rules instead). Computed up front: when there are none, the
-    // recorders skip the notification copies entirely.
+    const double setup0 = Now();
+    // Shared-database mode: partition the members' certified write
+    // scopes into pairwise-disjoint leases on the main database and
+    // skip the clones entirely. The partition cannot fail for a
+    // correctly formed group (every write atom is also a read atom, so
+    // overlapping writers always conflict at grouping time); if it
+    // ever does, clone-and-merge is the safe fallback.
+    std::vector<WriteLease> leases;
+    bool shared = options.parallel_mode == ParallelMode::kShared;
+    if (shared) {
+      std::vector<int> member_ids;
+      member_ids.reserve(members.size());
+      for (const size_t m : members) member_ids.push_back(order[m]);
+      if (!PartitionWriteLeases(member_ids, mscopes, &leases)) {
+        ASPECT_LOG(Warning)
+            << "write-lease partition found overlapping write scopes in a "
+               "supposedly non-conflicting group; falling back to "
+               "clone-and-merge";
+        shared = false;
+      }
+    }
+
+    // Each member's own listener set — the tool plus its auxiliary
+    // listeners (e.g. coappear's RefCounter), via AppendListeners. In
+    // shared mode this is the task's private notification route; in
+    // both modes it is excluded from the post-group replay, because a
+    // member's listeners already saw its writes live (shared) or on
+    // its clone after the swap-Rebase moved them over (clone).
+    // Filtering by AppendListeners rather than by tool pointer also
+    // fixes a latent clone-mode bug: a member's auxiliary listener
+    // used to stay in the replay set even though Rebase had moved (or,
+    // with the default Unbind+Bind Rebase, destroyed) it.
+    std::vector<std::vector<ModificationListener*>> member_listeners(
+        members.size());
+    std::set<const ModificationListener*> excluded;
+    for (size_t k = 0; k < members.size(); ++k) {
+      tools_[static_cast<size_t>(order[members[k]])]->AppendListeners(
+          &member_listeners[k]);
+      excluded.insert(member_listeners[k].begin(), member_listeners[k].end());
+    }
+    for (const auto& t : tools_) {
+      excluded.insert(static_cast<const ModificationListener*>(t.get()));
+    }
+    // The listeners that need the group's notifications replayed after
+    // the barrier — modification logs and other observers that are
+    // neither tools (bound tools are handled by the rebind rules) nor
+    // a member's own listeners. Computed up front: when there are none
+    // (and no undo log is needed), the recorders skip the notification
+    // copies entirely.
     std::vector<ModificationListener*> replay_to;
     for (ModificationListener* l : db->listeners()) {
-      bool is_tool = false;
-      for (const auto& t : tools_) {
-        if (static_cast<ModificationListener*>(t.get()) == l) {
-          is_tool = true;
-          break;
-        }
-      }
-      if (!is_tool) replay_to.push_back(l);
+      if (excluded.count(l) == 0) replay_to.push_back(l);
     }
 
     std::vector<GroupTask> tasks(members.size());
@@ -472,8 +559,29 @@ Result<RunReport> Coordinator::Run(Database* db,
       // tool's reads.
       error_before[k] = tools_[static_cast<size_t>(task.id)]->Error();
     }
-    for (GroupTask& task : tasks) {
+    for (size_t k = 0; k < tasks.size(); ++k) {
+      GroupTask& task = tasks[k];
       PropertyTool* t = tools_[static_cast<size_t>(task.id)].get();
+      // Shared mode records entries even with no replay target: a
+      // discarded group must undo writes that already landed in the
+      // main database.
+      task.recorder = std::make_unique<WriteRecorder>(
+          &db->schema(), shared || !replay_to.empty());
+      task.local_monitor = std::make_unique<AccessMonitor>(num_tools());
+      if (checker_ != nullptr) {
+        task.footprint =
+            std::make_unique<analysis::FootprintRecorder>(columns_per_table);
+      }
+      if (shared) {
+        // Zero-copy setup: the tool stays bound to the main database.
+        // Its lease is its write ownership; its route is the only
+        // notification target on the task's thread, so its statistics
+        // updates fire privately and siblings see nothing.
+        task.lease = &leases[k];
+        task.route = member_listeners[k];
+        task.route.push_back(task.recorder.get());
+        continue;
+      }
       if (t->DeclaredScope().known) {
         // A declared scope is a complete access-set contract, so the
         // task only needs the atoms it names: scoped columns are deep-
@@ -487,13 +595,6 @@ Result<RunReport> Coordinator::Run(Database* db,
       } else {
         task.clone = db->Clone();
       }
-      task.recorder = std::make_unique<WriteRecorder>(
-          &task.clone->schema(), !replay_to.empty());
-      task.local_monitor = std::make_unique<AccessMonitor>(num_tools());
-      if (checker_ != nullptr) {
-        task.footprint =
-            std::make_unique<analysis::FootprintRecorder>(columns_per_table);
-      }
       // Move the tool onto its clone now, while the group is still
       // serial: Rebase unhooks the tool from the shared main
       // database's listener list, which concurrent tasks must not
@@ -505,18 +606,47 @@ Result<RunReport> Coordinator::Run(Database* db,
         task.clone->AddListener(task.recorder.get());
       }
     }
+    report.group_setup_seconds += Now() - setup0;
+    ++report.parallel_groups;
     const auto run_task = [&](GroupTask& task) {
       if (!task.status.ok()) return;
       PropertyTool* t = tools_[static_cast<size_t>(task.id)].get();
+      Database* task_db = task.clone != nullptr ? task.clone.get() : db;
       // No validators: eligibility proved every enforced vote is zero,
       // and co-member votes are zero by the group's non-conflict.
-      TweakContext ctx(task.clone.get(), {}, &task.rng,
-                       task.local_monitor.get(), task.id);
-      ctx.set_batch_hint(options.batch_size);
+      TweakContext ctx(task_db, {}, &task.rng, task.local_monitor.get(),
+                       task.id);
+      ctx.set_batch_hint(options.batch_auto
+                             ? tool_batch_hint[static_cast<size_t>(task.id)]
+                             : options.batch_size);
+      ctx.set_batch_auto(options.batch_auto);
+      // Shared mode: divert this thread's Apply notifications to the
+      // task's private route for the duration of the Tweak.
+      std::optional<Database::ScopedListenerRoute> route;
+      if (task.lease != nullptr) route.emplace(&task.route);
+      // Lease enforcement at Apply time: debug builds and checker-on
+      // runs observe every semantic write through the access probes
+      // and pinpoint the first out-of-lease write at the violating
+      // modification. Plain release builds trust the certified scope
+      // here and rely on the recorder diff at the barrier instead.
+#ifdef NDEBUG
+      const bool probe_lease =
+          task.lease != nullptr && task.footprint != nullptr;
+#else
+      const bool probe_lease = task.lease != nullptr;
+#endif
       const double t0 = Now();
-      if (task.footprint != nullptr) {
-        // The probe sink is thread-local, so each worker records into
-        // its own task's recorder without any sharing.
+      if (probe_lease) {
+        LeaseProbeSink sink(task.lease, task.footprint.get());
+        {
+          // The probe sink is thread-local, so each worker records
+          // into its own task's sink without any sharing.
+          analysis::ScopedAccessProbe probe(&sink);
+          task.status = t->Tweak(&ctx);
+        }
+        task.lease_violated = sink.violated();
+        task.lease_violation = sink.violation();
+      } else if (task.footprint != nullptr) {
         analysis::ScopedAccessProbe probe(task.footprint.get());
         task.status = t->Tweak(&ctx);
       } else {
@@ -526,7 +656,10 @@ Result<RunReport> Coordinator::Run(Database* db,
       task.applied = ctx.applied();
       task.vetoed = ctx.vetoed();
       task.forced = ctx.forced();
-      task.clone->RemoveListener(task.recorder.get());
+      task.batch_final = ctx.batch_hint();
+      if (task.clone != nullptr) {
+        task.clone->RemoveListener(task.recorder.get());
+      }
     };
     int threads = options.pass_threads;
     if (threads <= 0) threads = ThreadPool::HardwareThreads();
@@ -550,6 +683,15 @@ Result<RunReport> Coordinator::Run(Database* db,
         ASPECT_LOG(Warning) << "parallel group discarded: " << t->name()
                             << " failed (" << task.status.ToString()
                             << "); redoing serially";
+        discard = true;
+        continue;
+      }
+      if (task.lease_violated) {
+        ASPECT_LOG(Warning)
+            << "parallel group discarded: " << t->name() << " wrote (table "
+            << task.lease_violation.first << ", col "
+            << task.lease_violation.second
+            << ") outside its write lease; redoing serially";
         discard = true;
         continue;
       }
@@ -590,13 +732,25 @@ Result<RunReport> Coordinator::Run(Database* db,
       }
     }
     if (discard) {
-      // Drop every clone (the main database was never touched) and
-      // replay the group serially with the pristine preforked RNGs —
-      // exact serial semantics, bit for bit.
+      // Restore the pre-group database, then replay the group serially
+      // with the pristine preforked RNGs — exact serial semantics, bit
+      // for bit. Clone mode just drops the clones (the main database
+      // was never touched). Shared mode reverts each recorder's writes
+      // from the captured pre-images, newest task first: per table
+      // only the row-structure lease holder inserted, so the last-slot
+      // invariant of Database::Undo holds, and Undo is listener-silent
+      // while the routes kept the main listeners blind during the
+      // group — so after the undo only the members' own statistics are
+      // stale, and rebinding them below rebuilds exactly those.
       for (GroupTask& task : tasks) {
         PropertyTool* t = tools_[static_cast<size_t>(task.id)].get();
         if (t->bound()) t->Unbind();
         task.clone.reset();
+      }
+      if (shared) {
+        for (size_t k = tasks.size(); k-- > 0;) {
+          ASPECT_RETURN_NOT_OK(tasks[k].recorder->UndoOnto(db));
+        }
       }
       for (GroupTask& task : tasks) {
         ASPECT_RETURN_NOT_OK(
@@ -608,32 +762,41 @@ Result<RunReport> Coordinator::Run(Database* db,
       return Status::OK();
     }
 
-    // Merge, in order-position order: move each task's written columns
-    // (whole tables for row-structure changes) from its clone into the
-    // main database — the clone is discarded right after the merge, so
-    // stealing the storage avoids a second full copy. Scopes are
-    // pairwise disjoint, so no cell is written by two tasks. A task
-    // that wrote both (t, kWholeTable) and (t, c) atoms — tuple ops
-    // plus cell ops on one table — must move the table exactly once:
-    // the whole-table move already carries every column, and a
-    // subsequent per-column move would index the moved-from clone
-    // table's empty storage.
-    for (GroupTask& task : tasks) {
-      const std::set<AccessScope::Atom>& written = task.recorder->written();
-      for (const AccessScope::Atom& a : written) {
-        Table& dst = db->table(a.first);
-        Table& src = task.clone->table(a.first);
-        if (a.second == AccessScope::kWholeTable) {
-          dst = std::move(src);
-        } else if (written.count({a.first, AccessScope::kWholeTable}) == 0) {
-          dst.column(a.second) = std::move(src.column(a.second));
+    // Merge, in order-position order (clone mode only): move each
+    // task's written columns (whole tables for row-structure changes)
+    // from its clone into the main database — the clone is discarded
+    // right after the merge, so stealing the storage avoids a second
+    // full copy. Scopes are pairwise disjoint, so no cell is written
+    // by two tasks. A task that wrote both (t, kWholeTable) and (t, c)
+    // atoms — tuple ops plus cell ops on one table — must move the
+    // table exactly once: the whole-table move already carries every
+    // column, and a subsequent per-column move would index the
+    // moved-from clone table's empty storage. Shared mode has nothing
+    // to move — every write already sits in the main tables — so its
+    // merge cost is the modlog splice below and nothing else.
+    const double merge0 = Now();
+    if (!shared) {
+      for (GroupTask& task : tasks) {
+        const std::set<AccessScope::Atom>& written = task.recorder->written();
+        for (const AccessScope::Atom& a : written) {
+          Table& dst = db->table(a.first);
+          Table& src = task.clone->table(a.first);
+          if (a.second == AccessScope::kWholeTable) {
+            dst = std::move(src);
+          } else if (written.count({a.first, AccessScope::kWholeTable}) ==
+                     0) {
+            dst.column(a.second) = std::move(src.column(a.second));
+          }
         }
       }
     }
 
     // Replay the recorded notifications (original order and delivery
-    // shape) to the main database's remaining listeners. A lone
-    // modification log — the common case — adopts the entries by move.
+    // shape) to the main database's remaining listeners, one member
+    // segment after another in order-position order — which is exactly
+    // the serial per-position segment order, so the spliced log is
+    // bitwise identical to the serial one. A lone modification log —
+    // the common case — adopts the entries by move.
     for (GroupTask& task : tasks) {
       if (replay_to.size() == 1) {
         if (auto* log = dynamic_cast<ModificationLog*>(replay_to[0])) {
@@ -645,15 +808,20 @@ Result<RunReport> Coordinator::Run(Database* db,
         task.recorder->ReplayTo(l);
       }
     }
+    report.group_merge_seconds += Now() - merge0;
 
-    // Hand the group's tools back to the merged main database. The
-    // merge copied the task's written tables verbatim, so for every
-    // table in the tool's scope the main database now equals its clone
-    // and Rebase keeps the incrementally maintained statistics.
-    for (GroupTask& task : tasks) {
-      PropertyTool* t = tools_[static_cast<size_t>(task.id)].get();
-      ASPECT_RETURN_NOT_OK(t->Rebase(db));
-      task.clone.reset();
+    // Hand the group's tools back to the merged main database (clone
+    // mode; shared-mode tools never left it). The merge copied the
+    // task's written tables verbatim, so for every table in the tool's
+    // scope the main database now equals its clone and Rebase keeps
+    // the incrementally maintained statistics.
+    const double rebase0 = Now();
+    if (!shared) {
+      for (GroupTask& task : tasks) {
+        PropertyTool* t = tools_[static_cast<size_t>(task.id)].get();
+        ASPECT_RETURN_NOT_OK(t->Rebase(db));
+        task.clone.reset();
+      }
     }
     // Any other bound tool whose statistics the group may have touched
     // (or whose scope is unknown or write-only observed) gets them
@@ -681,6 +849,7 @@ Result<RunReport> Coordinator::Run(Database* db,
         ASPECT_RETURN_NOT_OK(vt->Bind(db));
       }
     }
+    report.group_rebase_seconds += Now() - rebase0;
 
     // Adopt the tasks' access records and file the reports in order.
     for (GroupTask& task : tasks) {
@@ -698,6 +867,10 @@ Result<RunReport> Coordinator::Run(Database* db,
       step.forced = task.forced;
       step.seconds = task.seconds;
       step.parallel = true;
+      step.batch_final = task.batch_final;
+      if (options.batch_auto) {
+        tool_batch_hint[static_cast<size_t>(task.id)] = task.batch_final;
+      }
       ASPECT_LOG(Info) << "tweak " << step.tool << " (parallel): "
                        << step.error_before << " -> " << step.error_after;
       report.steps.push_back(std::move(step));

@@ -17,6 +17,23 @@
 
 namespace aspect {
 
+/// Execution model of the O1-parallel pass (options.parallel_pass).
+enum class ParallelMode : int {
+  /// Clone-and-merge: each group task runs on a partial clone of the
+  /// main database (Database::CloneAtoms over its declared atoms) and
+  /// the written columns are move-merged back after the barrier. The
+  /// legacy model; pays a clone per task and a merge per group.
+  kClone = 0,
+  /// Shared-database: the group partitions the members' certified
+  /// write scopes into per-(table, column) write leases on the main
+  /// database and the tasks tweak the shared tables directly. No
+  /// clone, no merge; per-thread listener routing keeps each tool's
+  /// statistics private, and per-lease modlog segments splice in group
+  /// order, so output stays bitwise identical to serial (DESIGN.md
+  /// Sec. 10). The default.
+  kShared = 1,
+};
+
 /// How rollback_on_regression restores the pre-step state.
 enum class RollbackMode : int {
   /// Deep-copy the database before every tool step and restore the
@@ -72,11 +89,23 @@ struct CoordinatorOptions {
   /// Worker threads for parallel_pass groups: 0 = one per hardware
   /// thread, 1 = run the same grouped schedule on the calling thread.
   int pass_threads = 0;
+  /// Execution model for parallel_pass groups; see ParallelMode. Both
+  /// modes produce bitwise-identical results; kShared eliminates the
+  /// per-task clone and per-group merge.
+  ParallelMode parallel_mode = ParallelMode::kShared;
   /// Batch-size hint handed to tools via TweakContext::batch_hint():
   /// how many modifications to group per proposal. 1 (the default)
   /// keeps the historical one-modification-at-a-time pipeline
   /// bit-identical.
   int batch_size = 1;
+  /// Veto-rate-driven batch-size autotuning (the CLI's --batch=auto):
+  /// each step starts from batch_size and TweakContext grows the hint
+  /// on sustained accepted proposals and shrinks it on vetoes. The
+  /// size a step settled on is reported in ToolReport::batch_final.
+  /// Deterministic across serial/clone/shared execution: parallel
+  /// group members provably receive zero vetoes, so their hint follows
+  /// the same trajectory in every mode.
+  bool batch_auto = false;
   /// Scope-conformance checking (src/analysis): kWarn / kStrict
   /// install access probes around every Tweak and diff each tool's
   /// observed read+write footprint against its DeclaredScope(); a
@@ -106,6 +135,9 @@ struct ToolReport {
   bool rolled_back = false;
   /// True if the step ran inside an O1-parallel group (parallel_pass).
   bool parallel = false;
+  /// The batch-size hint the step ended on: options.batch_size, or the
+  /// autotuned size when options.batch_auto chose a different one.
+  int batch_final = 1;
 };
 
 struct RunReport {
@@ -130,6 +162,19 @@ struct RunReport {
   std::vector<analysis::ScopeViolation> scope_violations;
   double total_seconds = 0;
   StopReason stop_reason = StopReason::kIterationsExhausted;
+
+  /// Phase breakdown of the O1-parallel groups (parallel_pass only).
+  /// Setup: clone construction and rebase-to-clone (clone mode) or
+  /// lease partition and listener-route assembly (shared mode). Merge:
+  /// column/table move-merge plus notification replay (clone mode) or
+  /// modlog splice alone (shared mode, where merge work is ~0 by
+  /// construction). Rebase: handing the members back to the main
+  /// database and rebinding disturbed non-members — with the pointer-
+  /// swap Rebase overrides this is ~0 for every built-in tool.
+  int64_t parallel_groups = 0;
+  double group_setup_seconds = 0;
+  double group_merge_seconds = 0;
+  double group_rebase_seconds = 0;
 
   std::string ToString() const;
 };

@@ -1,0 +1,84 @@
+// Write leases: the ownership protocol of the shared-database parallel
+// pass (DESIGN.md Sec. 10). Before a parallel group runs, the
+// coordinator partitions the members' certified write scopes into
+// per-(table, column) leases on the main database. Tools then tweak
+// the shared tables directly — no clone, no merge — and the lease set
+// is the proof that no cell has two concurrent writers: group
+// formation already guarantees the scopes are pairwise non-conflicting,
+// so the partition is a disjointness certificate, not a lock table.
+//
+// Enforcement is layered. Release builds trust the certified scopes
+// and verify after the fact (the recorder's written-atom set is diffed
+// against the lease when the group joins). Debug and checker-on builds
+// additionally observe every semantic write at Apply time through the
+// PR 3 access probes (LeaseProbeSink below) so an out-of-lease write is
+// pinpointed at the violating modification, not at the group barrier.
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "analysis/probe.h"
+#include "aspect/access_scope.h"
+
+namespace aspect {
+
+/// One member's write ownership inside a shared-mode parallel group.
+struct WriteLease {
+  /// Tool id of the lease holder.
+  int tool_id = -1;
+  /// The certified write atoms the holder may touch: (table, column)
+  /// cells, (table, kWholeTable), or (table, kRowStructure). A
+  /// kRowStructure lease makes the holder the table's only structural
+  /// mutator for the group (insert/delete slot allocation is sharded
+  /// per table, so this is also the no-contention guarantee).
+  std::set<AccessScope::Atom> writes;
+};
+
+/// Builds one lease per member from its certified write scope and
+/// verifies the partition is truly pairwise disjoint (no atom of one
+/// lease overlaps an atom of another, under the same overlap rules
+/// that formed the group). Returns false — and the caller must fall
+/// back to the clone-and-merge path — if any two leases overlap; with
+/// correctly formed groups this never happens, so the check is cheap
+/// insurance against a planner bug corrupting the shared database.
+bool PartitionWriteLeases(const std::vector<int>& tool_ids,
+                          const std::vector<AccessScope>& scopes,
+                          std::vector<WriteLease>* leases);
+
+/// Probe sink wrapper a shared-mode task installs for its Tweak: reads
+/// and writes forward to `inner` (the conformance FootprintRecorder,
+/// or null when no checker is installed), and every written atom is
+/// additionally checked against the task's lease. The first
+/// out-of-lease write is latched for the group's discard diagnostic.
+/// Strictly thread-local, like every probe sink.
+class LeaseProbeSink : public analysis::AccessProbeSink {
+ public:
+  LeaseProbeSink(const WriteLease* lease, analysis::AccessProbeSink* inner)
+      : lease_(lease), inner_(inner) {}
+
+  void OnRead(int table, int column) override {
+    if (inner_ != nullptr) inner_->OnRead(table, column);
+  }
+
+  void OnWrite(int table, int column) override {
+    if (inner_ != nullptr) inner_->OnWrite(table, column);
+    if (!violated_ && !AtomCoveredBy({table, column}, lease_->writes)) {
+      violated_ = true;
+      violation_ = {table, column};
+    }
+  }
+
+  /// True once a write outside the lease was observed.
+  bool violated() const { return violated_; }
+  /// The first out-of-lease atom (meaningful when violated()).
+  AccessScope::Atom violation() const { return violation_; }
+
+ private:
+  const WriteLease* lease_;
+  analysis::AccessProbeSink* inner_;
+  bool violated_ = false;
+  AccessScope::Atom violation_{-1, -1};
+};
+
+}  // namespace aspect

@@ -92,6 +92,17 @@ class PropertyTool : public ModificationListener {
     return Bind(db);
   }
 
+  /// Appends every ModificationListener a bound tool has registered on
+  /// its database: the tool itself plus any auxiliary listeners its
+  /// Bind installed (e.g. coappear's RefCounter). The shared-database
+  /// parallel pass routes exactly this set (plus the task's write
+  /// recorder) to the task's thread, and excludes it from the
+  /// post-group notification replay, so a tool's statistics see each
+  /// of its own writes exactly once. Only meaningful while bound.
+  virtual void AppendListeners(std::vector<ModificationListener*>* out) {
+    out->push_back(this);
+  }
+
   // --- Property Evaluator -----------------------------------------------
   /// Error of the bound database's property against the target, using
   /// the paper's measure for this property (Sec. VI-C). Requires bound.

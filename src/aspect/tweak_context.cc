@@ -15,6 +15,20 @@ TweakContext::TweakContext(Database* db,
       monitor_(monitor),
       tool_id_(tool_id) {}
 
+void TweakContext::OnObjection() {
+  if (!batch_auto_) return;
+  if (batch_hint_ > 1) batch_hint_ /= 2;
+  accept_streak_ = 0;
+}
+
+void TweakContext::OnClean() {
+  if (!batch_auto_) return;
+  if (++accept_streak_ < kGrowStreak) return;
+  accept_streak_ = 0;
+  batch_hint_ = batch_hint_ < kMaxAutoBatch / 2 ? batch_hint_ * 2
+                                                : kMaxAutoBatch;
+}
+
 Status TweakContext::Apply(const Modification& mod, TupleId* new_tuple) {
   TupleId inserted = kInvalidTuple;
   ASPECT_RETURN_NOT_OK(db_->Apply(mod, &inserted));
@@ -43,10 +57,12 @@ Status TweakContext::TryApply(const Modification& mod, TupleId* new_tuple) {
     for (PropertyTool* v : validators_) {
       if (v->ValidationPenalty(mod) > 0) {
         ++vetoed_;
+        OnObjection();
         return Status::ValidationFailed("vetoed by " + v->name());
       }
     }
   }
+  OnClean();
   return Apply(mod, new_tuple);
 }
 
@@ -54,11 +70,18 @@ Status TweakContext::ForceApply(const Modification& mod,
                                 TupleId* new_tuple) {
   {
     analysis::ScopedProbeSuppress suppress;
+    bool objected = false;
     for (PropertyTool* v : validators_) {
       if (v->ValidationPenalty(mod) > 0) {
         ++forced_;
+        objected = true;
         break;
       }
+    }
+    if (objected) {
+      OnObjection();
+    } else {
+      OnClean();
     }
   }
   return Apply(mod, new_tuple);
@@ -97,10 +120,12 @@ Status TweakContext::TryApplyBatch(std::span<const Modification> mods,
     for (PropertyTool* v : validators_) {
       if (v->ValidationPenaltyBatch(mods) > 0) {
         ++vetoed_;
+        OnObjection();
         return Status::ValidationFailed("batch vetoed by " + v->name());
       }
     }
   }
+  OnClean();
   return ApplyBatch(mods, new_tuples);
 }
 
@@ -112,11 +137,18 @@ Status TweakContext::ForceApplyBatch(std::span<const Modification> mods,
   }
   {
     analysis::ScopedProbeSuppress suppress;
+    bool objected = false;
     for (PropertyTool* v : validators_) {
       if (v->ValidationPenaltyBatch(mods) > 0) {
         ++forced_;
+        objected = true;
         break;
       }
+    }
+    if (objected) {
+      OnObjection();
+    } else {
+      OnClean();
     }
   }
   return ApplyBatch(mods, new_tuples);

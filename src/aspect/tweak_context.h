@@ -65,6 +65,24 @@ class TweakContext {
   int batch_hint() const { return batch_hint_; }
   void set_batch_hint(int hint) { batch_hint_ = hint < 1 ? 1 : hint; }
 
+  /// Veto-rate-driven autotuning (CoordinatorOptions.batch_auto): when
+  /// on, batch_hint() halves whenever validators object to a proposal
+  /// (vetoed, or forced through over an objection) and doubles — up to
+  /// kMaxAutoBatch — after kGrowStreak consecutive objection-free
+  /// proposals. A tool that re-reads batch_hint() each round thus
+  /// adapts its proposal size to the current veto pressure: large
+  /// batches while everything is accepted, back to fine-grained
+  /// proposals as soon as vetoes appear (a vetoed batch rejects all
+  /// its modifications at once, so high veto rates make big batches
+  /// wasteful). Deterministic: the hint trajectory depends only on the
+  /// proposal/vote sequence, which is identical across the serial,
+  /// clone-parallel and shared-parallel execution modes.
+  bool batch_auto() const { return batch_auto_; }
+  void set_batch_auto(bool on) { batch_auto_ = on; }
+
+  static constexpr int kGrowStreak = 8;
+  static constexpr int kMaxAutoBatch = 256;
+
   /// Number of proposals rejected by validators so far.
   int64_t vetoed() const { return vetoed_; }
   /// Number of modifications applied bypassing a veto.
@@ -76,6 +94,11 @@ class TweakContext {
   Status Apply(const Modification& mod, TupleId* new_tuple);
   Status ApplyBatch(std::span<const Modification> mods,
                     std::vector<TupleId>* new_tuples);
+  /// Autotuning hooks (no-ops unless batch_auto): an objection shrinks
+  /// the hint and resets the streak; an objection-free proposal grows
+  /// it after a sustained streak.
+  void OnObjection();
+  void OnClean();
 
   Database* db_;
   std::vector<PropertyTool*> validators_;
@@ -83,6 +106,8 @@ class TweakContext {
   AccessMonitor* monitor_;
   int tool_id_;
   int batch_hint_ = 1;
+  bool batch_auto_ = false;
+  int accept_streak_ = 0;
   int64_t vetoed_ = 0;
   int64_t forced_ = 0;
   int64_t applied_ = 0;

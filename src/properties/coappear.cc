@@ -149,6 +149,25 @@ void CoappearPropertyTool::Unbind() {
   state_.clear();
 }
 
+Status CoappearPropertyTool::Rebase(Database* db) {
+  if (db_ == nullptr) return Bind(db);
+  if (db == db_) return Status::OK();
+  db_->RemoveListener(this);
+  db_ = db;
+  db_->AddListener(this);
+  // The refcount cache swaps with its owner. Its counts are exact for
+  // every table whose inbound FK columns are in this tool's declared
+  // scope — the member tables, which is all Tweak ever queries.
+  refcount_->Rebase(db);
+  return Status::OK();
+}
+
+void CoappearPropertyTool::AppendListeners(
+    std::vector<ModificationListener*>* out) {
+  out->push_back(this);
+  if (refcount_ != nullptr) out->push_back(refcount_.get());
+}
+
 CoappearPropertyTool::Key CoappearPropertyTool::ReadCombo(
     int g, int member, TupleId t, const std::vector<int>* overlay_cols,
     const std::vector<Value>* overlay_vals, bool deleted_cells) const {

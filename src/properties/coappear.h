@@ -49,6 +49,14 @@ class CoappearPropertyTool : public PropertyTool {
   Status Bind(Database* db) override;
   void Unbind() override;
   bool bound() const override { return db_ != nullptr; }
+  /// Statistics (GroupState) are keyed by stable tuple ids and slot
+  /// indices, so a content-identical database swap needs no rebuild:
+  /// pointer swap for the tool and its RefCounter, both re-registered
+  /// as listeners on the new database.
+  Status Rebase(Database* db) override;
+  /// The tool plus its RefCounter (the auxiliary listener Bind
+  /// installs).
+  void AppendListeners(std::vector<ModificationListener*>* out) override;
 
   double Error() const override;
   double ValidationPenalty(const Modification& mod) const override;

@@ -33,7 +33,20 @@ void ProbeModification(const Schema& schema, const Modification& mod) {
   }
 }
 
+/// The calling thread's installed listener route (null = notify the
+/// database's registered listeners). Thread-local by construction, so
+/// shared-mode tasks route without synchronisation.
+thread_local const std::vector<ModificationListener*>* tls_route = nullptr;
+
 }  // namespace
+
+Database::ScopedListenerRoute::ScopedListenerRoute(
+    const std::vector<ModificationListener*>* route)
+    : prev_(tls_route) {
+  tls_route = route;
+}
+
+Database::ScopedListenerRoute::~ScopedListenerRoute() { tls_route = prev_; }
 
 const char* OpKindToString(OpKind kind) {
   switch (kind) {
@@ -274,7 +287,9 @@ Status Database::Apply(const Modification& mod, TupleId* new_tuple) {
     analysis::ScopedProbeSuppress suppress;
     ASPECT_RETURN_NOT_OK(ApplyOne(mod, &old_values, &inserted));
     if (new_tuple != nullptr) *new_tuple = inserted;
-    for (ModificationListener* l : listeners_) {
+    const std::vector<ModificationListener*>& targets =
+        tls_route != nullptr ? *tls_route : listeners_;
+    for (ModificationListener* l : targets) {
       l->OnApplied(mod, old_values, inserted);
     }
   }
@@ -314,7 +329,9 @@ Status Database::ApplyBatch(std::span<const Modification> mods,
       return st;
     }
     if (new_tuples != nullptr) *new_tuples = inserted;
-    for (ModificationListener* l : listeners_) {
+    const std::vector<ModificationListener*>& targets =
+        tls_route != nullptr ? *tls_route : listeners_;
+    for (ModificationListener* l : targets) {
       l->OnAppliedBatch(mods, old_values, inserted);
     }
   }

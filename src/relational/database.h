@@ -118,6 +118,30 @@ class Database {
     return listeners_;
   }
 
+  /// RAII per-thread listener routing for the shared-database parallel
+  /// pass (DESIGN.md Sec. 10): while a route is installed, Apply /
+  /// ApplyBatch on the installing thread notify exactly the routed
+  /// listeners instead of the registered list. Each parallel task
+  /// installs a route of {its own tool's listeners, its write
+  /// recorder}, so concurrent tasks never deliver into each other's
+  /// statistics and the shared listener list is never read under
+  /// contention. Like the access probes (analysis/probe.h), the route
+  /// is a plain thread_local: with none installed (the normal case)
+  /// the cost is one null check per Apply. The routed vector must
+  /// outlive the route.
+  class ScopedListenerRoute {
+   public:
+    explicit ScopedListenerRoute(
+        const std::vector<ModificationListener*>* route);
+    ~ScopedListenerRoute();
+
+    ScopedListenerRoute(const ScopedListenerRoute&) = delete;
+    ScopedListenerRoute& operator=(const ScopedListenerRoute&) = delete;
+
+   private:
+    const std::vector<ModificationListener*>* prev_;
+  };
+
   /// Validates and applies a modification, then notifies listeners.
   /// On kInsertTuple success, *new_tuple (if non-null) receives the id.
   Status Apply(const Modification& mod, TupleId* new_tuple = nullptr);

@@ -1,8 +1,43 @@
 #include "relational/table.h"
 
+#include <cassert>
+
 #include "common/string_util.h"
 
 namespace aspect {
+
+#ifndef NDEBUG
+namespace {
+
+/// Debug scope asserting that no two threads mutate one table's row
+/// structure concurrently (the write-lease invariant of the shared-
+/// database parallel pass: a table's row structure has at most one
+/// lease holder per group).
+class StructureMutationScope {
+ public:
+  explicit StructureMutationScope(std::atomic<int>* depth) : depth_(depth) {
+    const int prev = depth_->fetch_add(1, std::memory_order_acq_rel);
+    assert(prev == 0 &&
+           "concurrent row-structure mutation: two parallel tasks hold a "
+           "write lease on the same table");
+    (void)prev;
+  }
+  ~StructureMutationScope() {
+    depth_->fetch_sub(1, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::atomic<int>* depth_;
+};
+
+}  // namespace
+#define ASPECT_STRUCTURE_MUTATION_SCOPE() \
+  StructureMutationScope structure_scope(&structure_mutators_.depth)
+#else
+#define ASPECT_STRUCTURE_MUTATION_SCOPE() \
+  do {                                    \
+  } while (false)
+#endif
 
 Table::Table(const TableSpec& spec) : spec_(spec) {
   columns_.reserve(spec_.columns.size());
@@ -29,6 +64,7 @@ Result<TupleId> Table::Append(const std::vector<Value>& values) {
     }
   }
   analysis::ProbeWrite(probe_table_, analysis::kProbeRowStructure);
+  ASPECT_STRUCTURE_MUTATION_SCOPE();
   for (int c = 0; c < num_columns(); ++c) {
     ASPECT_RETURN_NOT_OK(columns_[static_cast<size_t>(c)].Append(
         values[static_cast<size_t>(c)]));
@@ -62,6 +98,7 @@ Status Table::Delete(TupleId t) {
                   static_cast<long long>(t)));
   }
   analysis::ProbeWrite(probe_table_, analysis::kProbeRowStructure);
+  ASPECT_STRUCTURE_MUTATION_SCOPE();
   live_[static_cast<size_t>(t)] = 0;
   --num_live_;
   return Status::OK();
@@ -79,6 +116,7 @@ Status Table::Undelete(TupleId t) {
                   name().c_str(), static_cast<long long>(t)));
   }
   analysis::ProbeWrite(probe_table_, analysis::kProbeRowStructure);
+  ASPECT_STRUCTURE_MUTATION_SCOPE();
   live_[static_cast<size_t>(t)] = 1;
   ++num_live_;
   return Status::OK();
@@ -90,6 +128,7 @@ Status Table::PopBack() {
         StrFormat("table '%s': PopBack on empty table", name().c_str()));
   }
   analysis::ProbeWrite(probe_table_, analysis::kProbeRowStructure);
+  ASPECT_STRUCTURE_MUTATION_SCOPE();
   if (live_.back()) --num_live_;
   live_.pop_back();
   for (Column& c : columns_) c.PopBack();

@@ -6,6 +6,7 @@
 // modifications. Appends allocate fresh ids at the end.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <set>
 #include <string>
@@ -113,6 +114,30 @@ class Table {
   std::vector<Value> GetRow(TupleId t) const;
 
  private:
+#ifndef NDEBUG
+  /// Debug-only mutual-exclusion witness for row-structure mutations
+  /// (Append / Delete / Undelete / PopBack). Slot allocation is sharded
+  /// per table by construction — each Table owns its own free-slot
+  /// frontier (live_ tail), there is no database-global allocator — so
+  /// the shared-database parallel pass is contention-free as long as at
+  /// most one lease holder mutates a given table's row structure. The
+  /// witness asserts exactly that: two threads inside a structural
+  /// mutation of the same table at once trip the counter. Copies and
+  /// moves reset the witness (the new storage has no mutator), keeping
+  /// Table's implicit copy/move assignable for the clone/merge paths.
+  struct MutationWitness {
+    std::atomic<int> depth{0};
+    MutationWitness() = default;
+    MutationWitness(const MutationWitness&) noexcept {}
+    MutationWitness(MutationWitness&&) noexcept {}
+    MutationWitness& operator=(const MutationWitness&) noexcept {
+      return *this;
+    }
+    MutationWitness& operator=(MutationWitness&&) noexcept { return *this; }
+  };
+  mutable MutationWitness structure_mutators_;
+#endif
+
   TableSpec spec_;
   std::vector<Column> columns_;
   std::vector<uint8_t> live_;

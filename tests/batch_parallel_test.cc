@@ -572,5 +572,221 @@ TEST(BatchPipelineTest, ObservedWriteOnlyScopeStaysSerial) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Shared-database mode: zero-copy groups with write leases must be
+// bitwise indistinguishable from clone-and-merge and from serial — in
+// the database AND in the modification log — at every thread count.
+// ---------------------------------------------------------------------
+
+// Shared fixture for the mode-equivalence tests: a Rand-scaled Xiami
+// dataset with the enforced columns flattened so the tools have real
+// work, plus a runner that executes the three ColumnFreq tools in a
+// chosen execution mode with a modification log attached.
+struct ModeOutcome {
+  RunReport report;
+  std::unique_ptr<Database> db;
+  std::unique_ptr<ModificationLog> log;
+};
+
+class SharedModeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    gen_ = std::make_unique<SnapshotSet>(
+        GenerateDataset(XiamiLike(2.0), 11).ValueOrAbort());
+    truth_ = gen_->Materialize(4).ValueOrAbort();
+    RandScaler rand;
+    base_ = rand.Scale(*gen_->Materialize(1).ValueOrAbort(),
+                       gen_->SnapshotSizes(4), 11)
+                .ValueOrAbort();
+    for (const auto& tc : kCols) {
+      Table* table = base_->FindTable(tc[0]);
+      ASSERT_NE(table, nullptr);
+      const int col = table->ColumnIndex(tc[1]);
+      std::vector<TupleId> rows = LiveTuples(*table);
+      ASSERT_TRUE(base_->Apply(Modification::ReplaceValues(
+                                   tc[0], rows, {col}, {Value(int64_t{0})}))
+                      .ok());
+    }
+  }
+
+  ModeOutcome RunMode(bool parallel, ParallelMode mode, int threads,
+                      bool batch_auto = false) {
+    ModeOutcome out;
+    out.db = base_->Clone();
+    out.log = std::make_unique<ModificationLog>(out.db.get());
+    Coordinator coordinator;
+    std::vector<int> order;
+    for (const auto& tc : kCols) {
+      order.push_back(coordinator.AddTool(std::make_unique<ColumnFreqTool>(
+          truth_->schema(), tc[0], tc[1])));
+    }
+    coordinator.SetTargetsFromDataset(*truth_).Check();
+    CoordinatorOptions opts;
+    opts.seed = 5;
+    opts.parallel_pass = parallel;
+    opts.parallel_mode = mode;
+    opts.pass_threads = threads;
+    opts.batch_size = batch_auto ? 1 : 64;
+    opts.batch_auto = batch_auto;
+    out.report = coordinator.Run(out.db.get(), order, opts).ValueOrAbort();
+    return out;
+  }
+
+  static void ExpectSameSteps(const RunReport& a, const RunReport& b) {
+    ASSERT_EQ(a.steps.size(), b.steps.size());
+    for (size_t i = 0; i < b.steps.size(); ++i) {
+      EXPECT_EQ(a.steps[i].tool, b.steps[i].tool) << "step " << i;
+      EXPECT_EQ(a.steps[i].error_before, b.steps[i].error_before)
+          << "step " << i;
+      EXPECT_EQ(a.steps[i].error_after, b.steps[i].error_after)
+          << "step " << i;
+      EXPECT_EQ(a.steps[i].applied, b.steps[i].applied) << "step " << i;
+      EXPECT_EQ(a.steps[i].vetoed, b.steps[i].vetoed) << "step " << i;
+      EXPECT_EQ(a.steps[i].batch_final, b.steps[i].batch_final)
+          << "step " << i;
+    }
+    EXPECT_EQ(a.final_errors, b.final_errors);
+  }
+
+  static constexpr const char* kCols[][2] = {
+      {"User", "gender"}, {"Photo", "kind"}, {"Space", "kind"}};
+
+  std::unique_ptr<SnapshotSet> gen_;
+  std::unique_ptr<Database> truth_;
+  std::unique_ptr<Database> base_;
+};
+
+TEST_F(SharedModeTest, SharedCloneSerialBitwiseIdenticalAcrossThreads) {
+  const ModeOutcome serial = RunMode(false, ParallelMode::kShared, 1);
+  EXPECT_EQ(serial.report.parallel_groups, 0);
+  for (const ParallelMode mode :
+       {ParallelMode::kClone, ParallelMode::kShared}) {
+    for (const int threads : {1, 2, 8}) {
+      const ModeOutcome run = RunMode(true, mode, threads);
+      // The group must actually have formed, or the modes were never
+      // exercised.
+      EXPECT_GT(run.report.parallel_groups, 0)
+          << "mode " << static_cast<int>(mode) << " threads " << threads;
+      ExpectSameSteps(run.report, serial.report);
+      ExpectDatabasesIdentical(*run.db, *serial.db);
+      ExpectLogsIdentical(*run.log, *serial.log);
+    }
+  }
+}
+
+// Veto-rate-driven batch autotuning: trajectories (and therefore the
+// produced databases and logs) are identical in serial, clone and
+// shared execution, and sustained accepted proposals actually grow the
+// hint past the starting size of 1.
+TEST_F(SharedModeTest, BatchAutoDeterministicAcrossModesAndGrows) {
+  const ModeOutcome serial =
+      RunMode(false, ParallelMode::kShared, 1, /*batch_auto=*/true);
+  bool grew = false;
+  for (const ToolReport& step : serial.report.steps) {
+    grew = grew || step.batch_final > 1;
+  }
+  EXPECT_TRUE(grew);
+  for (const ParallelMode mode :
+       {ParallelMode::kClone, ParallelMode::kShared}) {
+    const ModeOutcome run = RunMode(true, mode, 8, /*batch_auto=*/true);
+    EXPECT_GT(run.report.parallel_groups, 0);
+    ExpectSameSteps(run.report, serial.report);
+    ExpectDatabasesIdentical(*run.db, *serial.db);
+    ExpectLogsIdentical(*run.log, *serial.log);
+  }
+}
+
+// Declares writing only T.b but also writes T.a — an under-declared
+// write scope that shared mode must catch (the write lands in the main
+// database, outside the task's lease).
+class LeaseLiarTool : public PropertyTool {
+ public:
+  explicit LeaseLiarTool(const Schema& schema)
+      : table_index_(schema.TableIndex("T")) {}
+  std::string name() const override { return "liar"; }
+  Status SetTargetFromDataset(const Database&) override {
+    return Status::OK();
+  }
+  Status RepairTarget() override { return Status::OK(); }
+  Status CheckTargetFeasible() const override { return Status::OK(); }
+  Status Bind(Database* db) override {
+    db_ = db;
+    return Status::OK();
+  }
+  void Unbind() override { db_ = nullptr; }
+  bool bound() const override { return db_ != nullptr; }
+  double Error() const override { return 0; }
+  double ValidationPenalty(const Modification&) const override { return 0; }
+  void OnApplied(const Modification&, const std::vector<Value>&,
+                 TupleId) override {}
+  AccessScope DeclaredScope() const override {
+    AccessScope scope;
+    scope.known = true;
+    scope.AddWrite(table_index_, 1);  // T.b — says nothing about T.a
+    return scope;
+  }
+  Status Tweak(TweakContext* ctx) override {
+    const Table* t = db_->FindTable("T");
+    ASPECT_RETURN_NOT_OK(ctx->TryApply(Modification::ReplaceValues(
+        "T", {0}, {1}, {Value(t->column(1).GetInt(0) + 1)})));
+    // The lie: an undeclared write to T.a.
+    return ctx->TryApply(Modification::ReplaceValues(
+        "T", {0}, {0}, {Value(t->column(1).GetInt(0) + 100)}));
+  }
+
+ private:
+  int table_index_;
+  Database* db_ = nullptr;
+};
+
+// A shared-mode group member whose writes escape its lease must be
+// caught, its writes undone from the captured pre-images, and the
+// whole group redone serially — leaving results identical to the pure
+// serial run. With the conformance checker on, the liar is distrusted
+// and stays off the parallel fast path in later passes.
+TEST(SharedModeLeaseTest, UnderDeclaredWriteIsUndoneAndRedoneSerially) {
+  const Schema schema = TinySchema();
+  const auto run_with = [&](bool parallel) {
+    auto db = TinyDb();
+    Coordinator coordinator;
+    std::vector<int> order = {
+        coordinator.AddTool(std::make_unique<LeaseLiarTool>(schema)),
+        coordinator.AddTool(
+            std::make_unique<RowAndCellTool>(schema, "A", 6)),
+    };
+    CoordinatorOptions opts;
+    opts.seed = 13;
+    opts.iterations = 2;
+    opts.parallel_pass = parallel;
+    opts.parallel_mode = ParallelMode::kShared;
+    opts.pass_threads = 2;
+    opts.check_scopes = analysis::ScopeCheckMode::kWarn;
+    RunReport report =
+        coordinator.Run(db.get(), order, opts).ValueOrAbort();
+    return std::make_pair(std::move(db), std::move(report));
+  };
+
+  const auto serial = run_with(false);
+  const auto parallel = run_with(true);
+  // The under-declared write was observed (and survived the discard:
+  // violations are checked even for discarded groups).
+  EXPECT_FALSE(parallel.second.scope_violations.empty());
+  // Every step fell back to the serial path: the first group was
+  // discarded and redone, and the distrusted liar's observed scope
+  // (write-only) keeps later groups from forming.
+  for (const ToolReport& step : parallel.second.steps) {
+    EXPECT_FALSE(step.parallel) << step.tool;
+  }
+  // The undo restored the pre-group bytes exactly, so the serial redo
+  // reproduced the serial run bit for bit.
+  ExpectDatabasesIdentical(*parallel.first, *serial.first);
+  ASSERT_EQ(parallel.second.steps.size(), serial.second.steps.size());
+  for (size_t i = 0; i < serial.second.steps.size(); ++i) {
+    EXPECT_EQ(parallel.second.steps[i].tool, serial.second.steps[i].tool);
+    EXPECT_EQ(parallel.second.steps[i].applied,
+              serial.second.steps[i].applied);
+  }
+}
+
 }  // namespace
 }  // namespace aspect
