@@ -115,6 +115,93 @@ RunOutcome Best(const Database& base, const Database& truth, bool parallel,
   return best;
 }
 
+/// Row-range split phase: every enforced column is handed to TWO
+/// ColumnFreq tools holding disjoint tuple-id halves of the column.
+/// Under interval-blind grouping the pair conflicts (same cell atom),
+/// so every parallel group this phase forms exists only thanks to the
+/// row-range declarations and their row-range write leases — the
+/// row_range_groups metric records how many. Final errors must match
+/// the serial run exactly, like every other configuration.
+bool RangeSplitPhase(const Database& base, const Database& truth,
+                     BenchReport* report) {
+  Banner("Row-range split: 2 half-column tools per column, shared leases");
+  struct SplitOutcome {
+    double seconds = 0;
+    int64_t groups = 0;
+    int64_t rr_groups = 0;
+    std::vector<double> errors;
+  };
+  const auto run = [&](bool parallel) {
+    auto scaled = base.Clone();
+    Coordinator coordinator;
+    std::vector<int> order;
+    for (const ToolRef& t : kTools) {
+      const Table* table = scaled->FindTable(t.table);
+      const int64_t mid = table->NumSlots() / 2;
+      auto lo = std::make_unique<ColumnFreqTool>(truth.schema(), t.table,
+                                                 t.column);
+      lo->SetRowRange(0, mid - 1);
+      auto hi = std::make_unique<ColumnFreqTool>(truth.schema(), t.table,
+                                                 t.column);
+      hi->SetRowRange(mid, table->NumSlots() - 1);
+      order.push_back(coordinator.AddTool(std::move(lo)));
+      order.push_back(coordinator.AddTool(std::move(hi)));
+    }
+    coordinator.SetTargetsFromDataset(truth).Check();
+    CoordinatorOptions opts;
+    opts.seed = kSeed;
+    opts.parallel_pass = parallel;
+    opts.parallel_mode = ParallelMode::kShared;
+    opts.pass_threads = parallel ? kThreads : 1;
+    opts.batch_size = kBatch;
+    const auto t0 = std::chrono::steady_clock::now();
+    const RunReport rep =
+        coordinator.Run(scaled.get(), order, opts).ValueOrAbort();
+    SplitOutcome out;
+    out.seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    out.groups = rep.parallel_groups;
+    out.rr_groups = rep.row_range_groups;
+    out.errors = rep.final_errors;
+    return out;
+  };
+
+  const SplitOutcome serial = run(false);
+  const SplitOutcome shared = run(true);
+  Header({"config", "seconds", "groups", "rr_groups"});
+  Cell("serial");
+  Cell(serial.seconds);
+  Cell(std::to_string(serial.groups));
+  Cell(std::to_string(serial.rr_groups));
+  EndRow();
+  Cell("shared");
+  Cell(shared.seconds);
+  Cell(std::to_string(shared.groups));
+  Cell(std::to_string(shared.rr_groups));
+  EndRow();
+  for (size_t i = 0; i < serial.errors.size(); ++i) {
+    if (serial.errors[i] != shared.errors[i]) {
+      std::fprintf(stderr,
+                   "FAIL: range-split final error of tool %zu differs: "
+                   "%.9f vs %.9f\n",
+                   i, serial.errors[i], shared.errors[i]);
+      return false;
+    }
+  }
+  if (shared.rr_groups <= 0) {
+    std::fprintf(stderr,
+                 "FAIL: range-split run formed no row-range groups\n");
+    return false;
+  }
+  report->Metric("row_range_groups", static_cast<double>(shared.rr_groups));
+  report->Metric("range_split_serial_s", serial.seconds);
+  report->Metric("range_split_shared_s", shared.seconds);
+  report->Metric("range_split_speedup",
+                 serial.seconds / std::max(1e-9, shared.seconds));
+  return true;
+}
+
 /// Swap-rebase microbench: the cost of handing a bound complex tool to
 /// a content-identical database — the operation the parallel pass pays
 /// twice per group member in clone mode (main -> clone -> main) — with
@@ -274,6 +361,8 @@ int main() {
   report.Metric("shared_setup_ms", shared.setup_s * 1e3);
   report.Metric("shared_merge_ms", shared.merge_s * 1e3);
   report.Metric("shared_rebase_ms", shared.rebase_s * 1e3);
+
+  if (!RangeSplitPhase(*base, *truth, &report)) return 1;
 
   RebaseMicrobench(&report);
   return 0;

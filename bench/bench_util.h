@@ -63,20 +63,54 @@ class BenchReport {
     metrics_.emplace_back(key, value);
   }
 
+  /// JSON string escaping for the report writer. Besides quotes and
+  /// backslashes this must escape every control character below 0x20
+  /// (JSON forbids them raw inside strings): the common ones get their
+  /// two-character forms, the rest the \u00XX form.
+  static std::string Escaped(const std::string& s) {
+    static const char* kHex = "0123456789abcdef";
+    std::string out;
+    for (const char c : s) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        case '\n':
+          out += "\\n";
+          break;
+        case '\t':
+          out += "\\t";
+          break;
+        case '\r':
+          out += "\\r";
+          break;
+        case '\b':
+          out += "\\b";
+          break;
+        case '\f':
+          out += "\\f";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            out += "\\u00";
+            out.push_back(kHex[(c >> 4) & 0xf]);
+            out.push_back(kHex[c & 0xf]);
+          } else {
+            out.push_back(c);
+          }
+      }
+    }
+    return out;
+  }
+
  private:
   using Clock = std::chrono::steady_clock;
 
   static double MsBetween(Clock::time_point a, Clock::time_point b) {
     return std::chrono::duration<double, std::milli>(b - a).count();
-  }
-
-  static std::string Escaped(const std::string& s) {
-    std::string out;
-    for (const char c : s) {
-      if (c == '"' || c == '\\') out.push_back('\\');
-      out.push_back(c);
-    }
-    return out;
   }
 
   void ClosePhase() {

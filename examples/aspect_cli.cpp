@@ -8,7 +8,18 @@
 //              [--report] [--compare-orders] [--threads N]
 //              [--rollback off|clone|undo]
 //              [--parallel-pass on|off] [--parallel-mode shared|clone]
-//              [--batch N|auto] [--check-scopes off|warn|strict]
+//              [--batch N|auto] [--check-scopes off|warn|strict|sampled]
+//
+// Besides the registry names, --tools accepts direct column-tool
+// specs with an optional row-interval restriction:
+//
+//   column-freq:TABLE.COLUMN[@LO-HI]
+//   null-count:TABLE.COLUMN[@LO-HI]
+//   domain-bounds:TABLE.COLUMN[@LO-HI]
+//
+// A @LO-HI suffix restricts the tool to tuple ids [LO, HI] and makes
+// its declared scope row-ranged, so two specs splitting one column
+// into disjoint intervals can tweak in the same parallel group.
 //
 // Reads one CSV per table from --data, scales every table by --scale
 // (rounded, at least 1), enforces the chosen properties and writes the
@@ -29,6 +40,7 @@
 #include "analysis/scope_checker.h"
 #include "aspect/coordinator.h"
 #include "aspect/registry.h"
+#include "properties/simple.h"
 #include "aspect/targets_io.h"
 #include "measure/profile.h"
 #include "relational/modlog.h"
@@ -150,7 +162,8 @@ Result<Args> ParseArgs(int argc, char** argv) {
     } else if (flag == "--check-scopes") {
       ASPECT_ASSIGN_OR_RETURN(const std::string v, next());
       if (!analysis::ParseScopeCheckMode(v, &args.check_scopes)) {
-        return Status::Invalid("--check-scopes must be off, warn or strict");
+        return Status::Invalid(
+            "--check-scopes must be off, warn, strict or sampled");
       }
     } else if (flag == "--rollback") {
       ASPECT_ASSIGN_OR_RETURN(args.rollback, next());
@@ -166,6 +179,56 @@ Result<Args> ParseArgs(int argc, char** argv) {
     }
   }
   return args;
+}
+
+/// Direct column-tool specs ("column-freq:T.C[@LO-HI]" etc.): these
+/// carry a table/column (and optional row interval) the registry's
+/// schema-only factories cannot, so they are constructed here.
+Result<std::unique_ptr<PropertyTool>> MakeColumnToolSpec(
+    const std::string& spec, const Schema& schema) {
+  const size_t colon = spec.find(':');
+  const std::string kind = spec.substr(0, colon);
+  std::string rest = spec.substr(colon + 1);
+  int64_t lo = 0, hi = 0;
+  bool has_range = false;
+  if (const size_t at = rest.find('@'); at != std::string::npos) {
+    const std::string range = rest.substr(at + 1);
+    rest = rest.substr(0, at);
+    const size_t dash = range.find('-');
+    if (dash == std::string::npos || dash == 0 ||
+        dash + 1 == range.size()) {
+      return Status::Invalid("tool spec range must be @LO-HI: " + spec);
+    }
+    lo = std::atoll(range.substr(0, dash).c_str());
+    hi = std::atoll(range.substr(dash + 1).c_str());
+    if (lo < 0 || hi < lo) {
+      return Status::Invalid("tool spec range must be 0 <= LO <= HI: " +
+                             spec);
+    }
+    has_range = true;
+  }
+  const size_t dot = rest.find('.');
+  if (dot == std::string::npos) {
+    return Status::Invalid("tool spec needs TABLE.COLUMN: " + spec);
+  }
+  const std::string table = rest.substr(0, dot);
+  const std::string column = rest.substr(dot + 1);
+  if (kind == "column-freq") {
+    auto tool = std::make_unique<ColumnFreqTool>(schema, table, column);
+    if (has_range) tool->SetRowRange(lo, hi);
+    return std::unique_ptr<PropertyTool>(std::move(tool));
+  }
+  if (kind == "null-count") {
+    auto tool = std::make_unique<NullCountTool>(schema, table, column);
+    if (has_range) tool->SetRowRange(lo, hi);
+    return std::unique_ptr<PropertyTool>(std::move(tool));
+  }
+  if (kind == "domain-bounds") {
+    auto tool = std::make_unique<DomainBoundsTool>(schema, table, column);
+    if (has_range) tool->SetRowRange(lo, hi);
+    return std::unique_ptr<PropertyTool>(std::move(tool));
+  }
+  return Status::Invalid("unknown tool spec " + spec);
 }
 
 Result<std::unique_ptr<SizeScaler>> MakeScaler(const std::string& name) {
@@ -236,6 +299,13 @@ Status Run(const Args& args) {
   std::vector<int> order;
   for (const std::string& tool : Split(a.tools, ',')) {
     if (tool.empty()) continue;
+    if (tool.rfind("column-freq:", 0) == 0 ||
+        tool.rfind("null-count:", 0) == 0 ||
+        tool.rfind("domain-bounds:", 0) == 0) {
+      ASPECT_ASSIGN_OR_RETURN(auto t, MakeColumnToolSpec(tool, schema));
+      order.push_back(coordinator.AddTool(std::move(t)));
+      continue;
+    }
     ASPECT_ASSIGN_OR_RETURN(
         auto t, ToolRegistry::Global().Make(tool, schema));
     order.push_back(coordinator.AddTool(std::move(t)));

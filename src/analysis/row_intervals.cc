@@ -1,0 +1,109 @@
+#include "analysis/row_intervals.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+
+namespace aspect::analysis {
+
+void RowIntervalSet::AddRange(int64_t lo, int64_t hi) {
+  if (lo > hi) return;
+  // Fast path: extend or append at the tail. Probe streams from a scan
+  // hit this for every row after the first.
+  if (!intervals_.empty()) {
+    Interval& last = intervals_.back();
+    if (lo >= last.first) {
+      if (lo <= last.second + 1) {
+        last.second = std::max(last.second, hi);
+        return;
+      }
+      intervals_.emplace_back(lo, hi);
+      return;
+    }
+  } else {
+    intervals_.emplace_back(lo, hi);
+    return;
+  }
+  // General case: find every interval that overlaps or abuts [lo, hi],
+  // replace the run with its hull. `it` is the first interval whose
+  // upper end could reach lo - 1 (abutment coalesces too).
+  auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), lo,
+      [](const Interval& iv, int64_t key) { return iv.second < key - 1; });
+  if (it == intervals_.end() || it->first > hi + 1) {
+    intervals_.insert(it, {lo, hi});
+    return;
+  }
+  auto last = it;
+  int64_t new_lo = std::min(it->first, lo);
+  int64_t new_hi = hi;
+  while (last != intervals_.end() && last->first <= hi + 1) {
+    new_hi = std::max(new_hi, last->second);
+    ++last;
+  }
+  it->first = new_lo;
+  it->second = new_hi;
+  intervals_.erase(it + 1, last);
+}
+
+bool RowIntervalSet::Contains(int64_t row) const {
+  return OverlapsRange(row, row);
+}
+
+bool RowIntervalSet::OverlapsRange(int64_t lo, int64_t hi) const {
+  if (lo > hi) return false;
+  const auto it = std::lower_bound(
+      intervals_.begin(), intervals_.end(), lo,
+      [](const Interval& iv, int64_t key) { return iv.second < key; });
+  return it != intervals_.end() && it->first <= hi;
+}
+
+bool RowIntervalSet::Overlaps(const RowIntervalSet& other) const {
+  auto a = intervals_.begin();
+  auto b = other.intervals_.begin();
+  while (a != intervals_.end() && b != other.intervals_.end()) {
+    if (a->second < b->first) {
+      ++a;
+    } else if (b->second < a->first) {
+      ++b;
+    } else {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool RowIntervalSet::Within(int64_t lo, int64_t hi) const {
+  if (intervals_.empty()) return true;
+  return intervals_.front().first >= lo && intervals_.back().second <= hi;
+}
+
+int64_t RowIntervalSet::FirstOutside(int64_t lo, int64_t hi) const {
+  for (const Interval& iv : intervals_) {
+    if (iv.first < lo) return iv.first;
+    if (iv.second > hi) return std::max(iv.first, hi + 1);
+  }
+  return -1;
+}
+
+void RowIntervalSet::MergeFrom(const RowIntervalSet& other) {
+  for (const Interval& iv : other.intervals_) {
+    AddRange(iv.first, iv.second);
+  }
+}
+
+std::string RowIntervalSet::ToString() const {
+  std::string out;
+  for (const Interval& iv : intervals_) {
+    if (!out.empty()) out.push_back(' ');
+    if (iv.first == iv.second) {
+      out += StrFormat("[%lld]", static_cast<long long>(iv.first));
+    } else {
+      out += StrFormat("[%lld-%lld]", static_cast<long long>(iv.first),
+                       static_cast<long long>(iv.second));
+    }
+  }
+  return out;
+}
+
+}  // namespace aspect::analysis

@@ -1,0 +1,67 @@
+// RowIntervalSet: a compressed set of tuple ids kept as sorted,
+// disjoint, merged closed intervals [lo, hi].
+//
+// The scope-conformance analyzer aggregates per-tuple access probes
+// into one of these per (table, column) atom, and the row-range write
+// leases test containment against them. Tools touch rows in runs (scan
+// order or per-victim batches), so the representation stays tiny: the
+// common Add pattern extends the last interval in O(1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace aspect::analysis {
+
+/// Sorted, disjoint, merged closed intervals of int64 row ids.
+/// Adjacent intervals ([1,3] and [4,6]) are coalesced.
+class RowIntervalSet {
+ public:
+  using Interval = std::pair<int64_t, int64_t>;  // [lo, hi], inclusive
+
+  bool empty() const { return intervals_.empty(); }
+  int64_t NumIntervals() const {
+    return static_cast<int64_t>(intervals_.size());
+  }
+  const std::vector<Interval>& intervals() const { return intervals_; }
+
+  void Clear() { intervals_.clear(); }
+
+  /// Inserts one row. Amortized O(1) when rows arrive in nondecreasing
+  /// order near the tail (the probe aggregation pattern); O(n) worst
+  /// case for a row that splits the middle of the set.
+  void Add(int64_t row) { AddRange(row, row); }
+
+  /// Inserts the closed range [lo, hi] (no-op when lo > hi).
+  void AddRange(int64_t lo, int64_t hi);
+
+  /// True when `row` lies in some interval.
+  bool Contains(int64_t row) const;
+
+  /// True when any row of [lo, hi] lies in some interval.
+  bool OverlapsRange(int64_t lo, int64_t hi) const;
+
+  /// True when the two sets share at least one row.
+  bool Overlaps(const RowIntervalSet& other) const;
+
+  /// True when every stored row lies inside [lo, hi]. An empty set is
+  /// trivially within any range.
+  bool Within(int64_t lo, int64_t hi) const;
+
+  /// The smallest stored row outside [lo, hi], or -1 when Within. Used
+  /// to name the offending tuple in scope-violation diagnostics.
+  int64_t FirstOutside(int64_t lo, int64_t hi) const;
+
+  /// Unions `other` into this set.
+  void MergeFrom(const RowIntervalSet& other);
+
+  /// "[1-3] [7] [9-12]" — diagnostics only.
+  std::string ToString() const;
+
+ private:
+  std::vector<Interval> intervals_;
+};
+
+}  // namespace aspect::analysis

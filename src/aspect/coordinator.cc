@@ -244,7 +244,11 @@ Result<RunReport> Coordinator::Run(Database* db,
   const double run_start = Now();
   monitor_ = std::make_unique<AccessMonitor>(num_tools());
   checker_.reset();
-  if (options.check_scopes != analysis::ScopeCheckMode::kOff) {
+  // kSampled deliberately creates no checker: it selects the lease-
+  // canary-only path (what release builds do at kOff), with no
+  // footprint recording or conformance diffing.
+  if (options.check_scopes == analysis::ScopeCheckMode::kWarn ||
+      options.check_scopes == analysis::ScopeCheckMode::kStrict) {
     checker_ = std::make_unique<analysis::ScopeChecker>(options.check_scopes,
                                                         num_tools());
   }
@@ -285,14 +289,23 @@ Result<RunReport> Coordinator::Run(Database* db,
   // scheduling happens.
   std::vector<Rng> children;
 
+  // Tools whose lease probes (full or sampled canary) caught an
+  // out-of-lease write. The checker distrusts via its own violation
+  // record; this set covers the canary-only configurations (kOff in
+  // release, kSampled anywhere), where no checker exists but a caught
+  // liar must still be kept off the parallel fast path.
+  std::set<int> lease_distrusted;
+
   // Scope the pass planner assumes for a tool: declared if the tool
   // knows it, else what the AccessMonitor has observed so far (O2),
-  // else unknown (which keeps the tool serial). A tool the checker has
-  // caught violating its declaration is distrusted: its declaration is
-  // ignored for the rest of the run, so it degrades to the observed
-  // (write-only) scope and the serial path.
-  const auto resolve_scope = [this](int id) {
-    if (checker_ == nullptr || !checker_->IsDistrusted(id)) {
+  // else unknown (which keeps the tool serial). A tool the checker or
+  // the lease probes have caught violating its declaration is
+  // distrusted: its declaration is ignored for the rest of the run, so
+  // it degrades to the observed (write-only) scope and the serial
+  // path.
+  const auto resolve_scope = [this, &lease_distrusted](int id) {
+    if ((checker_ == nullptr || !checker_->IsDistrusted(id)) &&
+        lease_distrusted.count(id) == 0) {
       AccessScope s = tools_[static_cast<size_t>(id)]->DeclaredScope();
       if (s.known) return s;
     }
@@ -471,10 +484,12 @@ Result<RunReport> Coordinator::Run(Database* db,
     /// Database::Apply on the task's thread notifies only this route.
     const WriteLease* lease = nullptr;
     std::vector<ModificationListener*> route;
-    /// Shared mode, probe-enforced builds: the first write observed
+    /// Probe-enforced configurations (full probes in debug/checker-on
+    /// runs, the sampled canary elsewhere): the first write observed
     /// outside the lease, latched by LeaseProbeSink.
     bool lease_violated = false;
     AccessScope::Atom lease_violation{-1, -1};
+    int64_t lease_violation_row = analysis::kProbeAllRows;
     Status status = Status::OK();
     double seconds = 0;
     int64_t applied = 0;
@@ -491,19 +506,25 @@ Result<RunReport> Coordinator::Run(Database* db,
                              const std::vector<AccessScope>& mscopes)
       -> Status {
     const double setup0 = Now();
-    // Shared-database mode: partition the members' certified write
-    // scopes into pairwise-disjoint leases on the main database and
-    // skip the clones entirely. The partition cannot fail for a
-    // correctly formed group (every write atom is also a read atom, so
-    // overlapping writers always conflict at grouping time); if it
-    // ever does, clone-and-merge is the safe fallback.
+    // Write leases are built in BOTH execution modes. Shared mode uses
+    // them as the ownership partition on the main database; clone mode
+    // gets them purely as canaries — an out-of-lease (in particular
+    // out-of-range) write on a clone would otherwise be silently
+    // dropped by the range-limited merge below, which is worse than
+    // being clobbered. The partition cannot fail for a correctly
+    // formed group (every write atom is also a read atom, so
+    // overlapping writers always conflict at grouping time, and
+    // row-ranged leases reuse the grouping's interval exemption); if
+    // it ever does, clone-and-merge is the safe fallback — each lease
+    // still describes its own member's certified writes, so the
+    // canaries stay valid.
     std::vector<WriteLease> leases;
     bool shared = options.parallel_mode == ParallelMode::kShared;
-    if (shared) {
+    {
       std::vector<int> member_ids;
       member_ids.reserve(members.size());
       for (const size_t m : members) member_ids.push_back(order[m]);
-      if (!PartitionWriteLeases(member_ids, mscopes, &leases)) {
+      if (!PartitionWriteLeases(member_ids, mscopes, &leases) && shared) {
         ASPECT_LOG(Warning)
             << "write-lease partition found overlapping write scopes in a "
                "supposedly non-conflicting group; falling back to "
@@ -572,12 +593,15 @@ Result<RunReport> Coordinator::Run(Database* db,
         task.footprint =
             std::make_unique<analysis::FootprintRecorder>(columns_per_table);
       }
+      // In shared mode the lease is the task's write ownership on the
+      // main database; in clone mode it is a canary only (the clone
+      // merge consults the declared ranges, not the lease).
+      task.lease = &leases[k];
       if (shared) {
         // Zero-copy setup: the tool stays bound to the main database.
-        // Its lease is its write ownership; its route is the only
-        // notification target on the task's thread, so its statistics
-        // updates fire privately and siblings see nothing.
-        task.lease = &leases[k];
+        // Its route is the only notification target on the task's
+        // thread, so its statistics updates fire privately and
+        // siblings see nothing.
         task.route = member_listeners[k];
         task.route.push_back(task.recorder.get());
         continue;
@@ -608,6 +632,21 @@ Result<RunReport> Coordinator::Run(Database* db,
     }
     report.group_setup_seconds += Now() - setup0;
     ++report.parallel_groups;
+    // A group that only exists thanks to row-range declarations: some
+    // member pair overlaps on an atom under the interval-blind rules
+    // and was admitted because the declared intervals are disjoint.
+    for (size_t a = 0; a < mscopes.size(); ++a) {
+      bool counted = false;
+      for (size_t b = a + 1; b < mscopes.size(); ++b) {
+        if (WritesDisturbAtoms(mscopes[a].writes, mscopes[b].reads) ||
+            WritesDisturbAtoms(mscopes[b].writes, mscopes[a].reads)) {
+          ++report.row_range_groups;
+          counted = true;
+          break;
+        }
+      }
+      if (counted) break;
+    }
     const auto run_task = [&](GroupTask& task) {
       if (!task.status.ok()) return;
       PropertyTool* t = tools_[static_cast<size_t>(task.id)].get();
@@ -623,21 +662,25 @@ Result<RunReport> Coordinator::Run(Database* db,
       // Shared mode: divert this thread's Apply notifications to the
       // task's private route for the duration of the Tweak.
       std::optional<Database::ScopedListenerRoute> route;
-      if (task.lease != nullptr) route.emplace(&task.route);
+      if (shared) route.emplace(&task.route);
       // Lease enforcement at Apply time: debug builds and checker-on
       // runs observe every semantic write through the access probes
       // and pinpoint the first out-of-lease write at the violating
-      // modification. Plain release builds trust the certified scope
-      // here and rely on the recorder diff at the barrier instead.
+      // modification. Everything else — release builds at kOff, and
+      // kSampled anywhere — runs the sampled canary: one write in
+      // LeaseProbeSink::kSampleStride (the first one always) pays the
+      // containment check, so a lying declaration is still caught
+      // without --check-scopes, alongside the atom-level recorder diff
+      // at the barrier.
 #ifdef NDEBUG
-      const bool probe_lease =
-          task.lease != nullptr && task.footprint != nullptr;
+      const bool probe_full = task.footprint != nullptr;
 #else
-      const bool probe_lease = task.lease != nullptr;
+      const bool probe_full =
+          options.check_scopes != analysis::ScopeCheckMode::kSampled;
 #endif
       const double t0 = Now();
-      if (probe_lease) {
-        LeaseProbeSink sink(task.lease, task.footprint.get());
+      if (task.lease != nullptr) {
+        LeaseProbeSink sink(task.lease, task.footprint.get(), !probe_full);
         {
           // The probe sink is thread-local, so each worker records
           // into its own task's sink without any sharing.
@@ -646,6 +689,7 @@ Result<RunReport> Coordinator::Run(Database* db,
         }
         task.lease_violated = sink.violated();
         task.lease_violation = sink.violation();
+        task.lease_violation_row = sink.violation_row();
       } else if (task.footprint != nullptr) {
         analysis::ScopedAccessProbe probe(task.footprint.get());
         task.status = t->Tweak(&ctx);
@@ -687,11 +731,18 @@ Result<RunReport> Coordinator::Run(Database* db,
         continue;
       }
       if (task.lease_violated) {
+        std::ostringstream row_info;
+        if (task.lease_violation_row != analysis::kProbeAllRows) {
+          row_info << ", row " << task.lease_violation_row;
+        }
         ASPECT_LOG(Warning)
             << "parallel group discarded: " << t->name() << " wrote (table "
             << task.lease_violation.first << ", col "
-            << task.lease_violation.second
-            << ") outside its write lease; redoing serially";
+            << task.lease_violation.second << row_info.str()
+            << ") outside its write lease; redoing serially and "
+               "distrusting its declaration";
+        ++report.lease_violations;
+        lease_distrusted.insert(task.id);
         discard = true;
         continue;
       }
@@ -700,7 +751,9 @@ Result<RunReport> Coordinator::Run(Database* db,
           ASPECT_LOG(Warning)
               << "parallel group discarded: " << t->name()
               << " wrote (table " << a.first << ", col " << a.second
-              << ") outside its assumed scope; redoing serially";
+              << ") outside its assumed scope; redoing serially and "
+                 "distrusting its declaration";
+          lease_distrusted.insert(task.id);
           discard = true;
           break;
         }
@@ -785,7 +838,26 @@ Result<RunReport> Coordinator::Run(Database* db,
             dst = std::move(src);
           } else if (written.count({a.first, AccessScope::kWholeTable}) ==
                      0) {
-            dst.column(a.second) = std::move(src.column(a.second));
+            const auto* range = task.scope.RangeOf(a);
+            if (range == nullptr) {
+              dst.column(a.second) = std::move(src.column(a.second));
+            } else {
+              // Row-range lease: two group members may hold disjoint
+              // ranges of this very column, so a whole-column move
+              // would clobber a co-member's merged rows. Copy only the
+              // leased range. Group formation keeps structural writers
+              // of this table out of the group (a row-structure write
+              // disturbs every ranged reader), so the slot counts of
+              // clone and main agree and the clamp is just belt and
+              // braces against over-wide declarations.
+              const int64_t lo = std::max<int64_t>(range->first, 0);
+              const int64_t hi = std::min<int64_t>(
+                  range->second, dst.column(a.second).size() - 1);
+              if (lo <= hi) {
+                dst.column(a.second)
+                    .CopyRowsFrom(src.column(a.second), lo, hi);
+              }
+            }
           }
         }
       }

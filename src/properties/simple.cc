@@ -25,11 +25,28 @@ ColumnFreqTool::ColumnFreqTool(const Schema& schema, std::string table,
   }
 }
 
+void ColumnFreqTool::SetRowRange(int64_t lo, int64_t hi) {
+  if (lo > hi) std::swap(lo, hi);
+  has_range_ = true;
+  range_lo_ = lo;
+  range_hi_ = hi;
+  name_ = StrFormat("%s@%lld-%lld", name_.c_str(),
+                    static_cast<long long>(lo), static_cast<long long>(hi));
+}
+
 AccessScope ColumnFreqTool::DeclaredScope() const {
   AccessScope scope;
   if (table_index_ < 0 || col_index_ < 0) return scope;  // unknown
   scope.known = true;
-  scope.AddWrite(table_index_, col_index_);
+  if (has_range_) {
+    // The range filter runs before every cell access, so the column
+    // footprint is certified to stay inside [lo, hi]. The row-structure
+    // read below stays whole-table: live-tuple membership of in-range
+    // rows is still read through ForEachLive.
+    scope.AddWriteRange(table_index_, col_index_, range_lo_, range_hi_);
+  } else {
+    scope.AddWrite(table_index_, col_index_);
+  }
   // Tweak scans the live-tuple set (ForEachLive / NumSlots) and the
   // frequency statistics count one entry per live row, so row
   // membership is part of the read contract, not just the column.
@@ -44,6 +61,7 @@ FrequencyDistribution ColumnFreqTool::Extract(const Database& db) const {
   const int col = t->ColumnIndex(column_);
   if (col < 0) return dist;
   t->ForEachLive([&](TupleId tid) {
+    if (!InRange(tid)) return;  // before any cell read
     if (t->column(col).IsValue(tid)) {
       dist.Add({t->column(col).GetInt(tid)}, 1);
     }
@@ -169,6 +187,7 @@ void ColumnFreqTool::OnApplied(const Modification& mod,
       for (size_t cj = 0; cj < mod.cols.size(); ++cj) {
         if (mod.cols[cj] != col) continue;
         for (size_t tj = 0; tj < mod.tuples.size(); ++tj) {
+          if (!InRange(mod.tuples[tj])) continue;
           const Value& old_v = old_values[tj * mod.cols.size() + cj];
           if (!old_v.is_null()) current_.Add({old_v.int64()}, -1);
           if (mod.kind != OpKind::kDeleteValues &&
@@ -180,12 +199,13 @@ void ColumnFreqTool::OnApplied(const Modification& mod,
       break;
     }
     case OpKind::kInsertTuple: {
-      (void)new_tuple;
+      if (!InRange(new_tuple)) break;
       const Value& v = mod.values[static_cast<size_t>(col)];
       if (!v.is_null()) current_.Add({v.int64()}, 1);
       break;
     }
     case OpKind::kDeleteTuple: {
+      if (!InRange(mod.tuples[0])) break;
       const Value& v = old_values[static_cast<size_t>(col)];
       if (!v.is_null()) current_.Add({v.int64()}, -1);
       break;
@@ -221,6 +241,9 @@ double ColumnFreqTool::ValidationPenalty(const Modification& mod) const {
       for (size_t cj = 0; cj < mod.cols.size(); ++cj) {
         if (mod.cols[cj] != col) continue;
         for (const TupleId tid : mod.tuples) {
+          // Out-of-range cells are outside the enforced statistic (and
+          // outside the declared read scope): skip before the read.
+          if (!InRange(tid)) continue;
           const Value old_v = t->column(col).Get(tid);
           const Value new_v = mod.kind == OpKind::kDeleteValues
                                   ? Value()
@@ -230,10 +253,14 @@ double ColumnFreqTool::ValidationPenalty(const Modification& mod) const {
       }
       break;
     case OpKind::kInsertTuple:
+      // The tuple id is assigned at apply time; price the insert as if
+      // it may land in range (the incremental statistics settle it).
       penalty += delta_for(Value(), mod.values[static_cast<size_t>(col)]);
       break;
     case OpKind::kDeleteTuple:
-      penalty += delta_for(t->column(col).Get(mod.tuples[0]), Value());
+      if (InRange(mod.tuples[0])) {
+        penalty += delta_for(t->column(col).Get(mod.tuples[0]), Value());
+      }
       break;
   }
   return penalty;
@@ -285,6 +312,7 @@ double ColumnFreqTool::ValidationPenaltyBatch(
         for (size_t cj = 0; cj < mod.cols.size(); ++cj) {
           if (mod.cols[cj] != col) continue;
           for (const TupleId tid : mod.tuples) {
+            if (!InRange(tid)) continue;  // see ValidationPenalty
             // Batches touch disjoint tuples, so the stored cell is
             // still this tuple's pre-batch value.
             const Value old_v = t->column(col).Get(tid);
@@ -299,7 +327,9 @@ double ColumnFreqTool::ValidationPenaltyBatch(
         step(Value(), mod.values[static_cast<size_t>(col)]);
         break;
       case OpKind::kDeleteTuple:
-        step(t->column(col).Get(mod.tuples[0]), Value());
+        if (InRange(mod.tuples[0])) {
+          step(t->column(col).Get(mod.tuples[0]), Value());
+        }
         break;
     }
   }
@@ -323,6 +353,7 @@ Status ColumnFreqTool::Tweak(TweakContext* ctx) {
   // Collect surplus tuples by scanning once.
   std::map<int64_t, std::vector<TupleId>> pool;
   t->ForEachLive([&](TupleId tid) {
+    if (!InRange(tid)) return;  // before any cell read
     if (!t->column(col).IsValue(tid)) return;
     const int64_t v = t->column(col).GetInt(tid);
     const auto it = surplus.find(v);
@@ -419,11 +450,24 @@ NullCountTool::NullCountTool(const Schema& schema, std::string table,
   }
 }
 
+void NullCountTool::SetRowRange(int64_t lo, int64_t hi) {
+  if (lo > hi) std::swap(lo, hi);
+  has_range_ = true;
+  range_lo_ = lo;
+  range_hi_ = hi;
+  name_ = StrFormat("%s@%lld-%lld", name_.c_str(),
+                    static_cast<long long>(lo), static_cast<long long>(hi));
+}
+
 AccessScope NullCountTool::DeclaredScope() const {
   AccessScope scope;
   if (table_index_ < 0 || col_index_ < 0) return scope;  // unknown
   scope.known = true;
-  scope.AddWrite(table_index_, col_index_);
+  if (has_range_) {
+    scope.AddWriteRange(table_index_, col_index_, range_lo_, range_hi_);
+  } else {
+    scope.AddWrite(table_index_, col_index_);
+  }
   // The null count is taken over the live-tuple set.
   scope.AddRead(table_index_, AccessScope::kRowStructure);
   return scope;
@@ -435,7 +479,9 @@ Status NullCountTool::SetTargetFromDataset(const Database& ground_truth) {
   const int col = t->ColumnIndex(column_);
   if (col < 0) return Status::KeyError("nulls: no column " + column_);
   target_ = 0;
-  t->ForEachLive([&](TupleId tid) { target_ += t->column(col).IsNull(tid); });
+  t->ForEachLive([&](TupleId tid) {
+    if (InRange(tid)) target_ += t->column(col).IsNull(tid);
+  });
   return Status::OK();
 }
 
@@ -464,7 +510,9 @@ Status NullCountTool::Bind(Database* db) {
   db_ = db;
   const int col = t->ColumnIndex(column_);
   current_ = 0;
-  t->ForEachLive([&](TupleId tid) { current_ += t->column(col).IsNull(tid); });
+  t->ForEachLive([&](TupleId tid) {
+    if (InRange(tid)) current_ += t->column(col).IsNull(tid);
+  });
   db_->AddListener(this);
   return Status::OK();
 }
@@ -506,6 +554,7 @@ void NullCountTool::OnApplied(const Modification& mod,
       for (size_t cj = 0; cj < mod.cols.size(); ++cj) {
         if (mod.cols[cj] != col) continue;
         for (size_t tj = 0; tj < mod.tuples.size(); ++tj) {
+          if (!InRange(mod.tuples[tj])) continue;
           current_ -= old_values[tj * mod.cols.size() + cj].is_null();
           if (mod.kind != OpKind::kDeleteValues) {
             current_ += mod.values[cj].is_null();
@@ -514,10 +563,14 @@ void NullCountTool::OnApplied(const Modification& mod,
       }
       break;
     case OpKind::kInsertTuple:
-      current_ += mod.values[static_cast<size_t>(col)].is_null();
+      if (InRange(new_tuple)) {
+        current_ += mod.values[static_cast<size_t>(col)].is_null();
+      }
       break;
     case OpKind::kDeleteTuple:
-      current_ -= old_values[static_cast<size_t>(col)].is_null();
+      if (InRange(mod.tuples[0])) {
+        current_ -= old_values[static_cast<size_t>(col)].is_null();
+      }
       break;
   }
 }
@@ -535,6 +588,9 @@ int64_t NullCountTool::DeltaOf(const Modification& mod) const {
       for (size_t cj = 0; cj < mod.cols.size(); ++cj) {
         if (mod.cols[cj] != col) continue;
         for (const TupleId tid : mod.tuples) {
+          // Out-of-range cells are outside the statistic and the
+          // declared read scope: skip before the read.
+          if (!InRange(tid)) continue;
           delta -= t->column(col).IsNull(tid);
           if (mod.kind != OpKind::kDeleteValues) {
             delta += mod.values[cj].is_null();
@@ -546,7 +602,9 @@ int64_t NullCountTool::DeltaOf(const Modification& mod) const {
       delta += mod.values[static_cast<size_t>(col)].is_null();
       break;
     case OpKind::kDeleteTuple:
-      delta -= t->column(col).IsNull(mod.tuples[0]);
+      if (InRange(mod.tuples[0])) {
+        delta -= t->column(col).IsNull(mod.tuples[0]);
+      }
       break;
   }
   return delta;
@@ -588,6 +646,7 @@ Status NullCountTool::Tweak(TweakContext* ctx) {
   // Null surplus values or fill surplus nulls with a sampled value.
   Value fill;
   t->ForEachLive([&](TupleId tid) {
+    if (!InRange(tid)) return;  // before any cell read
     if (fill.is_null() && t->column(col).IsValue(tid)) {
       fill = t->column(col).Get(tid);
     }
@@ -595,6 +654,7 @@ Status NullCountTool::Tweak(TweakContext* ctx) {
   if (fill.is_null()) fill = Value(int64_t{0});
   std::vector<TupleId> candidates;
   t->ForEachLive([&](TupleId tid) {
+    if (!InRange(tid)) return;
     if (delta > 0 ? t->column(col).IsValue(tid)
                   : t->column(col).IsNull(tid)) {
       candidates.push_back(tid);
@@ -640,11 +700,24 @@ DomainBoundsTool::DomainBoundsTool(const Schema& schema, std::string table,
   }
 }
 
+void DomainBoundsTool::SetRowRange(int64_t lo, int64_t hi) {
+  if (lo > hi) std::swap(lo, hi);
+  has_range_ = true;
+  range_lo_ = lo;
+  range_hi_ = hi;
+  name_ = StrFormat("%s@%lld-%lld", name_.c_str(),
+                    static_cast<long long>(lo), static_cast<long long>(hi));
+}
+
 AccessScope DomainBoundsTool::DeclaredScope() const {
   AccessScope scope;
   if (table_index_ < 0 || col_index_ < 0) return scope;  // unknown
   scope.known = true;
-  scope.AddWrite(table_index_, col_index_);
+  if (has_range_) {
+    scope.AddWriteRange(table_index_, col_index_, range_lo_, range_hi_);
+  } else {
+    scope.AddWrite(table_index_, col_index_);
+  }
   // Victim scans and the random bound-pinning picks walk the slot /
   // liveness structure of the table.
   scope.AddRead(table_index_, AccessScope::kRowStructure);
@@ -658,6 +731,7 @@ Status DomainBoundsTool::SetTargetFromDataset(const Database& ground_truth) {
   if (col < 0) return Status::KeyError("bounds: no column " + column_);
   bool any = false;
   t->ForEachLive([&](TupleId tid) {
+    if (!InRange(tid)) return;  // before any cell read
     if (!t->column(col).IsValue(tid)) return;
     const int64_t v = t->column(col).GetInt(tid);
     if (!any) {
@@ -694,6 +768,7 @@ void DomainBoundsTool::Recount() {
   const int col = t->ColumnIndex(column_);
   out_of_range_ = at_min_ = at_max_ = 0;
   t->ForEachLive([&](TupleId tid) {
+    if (!InRange(tid)) return;
     if (!t->column(col).IsValue(tid)) return;
     const int64_t v = t->column(col).GetInt(tid);
     out_of_range_ += v < target_min_ || v > target_max_;
@@ -772,16 +847,19 @@ void DomainBoundsTool::OnApplied(const Modification& mod,
       for (size_t cj = 0; cj < mod.cols.size(); ++cj) {
         if (mod.cols[cj] != col) continue;
         for (size_t tj = 0; tj < mod.tuples.size(); ++tj) {
+          if (!InRange(mod.tuples[tj])) continue;
           remove(old_values[tj * mod.cols.size() + cj]);
           if (mod.kind != OpKind::kDeleteValues) add(mod.values[cj]);
         }
       }
       break;
     case OpKind::kInsertTuple:
-      add(mod.values[static_cast<size_t>(col)]);
+      if (InRange(new_tuple)) add(mod.values[static_cast<size_t>(col)]);
       break;
     case OpKind::kDeleteTuple:
-      remove(old_values[static_cast<size_t>(col)]);
+      if (InRange(mod.tuples[0])) {
+        remove(old_values[static_cast<size_t>(col)]);
+      }
       break;
   }
 }
@@ -811,6 +889,9 @@ void DomainBoundsTool::AccumulateDeltas(const Modification& mod,
       for (size_t cj = 0; cj < mod.cols.size(); ++cj) {
         if (mod.cols[cj] != col) continue;
         for (const TupleId tid : mod.tuples) {
+          // Out-of-range cells are outside the statistic and the
+          // declared read scope: skip before the read.
+          if (!InRange(tid)) continue;
           remove(t->column(col).Get(tid));
           if (mod.kind != OpKind::kDeleteValues) add(mod.values[cj]);
         }
@@ -820,7 +901,9 @@ void DomainBoundsTool::AccumulateDeltas(const Modification& mod,
       add(mod.values[static_cast<size_t>(col)]);
       break;
     case OpKind::kDeleteTuple:
-      remove(t->column(col).Get(mod.tuples[0]));
+      if (InRange(mod.tuples[0])) {
+        remove(t->column(col).Get(mod.tuples[0]));
+      }
       break;
   }
 }
@@ -865,6 +948,7 @@ Status DomainBoundsTool::Tweak(TweakContext* ctx) {
   // Clamp every out-of-range value.
   std::vector<TupleId> victims;
   t->ForEachLive([&](TupleId tid) {
+    if (!InRange(tid)) return;  // before any cell read
     if (!t->column(col).IsValue(tid)) return;
     const int64_t v = t->column(col).GetInt(tid);
     if (v < target_min_ || v > target_max_) victims.push_back(tid);
@@ -883,8 +967,16 @@ Status DomainBoundsTool::Tweak(TweakContext* ctx) {
        {std::pair<bool, int64_t>{at_min_ == 0, target_min_},
         std::pair<bool, int64_t>{at_max_ == 0, target_max_}}) {
     if (!needed || t->NumTuples() == 0) continue;
+    // Restrict the random pick to the declared row interval so the pin
+    // never reads (or writes) a cell outside the certified range.
+    const int64_t pick_lo = has_range_ ? std::max<int64_t>(0, range_lo_) : 0;
+    const int64_t pick_hi = has_range_
+                                ? std::min<int64_t>(range_hi_,
+                                                    t->NumSlots() - 1)
+                                : t->NumSlots() - 1;
+    if (pick_hi < pick_lo) continue;
     for (int tries = 0; tries < 64; ++tries) {
-      const TupleId tid = ctx->rng()->UniformInt(0, t->NumSlots() - 1);
+      const TupleId tid = ctx->rng()->UniformInt(pick_lo, pick_hi);
       if (!t->IsLive(tid) || !t->column(col).IsValue(tid)) continue;
       const int64_t v = t->column(col).GetInt(tid);
       if (v == target_min_ || v == target_max_) continue;  // keep bounds

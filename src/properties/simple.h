@@ -8,6 +8,7 @@
 // the total error and the optimal tweaking order have closed forms.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,14 @@ class ColumnFreqTool : public PropertyTool {
   std::unique_ptr<PropertyTool> Clone() const override {
     return bound() ? nullptr : std::make_unique<ColumnFreqTool>(*this);
   }
+
+  /// Restricts the tool to tuple ids [lo, hi] of its column: every
+  /// read, write, vote, and incremental-statistics update ignores rows
+  /// outside the interval, and DeclaredScope() certifies the
+  /// restriction with AddReadRange/AddWriteRange — which lets two
+  /// instances split one column into disjoint halves and still tweak
+  /// in the same shared-mode parallel group. Call before Bind.
+  void SetRowRange(int64_t lo, int64_t hi);
 
   Status SetTargetFromDataset(const Database& ground_truth) override;
   /// User-input mode (also used by the Theorem 6-8 benches).
@@ -69,6 +78,9 @@ class ColumnFreqTool : public PropertyTool {
 
  private:
   FrequencyDistribution Extract(const Database& db) const;
+  bool InRange(TupleId tid) const {
+    return !has_range_ || (tid >= range_lo_ && tid <= range_hi_);
+  }
 
   std::string name_;
   std::string table_;
@@ -79,6 +91,9 @@ class ColumnFreqTool : public PropertyTool {
   FrequencyDistribution current_{1};
   FrequencyDistribution target_{1};
   int max_attempts_ = 8;
+  bool has_range_ = false;
+  int64_t range_lo_ = 0;
+  int64_t range_hi_ = 0;
 };
 
 /// Enforces the number of NULL values in one (non-FK) column.
@@ -92,6 +107,9 @@ class NullCountTool : public PropertyTool {
   std::unique_ptr<PropertyTool> Clone() const override {
     return bound() ? nullptr : std::make_unique<NullCountTool>(*this);
   }
+
+  /// Row-interval restriction; see ColumnFreqTool::SetRowRange.
+  void SetRowRange(int64_t lo, int64_t hi);
 
   Status SetTargetFromDataset(const Database& ground_truth) override;
   void SetTargetCount(int64_t nulls) { target_ = nulls; }
@@ -120,6 +138,9 @@ class NullCountTool : public PropertyTool {
  private:
   /// Null-count change `mod` would cause (0 for other tables/columns).
   int64_t DeltaOf(const Modification& mod) const;
+  bool InRange(TupleId tid) const {
+    return !has_range_ || (tid >= range_lo_ && tid <= range_hi_);
+  }
 
   std::string name_;
   std::string table_;
@@ -129,6 +150,9 @@ class NullCountTool : public PropertyTool {
   Database* db_ = nullptr;
   int64_t current_ = 0;
   int64_t target_ = 0;
+  bool has_range_ = false;
+  int64_t range_lo_ = 0;
+  int64_t range_hi_ = 0;
 };
 
 /// Enforces min/max domain bounds of one numeric (int64) column - the
@@ -146,6 +170,9 @@ class DomainBoundsTool : public PropertyTool {
   std::unique_ptr<PropertyTool> Clone() const override {
     return bound() ? nullptr : std::make_unique<DomainBoundsTool>(*this);
   }
+
+  /// Row-interval restriction; see ColumnFreqTool::SetRowRange.
+  void SetRowRange(int64_t lo, int64_t hi);
 
   Status SetTargetFromDataset(const Database& ground_truth) override;
   void SetTargetBounds(int64_t min, int64_t max) {
@@ -182,6 +209,9 @@ class DomainBoundsTool : public PropertyTool {
   /// Accumulates `mod`'s deltas into the three counters.
   void AccumulateDeltas(const Modification& mod, const Table* t, int col,
                         int64_t* oor, int64_t* dmin, int64_t* dmax) const;
+  bool InRange(TupleId tid) const {
+    return !has_range_ || (tid >= range_lo_ && tid <= range_hi_);
+  }
 
   std::string name_;
   std::string table_;
@@ -191,6 +221,9 @@ class DomainBoundsTool : public PropertyTool {
   Database* db_ = nullptr;
   int64_t target_min_ = 0;
   int64_t target_max_ = 0;
+  bool has_range_ = false;
+  int64_t range_lo_ = 0;
+  int64_t range_hi_ = 0;
   // Current statistics (maintained incrementally).
   int64_t out_of_range_ = 0;
   int64_t at_min_ = 0;

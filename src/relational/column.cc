@@ -14,7 +14,7 @@ Column::Column(std::string name, ColumnType type, std::string ref_table)
 }
 
 Value Column::Get(int64_t row) const {
-  analysis::ProbeRead(probe_table_, probe_col_);
+  analysis::ProbeRead(probe_table_, probe_col_, row);
   const size_t r = static_cast<size_t>(row);
   if (state_[r] != CellState::kValue) return Value::Null();
   switch (type_) {
@@ -46,11 +46,11 @@ bool Column::Accepts(const Value& v) const {
 Status Column::Set(int64_t row, const Value& v) {
   const size_t r = static_cast<size_t>(row);
   if (v.is_null()) {
-    analysis::ProbeWrite(probe_table_, probe_col_);
+    analysis::ProbeWrite(probe_table_, probe_col_, row);
     state_[r] = CellState::kNull;
     return Status::OK();
   }
-  analysis::ProbeWrite(probe_table_, probe_col_);
+  analysis::ProbeWrite(probe_table_, probe_col_, row);
   switch (type_) {
     case ColumnType::kInt64:
     case ColumnType::kForeignKey:
@@ -84,7 +84,13 @@ Status Column::Set(int64_t row, const Value& v) {
 
 Status Column::SetBroadcast(const std::vector<int64_t>& rows,
                             const Value& v) {
-  analysis::ProbeWrite(probe_table_, probe_col_);
+  // Per-row attribution only when a sink is listening: the common case
+  // (no probes) keeps the single dispatch and zero per-row overhead.
+  if (analysis::ProbeInstalled()) {
+    for (const int64_t row : rows) {
+      analysis::ProbeWrite(probe_table_, probe_col_, row);
+    }
+  }
   if (v.is_null()) {
     for (const int64_t row : rows) {
       state_[static_cast<size_t>(row)] = CellState::kNull;
@@ -170,7 +176,7 @@ void Column::ResizeEmpty(int64_t n) {
 }
 
 void Column::Erase(int64_t row) {
-  analysis::ProbeWrite(probe_table_, probe_col_);
+  analysis::ProbeWrite(probe_table_, probe_col_, row);
   state_[static_cast<size_t>(row)] = CellState::kEmpty;
 }
 
@@ -192,7 +198,7 @@ Status Column::Append(const Value& v) {
 }
 
 void Column::PopBack() {
-  analysis::ProbeWrite(probe_table_, probe_col_);
+  analysis::ProbeWrite(probe_table_, probe_col_, size() - 1);
   assert(!state_.empty());
   switch (type_) {
     case ColumnType::kInt64:
@@ -210,17 +216,38 @@ void Column::PopBack() {
 }
 
 void Column::SetInt(int64_t row, int64_t v) {
-  analysis::ProbeWrite(probe_table_, probe_col_);
+  analysis::ProbeWrite(probe_table_, probe_col_, row);
   assert(type_ == ColumnType::kInt64 || type_ == ColumnType::kForeignKey);
   ints_[static_cast<size_t>(row)] = v;
   state_[static_cast<size_t>(row)] = CellState::kValue;
 }
 
 void Column::SetDouble(int64_t row, double v) {
-  analysis::ProbeWrite(probe_table_, probe_col_);
+  analysis::ProbeWrite(probe_table_, probe_col_, row);
   assert(type_ == ColumnType::kDouble);
   doubles_[static_cast<size_t>(row)] = v;
   state_[static_cast<size_t>(row)] = CellState::kValue;
+}
+
+void Column::CopyRowsFrom(const Column& src, int64_t lo, int64_t hi) {
+  assert(type_ == src.type_);
+  assert(lo >= 0 && hi < size() && hi < src.size());
+  for (int64_t row = lo; row <= hi; ++row) {
+    const size_t r = static_cast<size_t>(row);
+    switch (type_) {
+      case ColumnType::kInt64:
+      case ColumnType::kForeignKey:
+        ints_[r] = src.ints_[r];
+        break;
+      case ColumnType::kDouble:
+        doubles_[r] = src.doubles_[r];
+        break;
+      case ColumnType::kString:
+        strings_[r] = src.strings_[r];
+        break;
+    }
+    state_[r] = src.state_[r];
+  }
 }
 
 }  // namespace aspect

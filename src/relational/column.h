@@ -45,7 +45,7 @@ class Column {
   }
 
   CellState state(int64_t row) const {
-    analysis::ProbeRead(probe_table_, probe_col_);
+    analysis::ProbeRead(probe_table_, probe_col_, row);
     return state_[static_cast<size_t>(row)];
   }
   bool IsValue(int64_t row) const { return state(row) == CellState::kValue; }
@@ -58,15 +58,15 @@ class Column {
   /// Fast paths for the hot types. Preconditions: matching type and a
   /// kValue cell state (checked only by assert).
   int64_t GetInt(int64_t row) const {
-    analysis::ProbeRead(probe_table_, probe_col_);
+    analysis::ProbeRead(probe_table_, probe_col_, row);
     return ints_[static_cast<size_t>(row)];
   }
   double GetDouble(int64_t row) const {
-    analysis::ProbeRead(probe_table_, probe_col_);
+    analysis::ProbeRead(probe_table_, probe_col_, row);
     return doubles_[static_cast<size_t>(row)];
   }
   const std::string& GetString(int64_t row) const {
-    analysis::ProbeRead(probe_table_, probe_col_);
+    analysis::ProbeRead(probe_table_, probe_col_, row);
     return strings_[static_cast<size_t>(row)];
   }
 
@@ -107,6 +107,14 @@ class Column {
   /// Fast typed setters.
   void SetInt(int64_t row, int64_t v);
   void SetDouble(int64_t row, double v);
+
+  /// Copies the cells of rows [lo, hi] (values and states) from `src`
+  /// into this column. Types must match and both columns must span the
+  /// range. The parallel pass's clone merge uses this when a task holds
+  /// a row-range lease on the column: only its leased rows move back,
+  /// so co-members of the group can merge disjoint ranges of the same
+  /// column without clobbering each other.
+  void CopyRowsFrom(const Column& src, int64_t lo, int64_t hi);
 
  private:
   std::string name_;

@@ -24,7 +24,13 @@ void ProbeModification(const Schema& schema, const Modification& mod) {
     case OpKind::kDeleteValues:
     case OpKind::kInsertValues:
     case OpKind::kReplaceValues:
-      for (const int c : mod.cols) analysis::ProbeWrite(t, c);
+      // Per-tuple attribution: the interval footprint and the row-range
+      // write leases need to know which rows each cell atom touched.
+      for (const int c : mod.cols) {
+        for (const TupleId tuple : mod.tuples) {
+          analysis::ProbeWrite(t, c, tuple);
+        }
+      }
       break;
     case OpKind::kInsertTuple:
     case OpKind::kDeleteTuple:

@@ -696,6 +696,69 @@ TEST_F(SharedModeTest, BatchAutoDeterministicAcrossModesAndGrows) {
   }
 }
 
+// The headline row-range case: two instances of one ColumnFreqTool
+// split the SAME (table, column) into disjoint tuple-id halves. Under
+// the interval-blind rules they conflict (same cell atom), so the
+// group they form exists only thanks to the range declarations — and
+// it must still be bitwise indistinguishable from serial, in clone and
+// shared mode, at every thread count.
+TEST_F(SharedModeTest, RowRangeSplitToolsGroupAndMatchSerial) {
+  const Table* user = base_->FindTable("User");
+  ASSERT_NE(user, nullptr);
+  const int64_t mid = user->NumSlots() / 2;
+  ASSERT_GT(mid, 0);
+  const int64_t last = user->NumSlots() - 1;
+
+  const auto run_with = [&](bool parallel, ParallelMode mode, int threads) {
+    ModeOutcome out;
+    out.db = base_->Clone();
+    out.log = std::make_unique<ModificationLog>(out.db.get());
+    Coordinator coordinator;
+    auto lo = std::make_unique<ColumnFreqTool>(truth_->schema(), "User",
+                                               "gender");
+    lo->SetRowRange(0, mid - 1);
+    auto hi = std::make_unique<ColumnFreqTool>(truth_->schema(), "User",
+                                               "gender");
+    hi->SetRowRange(mid, last);
+    std::vector<int> order = {coordinator.AddTool(std::move(lo)),
+                              coordinator.AddTool(std::move(hi))};
+    coordinator.SetTargetsFromDataset(*truth_).Check();
+    CoordinatorOptions opts;
+    opts.seed = 5;
+    opts.parallel_pass = parallel;
+    opts.parallel_mode = mode;
+    opts.pass_threads = threads;
+    opts.batch_size = 64;
+    out.report = coordinator.Run(out.db.get(), order, opts).ValueOrAbort();
+    return out;
+  };
+
+  const ModeOutcome serial = run_with(false, ParallelMode::kShared, 1);
+  EXPECT_EQ(serial.report.parallel_groups, 0);
+  for (const ParallelMode mode :
+       {ParallelMode::kClone, ParallelMode::kShared}) {
+    for (const int threads : {1, 2, 8}) {
+      const ModeOutcome run = run_with(true, mode, threads);
+      // The split pair really ran as a group, and the group was
+      // admitted by the interval exemption, not by coarse disjointness.
+      EXPECT_GT(run.report.parallel_groups, 0)
+          << "mode " << static_cast<int>(mode) << " threads " << threads;
+      EXPECT_GT(run.report.row_range_groups, 0)
+          << "mode " << static_cast<int>(mode) << " threads " << threads;
+      EXPECT_EQ(run.report.lease_violations, 0);
+      int parallel_steps = 0;
+      for (const ToolReport& step : run.report.steps) {
+        parallel_steps += step.parallel ? 1 : 0;
+      }
+      EXPECT_GE(parallel_steps, 2)
+          << "mode " << static_cast<int>(mode) << " threads " << threads;
+      ExpectSameSteps(run.report, serial.report);
+      ExpectDatabasesIdentical(*run.db, *serial.db);
+      ExpectLogsIdentical(*run.log, *serial.log);
+    }
+  }
+}
+
 // Declares writing only T.b but also writes T.a — an under-declared
 // write scope that shared mode must catch (the write lands in the main
 // database, outside the task's lease).
@@ -785,6 +848,263 @@ TEST(SharedModeLeaseTest, UnderDeclaredWriteIsUndoneAndRedoneSerially) {
     EXPECT_EQ(parallel.second.steps[i].tool, serial.second.steps[i].tool);
     EXPECT_EQ(parallel.second.steps[i].applied,
               serial.second.steps[i].applied);
+  }
+}
+
+// Declares T.b restricted to row 0 but writes row 1 — and the lie is
+// its FIRST write, the one every sampled-canary sink checks
+// unconditionally. This is the shape the release-mode canary is
+// guaranteed to catch without --check-scopes.
+class RangeLiarTool : public PropertyTool {
+ public:
+  explicit RangeLiarTool(const Schema& schema)
+      : table_index_(schema.TableIndex("T")) {}
+  std::string name() const override { return "range-liar"; }
+  Status SetTargetFromDataset(const Database&) override {
+    return Status::OK();
+  }
+  Status RepairTarget() override { return Status::OK(); }
+  Status CheckTargetFeasible() const override { return Status::OK(); }
+  Status Bind(Database* db) override {
+    db_ = db;
+    return Status::OK();
+  }
+  void Unbind() override { db_ = nullptr; }
+  bool bound() const override { return db_ != nullptr; }
+  double Error() const override { return 0; }
+  double ValidationPenalty(const Modification&) const override { return 0; }
+  void OnApplied(const Modification&, const std::vector<Value>&,
+                 TupleId) override {}
+  AccessScope DeclaredScope() const override {
+    AccessScope scope;
+    scope.known = true;
+    scope.AddWriteRange(table_index_, 1, 0, 0);  // T.b, row 0 only
+    return scope;
+  }
+  Status Tweak(TweakContext* ctx) override {
+    // The lie: row 1 is outside the declared [0, 0] interval.
+    return ctx->TryApply(Modification::ReplaceValues(
+        "T", {1}, {1}, {Value(int64_t{42})}));
+  }
+
+ private:
+  int table_index_;
+  Database* db_ = nullptr;
+};
+
+// The release-build canary (satellite): with --check-scopes=sampled no
+// conformance checker exists and no full footprints are recorded, yet
+// a tool whose very first write leaves its declared row interval is
+// still latched by the sampled lease probe, the group is discarded,
+// and the serial redo leaves results identical to the serial run.
+TEST(SharedModeLeaseTest, SampledCanaryCatchesFirstWriteRangeLiar) {
+  const Schema schema = TinySchema();
+  const auto run_with = [&](bool parallel) {
+    auto db = TinyDb();
+    Coordinator coordinator;
+    std::vector<int> order = {
+        coordinator.AddTool(std::make_unique<RangeLiarTool>(schema)),
+        coordinator.AddTool(
+            std::make_unique<RowAndCellTool>(schema, "A", 6)),
+    };
+    CoordinatorOptions opts;
+    opts.seed = 13;
+    opts.iterations = 2;
+    opts.parallel_pass = parallel;
+    opts.parallel_mode = ParallelMode::kShared;
+    opts.pass_threads = 2;
+    opts.check_scopes = analysis::ScopeCheckMode::kSampled;
+    RunReport report =
+        coordinator.Run(db.get(), order, opts).ValueOrAbort();
+    return std::make_pair(std::move(db), std::move(report));
+  };
+
+  const auto serial = run_with(false);
+  const auto parallel = run_with(true);
+  // The canary latched the out-of-range write — with no checker
+  // installed (sampled mode records no conformance violations).
+  EXPECT_GT(parallel.second.lease_violations, 0);
+  EXPECT_TRUE(parallel.second.scope_violations.empty());
+  // The offending group was discarded and the liar kept off the fast
+  // path for the rest of the run.
+  for (const ToolReport& step : parallel.second.steps) {
+    EXPECT_FALSE(step.parallel) << step.tool;
+  }
+  ExpectDatabasesIdentical(*parallel.first, *serial.first);
+}
+
+// Batch autotuning across a mid-run distrust (satellite): when a group
+// is discarded because one member lied, the clean members' proposals
+// are replayed serially — their per-tool batch hints must come out of
+// the run exactly as a pure serial run leaves them (a discarded group
+// must never ALSO commit its speculative hint updates, or the serial
+// redo would start from a doubled hint and diverge).
+TEST(SharedModeLeaseTest, BatchAutoHintsMatchSerialAcrossGroupDiscard) {
+  const Schema schema = TinySchema();
+  const auto make_db = [&](bool varied) {
+    auto db = Database::Create(schema).ValueOrAbort();
+    for (const char* name : {"A", "B"}) {
+      Table* t = db->FindTable(name);
+      const int64_t modulus = name[0] == 'A' ? 8 : 4;
+      for (int64_t i = 0; i < 64; ++i) {
+        t->Append({Value(varied ? i % modulus : int64_t{0})})
+            .status()
+            .Check();
+      }
+    }
+    Table* t = db->FindTable("T");
+    t->Append({Value(int64_t{0}), Value(int64_t{0})}).status().Check();
+    t->Append({Value(int64_t{0}), Value(int64_t{0})}).status().Check();
+    return db;
+  };
+  const auto truth = make_db(true);
+
+  struct Outcome {
+    std::unique_ptr<Database> db;
+    std::unique_ptr<ModificationLog> log;
+    RunReport report;
+  };
+  const auto run_with = [&](bool parallel) {
+    Outcome out;
+    out.db = make_db(false);
+    out.log = std::make_unique<ModificationLog>(out.db.get());
+    Coordinator coordinator;
+    std::vector<int> order = {
+        coordinator.AddTool(
+            std::make_unique<ColumnFreqTool>(schema, "A", "x")),
+        coordinator.AddTool(
+            std::make_unique<ColumnFreqTool>(schema, "B", "x")),
+        coordinator.AddTool(std::make_unique<LeaseLiarTool>(schema)),
+    };
+    coordinator.SetTargetsFromDataset(*truth).Check();
+    CoordinatorOptions opts;
+    opts.seed = 13;
+    opts.iterations = 3;
+    opts.parallel_pass = parallel;
+    opts.parallel_mode = ParallelMode::kShared;
+    opts.pass_threads = 2;
+    opts.batch_size = 1;
+    opts.batch_auto = true;
+    opts.check_scopes = analysis::ScopeCheckMode::kWarn;
+    out.report = coordinator.Run(out.db.get(), order, opts).ValueOrAbort();
+    return out;
+  };
+
+  const Outcome serial = run_with(false);
+  const Outcome parallel = run_with(true);
+  // The liar was caught mid-run (its first group was discarded)...
+  EXPECT_FALSE(parallel.report.scope_violations.empty());
+  // ...and the clean tools' hints really grew past the starting size,
+  // so the trajectories compared below are non-trivial.
+  bool grew = false;
+  for (const ToolReport& step : serial.report.steps) {
+    grew = grew || step.batch_final > 1;
+  }
+  EXPECT_TRUE(grew);
+  ASSERT_EQ(parallel.report.steps.size(), serial.report.steps.size());
+  for (size_t i = 0; i < serial.report.steps.size(); ++i) {
+    EXPECT_EQ(parallel.report.steps[i].tool, serial.report.steps[i].tool)
+        << "step " << i;
+    EXPECT_EQ(parallel.report.steps[i].batch_final,
+              serial.report.steps[i].batch_final)
+        << "step " << i;
+    EXPECT_EQ(parallel.report.steps[i].applied,
+              serial.report.steps[i].applied)
+        << "step " << i;
+    EXPECT_EQ(parallel.report.steps[i].vetoed,
+              serial.report.steps[i].vetoed)
+        << "step " << i;
+  }
+  EXPECT_EQ(parallel.report.final_errors, serial.report.final_errors);
+  ExpectDatabasesIdentical(*parallel.db, *serial.db);
+  ExpectLogsIdentical(*parallel.log, *serial.log);
+}
+
+// Declares a write scope but proposes nothing: its shared-mode modlog
+// segment is empty, and the splice must still put every other member's
+// entries at the right order-positions.
+class NoopDeclaredTool : public PropertyTool {
+ public:
+  explicit NoopDeclaredTool(const Schema& schema)
+      : table_index_(schema.TableIndex("B")) {}
+  std::string name() const override { return "noop"; }
+  Status SetTargetFromDataset(const Database&) override {
+    return Status::OK();
+  }
+  Status RepairTarget() override { return Status::OK(); }
+  Status CheckTargetFeasible() const override { return Status::OK(); }
+  Status Bind(Database* db) override {
+    db_ = db;
+    return Status::OK();
+  }
+  void Unbind() override { db_ = nullptr; }
+  bool bound() const override { return db_ != nullptr; }
+  double Error() const override { return 0; }
+  double ValidationPenalty(const Modification&) const override { return 0; }
+  void OnApplied(const Modification&, const std::vector<Value>&,
+                 TupleId) override {}
+  AccessScope DeclaredScope() const override {
+    AccessScope scope;
+    scope.known = true;
+    scope.AddWrite(table_index_, 0);  // B.x — never actually written
+    return scope;
+  }
+  Status Tweak(TweakContext*) override { return Status::OK(); }
+
+ private:
+  int table_index_;
+  Database* db_ = nullptr;
+};
+
+// Shared-mode splicing with an empty member segment (satellite): a
+// group member that proposes zero modifications contributes an empty
+// WriteRecorder segment; the spliced log and the database must still
+// match the serial run exactly, with the no-op member in either order
+// position, at every thread count.
+TEST(SharedModeLeaseTest, EmptyMemberSegmentSplicesCleanly) {
+  const Schema schema = TinySchema();
+  // The log unregisters from the database on destruction, so it must be
+  // declared after (destroyed before) the database it listens to.
+  struct Outcome {
+    std::unique_ptr<Database> db;
+    std::unique_ptr<ModificationLog> log;
+    RunReport report;
+  };
+  const auto run_with = [&](bool parallel, int threads, bool noop_first) {
+    auto db = TinyDb();
+    auto log = std::make_unique<ModificationLog>(db.get());
+    Coordinator coordinator;
+    std::vector<int> order;
+    if (noop_first) {
+      order.push_back(
+          coordinator.AddTool(std::make_unique<NoopDeclaredTool>(schema)));
+      order.push_back(coordinator.AddTool(
+          std::make_unique<RowAndCellTool>(schema, "A", 6)));
+    } else {
+      order.push_back(coordinator.AddTool(
+          std::make_unique<RowAndCellTool>(schema, "A", 6)));
+      order.push_back(
+          coordinator.AddTool(std::make_unique<NoopDeclaredTool>(schema)));
+    }
+    CoordinatorOptions opts;
+    opts.seed = 3;
+    opts.parallel_pass = parallel;
+    opts.parallel_mode = ParallelMode::kShared;
+    opts.pass_threads = threads;
+    RunReport report =
+        coordinator.Run(db.get(), order, opts).ValueOrAbort();
+    return Outcome{std::move(db), std::move(log), std::move(report)};
+  };
+
+  for (const bool noop_first : {true, false}) {
+    const auto serial = run_with(false, 1, noop_first);
+    for (const int threads : {1, 2, 8}) {
+      const auto parallel = run_with(true, threads, noop_first);
+      EXPECT_GT(parallel.report.parallel_groups, 0)
+          << "noop_first " << noop_first << " threads " << threads;
+      ExpectDatabasesIdentical(*parallel.db, *serial.db);
+      ExpectLogsIdentical(*parallel.log, *serial.log);
+    }
   }
 }
 
