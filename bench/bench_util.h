@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "measure/runner.h"
 
 namespace aspect {
@@ -29,9 +30,10 @@ inline BenchReport*& ActiveBenchReport() {
 
 /// Machine-readable run record. Construct one at the top of main and
 /// every Banner() becomes a timed phase; the destructor writes
-/// BENCH_<name>.json (name, wall-clock ms, tuples/s, per-phase
-/// breakdown, free-form metrics) into the working directory so CI and
-/// regression scripts can diff runs without scraping the tables.
+/// BENCH_<name>.json (name, wall-clock ms, tuples/s, hardware thread
+/// count, serial-equivalence verdict, per-phase breakdown, free-form
+/// metrics and notes) into the working directory so CI and regression
+/// scripts can diff runs without scraping the tables.
 class BenchReport {
  public:
   explicit BenchReport(std::string name)
@@ -61,6 +63,23 @@ class BenchReport {
   /// Free-form scalar (speedups, errors, thread counts, ...).
   void Metric(const std::string& key, double value) {
     metrics_.emplace_back(key, value);
+  }
+
+  /// Free-form string annotation; emitted under a "notes" object (only
+  /// present when at least one note was added). Use for machine-state
+  /// caveats a scalar can't carry, e.g. why a comparison was skipped.
+  void Note(const std::string& key, const std::string& text) {
+    notes_.emplace_back(key, text);
+  }
+
+  /// Records whether every parallel configuration in this bench ended
+  /// bit-identical (or error-identical) to its serial equivalent.
+  /// Benches that assert the identity call this after the checks pass;
+  /// the JSON then carries "serial_equivalent": true/false so CI can
+  /// gate on it without scraping stdout.
+  void SerialEquivalent(bool ok) {
+    serial_equivalent_ = ok;
+    has_serial_equivalent_ = true;
   }
 
   /// JSON string escaping for the report writer. Besides quotes and
@@ -134,6 +153,23 @@ class BenchReport {
                  static_cast<long long>(tuples_));
     std::fprintf(f, "  \"tuples_per_s\": %.1f,\n",
                  tuples_ > 0 ? tuples_ / (wall_ms / 1000.0) : 0.0);
+    // Machine context: thread-count-sensitive metrics (speedups, phase
+    // seconds) only compare across runs on the same hardware width.
+    std::fprintf(f, "  \"hardware_threads\": %d,\n",
+                 ThreadPool::HardwareThreads());
+    if (has_serial_equivalent_) {
+      std::fprintf(f, "  \"serial_equivalent\": %s,\n",
+                   serial_equivalent_ ? "true" : "false");
+    }
+    if (!notes_.empty()) {
+      std::fprintf(f, "  \"notes\": {");
+      for (size_t i = 0; i < notes_.size(); ++i) {
+        std::fprintf(f, "%s\n    \"%s\": \"%s\"", i == 0 ? "" : ",",
+                     Escaped(notes_[i].first).c_str(),
+                     Escaped(notes_[i].second).c_str());
+      }
+      std::fprintf(f, "\n  },\n");
+    }
     std::fprintf(f, "  \"phases\": [");
     for (size_t i = 0; i < phases_.size(); ++i) {
       std::fprintf(f, "%s\n    {\"name\": \"%s\", \"ms\": %.3f}",
@@ -156,8 +192,11 @@ class BenchReport {
   std::string current_;
   bool in_phase_ = false;
   int64_t tuples_ = 0;
+  bool serial_equivalent_ = false;
+  bool has_serial_equivalent_ = false;
   std::vector<std::pair<std::string, double>> phases_;
   std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, std::string>> notes_;
 };
 
 inline void Banner(const std::string& title) {

@@ -6,7 +6,7 @@
 //              [--seed 7] [--truth truth_dir]
 //              [--save-targets file] [--load-targets file] [--profile]
 //              [--report] [--compare-orders] [--threads N]
-//              [--rollback off|clone|undo]
+//              [--gen-threads N] [--rollback off|clone|undo]
 //              [--parallel-pass on|off] [--parallel-mode shared|clone]
 //              [--batch N|auto] [--check-scopes off|warn|strict|sampled]
 //
@@ -69,6 +69,10 @@ struct Args {
   double scale = 2.0;
   int iterations = 1;
   int threads = 0;
+  // Stage-1 workers: size scaling + integrity checks (DESIGN.md §12).
+  // 0 = one per hardware thread, 1 = inline; output is identical at
+  // every setting.
+  int gen_threads = 1;
   bool parallel_pass = false;
   ParallelMode parallel_mode = ParallelMode::kShared;
   int batch = 1;
@@ -133,6 +137,12 @@ Result<Args> ParseArgs(int argc, char** argv) {
     } else if (flag == "--threads") {
       ASPECT_ASSIGN_OR_RETURN(const std::string v, next());
       args.threads = std::atoi(v.c_str());
+    } else if (flag == "--gen-threads") {
+      ASPECT_ASSIGN_OR_RETURN(const std::string v, next());
+      args.gen_threads = std::atoi(v.c_str());
+      if (args.gen_threads < 0) {
+        return Status::Invalid("--gen-threads must be >= 0");
+      }
     } else if (flag == "--parallel-pass") {
       ASPECT_ASSIGN_OR_RETURN(const std::string v, next());
       if (v != "on" && v != "off") {
@@ -269,7 +279,9 @@ Status Run(const Args& args) {
   ASPECT_ASSIGN_OR_RETURN(const Schema schema, LoadSchemaFile(a.schema));
   ASPECT_ASSIGN_OR_RETURN(std::unique_ptr<Database> source,
                           ImportCsv(schema, a.data));
-  ASPECT_RETURN_NOT_OK(CheckIntegrity(*source));
+  IntegrityOptions verify;
+  verify.threads = a.gen_threads;
+  ASPECT_RETURN_NOT_OK(CheckIntegrity(*source, verify));
   std::printf("loaded %lld tuples from %s\n",
               static_cast<long long>(source->TotalTuples()),
               a.data.c_str());
@@ -288,8 +300,9 @@ Status Run(const Args& args) {
   }
   ASPECT_ASSIGN_OR_RETURN(std::unique_ptr<SizeScaler> scaler,
                           MakeScaler(a.scaler));
+  const GenOptions gen{a.gen_threads};
   ASPECT_ASSIGN_OR_RETURN(std::unique_ptr<Database> scaled,
-                          scaler->Scale(*source, targets, a.seed));
+                          scaler->Scale(*source, targets, a.seed, gen));
   std::printf("scaled by %.2fx with %s: %lld tuples\n", a.scale,
               a.scaler.c_str(),
               static_cast<long long>(scaled->TotalTuples()));
@@ -382,7 +395,7 @@ Status Run(const Args& args) {
   if (log != nullptr) {
     std::printf("tweaking footprint: %s", log->ToString().c_str());
   }
-  ASPECT_RETURN_NOT_OK(CheckIntegrity(*scaled));
+  ASPECT_RETURN_NOT_OK(CheckIntegrity(*scaled, verify));
 
   ASPECT_RETURN_NOT_OK(ExportCsv(*scaled, a.out));
   std::printf("wrote %s\n", a.out.c_str());

@@ -134,4 +134,24 @@ Rng Rng::Fork() {
   return child;
 }
 
+Rng Rng::Fork(uint64_t label) const {
+  Rng child(0);
+  // Each child word runs SplitMix64 over a mix of the parent word, the
+  // label, and the previously derived word — a counter-mode derivation
+  // that reads (never advances) the parent state.
+  uint64_t carry = label;
+  for (int i = 0; i < 4; ++i) {
+    uint64_t sm = s_[i] ^ (carry + 0x9E3779B97F4A7C15ull *
+                                       (static_cast<uint64_t>(i) + 1));
+    child.s_[i] = SplitMix64(&sm);
+    carry = child.s_[i];
+  }
+  // xoshiro256** cannot leave the all-zero state; re-seed in the
+  // astronomically unlikely event the derivation lands there.
+  if ((child.s_[0] | child.s_[1] | child.s_[2] | child.s_[3]) == 0) {
+    child.Seed(label);
+  }
+  return child;
+}
+
 }  // namespace aspect

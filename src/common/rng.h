@@ -62,7 +62,17 @@ class Rng {
   }
 
   /// Forks an independent child generator (for parallel-safe use).
+  /// Consumes four outputs of this generator to seed the child.
   Rng Fork();
+
+  /// Counter-based splittable stream: derives the child generator from
+  /// this generator's *current state* and `label` without consuming any
+  /// output, so any set of labels can be forked in any order — or
+  /// concurrently from a shared const parent — and each label always
+  /// yields the same stream. Distinct labels yield decorrelated streams
+  /// (SplitMix64 mixing of state ⊕ label). This is what makes sharded
+  /// row generation bitwise-reproducible at every thread count.
+  Rng Fork(uint64_t label) const;
 
  private:
   uint64_t s_[4];

@@ -1,0 +1,41 @@
+#include "common/sharding.h"
+
+#include <algorithm>
+
+#include "common/thread_pool.h"
+
+namespace aspect {
+
+int ResolveGenThreads(int threads) {
+  if (threads == 0) return ThreadPool::HardwareThreads();
+  return std::max(1, threads);
+}
+
+std::vector<RowShard> PartitionRows(int64_t rows, int64_t grain) {
+  std::vector<RowShard> shards;
+  if (rows <= 0) return shards;
+  grain = std::max<int64_t>(1, grain);
+  shards.reserve(static_cast<size_t>((rows + grain - 1) / grain));
+  for (int64_t begin = 0; begin < rows; begin += grain) {
+    RowShard shard;
+    shard.begin = begin;
+    shard.end = std::min(rows, begin + grain);
+    shard.index = static_cast<uint64_t>(begin / grain);
+    shards.push_back(shard);
+  }
+  return shards;
+}
+
+void RunShards(const std::vector<RowShard>& shards, ThreadPool* pool,
+               const std::function<void(const RowShard&)>& fn) {
+  if (pool == nullptr || shards.size() <= 1) {
+    for (const RowShard& shard : shards) fn(shard);
+    return;
+  }
+  for (const RowShard& shard : shards) {
+    pool->Submit([&fn, &shard] { fn(shard); });
+  }
+  pool->Wait();
+}
+
+}  // namespace aspect

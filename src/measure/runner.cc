@@ -1,5 +1,7 @@
 #include "measure/runner.h"
 
+#include <chrono>
+
 #include "common/string_util.h"
 #include "properties/coappear.h"
 #include "properties/linear.h"
@@ -100,22 +102,45 @@ Result<std::vector<std::string>> OrderFromLabel(const std::string& label) {
 }
 
 Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
-  ASPECT_ASSIGN_OR_RETURN(SnapshotSet snapshots,
-                          GenerateDataset(config.blueprint, config.seed));
-  ASPECT_ASSIGN_OR_RETURN(std::unique_ptr<Database> source,
-                          snapshots.Materialize(config.source_snapshot));
-  ASPECT_ASSIGN_OR_RETURN(std::unique_ptr<Database> truth,
-                          snapshots.Materialize(config.target_snapshot));
+  ExperimentResult result;
+  const GenOptions gen{config.gen_threads};
+  IntegrityOptions verify;
+  verify.threads = config.gen_threads;
+
+  const auto gen_start = std::chrono::steady_clock::now();
+  ASPECT_ASSIGN_OR_RETURN(
+      SnapshotSet snapshots,
+      GenerateDataset(config.blueprint, config.seed, gen));
+  ASPECT_ASSIGN_OR_RETURN(
+      std::unique_ptr<Database> source,
+      snapshots.Materialize(config.source_snapshot, gen));
+  ASPECT_ASSIGN_OR_RETURN(
+      std::unique_ptr<Database> truth,
+      snapshots.Materialize(config.target_snapshot, gen));
+  result.generate_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    gen_start)
+          .count();
+
   ASPECT_ASSIGN_OR_RETURN(std::unique_ptr<SizeScaler> scaler,
                           MakeScaler(config.scaler));
+  const auto scale_start = std::chrono::steady_clock::now();
   ASPECT_ASSIGN_OR_RETURN(
       std::unique_ptr<Database> scaled,
       scaler->Scale(*source,
                     snapshots.SnapshotSizes(config.target_snapshot),
-                    config.seed));
-  ASPECT_RETURN_NOT_OK(CheckIntegrity(*scaled));
+                    config.seed, gen));
+  result.scale_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    scale_start)
+          .count();
 
-  ExperimentResult result;
+  const auto verify_start = std::chrono::steady_clock::now();
+  ASPECT_RETURN_NOT_OK(CheckIntegrity(*scaled, verify));
+  result.verify_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    verify_start)
+          .count();
   ASPECT_ASSIGN_OR_RETURN(result.before, Measure(scaled.get(), *truth));
   if (config.run_queries) {
     ASPECT_ASSIGN_OR_RETURN(
@@ -158,7 +183,12 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   for (const ToolReport& step : result.report.steps) {
     result.tweak_seconds += step.seconds;
   }
-  ASPECT_RETURN_NOT_OK(CheckIntegrity(*scaled));
+  const auto recheck_start = std::chrono::steady_clock::now();
+  ASPECT_RETURN_NOT_OK(CheckIntegrity(*scaled, verify));
+  result.verify_seconds +=
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    recheck_start)
+          .count();
   ASPECT_ASSIGN_OR_RETURN(result.after, Measure(scaled.get(), *truth));
   if (config.run_queries) {
     ASPECT_ASSIGN_OR_RETURN(

@@ -47,6 +47,11 @@ struct ExperimentConfig {
   int batch_size = 1;
   /// Autotune the batch size from the veto rate (--batch=auto).
   bool batch_auto = false;
+  /// Worker threads for stage 1 — dataset generation, snapshot
+  /// materialization, size scaling, and integrity verification
+  /// (0 = hardware concurrency, 1 = inline). Results are bitwise
+  /// identical at every setting (DESIGN.md §12).
+  int gen_threads = 1;
 };
 
 /// The three property errors of Sec. VI-C1.
@@ -61,6 +66,12 @@ struct ExperimentResult {
   PropertyErrors after;   // after the tweaking permutation
   /// Wall-clock seconds spent inside the tweaking algorithms.
   double tweak_seconds = 0;
+  /// Stage-1 phase timings (seconds): growing + materializing the
+  /// blueprint dataset, size-scaling it, and the post-scale/post-tweak
+  /// referential-integrity checks.
+  double generate_seconds = 0;
+  double scale_seconds = 0;
+  double verify_seconds = 0;
   /// Query name -> relative error, before and after tweaking
   /// (only filled when run_queries is set).
   std::vector<std::pair<std::string, double>> query_errors_before;

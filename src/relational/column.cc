@@ -1,6 +1,7 @@
 #include "relational/column.h"
 
 #include <cassert>
+#include <iterator>
 
 #include "common/string_util.h"
 
@@ -227,6 +228,31 @@ void Column::SetDouble(int64_t row, double v) {
   assert(type_ == ColumnType::kDouble);
   doubles_[static_cast<size_t>(row)] = v;
   state_[static_cast<size_t>(row)] = CellState::kValue;
+}
+
+Status Column::AppendBatch(Column&& src) {
+  if (type_ != src.type_) {
+    return Status::Invalid(StrFormat(
+        "AppendBatch: column '%s' type mismatch with staged column '%s'",
+        name_.c_str(), src.name_.c_str()));
+  }
+  switch (type_) {
+    case ColumnType::kInt64:
+    case ColumnType::kForeignKey:
+      ints_.insert(ints_.end(), src.ints_.begin(), src.ints_.end());
+      break;
+    case ColumnType::kDouble:
+      doubles_.insert(doubles_.end(), src.doubles_.begin(),
+                      src.doubles_.end());
+      break;
+    case ColumnType::kString:
+      strings_.insert(strings_.end(),
+                      std::make_move_iterator(src.strings_.begin()),
+                      std::make_move_iterator(src.strings_.end()));
+      break;
+  }
+  state_.insert(state_.end(), src.state_.begin(), src.state_.end());
+  return Status::OK();
 }
 
 void Column::CopyRowsFrom(const Column& src, int64_t lo, int64_t hi) {

@@ -108,6 +108,15 @@ class Column {
   void SetInt(int64_t row, int64_t v);
   void SetDouble(int64_t row, double v);
 
+  /// Splices the entirety of `src` onto the end of this column — one
+  /// vector concatenation per storage array instead of a per-cell
+  /// dispatch. `src` is consumed (strings are moved). Returns Invalid
+  /// on a column-type mismatch, in which case nothing is appended. The
+  /// bulk columnar construction path (Table::AppendRows) is built on
+  /// this; no per-cell probes fire (the rows did not exist before the
+  /// splice, so there is no prior state to attribute).
+  Status AppendBatch(Column&& src);
+
   /// Copies the cells of rows [lo, hi] (values and states) from `src`
   /// into this column. Types must match and both columns must span the
   /// range. The parallel pass's clone merge uses this when a task holds

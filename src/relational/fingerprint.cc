@@ -1,0 +1,67 @@
+#include "relational/fingerprint.h"
+
+#include <cstring>
+#include <string>
+
+namespace aspect {
+namespace {
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+void HashBytes(uint64_t* h, const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    *h ^= p[i];
+    *h *= kFnvPrime;
+  }
+}
+
+void HashU64(uint64_t* h, uint64_t v) { HashBytes(h, &v, sizeof(v)); }
+
+void HashString(uint64_t* h, const std::string& s) {
+  HashU64(h, s.size());
+  HashBytes(h, s.data(), s.size());
+}
+
+}  // namespace
+
+uint64_t ContentHash(const Database& db) {
+  uint64_t h = kFnvOffset;
+  HashU64(&h, static_cast<uint64_t>(db.num_tables()));
+  for (int ti = 0; ti < db.num_tables(); ++ti) {
+    const Table& t = db.table(ti);
+    HashString(&h, t.name());
+    const int64_t slots = t.NumSlots();
+    HashU64(&h, static_cast<uint64_t>(slots));
+    HashU64(&h, static_cast<uint64_t>(t.NumTuples()));
+    for (int64_t row = 0; row < slots; ++row) {
+      HashU64(&h, t.IsLive(row) ? 1 : 0);
+      for (int c = 0; c < t.num_columns(); ++c) {
+        const Column& col = t.column(c);
+        const CellState state = col.state(row);
+        HashU64(&h, static_cast<uint64_t>(state));
+        if (state != CellState::kValue) continue;
+        switch (col.type()) {
+          case ColumnType::kInt64:
+          case ColumnType::kForeignKey:
+            HashU64(&h, static_cast<uint64_t>(col.GetInt(row)));
+            break;
+          case ColumnType::kDouble: {
+            double d = col.GetDouble(row);
+            uint64_t bits = 0;
+            std::memcpy(&bits, &d, sizeof(bits));
+            HashU64(&h, bits);
+            break;
+          }
+          case ColumnType::kString:
+            HashString(&h, col.GetString(row));
+            break;
+        }
+      }
+    }
+  }
+  return h;
+}
+
+}  // namespace aspect

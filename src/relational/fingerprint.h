@@ -1,0 +1,21 @@
+// Order-sensitive content fingerprint of a whole Database.
+//
+// Hashes table names, slot counts, per-row liveness, and every cell's
+// state + typed value in (table, row, column) order, so two databases
+// hash equal iff they are bitwise-identical relational content — the
+// check behind the cross-thread-count determinism tests and the bench
+// harness's serial-vs-parallel identity assertions (DESIGN.md §12).
+#pragma once
+
+#include <cstdint>
+
+#include "relational/database.h"
+
+namespace aspect {
+
+/// FNV-1a over the database's full relational content. Not a crypto
+/// hash — a determinism tripwire. Doubles hash by bit pattern, so any
+/// FP difference (not just large ones) changes the fingerprint.
+uint64_t ContentHash(const Database& db);
+
+}  // namespace aspect

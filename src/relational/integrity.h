@@ -16,6 +16,13 @@ struct IntegrityOptions {
   bool forbid_empty_cells = true;
   /// If true, FK cells must not be NULL.
   bool forbid_null_foreign_keys = true;
+  /// Worker threads for the table-parallel check (DESIGN.md §12):
+  /// 1 (default) checks serially, 0 means one per hardware thread.
+  /// Tables are read-only during the check, so any table can verify
+  /// concurrently with any other; the reported failure is always the
+  /// first one in (table, column, tuple) order regardless of thread
+  /// count.
+  int threads = 1;
 };
 
 /// Returns OK iff every FK value in every live tuple refers to a live

@@ -1,0 +1,48 @@
+#include "relational/rowgen.h"
+
+#include <cstddef>
+#include <utility>
+
+#include "common/sharding.h"
+#include "common/thread_pool.h"
+
+namespace aspect {
+
+Status GenerateRowsSharded(Table* dst, int64_t rows, const Rng& stream,
+                           ThreadPool* pool, const RowFn& make_row) {
+  if (rows <= 0) return Status::OK();
+  const std::vector<RowShard> shards = PartitionRows(rows);
+  const size_t num_shards = shards.size();
+
+  std::vector<RowBlock> blocks;
+  blocks.reserve(num_shards);
+  for (size_t i = 0; i < num_shards; ++i) blocks.emplace_back(dst->spec());
+  std::vector<Status> statuses(num_shards, Status::OK());
+
+  const int cols = dst->num_columns();
+  RunShards(shards, pool, [&](const RowShard& shard) {
+    RowBlock& block = blocks[shard.index];
+    Status& status = statuses[shard.index];
+    block.Reserve(shard.end - shard.begin);
+    Rng rng = stream.Fork(shard.index);
+    std::vector<Value> row(static_cast<size_t>(cols), Value::Null());
+    for (int64_t r = shard.begin; r < shard.end; ++r) {
+      for (Value& v : row) v = Value::Null();
+      status = make_row(r, &rng, &row);
+      if (!status.ok()) return;
+      status = block.PushRow(row);
+      if (!status.ok()) return;
+    }
+  });
+
+  // First failure in shard order, independent of execution order.
+  for (const Status& s : statuses) ASPECT_RETURN_NOT_OK(s);
+
+  dst->Reserve(dst->NumSlots() + rows);
+  for (RowBlock& block : blocks) {
+    ASPECT_RETURN_NOT_OK(dst->AppendRows(std::move(block)));
+  }
+  return Status::OK();
+}
+
+}  // namespace aspect

@@ -1,0 +1,43 @@
+// Sharded bulk row generation (DESIGN.md §12).
+//
+// GenerateRowsSharded is the one driver behind every parallel stage-1
+// producer (synthetic generators, size scalers, samplers): it splits a
+// target row count into fixed-grain shards (common/sharding.h), forks a
+// per-shard RNG stream from a shared const parent (Rng::Fork(label) with
+// the shard index as the label), fills one RowBlock per shard — on the
+// caller's thread or a ThreadPool — and splices the blocks onto the
+// destination table in shard order. Because the shard decomposition and
+// the stream tree depend only on the row count, the produced bytes are
+// identical at every thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "relational/table.h"
+#include "relational/value.h"
+
+namespace aspect {
+
+class ThreadPool;
+
+/// Fills one row of a shard. `row` is the row's index within the whole
+/// generated range [0, rows) — NOT the destination tuple id; producers
+/// that need the final id add the table's pre-generation slot count.
+/// `rng` is the shard's private stream; `out` arrives sized to the
+/// table's column count with null Values and must be fully assigned.
+using RowFn = std::function<Status(int64_t row, Rng* rng,
+                                   std::vector<Value>* out)>;
+
+/// Generates `rows` rows into `dst`. `stream` is the producer's
+/// per-table stream root: shard i draws from stream.Fork(i). `pool`
+/// null (or a single shard) runs inline. On error the destination
+/// table is left untouched and the first failure in shard order is
+/// returned (deterministic regardless of execution order).
+Status GenerateRowsSharded(Table* dst, int64_t rows, const Rng& stream,
+                           ThreadPool* pool, const RowFn& make_row);
+
+}  // namespace aspect

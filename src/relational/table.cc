@@ -1,6 +1,7 @@
 #include "relational/table.h"
 
 #include <cassert>
+#include <utility>
 
 #include "common/string_util.h"
 
@@ -39,6 +40,37 @@ class StructureMutationScope {
   } while (false)
 #endif
 
+RowBlock::RowBlock(const TableSpec& spec) {
+  cols_.reserve(spec.columns.size());
+  for (const ColumnSpec& c : spec.columns) {
+    cols_.emplace_back(c.name, c.type, c.ref_table);
+  }
+}
+
+void RowBlock::Reserve(int64_t n) {
+  for (Column& c : cols_) c.Reserve(n);
+}
+
+Status RowBlock::PushRow(const std::vector<Value>& values) {
+  if (values.size() != cols_.size()) {
+    return Status::Invalid(StrFormat(
+        "RowBlock: push with %zu values, expected %zu columns",
+        values.size(), cols_.size()));
+  }
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    if (!cols_[c].Accepts(values[c])) {
+      return Status::Invalid(StrFormat(
+          "RowBlock: value %zu has wrong type for column '%s'", c,
+          cols_[c].name().c_str()));
+    }
+  }
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    ASPECT_RETURN_NOT_OK(cols_[c].Append(values[c]));
+  }
+  ++rows_;
+  return Status::OK();
+}
+
 Table::Table(const TableSpec& spec) : spec_(spec) {
   columns_.reserve(spec_.columns.size());
   for (const ColumnSpec& c : spec_.columns) {
@@ -72,6 +104,25 @@ Result<TupleId> Table::Append(const std::vector<Value>& values) {
   live_.push_back(1);
   ++num_live_;
   return static_cast<int64_t>(live_.size()) - 1;
+}
+
+Status Table::AppendRows(RowBlock&& block) {
+  if (block.num_columns() != num_columns()) {
+    return Status::Invalid(StrFormat(
+        "table '%s': AppendRows block has %d columns, expected %d",
+        name().c_str(), block.num_columns(), num_columns()));
+  }
+  const int64_t rows = block.num_rows();
+  if (rows == 0) return Status::OK();
+  analysis::ProbeWrite(probe_table_, analysis::kProbeRowStructure);
+  ASPECT_STRUCTURE_MUTATION_SCOPE();
+  for (int c = 0; c < num_columns(); ++c) {
+    ASPECT_RETURN_NOT_OK(columns_[static_cast<size_t>(c)].AppendBatch(
+        std::move(block.cols_[static_cast<size_t>(c)])));
+  }
+  live_.insert(live_.end(), static_cast<size_t>(rows), uint8_t{1});
+  num_live_ += rows;
+  return Status::OK();
 }
 
 void Table::Reserve(int64_t n) {

@@ -23,6 +23,34 @@ namespace aspect {
 using TupleId = int64_t;
 inline constexpr TupleId kInvalidTuple = -1;
 
+/// Staging area for bulk columnar row construction (DESIGN.md §12).
+/// A RowBlock owns private probe-less columns shaped like a TableSpec;
+/// a producer (typically one generation shard on its own thread) fills
+/// it with PushRow, then Table::AppendRows splices the whole block onto
+/// the table with one vector concatenation per column — no per-tuple
+/// listener, modlog, or probe overhead. Blocks built concurrently are
+/// spliced serially in shard order, which is what keeps the sharded
+/// generators bitwise-identical at every thread count.
+class RowBlock {
+ public:
+  explicit RowBlock(const TableSpec& spec);
+
+  /// Pre-allocates capacity for `n` rows in every staging column.
+  void Reserve(int64_t n);
+
+  /// Appends one row. Every value is type-checked before any column
+  /// grows, so a mismatch cannot leave the block ragged.
+  Status PushRow(const std::vector<Value>& values);
+
+  int64_t num_rows() const { return rows_; }
+  int num_columns() const { return static_cast<int>(cols_.size()); }
+
+ private:
+  friend class Table;
+  std::vector<Column> cols_;
+  int64_t rows_ = 0;
+};
+
 class Table {
  public:
   explicit Table(const TableSpec& spec);
@@ -72,6 +100,17 @@ class Table {
 
   /// Appends a tuple with the given per-column values; returns its id.
   Result<TupleId> Append(const std::vector<Value>& values);
+
+  /// Splices a staged RowBlock onto the end of the table: one row-
+  /// structure probe, one structural-mutation scope, and one vector
+  /// concatenation per column for the whole block (the bulk columnar
+  /// construction path; see RowBlock). The block must have been built
+  /// from this table's spec — a column-count mismatch is Invalid and a
+  /// per-column type mismatch fails before any storage is touched.
+  /// `block` is consumed. New tuples get consecutive ids at the end and
+  /// are live; listeners are NOT notified (generation-time construction
+  /// defers integrity to relational/integrity).
+  Status AppendRows(RowBlock&& block);
 
   /// Pre-allocates capacity for `n` total slots across all columns.
   void Reserve(int64_t n);

@@ -4,13 +4,15 @@
 
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "relational/refgraph.h"
+#include "relational/rowgen.h"
 
 namespace aspect {
 
 Result<std::unique_ptr<Database>> SamplingScaler::Scale(
     const Database& source, const std::vector<int64_t>& target_sizes,
-    uint64_t seed) const {
+    uint64_t seed, const GenOptions& gen) const {
   if (static_cast<int>(target_sizes.size()) != source.num_tables()) {
     return Status::Invalid("sampling: wrong number of target sizes");
   }
@@ -37,7 +39,11 @@ Result<std::unique_ptr<Database>> SamplingScaler::Scale(
     }
   }
 
-  Rng rng(seed);
+  const Rng root(seed);
+  const int pool_threads = ResolveGenThreads(gen.threads);
+  std::unique_ptr<ThreadPool> pool =
+      pool_threads > 1 ? std::make_unique<ThreadPool>(pool_threads)
+                       : nullptr;
   ASPECT_ASSIGN_OR_RETURN(std::unique_ptr<Database> out,
                           Database::Create(source.schema()));
   std::vector<std::vector<TupleId>> remap(static_cast<size_t>(n));
@@ -48,8 +54,14 @@ Result<std::unique_ptr<Database>> SamplingScaler::Scale(
     if (want < 1) return Status::Invalid("sampling: target below 1");
     auto& rm = remap[static_cast<size_t>(ti)];
     rm.assign(static_cast<size_t>(src.NumSlots()), kInvalidTuple);
+    const Rng table_stream = root.Fork(static_cast<uint64_t>(ti));
+    // Serial side-channel stream for the candidate shuffle and the
+    // top-up loop; the sampled-row shards fork from table_stream with
+    // dense labels that cannot collide with it.
+    Rng aux = table_stream.Fork(kAuxStreamLabel);
 
-    // Candidates: live tuples whose parents all survived.
+    // Candidates: live tuples whose parents all survived. Inherently
+    // sequential (depends on the parents' remap), but cheap.
     std::vector<TupleId> candidates;
     src.ForEachLive([&](TupleId t) {
       for (int ci = 0; ci < src.num_columns(); ++ci) {
@@ -63,11 +75,18 @@ Result<std::unique_ptr<Database>> SamplingScaler::Scale(
       }
       candidates.push_back(t);
     });
-    rng.Shuffle(&candidates);
+    aux.Shuffle(&candidates);
     if (static_cast<int64_t>(candidates.size()) > want) {
       candidates.resize(static_cast<size_t>(want));
     }
-    auto append_from = [&](TupleId tmpl, bool record) -> Status {
+    // The destination table is empty here and blocks splice in shard
+    // order, so candidate i materializes with id i: the remap is known
+    // before any row is built, which is what lets the rows build in
+    // parallel.
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      rm[static_cast<size_t>(candidates[i])] = static_cast<TupleId>(i);
+    }
+    auto build_from = [&](TupleId tmpl, std::vector<Value>* row_out) {
       std::vector<Value> row = src.GetRow(tmpl);
       for (int ci = 0; ci < src.num_columns(); ++ci) {
         const Column& col = src.column(ci);
@@ -80,20 +99,26 @@ Result<std::unique_ptr<Database>> SamplingScaler::Scale(
             remap[static_cast<size_t>(pi)][static_cast<size_t>(
                 row[static_cast<size_t>(ci)].int64())]));
       }
-      ASPECT_ASSIGN_OR_RETURN(const TupleId id, dst->Append(row));
-      if (record) rm[static_cast<size_t>(tmpl)] = id;
-      return Status::OK();
+      *row_out = std::move(row);
     };
-    for (const TupleId t : candidates) {
-      ASPECT_RETURN_NOT_OK(append_from(t, /*record=*/true));
-    }
+    ASPECT_RETURN_NOT_OK(GenerateRowsSharded(
+        dst, static_cast<int64_t>(candidates.size()), table_stream,
+        pool.get(),
+        [&](int64_t i, Rng* /*rng*/, std::vector<Value>* row_out) {
+          build_from(candidates[static_cast<size_t>(i)], row_out);
+          return Status::OK();
+        }));
     // Top up by cloning sampled survivors (scale-up within the sampled
-    // world); fall back to random valid FKs if nothing survived.
+    // world); fall back to random valid FKs if nothing survived. The
+    // clones are not recorded in the remap, so the sequential aux
+    // stream keeps this short tail deterministic and simple.
     while (dst->NumTuples() < want) {
       if (!candidates.empty()) {
         const TupleId tmpl = candidates[static_cast<size_t>(
-            rng.UniformInt(0, static_cast<int64_t>(candidates.size()) - 1))];
-        ASPECT_RETURN_NOT_OK(append_from(tmpl, /*record=*/false));
+            aux.UniformInt(0, static_cast<int64_t>(candidates.size()) - 1))];
+        std::vector<Value> row;
+        build_from(tmpl, &row);
+        ASPECT_RETURN_NOT_OK(dst->Append(row).status());
         continue;
       }
       std::vector<Value> row;
@@ -102,7 +127,7 @@ Result<std::unique_ptr<Database>> SamplingScaler::Scale(
         if (col.is_foreign_key()) {
           const int pi = source.schema().TableIndex(col.ref_table());
           row.push_back(Value(
-              rng.UniformInt(0, out->table(pi).NumTuples() - 1)));
+              aux.UniformInt(0, out->table(pi).NumTuples() - 1)));
         } else {
           row.push_back(col.Get(src.LiveTuples().front()));
         }

@@ -3,6 +3,13 @@
 // tuple counts and no invalid foreign keys; anything beyond that
 // contract (correlation, join structure) is technique-specific and is
 // what the property-enforcement stage then repairs.
+//
+// Every scaler generates through the sharded columnar pipeline
+// (relational/rowgen.h, DESIGN.md §12): tables are produced in
+// parents-first topological order, each table's rows are partitioned
+// into fixed-grain shards with private RNG streams, and shards run on
+// a thread pool when GenOptions::threads > 1. The output is bitwise
+// identical at every thread count.
 #pragma once
 
 #include <memory>
@@ -10,6 +17,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/sharding.h"
 #include "relational/database.h"
 
 namespace aspect {
@@ -24,9 +32,12 @@ class SizeScaler {
   /// desired live tuple count per table in schema order. Techniques
   /// that cannot hit arbitrary sizes (ReX scales every table by one
   /// integer factor) produce their nearest achievable sizes instead.
+  /// `gen` controls shard parallelism; the result does not depend on
+  /// it (callers through a base pointer note that default arguments
+  /// bind statically, so every override re-declares the same default).
   virtual Result<std::unique_ptr<Database>> Scale(
       const Database& source, const std::vector<int64_t>& target_sizes,
-      uint64_t seed) const = 0;
+      uint64_t seed, const GenOptions& gen = {}) const = 0;
 };
 
 /// Rand (Sec. VI-B): random tuples subject to (i) expected table sizes
@@ -36,7 +47,7 @@ class RandScaler : public SizeScaler {
   std::string name() const override { return "Rand"; }
   Result<std::unique_ptr<Database>> Scale(
       const Database& source, const std::vector<int64_t>& target_sizes,
-      uint64_t seed) const override;
+      uint64_t seed, const GenOptions& gen = {}) const override;
 };
 
 /// ReX [8]: representative extrapolation by a single integer factor s;
@@ -53,7 +64,7 @@ class RexScaler : public SizeScaler {
 
   Result<std::unique_ptr<Database>> Scale(
       const Database& source, const std::vector<int64_t>& target_sizes,
-      uint64_t seed) const override;
+      uint64_t seed, const GenOptions& gen = {}) const override;
 };
 
 /// Dscaler [37]: non-uniform scaling driven by a per-tuple correlation
@@ -67,7 +78,7 @@ class DscalerScaler : public SizeScaler {
   std::string name() const override { return "Dscaler"; }
   Result<std::unique_ptr<Database>> Scale(
       const Database& source, const std::vector<int64_t>& target_sizes,
-      uint64_t seed) const override;
+      uint64_t seed, const GenOptions& gen = {}) const override;
 };
 
 /// All three built-in scalers, in the order the paper plots them.

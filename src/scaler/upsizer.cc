@@ -5,7 +5,9 @@
 
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "relational/refgraph.h"
+#include "relational/rowgen.h"
 
 namespace aspect {
 namespace {
@@ -42,7 +44,7 @@ std::vector<int64_t> SampleDegreeSequence(
 
 Result<std::unique_ptr<Database>> UpSizerScaler::Scale(
     const Database& source, const std::vector<int64_t>& target_sizes,
-    uint64_t seed) const {
+    uint64_t seed, const GenOptions& gen) const {
   if (static_cast<int>(target_sizes.size()) != source.num_tables()) {
     return Status::Invalid("UpSizeR: wrong number of target sizes");
   }
@@ -69,7 +71,11 @@ Result<std::unique_ptr<Database>> UpSizerScaler::Scale(
     }
   }
 
-  Rng rng(seed);
+  const Rng root(seed);
+  const int pool_threads = ResolveGenThreads(gen.threads);
+  std::unique_ptr<ThreadPool> pool =
+      pool_threads > 1 ? std::make_unique<ThreadPool>(pool_threads)
+                       : nullptr;
   ASPECT_ASSIGN_OR_RETURN(std::unique_ptr<Database> out,
                           Database::Create(source.schema()));
   for (const int ti : order) {
@@ -82,6 +88,11 @@ Result<std::unique_ptr<Database>> UpSizerScaler::Scale(
       return Status::Invalid(
           StrFormat("UpSizeR: source table '%s' empty", src.name().c_str()));
     }
+    const Rng table_stream = root.Fork(static_cast<uint64_t>(ti));
+    // Serial side-channel stream for degree-sequence sampling and the
+    // parent_of shuffle — inherently sequential work; row shards fork
+    // from table_stream with dense labels that cannot collide with it.
+    Rng aux = table_stream.Fork(kAuxStreamLabel);
 
     // Primary FK: the first FK column. Its degree distribution is
     // preserved by construction.
@@ -115,7 +126,7 @@ Result<std::unique_ptr<Database>> UpSizerScaler::Scale(
       (void)counted_children;
       const int64_t new_parents = out->table(pi).NumTuples();
       const std::vector<int64_t> seq =
-          SampleDegreeSequence(empirical, new_parents, want, &rng);
+          SampleDegreeSequence(empirical, new_parents, want, &aux);
       // Deal children onto parents per the sampled sequence.
       parent_of.reserve(static_cast<size_t>(want));
       for (int64_t p = 0; p < new_parents; ++p) {
@@ -123,40 +134,55 @@ Result<std::unique_ptr<Database>> UpSizerScaler::Scale(
           parent_of.push_back(p);
         }
       }
-      rng.Shuffle(&parent_of);
+      aux.Shuffle(&parent_of);
     }
 
-    for (int64_t j = 0; j < want; ++j) {
-      // Template child for attributes and secondary FKs.
-      const TupleId tmpl = live[static_cast<size_t>(
-          rng.UniformInt(0, static_cast<int64_t>(live.size()) - 1))];
-      std::vector<Value> row = src.GetRow(tmpl);
-      for (int c = 0; c < src.num_columns(); ++c) {
-        const Column& col = src.column(c);
-        if (!col.is_foreign_key() ||
-            row[static_cast<size_t>(c)].is_null()) {
-          continue;
-        }
-        if (c == primary) {
-          row[static_cast<size_t>(c)] =
-              Value(static_cast<int64_t>(parent_of[static_cast<size_t>(j)]));
-          continue;
-        }
-        // Secondary FK: proportional remap with jitter, preserving the
-        // template's joint pattern approximately.
-        const int pi = source.schema().TableIndex(col.ref_table());
-        const int64_t n_src = source.table(pi).NumTuples();
-        const int64_t n_dst = out->table(pi).NumTuples();
-        const double pos =
-            static_cast<double>(row[static_cast<size_t>(c)].int64()) +
-            rng.UniformDouble();
-        int64_t mapped = static_cast<int64_t>(
-            pos * static_cast<double>(n_dst) / static_cast<double>(n_src));
-        mapped = std::clamp<int64_t>(mapped, 0, n_dst - 1);
-        row[static_cast<size_t>(c)] = Value(mapped);
-      }
-      ASPECT_RETURN_NOT_OK(dst->Append(row).status());
+    // Secondary-FK domain sizes — constants by topological order.
+    std::vector<int64_t> sec_src(static_cast<size_t>(src.num_columns()), 0);
+    std::vector<int64_t> sec_dst(static_cast<size_t>(src.num_columns()), 0);
+    for (int c = 0; c < src.num_columns(); ++c) {
+      const Column& col = src.column(c);
+      if (!col.is_foreign_key() || c == primary) continue;
+      const int pi = source.schema().TableIndex(col.ref_table());
+      sec_src[static_cast<size_t>(c)] = source.table(pi).NumTuples();
+      sec_dst[static_cast<size_t>(c)] = out->table(pi).NumTuples();
     }
+
+    const int64_t n_live = static_cast<int64_t>(live.size());
+    ASPECT_RETURN_NOT_OK(GenerateRowsSharded(
+        dst, want, table_stream, pool.get(),
+        [&](int64_t j, Rng* rng, std::vector<Value>* row_out) {
+          // Template child for attributes and secondary FKs.
+          const TupleId tmpl =
+              live[static_cast<size_t>(rng->UniformInt(0, n_live - 1))];
+          std::vector<Value> row = src.GetRow(tmpl);
+          for (int c = 0; c < src.num_columns(); ++c) {
+            const Column& col = src.column(c);
+            if (!col.is_foreign_key() ||
+                row[static_cast<size_t>(c)].is_null()) {
+              continue;
+            }
+            if (c == primary) {
+              row[static_cast<size_t>(c)] = Value(static_cast<int64_t>(
+                  parent_of[static_cast<size_t>(j)]));
+              continue;
+            }
+            // Secondary FK: proportional remap with jitter, preserving
+            // the template's joint pattern approximately.
+            const int64_t n_src = sec_src[static_cast<size_t>(c)];
+            const int64_t n_dst = sec_dst[static_cast<size_t>(c)];
+            const double pos =
+                static_cast<double>(row[static_cast<size_t>(c)].int64()) +
+                rng->UniformDouble();
+            int64_t mapped = static_cast<int64_t>(
+                pos * static_cast<double>(n_dst) /
+                static_cast<double>(n_src));
+            mapped = std::clamp<int64_t>(mapped, 0, n_dst - 1);
+            row[static_cast<size_t>(c)] = Value(mapped);
+          }
+          *row_out = std::move(row);
+          return Status::OK();
+        }));
   }
   return out;
 }

@@ -20,7 +20,7 @@ class UpSizerScaler : public SizeScaler {
   std::string name() const override { return "UpSizeR"; }
   Result<std::unique_ptr<Database>> Scale(
       const Database& source, const std::vector<int64_t>& target_sizes,
-      uint64_t seed) const override;
+      uint64_t seed, const GenOptions& gen = {}) const override;
 };
 
 }  // namespace aspect

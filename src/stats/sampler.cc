@@ -4,13 +4,15 @@
 
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 #include "relational/refgraph.h"
+#include "relational/rowgen.h"
 
 namespace aspect {
 
 Result<std::vector<std::unique_ptr<Database>>> NestedSamples(
     const Database& db, const std::vector<double>& fractions,
-    uint64_t seed) {
+    uint64_t seed, const GenOptions& gen) {
   for (const double f : fractions) {
     if (f <= 0 || f > 1) {
       return Status::Invalid(StrFormat("bad sample fraction %f", f));
@@ -43,64 +45,85 @@ Result<std::vector<std::unique_ptr<Database>>> NestedSamples(
     }
   }
 
+  const int threads = ResolveGenThreads(gen.threads);
+  std::unique_ptr<ThreadPool> pool =
+      threads > 1 ? std::make_unique<ThreadPool>(threads) : nullptr;
+  const Rng root(seed);
+
   // Per-table per-tuple level (keyed by slot id; dead slots unused).
-  Rng rng(seed);
+  // Each table's slot range shards with per-shard streams: a shard's
+  // draws depend only on its own slots' liveness, and lifting reads
+  // parent levels that are complete by topological order, so shards
+  // write disjoint lv ranges with no coordination.
   std::vector<std::vector<double>> level(static_cast<size_t>(n));
   for (const int ti : order) {
     const Table& t = db.table(ti);
     auto& lv = level[static_cast<size_t>(ti)];
     lv.assign(static_cast<size_t>(t.NumSlots()), 2.0);  // 2.0 = excluded
-    t.ForEachLive([&](TupleId tid) {
-      double u = rng.UniformDouble();
-      for (int ci = 0; ci < t.num_columns(); ++ci) {
-        const Column& col = t.column(ci);
-        if (!col.is_foreign_key() || !col.IsValue(tid)) continue;
-        const int pi = db.schema().TableIndex(col.ref_table());
-        u = std::max(u, level[static_cast<size_t>(pi)]
-                            [static_cast<size_t>(col.GetInt(tid))]);
+    const Rng table_stream = root.Fork(static_cast<uint64_t>(ti));
+    const std::vector<RowShard> shards = PartitionRows(t.NumSlots());
+    RunShards(shards, pool.get(), [&](const RowShard& shard) {
+      Rng rng = table_stream.Fork(shard.index);
+      for (int64_t tid = shard.begin; tid < shard.end; ++tid) {
+        if (!t.IsLive(tid)) continue;
+        double u = rng.UniformDouble();
+        for (int ci = 0; ci < t.num_columns(); ++ci) {
+          const Column& col = t.column(ci);
+          if (!col.is_foreign_key() || !col.IsValue(tid)) continue;
+          const int pi = db.schema().TableIndex(col.ref_table());
+          u = std::max(u, level[static_cast<size_t>(pi)]
+                              [static_cast<size_t>(col.GetInt(tid))]);
+        }
+        lv[static_cast<size_t>(tid)] = u;
       }
-      lv[static_cast<size_t>(tid)] = u;
     });
   }
 
   std::vector<std::unique_ptr<Database>> samples;
+  const Rng unused(0);  // materialization draws nothing
   for (const double cut : fractions) {
     ASPECT_ASSIGN_OR_RETURN(std::unique_ptr<Database> sample,
                             Database::Create(db.schema()));
-    // Id remap per table, filled parents-first.
+    // Id remap per table, filled parents-first. The kept list and the
+    // remap are known before any row is built (kept tuple i gets id i
+    // in an empty destination table), so the rows shard freely.
     std::vector<std::vector<TupleId>> remap(static_cast<size_t>(n));
     for (const int ti : order) {
       const Table& src = db.table(ti);
       Table* dst = sample->FindTable(src.name());
       auto& rm = remap[static_cast<size_t>(ti)];
       rm.assign(static_cast<size_t>(src.NumSlots()), kInvalidTuple);
-      Status failure = Status::OK();
+      std::vector<TupleId> kept;
       src.ForEachLive([&](TupleId tid) {
-        if (!failure.ok()) return;
         if (level[static_cast<size_t>(ti)][static_cast<size_t>(tid)] >=
             cut) {
           return;
         }
-        std::vector<Value> row = src.GetRow(tid);
-        for (int ci = 0; ci < src.num_columns(); ++ci) {
-          const Column& col = src.column(ci);
-          if (!col.is_foreign_key() || row[static_cast<size_t>(ci)].is_null()) {
-            continue;
-          }
-          const int pi = db.schema().TableIndex(col.ref_table());
-          const TupleId mapped =
-              remap[static_cast<size_t>(pi)]
-                   [static_cast<size_t>(row[static_cast<size_t>(ci)].int64())];
-          row[static_cast<size_t>(ci)] = Value(static_cast<int64_t>(mapped));
-        }
-        auto appended = dst->Append(row);
-        if (!appended.ok()) {
-          failure = appended.status();
-          return;
-        }
-        rm[static_cast<size_t>(tid)] = appended.ValueOrDie();
+        rm[static_cast<size_t>(tid)] =
+            static_cast<TupleId>(kept.size());
+        kept.push_back(tid);
       });
-      ASPECT_RETURN_NOT_OK(failure);
+      ASPECT_RETURN_NOT_OK(GenerateRowsSharded(
+          dst, static_cast<int64_t>(kept.size()), unused, pool.get(),
+          [&](int64_t i, Rng* /*rng*/, std::vector<Value>* row_out) {
+            const TupleId tid = kept[static_cast<size_t>(i)];
+            std::vector<Value> row = src.GetRow(tid);
+            for (int ci = 0; ci < src.num_columns(); ++ci) {
+              const Column& col = src.column(ci);
+              if (!col.is_foreign_key() ||
+                  row[static_cast<size_t>(ci)].is_null()) {
+                continue;
+              }
+              const int pi = db.schema().TableIndex(col.ref_table());
+              const TupleId mapped =
+                  remap[static_cast<size_t>(pi)][static_cast<size_t>(
+                      row[static_cast<size_t>(ci)].int64())];
+              row[static_cast<size_t>(ci)] =
+                  Value(static_cast<int64_t>(mapped));
+            }
+            *row_out = std::move(row);
+            return Status::OK();
+          }));
     }
     samples.push_back(std::move(sample));
   }

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/sharding.h"
 #include "relational/database.h"
 
 namespace aspect {
@@ -21,9 +22,11 @@ namespace aspect {
 /// Produces nested samples of `db`, one per entry of `fractions`
 /// (values in (0, 1], need not be sorted; each output i keeps roughly
 /// fractions[i] of each root table). Tuple ids are re-densified, FK
-/// values remapped.
+/// values remapped. Level draws and row materialization shard across
+/// `gen.threads` workers with per-shard RNG streams (DESIGN.md §12);
+/// the produced samples are bitwise identical at every thread count.
 Result<std::vector<std::unique_ptr<Database>>> NestedSamples(
     const Database& db, const std::vector<double>& fractions,
-    uint64_t seed);
+    uint64_t seed, const GenOptions& gen = {});
 
 }  // namespace aspect

@@ -4,6 +4,8 @@
 
 #include "common/rng.h"
 #include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "relational/rowgen.h"
 
 namespace aspect {
 namespace {
@@ -55,25 +57,32 @@ std::vector<int64_t> SnapshotSet::SnapshotSizes(int snapshot) const {
 }
 
 Result<std::unique_ptr<Database>> SnapshotSet::Materialize(
-    int snapshot) const {
+    int snapshot, const GenOptions& gen) const {
   if (snapshot < 1 || snapshot > num_snapshots()) {
     return Status::OutOfRange(StrFormat("snapshot %d", snapshot));
   }
   ASPECT_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
                           Database::Create(schema_));
+  const int threads = ResolveGenThreads(gen.threads);
+  std::unique_ptr<ThreadPool> pool =
+      threads > 1 ? std::make_unique<ThreadPool>(threads) : nullptr;
+  const Rng unused(0);  // copying draws nothing
   for (int ti = 0; ti < full_->num_tables(); ++ti) {
     const Table& src = full_->table(ti);
     Table* dst = db->FindTable(src.name());
     const int64_t limit = TableSize(ti, snapshot);
-    for (TupleId t = 0; t < limit; ++t) {
-      ASPECT_RETURN_NOT_OK(dst->Append(src.GetRow(t)).status());
-    }
+    ASPECT_RETURN_NOT_OK(GenerateRowsSharded(
+        dst, limit, unused, pool.get(),
+        [&src](int64_t t, Rng* /*rng*/, std::vector<Value>* row_out) {
+          *row_out = src.GetRow(t);
+          return Status::OK();
+        }));
   }
   return db;
 }
 
 Result<SnapshotSet> GenerateDataset(const DatasetBlueprint& blueprint,
-                                    uint64_t seed) {
+                                    uint64_t seed, const GenOptions& gen) {
   Schema schema = blueprint.ToSchema();
   ASPECT_RETURN_NOT_OK(schema.Validate());
   // Parents must precede children so FK targets exist while growing.
@@ -90,7 +99,10 @@ Result<SnapshotSet> GenerateDataset(const DatasetBlueprint& blueprint,
 
   ASPECT_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
                           Database::Create(schema));
-  Rng rng(seed);
+  const Rng root(seed);
+  const int threads = ResolveGenThreads(gen.threads);
+  std::unique_ptr<ThreadPool> pool =
+      threads > 1 ? std::make_unique<ThreadPool>(threads) : nullptr;
   const int num_tables = static_cast<int>(blueprint.tables.size());
   std::vector<std::vector<int64_t>> sizes(
       static_cast<size_t>(num_tables),
@@ -104,35 +116,62 @@ Result<SnapshotSet> GenerateDataset(const DatasetBlueprint& blueprint,
     response_author_col[static_cast<size_t>(ti)] = r.author_col;
   }
 
+  // Growth proceeds band by band: band (s, ti) appends table ti's rows
+  // for snapshot s. Tables grow in blueprint order and parents are
+  // declared earlier, so by the time a band runs, every parent table
+  // already holds its full snapshot-s population — the FK domain
+  // (parent tuple count) is a band constant and the band's rows can
+  // shard freely across threads. Each band draws from its own stream
+  // root.Fork((s << 24) | ti); shards fork from that (DESIGN.md §12).
   for (int s = 1; s <= blueprint.num_snapshots; ++s) {
     for (int ti = 0; ti < num_tables; ++ti) {
       const TableBlueprint& tb = blueprint.tables[static_cast<size_t>(ti)];
       Table* table = &db->table(ti);
       const int64_t target = SizeAt(tb, s);
-      while (table->NumTuples() < target) {
-        std::vector<Value> row;
-        row.reserve(tb.parents.size() + tb.attributes.size());
-        for (size_t p = 0; p < tb.parents.size(); ++p) {
-          const int pi = schema.TableIndex(tb.parents[p]);
-          const int64_t count = db->table(pi).NumTuples();
-          row.push_back(Value(static_cast<int64_t>(
-              PickParent(&rng, count, tb.parent_zipf))));
-        }
-        // Occasionally make a response a self-response.
-        if (tb.kind == TableKind::kResponse && user_index >= 0 &&
-            response_author_col[static_cast<size_t>(ti)] >= 0 &&
-            rng.Bernoulli(blueprint.self_response_rate)) {
-          const int pi = schema.TableIndex(tb.parents[0]);
-          const TupleId post = row[0].int64();
-          const Column& author = db->table(pi).column(
-              response_author_col[static_cast<size_t>(ti)]);
-          row[1] = Value(author.GetInt(post));
-        }
-        for (const ColumnSpec& attr : tb.attributes) {
-          row.push_back(AttributeValue(&rng, attr, s));
-        }
-        ASPECT_RETURN_NOT_OK(table->Append(row).status());
+      const int64_t have = table->NumTuples();
+
+      // Per-band constants: parent domains and self-response wiring.
+      const size_t num_parents = tb.parents.size();
+      std::vector<int64_t> parent_count(num_parents, 0);
+      for (size_t p = 0; p < num_parents; ++p) {
+        const int pi = schema.TableIndex(tb.parents[p]);
+        parent_count[p] = db->table(pi).NumTuples();
       }
+      const bool self_response =
+          tb.kind == TableKind::kResponse && user_index >= 0 &&
+          response_author_col[static_cast<size_t>(ti)] >= 0 &&
+          num_parents >= 2;
+      const Column* author_col = nullptr;
+      if (self_response) {
+        const int pi = schema.TableIndex(tb.parents[0]);
+        author_col = &db->table(pi).column(
+            response_author_col[static_cast<size_t>(ti)]);
+      }
+
+      const Rng band_stream = root.Fork(
+          (static_cast<uint64_t>(s) << 24) | static_cast<uint64_t>(ti));
+      ASPECT_RETURN_NOT_OK(GenerateRowsSharded(
+          table, target - have, band_stream, pool.get(),
+          [&](int64_t /*row*/, Rng* rng, std::vector<Value>* row_out) {
+            std::vector<Value>& row = *row_out;
+            for (size_t p = 0; p < num_parents; ++p) {
+              row[p] = Value(static_cast<int64_t>(
+                  PickParent(rng, parent_count[p], tb.parent_zipf)));
+            }
+            // Occasionally make a response a self-response (reads the
+            // post's author from a parent table — complete and
+            // read-only during this band).
+            if (self_response &&
+                rng->Bernoulli(blueprint.self_response_rate)) {
+              const TupleId post = row[0].int64();
+              row[1] = Value(author_col->GetInt(post));
+            }
+            size_t c = num_parents;
+            for (const ColumnSpec& attr : tb.attributes) {
+              row[c++] = AttributeValue(rng, attr, s);
+            }
+            return Status::OK();
+          }));
       sizes[static_cast<size_t>(ti)][static_cast<size_t>(s - 1)] =
           table->NumTuples();
     }

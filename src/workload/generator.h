@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/sharding.h"
 #include "relational/database.h"
 #include "workload/blueprint.h"
 
@@ -42,7 +43,10 @@ class SnapshotSet {
   std::vector<int64_t> SnapshotSizes(int snapshot) const;
 
   /// Materializes snapshot `s` (1-based) as an independent Database.
-  Result<std::unique_ptr<Database>> Materialize(int snapshot) const;
+  /// The row copies shard across `gen.threads` workers (the full
+  /// dataset is read-only here); the result does not depend on it.
+  Result<std::unique_ptr<Database>> Materialize(
+      int snapshot, const GenOptions& gen = {}) const;
 
  private:
   Schema schema_;
@@ -51,8 +55,15 @@ class SnapshotSet {
   std::vector<std::vector<int64_t>> sizes_;
 };
 
-/// Grows `blueprint` deterministically from `seed`.
+/// Grows `blueprint` deterministically from `seed`. Each (snapshot,
+/// table) growth band generates through the sharded columnar pipeline
+/// (relational/rowgen.h, DESIGN.md §12): parent tables finish their
+/// band before children start, so FK domains are per-band constants
+/// and the band's rows shard across `gen.threads` workers with private
+/// RNG streams. The produced dataset is bitwise identical at every
+/// thread count.
 Result<SnapshotSet> GenerateDataset(const DatasetBlueprint& blueprint,
-                                    uint64_t seed);
+                                    uint64_t seed,
+                                    const GenOptions& gen = {});
 
 }  // namespace aspect

@@ -5,10 +5,13 @@
 #include <filesystem>
 #include <set>
 
+#include "common/thread_pool.h"
 #include "relational/csv.h"
 #include "relational/database.h"
+#include "relational/fingerprint.h"
 #include "relational/integrity.h"
 #include "relational/refgraph.h"
+#include "relational/rowgen.h"
 
 namespace aspect {
 namespace {
@@ -161,6 +164,69 @@ TEST(TableTest, AppendIsAtomicOnTypeErrors) {
   EXPECT_EQ(post->NumSlots(), slots);
   EXPECT_EQ(post->column(0).size(), slots);
   EXPECT_EQ(post->column(1).size(), slots);
+}
+
+TEST(RowBlockTest, AppendRowsSplicesWholeBlock) {
+  auto db = MakeDb();
+  Table* post = db->FindTable("Post");
+  const int64_t before = post->NumTuples();
+  RowBlock block(post->spec());
+  block.Reserve(3);
+  for (int64_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        block.PushRow({Value(int64_t{i % 4}), Value(int64_t{7})}).ok());
+  }
+  EXPECT_EQ(block.num_rows(), 3);
+  ASSERT_TRUE(post->AppendRows(std::move(block)).ok());
+  EXPECT_EQ(post->NumTuples(), before + 3);
+  EXPECT_TRUE(post->IsLive(before));
+  EXPECT_EQ(post->column(0).GetInt(before + 2), 2);
+  EXPECT_EQ(post->column(1).GetInt(before), 7);
+}
+
+TEST(RowBlockTest, PushRowIsAtomicOnTypeErrors) {
+  RowBlock block(TestSchema().tables[1]);  // Post(author, kind)
+  ASSERT_TRUE(
+      block.PushRow({Value(int64_t{0}), Value(int64_t{1})}).ok());
+  // Bad type in the second column: the first column must not grow
+  // either, or the block (and later the table) would go ragged.
+  EXPECT_FALSE(
+      block.PushRow({Value(int64_t{0}), Value(std::string("bad"))}).ok());
+  EXPECT_FALSE(block.PushRow({Value(int64_t{0})}).ok());  // arity
+  EXPECT_EQ(block.num_rows(), 1);
+}
+
+TEST(RowBlockTest, AppendRowsChecksColumnCount) {
+  auto db = MakeDb();
+  RowBlock block(TestSchema().tables[0]);  // User(country): 1 column
+  ASSERT_TRUE(block.PushRow({Value(std::string("z"))}).ok());
+  EXPECT_FALSE(db->FindTable("Post")->AppendRows(std::move(block)).ok());
+}
+
+TEST(RowGenTest, ShardedGenerationMatchesInlineBitwise) {
+  // The same generation, once inline (no pool) and once on 4 workers,
+  // must produce byte-identical databases: shard streams depend only
+  // on (parent stream, shard index), never on the worker count.
+  const int64_t kRows = 5000;  // several kGenShardRows-sized shards
+  auto make = [&](ThreadPool* pool) {
+    auto db = MakeDb();
+    const Rng stream(123);
+    GenerateRowsSharded(
+        db->FindTable("Post"), kRows, stream, pool,
+        [](int64_t /*row*/, Rng* rng, std::vector<Value>* out) {
+          (*out)[0] = Value(rng->UniformInt(0, 3));
+          (*out)[1] = Value(rng->UniformInt(0, 9));
+          return Status::OK();
+        })
+        .Check();
+    return db;
+  };
+  auto inline_db = make(nullptr);
+  ThreadPool pool(4);
+  auto pooled_db = make(&pool);
+  EXPECT_EQ(inline_db->FindTable("Post")->NumTuples(), 3 + kRows);
+  EXPECT_EQ(ContentHash(*inline_db), ContentHash(*pooled_db));
+  EXPECT_TRUE(CheckIntegrity(*pooled_db).ok());
 }
 
 TEST(DatabaseTest, FindTable) {
