@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Policy gate: every sanitizer-suppression entry must carry a reason.
+#
+# The ci/*-suppressions.txt files are the one place where the sanitizer
+# jobs can be quietly weakened, so each non-comment entry must be
+# followed (or trailed) by a `# justified:` comment explaining why the
+# suppression is sound and why the underlying report is not a bug in
+# src/. An entry without one fails CI.
+#
+# Usage: ci/check_suppressions.sh [suppressions-file...]
+# With no arguments, checks every ci/*-suppressions.txt.
+set -u
+
+cd "$(dirname "$0")/.."
+
+files=("$@")
+if [ "${#files[@]}" -eq 0 ]; then
+  for f in ci/*-suppressions.txt; do
+    files+=("$f")
+  done
+fi
+
+status=0
+for f in "${files[@]}"; do
+  if [ ! -f "$f" ]; then
+    echo "check_suppressions: no such file: $f" >&2
+    status=1
+    continue
+  fi
+  # An entry is justified if the entry line itself, the line directly
+  # above it, or the line directly below it contains `# justified:`.
+  awk -v file="$f" '
+    { lines[NR] = $0 }
+    END {
+      bad = 0
+      for (i = 1; i <= NR; ++i) {
+        line = lines[i]
+        sub(/^[ \t]+/, "", line)
+        if (line == "" || line ~ /^#/) continue
+        ok = 0
+        if (lines[i] ~ /# justified:/) ok = 1
+        if (i > 1 && lines[i - 1] ~ /^[ \t]*# justified:/) ok = 1
+        if (i < NR && lines[i + 1] ~ /^[ \t]*# justified:/) ok = 1
+        if (!ok) {
+          printf "%s:%d: suppression entry without a \x27# justified:\x27 comment: %s\n", file, i, line
+          bad = 1
+        }
+      }
+      exit bad
+    }
+  ' "$f" || status=1
+done
+
+if [ "$status" -eq 0 ]; then
+  echo "check_suppressions: ${#files[@]} file(s) OK"
+fi
+exit "$status"

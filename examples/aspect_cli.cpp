@@ -134,9 +134,16 @@ Result<Args> ParseArgs(int argc, char** argv) {
     } else if (flag == "--iterations") {
       ASPECT_ASSIGN_OR_RETURN(const std::string v, next());
       args.iterations = std::atoi(v.c_str());
+      if (args.iterations < 1) {
+        return Status::Invalid("--iterations must be >= 1");
+      }
     } else if (flag == "--threads") {
       ASPECT_ASSIGN_OR_RETURN(const std::string v, next());
       args.threads = std::atoi(v.c_str());
+      if (args.threads < 0) {
+        return Status::Invalid(
+            "--threads must be >= 0 (0 = hardware concurrency)");
+      }
     } else if (flag == "--gen-threads") {
       ASPECT_ASSIGN_OR_RETURN(const std::string v, next());
       args.gen_threads = std::atoi(v.c_str());

@@ -460,9 +460,11 @@ Result<RunReport> Coordinator::Run(Database* db,
   };
 
   // One worker pool for the whole run (thread spawns are too expensive
-  // to pay per group); constructed lazily once parallel eligibility is
-  // established, below.
-  std::unique_ptr<ThreadPool> pass_pool;
+  // to pay per group); fetched lazily from the process-wide shared pool
+  // once parallel eligibility is established, below. Stays null when
+  // this Run itself executes on a pool worker (the parallel order
+  // search), in which case groups run serially inline.
+  ThreadPool* pass_pool = nullptr;
 
   // State of one parallel task: the tool runs on its own clone of the
   // main database with a recording listener and a private monitor, so
@@ -707,10 +709,10 @@ Result<RunReport> Coordinator::Run(Database* db,
     };
     int threads = options.pass_threads;
     if (threads <= 0) threads = ThreadPool::HardwareThreads();
-    if (threads > 1 && tasks.size() > 1) {
-      if (pass_pool == nullptr) {
-        pass_pool = std::make_unique<ThreadPool>(threads);
-      }
+    if (threads > 1 && tasks.size() > 1 && pass_pool == nullptr) {
+      pass_pool = ThreadPool::Shared(threads);
+    }
+    if (threads > 1 && tasks.size() > 1 && pass_pool != nullptr) {
       for (GroupTask& task : tasks) {
         pass_pool->Submit([&run_task, &task]() { run_task(task); });
       }
@@ -855,6 +857,7 @@ Result<RunReport> Coordinator::Run(Database* db,
                   range->second, dst.column(a.second).size() - 1);
               if (lo <= hi) {
                 dst.column(a.second)
+                    // aspect-lint: framework-write -- swap-rebase bulk
                     .CopyRowsFrom(src.column(a.second), lo, hi);
               }
             }
@@ -1145,12 +1148,12 @@ Result<std::vector<Coordinator::OrderOutcome>> Coordinator::CompareOrders(
     int threads = options.order_search_threads;
     if (threads <= 0) threads = ThreadPool::HardwareThreads();
     threads = std::min<int>(threads, static_cast<int>(n));
-    if (threads > 1) {
-      ThreadPool pool(threads);
+    ThreadPool* pool = threads > 1 ? ThreadPool::Shared(threads) : nullptr;
+    if (pool != nullptr) {
       for (size_t i = 0; i < n; ++i) {
-        pool.Submit([&run_one, i]() { run_one(i); });
+        pool->Submit([&run_one, i]() { run_one(i); });
       }
-      pool.Wait();
+      pool->Wait();
     } else {
       for (size_t i = 0; i < n; ++i) run_one(i);
     }

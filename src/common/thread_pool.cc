@@ -1,11 +1,19 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <atomic>
 #include <utility>
 
 namespace aspect {
+namespace {
+
+std::atomic<int64_t> g_pools_created{0};
+thread_local bool tls_on_worker = false;
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads) {
+  g_pools_created.fetch_add(1, std::memory_order_relaxed);
   const int n = std::max(1, num_threads);
   workers_.reserve(static_cast<size_t>(n));
   for (int i = 0; i < n; ++i) {
@@ -46,7 +54,33 @@ int ThreadPool::HardwareThreads() {
   return n == 0 ? 1 : static_cast<int>(n);
 }
 
+ThreadPool* ThreadPool::Shared(int num_threads) {
+  if (OnWorkerThread()) return nullptr;
+  const int want = std::max(1, num_threads);
+  // Both the guard and the pool are heap-allocated and reachable only
+  // through function-local statics: never destroyed (see the header's
+  // shutdown-order note), never reported as leaked.
+  static Mutex* mu = new Mutex;
+  static ThreadPool** slot = new ThreadPool*(nullptr);
+  MutexLock lock(*mu);
+  if (*slot == nullptr || (*slot)->num_threads() < want) {
+    // Growing replaces the pool; the old destructor drains and joins.
+    // Phases use the shared pool sequentially, so nothing else can be
+    // holding the old pointer across this call.
+    delete *slot;
+    *slot = new ThreadPool(want);
+  }
+  return *slot;
+}
+
+bool ThreadPool::OnWorkerThread() { return tls_on_worker; }
+
+int64_t ThreadPool::PoolsCreated() {
+  return g_pools_created.load(std::memory_order_relaxed);
+}
+
 void ThreadPool::WorkerLoop() {
+  tls_on_worker = true;
   for (;;) {
     std::function<void()> task;
     {

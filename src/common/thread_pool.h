@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <thread>
@@ -43,6 +44,32 @@ class ThreadPool {
 
   /// std::thread::hardware_concurrency(), clamped to at least 1.
   static int HardwareThreads();
+
+  /// Process-wide shared pool, created lazily on first use and grown
+  /// (drained, joined, and replaced) whenever a caller asks for more
+  /// workers than it has — phases that request fewer simply leave the
+  /// extra workers idle, which cannot change any output (every sharded
+  /// producer is thread-count invariant by construction, DESIGN.md §12).
+  /// The pool is intentionally never destroyed: it is reachable from a
+  /// function-local static, so parked workers can never race static
+  /// destruction at process exit (shutdown-order safe) and leak
+  /// checkers stay quiet. Phases use the pool strictly one after
+  /// another; Wait() waits for every submitted task, so two truly
+  /// concurrent client phases would serialize against each other.
+  ///
+  /// Returns nullptr when called from a worker thread of any pool:
+  /// a nested Submit+Wait on the shared pool would deadlock (the
+  /// waiting task itself counts as in flight), so nested phases must
+  /// run inline — every call site already treats a null pool as "run
+  /// serially".
+  static ThreadPool* Shared(int num_threads);
+
+  /// True when the calling thread is a worker of any ThreadPool.
+  static bool OnWorkerThread();
+
+  /// Total pools this process has constructed — a test hook: two
+  /// consecutive phases that both use Shared() must not move it.
+  static int64_t PoolsCreated();
 
  private:
   void WorkerLoop() ASPECT_EXCLUDES(mu_);

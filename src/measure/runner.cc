@@ -102,6 +102,31 @@ Result<std::vector<std::string>> OrderFromLabel(const std::string& label) {
 }
 
 Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
+  // Reject nonsense thread/batch knobs up front with a field-named
+  // message instead of silently clamping (or crashing) deep inside a
+  // phase; the CLI mirrors these checks at flag-parse time.
+  if (config.gen_threads < 0) {
+    return Status::Invalid(StrFormat(
+        "ExperimentConfig::gen_threads must be >= 0 "
+        "(0 = hardware concurrency), got %d",
+        config.gen_threads));
+  }
+  if (config.pass_threads < 0) {
+    return Status::Invalid(StrFormat(
+        "ExperimentConfig::pass_threads must be >= 0 "
+        "(0 = hardware concurrency), got %d",
+        config.pass_threads));
+  }
+  if (config.batch_size < 1) {
+    return Status::Invalid(
+        StrFormat("ExperimentConfig::batch_size must be >= 1, got %d",
+                  config.batch_size));
+  }
+  if (config.iterations < 1) {
+    return Status::Invalid(
+        StrFormat("ExperimentConfig::iterations must be >= 1, got %d",
+                  config.iterations));
+  }
   ExperimentResult result;
   const GenOptions gen{config.gen_threads};
   IntegrityOptions verify;

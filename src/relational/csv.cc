@@ -177,6 +177,7 @@ Result<std::unique_ptr<Database>> ImportCsv(const Schema& schema,
         row[ci] = Value(static_cast<int64_t>(it->second));
       }
       ASPECT_RETURN_NOT_OK(
+          // aspect-lint: framework-write -- initial load, no lease yet
           db->FindTable(spec.name)->Append(row).status());
     }
   }

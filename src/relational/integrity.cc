@@ -71,14 +71,22 @@ Status CheckIntegrity(const Database& db, const IntegrityOptions& options) {
   // failure the first one in table order, matching the serial path.
   std::vector<Status> statuses(static_cast<size_t>(num_tables),
                                Status::OK());
-  ThreadPool pool(threads);
-  for (int ti = 0; ti < num_tables; ++ti) {
-    pool.Submit([&db, &options, &statuses, ti] {
+  ThreadPool* pool = ThreadPool::Shared(threads);
+  if (pool == nullptr) {
+    // Called from a pool worker (nested phase): run inline.
+    for (int ti = 0; ti < num_tables; ++ti) {
       statuses[static_cast<size_t>(ti)] =
           CheckTable(db, db.table(ti), options);
-    });
+    }
+  } else {
+    for (int ti = 0; ti < num_tables; ++ti) {
+      pool->Submit([&db, &options, &statuses, ti] {
+        statuses[static_cast<size_t>(ti)] =
+            CheckTable(db, db.table(ti), options);
+      });
+    }
+    pool->Wait();
   }
-  pool.Wait();
   for (const Status& s : statuses) ASPECT_RETURN_NOT_OK(s);
   return Status::OK();
 }

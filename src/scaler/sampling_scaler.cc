@@ -41,9 +41,8 @@ Result<std::unique_ptr<Database>> SamplingScaler::Scale(
 
   const Rng root(seed);
   const int pool_threads = ResolveGenThreads(gen.threads);
-  std::unique_ptr<ThreadPool> pool =
-      pool_threads > 1 ? std::make_unique<ThreadPool>(pool_threads)
-                       : nullptr;
+  ThreadPool* pool =
+      pool_threads > 1 ? ThreadPool::Shared(pool_threads) : nullptr;
   ASPECT_ASSIGN_OR_RETURN(std::unique_ptr<Database> out,
                           Database::Create(source.schema()));
   std::vector<std::vector<TupleId>> remap(static_cast<size_t>(n));
@@ -103,7 +102,7 @@ Result<std::unique_ptr<Database>> SamplingScaler::Scale(
     };
     ASPECT_RETURN_NOT_OK(GenerateRowsSharded(
         dst, static_cast<int64_t>(candidates.size()), table_stream,
-        pool.get(),
+        pool,
         [&](int64_t i, Rng* /*rng*/, std::vector<Value>* row_out) {
           build_from(candidates[static_cast<size_t>(i)], row_out);
           return Status::OK();
@@ -118,6 +117,7 @@ Result<std::unique_ptr<Database>> SamplingScaler::Scale(
             aux.UniformInt(0, static_cast<int64_t>(candidates.size()) - 1))];
         std::vector<Value> row;
         build_from(tmpl, &row);
+        // aspect-lint: framework-write -- scaler builds a fresh database
         ASPECT_RETURN_NOT_OK(dst->Append(row).status());
         continue;
       }
@@ -132,6 +132,7 @@ Result<std::unique_ptr<Database>> SamplingScaler::Scale(
           row.push_back(col.Get(src.LiveTuples().front()));
         }
       }
+      // aspect-lint: framework-write -- scaler builds a fresh database
       ASPECT_RETURN_NOT_OK(dst->Append(row).status());
     }
   }

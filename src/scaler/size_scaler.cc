@@ -57,10 +57,10 @@ Status CheckTargets(const Database& source,
 
 /// Shard pool for one Scale call: null (inline execution) unless more
 /// than one worker was requested.
-std::unique_ptr<ThreadPool> MakeGenPool(const GenOptions& gen) {
+ThreadPool* MakeGenPool(const GenOptions& gen) {
   const int threads = ResolveGenThreads(gen.threads);
   if (threads <= 1) return nullptr;
-  return std::make_unique<ThreadPool>(threads);
+  return ThreadPool::Shared(threads);
 }
 
 }  // namespace
@@ -72,7 +72,7 @@ Result<std::unique_ptr<Database>> RandScaler::Scale(
   ASPECT_ASSIGN_OR_RETURN(std::vector<int> order, TopoOrder(source));
   ASPECT_ASSIGN_OR_RETURN(std::unique_ptr<Database> out,
                           Database::Create(source.schema()));
-  std::unique_ptr<ThreadPool> pool = MakeGenPool(gen);
+  ThreadPool* pool = MakeGenPool(gen);
   const Rng root(seed);
   for (const int ti : order) {
     const Table& src = source.table(ti);
@@ -96,7 +96,7 @@ Result<std::unique_ptr<Database>> RandScaler::Scale(
     const Rng table_stream = root.Fork(static_cast<uint64_t>(ti));
     ASPECT_RETURN_NOT_OK(GenerateRowsSharded(
         dst, target_sizes[static_cast<size_t>(ti)], table_stream,
-        pool.get(),
+        pool,
         [&](int64_t /*row*/, Rng* rng, std::vector<Value>* row_out) {
           for (int ci = 0; ci < src.num_columns(); ++ci) {
             const Column& col = src.column(ci);
@@ -143,7 +143,7 @@ Result<std::unique_ptr<Database>> RexScaler::Scale(
   const int64_t s = Factor(source, target_sizes);
   ASPECT_ASSIGN_OR_RETURN(std::unique_ptr<Database> out,
                           Database::Create(source.schema()));
-  std::unique_ptr<ThreadPool> pool = MakeGenPool(gen);
+  ThreadPool* pool = MakeGenPool(gen);
   // Position of each live source tuple within its table (for key
   // remapping: replica r of source index i gets id i*s + r).
   std::vector<std::vector<int64_t>> index_of(
@@ -167,7 +167,7 @@ Result<std::unique_ptr<Database>> RexScaler::Scale(
     // so replica r of source index i keeps the predictable id i*s + r.
     ASPECT_RETURN_NOT_OK(GenerateRowsSharded(
         dst, static_cast<int64_t>(live.size()) * s, root.Fork(0),
-        pool.get(),
+        pool,
         [&](int64_t j, Rng* /*rng*/, std::vector<Value>* row_out) {
           const TupleId t = live[static_cast<size_t>(j / s)];
           const int64_t r = j % s;
@@ -199,7 +199,7 @@ Result<std::unique_ptr<Database>> DscalerScaler::Scale(
   ASPECT_ASSIGN_OR_RETURN(std::vector<int> order, TopoOrder(source));
   ASPECT_ASSIGN_OR_RETURN(std::unique_ptr<Database> out,
                           Database::Create(source.schema()));
-  std::unique_ptr<ThreadPool> pool = MakeGenPool(gen);
+  ThreadPool* pool = MakeGenPool(gen);
   const Rng root(seed);
   for (const int ti : order) {
     const Table& src = source.table(ti);
@@ -224,7 +224,7 @@ Result<std::unique_ptr<Database>> DscalerScaler::Scale(
     }
     const Rng table_stream = root.Fork(static_cast<uint64_t>(ti));
     ASPECT_RETURN_NOT_OK(GenerateRowsSharded(
-        dst, n_dst, table_stream, pool.get(),
+        dst, n_dst, table_stream, pool,
         [&](int64_t j, Rng* rng, std::vector<Value>* row_out) {
           // Template tuple: cycle through the source so every source
           // tuple contributes (this is the per-tuple correlation

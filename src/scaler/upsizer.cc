@@ -73,9 +73,8 @@ Result<std::unique_ptr<Database>> UpSizerScaler::Scale(
 
   const Rng root(seed);
   const int pool_threads = ResolveGenThreads(gen.threads);
-  std::unique_ptr<ThreadPool> pool =
-      pool_threads > 1 ? std::make_unique<ThreadPool>(pool_threads)
-                       : nullptr;
+  ThreadPool* pool =
+      pool_threads > 1 ? ThreadPool::Shared(pool_threads) : nullptr;
   ASPECT_ASSIGN_OR_RETURN(std::unique_ptr<Database> out,
                           Database::Create(source.schema()));
   for (const int ti : order) {
@@ -150,7 +149,7 @@ Result<std::unique_ptr<Database>> UpSizerScaler::Scale(
 
     const int64_t n_live = static_cast<int64_t>(live.size());
     ASPECT_RETURN_NOT_OK(GenerateRowsSharded(
-        dst, want, table_stream, pool.get(),
+        dst, want, table_stream, pool,
         [&](int64_t j, Rng* rng, std::vector<Value>* row_out) {
           // Template child for attributes and secondary FKs.
           const TupleId tmpl =

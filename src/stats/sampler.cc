@@ -46,8 +46,8 @@ Result<std::vector<std::unique_ptr<Database>>> NestedSamples(
   }
 
   const int threads = ResolveGenThreads(gen.threads);
-  std::unique_ptr<ThreadPool> pool =
-      threads > 1 ? std::make_unique<ThreadPool>(threads) : nullptr;
+  ThreadPool* pool =
+      threads > 1 ? ThreadPool::Shared(threads) : nullptr;
   const Rng root(seed);
 
   // Per-table per-tuple level (keyed by slot id; dead slots unused).
@@ -62,7 +62,7 @@ Result<std::vector<std::unique_ptr<Database>>> NestedSamples(
     lv.assign(static_cast<size_t>(t.NumSlots()), 2.0);  // 2.0 = excluded
     const Rng table_stream = root.Fork(static_cast<uint64_t>(ti));
     const std::vector<RowShard> shards = PartitionRows(t.NumSlots());
-    RunShards(shards, pool.get(), [&](const RowShard& shard) {
+    RunShards(shards, pool, [&](const RowShard& shard) {
       Rng rng = table_stream.Fork(shard.index);
       for (int64_t tid = shard.begin; tid < shard.end; ++tid) {
         if (!t.IsLive(tid)) continue;
@@ -104,7 +104,7 @@ Result<std::vector<std::unique_ptr<Database>>> NestedSamples(
         kept.push_back(tid);
       });
       ASPECT_RETURN_NOT_OK(GenerateRowsSharded(
-          dst, static_cast<int64_t>(kept.size()), unused, pool.get(),
+          dst, static_cast<int64_t>(kept.size()), unused, pool,
           [&](int64_t i, Rng* /*rng*/, std::vector<Value>* row_out) {
             const TupleId tid = kept[static_cast<size_t>(i)];
             std::vector<Value> row = src.GetRow(tid);

@@ -66,6 +66,7 @@ Result<std::vector<std::unique_ptr<Database>>> ChronologicalSnapshots(
           if (mapped == kInvalidTuple) return;  // parent not in snapshot
           row[static_cast<size_t>(ci)] = Value(static_cast<int64_t>(mapped));
         }
+        // aspect-lint: framework-write -- snapshot copy into a fresh table
         auto appended = dst->Append(row);
         if (!appended.ok()) {
           failure = appended.status();

@@ -64,15 +64,15 @@ Result<std::unique_ptr<Database>> SnapshotSet::Materialize(
   ASPECT_ASSIGN_OR_RETURN(std::unique_ptr<Database> db,
                           Database::Create(schema_));
   const int threads = ResolveGenThreads(gen.threads);
-  std::unique_ptr<ThreadPool> pool =
-      threads > 1 ? std::make_unique<ThreadPool>(threads) : nullptr;
+  ThreadPool* pool =
+      threads > 1 ? ThreadPool::Shared(threads) : nullptr;
   const Rng unused(0);  // copying draws nothing
   for (int ti = 0; ti < full_->num_tables(); ++ti) {
     const Table& src = full_->table(ti);
     Table* dst = db->FindTable(src.name());
     const int64_t limit = TableSize(ti, snapshot);
     ASPECT_RETURN_NOT_OK(GenerateRowsSharded(
-        dst, limit, unused, pool.get(),
+        dst, limit, unused, pool,
         [&src](int64_t t, Rng* /*rng*/, std::vector<Value>* row_out) {
           *row_out = src.GetRow(t);
           return Status::OK();
@@ -101,8 +101,8 @@ Result<SnapshotSet> GenerateDataset(const DatasetBlueprint& blueprint,
                           Database::Create(schema));
   const Rng root(seed);
   const int threads = ResolveGenThreads(gen.threads);
-  std::unique_ptr<ThreadPool> pool =
-      threads > 1 ? std::make_unique<ThreadPool>(threads) : nullptr;
+  ThreadPool* pool =
+      threads > 1 ? ThreadPool::Shared(threads) : nullptr;
   const int num_tables = static_cast<int>(blueprint.tables.size());
   std::vector<std::vector<int64_t>> sizes(
       static_cast<size_t>(num_tables),
@@ -151,7 +151,7 @@ Result<SnapshotSet> GenerateDataset(const DatasetBlueprint& blueprint,
       const Rng band_stream = root.Fork(
           (static_cast<uint64_t>(s) << 24) | static_cast<uint64_t>(ti));
       ASPECT_RETURN_NOT_OK(GenerateRowsSharded(
-          table, target - have, band_stream, pool.get(),
+          table, target - have, band_stream, pool,
           [&](int64_t /*row*/, Rng* rng, std::vector<Value>* row_out) {
             std::vector<Value>& row = *row_out;
             for (size_t p = 0; p < num_parents; ++p) {

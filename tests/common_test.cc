@@ -7,10 +7,16 @@
 #include <numeric>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
 
 #include "common/logging.h"
 #include "common/result.h"
 #include "common/rng.h"
+#include "common/sharding.h"
 #include "common/status.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
@@ -309,6 +315,122 @@ TEST(ThreadPoolTest, ClampsToAtLeastOneWorker) {
   pool.Wait();
   EXPECT_EQ(counter.load(), 1);
   EXPECT_GE(ThreadPool::HardwareThreads(), 1);
+}
+
+TEST(SharedPoolTest, ConsecutivePhasesReuseTheSameWorkers) {
+  ThreadPool* pool = ThreadPool::Shared(2);
+  ASSERT_NE(pool, nullptr);
+  EXPECT_GE(pool->num_threads(), 2);
+  const int64_t created = ThreadPool::PoolsCreated();
+
+  // Two consecutive "phases": each submits one barrier task per
+  // worker, so every worker of the phase's pool must show up. Both
+  // phases must observe the identical worker set, with no new pool
+  // constructed in between.
+  const auto collect_workers = [](ThreadPool* p) {
+    const int n = p->num_threads();
+    std::set<std::thread::id> ids;
+    std::mutex mu;
+    std::condition_variable cv;
+    int arrived = 0;
+    for (int i = 0; i < n; ++i) {
+      p->Submit([&] {
+        std::unique_lock<std::mutex> lock(mu);
+        ids.insert(std::this_thread::get_id());
+        if (++arrived == n) {
+          cv.notify_all();
+        } else {
+          cv.wait(lock, [&] { return arrived == n; });
+        }
+      });
+    }
+    p->Wait();
+    return ids;
+  };
+  const std::set<std::thread::id> phase1 =
+      collect_workers(ThreadPool::Shared(2));
+  const std::set<std::thread::id> phase2 =
+      collect_workers(ThreadPool::Shared(2));
+  EXPECT_EQ(ThreadPool::Shared(2), pool);
+  EXPECT_EQ(ThreadPool::PoolsCreated(), created);
+  EXPECT_EQ(phase1.size(), static_cast<size_t>(pool->num_threads()));
+  EXPECT_EQ(phase1, phase2);
+}
+
+TEST(SharedPoolTest, GrowsButNeverShrinks) {
+  ThreadPool* big = ThreadPool::Shared(3);
+  ASSERT_NE(big, nullptr);
+  EXPECT_GE(big->num_threads(), 3);
+  // A smaller request reuses the bigger pool instead of replacing it.
+  const int64_t created = ThreadPool::PoolsCreated();
+  EXPECT_EQ(ThreadPool::Shared(2), big);
+  EXPECT_EQ(ThreadPool::PoolsCreated(), created);
+}
+
+TEST(SharedPoolTest, NullFromWorkerThreadsSoNestedPhasesRunInline) {
+  EXPECT_FALSE(ThreadPool::OnWorkerThread());
+  ThreadPool* pool = ThreadPool::Shared(2);
+  ASSERT_NE(pool, nullptr);
+  std::atomic<bool> nested_null{false}, on_worker{false};
+  pool->Submit([&] {
+    on_worker = ThreadPool::OnWorkerThread();
+    nested_null = ThreadPool::Shared(2) == nullptr;
+  });
+  pool->Wait();
+  EXPECT_TRUE(on_worker.load());
+  EXPECT_TRUE(nested_null.load());
+}
+
+namespace {
+
+/// Asserts `shards` exactly tiles [0, rows) in order with dense
+/// indices (no overlap, no gap).
+void ExpectCovers(const std::vector<RowShard>& shards, int64_t rows) {
+  int64_t next = 0;
+  for (size_t i = 0; i < shards.size(); ++i) {
+    EXPECT_EQ(shards[i].begin, next);
+    EXPECT_LT(shards[i].begin, shards[i].end);
+    EXPECT_EQ(shards[i].index, static_cast<uint64_t>(i));
+    next = shards[i].end;
+  }
+  EXPECT_EQ(next, rows);
+}
+
+}  // namespace
+
+TEST(ShardingTest, PartitionRowsZeroOrNegativeRowsIsEmpty) {
+  EXPECT_TRUE(PartitionRows(0).empty());
+  EXPECT_TRUE(PartitionRows(-7).empty());
+}
+
+TEST(ShardingTest, PartitionRowsBelowGrainIsOneShard) {
+  const std::vector<RowShard> shards = PartitionRows(kGenShardRows - 1);
+  ASSERT_EQ(shards.size(), 1u);
+  ExpectCovers(shards, kGenShardRows - 1);
+  EXPECT_EQ(shards[0].end - shards[0].begin, kGenShardRows - 1);
+}
+
+TEST(ShardingTest, PartitionRowsExactGrainMultiple) {
+  const std::vector<RowShard> shards = PartitionRows(3 * kGenShardRows);
+  ASSERT_EQ(shards.size(), 3u);
+  ExpectCovers(shards, 3 * kGenShardRows);
+  for (const RowShard& s : shards) {
+    EXPECT_EQ(s.end - s.begin, kGenShardRows);
+  }
+}
+
+TEST(ShardingTest, PartitionRowsGrainPlusOneSpillsOneRow) {
+  const std::vector<RowShard> shards = PartitionRows(kGenShardRows + 1);
+  ASSERT_EQ(shards.size(), 2u);
+  ExpectCovers(shards, kGenShardRows + 1);
+  EXPECT_EQ(shards[0].end - shards[0].begin, kGenShardRows);
+  EXPECT_EQ(shards[1].end - shards[1].begin, 1);
+}
+
+TEST(ShardingTest, PartitionRowsCustomGrainClampedToOne) {
+  const std::vector<RowShard> shards = PartitionRows(4, 0);
+  ASSERT_EQ(shards.size(), 4u);
+  ExpectCovers(shards, 4);
 }
 
 TEST(StringTest, JoinAndSplitRoundTrip) {

@@ -72,6 +72,42 @@ TEST(RunnerTest, UnknownToolRejected) {
   EXPECT_FALSE(RunExperiment(config).ok());
 }
 
+TEST(RunnerTest, NegativeGenThreadsRejected) {
+  ExperimentConfig config;
+  config.blueprint = DoubanMusicLike(0.2);
+  config.gen_threads = -1;
+  const Result<ExperimentResult> r = RunExperiment(config);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("gen_threads"), std::string::npos);
+}
+
+TEST(RunnerTest, NegativePassThreadsRejected) {
+  ExperimentConfig config;
+  config.blueprint = DoubanMusicLike(0.2);
+  config.pass_threads = -2;
+  const Result<ExperimentResult> r = RunExperiment(config);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("pass_threads"), std::string::npos);
+}
+
+TEST(RunnerTest, ZeroBatchSizeRejected) {
+  ExperimentConfig config;
+  config.blueprint = DoubanMusicLike(0.2);
+  config.batch_size = 0;
+  const Result<ExperimentResult> r = RunExperiment(config);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("batch_size"), std::string::npos);
+}
+
+TEST(RunnerTest, ZeroIterationsRejected) {
+  ExperimentConfig config;
+  config.blueprint = DoubanMusicLike(0.2);
+  config.iterations = 0;
+  const Result<ExperimentResult> r = RunExperiment(config);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("iterations"), std::string::npos);
+}
+
 TEST(RunnerTest, DeterministicInSeed) {
   ExperimentConfig config;
   config.blueprint = DoubanMusicLike(0.25);

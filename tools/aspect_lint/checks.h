@@ -1,0 +1,49 @@
+// aspect_lint check families. Catalog and rationale: DESIGN.md §13.
+#ifndef ASPECT_LINT_CHECKS_H_
+#define ASPECT_LINT_CHECKS_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "source_model.h"
+
+namespace aspect_lint {
+
+struct Diagnostic {
+  std::string file;
+  int line;
+  std::string check;
+  std::string message;
+};
+
+// One entry of the probe allowlist: a qualified public member of
+// Column/Table that is allowed to touch row/cell storage without a
+// probe sink (capacity-only or metadata-only accessors).
+struct AllowlistEntry {
+  std::string name;  // e.g. "Column::Reserve"
+  int line;
+};
+
+struct Allowlist {
+  std::string path;
+  std::vector<AllowlistEntry> entries;
+  // `# aspect-lint-expect: <check>` lines, for fixture allowlists.
+  std::vector<std::pair<int, std::string>> expects;
+};
+
+// Allowlist format: one qualified name per line; `#` starts a comment.
+Allowlist ParseAllowlist(const std::string& path, const std::string& content);
+
+// Runs every check family over the whole project (cross-file: a member
+// declared in a header may be defined in a .cc). Diagnostics already
+// suppressed by `aspect-lint:` markers are not returned.
+std::vector<Diagnostic> RunChecks(const std::vector<SourceModel>& project,
+                                  const Allowlist* allowlist);
+
+// All check names, for --help and directive validation.
+const std::set<std::string>& KnownChecks();
+
+}  // namespace aspect_lint
+
+#endif  // ASPECT_LINT_CHECKS_H_

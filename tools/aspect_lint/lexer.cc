@@ -1,0 +1,177 @@
+#include "lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace aspect_lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Splits "a, b , c" into trimmed names.
+std::vector<std::string> SplitNames(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(cur);
+      cur.clear();
+    } else if (!std::isspace(static_cast<unsigned char>(c))) {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+// Parses lint directives out of one comment's text.
+void ParseDirectives(const std::string& comment, int line, Directives* dirs) {
+  static const std::string kAllowKey = "aspect-lint:";
+  static const std::string kExpectKey = "aspect-lint-expect:";
+  size_t pos = comment.find(kExpectKey);
+  if (pos != std::string::npos) {
+    for (const std::string& name :
+         SplitNames(comment.substr(pos + kExpectKey.size()))) {
+      dirs->expects.emplace_back(line, name);
+    }
+    return;
+  }
+  pos = comment.find(kAllowKey);
+  if (pos == std::string::npos) return;
+  std::string rest = comment.substr(pos + kAllowKey.size());
+  // Trim and normalize: either `framework-write` or `allow(a, b)`.
+  size_t b = rest.find_first_not_of(" \t");
+  if (b == std::string::npos) return;
+  size_t e = rest.find_last_not_of(" \t\r");
+  rest = rest.substr(b, e - b + 1);
+  // `framework-write` may carry a trailing justification — that is
+  // the expected idiom ("framework-write -- why this bypass is safe").
+  static const std::string kFw = "framework-write";
+  if (rest.rfind(kFw, 0) == 0 &&
+      (rest.size() == kFw.size() || rest[kFw.size()] == ' ' ||
+       rest[kFw.size()] == '\t' || rest[kFw.size()] == '-')) {
+    dirs->allows[line].insert("lease-unmanaged-write");
+    return;
+  }
+  if (rest.rfind("allow(", 0) == 0 && rest.back() == ')') {
+    for (const std::string& name :
+         SplitNames(rest.substr(6, rest.size() - 7))) {
+      dirs->allows[line].insert(name);
+    }
+  }
+}
+
+}  // namespace
+
+LexedFile Lex(const std::string& path, const std::string& content) {
+  LexedFile out;
+  out.path = path;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = content.size();
+  while (i < n) {
+    const char c = content[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Preprocessor line (with continuations); the checks are
+    // macro-blind by design, so the whole line is dropped.
+    if (c == '#' &&
+        (out.tokens.empty() || out.tokens.back().line != line)) {
+      while (i < n && content[i] != '\n') {
+        if (content[i] == '\\' && i + 1 < n && content[i + 1] == '\n') {
+          ++line;
+          i += 2;
+          continue;
+        }
+        ++i;
+      }
+      continue;
+    }
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      const size_t start = i + 2;
+      while (i < n && content[i] != '\n') ++i;
+      ParseDirectives(content.substr(start, i - start), line, &out.directives);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      const int start_line = line;
+      const size_t start = i + 2;
+      i += 2;
+      while (i + 1 < n && !(content[i] == '*' && content[i + 1] == '/')) {
+        if (content[i] == '\n') ++line;
+        ++i;
+      }
+      ParseDirectives(content.substr(start, i - start), start_line,
+                      &out.directives);
+      i = (i + 1 < n) ? i + 2 : n;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      // Raw strings would need delimiter tracking; the codebase does
+      // not use them, so a plain escape-aware scan is enough.
+      std::string text;
+      ++i;
+      while (i < n && content[i] != quote) {
+        if (content[i] == '\\' && i + 1 < n) {
+          text.push_back(content[i + 1]);
+          i += 2;
+          continue;
+        }
+        if (content[i] == '\n') ++line;
+        text.push_back(content[i]);
+        ++i;
+      }
+      ++i;  // closing quote
+      out.tokens.push_back({Token::Kind::kString, text, line});
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      const size_t start = i;
+      while (i < n && IsIdentChar(content[i])) ++i;
+      out.tokens.push_back(
+          {Token::Kind::kIdent, content.substr(start, i - start), line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      const size_t start = i;
+      while (i < n && (IsIdentChar(content[i]) || content[i] == '.' ||
+                       ((content[i] == '+' || content[i] == '-') &&
+                        (content[i - 1] == 'e' || content[i - 1] == 'E')))) {
+        ++i;
+      }
+      out.tokens.push_back(
+          {Token::Kind::kNumber, content.substr(start, i - start), line});
+      continue;
+    }
+    // Punctuation. `::` `->` `.*` `->*` become single tokens so the
+    // checks can test "is this a member access" in one comparison.
+    size_t len = 1;
+    if (c == ':' && i + 1 < n && content[i + 1] == ':') {
+      len = 2;
+    } else if (c == '-' && i + 1 < n && content[i + 1] == '>') {
+      len = (i + 2 < n && content[i + 2] == '*') ? 3 : 2;
+    } else if (c == '.' && i + 1 < n && content[i + 1] == '*') {
+      len = 2;
+    }
+    out.tokens.push_back(
+        {Token::Kind::kPunct, content.substr(i, len), line});
+    i += len;
+  }
+  return out;
+}
+
+}  // namespace aspect_lint

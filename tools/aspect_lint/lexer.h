@@ -1,0 +1,58 @@
+// aspect_lint: a tiny C++ token stream with lint-directive capture.
+//
+// The linter does not need a full C++ frontend: every contract it
+// enforces (see DESIGN.md §13) is phrased over identifiers, bracket
+// structure, and comments. The lexer produces exactly that — a token
+// vector with line numbers, plus the `aspect-lint` directives found in
+// comments. Preprocessor lines and comments are consumed here so the
+// structural passes never see them.
+#ifndef ASPECT_LINT_LEXER_H_
+#define ASPECT_LINT_LEXER_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace aspect_lint {
+
+struct Token {
+  enum class Kind {
+    kIdent,   // identifiers and keywords
+    kNumber,  // numeric literals (value irrelevant to the checks)
+    kString,  // string/char literals, quotes stripped
+    kPunct,   // operators; `::` `->` `.*` `->*` are single tokens
+  };
+  Kind kind;
+  std::string text;
+  int line;
+
+  bool IsIdent(const char* s) const {
+    return kind == Kind::kIdent && text == s;
+  }
+};
+
+// Directives collected from comments, keyed by source line:
+//   // aspect-lint: framework-write
+//   // aspect-lint: allow(check-name[, check-name...])
+//   // aspect-lint-expect: check-name[, check-name...]
+// `framework-write` is shorthand for allow(lease-unmanaged-write).
+// An allow on line L suppresses diagnostics on L and L+1, so a marker
+// may sit on its own line directly above the flagged statement.
+struct Directives {
+  std::map<int, std::set<std::string>> allows;
+  // (line, check) pairs a fixture expects the linter to produce.
+  std::vector<std::pair<int, std::string>> expects;
+};
+
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  Directives directives;
+};
+
+LexedFile Lex(const std::string& path, const std::string& content);
+
+}  // namespace aspect_lint
+
+#endif  // ASPECT_LINT_LEXER_H_

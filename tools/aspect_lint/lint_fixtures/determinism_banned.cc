@@ -1,0 +1,29 @@
+// Fixture: banned nondeterminism sources inside a GenOptions function.
+// Every line below marked with aspect-lint-expect must produce exactly
+// that diagnostic; DrawFine must stay clean (no GenOptions parameter,
+// so it is not a deterministic context).
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+struct GenOptions {
+  int threads = 1;
+};
+
+int DrawBad(const GenOptions& gen) {
+  int x = std::rand();  // aspect-lint-expect: determinism-banned-call
+  x += static_cast<int>(time(nullptr));  // aspect-lint-expect: determinism-banned-call
+  std::random_device rd;  // aspect-lint-expect: determinism-banned-call
+  auto now = std::chrono::system_clock::now();  // aspect-lint-expect: determinism-banned-call
+  (void)gen;
+  (void)rd;
+  (void)now;
+  return x;
+}
+
+int DrawFine(int threads) {
+  // Outside a deterministic context the same calls are legal (e.g.
+  // benchmark drivers timing themselves).
+  return threads + static_cast<int>(std::rand());
+}

@@ -1,0 +1,26 @@
+// Fixture: hardware concurrency shaping partition boundaries. Thread
+// count may size a pool, but the shard grain is a fixed constant
+// (kGenShardRows) precisely so output never depends on machine width.
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+struct RowShard {
+  int64_t begin = 0;
+  int64_t end = 0;
+  uint64_t index = 0;
+};
+
+std::vector<RowShard> PartitionRows(int64_t rows, int64_t grain);
+
+std::vector<RowShard> BadPartition(int64_t rows) {
+  const int64_t grain =
+      rows / std::thread::hardware_concurrency();  // aspect-lint-expect: determinism-hwconc-partition
+  return PartitionRows(rows, grain);
+}
+
+unsigned FinePoolSizing() {
+  // Sizing a worker pool from machine width is fine — it only changes
+  // who does the work, never what is produced.
+  return std::thread::hardware_concurrency();
+}

@@ -1,0 +1,35 @@
+// Fixture: parent Rng streams leaking into shard callbacks. A shard
+// callback may name a parent stream only to Fork it; any draw from the
+// parent would make output depend on shard execution order.
+#include <cstdint>
+#include <vector>
+
+struct Rng {
+  explicit Rng(uint64_t seed);
+  Rng Fork(uint64_t label) const;
+  double UniformDouble();
+};
+
+struct RowShard {
+  int64_t begin = 0;
+  int64_t end = 0;
+  uint64_t index = 0;
+};
+
+class ThreadPool;
+void RunShards(const std::vector<RowShard>& shards, ThreadPool* pool,
+               void (*fn)(const RowShard&));
+
+void Generate(const std::vector<RowShard>& shards, ThreadPool* pool,
+              const Rng& parent) {
+  Rng scratch = parent.Fork(7);
+  RunShards(shards, pool, [&](const RowShard& shard) {
+    Rng rng = parent.Fork(shard.index);  // ok: forked at the boundary
+    double a = rng.UniformDouble();
+    double b = scratch.UniformDouble();  // aspect-lint-expect: determinism-unforked-rng
+    double c = parent.UniformDouble();  // aspect-lint-expect: determinism-unforked-rng
+    (void)a;
+    (void)b;
+    (void)c;
+  });
+}

@@ -1,0 +1,37 @@
+// Fixture: semantic Table mutations outside the lease-holding
+// Database internals. Apply-family members may mutate; everyone else
+// either routes through Database or carries an explicit
+// `aspect-lint: framework-write` marker with a justification.
+#include <cstdint>
+
+struct Value {};
+
+class Table {
+ public:
+  int64_t Append(const Value* row, int n);
+  void Delete(int64_t tuple);
+};
+
+class Database {
+ public:
+  int64_t ApplyOne(Table* table, const Value* row, int n);
+};
+
+int64_t Database::ApplyOne(Table* table, const Value* row, int n) {
+  return table->Append(row, n);  // clean: lease-holding internals
+}
+
+int64_t GrowDirectly(Table* table, const Value* row, int n) {
+  return table->Append(row, n);  // aspect-lint-expect: lease-unmanaged-write
+}
+
+void ShrinkDirectly(Table* table, int64_t tuple) {
+  table->Delete(tuple);  // aspect-lint-expect: lease-unmanaged-write
+}
+
+int64_t SeedTable(Table* table, const Value* row, int n) {
+  // A marker suppresses on its own line and the next one, so it may
+  // sit directly above the call with a justification attached.
+  // aspect-lint: framework-write -- construction-time load, no lease yet
+  return table->Append(row, n);
+}

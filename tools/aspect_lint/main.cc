@@ -1,0 +1,180 @@
+// aspect_lint driver.
+//
+// Usage:
+//   aspect_lint [--allowlist FILE] [--verify] FILE...
+//
+// Default mode prints diagnostics and exits 1 if any fired (0 when
+// clean) — the CI contract. --verify compares produced diagnostics
+// against `aspect-lint-expect:` annotations in the inputs and exits 2
+// on any mismatch in either direction — the fixture contract, so a
+// check that silently stops firing fails the build just as loudly as
+// a false positive.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "checks.h"
+#include "lexer.h"
+#include "source_model.h"
+
+namespace aspect_lint {
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: aspect_lint [--allowlist FILE] [--verify] FILE...\n"
+               "checks:\n");
+  for (const std::string& c : KnownChecks()) {
+    std::fprintf(stderr, "  %s\n", c.c_str());
+  }
+  return 64;
+}
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+struct Expected {
+  std::string file;
+  int line;
+  std::string check;
+
+  bool operator<(const Expected& o) const {
+    if (file != o.file) return file < o.file;
+    if (line != o.line) return line < o.line;
+    return check < o.check;
+  }
+  bool operator==(const Expected& o) const {
+    return file == o.file && line == o.line && check == o.check;
+  }
+};
+
+int Run(int argc, char** argv) {
+  bool verify = false;
+  std::string allowlist_path;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--verify") {
+      verify = true;
+    } else if (arg == "--allowlist") {
+      if (i + 1 >= argc) return Usage();
+      allowlist_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "aspect_lint: unknown flag '%s'\n", arg.c_str());
+      return Usage();
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) return Usage();
+
+  Allowlist allowlist;
+  const bool have_allowlist = !allowlist_path.empty();
+  if (have_allowlist) {
+    std::string content;
+    if (!ReadFile(allowlist_path, &content)) {
+      std::fprintf(stderr, "aspect_lint: cannot read allowlist '%s'\n",
+                   allowlist_path.c_str());
+      return 66;
+    }
+    allowlist = ParseAllowlist(allowlist_path, content);
+  }
+
+  std::vector<SourceModel> project;
+  project.reserve(files.size());
+  for (const std::string& path : files) {
+    std::string content;
+    if (!ReadFile(path, &content)) {
+      std::fprintf(stderr, "aspect_lint: cannot read '%s'\n", path.c_str());
+      return 66;
+    }
+    project.emplace_back(Lex(path, content));
+  }
+
+  const std::vector<Diagnostic> diags =
+      RunChecks(project, have_allowlist ? &allowlist : nullptr);
+
+  if (!verify) {
+    for (const Diagnostic& d : diags) {
+      std::fprintf(stderr, "%s:%d: error: [%s] %s\n", d.file.c_str(), d.line,
+                   d.check.c_str(), d.message.c_str());
+    }
+    if (!diags.empty()) {
+      std::fprintf(stderr, "aspect_lint: %zu diagnostic(s) in %zu file(s)\n",
+                   diags.size(), files.size());
+      return 1;
+    }
+    std::fprintf(stderr, "aspect_lint: %zu file(s) clean\n", files.size());
+    return 0;
+  }
+
+  // --verify: expected-vs-actual, both directions.
+  std::vector<Expected> expected;
+  for (const SourceModel& model : project) {
+    for (const auto& [line, check] : model.file().directives.expects) {
+      if (KnownChecks().count(check) == 0) {
+        std::fprintf(stderr, "%s:%d: error: unknown check '%s' in expect\n",
+                     model.file().path.c_str(), line, check.c_str());
+        return 2;
+      }
+      expected.push_back({model.file().path, line, check});
+    }
+  }
+  if (have_allowlist) {
+    for (const auto& [line, check] : allowlist.expects) {
+      expected.push_back({allowlist_path, line, check});
+    }
+  }
+  std::vector<Expected> actual;
+  actual.reserve(diags.size());
+  for (const Diagnostic& d : diags) {
+    actual.push_back({d.file, d.line, d.check});
+  }
+  std::sort(expected.begin(), expected.end());
+  std::sort(actual.begin(), actual.end());
+
+  int mismatches = 0;
+  // Multiset difference in both directions.
+  std::vector<Expected> missing, unexpected;
+  std::set_difference(expected.begin(), expected.end(), actual.begin(),
+                      actual.end(), std::back_inserter(missing));
+  std::set_difference(actual.begin(), actual.end(), expected.begin(),
+                      expected.end(), std::back_inserter(unexpected));
+  for (const Expected& e : missing) {
+    std::fprintf(stderr, "%s:%d: missing expected diagnostic [%s]\n",
+                 e.file.c_str(), e.line, e.check.c_str());
+    ++mismatches;
+  }
+  for (const Expected& e : unexpected) {
+    std::fprintf(stderr, "%s:%d: unexpected diagnostic [%s]\n",
+                 e.file.c_str(), e.line, e.check.c_str());
+    ++mismatches;
+  }
+  if (mismatches > 0) {
+    std::fprintf(stderr, "aspect_lint: verify FAILED (%d mismatch(es))\n",
+                 mismatches);
+    return 2;
+  }
+  std::fprintf(stderr,
+               "aspect_lint: verified %zu expected diagnostic(s) across "
+               "%zu file(s)\n",
+               expected.size(), files.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace aspect_lint
+
+int main(int argc, char** argv) { return aspect_lint::Run(argc, argv); }

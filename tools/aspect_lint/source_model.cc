@@ -1,0 +1,230 @@
+#include "source_model.h"
+
+namespace aspect_lint {
+namespace {
+
+// Keywords that look like `ident (` but never begin a function
+// definition.
+bool IsControlKeyword(const std::string& s) {
+  return s == "if" || s == "for" || s == "while" || s == "switch" ||
+         s == "catch" || s == "return" || s == "sizeof" || s == "alignof" ||
+         s == "decltype" || s == "noexcept" || s == "operator" ||
+         s == "assert" || s == "static_assert" || s == "alignas";
+}
+
+bool IsPunct(const Token& t, const char* s) {
+  return t.kind == Token::Kind::kPunct && t.text == s;
+}
+
+}  // namespace
+
+SourceModel::SourceModel(LexedFile file) : file_(std::move(file)) {
+  MatchBrackets();
+  FindFunctions();
+}
+
+void SourceModel::MatchBrackets() {
+  const auto& toks = file_.tokens;
+  match_.assign(toks.size(), kNpos);
+  std::vector<size_t> stack;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kPunct) continue;
+    const std::string& t = toks[i].text;
+    if (t == "(" || t == "[" || t == "{") {
+      stack.push_back(i);
+    } else if (t == ")" || t == "]" || t == "}") {
+      // Pop to the nearest matching opener; mismatched pairs (which
+      // only arise from angle-bracket confusion or truncated input)
+      // are left unmatched rather than guessed at.
+      const char open = (t == ")") ? '(' : (t == "]") ? '[' : '{';
+      while (!stack.empty() && toks[stack.back()].text[0] != open) {
+        stack.pop_back();
+      }
+      if (!stack.empty()) {
+        match_[stack.back()] = i;
+        match_[i] = stack.back();
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+size_t SourceModel::Match(size_t tok) const {
+  return tok < match_.size() ? match_[tok] : kNpos;
+}
+
+void SourceModel::FindFunctions() {
+  const auto& toks = file_.tokens;
+  for (size_t i = 1; i < toks.size(); ++i) {
+    if (!IsPunct(toks[i], "(")) continue;
+    const Token& prev = toks[i - 1];
+    if (prev.kind != Token::Kind::kIdent || IsControlKeyword(prev.text)) {
+      continue;
+    }
+    const size_t close = Match(i);
+    if (close == kNpos) continue;
+    // Walk the declarator trailer after ')': cv/ref qualifiers,
+    // noexcept(...), override/final, trailing return, ctor-init list.
+    size_t j = close + 1;
+    bool give_up = false;
+    while (j < toks.size()) {
+      const Token& t = toks[j];
+      if (t.IsIdent("const") || t.IsIdent("override") ||
+          t.IsIdent("final") || t.IsIdent("mutable") ||
+          t.IsIdent("volatile") || IsPunct(t, "&") || IsPunct(t, "&&")) {
+        ++j;
+        continue;
+      }
+      if (t.IsIdent("noexcept")) {
+        ++j;
+        if (j < toks.size() && IsPunct(toks[j], "(")) {
+          const size_t m = Match(j);
+          if (m == kNpos) {
+            give_up = true;
+            break;
+          }
+          j = m + 1;
+        }
+        continue;
+      }
+      if (IsPunct(t, "->")) {
+        // Trailing return type: advance over type-ish tokens.
+        ++j;
+        while (j < toks.size() &&
+               (toks[j].kind == Token::Kind::kIdent ||
+                IsPunct(toks[j], "::") || IsPunct(toks[j], "*") ||
+                IsPunct(toks[j], "&") || IsPunct(toks[j], "<") ||
+                IsPunct(toks[j], ">") || IsPunct(toks[j], ","))) {
+          ++j;
+        }
+        continue;
+      }
+      if (IsPunct(t, ":")) {
+        // Constructor initializer list: members followed by (...) or
+        // {...} groups, comma-separated, until the body brace.
+        ++j;
+        while (j < toks.size() && !IsPunct(toks[j], "{")) {
+          if (IsPunct(toks[j], "(")) {
+            const size_t m = Match(j);
+            if (m == kNpos) break;
+            j = m + 1;
+            // A brace group right after ')' would be the body only if
+            // no comma follows — handled by the loop condition on the
+            // next init entry's tokens.
+            if (j < toks.size() && IsPunct(toks[j], ",")) ++j;
+            // After the last (...) initializer the next '{' is the
+            // body; the loop exits on it.
+          } else if (IsPunct(toks[j], "{")) {
+            break;
+          } else {
+            // Member name, '::', template args of a base class, or a
+            // brace-init `member{...}` — the brace case needs a peek.
+            if (toks[j].kind == Token::Kind::kIdent && j + 1 < toks.size() &&
+                IsPunct(toks[j + 1], "{")) {
+              const size_t m = Match(j + 1);
+              if (m == kNpos) break;
+              j = m + 1;
+              if (j < toks.size() && IsPunct(toks[j], ",")) ++j;
+            } else {
+              ++j;
+            }
+          }
+        }
+        continue;
+      }
+      break;
+    }
+    if (give_up || j >= toks.size() || !IsPunct(toks[j], "{")) continue;
+    const size_t body_end = Match(j);
+    if (body_end == kNpos) continue;
+
+    FunctionDef fn;
+    fn.params_begin = i;
+    fn.params_end = close;
+    fn.body_begin = j;
+    fn.body_end = body_end;
+    fn.line = prev.line;
+    // Qualified name: walk back over `ident ::` pairs.
+    size_t k = i - 1;
+    fn.name = toks[k].text;
+    while (k >= 2 && IsPunct(toks[k - 1], "::") &&
+           toks[k - 2].kind == Token::Kind::kIdent) {
+      fn.name = toks[k - 2].text + "::" + fn.name;
+      k -= 2;
+    }
+    functions_.push_back(std::move(fn));
+  }
+}
+
+size_t SourceModel::EnclosingFunction(size_t tok) const {
+  size_t best = kNpos;
+  size_t best_span = kNpos;
+  for (size_t f = 0; f < functions_.size(); ++f) {
+    const FunctionDef& fn = functions_[f];
+    if (fn.body_begin < tok && tok < fn.body_end) {
+      const size_t span = fn.body_end - fn.body_begin;
+      if (span < best_span) {
+        best = f;
+        best_span = span;
+      }
+    }
+  }
+  return best;
+}
+
+std::vector<LambdaArg> SourceModel::LambdasPassedTo(
+    const std::set<std::string>& callees) const {
+  std::vector<LambdaArg> out;
+  const auto& toks = file_.tokens;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent ||
+        callees.count(toks[i].text) == 0 || !IsPunct(toks[i + 1], "(")) {
+      continue;
+    }
+    const size_t close = Match(i + 1);
+    if (close == kNpos) continue;
+    for (size_t j = i + 2; j < close; ++j) {
+      if (!IsPunct(toks[j], "[")) continue;
+      const size_t capture_end = Match(j);
+      if (capture_end == kNpos || capture_end >= close) continue;
+      LambdaArg lam;
+      lam.callee = toks[i].text;
+      lam.capture_begin = j;
+      lam.line = toks[j].line;
+      size_t k = capture_end + 1;
+      if (k < close && IsPunct(toks[k], "(")) {
+        lam.params_begin = k;
+        lam.params_end = Match(k);
+        if (lam.params_end == kNpos) continue;
+        k = lam.params_end + 1;
+      }
+      while (k < close &&
+             (toks[k].IsIdent("mutable") || toks[k].IsIdent("noexcept"))) {
+        ++k;
+      }
+      if (k < close && IsPunct(toks[k], "->")) {
+        ++k;
+        while (k < close && !IsPunct(toks[k], "{")) ++k;
+      }
+      if (k >= close || !IsPunct(toks[k], "{")) continue;
+      lam.body_begin = k;
+      lam.body_end = Match(k);
+      if (lam.body_end == kNpos) continue;
+      lam.enclosing_fn = EnclosingFunction(j);
+      out.push_back(lam);
+      j = lam.body_end;  // don't re-report nested lambdas separately
+    }
+  }
+  return out;
+}
+
+bool SourceModel::RangeHasIdent(size_t begin, size_t end,
+                                const char* ident) const {
+  const auto& toks = file_.tokens;
+  for (size_t i = begin; i <= end && i < toks.size(); ++i) {
+    if (toks[i].IsIdent(ident)) return true;
+  }
+  return false;
+}
+
+}  // namespace aspect_lint

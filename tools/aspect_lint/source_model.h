@@ -1,0 +1,80 @@
+// aspect_lint: structural view over a lexed file.
+//
+// Recovers the two structures every check needs: function definitions
+// (qualified name + parameter and body token ranges) and lambdas passed
+// as arguments to named calls (the shard-callback sites). Recovery is
+// heuristic — a construct the matcher cannot parse is silently skipped,
+// which fails safe for a linter that runs green over a known codebase:
+// missed structure can only hide a diagnostic in code that never
+// compiles here anyway, not invent one.
+#ifndef ASPECT_LINT_SOURCE_MODEL_H_
+#define ASPECT_LINT_SOURCE_MODEL_H_
+
+#include <cstddef>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace aspect_lint {
+
+constexpr size_t kNpos = static_cast<size_t>(-1);
+
+struct FunctionDef {
+  std::string name;     // qualified when out-of-line: "Database::Apply"
+  size_t params_begin;  // token index of '('
+  size_t params_end;    // token index of ')'
+  size_t body_begin;    // token index of '{'
+  size_t body_end;      // token index of '}'
+  int line;
+};
+
+// A lambda literal appearing in the argument list of `callee(...)`.
+struct LambdaArg {
+  std::string callee;
+  size_t capture_begin = kNpos;  // '[' of the capture list
+  size_t params_begin = kNpos;   // '(' of the lambda, if present
+  size_t params_end = kNpos;
+  size_t body_begin = kNpos;    // '{'
+  size_t body_end = kNpos;      // '}'
+  size_t enclosing_fn = kNpos;  // index into functions(), if any
+  int line = 0;
+};
+
+class SourceModel {
+ public:
+  explicit SourceModel(LexedFile file);
+
+  const LexedFile& file() const { return file_; }
+  const std::vector<Token>& tokens() const { return file_.tokens; }
+
+  // Matching close bracket for an open bracket token (or the reverse);
+  // kNpos when unbalanced.
+  size_t Match(size_t tok) const;
+
+  const std::vector<FunctionDef>& functions() const { return functions_; }
+
+  // Innermost function whose body contains token `tok`, else kNpos.
+  size_t EnclosingFunction(size_t tok) const;
+
+  // Lambdas appearing directly in the argument lists of the named
+  // callees.
+  std::vector<LambdaArg> LambdasPassedTo(
+      const std::set<std::string>& callees) const;
+
+  // True if any token in [begin, end] is the given identifier.
+  bool RangeHasIdent(size_t begin, size_t end, const char* ident) const;
+
+ private:
+  void MatchBrackets();
+  void FindFunctions();
+
+  LexedFile file_;
+  std::vector<size_t> match_;
+  std::vector<FunctionDef> functions_;
+};
+
+}  // namespace aspect_lint
+
+#endif  // ASPECT_LINT_SOURCE_MODEL_H_
