@@ -9,6 +9,7 @@
 //              [--gen-threads N] [--rollback off|clone|undo]
 //              [--parallel-pass on|off] [--parallel-mode shared|clone]
 //              [--batch N|auto] [--check-scopes off|warn|strict|sampled]
+//              [--route-votes off|on|audit]
 //
 // Besides the registry names, --tools accepts direct column-tool
 // specs with an optional row-interval restriction:
@@ -79,6 +80,7 @@ struct Args {
   bool batch_auto = false;
   uint64_t seed = 1;
   analysis::ScopeCheckMode check_scopes = analysis::ScopeCheckMode::kOff;
+  RouteVotes route_votes = RouteVotes::kOff;
 };
 
 Result<Args> ParseArgs(int argc, char** argv) {
@@ -181,6 +183,17 @@ Result<Args> ParseArgs(int argc, char** argv) {
       if (!analysis::ParseScopeCheckMode(v, &args.check_scopes)) {
         return Status::Invalid(
             "--check-scopes must be off, warn, strict or sampled");
+      }
+    } else if (flag == "--route-votes") {
+      ASPECT_ASSIGN_OR_RETURN(const std::string v, next());
+      if (v == "off") {
+        args.route_votes = RouteVotes::kOff;
+      } else if (v == "on") {
+        args.route_votes = RouteVotes::kOn;
+      } else if (v == "audit") {
+        args.route_votes = RouteVotes::kAudit;
+      } else {
+        return Status::Invalid("--route-votes must be off, on or audit");
       }
     } else if (flag == "--rollback") {
       ASPECT_ASSIGN_OR_RETURN(args.rollback, next());
@@ -359,6 +372,7 @@ Status Run(const Args& args) {
   options.rollback_mode =
       a.rollback == "clone" ? RollbackMode::kClone : RollbackMode::kUndoLog;
   options.check_scopes = a.check_scopes;
+  options.route_votes = a.route_votes;
   if (a.compare_orders && order.size() >= 2 && order.size() <= 4) {
     // Try every permutation on a scratch copy (the Property Tweaking
     // Order Problem, answered empirically) and keep the best.

@@ -204,6 +204,25 @@ std::string RunReport::ToString() const {
     if (s.batch_final > 1) {
       os << StrFormat(" [batch %d]", s.batch_final);
     }
+    if (s.votes_skipped > 0) {
+      os << StrFormat(" [votes %lld/%lld skipped]",
+                      static_cast<long long>(s.votes_skipped),
+                      static_cast<long long>(s.votes_total));
+    }
+    if (s.route_audit_violations > 0) {
+      os << StrFormat(" [route audit: %lld violation(s)]",
+                      static_cast<long long>(s.route_audit_violations));
+    }
+    os << "\n";
+  }
+  if (votes_skipped > 0 || route_audit_violations > 0) {
+    os << StrFormat("vote routing: %lld/%lld votes skipped",
+                    static_cast<long long>(votes_skipped),
+                    static_cast<long long>(votes_total));
+    if (route_audit_violations > 0) {
+      os << StrFormat(", %lld audit violation(s)",
+                      static_cast<long long>(route_audit_violations));
+    }
     os << "\n";
   }
   os << StrFormat("total %.2fs", total_seconds);
@@ -296,16 +315,23 @@ Result<RunReport> Coordinator::Run(Database* db,
   // liar must still be kept off the parallel fast path.
   std::set<int> lease_distrusted;
 
+  // Tools whose pruned votes the routing audit caught returning a
+  // nonzero penalty (options.route_votes): the declared read scope
+  // lied, so the declaration is distrusted exactly like a lease catch
+  // — the tool votes on everything and plans serially from here on.
+  std::set<int> route_distrusted;
+
   // Scope the pass planner assumes for a tool: declared if the tool
   // knows it, else what the AccessMonitor has observed so far (O2),
-  // else unknown (which keeps the tool serial). A tool the checker or
-  // the lease probes have caught violating its declaration is
-  // distrusted: its declaration is ignored for the rest of the run, so
-  // it degrades to the observed (write-only) scope and the serial
-  // path.
-  const auto resolve_scope = [this, &lease_distrusted](int id) {
+  // else unknown (which keeps the tool serial). A tool the checker,
+  // the lease probes, or the vote-routing audit have caught violating
+  // its declaration is distrusted: its declaration is ignored for the
+  // rest of the run, so it degrades to the observed (write-only) scope
+  // and the serial path.
+  const auto resolve_scope = [this, &lease_distrusted,
+                              &route_distrusted](int id) {
     if ((checker_ == nullptr || !checker_->IsDistrusted(id)) &&
-        lease_distrusted.count(id) == 0) {
+        lease_distrusted.count(id) == 0 && route_distrusted.count(id) == 0) {
       AccessScope s = tools_[static_cast<size_t>(id)]->DeclaredScope();
       if (s.known) return s;
     }
@@ -331,10 +357,12 @@ Result<RunReport> Coordinator::Run(Database* db,
     const int id = order[pos];
     PropertyTool* t = tools_[static_cast<size_t>(id)].get();
     std::vector<PropertyTool*> validators;
+    std::vector<int> validator_ids;
     if (options.validate) {
       for (const int e : enforced) {
         if (e != id) {
           validators.push_back(tools_[static_cast<size_t>(e)].get());
+          validator_ids.push_back(e);
         }
       }
     }
@@ -343,6 +371,19 @@ Result<RunReport> Coordinator::Run(Database* db,
                            ? tool_batch_hint[static_cast<size_t>(id)]
                            : options.batch_size);
     ctx.set_batch_auto(options.batch_auto);
+    // Vote routing: index the enforced validators' certified scopes —
+    // exactly what resolve_scope certifies for the lease partitioner,
+    // with distrusted declarations degrading to observed (incomplete)
+    // scopes and therefore to the always-vote set. Rebuilt per step
+    // because the enforced list grows as the pass proceeds.
+    VoteIndex vote_index;
+    if (options.route_votes != RouteVotes::kOff && !validator_ids.empty()) {
+      std::vector<AccessScope> scopes;
+      scopes.reserve(validator_ids.size());
+      for (const int e : validator_ids) scopes.push_back(resolve_scope(e));
+      vote_index.Build(&db->schema(), scopes);
+      ctx.set_vote_routing(&vote_index, options.route_votes);
+    }
     ToolReport step;
     step.tool = t->name();
     step.error_before = t->Error();
@@ -417,6 +458,17 @@ Result<RunReport> Coordinator::Run(Database* db,
     step.vetoed = ctx.vetoed();
     step.forced = ctx.forced();
     step.batch_final = ctx.batch_hint();
+    step.votes_total = ctx.votes_total();
+    step.votes_skipped = ctx.votes_skipped();
+    step.route_audit_violations =
+        static_cast<int64_t>(ctx.route_violations().size());
+    for (const TweakContext::RouteViolation& v : ctx.route_violations()) {
+      route_distrusted.insert(validator_ids[static_cast<size_t>(v.validator)]);
+      ASPECT_LOG(Info) << "vote-routing audit: pruned validator " << v.name
+                       << " returned penalty " << v.penalty << " during "
+                       << t->name()
+                       << "; declaration distrusted, full voting restored";
+    }
     if (options.batch_auto) {
       tool_batch_hint[static_cast<size_t>(id)] = ctx.batch_hint();
     }
@@ -1069,6 +1121,11 @@ Result<RunReport> Coordinator::Run(Database* db,
     tools_[static_cast<size_t>(id)]->Unbind();
   }
   report.total_seconds = Now() - run_start;
+  for (const ToolReport& s : report.steps) {
+    report.votes_total += s.votes_total;
+    report.votes_skipped += s.votes_skipped;
+    report.route_audit_violations += s.route_audit_violations;
+  }
   if (checker_ != nullptr) {
     report.scope_violations = checker_->violations();
     if (options.check_scopes == analysis::ScopeCheckMode::kStrict &&

@@ -12,6 +12,7 @@
 #include "analysis/scope_checker.h"
 #include "aspect/access_monitor.h"
 #include "aspect/property_tool.h"
+#include "aspect/vote_index.h"
 #include "common/result.h"
 #include "common/rng.h"
 
@@ -118,6 +119,17 @@ struct CoordinatorOptions {
   /// installs no footprint probes; release builds still arm the
   /// sampled canary.
   analysis::ScopeCheckMode check_scopes = analysis::ScopeCheckMode::kOff;
+  /// Scope-indexed validator routing (the CLI's --route-votes): each
+  /// serial step builds a VoteIndex over the enforced validators'
+  /// certified scopes — the same certification the lease partitioner
+  /// trusts — and proposals consult only the validators their write
+  /// footprint could disturb. Every skipped vote is provably zero, so
+  /// results are bitwise identical to full voting; the sampled pruning
+  /// audit (kOn: debug always / release 1-in-64; kAudit: always)
+  /// enforces that claim at runtime and a caught validator is
+  /// distrusted — full voting and the serial path — for the rest of
+  /// the run. kOff (the default) keeps the legacy everyone-votes loop.
+  RouteVotes route_votes = RouteVotes::kOff;
 };
 
 /// Per-tool outcome of one coordinator run.
@@ -142,6 +154,16 @@ struct ToolReport {
   /// The batch-size hint the step ended on: options.batch_size, or the
   /// autotuned size when options.batch_auto chose a different one.
   int batch_final = 1;
+  /// Validator votes a full-voting run would have cast during this
+  /// step (validators per proposal, summed over proposals).
+  int64_t votes_total = 0;
+  /// The subset of votes_total proven zero by the routing index and
+  /// skipped (options.route_votes != kOff; always 0 otherwise).
+  int64_t votes_skipped = 0;
+  /// Pruned votes the sampled audit invoked anyway and found nonzero —
+  /// validators whose declared read scope lied. Each one was distrusted
+  /// for the rest of the run.
+  int64_t route_audit_violations = 0;
 };
 
 struct RunReport {
@@ -186,6 +208,12 @@ struct RunReport {
   /// Each one discarded its group, distrusted the offender, and fell
   /// back to the deterministic serial redo.
   int64_t lease_violations = 0;
+  /// Vote-routing totals over all steps (options.route_votes): votes a
+  /// full-voting run would have cast, the subset routing proved zero
+  /// and skipped, and the audit catches (see ToolReport).
+  int64_t votes_total = 0;
+  int64_t votes_skipped = 0;
+  int64_t route_audit_violations = 0;
   double group_setup_seconds = 0;
   double group_merge_seconds = 0;
   double group_rebase_seconds = 0;

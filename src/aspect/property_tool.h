@@ -15,6 +15,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <limits>
 #include <memory>
 #include <span>
 #include <string>
@@ -111,8 +112,16 @@ class PropertyTool : public ModificationListener {
   // --- Property Validator -----------------------------------------------
   /// How much this (already enforced) property would be hurt by `mod`:
   /// > 0 means the tool votes against. The default coordinator policy
-  /// rejects any positive penalty (Sec. III-C voting).
+  /// rejects any positive penalty (Sec. III-C voting). Contract: a
+  /// penalty is a would-be-error minus current-error difference and
+  /// errors are nonnegative, so a single-modification penalty is never
+  /// below -Error(); the capped batch vote below relies on this bound.
   virtual double ValidationPenalty(const Modification& mod) const = 0;
+
+  /// "No early exit" cap for ValidationPenaltyBatch (the uncapped
+  /// overload passes it).
+  static constexpr double kNoPenaltyCap =
+      std::numeric_limits<double>::infinity();
 
   /// Vote on a whole batch as one composite proposal: the penalty the
   /// property incurs if ALL of `mods` are applied. The default sums
@@ -120,11 +129,44 @@ class PropertyTool : public ModificationListener {
   /// semantics whenever the modifications touch disjoint statistics;
   /// tools whose penalty is non-additive override this with an exact
   /// cumulative simulation. Used by TweakContext::TryApplyBatch.
-  virtual double ValidationPenaltyBatch(
-      std::span<const Modification> mods) const {
+  ///
+  /// `veto_cap` is an early-exit license, not a semantic change: the
+  /// caller only distinguishes results above the cap from results at
+  /// or below it, so an implementation may stop as soon as the final
+  /// penalty is *provably* above the cap and return any partial value
+  /// that is itself above the cap. The default loop uses the
+  /// ValidationPenalty lower bound of -Error(): once the running sum
+  /// can no longer fall back to the cap on the members still ahead,
+  /// the tail is skipped. The veto decision is exactly the uncapped
+  /// one — a vetoed batch merely stops pricing its remaining members.
+  virtual double ValidationPenaltyBatch(std::span<const Modification> mods,
+                                        double veto_cap) const {
     double total = 0;
-    for (const Modification& m : mods) total += ValidationPenalty(m);
+    size_t remaining = mods.size();
+    double floor_per_mod = 0;  // computed lazily, only past the cap
+    bool have_floor = false;
+    for (const Modification& m : mods) {
+      total += ValidationPenalty(m);
+      --remaining;
+      if (total > veto_cap) {
+        if (remaining == 0) break;
+        if (!have_floor) {
+          floor_per_mod = -Error();
+          have_floor = true;
+        }
+        if (total + static_cast<double>(remaining) * floor_per_mod >
+            veto_cap) {
+          break;
+        }
+      }
+    }
     return total;
+  }
+
+  /// Uncapped convenience overload. Not virtual: override the capped
+  /// form (and re-expose this one with a using-declaration).
+  double ValidationPenaltyBatch(std::span<const Modification> mods) const {
+    return ValidationPenaltyBatch(mods, kNoPenaltyCap);
   }
 
   /// The (table, column) atoms this tool's Tweak may read and write,

@@ -1,10 +1,22 @@
 #include "aspect/tweak_context.h"
 
+#include <algorithm>
+
 #include "analysis/probe.h"
 #include "aspect/access_monitor.h"
 #include "aspect/property_tool.h"
 
 namespace aspect {
+namespace {
+
+// The coordinator vetoes on any penalty > 0 (Sec. III-C), so batch
+// votes may stop pricing once the sum provably stays above zero — the
+// early-exit cap handed to ValidationPenaltyBatch. Exact for every
+// implementation honoring the cap contract (property_tool.h), so the
+// veto decisions are bitwise identical to uncapped voting.
+constexpr double kVetoCap = 0.0;
+
+}  // namespace
 
 TweakContext::TweakContext(Database* db,
                            std::vector<PropertyTool*> validators, Rng* rng,
@@ -14,6 +26,127 @@ TweakContext::TweakContext(Database* db,
       rng_(rng),
       monitor_(monitor),
       tool_id_(tool_id) {}
+
+void TweakContext::set_vote_routing(const VoteIndex* index, RouteVotes mode) {
+  // Precondition: `index` was built for this context's validator list,
+  // position for position.
+  vote_index_ = mode == RouteVotes::kOff ? nullptr : index;
+  route_mode_ = mode;
+  route_local_distrust_.assign(validators_.size(), 0);
+  route_any_distrust_ = false;
+}
+
+void TweakContext::RouteConsult(std::span<const Modification> mods) {
+  vote_index_->Route(mods, &consult_);
+  if (!route_any_distrust_) return;
+  for (size_t i = 0; i < consult_.size(); ++i) {
+    if (route_local_distrust_[i]) consult_[i] = 1;
+  }
+}
+
+bool TweakContext::ShouldAuditPrune() {
+  const int64_t n = pruned_seen_++;
+  if (route_mode_ == RouteVotes::kAudit) return true;
+#ifndef NDEBUG
+  (void)n;
+  return true;  // debug builds audit every pruned vote
+#else
+  // Pruned vote #0 is always audited (the lease-canary cadence), so a
+  // lying declaration is caught deterministically in release too.
+  return n % kRouteAuditStride == 0;
+#endif
+}
+
+void TweakContext::LatchRouteViolation(size_t i, double penalty) {
+  route_local_distrust_[i] = 1;
+  route_any_distrust_ = true;
+  route_violations_.push_back(
+      {static_cast<int>(i), validators_[i]->name(), penalty});
+}
+
+double TweakContext::RoutedSingleVote(size_t i, const Modification& mod) {
+  if (consult_[i]) return validators_[i]->ValidationPenalty(mod);
+  ++votes_skipped_;
+  if (!ShouldAuditPrune()) return 0.0;
+  const double p = validators_[i]->ValidationPenalty(mod);
+  if (p != 0.0) {
+    // The routing index proved this vote zero; a nonzero return means
+    // the validator reads outside its certified scope. Latch, keep the
+    // validator on the full-voting path, and let the real penalty
+    // decide the proposal.
+    LatchRouteViolation(i, p);
+    return p;
+  }
+  return 0.0;
+}
+
+double TweakContext::RoutedBatchVote(size_t i,
+                                     std::span<const Modification> mods,
+                                     double veto_cap) {
+  if (consult_[i]) return validators_[i]->ValidationPenaltyBatch(mods, veto_cap);
+  ++votes_skipped_;
+  if (!ShouldAuditPrune()) return 0.0;
+  // The audit must see the exact composite penalty: uncapped.
+  const double p = validators_[i]->ValidationPenaltyBatch(mods);
+  if (p != 0.0) {
+    LatchRouteViolation(i, p);
+    return p;
+  }
+  return 0.0;
+}
+
+bool TweakContext::AuditDueWithin(int64_t pruned) const {
+  if (pruned <= 0) return false;
+  if (route_mode_ == RouteVotes::kAudit) return true;
+#ifndef NDEBUG
+  return true;  // debug builds audit every pruned vote
+#else
+  // First audit ordinal at or after pruned_seen_ — due iff it falls
+  // before the window ends. A veto may cut the window short, but a
+  // shorter window can only make a due audit undue, and the per-vote
+  // path re-checks each ordinal, so the cadence stays exact.
+  const int64_t next = (pruned_seen_ + kRouteAuditStride - 1) /
+                       kRouteAuditStride * kRouteAuditStride;
+  return next < pruned_seen_ + pruned;
+#endif
+}
+
+int TweakContext::RoutedObjector(std::span<const Modification> mods,
+                                 double veto_cap) {
+  RouteConsult(mods);
+  const bool single = mods.size() == 1;
+  const int64_t pruned_expected =
+      std::count(consult_.begin(), consult_.end(), uint8_t{0});
+  if (!AuditDueWithin(pruned_expected)) {
+    // Fast path: no pruned vote of this proposal is an audit sample,
+    // so skipping costs one counter update — the vote loop is
+    // O(consulted validators), not O(all validators' penalty calls).
+    int64_t pruned = 0;
+    for (size_t i = 0; i < validators_.size(); ++i) {
+      if (!consult_[i]) {
+        ++pruned;
+        continue;
+      }
+      const double p =
+          single ? validators_[i]->ValidationPenalty(mods[0])
+                 : validators_[i]->ValidationPenaltyBatch(mods, veto_cap);
+      if (p > 0) {
+        votes_skipped_ += pruned;
+        pruned_seen_ += pruned;
+        return static_cast<int>(i);
+      }
+    }
+    votes_skipped_ += pruned;
+    pruned_seen_ += pruned;
+    return -1;
+  }
+  for (size_t i = 0; i < validators_.size(); ++i) {
+    const double p = single ? RoutedSingleVote(i, mods[0])
+                            : RoutedBatchVote(i, mods, veto_cap);
+    if (p > 0) return static_cast<int>(i);
+  }
+  return -1;
+}
 
 void TweakContext::OnObjection() {
   if (!batch_auto_) return;
@@ -54,11 +187,22 @@ Status TweakContext::TryApply(const Modification& mod, TupleId* new_tuple) {
     // proposing tool's cells; keep it out of the tool's observed
     // footprint (scope-conformance probes, analysis/probe.h).
     analysis::ScopedProbeSuppress suppress;
-    for (PropertyTool* v : validators_) {
-      if (v->ValidationPenalty(mod) > 0) {
+    votes_total_ += static_cast<int64_t>(validators_.size());
+    if (Routed()) {
+      const int bad = RoutedObjector({&mod, 1}, kVetoCap);
+      if (bad >= 0) {
         ++vetoed_;
         OnObjection();
-        return Status::ValidationFailed("vetoed by " + v->name());
+        return Status::ValidationFailed("vetoed by " +
+                                        validators_[bad]->name());
+      }
+    } else {
+      for (PropertyTool* v : validators_) {
+        if (v->ValidationPenalty(mod) > 0) {
+          ++vetoed_;
+          OnObjection();
+          return Status::ValidationFailed("vetoed by " + v->name());
+        }
       }
     }
   }
@@ -70,12 +214,20 @@ Status TweakContext::ForceApply(const Modification& mod,
                                 TupleId* new_tuple) {
   {
     analysis::ScopedProbeSuppress suppress;
+    votes_total_ += static_cast<int64_t>(validators_.size());
     bool objected = false;
-    for (PropertyTool* v : validators_) {
-      if (v->ValidationPenalty(mod) > 0) {
+    if (Routed()) {
+      if (RoutedObjector({&mod, 1}, kVetoCap) >= 0) {
         ++forced_;
         objected = true;
-        break;
+      }
+    } else {
+      for (PropertyTool* v : validators_) {
+        if (v->ValidationPenalty(mod) > 0) {
+          ++forced_;
+          objected = true;
+          break;
+        }
       }
     }
     if (objected) {
@@ -117,11 +269,22 @@ Status TweakContext::TryApplyBatch(std::span<const Modification> mods,
   }
   {
     analysis::ScopedProbeSuppress suppress;
-    for (PropertyTool* v : validators_) {
-      if (v->ValidationPenaltyBatch(mods) > 0) {
+    votes_total_ += static_cast<int64_t>(validators_.size());
+    if (Routed()) {
+      const int bad = RoutedObjector(mods, kVetoCap);
+      if (bad >= 0) {
         ++vetoed_;
         OnObjection();
-        return Status::ValidationFailed("batch vetoed by " + v->name());
+        return Status::ValidationFailed("batch vetoed by " +
+                                        validators_[bad]->name());
+      }
+    } else {
+      for (PropertyTool* v : validators_) {
+        if (v->ValidationPenaltyBatch(mods, kVetoCap) > 0) {
+          ++vetoed_;
+          OnObjection();
+          return Status::ValidationFailed("batch vetoed by " + v->name());
+        }
       }
     }
   }
@@ -137,12 +300,20 @@ Status TweakContext::ForceApplyBatch(std::span<const Modification> mods,
   }
   {
     analysis::ScopedProbeSuppress suppress;
+    votes_total_ += static_cast<int64_t>(validators_.size());
     bool objected = false;
-    for (PropertyTool* v : validators_) {
-      if (v->ValidationPenaltyBatch(mods) > 0) {
+    if (Routed()) {
+      if (RoutedObjector(mods, kVetoCap) >= 0) {
         ++forced_;
         objected = true;
-        break;
+      }
+    } else {
+      for (PropertyTool* v : validators_) {
+        if (v->ValidationPenaltyBatch(mods, kVetoCap) > 0) {
+          ++forced_;
+          objected = true;
+          break;
+        }
       }
     }
     if (objected) {

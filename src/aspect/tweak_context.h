@@ -11,8 +11,10 @@
 
 #include <cstdint>
 #include <span>
+#include <string>
 #include <vector>
 
+#include "aspect/vote_index.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "relational/database.h"
@@ -90,10 +92,74 @@ class TweakContext {
   /// Number of modifications applied (accepted + forced).
   int64_t applied() const { return applied_; }
 
+  /// Enables scope-routed voting: proposals consult only the
+  /// validators `index` maps to their write footprint (plus the
+  /// always-vote fallback set); every skipped vote is provably zero.
+  /// `index` must describe the validator list this context was
+  /// constructed with, position for position, and must outlive the
+  /// context. Routed loops walk the validators in their original
+  /// order, so veto decisions, veto attribution and the autotuning
+  /// trajectory are bitwise identical to full voting.
+  void set_vote_routing(const VoteIndex* index, RouteVotes mode);
+
+  /// One audit catch: a routed-away validator that, when invoked
+  /// anyway by the sampled pruning audit, returned a nonzero penalty —
+  /// its declared read scope lied. The vote still counts (the actual
+  /// penalty decides), the validator is consulted on every later
+  /// proposal of this context, and the coordinator distrusts its
+  /// certification for the rest of the run.
+  struct RouteViolation {
+    int validator;  // index into the constructor's validator list
+    std::string name;
+    double penalty;
+  };
+
+  /// Validator votes a full-voting run would have cast so far (the
+  /// per-proposal validator count, routed or not).
+  int64_t votes_total() const { return votes_total_; }
+  /// The subset of votes_total() proven zero and skipped by routing.
+  int64_t votes_skipped() const { return votes_skipped_; }
+  const std::vector<RouteViolation>& route_violations() const {
+    return route_violations_;
+  }
+
+  /// Release-build sampling stride of the pruning audit (RouteVotes::
+  /// kOn): pruned vote #0 is always audited, then every 64th — the
+  /// same cadence as the lease canary, and deterministic, so a lying
+  /// declaration is caught on its first pruned vote in every build.
+  static constexpr int64_t kRouteAuditStride = 64;
+
  private:
   Status Apply(const Modification& mod, TupleId* new_tuple);
   Status ApplyBatch(std::span<const Modification> mods,
                     std::vector<TupleId>* new_tuples);
+  /// True when vote routing is active for this context.
+  bool Routed() const {
+    return vote_index_ != nullptr && route_mode_ != RouteVotes::kOff;
+  }
+  /// Fills consult_ for `mods` (index routing plus the local distrust
+  /// overlay from earlier audit catches).
+  void RouteConsult(std::span<const Modification> mods);
+  /// Sampling decision for one pruned vote; advances the counter.
+  bool ShouldAuditPrune();
+  /// The vote of validator `i` on `mods` under routing: skipped when
+  /// pruned (0 unless a sampled audit catches a lie, in which case the
+  /// actual penalty is returned and the violation latched).
+  double RoutedBatchVote(size_t i, std::span<const Modification> mods,
+                        double veto_cap);
+  double RoutedSingleVote(size_t i, const Modification& mod);
+  /// True when one of the next `pruned` pruned-vote ordinals is an
+  /// audit sample. The vote loops use it to pick between the fast
+  /// path — skip every pruned validator with one batched counter
+  /// update — and the per-vote path that performs the sampled audits.
+  bool AuditDueWithin(int64_t pruned) const;
+  /// Routes `mods`, casts the consulted votes in validator-list order,
+  /// and returns the index of the first objecting validator (-1 when
+  /// none). Handles skipped-vote accounting and sampled audits; veto
+  /// attribution matches full voting because pruned votes are provably
+  /// (and, when audited, verifiably) zero.
+  int RoutedObjector(std::span<const Modification> mods, double veto_cap);
+  void LatchRouteViolation(size_t i, double penalty);
   /// Autotuning hooks (no-ops unless batch_auto): an objection shrinks
   /// the hint and resets the streak; an objection-free proposal grows
   /// it after a sustained streak.
@@ -111,6 +177,19 @@ class TweakContext {
   int64_t vetoed_ = 0;
   int64_t forced_ = 0;
   int64_t applied_ = 0;
+  const VoteIndex* vote_index_ = nullptr;
+  RouteVotes route_mode_ = RouteVotes::kOff;
+  /// Scratch consult mask for the current proposal (1 = must vote).
+  std::vector<uint8_t> consult_;
+  /// Validators caught by the audit: consulted on every later
+  /// proposal regardless of what the index says. The flag saves the
+  /// per-proposal overlay scan on the (overwhelming) clean path.
+  std::vector<uint8_t> route_local_distrust_;
+  bool route_any_distrust_ = false;
+  int64_t votes_total_ = 0;
+  int64_t votes_skipped_ = 0;
+  int64_t pruned_seen_ = 0;
+  std::vector<RouteViolation> route_violations_;
 };
 
 }  // namespace aspect

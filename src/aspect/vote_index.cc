@@ -1,0 +1,129 @@
+#include "aspect/vote_index.h"
+
+#include <algorithm>
+
+#include "analysis/row_intervals.h"
+
+namespace aspect {
+
+void VoteIndex::Build(const Schema* schema,
+                      std::span<const AccessScope> scopes) {
+  schema_ = schema;
+  always_.assign(scopes.size(), 0);
+  table_readers_.clear();
+  whole_table_readers_.clear();
+  cell_readers_.clear();
+  for (size_t i = 0; i < scopes.size(); ++i) {
+    const AccessScope& s = scopes[i];
+    const int idx = static_cast<int>(i);
+    // An unknown scope conflicts with everything; an observed scope's
+    // read set is a lower bound (reads_complete = false), so neither
+    // can certify any vote as zero.
+    if (!s.known || !s.reads_complete) {
+      always_[i] = 1;
+      continue;
+    }
+    for (const AccessScope::Atom& r : s.stats_reads) {
+      table_readers_[r.first].push_back(idx);
+      if (r.second == AccessScope::kWholeTable) {
+        whole_table_readers_[r.first].push_back(idx);
+      } else if (r.second >= 0) {
+        RangedReader reader{idx, false, 0, 0};
+        if (const auto* range = s.RangeOf(r)) {
+          reader.ranged = true;
+          reader.lo = range->first;
+          reader.hi = range->second;
+        }
+        cell_readers_[r].push_back(reader);
+      }
+      // kRowStructure readers are disturbed only by row-structure
+      // writes, which consult table_readers_; cell writes never change
+      // what a pure row-structure reader observes.
+    }
+  }
+  // A validator holding several atoms on one table lands in
+  // table_readers_ once per atom; dedup so Route marks each just once.
+  for (auto& [table, readers] : table_readers_) {
+    std::sort(readers.begin(), readers.end());
+    readers.erase(std::unique(readers.begin(), readers.end()),
+                  readers.end());
+  }
+}
+
+void VoteIndex::Route(std::span<const Modification> mods,
+                      std::vector<uint8_t>* consult) const {
+  consult->assign(always_.begin(), always_.end());
+  // Exact touched tuple ids per cell atom, collected only for atoms
+  // with ranged readers: a reader certified to [lo, hi] is consulted
+  // iff the batch actually writes inside its interval. Small batches
+  // (the per-modification TryApply path) check each reader's interval
+  // directly against the modification's tuple ids; only large batches
+  // pay for aggregating the ids into a RowIntervalSet, which amortizes
+  // the per-reader scan across many modifications.
+  const bool aggregate = mods.size() > 8;
+  std::map<AccessScope::Atom, analysis::RowIntervalSet> touched;
+  // Batches overwhelmingly target one table; cache the last name
+  // lookup so routing does not redo the string search per mod.
+  const std::string* last_name = nullptr;
+  int last_index = -1;
+  for (const Modification& mod : mods) {
+    if (last_name == nullptr || mod.table != *last_name) {
+      last_name = &mod.table;
+      last_index = schema_->TableIndex(mod.table);
+    }
+    const int t = last_index;
+    if (t < 0) {
+      // A table the schema does not know — route conservatively.
+      std::fill(consult->begin(), consult->end(), 1);
+      return;
+    }
+    if (mod.kind == OpKind::kInsertTuple ||
+        mod.kind == OpKind::kDeleteTuple) {
+      // Row-structure write: disturbs every reader of the table (the
+      // new/removed live row carries cells in every column), with no
+      // row-interval exemption — the insert's id is not assigned yet.
+      const auto it = table_readers_.find(t);
+      if (it != table_readers_.end()) {
+        for (const int idx : it->second) (*consult)[idx] = 1;
+      }
+      continue;
+    }
+    const auto whole = whole_table_readers_.find(t);
+    for (const int c : mod.cols) {
+      if (whole != whole_table_readers_.end()) {
+        for (const int idx : whole->second) (*consult)[idx] = 1;
+      }
+      const auto it = cell_readers_.find({t, c});
+      if (it == cell_readers_.end()) continue;
+      bool has_ranged = false;
+      for (const RangedReader& r : it->second) {
+        if (!r.ranged) {
+          (*consult)[r.idx] = 1;
+        } else if (!aggregate) {
+          if ((*consult)[r.idx]) continue;
+          for (const TupleId tid : mod.tuples) {
+            if (tid >= r.lo && tid <= r.hi) {
+              (*consult)[r.idx] = 1;
+              break;
+            }
+          }
+        } else {
+          has_ranged = true;
+        }
+      }
+      if (has_ranged) {
+        analysis::RowIntervalSet& rows = touched[{t, c}];
+        for (const TupleId tid : mod.tuples) rows.Add(tid);
+      }
+    }
+  }
+  for (const auto& [atom, rows] : touched) {
+    for (const RangedReader& r : cell_readers_.at(atom)) {
+      if (r.ranged && rows.OverlapsRange(r.lo, r.hi)) {
+        (*consult)[r.idx] = 1;
+      }
+    }
+  }
+}
+
+}  // namespace aspect

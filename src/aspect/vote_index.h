@@ -1,0 +1,106 @@
+// VoteIndex: scope-indexed validator routing for the vote loops.
+//
+// The inner loop of the collaborative framework puts every proposed
+// modification to the vote of every enforced validator (Sec. III-C).
+// After the scope-certification work of the O1-parallel pass, the
+// coordinator already knows exactly which (table, column) atoms — and
+// which tuple-id intervals — each validator's statistics read. A write
+// that provably cannot reach a validator's statistics cannot change
+// its vote (the ValidationDisturb argument that makes shared-mode
+// leases sound), so the vote is provably zero and need not be cast.
+//
+// This index inverts the certified DeclaredScope() stats_reads of a
+// vote-ordered validator list into per-table / per-atom reader
+// buckets. Routing a proposal batch derives its write atoms exactly as
+// the lease write recorder does (cell ops touch (table, column) at the
+// listed tuple ids; tuple inserts/deletes are row-structure writes,
+// which disturb every reader of the table) and consults only the
+// overlapping readers. Validators whose scope is unknown, whose read
+// set is incomplete (observed-only scopes), or whose declaration the
+// checker/lease/audit machinery has distrusted always vote — the
+// conservative fallback that keeps pruning sound.
+//
+// The writer side of the ranged-reader exemption is *exact*: the
+// batch's touched tuple ids per cell atom are aggregated into a
+// RowIntervalSet, so a reader certified to [lo, hi] is skipped iff the
+// batch truly stays outside its interval — strictly stronger than the
+// declared-vs-declared test RangedWritesDisturb applies.
+//
+// Soundness is audited at runtime: TweakContext samples pruned votes
+// (debug: every one; release: the first, then 1/64, mirroring the
+// lease canary) and invokes the pruned validator anyway. A nonzero
+// return means the declaration lied; the audit latches a diagnostic
+// and the coordinator distrusts the tool's routing (and its scope
+// certification) for the rest of the run. See DESIGN.md Sec. 14.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "analysis/access_scope.h"
+#include "relational/database.h"
+
+namespace aspect {
+
+/// Validator-routing mode (CoordinatorOptions.route_votes and the
+/// CLI's --route-votes).
+enum class RouteVotes : int {
+  /// Legacy full voting: every enforced validator votes on every
+  /// proposal. No index is built.
+  kOff = 0,
+  /// Scope-routed voting with the sampled pruning audit (debug builds
+  /// audit every pruned vote, release builds the first then 1/64).
+  kOn = 1,
+  /// Scope-routed voting with every pruned vote audited, in every
+  /// build configuration. The CI conformance mode.
+  kAudit = 2,
+};
+
+class VoteIndex {
+ public:
+  /// Builds the index for a vote-ordered validator list. `scopes[i]`
+  /// is the *certified* scope of the i-th validator: its declaration
+  /// when the coordinator still trusts it, else the observed
+  /// (write-only, reads_complete = false) scope, which routes the
+  /// validator to the always-vote set. `schema` must outlive the
+  /// index.
+  void Build(const Schema* schema, std::span<const AccessScope> scopes);
+
+  size_t num_validators() const { return always_.size(); }
+
+  /// Fills `consult` (resized to num_validators()) with 1 for every
+  /// validator whose certified statistics a write in `mods` could
+  /// disturb — including all always-vote validators — and 0 for every
+  /// validator whose votes on this batch are provably zero.
+  void Route(std::span<const Modification> mods,
+             std::vector<uint8_t>* consult) const;
+
+ private:
+  /// One cell-atom reader; `ranged` readers certify all their reads of
+  /// the atom stay inside [lo, hi].
+  struct RangedReader {
+    int idx;
+    bool ranged;
+    int64_t lo;
+    int64_t hi;
+  };
+
+  const Schema* schema_ = nullptr;
+  /// Uncertified (unknown / incomplete-reads) validators: consulted on
+  /// every proposal.
+  std::vector<uint8_t> always_;
+  /// Per table: every validator with any stats_read atom on the table.
+  /// A row-structure write (tuple insert/delete) disturbs all of them
+  /// — new or removed live rows carry cells in every column.
+  std::map<int, std::vector<int>> table_readers_;
+  /// Per table: validators reading (table, kWholeTable) — disturbed by
+  /// any write to the table, cell or structural.
+  std::map<int, std::vector<int>> whole_table_readers_;
+  /// Per cell atom: validators reading exactly that column, with their
+  /// certified row interval when declared.
+  std::map<AccessScope::Atom, std::vector<RangedReader>> cell_readers_;
+};
+
+}  // namespace aspect

@@ -203,6 +203,7 @@ Result<ExperimentResult> RunExperiment(const ExperimentConfig& config) {
   opts.parallel_mode = config.parallel_mode;
   opts.batch_size = config.batch_size;
   opts.batch_auto = config.batch_auto;
+  opts.route_votes = config.route_votes;
   ASPECT_ASSIGN_OR_RETURN(result.report,
                           coordinator.Run(scaled.get(), order, opts));
   for (const ToolReport& step : result.report.steps) {

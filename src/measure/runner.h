@@ -52,6 +52,9 @@ struct ExperimentConfig {
   /// (0 = hardware concurrency, 1 = inline). Results are bitwise
   /// identical at every setting (DESIGN.md §12).
   int gen_threads = 1;
+  /// Scope-indexed validator routing for the tweak vote loops
+  /// (bitwise identical to full voting; DESIGN.md §14).
+  RouteVotes route_votes = RouteVotes::kOff;
 };
 
 /// The three property errors of Sec. VI-C1.

@@ -392,7 +392,8 @@ double CoappearPropertyTool::ValidationPenalty(
 }
 
 double CoappearPropertyTool::ValidationPenaltyBatch(
-    std::span<const Modification> mods) const {
+    std::span<const Modification> mods, double veto_cap) const {
+  (void)veto_cap;  // collected transitions priced once; nothing to cap
   if (db_ == nullptr) return 0.0;
   std::vector<Transition> ts;
   for (const Modification& mod : mods) {

@@ -64,8 +64,11 @@ class CoappearPropertyTool : public PropertyTool {
   /// simulated against one shared overlay, so several tuples of the
   /// batch moving onto (or off) the same combo are priced jointly.
   /// Assumes disjoint tuples (the ApplyBatch caller contract).
-  double ValidationPenaltyBatch(
-      std::span<const Modification> mods) const override;
+  /// `veto_cap` is accepted but unused: the collected transitions are
+  /// priced once at the end, with no partial sum to exit from.
+  double ValidationPenaltyBatch(std::span<const Modification> mods,
+                                double veto_cap) const override;
+  using PropertyTool::ValidationPenaltyBatch;
   /// Whole-table row structure of member tables (inserts/deletes copy
   /// entire template rows), whole-table reads of parent tables (combo
   /// sampling and the implicit-zero space), and the FK columns of

@@ -372,7 +372,8 @@ double LinearPropertyTool::ValidationPenalty(const Modification& mod) const {
 }
 
 double LinearPropertyTool::ValidationPenaltyBatch(
-    std::span<const Modification> mods) const {
+    std::span<const Modification> mods, double veto_cap) const {
+  (void)veto_cap;  // one apply-measure-revert simulation; nothing to cap
   if (db_ == nullptr) return 0.0;
   std::vector<EdgeChange> changes;
   // ApplyBatch appends inserts in order, so the k-th insert into a

@@ -58,8 +58,11 @@ class LinearPropertyTool : public PropertyTool {
   /// cancel out jointly are priced as a unit (the default per-mod sum
   /// would veto them). Assumes the batch's tuples are disjoint (the
   /// ApplyBatch caller contract), so pre-apply old parents are current.
-  double ValidationPenaltyBatch(
-      std::span<const Modification> mods) const override;
+  /// `veto_cap` is accepted but unused: the composite is one
+  /// apply-measure-revert simulation, with no partial sum to exit from.
+  double ValidationPenaltyBatch(std::span<const Modification> mods,
+                                double veto_cap) const override;
+  using PropertyTool::ValidationPenaltyBatch;
   /// Writes the FK columns of every chain edge; reads the same columns
   /// plus the root tables' row structure (reach counts depend on which
   /// root tuples exist).

@@ -583,7 +583,8 @@ double PairwisePropertyTool::ValidationPenalty(
 }
 
 double PairwisePropertyTool::ValidationPenaltyBatch(
-    std::span<const Modification> mods) const {
+    std::span<const Modification> mods, double veto_cap) const {
+  (void)veto_cap;  // collected changes priced once; nothing to cap
   if (db_ == nullptr) return 0.0;
   std::vector<NChange> changes;
   for (const Modification& mod : mods) {

@@ -56,8 +56,11 @@ class PairwisePropertyTool : public PropertyTool {
   /// modifications are simulated against one shared n-overlay, so a
   /// batch whose tuples move the same ordered pair is priced jointly.
   /// Assumes disjoint tuples (the ApplyBatch caller contract).
-  double ValidationPenaltyBatch(
-      std::span<const Modification> mods) const override;
+  /// `veto_cap` is accepted but unused: the collected changes are
+  /// priced once at the end, with no partial sum to exit from.
+  double ValidationPenaltyBatch(std::span<const Modification> mods,
+                                double veto_cap) const override;
+  using PropertyTool::ValidationPenaltyBatch;
   /// Whole-table row structure of the response and post tables
   /// (inserts, deletes, re-authoring) plus whole-table reads of the
   /// user table (pair sampling and the implicit zero mass).

@@ -267,12 +267,38 @@ double ColumnFreqTool::ValidationPenalty(const Modification& mod) const {
 }
 
 double ColumnFreqTool::ValidationPenaltyBatch(
-    std::span<const Modification> mods) const {
+    std::span<const Modification> mods, double veto_cap) const {
   if (db_ == nullptr) return 0.0;
   const Table* t = db_->FindTable(table_);
   if (t == nullptr) return 0.0;
   const int col = t->ColumnIndex(column_);
   const int64_t n = std::max<int64_t>(1, target_.TotalMass());
+  // Early-exit support: each step() call below adds two contributions
+  // of at most 1/n each in either direction, so an upper bound on the
+  // remaining step count bounds how far the running penalty can still
+  // fall. Once it provably stays above the cap, the tail cannot change
+  // the veto decision (property_tool.h cap contract).
+  const auto step_cap = [&](const Modification& mod) -> int64_t {
+    if (mod.table != table_) return 0;
+    switch (mod.kind) {
+      case OpKind::kDeleteValues:
+      case OpKind::kInsertValues:
+      case OpKind::kReplaceValues: {
+        int64_t matching_cols = 0;
+        for (const int c : mod.cols) matching_cols += c == col;
+        return matching_cols * static_cast<int64_t>(mod.tuples.size());
+      }
+      case OpKind::kInsertTuple:
+      case OpKind::kDeleteTuple:
+        return 1;
+    }
+    return 1;
+  };
+  int64_t steps_left = 0;
+  const bool capped = veto_cap < kNoPenaltyCap;
+  if (capped) {
+    for (const Modification& mod : mods) steps_left += step_cap(mod);
+  }
   // Cumulative overlay over current_: several modifications of one
   // batch may move the same value's count, so each step is priced
   // against the counts the earlier steps left behind. The per-step L1
@@ -305,6 +331,7 @@ double ColumnFreqTool::ValidationPenaltyBatch(
   };
   for (const Modification& mod : mods) {
     if (mod.table != table_) continue;
+    if (capped) steps_left -= step_cap(mod);
     switch (mod.kind) {
       case OpKind::kDeleteValues:
       case OpKind::kInsertValues:
@@ -331,6 +358,13 @@ double ColumnFreqTool::ValidationPenaltyBatch(
           step(t->column(col).Get(mod.tuples[0]), Value());
         }
         break;
+    }
+    if (capped && penalty - 2.0 * static_cast<double>(steps_left) /
+                                static_cast<double>(n) >
+                      veto_cap) {
+      // The remaining steps cannot pull the total back to the cap;
+      // `penalty` is already above it, which is all the caller reads.
+      return penalty;
     }
   }
   return penalty;
@@ -622,7 +656,8 @@ double NullCountTool::ValidationPenalty(const Modification& mod) const {
 }
 
 double NullCountTool::ValidationPenaltyBatch(
-    std::span<const Modification> mods) const {
+    std::span<const Modification> mods, double veto_cap) const {
+  (void)veto_cap;  // one |sum| evaluation at the end; nothing to cap
   if (db_ == nullptr) return 0.0;
   // Disjoint-tuple batches make the per-mod deltas independent, so the
   // composite is one |sum| evaluation (the per-mod penalty sum is not:
@@ -922,7 +957,8 @@ double DomainBoundsTool::ValidationPenalty(const Modification& mod) const {
 }
 
 double DomainBoundsTool::ValidationPenaltyBatch(
-    std::span<const Modification> mods) const {
+    std::span<const Modification> mods, double veto_cap) const {
+  (void)veto_cap;  // composite priced once at the end; nothing to cap
   if (db_ == nullptr) return 0.0;
   const Table* t = db_->FindTable(table_);
   if (t == nullptr) return 0.0;

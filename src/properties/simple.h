@@ -63,9 +63,12 @@ class ColumnFreqTool : public PropertyTool {
   /// Exact composite vote: simulates the batch's cumulative frequency
   /// deltas, so values hit by several modifications of one batch are
   /// priced correctly (the default sum over singles is only exact for
-  /// disjoint values).
-  double ValidationPenaltyBatch(
-      std::span<const Modification> mods) const override;
+  /// disjoint values). Honors `veto_cap`: each simulated step moves
+  /// the total by at most 2/n, so the tail is skipped once the sum
+  /// provably stays above the cap.
+  double ValidationPenaltyBatch(std::span<const Modification> mods,
+                                double veto_cap) const override;
+  using PropertyTool::ValidationPenaltyBatch;
   AccessScope DeclaredScope() const override;
   Status Tweak(TweakContext* ctx) override;
 
@@ -126,8 +129,11 @@ class NullCountTool : public PropertyTool {
   double ValidationPenalty(const Modification& mod) const override;
   /// Exact composite vote: one |delta| evaluation over the batch's
   /// summed null-count change instead of a (non-additive) per-mod sum.
-  double ValidationPenaltyBatch(
-      std::span<const Modification> mods) const override;
+  /// `veto_cap` is accepted but unused: the composite is priced once
+  /// at the end, so there is no partial sum to exit from.
+  double ValidationPenaltyBatch(std::span<const Modification> mods,
+                                double veto_cap) const override;
+  using PropertyTool::ValidationPenaltyBatch;
   AccessScope DeclaredScope() const override;
   Status Tweak(TweakContext* ctx) override;
 
@@ -192,8 +198,11 @@ class DomainBoundsTool : public PropertyTool {
   double ValidationPenalty(const Modification& mod) const override;
   /// Exact composite vote: accumulates the batch's out-of-range and
   /// at-bound deltas before the (non-additive) error difference.
-  double ValidationPenaltyBatch(
-      std::span<const Modification> mods) const override;
+  /// `veto_cap` is accepted but unused: the composite is priced once
+  /// at the end, so there is no partial sum to exit from.
+  double ValidationPenaltyBatch(std::span<const Modification> mods,
+                                double veto_cap) const override;
+  using PropertyTool::ValidationPenaltyBatch;
   AccessScope DeclaredScope() const override;
   Status Tweak(TweakContext* ctx) override;
 

@@ -183,8 +183,12 @@ void CheckBatchMatchesSingles(PropertyTool* tool_a, PropertyTool* tool_b,
     if (probe.empty()) continue;
     EXPECT_EQ(tool_a->ValidationPenalty(probe[0]),
               tool_b->ValidationPenalty(probe[0]));
-    EXPECT_EQ(tool_a->ValidationPenaltyBatch(probe),
-              tool_b->ValidationPenaltyBatch(probe));
+    const double exact = tool_a->ValidationPenaltyBatch(probe);
+    EXPECT_EQ(exact, tool_b->ValidationPenaltyBatch(probe));
+    // The capped batch vote (cap 0 is what the vote loops pass) must
+    // reach the same veto decision as the exact sum — the early-veto
+    // contract every overrider is held to.
+    EXPECT_EQ(tool_a->ValidationPenaltyBatch(probe, 0.0) > 0.0, exact > 0.0);
   }
   tool_a->Unbind();
   tool_b->Unbind();

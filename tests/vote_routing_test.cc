@@ -1,0 +1,423 @@
+// Tests for scope-indexed validator routing (--route-votes): routed
+// voting must be bitwise identical to full voting in every execution
+// mode and at every thread count while actually pruning votes, the
+// row-interval exemption must prune validators whose certified range
+// is disjoint from the touched rows, and the sampled pruning audit
+// must catch a validator whose declared read scope under-reports what
+// its votes depend on — then keep it off the routed path for the rest
+// of the run.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "aspect/coordinator.h"
+#include "aspect/tweak_context.h"
+#include "properties/simple.h"
+#include "relational/modlog.h"
+#include "scaler/size_scaler.h"
+#include "workload/generator.h"
+
+namespace aspect {
+namespace {
+
+// Byte-level equality: slots, tombstones, and every cell's state (a
+// kNull cell is not a kEmpty cell even though both read back as Null).
+void ExpectDatabasesIdentical(const Database& a, const Database& b) {
+  ASSERT_EQ(a.num_tables(), b.num_tables());
+  for (int t = 0; t < a.num_tables(); ++t) {
+    const Table& ta = a.table(t);
+    const Table& tb = b.table(t);
+    ASSERT_EQ(ta.NumSlots(), tb.NumSlots()) << ta.name();
+    ASSERT_EQ(ta.NumTuples(), tb.NumTuples()) << ta.name();
+    for (TupleId tid = 0; tid < ta.NumSlots(); ++tid) {
+      ASSERT_EQ(ta.IsLive(tid), tb.IsLive(tid)) << ta.name() << " " << tid;
+      for (int c = 0; c < ta.num_columns(); ++c) {
+        ASSERT_EQ(static_cast<int>(ta.column(c).state(tid)),
+                  static_cast<int>(tb.column(c).state(tid)))
+            << ta.name() << " " << tid << " col " << c;
+        if (ta.column(c).IsValue(tid)) {
+          ASSERT_EQ(ta.column(c).Get(tid), tb.column(c).Get(tid))
+              << ta.name() << " " << tid << " col " << c;
+        }
+      }
+    }
+  }
+}
+
+// Entry-level equality of two modification logs: same modifications,
+// same order, same pre-images, same assigned tuple ids.
+void ExpectLogsIdentical(const ModificationLog& a, const ModificationLog& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (int64_t i = 0; i < a.size(); ++i) {
+    const ModificationLog::Entry& ea = a.entries()[static_cast<size_t>(i)];
+    const ModificationLog::Entry& eb = b.entries()[static_cast<size_t>(i)];
+    ASSERT_EQ(static_cast<int>(ea.mod.kind), static_cast<int>(eb.mod.kind))
+        << "entry " << i;
+    ASSERT_EQ(ea.mod.table, eb.mod.table) << "entry " << i;
+    ASSERT_EQ(ea.mod.tuples, eb.mod.tuples) << "entry " << i;
+    ASSERT_EQ(ea.mod.cols, eb.mod.cols) << "entry " << i;
+    ASSERT_EQ(ea.mod.values, eb.mod.values) << "entry " << i;
+    ASSERT_EQ(ea.old_values, eb.old_values) << "entry " << i;
+    ASSERT_EQ(ea.new_tuple, eb.new_tuple) << "entry " << i;
+  }
+}
+
+std::vector<TupleId> LiveTuples(const Table& t) {
+  std::vector<TupleId> live;
+  t.ForEachLive([&](TupleId tid) { live.push_back(tid); });
+  return live;
+}
+
+struct Outcome {
+  RunReport report;
+  std::unique_ptr<Database> db;
+  std::unique_ptr<ModificationLog> log;
+};
+
+void ExpectSameSteps(const RunReport& a, const RunReport& b) {
+  ASSERT_EQ(a.steps.size(), b.steps.size());
+  for (size_t i = 0; i < b.steps.size(); ++i) {
+    EXPECT_EQ(a.steps[i].tool, b.steps[i].tool) << "step " << i;
+    EXPECT_EQ(a.steps[i].error_before, b.steps[i].error_before)
+        << "step " << i;
+    EXPECT_EQ(a.steps[i].error_after, b.steps[i].error_after) << "step " << i;
+    EXPECT_EQ(a.steps[i].applied, b.steps[i].applied) << "step " << i;
+    EXPECT_EQ(a.steps[i].vetoed, b.steps[i].vetoed) << "step " << i;
+    EXPECT_EQ(a.steps[i].batch_final, b.steps[i].batch_final) << "step " << i;
+    // Routing never changes how many votes COULD be cast — only how
+    // many validators were actually invoked.
+    EXPECT_EQ(a.steps[i].votes_total, b.steps[i].votes_total) << "step " << i;
+  }
+  EXPECT_EQ(a.final_errors, b.final_errors);
+}
+
+// ---------------------------------------------------------------------
+// Routed vs full voting over a real dataset: three narrow-scope
+// ColumnFreq tools plus a TupleCount tool with grow work, so the vote
+// loops see both cell writes and row-structure writes. Routed runs
+// must be bitwise identical to full voting in the database, the log,
+// and the per-step report — across serial, clone and shared modes and
+// across thread counts — while skipping a nonzero number of votes.
+// ---------------------------------------------------------------------
+class VoteRoutingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    gen_ = std::make_unique<SnapshotSet>(
+        GenerateDataset(XiamiLike(2.0), 11).ValueOrAbort());
+    truth_ = gen_->Materialize(4).ValueOrAbort();
+    RandScaler rand;
+    base_ = rand.Scale(*gen_->Materialize(1).ValueOrAbort(),
+                       gen_->SnapshotSizes(4), 11)
+                .ValueOrAbort();
+    for (const auto& tc : kCols) {
+      Table* table = base_->FindTable(tc[0]);
+      ASSERT_NE(table, nullptr);
+      const int col = table->ColumnIndex(tc[1]);
+      std::vector<TupleId> rows = LiveTuples(*table);
+      ASSERT_TRUE(base_->Apply(Modification::ReplaceValues(
+                                   tc[0], rows, {col}, {Value(int64_t{0})}))
+                      .ok());
+    }
+    // Knock a few Thread tuples out so the TupleCount tool has grow
+    // work: its inserts are row-structure writes, the Route() branch
+    // the cell-write-only ColumnFreq proposals never reach.
+    Table* thread = base_->FindTable("Thread");
+    ASSERT_NE(thread, nullptr);
+    std::vector<TupleId> live = LiveTuples(*thread);
+    ASSERT_GT(live.size(), 8u);
+    for (size_t i = 0; i < 5; ++i) {
+      ASSERT_TRUE(
+          base_->Apply(Modification::DeleteTuple("Thread", live[i])).ok());
+    }
+  }
+
+  Outcome RunWith(RouteVotes route, bool parallel, ParallelMode mode,
+                  int threads) {
+    Outcome out;
+    out.db = base_->Clone();
+    out.log = std::make_unique<ModificationLog>(out.db.get());
+    Coordinator coordinator;
+    std::vector<int> order;
+    for (const auto& tc : kCols) {
+      order.push_back(coordinator.AddTool(std::make_unique<ColumnFreqTool>(
+          truth_->schema(), tc[0], tc[1])));
+    }
+    order.push_back(
+        coordinator.AddTool(std::make_unique<TupleCountTool>(truth_->schema())));
+    coordinator.SetTargetsFromDataset(*truth_).Check();
+    CoordinatorOptions opts;
+    opts.seed = 5;
+    opts.parallel_pass = parallel;
+    opts.parallel_mode = mode;
+    opts.pass_threads = threads;
+    opts.batch_size = 64;
+    opts.route_votes = route;
+    out.report = coordinator.Run(out.db.get(), order, opts).ValueOrAbort();
+    return out;
+  }
+
+  static constexpr const char* kCols[][2] = {
+      {"User", "gender"}, {"Photo", "kind"}, {"Thread", "kind"}};
+
+  std::unique_ptr<SnapshotSet> gen_;
+  std::unique_ptr<Database> truth_;
+  std::unique_ptr<Database> base_;
+};
+
+TEST_F(VoteRoutingTest, RoutedMatchesFullAcrossModesAndThreads) {
+  const Outcome full_serial =
+      RunWith(RouteVotes::kOff, false, ParallelMode::kShared, 1);
+  // Full voting never skips and the off mode never audits.
+  EXPECT_EQ(full_serial.report.votes_skipped, 0);
+  EXPECT_GT(full_serial.report.votes_total, 0);
+
+  for (const RouteVotes route : {RouteVotes::kOn, RouteVotes::kAudit}) {
+    const Outcome routed = RunWith(route, false, ParallelMode::kShared, 1);
+    ExpectSameSteps(routed.report, full_serial.report);
+    ExpectDatabasesIdentical(*routed.db, *full_serial.db);
+    ExpectLogsIdentical(*routed.log, *full_serial.log);
+    // Routing really pruned something, consulted something, and the
+    // audit (debug: every pruned vote; release: sampled) found every
+    // declaration honest.
+    EXPECT_GT(routed.report.votes_skipped, 0);
+    EXPECT_LT(routed.report.votes_skipped, routed.report.votes_total);
+    EXPECT_EQ(routed.report.route_audit_violations, 0);
+  }
+
+  for (const ParallelMode mode :
+       {ParallelMode::kClone, ParallelMode::kShared}) {
+    for (const int threads : {1, 2, 8}) {
+      const Outcome full = RunWith(RouteVotes::kOff, true, mode, threads);
+      const Outcome routed = RunWith(RouteVotes::kOn, true, mode, threads);
+      EXPECT_GT(routed.report.parallel_groups, 0)
+          << "mode " << static_cast<int>(mode) << " threads " << threads;
+      ExpectSameSteps(routed.report, full.report);
+      ExpectDatabasesIdentical(*routed.db, *full.db);
+      ExpectLogsIdentical(*routed.log, *full.log);
+      // ... and both match the serial full-voting run bit for bit.
+      ExpectDatabasesIdentical(*routed.db, *full_serial.db);
+      ExpectLogsIdentical(*routed.log, *full_serial.log);
+      // The serial tuple-count step prunes the off-table ColumnFreq
+      // validators even when the ColumnFreq trio ran as a group.
+      EXPECT_GT(routed.report.votes_skipped, 0)
+          << "mode " << static_cast<int>(mode) << " threads " << threads;
+      EXPECT_EQ(routed.report.route_audit_violations, 0);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Row-interval routing: two instances of one ColumnFreqTool split the
+// SAME (table, column) into disjoint tuple-id halves. The second
+// instance's proposals touch only its own half, so the first — a
+// certified-range reader of the same cell atom — must be pruned by
+// interval disjointness, and (audit mode, so every pruned vote is
+// re-invoked) must genuinely return zero penalty outside its range.
+// ---------------------------------------------------------------------
+TEST_F(VoteRoutingTest, RowRangeDisjointValidatorIsPruned) {
+  const Table* user = base_->FindTable("User");
+  ASSERT_NE(user, nullptr);
+  const int64_t mid = user->NumSlots() / 2;
+  ASSERT_GT(mid, 0);
+  const int64_t last = user->NumSlots() - 1;
+
+  const auto run_with = [&](RouteVotes route) {
+    Outcome out;
+    out.db = base_->Clone();
+    out.log = std::make_unique<ModificationLog>(out.db.get());
+    Coordinator coordinator;
+    auto lo =
+        std::make_unique<ColumnFreqTool>(truth_->schema(), "User", "gender");
+    lo->SetRowRange(0, mid - 1);
+    auto hi =
+        std::make_unique<ColumnFreqTool>(truth_->schema(), "User", "gender");
+    hi->SetRowRange(mid, last);
+    std::vector<int> order = {coordinator.AddTool(std::move(lo)),
+                              coordinator.AddTool(std::move(hi))};
+    coordinator.SetTargetsFromDataset(*truth_).Check();
+    CoordinatorOptions opts;
+    opts.seed = 5;
+    opts.batch_size = 64;
+    opts.route_votes = route;
+    out.report = coordinator.Run(out.db.get(), order, opts).ValueOrAbort();
+    return out;
+  };
+
+  const Outcome full = run_with(RouteVotes::kOff);
+  for (const RouteVotes route : {RouteVotes::kOn, RouteVotes::kAudit}) {
+    const Outcome routed = run_with(route);
+    ExpectSameSteps(routed.report, full.report);
+    ExpectDatabasesIdentical(*routed.db, *full.db);
+    ExpectLogsIdentical(*routed.log, *full.log);
+    // The hi step's only validator (lo) reads the same column but a
+    // disjoint certified range: every one of its votes is pruned, and
+    // none of the audited ones found a nonzero penalty (the InRange
+    // guard makes the zero-outside-scope contract real).
+    EXPECT_GT(routed.report.votes_skipped, 0);
+    EXPECT_EQ(routed.report.route_audit_violations, 0);
+  }
+}
+
+// ---------------------------------------------------------------------
+// The pruning audit: a validator that certifies reading only A.x but
+// actually votes on table B. Routing prunes it from B-writing
+// proposals; the audit (the first pruned vote is always checked, in
+// release builds too) sees the nonzero penalty, counts the vote as
+// cast — same veto as full voting — and distrusts the declaration for
+// the rest of the run.
+// ---------------------------------------------------------------------
+Schema TinySchema() {
+  Schema s;
+  s.name = "tiny";
+  s.tables.push_back({"A", {{"x", ColumnType::kInt64, ""}}});
+  s.tables.push_back({"B", {{"x", ColumnType::kInt64, ""}}});
+  return s;
+}
+
+std::unique_ptr<Database> TinyDb() {
+  auto db = Database::Create(TinySchema()).ValueOrAbort();
+  for (const char* name : {"A", "B"}) {
+    Table* t = db->FindTable(name);
+    t->Append({Value(int64_t{1})}).status().Check();
+    t->Append({Value(int64_t{2})}).status().Check();
+  }
+  return db;
+}
+
+// Certifies that its votes depend only on A.x — but vetoes every
+// modification of table B.
+class NarrowLiarTool : public PropertyTool {
+ public:
+  explicit NarrowLiarTool(const Schema& schema)
+      : a_index_(schema.TableIndex("A")) {}
+  std::string name() const override { return "narrow-liar"; }
+  Status SetTargetFromDataset(const Database&) override {
+    return Status::OK();
+  }
+  Status RepairTarget() override { return Status::OK(); }
+  Status CheckTargetFeasible() const override { return Status::OK(); }
+  Status Bind(Database* db) override {
+    db_ = db;
+    return Status::OK();
+  }
+  void Unbind() override { db_ = nullptr; }
+  bool bound() const override { return db_ != nullptr; }
+  double Error() const override { return 0; }
+  double ValidationPenalty(const Modification& mod) const override {
+    // The lie: a vote that depends on a table the scope never reads.
+    return mod.table == "B" ? 1.0 : 0.0;
+  }
+  void OnApplied(const Modification&, const std::vector<Value>&,
+                 TupleId) override {}
+  AccessScope DeclaredScope() const override {
+    AccessScope scope;
+    scope.known = true;
+    scope.AddRead(a_index_, 0);  // A.x only — says nothing about B
+    return scope;
+  }
+  Status Tweak(TweakContext*) override { return Status::OK(); }
+
+ private:
+  int a_index_;
+  Database* db_ = nullptr;
+};
+
+// Proposes four rewrites of B.x[0]; vetoes are part of the plan.
+class BWriterTool : public PropertyTool {
+ public:
+  explicit BWriterTool(const Schema& schema)
+      : b_index_(schema.TableIndex("B")) {}
+  std::string name() const override { return "b-writer"; }
+  Status SetTargetFromDataset(const Database&) override {
+    return Status::OK();
+  }
+  Status RepairTarget() override { return Status::OK(); }
+  Status CheckTargetFeasible() const override { return Status::OK(); }
+  Status Bind(Database* db) override {
+    db_ = db;
+    return Status::OK();
+  }
+  void Unbind() override { db_ = nullptr; }
+  bool bound() const override { return db_ != nullptr; }
+  double Error() const override { return 0; }
+  double ValidationPenalty(const Modification&) const override { return 0; }
+  void OnApplied(const Modification&, const std::vector<Value>&,
+                 TupleId) override {}
+  AccessScope DeclaredScope() const override {
+    AccessScope scope;
+    scope.known = true;
+    scope.AddWrite(b_index_, 0);  // B.x
+    return scope;
+  }
+  Status Tweak(TweakContext* ctx) override {
+    for (int64_t k = 0; k < 4; ++k) {
+      const Status st = ctx->TryApply(
+          Modification::ReplaceValues("B", {0}, {0}, {Value(int64_t{10 + k})}));
+      if (!st.ok() && !st.IsValidationFailed()) return st;
+    }
+    return Status::OK();
+  }
+
+ private:
+  int b_index_;
+  Database* db_ = nullptr;
+};
+
+TEST(VoteRoutingAuditTest, OverNarrowValidatorIsCaughtAndDistrusted) {
+  const Schema schema = TinySchema();
+  const auto run_with = [&](RouteVotes route) {
+    auto db = TinyDb();
+    Coordinator coordinator;
+    std::vector<int> order = {
+        coordinator.AddTool(std::make_unique<NarrowLiarTool>(schema)),
+        coordinator.AddTool(std::make_unique<BWriterTool>(schema)),
+    };
+    CoordinatorOptions opts;
+    opts.seed = 13;
+    opts.iterations = 2;
+    opts.route_votes = route;
+    RunReport report = coordinator.Run(db.get(), order, opts).ValueOrAbort();
+    return std::make_pair(std::move(db), std::move(report));
+  };
+
+  const auto full = run_with(RouteVotes::kOff);
+  // Full voting consults the liar on every proposal: all four rewrites
+  // vetoed in both passes, B never changes.
+  ASSERT_EQ(full.second.steps.size(), 4u);
+  EXPECT_EQ(full.second.steps[1].vetoed, 4);
+  EXPECT_EQ(full.second.steps[3].vetoed, 4);
+  EXPECT_EQ(full.second.route_audit_violations, 0);
+
+  for (const RouteVotes route : {RouteVotes::kOn, RouteVotes::kAudit}) {
+    const auto routed = run_with(route);
+    ASSERT_EQ(routed.second.steps.size(), 4u);
+    const ToolReport& pass1 = routed.second.steps[1];
+    const ToolReport& pass2 = routed.second.steps[3];
+
+    // Pass 1: the liar is pruned from the first proposal; the audit
+    // checks that very vote (pruned vote #0 is always audited, in
+    // release sampling too), sees the 1.0 penalty, counts it — so the
+    // proposal is vetoed exactly as under full voting — and latches
+    // the violation. The remaining proposals consult the liar again.
+    EXPECT_EQ(pass1.tool, "b-writer");
+    EXPECT_EQ(pass1.votes_total, 4);
+    EXPECT_EQ(pass1.votes_skipped, 1);
+    EXPECT_EQ(pass1.vetoed, 4);
+    EXPECT_EQ(pass1.route_audit_violations, 1);
+
+    // Pass 2: the liar's declaration is distrusted for the rest of the
+    // run — it votes on everything again.
+    EXPECT_EQ(pass2.tool, "b-writer");
+    EXPECT_EQ(pass2.votes_total, 4);
+    EXPECT_EQ(pass2.votes_skipped, 0);
+    EXPECT_EQ(pass2.vetoed, 4);
+    EXPECT_EQ(pass2.route_audit_violations, 0);
+
+    EXPECT_EQ(routed.second.route_audit_violations, 1);
+    // The audited vote counted, so the outcome matches full voting.
+    ExpectDatabasesIdentical(*routed.first, *full.first);
+  }
+}
+
+}  // namespace
+}  // namespace aspect

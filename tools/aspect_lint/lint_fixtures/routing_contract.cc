@@ -1,0 +1,116 @@
+// Fixture: the vote-routing contract. A DeclaredScope that narrows to
+// a row range (AddReadRange / AddWriteRange) licenses the router to
+// prune the tool's votes outside that range, which is sound only when
+// the penalty paths guard with InRange. A ranged declaration whose
+// penalties never consult InRange is a routing hazard unless the tool
+// vouches with an allow marker.
+#include <cstdint>
+
+struct AccessScope {
+  void AddWrite(int t, int c);
+  void AddWriteRange(int t, int c, int64_t lo, int64_t hi);
+  void AddReadRange(int t, int c, int64_t lo, int64_t hi);
+};
+struct Modification {};
+
+// Clean: ranged declaration, InRange guard in the penalty body.
+class GuardedTool {
+ public:
+  AccessScope DeclaredScope() const;
+  double ValidationPenalty(const Modification& mod) const;
+  bool InRange(int64_t tid) const;
+};
+
+AccessScope GuardedTool::DeclaredScope() const {
+  AccessScope s;
+  s.AddWriteRange(0, 0, 0, 7);
+  return s;
+}
+
+double GuardedTool::ValidationPenalty(const Modification& mod) const {
+  (void)mod;
+  return InRange(0) ? 1.0 : 0.0;
+}
+
+// Clean: the guard lives in a same-class pricing helper the penalty
+// delegates to (the NullCountTool::DeltaOf shape).
+class HelperGuardedTool {
+ public:
+  AccessScope DeclaredScope() const;
+  double ValidationPenalty(const Modification& mod) const;
+  int64_t DeltaOf(const Modification& mod) const;
+  bool InRange(int64_t tid) const;
+};
+
+AccessScope HelperGuardedTool::DeclaredScope() const {
+  AccessScope s;
+  s.AddWriteRange(0, 0, 0, 7);
+  return s;
+}
+
+int64_t HelperGuardedTool::DeltaOf(const Modification& mod) const {
+  (void)mod;
+  return InRange(0) ? 1 : 0;
+}
+
+double HelperGuardedTool::ValidationPenalty(const Modification& mod) const {
+  return static_cast<double>(DeltaOf(mod));
+}
+
+// Violation: range declared, no penalty body consults InRange.
+class UnguardedTool {
+ public:
+  AccessScope DeclaredScope() const;
+  double ValidationPenalty(const Modification& mod) const;
+};
+
+AccessScope UnguardedTool::DeclaredScope() const {  // aspect-lint-expect: routing-contract
+  AccessScope s;
+  s.AddReadRange(0, 0, 0, 7);
+  return s;
+}
+
+double UnguardedTool::ValidationPenalty(const Modification& mod) const {
+  (void)mod;
+  return 1.0;
+}
+
+// Vouched: the contract is upheld some other way, and the marker on
+// the DeclaredScope definition says so.
+class VouchedTool {
+ public:
+  AccessScope DeclaredScope() const;
+  double ValidationPenalty(const Modification& mod) const;
+};
+
+// Penalty is structurally zero off-range, no InRange call needed:
+// aspect-lint: allow(routing-contract)
+AccessScope VouchedTool::DeclaredScope() const {
+  AccessScope s;
+  s.AddWriteRange(0, 0, 8, 15);
+  return s;
+}
+
+double VouchedTool::ValidationPenalty(const Modification& mod) const {
+  (void)mod;
+  return 0.0;
+}
+
+// Unranged scope never triggers the check, guard or no guard: a
+// whole-column reader is consulted on every write to its column.
+class WholeColumnTool {
+ public:
+  AccessScope DeclaredScope() const;
+  double ValidationPenalty(const Modification& mod) const;
+};
+
+AccessScope WholeColumnTool::DeclaredScope() const {
+  AccessScope s;
+  s.AddWrite(0, 0);
+  return s;
+}
+
+double WholeColumnTool::ValidationPenalty(const Modification& mod) const {
+  (void)mod;
+  return 1.0;
+}
