@@ -231,12 +231,13 @@ bool ValidationPhase(const Database& base, const Database& truth,
   Banner("Vote routing: 48 row-range slices per column, routed vs full");
   struct VoteOutcome {
     double seconds = 0;
+    double build_seconds = 0;
     int64_t votes_total = 0;
     int64_t votes_skipped = 0;
     int64_t violations = 0;
     std::vector<double> errors;
   };
-  const auto run_once = [&](RouteVotes route) {
+  const auto run_once = [&](RouteVotes route, bool rebuild_per_step) {
     auto scaled = base.Clone();
     Coordinator coordinator;
     std::vector<int> order;
@@ -265,6 +266,7 @@ bool ValidationPhase(const Database& base, const Database& truth,
     // validator per modification, instead of one per 256-row batch.
     opts.batch_size = 1;
     opts.route_votes = route;
+    opts.route_rebuild_per_step = rebuild_per_step;
     const auto t0 = std::chrono::steady_clock::now();
     const RunReport rep =
         coordinator.Run(scaled.get(), order, opts).ValueOrAbort();
@@ -272,17 +274,18 @@ bool ValidationPhase(const Database& base, const Database& truth,
     out.seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    out.build_seconds = rep.route_index_build_seconds;
     out.votes_total = rep.votes_total;
     out.votes_skipped = rep.votes_skipped;
     out.violations = rep.route_audit_violations;
     out.errors = rep.final_errors;
     return out;
   };
-  const auto best = [&](RouteVotes route) {
+  const auto best = [&](RouteVotes route, bool rebuild_per_step = false) {
     constexpr int kReps = 3;
     VoteOutcome best_out;
     for (int r = 0; r < kReps; ++r) {
-      VoteOutcome o = run_once(route);
+      VoteOutcome o = run_once(route, rebuild_per_step);
       if (r == 0 || o.seconds < best_out.seconds) best_out = std::move(o);
     }
     return best_out;
@@ -290,19 +293,27 @@ bool ValidationPhase(const Database& base, const Database& truth,
 
   const VoteOutcome full = best(RouteVotes::kOff);
   const VoteOutcome routed = best(RouteVotes::kOn);
+  // Same routed configuration, but the index is torn down and rebuilt
+  // from certified scopes on every serial step (the pre-incremental
+  // behaviour, kept behind CoordinatorOptions::route_rebuild_per_step)
+  // — the voting is identical, only the maintenance cost differs.
+  const VoteOutcome rebuilt = best(RouteVotes::kOn, /*rebuild_per_step=*/true);
   const VoteOutcome audit = best(RouteVotes::kAudit);
-  Header({"config", "seconds", "votes_total", "votes_skipped"});
+  Header({"config", "seconds", "index_build_s", "votes_total",
+          "votes_skipped"});
   const auto row = [](const char* label, const VoteOutcome& o) {
     Cell(label);
     Cell(o.seconds);
+    Cell(o.build_seconds);
     Cell(std::to_string(o.votes_total));
     Cell(std::to_string(o.votes_skipped));
     EndRow();
   };
   row("full", full);
   row("routed", routed);
+  row("routed-rebuild", rebuilt);
   row("audit", audit);
-  for (const VoteOutcome* o : {&routed, &audit}) {
+  for (const VoteOutcome* o : {&routed, &rebuilt, &audit}) {
     for (size_t i = 0; i < full.errors.size(); ++i) {
       if (full.errors[i] != o->errors[i]) {
         std::fprintf(stderr,
@@ -325,17 +336,26 @@ bool ValidationPhase(const Database& base, const Database& truth,
     return false;
   }
   const double route_speedup = full.seconds / std::max(1e-9, routed.seconds);
+  const double route_incremental_speedup =
+      rebuilt.seconds / std::max(1e-9, routed.seconds);
   std::printf("identical final errors; %lld/%lld votes skipped; "
-              "route speedup %.2fx (audit %.2fx)\n",
+              "route speedup %.2fx (audit %.2fx); incremental index "
+              "%.2fx vs per-step rebuild (build %.4fs vs %.4fs)\n",
               static_cast<long long>(routed.votes_skipped),
               static_cast<long long>(routed.votes_total), route_speedup,
-              full.seconds / std::max(1e-9, audit.seconds));
+              full.seconds / std::max(1e-9, audit.seconds),
+              route_incremental_speedup, routed.build_seconds,
+              rebuilt.build_seconds);
   report->Metric("votes_total", static_cast<double>(routed.votes_total));
   report->Metric("votes_skipped", static_cast<double>(routed.votes_skipped));
   report->Metric("route_full_s", full.seconds);
   report->Metric("route_routed_s", routed.seconds);
+  report->Metric("route_rebuild_s", rebuilt.seconds);
   report->Metric("route_audit_s", audit.seconds);
   report->Metric("route_speedup", route_speedup);
+  report->Metric("route_incremental_speedup", route_incremental_speedup);
+  report->Metric("route_index_build_s", routed.build_seconds);
+  report->Metric("route_index_build_rebuild_s", rebuilt.build_seconds);
   return true;
 }
 

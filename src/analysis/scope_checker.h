@@ -176,6 +176,14 @@ class ScopeChecker {
     MutexLock lock(mu_);
     return violations_;
   }
+  /// Monotone violation count, without copying the list. Distrust can
+  /// only flip when this grows, which lets the coordinator's routing
+  /// index re-scan distrust flags only on change (an O(1) epoch test
+  /// per step instead of an O(fleet) scan).
+  size_t NumViolations() const ASPECT_EXCLUDES(mu_) {
+    MutexLock lock(mu_);
+    return violations_.size();
+  }
   bool ok() const ASPECT_EXCLUDES(mu_) {
     MutexLock lock(mu_);
     return violations_.empty();

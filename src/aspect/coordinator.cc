@@ -213,15 +213,24 @@ std::string RunReport::ToString() const {
       os << StrFormat(" [route audit: %lld violation(s)]",
                       static_cast<long long>(s.route_audit_violations));
     }
+    if (s.route_fallbacks > 0) {
+      os << StrFormat(" [route fallbacks %lld]",
+                      static_cast<long long>(s.route_fallbacks));
+    }
     os << "\n";
   }
-  if (votes_skipped > 0 || route_audit_violations > 0) {
+  if (votes_skipped > 0 || route_audit_violations > 0 ||
+      route_fallbacks > 0) {
     os << StrFormat("vote routing: %lld/%lld votes skipped",
                     static_cast<long long>(votes_skipped),
                     static_cast<long long>(votes_total));
     if (route_audit_violations > 0) {
       os << StrFormat(", %lld audit violation(s)",
                       static_cast<long long>(route_audit_violations));
+    }
+    if (route_fallbacks > 0) {
+      os << StrFormat(", %lld unknown-table fallback(s)",
+                      static_cast<long long>(route_fallbacks));
     }
     os << "\n";
   }
@@ -342,6 +351,54 @@ Result<RunReport> Coordinator::Run(Database* db,
   // pass N"); advanced by the iteration loop below.
   int cur_pass = 0;
 
+  // Incrementally maintained vote-routing index over the *enforced*
+  // list (slot j <-> enforced[j]; the list only grows and never
+  // reorders). Exactly two events change what a from-scratch Build
+  // over resolve_scope would produce: a tool joining the enforced
+  // list, and a distrust event degrading a tool's certified scope to
+  // observed. Everything else resolve_scope depends on is inert here —
+  // an observed scope evolves as the monitor records writes, but every
+  // !known / !reads_complete scope contributes the identical index
+  // state (always-vote bit, no buckets), and declarations are stable
+  // for the duration of a run. So syncing = append the new enforced
+  // tools + degrade the newly distrusted slots, O(change) per step
+  // (the debug cross-check in serial_step asserts this equals a fresh
+  // rebuild).
+  VoteIndex route_index;
+  route_index.Reset(&db->schema());
+  double route_index_build_seconds = 0;
+  // Per enforced slot: 1 once the slot has been degraded in the index.
+  std::vector<uint8_t> route_index_degraded;
+  // Distrust events are detected by a monotone epoch (set sizes plus
+  // the checker's violation count): the O(fleet) flag re-scan runs
+  // only when the epoch moved, not on every step.
+  size_t route_distrust_epoch = 0;
+
+  const auto tool_distrusted = [&](int id) {
+    return (checker_ != nullptr && checker_->IsDistrusted(id)) ||
+           lease_distrusted.count(id) != 0 || route_distrusted.count(id) != 0;
+  };
+
+  const auto sync_route_index = [&]() {
+    while (route_index.num_validators() < enforced.size()) {
+      const size_t slot = route_index.num_validators();
+      const int id = enforced[slot];
+      route_index.AddValidator(resolve_scope(id));
+      route_index_degraded.push_back(tool_distrusted(id) ? 1 : 0);
+    }
+    const size_t epoch =
+        lease_distrusted.size() + route_distrusted.size() +
+        (checker_ != nullptr ? checker_->NumViolations() : 0);
+    if (epoch == route_distrust_epoch) return;
+    route_distrust_epoch = epoch;
+    for (size_t j = 0; j < enforced.size(); ++j) {
+      if (!route_index_degraded[j] && tool_distrusted(enforced[j])) {
+        route_index.Distrust(static_cast<int>(j));
+        route_index_degraded[j] = 1;
+      }
+    }
+  };
+
   // Autotuned batch-size hint per tool (options.batch_auto): a step
   // starts from the size the tool's previous step settled on, so the
   // tuning survives across passes. Committed only by steps that stuck
@@ -371,18 +428,50 @@ Result<RunReport> Coordinator::Run(Database* db,
                            ? tool_batch_hint[static_cast<size_t>(id)]
                            : options.batch_size);
     ctx.set_batch_auto(options.batch_auto);
-    // Vote routing: index the enforced validators' certified scopes —
-    // exactly what resolve_scope certifies for the lease partitioner,
-    // with distrusted declarations degrading to observed (incomplete)
-    // scopes and therefore to the always-vote set. Rebuilt per step
-    // because the enforced list grows as the pass proceeds.
-    VoteIndex vote_index;
+    // Vote routing: the run-wide incremental index over the enforced
+    // validators' certified scopes — exactly what resolve_scope
+    // certifies for the lease partitioner, with distrusted
+    // declarations degrading to observed (incomplete) scopes and
+    // therefore to the always-vote set. Synced by O(change) deltas;
+    // the stepping tool's own slot (when already enforced) is handed
+    // to the context so its vote loops skip it.
+    VoteIndex rebuilt_index;  // only used with route_rebuild_per_step
     if (options.route_votes != RouteVotes::kOff && !validator_ids.empty()) {
-      std::vector<AccessScope> scopes;
-      scopes.reserve(validator_ids.size());
-      for (const int e : validator_ids) scopes.push_back(resolve_scope(e));
-      vote_index.Build(&db->schema(), scopes);
-      ctx.set_vote_routing(&vote_index, options.route_votes);
+      const double build0 = Now();
+      sync_route_index();
+      size_t self_slot = TweakContext::kNoSelfSlot;
+      for (size_t j = 0; j < enforced.size(); ++j) {
+        if (enforced[j] == id) {
+          self_slot = j;
+          break;
+        }
+      }
+      const VoteIndex* index = &route_index;
+      if (options.route_rebuild_per_step) {
+        // The pre-incremental behaviour, kept as a measurable baseline:
+        // re-resolve and rebuild over the whole enforced fleet.
+        std::vector<AccessScope> scopes;
+        scopes.reserve(enforced.size());
+        for (const int e : enforced) scopes.push_back(resolve_scope(e));
+        rebuilt_index.Build(&db->schema(), scopes);
+        index = &rebuilt_index;
+      }
+      route_index_build_seconds += Now() - build0;
+#ifndef NDEBUG
+      {
+        // Debug cross-check: the incrementally maintained index must
+        // be structurally identical to a from-scratch rebuild over the
+        // currently resolved scopes (see the sync_route_index note for
+        // why this is a pure function of enforced order + distrust).
+        std::vector<AccessScope> scopes;
+        scopes.reserve(enforced.size());
+        for (const int e : enforced) scopes.push_back(resolve_scope(e));
+        VoteIndex fresh;
+        fresh.Build(&db->schema(), scopes);
+        assert(route_index.DebugEquals(fresh));
+      }
+#endif
+      ctx.set_vote_routing(index, options.route_votes, self_slot);
     }
     ToolReport step;
     step.tool = t->name();
@@ -462,6 +551,7 @@ Result<RunReport> Coordinator::Run(Database* db,
     step.votes_skipped = ctx.votes_skipped();
     step.route_audit_violations =
         static_cast<int64_t>(ctx.route_violations().size());
+    step.route_fallbacks = ctx.route_fallbacks();
     for (const TweakContext::RouteViolation& v : ctx.route_violations()) {
       route_distrusted.insert(validator_ids[static_cast<size_t>(v.validator)]);
       ASPECT_LOG(Info) << "vote-routing audit: pruned validator " << v.name
@@ -1125,7 +1215,9 @@ Result<RunReport> Coordinator::Run(Database* db,
     report.votes_total += s.votes_total;
     report.votes_skipped += s.votes_skipped;
     report.route_audit_violations += s.route_audit_violations;
+    report.route_fallbacks += s.route_fallbacks;
   }
+  report.route_index_build_seconds = route_index_build_seconds;
   if (checker_ != nullptr) {
     report.scope_violations = checker_->violations();
     if (options.check_scopes == analysis::ScopeCheckMode::kStrict &&

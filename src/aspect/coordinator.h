@@ -119,17 +119,29 @@ struct CoordinatorOptions {
   /// installs no footprint probes; release builds still arm the
   /// sampled canary.
   analysis::ScopeCheckMode check_scopes = analysis::ScopeCheckMode::kOff;
-  /// Scope-indexed validator routing (the CLI's --route-votes): each
-  /// serial step builds a VoteIndex over the enforced validators'
-  /// certified scopes — the same certification the lease partitioner
-  /// trusts — and proposals consult only the validators their write
-  /// footprint could disturb. Every skipped vote is provably zero, so
+  /// Scope-indexed validator routing (the CLI's --route-votes): serial
+  /// steps consult a VoteIndex over the enforced validators' certified
+  /// scopes — the same certification the lease partitioner trusts —
+  /// and proposals consult only the validators their write footprint
+  /// could disturb. Every skipped vote is provably zero, so
   /// results are bitwise identical to full voting; the sampled pruning
   /// audit (kOn: debug always / release 1-in-64; kAudit: always)
   /// enforces that claim at runtime and a caught validator is
   /// distrusted — full voting and the serial path — for the rest of
   /// the run. kOff (the default) keeps the legacy everyone-votes loop.
+  /// The index is maintained *incrementally* across the run: built
+  /// once, grown by one validator when a tool is first enforced, and
+  /// degraded in place when a distrust event latches — per-step setup
+  /// is O(change), not O(fleet) (debug builds cross-check against a
+  /// from-scratch rebuild every step).
   RouteVotes route_votes = RouteVotes::kOff;
+  /// Testing / benchmarking escape hatch: resolve every enforced scope
+  /// and rebuild the routing index from scratch on each serial step
+  /// (the pre-incremental behaviour) instead of maintaining it
+  /// incrementally. Voting results are bitwise identical either way;
+  /// only RunReport::route_index_build_seconds differs. The bench's
+  /// route_incremental_speedup metric compares the two.
+  bool route_rebuild_per_step = false;
 };
 
 /// Per-tool outcome of one coordinator run.
@@ -164,6 +176,11 @@ struct ToolReport {
   /// validators whose declared read scope lied. Each one was distrusted
   /// for the rest of the run.
   int64_t route_audit_violations = 0;
+  /// Proposals this step routed conservatively (everyone voted)
+  /// because a modification named a table the schema does not know.
+  /// Without the counter such proposals are indistinguishable from
+  /// legitimately routed ones; audit mode also warns once.
+  int64_t route_fallbacks = 0;
 };
 
 struct RunReport {
@@ -214,6 +231,14 @@ struct RunReport {
   int64_t votes_total = 0;
   int64_t votes_skipped = 0;
   int64_t route_audit_violations = 0;
+  /// Unknown-table conservative routing fallbacks over all steps.
+  int64_t route_fallbacks = 0;
+  /// Seconds spent building and incrementally maintaining the routing
+  /// index (options.route_votes != kOff). With the incremental path
+  /// this stays ~0 after the first step of a pass regardless of fleet
+  /// size; options.route_rebuild_per_step restores the O(fleet)
+  /// per-step cost for comparison.
+  double route_index_build_seconds = 0;
   double group_setup_seconds = 0;
   double group_merge_seconds = 0;
   double group_rebase_seconds = 0;

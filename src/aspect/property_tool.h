@@ -123,6 +123,16 @@ class PropertyTool : public ModificationListener {
   static constexpr double kNoPenaltyCap =
       std::numeric_limits<double>::infinity();
 
+  /// Safety margin for composite early-exit bounds: an implementation
+  /// should stop only when its provable lower bound on the final
+  /// penalty clears `veto_cap` by more than this (scaled by the
+  /// bound's magnitude), so the tiny floating-point rounding the bound
+  /// arithmetic itself carries can never flip a boundary veto decision
+  /// relative to uncapped pricing. The built-in composite tools keep
+  /// their delta bookkeeping in exact integers, which makes this
+  /// margin comfortably conservative.
+  static constexpr double kPenaltyCapSlack = 1e-9;
+
   /// Vote on a whole batch as one composite proposal: the penalty the
   /// property incurs if ALL of `mods` are applied. The default sums
   /// the single-modification penalties, which matches the composite

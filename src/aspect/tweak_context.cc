@@ -1,10 +1,12 @@
 #include "aspect/tweak_context.h"
 
 #include <algorithm>
+#include <cassert>
 
 #include "analysis/probe.h"
 #include "aspect/access_monitor.h"
 #include "aspect/property_tool.h"
+#include "common/logging.h"
 
 namespace aspect {
 namespace {
@@ -27,21 +29,53 @@ TweakContext::TweakContext(Database* db,
       monitor_(monitor),
       tool_id_(tool_id) {}
 
-void TweakContext::set_vote_routing(const VoteIndex* index, RouteVotes mode) {
-  // Precondition: `index` was built for this context's validator list,
-  // position for position.
+void TweakContext::set_vote_routing(const VoteIndex* index, RouteVotes mode,
+                                    size_t self_slot) {
+  // Precondition: `index` describes the coordinator's enforced list —
+  // this context's validator list with the stepping tool spliced in at
+  // `self_slot` (kNoSelfSlot when absent).
   vote_index_ = mode == RouteVotes::kOff ? nullptr : index;
   route_mode_ = mode;
+  self_slot_ = self_slot;
+  assert(vote_index_ == nullptr ||
+         vote_index_->num_validators() ==
+             validators_.size() + (self_slot_ != kNoSelfSlot ? 1 : 0));
   route_local_distrust_.assign(validators_.size(), 0);
   route_any_distrust_ = false;
 }
 
-void TweakContext::RouteConsult(std::span<const Modification> mods) {
-  vote_index_->Route(mods, &consult_);
-  if (!route_any_distrust_) return;
-  for (size_t i = 0; i < consult_.size(); ++i) {
-    if (route_local_distrust_[i]) consult_[i] = 1;
+int64_t TweakContext::RouteConsult(std::span<const Modification> mods) {
+  const int64_t fallbacks_before = route_metrics_.fallbacks;
+  vote_index_->Route(mods, &consult_, &route_metrics_);
+  if (route_mode_ == RouteVotes::kAudit && !route_fallback_warned_ &&
+      route_metrics_.fallbacks != fallbacks_before) {
+    // Rare conservative bail: without this latch the proposal would be
+    // indistinguishable from a legitimately routed one.
+    route_fallback_warned_ = true;
+    const std::string* unknown = nullptr;
+    for (const Modification& mod : mods) {
+      if (db_->schema().TableIndex(mod.table) < 0) {
+        unknown = &mod.table;
+        break;
+      }
+    }
+    ASPECT_LOG(Warning)
+        << "vote routing fell back to consulting every validator: "
+        << "proposal names unknown table '"
+        << (unknown != nullptr ? *unknown : std::string("?")) << "'";
   }
+  if (route_any_distrust_) {
+    for (size_t i = 0; i < validators_.size(); ++i) {
+      if (route_local_distrust_[i]) consult_.SetBit(SlotOf(i));
+    }
+  }
+  // Pruned validators = the validator list minus the set bits at
+  // validator slots (the stepping tool's own slot, when present, is
+  // not a validator and is excluded from the count).
+  size_t consulted = consult_.CountSet();
+  if (self_slot_ != kNoSelfSlot && consult_.Test(self_slot_)) --consulted;
+  return static_cast<int64_t>(validators_.size()) -
+         static_cast<int64_t>(consulted);
 }
 
 bool TweakContext::ShouldAuditPrune() {
@@ -65,7 +99,7 @@ void TweakContext::LatchRouteViolation(size_t i, double penalty) {
 }
 
 double TweakContext::RoutedSingleVote(size_t i, const Modification& mod) {
-  if (consult_[i]) return validators_[i]->ValidationPenalty(mod);
+  if (Consulted(i)) return validators_[i]->ValidationPenalty(mod);
   ++votes_skipped_;
   if (!ShouldAuditPrune()) return 0.0;
   const double p = validators_[i]->ValidationPenalty(mod);
@@ -83,7 +117,9 @@ double TweakContext::RoutedSingleVote(size_t i, const Modification& mod) {
 double TweakContext::RoutedBatchVote(size_t i,
                                      std::span<const Modification> mods,
                                      double veto_cap) {
-  if (consult_[i]) return validators_[i]->ValidationPenaltyBatch(mods, veto_cap);
+  if (Consulted(i)) {
+    return validators_[i]->ValidationPenaltyBatch(mods, veto_cap);
+  }
   ++votes_skipped_;
   if (!ShouldAuditPrune()) return 0.0;
   // The audit must see the exact composite penalty: uncapped.
@@ -113,17 +149,15 @@ bool TweakContext::AuditDueWithin(int64_t pruned) const {
 
 int TweakContext::RoutedObjector(std::span<const Modification> mods,
                                  double veto_cap) {
-  RouteConsult(mods);
+  const int64_t pruned_expected = RouteConsult(mods);
   const bool single = mods.size() == 1;
-  const int64_t pruned_expected =
-      std::count(consult_.begin(), consult_.end(), uint8_t{0});
   if (!AuditDueWithin(pruned_expected)) {
     // Fast path: no pruned vote of this proposal is an audit sample,
     // so skipping costs one counter update — the vote loop is
     // O(consulted validators), not O(all validators' penalty calls).
     int64_t pruned = 0;
     for (size_t i = 0; i < validators_.size(); ++i) {
-      if (!consult_[i]) {
+      if (!Consulted(i)) {
         ++pruned;
         continue;
       }

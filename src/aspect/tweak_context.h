@@ -92,15 +92,25 @@ class TweakContext {
   /// Number of modifications applied (accepted + forced).
   int64_t applied() const { return applied_; }
 
+  /// Slot sentinel for set_vote_routing: the stepping tool is not in
+  /// the index's validator list.
+  static constexpr size_t kNoSelfSlot = static_cast<size_t>(-1);
+
   /// Enables scope-routed voting: proposals consult only the
   /// validators `index` maps to their write footprint (plus the
   /// always-vote fallback set); every skipped vote is provably zero.
-  /// `index` must describe the validator list this context was
-  /// constructed with, position for position, and must outlive the
-  /// context. Routed loops walk the validators in their original
-  /// order, so veto decisions, veto attribution and the autotuning
-  /// trajectory are bitwise identical to full voting.
-  void set_vote_routing(const VoteIndex* index, RouteVotes mode);
+  /// `index` must outlive the context and describe the coordinator's
+  /// *enforced* list — this context's validator list with the stepping
+  /// tool itself spliced in at `self_slot` (kNoSelfSlot when the tool
+  /// is not yet enforced, i.e. the lists coincide). Indexing the
+  /// enforced list is what lets the coordinator maintain ONE index
+  /// incrementally across steps instead of rebuilding a per-step
+  /// permutation; the context maps validator i to index slot
+  /// i + (i >= self_slot). Routed loops walk the validators in their
+  /// original order, so veto decisions, veto attribution and the
+  /// autotuning trajectory are bitwise identical to full voting.
+  void set_vote_routing(const VoteIndex* index, RouteVotes mode,
+                        size_t self_slot = kNoSelfSlot);
 
   /// One audit catch: a routed-away validator that, when invoked
   /// anyway by the sampled pruning audit, returned a nonzero penalty —
@@ -119,6 +129,11 @@ class TweakContext {
   int64_t votes_total() const { return votes_total_; }
   /// The subset of votes_total() proven zero and skipped by routing.
   int64_t votes_skipped() const { return votes_skipped_; }
+  /// Proposals routed conservatively because a modification named a
+  /// table the schema does not know (everyone voted; nothing was
+  /// pruned). Surfaced as RunReport::route_fallbacks; audit mode also
+  /// latches a one-time warning naming the table.
+  int64_t route_fallbacks() const { return route_metrics_.fallbacks; }
   const std::vector<RouteViolation>& route_violations() const {
     return route_violations_;
   }
@@ -137,9 +152,17 @@ class TweakContext {
   bool Routed() const {
     return vote_index_ != nullptr && route_mode_ != RouteVotes::kOff;
   }
+  /// The index slot of validator `i`: identical until self_slot_,
+  /// shifted past the stepping tool's own slot after it.
+  size_t SlotOf(size_t i) const {
+    return self_slot_ != kNoSelfSlot && i >= self_slot_ ? i + 1 : i;
+  }
+  /// True when the routed consult mask says validator `i` must vote.
+  bool Consulted(size_t i) const { return consult_.Test(SlotOf(i)); }
   /// Fills consult_ for `mods` (index routing plus the local distrust
-  /// overlay from earlier audit catches).
-  void RouteConsult(std::span<const Modification> mods);
+  /// overlay from earlier audit catches) and returns the number of
+  /// validators the mask prunes.
+  int64_t RouteConsult(std::span<const Modification> mods);
   /// Sampling decision for one pruned vote; advances the counter.
   bool ShouldAuditPrune();
   /// The vote of validator `i` on `mods` under routing: skipped when
@@ -179,8 +202,16 @@ class TweakContext {
   int64_t applied_ = 0;
   const VoteIndex* vote_index_ = nullptr;
   RouteVotes route_mode_ = RouteVotes::kOff;
-  /// Scratch consult mask for the current proposal (1 = must vote).
-  std::vector<uint8_t> consult_;
+  /// Position of the stepping tool itself in the index's enforced
+  /// list, or kNoSelfSlot when absent (first pass of the tool).
+  size_t self_slot_ = kNoSelfSlot;
+  /// Scratch consult mask for the current proposal, indexed by
+  /// *enforced-list slot* (set = must vote). Reused across proposals.
+  ConsultMask consult_;
+  /// Fallback / aggregation counters from every Route call.
+  RouteMetrics route_metrics_;
+  /// One-time latch for the audit-mode unknown-table warning.
+  bool route_fallback_warned_ = false;
   /// Validators caught by the audit: consulted on every later
   /// proposal regardless of what the index says. The flag saves the
   /// per-proposal overlay scan on the (overwhelming) clean path.

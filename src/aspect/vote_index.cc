@@ -1,67 +1,130 @@
 #include "aspect/vote_index.h"
 
 #include <algorithm>
-
-#include "analysis/row_intervals.h"
+#include <bit>
 
 namespace aspect {
 
-void VoteIndex::Build(const Schema* schema,
-                      std::span<const AccessScope> scopes) {
-  schema_ = schema;
-  always_.assign(scopes.size(), 0);
-  table_readers_.clear();
-  whole_table_readers_.clear();
-  cell_readers_.clear();
-  for (size_t i = 0; i < scopes.size(); ++i) {
-    const AccessScope& s = scopes[i];
-    const int idx = static_cast<int>(i);
-    // An unknown scope conflicts with everything; an observed scope's
-    // read set is a lower bound (reads_complete = false), so neither
-    // can certify any vote as zero.
-    if (!s.known || !s.reads_complete) {
-      always_[i] = 1;
-      continue;
-    }
-    for (const AccessScope::Atom& r : s.stats_reads) {
-      table_readers_[r.first].push_back(idx);
-      if (r.second == AccessScope::kWholeTable) {
-        whole_table_readers_[r.first].push_back(idx);
-      } else if (r.second >= 0) {
-        RangedReader reader{idx, false, 0, 0};
-        if (const auto* range = s.RangeOf(r)) {
-          reader.ranged = true;
-          reader.lo = range->first;
-          reader.hi = range->second;
-        }
-        cell_readers_[r].push_back(reader);
-      }
-      // kRowStructure readers are disturbed only by row-structure
-      // writes, which consult table_readers_; cell writes never change
-      // what a pure row-structure reader observes.
-    }
-  }
-  // A validator holding several atoms on one table lands in
-  // table_readers_ once per atom; dedup so Route marks each just once.
-  for (auto& [table, readers] : table_readers_) {
-    std::sort(readers.begin(), readers.end());
-    readers.erase(std::unique(readers.begin(), readers.end()),
-                  readers.end());
+void ConsultMask::SetAll() {
+  std::fill(words_.begin(), words_.end(), ~uint64_t{0});
+  const size_t tail = size_ & 63;
+  if (tail != 0 && !words_.empty()) {
+    words_.back() &= (uint64_t{1} << tail) - 1;
   }
 }
 
+size_t ConsultMask::CountSet() const {
+  size_t n = 0;
+  for (const uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+void VoteIndex::Reset(const Schema* schema) {
+  schema_ = schema;
+  always_.Reset(0);
+  table_readers_.clear();
+  whole_table_readers_.clear();
+  cell_readers_.clear();
+  touched_scratch_.clear();
+}
+
+int VoteIndex::AddValidator(const AccessScope& s) {
+  const int idx = static_cast<int>(always_.size());
+  // An unknown scope conflicts with everything; an observed scope's
+  // read set is a lower bound (reads_complete = false), so neither
+  // can certify any vote as zero.
+  if (!s.known || !s.reads_complete) {
+    always_.PushBack(true);
+    return idx;
+  }
+  always_.PushBack(false);
+  for (const AccessScope::Atom& r : s.stats_reads) {
+    std::vector<int>& readers = table_readers_[r.first];
+    // `idx` is strictly greater than every index already bucketed, so
+    // the sorted-unique invariant Build used to restore with a final
+    // sort+unique pass reduces to a guarded append: the same validator
+    // holding several atoms of one table arrives consecutively
+    // (stats_reads is an ordered set).
+    if (readers.empty() || readers.back() != idx) readers.push_back(idx);
+    if (r.second == AccessScope::kWholeTable) {
+      whole_table_readers_[r.first].push_back(idx);
+    } else if (r.second >= 0) {
+      RangedReader reader{idx, false, 0, 0};
+      if (const auto* range = s.RangeOf(r)) {
+        reader.ranged = true;
+        reader.lo = range->first;
+        reader.hi = range->second;
+      }
+      cell_readers_[r].readers.push_back(reader);
+    }
+    // kRowStructure readers are disturbed only by row-structure
+    // writes, which consult table_readers_; cell writes never change
+    // what a pure row-structure reader observes.
+  }
+  return idx;
+}
+
+void VoteIndex::Distrust(int idx) {
+  if (idx < 0 || static_cast<size_t>(idx) >= always_.size()) return;
+  always_.SetBit(idx);
+  // Remove every bucket entry, erasing keys whose reader lists empty
+  // out: a fresh Build over the degraded scope list would never have
+  // created them, and DebugEquals compares keys structurally.
+  for (auto* buckets : {&table_readers_, &whole_table_readers_}) {
+    for (auto it = buckets->begin(); it != buckets->end();) {
+      std::vector<int>& readers = it->second;
+      readers.erase(std::remove(readers.begin(), readers.end(), idx),
+                    readers.end());
+      it = readers.empty() ? buckets->erase(it) : std::next(it);
+    }
+  }
+  for (auto it = cell_readers_.begin(); it != cell_readers_.end();) {
+    std::vector<RangedReader>& readers = it->second.readers;
+    readers.erase(std::remove_if(
+                      readers.begin(), readers.end(),
+                      [idx](const RangedReader& r) { return r.idx == idx; }),
+                  readers.end());
+    it = readers.empty() ? cell_readers_.erase(it) : std::next(it);
+  }
+}
+
+void VoteIndex::Build(const Schema* schema,
+                      std::span<const AccessScope> scopes) {
+  Reset(schema);
+  for (const AccessScope& s : scopes) AddValidator(s);
+}
+
+bool VoteIndex::DebugEquals(const VoteIndex& other) const {
+  if (always_ != other.always_) return false;
+  if (table_readers_ != other.table_readers_) return false;
+  if (whole_table_readers_ != other.whole_table_readers_) return false;
+  if (cell_readers_.size() != other.cell_readers_.size()) return false;
+  auto a = cell_readers_.begin();
+  auto b = other.cell_readers_.begin();
+  for (; a != cell_readers_.end(); ++a, ++b) {
+    if (a->first != b->first) return false;
+    if (a->second.readers != b->second.readers) return false;
+  }
+  return true;
+}
+
+void VoteIndex::ClearTouchedScratch() const {
+  for (const CellBucket* bucket : touched_scratch_) bucket->touched.Clear();
+  touched_scratch_.clear();
+}
+
 void VoteIndex::Route(std::span<const Modification> mods,
-                      std::vector<uint8_t>* consult) const {
-  consult->assign(always_.begin(), always_.end());
+                      ConsultMask* consult, RouteMetrics* metrics) const {
+  consult->CopyFrom(always_);
   // Exact touched tuple ids per cell atom, collected only for atoms
-  // with ranged readers: a reader certified to [lo, hi] is consulted
-  // iff the batch actually writes inside its interval. Small batches
-  // (the per-modification TryApply path) check each reader's interval
-  // directly against the modification's tuple ids; only large batches
-  // pay for aggregating the ids into a RowIntervalSet, which amortizes
-  // the per-reader scan across many modifications.
+  // that still have unconsulted ranged readers: a reader certified to
+  // [lo, hi] is consulted iff the batch actually writes inside its
+  // interval. Small batches (the per-modification TryApply path) check
+  // each reader's interval directly against the modification's tuple
+  // ids; only large batches pay for aggregating the ids into the
+  // bucket's scratch interval set, which amortizes the per-reader scan
+  // across many modifications.
   const bool aggregate = mods.size() > 8;
-  std::map<AccessScope::Atom, analysis::RowIntervalSet> touched;
   // Batches overwhelmingly target one table; cache the last name
   // lookup so routing does not redo the string search per mod.
   const std::string* last_name = nullptr;
@@ -73,8 +136,12 @@ void VoteIndex::Route(std::span<const Modification> mods,
     }
     const int t = last_index;
     if (t < 0) {
-      // A table the schema does not know — route conservatively.
-      std::fill(consult->begin(), consult->end(), 1);
+      // A table the schema does not know — route conservatively,
+      // counting the fallback so run reports can tell such proposals
+      // from legitimately routed ones.
+      ClearTouchedScratch();
+      consult->SetAll();
+      if (metrics != nullptr) ++metrics->fallbacks;
       return;
     }
     if (mod.kind == OpKind::kInsertTuple ||
@@ -84,46 +151,59 @@ void VoteIndex::Route(std::span<const Modification> mods,
       // row-interval exemption — the insert's id is not assigned yet.
       const auto it = table_readers_.find(t);
       if (it != table_readers_.end()) {
-        for (const int idx : it->second) (*consult)[idx] = 1;
+        for (const int idx : it->second) consult->SetBit(idx);
       }
       continue;
     }
     const auto whole = whole_table_readers_.find(t);
     for (const int c : mod.cols) {
       if (whole != whole_table_readers_.end()) {
-        for (const int idx : whole->second) (*consult)[idx] = 1;
+        for (const int idx : whole->second) consult->SetBit(idx);
       }
       const auto it = cell_readers_.find({t, c});
       if (it == cell_readers_.end()) continue;
-      bool has_ranged = false;
-      for (const RangedReader& r : it->second) {
+      const CellBucket& bucket = it->second;
+      bool collect = false;
+      for (const RangedReader& r : bucket.readers) {
         if (!r.ranged) {
-          (*consult)[r.idx] = 1;
+          consult->SetBit(r.idx);
+        } else if (consult->Test(r.idx)) {
+          // Already consulted; its interval can decide nothing more.
         } else if (!aggregate) {
-          if ((*consult)[r.idx]) continue;
           for (const TupleId tid : mod.tuples) {
             if (tid >= r.lo && tid <= r.hi) {
-              (*consult)[r.idx] = 1;
+              consult->SetBit(r.idx);
               break;
             }
           }
         } else {
-          has_ranged = true;
+          collect = true;
         }
       }
-      if (has_ranged) {
-        analysis::RowIntervalSet& rows = touched[{t, c}];
-        for (const TupleId tid : mod.tuples) rows.Add(tid);
+      // Once every ranged reader of the atom is consulted there is
+      // nothing left for more tuple ids to decide — skip the
+      // aggregation entirely instead of growing the interval set for
+      // the rest of the batch.
+      if (collect && !mod.tuples.empty()) {
+        if (bucket.touched.empty()) touched_scratch_.push_back(&bucket);
+        for (const TupleId tid : mod.tuples) bucket.touched.Add(tid);
+        if (metrics != nullptr) {
+          metrics->interval_inserts +=
+              static_cast<int64_t>(mod.tuples.size());
+        }
       }
     }
   }
-  for (const auto& [atom, rows] : touched) {
-    for (const RangedReader& r : cell_readers_.at(atom)) {
-      if (r.ranged && rows.OverlapsRange(r.lo, r.hi)) {
-        (*consult)[r.idx] = 1;
+  for (const CellBucket* bucket : touched_scratch_) {
+    for (const RangedReader& r : bucket->readers) {
+      if (r.ranged && !consult->Test(r.idx) &&
+          bucket->touched.OverlapsRange(r.lo, r.hi)) {
+        consult->SetBit(r.idx);
       }
     }
+    bucket->touched.Clear();
   }
+  touched_scratch_.clear();
 }
 
 }  // namespace aspect

@@ -20,11 +20,29 @@
 // checker/lease/audit machinery has distrusted always vote — the
 // conservative fallback that keeps pruning sound.
 //
+// The index is *incrementally maintained*: only two events can change
+// it mid-run — the enforced list growing by one validator
+// (AddValidator) and a distrust/degrade event (Distrust) — so the
+// coordinator applies O(change) deltas instead of re-resolving and
+// rebuilding over the whole fleet each step. Build is defined as Reset
+// plus a loop of AddValidator, and Distrust removes exactly the bucket
+// entries a fresh Build over the degraded scope list would never have
+// created, so an incrementally maintained index is structurally
+// identical to a from-scratch rebuild (DebugEquals; the coordinator
+// asserts this in debug builds).
+//
 // The writer side of the ranged-reader exemption is *exact*: the
 // batch's touched tuple ids per cell atom are aggregated into a
 // RowIntervalSet, so a reader certified to [lo, hi] is skipped iff the
 // batch truly stays outside its interval — strictly stronger than the
-// declared-vs-declared test RangedWritesDisturb applies.
+// declared-vs-declared test RangedWritesDisturb applies. Aggregation
+// is skipped for an atom once every one of its ranged readers is
+// already consulted, and the interval sets are per-bucket scratch
+// reused across calls, so the hot path allocates nothing in steady
+// state. The scratch makes Route logically const but NOT reentrant:
+// an index must only be routed from one thread at a time (each
+// serial-stepping coordinator owns its own index, which satisfies
+// this).
 //
 // Soundness is audited at runtime: TweakContext samples pruned votes
 // (debug: every one; release: the first, then 1/64, mirroring the
@@ -34,12 +52,14 @@
 // certification) for the rest of the run. See DESIGN.md Sec. 14.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <span>
 #include <vector>
 
 #include "analysis/access_scope.h"
+#include "analysis/row_intervals.h"
 #include "relational/database.h"
 
 namespace aspect {
@@ -58,24 +78,114 @@ enum class RouteVotes : int {
   kAudit = 2,
 };
 
+/// A word-packed bitset sized to a validator list: the consult set a
+/// Route call produces (bit i set = validator i must vote). Replaces
+/// the per-proposal std::vector<uint8_t> assign with one word copy and
+/// keeps its capacity across proposals, so the routed vote hot path
+/// performs no allocation in steady state. Cleared tail bits past
+/// size() are an invariant every mutator maintains, which is what lets
+/// CountSet and operator== work word-wise.
+class ConsultMask {
+ public:
+  /// Resizes to `n` bits, all clear. Reuses capacity.
+  void Reset(size_t n) {
+    size_ = n;
+    words_.assign((n + 63) / 64, 0);
+  }
+
+  /// Grows by one bit at the end.
+  void PushBack(bool set) {
+    if ((size_ & 63) == 0) words_.push_back(0);
+    if (set) words_[size_ >> 6] |= uint64_t{1} << (size_ & 63);
+    ++size_;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  // Named SetBit (not Set) so call sites stay visibly distinct from
+  // the storage mutators the lease/write lint polices.
+  void SetBit(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & uint64_t{1};
+  }
+
+  /// Sets every bit (the conservative everyone-votes fallback).
+  void SetAll();
+
+  /// Number of set bits (popcount over the words).
+  size_t CountSet() const;
+
+  /// Becomes a copy of `other`, reusing capacity.
+  void CopyFrom(const ConsultMask& other) {
+    size_ = other.size_;
+    words_.assign(other.words_.begin(), other.words_.end());
+  }
+
+  friend bool operator==(const ConsultMask&, const ConsultMask&) = default;
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// Per-Route-call observability counters, accumulated by the caller.
+struct RouteMetrics {
+  /// Proposals routed conservatively because a modification named a
+  /// table the schema does not know: the consult set was filled, so
+  /// the proposal is indistinguishable from a fully-consulted routed
+  /// one unless counted here (RunReport::route_fallbacks).
+  int64_t fallbacks = 0;
+  /// Tuple ids aggregated into per-atom interval sets on the large-
+  /// batch path. The skip-when-all-consulted fix keeps this from
+  /// growing once an atom's ranged readers are all marked; the
+  /// regression test pins the count.
+  int64_t interval_inserts = 0;
+};
+
 class VoteIndex {
  public:
-  /// Builds the index for a vote-ordered validator list. `scopes[i]`
-  /// is the *certified* scope of the i-th validator: its declaration
-  /// when the coordinator still trusts it, else the observed
-  /// (write-only, reads_complete = false) scope, which routes the
-  /// validator to the always-vote set. `schema` must outlive the
-  /// index.
+  /// Empties the index and binds it to `schema` (which must outlive
+  /// the index). Bucket and scratch capacity is released; the index
+  /// is ready for AddValidator.
+  void Reset(const Schema* schema);
+
+  /// Appends one validator (index num_validators() before the call)
+  /// with its *certified* scope: the declaration when the coordinator
+  /// trusts it, else the observed (write-only, reads_complete = false)
+  /// scope, which routes the validator to the always-vote set. O(atoms
+  /// of the scope). Returns the new validator's index.
+  int AddValidator(const AccessScope& scope);
+
+  /// Degrades validator `idx` to the always-vote set and removes its
+  /// bucket entries — exactly the state a fresh Build over the same
+  /// list with this validator's scope degraded to observed would
+  /// produce (the property DebugEquals checks). Idempotent; O(buckets
+  /// the validator appears in).
+  void Distrust(int idx);
+
+  /// Builds the index for a vote-ordered validator list in one shot:
+  /// Reset plus AddValidator per scope. `scopes[i]` is the certified
+  /// scope of the i-th validator.
   void Build(const Schema* schema, std::span<const AccessScope> scopes);
 
   size_t num_validators() const { return always_.size(); }
 
-  /// Fills `consult` (resized to num_validators()) with 1 for every
-  /// validator whose certified statistics a write in `mods` could
-  /// disturb — including all always-vote validators — and 0 for every
-  /// validator whose votes on this batch are provably zero.
-  void Route(std::span<const Modification> mods,
-             std::vector<uint8_t>* consult) const;
+  /// Fills `consult` (resized to num_validators()) with a set bit for
+  /// every validator whose certified statistics a write in `mods`
+  /// could disturb — including all always-vote validators — and a
+  /// clear bit for every validator whose votes on this batch are
+  /// provably zero. `metrics`, when non-null, accumulates fallback and
+  /// aggregation counters. Not reentrant (see the scratch note in the
+  /// file comment): one Route call at a time per index.
+  void Route(std::span<const Modification> mods, ConsultMask* consult,
+             RouteMetrics* metrics = nullptr) const;
+
+  /// Structural identity with `other` (same always-vote set, same
+  /// reader buckets in the same order). The debug-build cross-check
+  /// that an incrementally maintained index matches a from-scratch
+  /// rebuild; scratch state is excluded.
+  bool DebugEquals(const VoteIndex& other) const;
 
  private:
   /// One cell-atom reader; `ranged` readers certify all their reads of
@@ -85,22 +195,43 @@ class VoteIndex {
     bool ranged;
     int64_t lo;
     int64_t hi;
+
+    friend bool operator==(const RangedReader&,
+                           const RangedReader&) = default;
   };
 
+  /// The readers of one cell atom plus the Route-call scratch that
+  /// aggregates the batch's touched tuple ids for them. The scratch is
+  /// mutable (Route is logically const) and always left empty between
+  /// calls; it exists to reuse interval-set capacity instead of
+  /// rebuilding a std::map<Atom, RowIntervalSet> per proposal.
+  struct CellBucket {
+    std::vector<RangedReader> readers;
+    mutable analysis::RowIntervalSet touched;
+  };
+
+  /// Returns every used bucket's scratch to the empty state.
+  void ClearTouchedScratch() const;
+
   const Schema* schema_ = nullptr;
-  /// Uncertified (unknown / incomplete-reads) validators: consulted on
-  /// every proposal.
-  std::vector<uint8_t> always_;
+  /// Uncertified (unknown / incomplete-reads / distrusted) validators:
+  /// consulted on every proposal. Route starts from a word copy.
+  ConsultMask always_;
   /// Per table: every validator with any stats_read atom on the table.
   /// A row-structure write (tuple insert/delete) disturbs all of them
-  /// — new or removed live rows carry cells in every column.
+  /// — new or removed live rows carry cells in every column. Kept
+  /// sorted unique: AddValidator appends a strictly increasing index
+  /// (guarded against the same validator holding several atoms of one
+  /// table, which arrive consecutively from the sorted scope set).
   std::map<int, std::vector<int>> table_readers_;
   /// Per table: validators reading (table, kWholeTable) — disturbed by
   /// any write to the table, cell or structural.
   std::map<int, std::vector<int>> whole_table_readers_;
   /// Per cell atom: validators reading exactly that column, with their
   /// certified row interval when declared.
-  std::map<AccessScope::Atom, std::vector<RangedReader>> cell_readers_;
+  std::map<AccessScope::Atom, CellBucket> cell_readers_;
+  /// The buckets whose scratch the current Route call populated.
+  mutable std::vector<const CellBucket*> touched_scratch_;
 };
 
 }  // namespace aspect

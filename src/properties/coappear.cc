@@ -1,9 +1,10 @@
 #include "properties/coappear.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cmath>
 #include <istream>
 #include <ostream>
-#include <cassert>
 #include <set>
 
 #include "common/logging.h"
@@ -393,7 +394,6 @@ double CoappearPropertyTool::ValidationPenalty(
 
 double CoappearPropertyTool::ValidationPenaltyBatch(
     std::span<const Modification> mods, double veto_cap) const {
-  (void)veto_cap;  // collected transitions priced once; nothing to cap
   if (db_ == nullptr) return 0.0;
   std::vector<Transition> ts;
   for (const Modification& mod : mods) {
@@ -402,7 +402,7 @@ double CoappearPropertyTool::ValidationPenaltyBatch(
     ts.insert(ts.end(), std::make_move_iterator(one.begin()),
               std::make_move_iterator(one.end()));
   }
-  return PenaltyOfTransitions(ts);
+  return PenaltyOfTransitions(ts, veto_cap);
 }
 
 AccessScope CoappearPropertyTool::DeclaredScope() const {
@@ -428,8 +428,9 @@ AccessScope CoappearPropertyTool::DeclaredScope() const {
 }
 
 double CoappearPropertyTool::PenaltyOfTransitions(
-    const std::vector<Transition>& ts) const {
+    const std::vector<Transition>& ts, double veto_cap) const {
   if (ts.empty()) return 0.0;
+  const bool capped = veto_cap != kNoPenaltyCap;
   // Per group, per vector: delta of xi caused by the transitions.
   std::map<std::pair<int, Key>, int64_t> xi_delta;
   std::map<int, int64_t> zero_delta;
@@ -444,18 +445,53 @@ double CoappearPropertyTool::PenaltyOfTransitions(
                ? Key(groups_[static_cast<size_t>(g)].member_tables.size(), 0)
                : it->second;
   };
-  for (const Transition& tr : ts) {
+  auto n_fk_of = [&](int g) -> double {
+    return static_cast<double>(std::max<int64_t>(
+        1, target_xi_[static_cast<size_t>(g)].TotalMass()));
+  };
+  // Capped pricing keeps each group's partial penalty numerator exact
+  // (in integers): the final loop's |cur+delta-tgt| - |cur-tgt| term,
+  // summed over this group's xi_delta keys, re-adjusted on every delta
+  // change. The early-exit test then sums a handful of exact integer
+  // numerators instead of accumulating a drifting float.
+  std::map<int, int64_t> group_num;
+  auto term_of = [&](int g, const Key& vec, int64_t delta) -> int64_t {
+    const int64_t cur = xi_[static_cast<size_t>(g)].Count(vec);
+    const int64_t tgt = target_xi_[static_cast<size_t>(g)].Count(vec);
+    return std::llabs(cur + delta - tgt) - std::llabs(cur - tgt);
+  };
+  // suffix[i] bounds how much the numerators can still move pricing
+  // ts[i..): one transition makes two combo adjusts, each touching at
+  // most two xi entries by +-1, and a +-1 delta change moves its term
+  // by at most 1 — so at most 4/n_fk per transition. (Adjusts that
+  // land on the implicit zero vector touch fewer entries; the bound
+  // still covers them.)
+  std::vector<double> suffix;
+  if (capped) {
+    suffix.assign(ts.size() + 1, 0.0);
+    for (size_t i = ts.size(); i-- > 0;) {
+      suffix[i] = suffix[i + 1] + 4.0 / n_fk_of(ts[i].group);
+    }
+  }
+  for (size_t ti = 0; ti < ts.size(); ++ti) {
+    const Transition& tr = ts[ti];
     auto adjust = [&](const Key& b, int64_t delta) {
       if (b.empty()) return;
       Key vec = vec_of(tr.group, b);
+      auto bump = [&](const Key& v, int64_t d) {
+        int64_t& slot = xi_delta[{tr.group, v}];
+        if (capped) group_num[tr.group] -= term_of(tr.group, v, slot);
+        slot += d;
+        if (capped) group_num[tr.group] += term_of(tr.group, v, slot);
+      };
       if (!AllZero(vec)) {
-        xi_delta[{tr.group, vec}] -= 1;
+        bump(vec, -1);
       } else {
         zero_delta[tr.group] -= 1;
       }
       vec[static_cast<size_t>(tr.member)] += delta;
       if (!AllZero(vec)) {
-        xi_delta[{tr.group, vec}] += 1;
+        bump(vec, +1);
       } else {
         zero_delta[tr.group] += 1;
       }
@@ -463,6 +499,18 @@ double CoappearPropertyTool::PenaltyOfTransitions(
     };
     adjust(tr.old_b, -1);
     adjust(tr.new_b, +1);
+    if (capped) {
+      double running = 0;
+      for (const auto& [g, num] : group_num) {
+        running += static_cast<double>(num) / n_fk_of(g);
+      }
+      const double floor_penalty = (running - suffix[ti + 1]) /
+                                   static_cast<double>(groups_.size());
+      if (floor_penalty >
+          veto_cap + kPenaltyCapSlack * (1.0 + std::fabs(veto_cap))) {
+        return floor_penalty;
+      }
+    }
   }
   (void)zero_delta;  // the zero vector is excluded from the measure
   double penalty = 0;

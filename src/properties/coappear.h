@@ -64,8 +64,13 @@ class CoappearPropertyTool : public PropertyTool {
   /// simulated against one shared overlay, so several tuples of the
   /// batch moving onto (or off) the same combo are priced jointly.
   /// Assumes disjoint tuples (the ApplyBatch caller contract).
-  /// `veto_cap` is accepted but unused: the collected transitions are
-  /// priced once at the end, with no partial sum to exit from.
+  /// `veto_cap` licenses an early exit: one transition moves each
+  /// group's penalty numerator by at most 4 (two combo adjusts, each
+  /// touching at most two xi entries by one), so once the running
+  /// exact numerators minus the remaining 4/N_FK movement budget
+  /// provably clear the cap, the tail is left unpriced and that lower
+  /// bound is returned. A batch priced to completion goes through the
+  /// same final pricing loop as the uncapped path, bit for bit.
   double ValidationPenaltyBatch(std::span<const Modification> mods,
                                 double veto_cap) const override;
   using PropertyTool::ValidationPenaltyBatch;
@@ -118,8 +123,11 @@ class CoappearPropertyTool : public PropertyTool {
                                              bool pre_apply) const;
   void ApplyTransitions(const std::vector<Transition>& ts);
   /// Simulated error change of applying `ts` (shared across the single
-  /// and batch validation paths).
-  double PenaltyOfTransitions(const std::vector<Transition>& ts) const;
+  /// and batch validation paths). A finite `veto_cap` allows stopping
+  /// as soon as the final penalty is provably above the cap, returning
+  /// a conservative lower bound that is itself above the cap.
+  double PenaltyOfTransitions(const std::vector<Transition>& ts,
+                              double veto_cap = kNoPenaltyCap) const;
 
   /// Reads the combo of a member tuple from the database (empty key if
   /// any FK cell is not a value). With `overlay`, the given columns

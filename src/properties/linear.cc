@@ -1,9 +1,10 @@
 #include "properties/linear.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cmath>
 #include <istream>
 #include <ostream>
-#include <cassert>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -315,7 +316,7 @@ LinearPropertyTool::CollectEdgeChanges(const Modification& mod,
 }
 
 void LinearPropertyTool::ApplyEdgeChanges(
-    const std::vector<EdgeChange>& changes) {
+    std::span<const EdgeChange> changes) {
   for (const EdgeChange& c : changes) {
     ChainStats& s = stats_[static_cast<size_t>(c.chain)];
     if (c.old_parent != kInvalidTuple) s.Detach(c.level, c.child);
@@ -328,7 +329,7 @@ void LinearPropertyTool::ApplyEdgeChanges(
 }
 
 void LinearPropertyTool::RevertEdgeChanges(
-    const std::vector<EdgeChange>& changes) {
+    std::span<const EdgeChange> changes) {
   for (auto it = changes.rbegin(); it != changes.rend(); ++it) {
     ChainStats& s = stats_[static_cast<size_t>(it->chain)];
     if (it->new_parent != kInvalidTuple) s.Detach(it->level, it->child);
@@ -342,7 +343,9 @@ void LinearPropertyTool::OnApplied(const Modification& mod,
                                    const std::vector<Value>& old_values,
                                    TupleId new_tuple) {
   if (db_ == nullptr) return;
-  ApplyEdgeChanges(CollectEdgeChanges(mod, &old_values, new_tuple));
+  const std::vector<EdgeChange> changes =
+      CollectEdgeChanges(mod, &old_values, new_tuple);
+  ApplyEdgeChanges(changes);
 }
 
 double LinearPropertyTool::ValidationPenalty(const Modification& mod) const {
@@ -373,7 +376,6 @@ double LinearPropertyTool::ValidationPenalty(const Modification& mod) const {
 
 double LinearPropertyTool::ValidationPenaltyBatch(
     std::span<const Modification> mods, double veto_cap) const {
-  (void)veto_cap;  // one apply-measure-revert simulation; nothing to cap
   if (db_ == nullptr) return 0.0;
   std::vector<EdgeChange> changes;
   // ApplyBatch appends inserts in order, so the k-th insert into a
@@ -407,13 +409,63 @@ double LinearPropertyTool::ValidationPenaltyBatch(
         targets_[static_cast<size_t>(ci)]);
   }
   auto* self = const_cast<LinearPropertyTool*>(this);
-  self->ApplyEdgeChanges(changes);
+  const std::span<const EdgeChange> all(changes);
+  if (veto_cap != kNoPenaltyCap && changes.size() > 1) {
+    // Per-chain bound on how much ONE edge change can move that
+    // chain's ErrorAgainst: every matrix entry moves by at most 2
+    // (only the single ancestor above the re-parented child at a
+    // level can flip its reach to a deeper level, once for the detach
+    // and once for the attach), so the mean over entries moves by at
+    // most (sum over entries of 2/max(t,1)) / n_entries.
+    std::map<int, double> chain_move;
+    for (const int ci : affected) {
+      const JoinMatrix& t = targets_[static_cast<size_t>(ci)];
+      double sum = 0;
+      int n = 0;
+      for (int j = 1; j < t.k(); ++j) {
+        for (int i = 0; i < j; ++i) {
+          sum += 2.0 / std::max(static_cast<double>(t.at(j, i)), 1.0);
+          ++n;
+        }
+      }
+      chain_move[ci] = n == 0 ? 0.0 : sum / static_cast<double>(n);
+    }
+    // suffix[i] bounds the error movement of changes[i..).
+    std::vector<double> suffix(changes.size() + 1, 0.0);
+    for (size_t i = changes.size(); i-- > 0;) {
+      suffix[i] = suffix[i + 1] + chain_move[changes[i].chain];
+    }
+    const double exit_cap =
+        veto_cap + kPenaltyCapSlack * (1.0 + std::fabs(veto_cap));
+    constexpr size_t kChunk = 32;
+    size_t applied = 0;
+    while (applied + kChunk < changes.size()) {
+      self->ApplyEdgeChanges(all.subspan(applied, kChunk));
+      applied += kChunk;
+      double current = 0;
+      for (const int ci : affected) {
+        current += stats_[static_cast<size_t>(ci)].matrix().ErrorAgainst(
+            targets_[static_cast<size_t>(ci)]);
+      }
+      const double floor_penalty = (current - suffix[applied] - before) /
+                                   static_cast<double>(chains_.size());
+      if (floor_penalty > exit_cap) {
+        self->RevertEdgeChanges(all.first(applied));
+        return floor_penalty;
+      }
+    }
+    // Finish the tail: the statistics now match a single full apply,
+    // so the measurement below is the uncapped result, bit for bit.
+    self->ApplyEdgeChanges(all.subspan(applied));
+  } else {
+    self->ApplyEdgeChanges(all);
+  }
   double after = 0;
   for (const int ci : affected) {
     after += stats_[static_cast<size_t>(ci)].matrix().ErrorAgainst(
         targets_[static_cast<size_t>(ci)]);
   }
-  self->RevertEdgeChanges(changes);
+  self->RevertEdgeChanges(all);
   return (after - before) / static_cast<double>(chains_.size());
 }
 

@@ -58,8 +58,17 @@ class LinearPropertyTool : public PropertyTool {
   /// cancel out jointly are priced as a unit (the default per-mod sum
   /// would veto them). Assumes the batch's tuples are disjoint (the
   /// ApplyBatch caller contract), so pre-apply old parents are current.
-  /// `veto_cap` is accepted but unused: the composite is one
-  /// apply-measure-revert simulation, with no partial sum to exit from.
+  /// `veto_cap` licenses an early exit: one edge change moves any join
+  /// matrix entry by at most 2 (only the single ancestor above the
+  /// re-parented child at a level can flip its reach, once per detach
+  /// and once per attach), giving a per-chain per-change bound on the
+  /// error movement. The capped path applies changes in chunks,
+  /// re-measures the affected chains between chunks, and once the
+  /// measured error minus the remaining movement budget provably
+  /// clears the cap it reverts the applied prefix and returns that
+  /// lower bound. A batch priced to completion reaches the same
+  /// statistics state and final measurement as the uncapped path, bit
+  /// for bit.
   double ValidationPenaltyBatch(std::span<const Modification> mods,
                                 double veto_cap) const override;
   using PropertyTool::ValidationPenaltyBatch;
@@ -105,8 +114,10 @@ class LinearPropertyTool : public PropertyTool {
       const Modification& mod, const std::vector<Value>* old_values,
       TupleId new_tuple) const;
 
-  void ApplyEdgeChanges(const std::vector<EdgeChange>& changes);
-  void RevertEdgeChanges(const std::vector<EdgeChange>& changes);
+  /// Span-based so the capped batch vote can apply changes in chunks
+  /// and revert just the applied prefix on an early exit.
+  void ApplyEdgeChanges(std::span<const EdgeChange> changes);
+  void RevertEdgeChanges(std::span<const EdgeChange> changes);
 
   /// Per-chain entry deltas caused by re-parenting one edge
   /// (simulated: stats are restored before returning).

@@ -1,9 +1,10 @@
 #include "properties/pairwise.h"
 
 #include <algorithm>
+#include <cassert>
+#include <cmath>
 #include <istream>
 #include <ostream>
-#include <cassert>
 
 #include "common/logging.h"
 #include "common/string_util.h"
@@ -584,7 +585,6 @@ double PairwisePropertyTool::ValidationPenalty(
 
 double PairwisePropertyTool::ValidationPenaltyBatch(
     std::span<const Modification> mods, double veto_cap) const {
-  (void)veto_cap;  // collected changes priced once; nothing to cap
   if (db_ == nullptr) return 0.0;
   std::vector<NChange> changes;
   for (const Modification& mod : mods) {
@@ -592,7 +592,7 @@ double PairwisePropertyTool::ValidationPenaltyBatch(
         CollectNChanges(mod, kInvalidTuple, /*pre_apply=*/true);
     changes.insert(changes.end(), one.begin(), one.end());
   }
-  return PenaltyOfChanges(changes);
+  return PenaltyOfChanges(changes, veto_cap);
 }
 
 AccessScope PairwisePropertyTool::DeclaredScope() const {
@@ -610,8 +610,9 @@ AccessScope PairwisePropertyTool::DeclaredScope() const {
 }
 
 double PairwisePropertyTool::PenaltyOfChanges(
-    const std::vector<NChange>& changes) const {
+    const std::vector<NChange>& changes, double veto_cap) const {
   if (changes.empty()) return 0.0;
+  const bool capped = veto_cap != kNoPenaltyCap;
   // Simulate: n-values overlay, rho deltas.
   std::map<std::tuple<int, TupleId, TupleId>, int64_t> sim_n;
   std::map<std::pair<int, Key>, int64_t> rho_delta;
@@ -625,17 +626,65 @@ double PairwisePropertyTool::PenaltyOfChanges(
     if (sit != sim_n.end()) base += sit->second;
     return base;
   };
-  for (const NChange& c : changes) {
+  auto denom_of = [&](int s) {
+    return static_cast<double>(std::max<int64_t>(
+        1, target_rho_[static_cast<size_t>(s)].TotalMass() +
+               target_rho_self_[static_cast<size_t>(s)].TotalMass()));
+  };
+  // Capped pricing keeps each spec's partial penalty numerator exact
+  // (in integers): the final loops' |cur+delta-tgt| - |cur-tgt| term,
+  // summed over this spec's rho/self delta keys, re-adjusted on every
+  // delta change. The early-exit test then sums a handful of exact
+  // integer numerators instead of accumulating a drifting float.
+  std::map<int, int64_t> spec_num;
+  auto rho_term = [&](int s, const Key& key, int64_t delta) -> int64_t {
+    const int64_t cur = rho_[static_cast<size_t>(s)].Count(key);
+    const int64_t tgt = target_rho_[static_cast<size_t>(s)].Count(key);
+    return std::llabs(cur + delta - tgt) - std::llabs(cur - tgt);
+  };
+  auto self_term = [&](int s, const Key& key, int64_t delta) -> int64_t {
+    const int64_t cur = rho_self_[static_cast<size_t>(s)].Count(key);
+    const int64_t tgt = target_rho_self_[static_cast<size_t>(s)].Count(key);
+    return std::llabs(cur + delta - tgt) - std::llabs(cur - tgt);
+  };
+  auto rho_bump = [&](int s, const Key& key, int64_t d) {
+    int64_t& slot = rho_delta[{s, key}];
+    if (capped) spec_num[s] -= rho_term(s, key, slot);
+    slot += d;
+    if (capped) spec_num[s] += rho_term(s, key, slot);
+  };
+  auto self_bump = [&](int s, const Key& key, int64_t d) {
+    int64_t& slot = self_delta[{s, key}];
+    if (capped) spec_num[s] -= self_term(s, key, slot);
+    slot += d;
+    if (capped) spec_num[s] += self_term(s, key, slot);
+  };
+  // suffix[i] bounds how much the numerators can still move pricing
+  // changes[i..): a pair change touches four rho entries by +-1, a
+  // self change two self entries, and a +-1 delta change moves its
+  // term by at most 1 — so 4/denom (2/denom for self) per change.
+  // (Changes that land on the excluded zero key touch fewer entries;
+  // the bound still covers them.)
+  std::vector<double> suffix;
+  if (capped) {
+    suffix.assign(changes.size() + 1, 0.0);
+    for (size_t i = changes.size(); i-- > 0;) {
+      const double moves = changes[i].u == changes[i].v ? 2.0 : 4.0;
+      suffix[i] = suffix[i + 1] + moves / denom_of(changes[i].spec);
+    }
+  }
+  for (size_t ci = 0; ci < changes.size(); ++ci) {
+    const NChange& c = changes[ci];
     if (c.u == c.v) {
       const int64_t x = count(c.spec, c.u, c.u);
       if (x > 0) {
-        self_delta[{c.spec, {x}}] -= 1;
+        self_bump(c.spec, {x}, -1);
       } else {
         zero_self_delta[c.spec] -= 1;
       }
       const int64_t nx = x + c.delta;
       if (nx > 0) {
-        self_delta[{c.spec, {nx}}] += 1;
+        self_bump(c.spec, {nx}, +1);
       } else {
         zero_self_delta[c.spec] += 1;
       }
@@ -643,30 +692,37 @@ double PairwisePropertyTool::PenaltyOfChanges(
       const int64_t x = count(c.spec, c.u, c.v);
       const int64_t y = count(c.spec, c.v, c.u);
       if (x != 0 || y != 0) {
-        rho_delta[{c.spec, {x, y}}] -= 1;
-        rho_delta[{c.spec, {y, x}}] -= 1;
+        rho_bump(c.spec, {x, y}, -1);
+        rho_bump(c.spec, {y, x}, -1);
       } else {
         zero_pair_delta[c.spec] -= 2;
       }
       const int64_t nx = x + c.delta;
       if (nx != 0 || y != 0) {
-        rho_delta[{c.spec, {nx, y}}] += 1;
-        rho_delta[{c.spec, {y, nx}}] += 1;
+        rho_bump(c.spec, {nx, y}, +1);
+        rho_bump(c.spec, {y, nx}, +1);
       } else {
         zero_pair_delta[c.spec] += 2;
       }
     }
     sim_n[{c.spec, c.u, c.v}] += c.delta;
+    if (capped) {
+      double running = 0;
+      for (const auto& [s, num] : spec_num) {
+        running += static_cast<double>(num) / denom_of(s);
+      }
+      const double floor_penalty = (running - suffix[ci + 1]) /
+                                   static_cast<double>(specs_.size());
+      if (floor_penalty >
+          veto_cap + kPenaltyCapSlack * (1.0 + std::fabs(veto_cap))) {
+        return floor_penalty;
+      }
+    }
   }
   // The (0,0) mass is excluded from the measure, matching SpecError.
   (void)zero_pair_delta;
   (void)zero_self_delta;
   double penalty = 0;
-  auto denom_of = [&](int s) {
-    return static_cast<double>(std::max<int64_t>(
-        1, target_rho_[static_cast<size_t>(s)].TotalMass() +
-               target_rho_self_[static_cast<size_t>(s)].TotalMass()));
-  };
   for (const auto& [sk, delta] : rho_delta) {
     if (delta == 0) continue;
     const auto& [s, key] = sk;

@@ -56,8 +56,13 @@ class PairwisePropertyTool : public PropertyTool {
   /// modifications are simulated against one shared n-overlay, so a
   /// batch whose tuples move the same ordered pair is priced jointly.
   /// Assumes disjoint tuples (the ApplyBatch caller contract).
-  /// `veto_cap` is accepted but unused: the collected changes are
-  /// priced once at the end, with no partial sum to exit from.
+  /// `veto_cap` licenses an early exit: one change moves a spec's
+  /// penalty numerator by at most 4 (a pair change touches four rho
+  /// entries by one, a self change two), so once the running exact
+  /// numerators minus the remaining movement budget provably clear
+  /// the cap, the tail is left unpriced and that lower bound is
+  /// returned. A batch priced to completion goes through the same
+  /// final pricing loops as the uncapped path, bit for bit.
   double ValidationPenaltyBatch(std::span<const Modification> mods,
                                 double veto_cap) const override;
   using PropertyTool::ValidationPenaltyBatch;
@@ -124,8 +129,11 @@ class PairwisePropertyTool : public PropertyTool {
                                        bool pre_apply) const;
   void ApplyNChange(const NChange& c);
   /// Simulated error change of applying `changes` (shared across the
-  /// single and batch validation paths).
-  double PenaltyOfChanges(const std::vector<NChange>& changes) const;
+  /// single and batch validation paths). A finite `veto_cap` allows
+  /// stopping as soon as the final penalty is provably above the cap,
+  /// returning a conservative lower bound that is itself above it.
+  double PenaltyOfChanges(const std::vector<NChange>& changes,
+                          double veto_cap = kNoPenaltyCap) const;
   /// Maintains the structural caches (authors, posts lists, response
   /// lists) for an applied modification.
   void ApplyStructural(const Modification& mod,

@@ -225,6 +225,63 @@ TEST(BatchPipelineTest, ColumnFreqBatchMatchesSingles) {
   CheckBatchMatchesSingles(&a, &b, *truth, 94);
 }
 
+// Large composite batches against caps on both sides of the exact
+// penalty: when the exact penalty does not exceed the cap no sound
+// early exit exists, so a capped call must return the exact value bit
+// for bit; when it does, the capped call may stop early but must still
+// land above the cap (the same veto decision either way) and leave the
+// tool's statistics untouched for the next vote.
+void CheckCappedMatchesExact(PropertyTool* tool, const Database& truth,
+                             uint64_t seed) {
+  ASSERT_TRUE(tool->SetTargetFromDataset(truth).ok());
+  std::unique_ptr<Database> db = truth.Clone();
+  ASSERT_TRUE(tool->Bind(db.get()).ok());
+  Rng rng(seed);
+  int64_t batches = 0;
+  for (int ti = 0; ti < db->num_tables(); ++ti) {
+    const Table& t = db->table(ti);
+    std::vector<TupleId> live = LiveTuples(t);
+    if (live.size() < 8) continue;
+    rng.Shuffle(&live);
+    // A big disjoint delete batch: enough modifications to clear the
+    // chunked-apply threshold of the linear tool and to move the
+    // coappear / pairwise numerators far past small caps.
+    std::vector<Modification> batch;
+    const size_t n = std::min<size_t>(40, live.size() / 2);
+    for (size_t i = 0; i < n; ++i) {
+      batch.push_back(Modification::DeleteTuple(t.name(), live[i]));
+    }
+    const double exact = tool->ValidationPenaltyBatch(batch);
+    const double caps[] = {-1.0,      0.0,         exact / 2,
+                           exact,     exact + 1.0, std::fabs(exact) * 2 + 1.0};
+    for (const double cap : caps) {
+      const double capped = tool->ValidationPenaltyBatch(batch, cap);
+      if (exact <= cap) {
+        EXPECT_EQ(capped, exact) << t.name() << " cap " << cap;
+      } else {
+        EXPECT_GT(capped, cap) << t.name() << " cap " << cap;
+      }
+      EXPECT_EQ(capped > cap, exact > cap) << t.name() << " cap " << cap;
+    }
+    // Whatever path each capped call took, the statistics must be
+    // restored: exact pricing still lands on the same value bitwise.
+    EXPECT_EQ(tool->ValidationPenaltyBatch(batch), exact) << t.name();
+    ++batches;
+  }
+  EXPECT_GT(batches, 0);
+  tool->Unbind();
+}
+
+TEST(BatchPipelineTest, CappedCompositeVoteMatchesExactDecision) {
+  auto truth = MusicDataset(21);
+  LinearPropertyTool linear(truth->schema());
+  CheckCappedMatchesExact(&linear, *truth, 95);
+  CoappearPropertyTool coappear(truth->schema());
+  CheckCappedMatchesExact(&coappear, *truth, 96);
+  PairwisePropertyTool pairwise(truth->schema());
+  CheckCappedMatchesExact(&pairwise, *truth, 97);
+}
+
 // A batch the validators object to must be rejected as one composite
 // proposal: nothing applies, nothing is logged, and the veto counts
 // once. ForceApplyBatch then applies the same batch wholesale.

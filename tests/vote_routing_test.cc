@@ -12,6 +12,7 @@
 
 #include "aspect/coordinator.h"
 #include "aspect/tweak_context.h"
+#include "aspect/vote_index.h"
 #include "properties/simple.h"
 #include "relational/modlog.h"
 #include "scaler/size_scaler.h"
@@ -132,7 +133,8 @@ class VoteRoutingTest : public ::testing::Test {
   }
 
   Outcome RunWith(RouteVotes route, bool parallel, ParallelMode mode,
-                  int threads) {
+                  int threads, int batch_size = 64,
+                  bool rebuild_per_step = false) {
     Outcome out;
     out.db = base_->Clone();
     out.log = std::make_unique<ModificationLog>(out.db.get());
@@ -150,8 +152,9 @@ class VoteRoutingTest : public ::testing::Test {
     opts.parallel_pass = parallel;
     opts.parallel_mode = mode;
     opts.pass_threads = threads;
-    opts.batch_size = 64;
+    opts.batch_size = batch_size;
     opts.route_votes = route;
+    opts.route_rebuild_per_step = rebuild_per_step;
     out.report = coordinator.Run(out.db.get(), order, opts).ValueOrAbort();
     return out;
   }
@@ -255,6 +258,301 @@ TEST_F(VoteRoutingTest, RowRangeDisjointValidatorIsPruned) {
     // guard makes the zero-outside-scope contract real).
     EXPECT_GT(routed.report.votes_skipped, 0);
     EXPECT_EQ(routed.report.route_audit_violations, 0);
+  }
+}
+
+// =====================================================================
+// Direct-drive VoteIndex tests: routing decisions, the aggregation
+// skip, the unknown-table fallback, and incremental maintenance
+// checked against from-scratch rebuilds.
+// =====================================================================
+
+Schema PairSchema() {
+  Schema s;
+  s.name = "pair";
+  s.tables.push_back({"T",
+                      {{"x", ColumnType::kInt64, ""},
+                       {"y", ColumnType::kInt64, ""}}});
+  s.tables.push_back({"U", {{"x", ColumnType::kInt64, ""}}});
+  return s;
+}
+
+// OR-union of single-modification Route calls: the reference the
+// batched (and aggregated) paths must reproduce.
+ConsultMask RouteUnion(const VoteIndex& index,
+                       std::span<const Modification> mods) {
+  ConsultMask acc;
+  acc.Reset(index.num_validators());
+  ConsultMask one;
+  for (size_t i = 0; i < mods.size(); ++i) {
+    index.Route(mods.subspan(i, 1), &one);
+    for (size_t v = 0; v < one.size(); ++v) {
+      if (one.Test(v)) acc.SetBit(v);
+    }
+  }
+  return acc;
+}
+
+TEST(VoteIndexTest, AggregateSkipsCollectingOnceRangedReadersConsulted) {
+  const Schema schema = PairSchema();
+  VoteIndex index;
+  index.Reset(&schema);
+  AccessScope scope;
+  scope.known = true;
+  scope.AddRead(0, 0);             // T.x, unranged
+  scope.AddReadRange(0, 1, 0, 3);  // T.y, rows [0, 3]
+  ASSERT_EQ(index.AddValidator(scope), 0);
+
+  // Nine mods (the aggregate regime) each writing T.x and T.y: the
+  // unranged T.x read consults the validator on the first mod, so the
+  // T.y interval aggregation has nothing left to decide and must not
+  // collect a single tuple id.
+  std::vector<Modification> both;
+  for (int64_t i = 0; i < 9; ++i) {
+    both.push_back(Modification::ReplaceValues(
+        "T", {i}, {0, 1}, {Value(int64_t{1}), Value(int64_t{2})}));
+  }
+  ConsultMask consult;
+  RouteMetrics metrics;
+  index.Route(both, &consult, &metrics);
+  EXPECT_TRUE(consult.Test(0));
+  EXPECT_EQ(metrics.interval_inserts, 0);
+  EXPECT_EQ(metrics.fallbacks, 0);
+
+  // Control: with only the ranged T.y read the aggregation must run —
+  // one insert per modification — and the overlap with [0, 3] consults.
+  VoteIndex ranged_only;
+  ranged_only.Reset(&schema);
+  AccessScope ranged;
+  ranged.known = true;
+  ranged.AddReadRange(0, 1, 0, 3);
+  ranged_only.AddValidator(ranged);
+  std::vector<Modification> y_only;
+  for (int64_t i = 0; i < 9; ++i) {
+    y_only.push_back(
+        Modification::ReplaceValues("T", {i}, {1}, {Value(int64_t{2})}));
+  }
+  RouteMetrics control;
+  ranged_only.Route(y_only, &consult, &control);
+  EXPECT_TRUE(consult.Test(0));
+  EXPECT_EQ(control.interval_inserts, 9);
+}
+
+TEST(VoteIndexTest, UnknownTableFallbackFillsMaskAndClearsScratch) {
+  const Schema schema = PairSchema();
+  VoteIndex index;
+  index.Reset(&schema);
+  AccessScope scope;
+  scope.known = true;
+  scope.AddReadRange(0, 1, 0, 3);  // T.y rows [0, 3]
+  index.AddValidator(scope);
+
+  // An aggregate batch that seeds the T.y scratch with in-range rows,
+  // then names a table the schema does not know: the consult mask is
+  // filled, the fallback counted, and the half-built scratch discarded.
+  std::vector<Modification> poisoned;
+  for (int64_t i = 0; i < 9; ++i) {
+    poisoned.push_back(
+        Modification::ReplaceValues("T", {i}, {1}, {Value(int64_t{7})}));
+  }
+  poisoned.push_back(
+      Modification::ReplaceValues("Nope", {0}, {0}, {Value(int64_t{7})}));
+  ConsultMask consult;
+  RouteMetrics metrics;
+  index.Route(poisoned, &consult, &metrics);
+  EXPECT_EQ(metrics.fallbacks, 1);
+  EXPECT_EQ(consult.CountSet(), 1u);
+
+  // A fresh aggregate batch disjoint from [0, 3]: stale intervals left
+  // over from the aborted call would wrongly consult the validator.
+  std::vector<Modification> disjoint;
+  for (int64_t i = 10; i < 19; ++i) {
+    disjoint.push_back(
+        Modification::ReplaceValues("T", {i}, {1}, {Value(int64_t{7})}));
+  }
+  RouteMetrics clean;
+  index.Route(disjoint, &consult, &clean);
+  EXPECT_FALSE(consult.Test(0));
+  EXPECT_EQ(clean.fallbacks, 0);
+}
+
+TEST(VoteIndexTest, IncrementalMatchesRebuildThroughWidenAndDistrust) {
+  const Schema schema = PairSchema();
+
+  std::vector<AccessScope> scopes;
+  AccessScope widened;  // hull-widened ranged reader of T.y
+  widened.known = true;
+  widened.AddRead(0, 0);
+  widened.AddReadRange(0, 1, 0, 2);
+  widened.AddReadRange(0, 1, 5, 7);  // duplicate atom: widens to [0, 7]
+  scopes.push_back(widened);
+  AccessScope whole;  // whole-table U reader plus a far T.y range
+  whole.known = true;
+  whole.AddRead(1);
+  whole.AddReadRange(0, 1, 10, 12);
+  scopes.push_back(whole);
+  scopes.push_back(AccessScope());  // unknown: always-vote
+  AccessScope observed;             // observed-only: reads incomplete
+  observed.known = true;
+  observed.reads_complete = false;
+  observed.AddWrite(0, 0);
+  scopes.push_back(observed);
+
+  VoteIndex incremental;
+  incremental.Reset(&schema);
+  for (const AccessScope& s : scopes) incremental.AddValidator(s);
+  VoteIndex rebuilt;
+  rebuilt.Build(&schema, scopes);
+  EXPECT_TRUE(incremental.DebugEquals(rebuilt));
+
+  // A write inside the widened hull but outside both declared pieces:
+  // hull routing must consult — the conservative meaning of widening.
+  const Modification probe =
+      Modification::ReplaceValues("T", {4}, {1}, {Value(int64_t{0})});
+  ConsultMask consult;
+  incremental.Route(std::span<const Modification>(&probe, 1), &consult);
+  EXPECT_TRUE(consult.Test(0));   // hull [0, 7] contains row 4
+  EXPECT_FALSE(consult.Test(1));  // [10, 12] does not
+  EXPECT_TRUE(consult.Test(2));   // unknown scopes always vote
+  EXPECT_TRUE(consult.Test(3));   // incomplete reads always vote
+
+  // Distrust degrades in place; a fresh build over the degraded scope
+  // list lands on the identical structure. Idempotent.
+  incremental.Distrust(1);
+  std::vector<AccessScope> degraded = scopes;
+  degraded[1] = AccessScope();
+  VoteIndex fresh;
+  fresh.Build(&schema, degraded);
+  EXPECT_TRUE(incremental.DebugEquals(fresh));
+  incremental.Distrust(1);
+  EXPECT_TRUE(incremental.DebugEquals(fresh));
+
+  // Growth after a distrust keeps the identity.
+  AccessScope late;
+  late.known = true;
+  late.AddReadRange(1, 0, 0, 4);
+  EXPECT_EQ(incremental.AddValidator(late), 4);
+  degraded.push_back(late);
+  fresh.Build(&schema, degraded);
+  EXPECT_TRUE(incremental.DebugEquals(fresh));
+}
+
+TEST(VoteIndexTest, RowStructureWritesDisturbRangedCellReaders) {
+  const Schema schema = PairSchema();
+  VoteIndex index;
+  index.Reset(&schema);
+  AccessScope scope;
+  scope.known = true;
+  scope.AddReadRange(0, 1, 5, 7);  // T.y rows [5, 7]
+  index.AddValidator(scope);
+
+  ConsultMask consult;
+  const Modification cell =
+      Modification::ReplaceValues("T", {0}, {1}, {Value(int64_t{0})});
+  index.Route(std::span<const Modification>(&cell, 1), &consult);
+  EXPECT_FALSE(consult.Test(0));  // row 0 outside [5, 7]
+
+  // A tuple insert in the same batch is a row-structure write: no
+  // interval exemption (its id is not assigned yet), so the ranged
+  // reader is consulted even though the cell write alone is exempt.
+  const std::vector<Modification> mixed = {
+      Modification::InsertTuple("T", {Value(int64_t{1}), Value(int64_t{2})}),
+      cell,
+  };
+  index.Route(mixed, &consult);
+  EXPECT_TRUE(consult.Test(0));
+}
+
+TEST(VoteIndexTest, AggregateThresholdMatchesPerModUnion) {
+  const Schema schema = PairSchema();
+  VoteIndex index;
+  index.Reset(&schema);
+  AccessScope lo;
+  lo.known = true;
+  lo.AddReadRange(0, 1, 0, 3);
+  AccessScope hi;
+  hi.known = true;
+  hi.AddReadRange(0, 1, 10, 12);
+  AccessScope other_col;
+  other_col.known = true;
+  other_col.AddRead(0, 0);  // T.x — the batch writes only T.y
+  AccessScope whole_u;
+  whole_u.known = true;
+  whole_u.AddRead(1);  // whole-table U
+  index.AddValidator(lo);
+  index.AddValidator(hi);
+  index.AddValidator(other_col);
+  index.AddValidator(whole_u);
+  index.AddValidator(AccessScope());  // always-vote
+
+  std::vector<Modification> mods;
+  for (const int64_t row : {0, 1, 2, 11, 20, 21, 22, 23, 24}) {
+    mods.push_back(
+        Modification::ReplaceValues("T", {row}, {1}, {Value(int64_t{0})}));
+  }
+
+  // The 9-mod batch takes the aggregated-interval path; its first 8
+  // mods take the per-tuple path. Both must equal the per-mod union.
+  ConsultMask batch9;
+  index.Route(mods, &batch9);
+  EXPECT_EQ(batch9, RouteUnion(index, mods));
+  ConsultMask batch8;
+  index.Route(std::span<const Modification>(mods).first(8), &batch8);
+  EXPECT_EQ(batch8,
+            RouteUnion(index, std::span<const Modification>(mods).first(8)));
+
+  EXPECT_TRUE(batch9.Test(0));   // rows 0..2 hit [0, 3]
+  EXPECT_TRUE(batch9.Test(1));   // row 11 hits [10, 12]
+  EXPECT_FALSE(batch9.Test(2));  // T.x never written
+  EXPECT_FALSE(batch9.Test(3));  // table U never touched
+  EXPECT_TRUE(batch9.Test(4));   // unknown scope
+}
+
+// ---------------------------------------------------------------------
+// Incremental maintenance: the run-wide index with O(1) deltas must be
+// indistinguishable — database, log, per-step report, pruning counts —
+// from tearing the index down and rebuilding it from certified scopes
+// on every serial step (route_rebuild_per_step, the pre-incremental
+// behaviour kept as a baseline). In debug builds every routed step
+// additionally asserts the incremental index is structurally identical
+// to a from-scratch rebuild.
+// ---------------------------------------------------------------------
+TEST_F(VoteRoutingTest, IncrementalIndexMatchesPerStepRebuild) {
+  const Outcome incremental =
+      RunWith(RouteVotes::kOn, false, ParallelMode::kShared, 1);
+  const Outcome rebuilt =
+      RunWith(RouteVotes::kOn, false, ParallelMode::kShared, 1,
+              /*batch_size=*/64, /*rebuild_per_step=*/true);
+  ExpectSameSteps(rebuilt.report, incremental.report);
+  ExpectDatabasesIdentical(*rebuilt.db, *incremental.db);
+  ExpectLogsIdentical(*rebuilt.log, *incremental.log);
+  EXPECT_EQ(rebuilt.report.votes_skipped, incremental.report.votes_skipped);
+  // Both record the maintenance time behind the same metric; only the
+  // amount of work behind it differs.
+  EXPECT_GE(incremental.report.route_index_build_seconds, 0.0);
+  EXPECT_GE(rebuilt.report.route_index_build_seconds, 0.0);
+  // No unknown-table proposals in this workload.
+  EXPECT_EQ(incremental.report.route_fallbacks, 0);
+}
+
+// ---------------------------------------------------------------------
+// The aggregate threshold: a batch of 8 modifications routes with
+// per-tuple interval tests, a batch of 9 aggregates touched ids into
+// interval sets. Both regimes must stay bitwise identical to full
+// voting.
+// ---------------------------------------------------------------------
+TEST_F(VoteRoutingTest, AggregateThresholdBatchSizesMatchFull) {
+  for (const int batch_size : {8, 9}) {
+    const Outcome full = RunWith(RouteVotes::kOff, false,
+                                 ParallelMode::kShared, 1, batch_size);
+    const Outcome routed = RunWith(RouteVotes::kOn, false,
+                                   ParallelMode::kShared, 1, batch_size);
+    ExpectSameSteps(routed.report, full.report);
+    ExpectDatabasesIdentical(*routed.db, *full.db);
+    ExpectLogsIdentical(*routed.log, *full.log);
+    EXPECT_GT(routed.report.votes_skipped, 0) << "batch " << batch_size;
+    EXPECT_EQ(routed.report.route_audit_violations, 0)
+        << "batch " << batch_size;
   }
 }
 
@@ -365,7 +663,7 @@ class BWriterTool : public PropertyTool {
 
 TEST(VoteRoutingAuditTest, OverNarrowValidatorIsCaughtAndDistrusted) {
   const Schema schema = TinySchema();
-  const auto run_with = [&](RouteVotes route) {
+  const auto run_with = [&](RouteVotes route, bool rebuild_per_step = false) {
     auto db = TinyDb();
     Coordinator coordinator;
     std::vector<int> order = {
@@ -376,6 +674,7 @@ TEST(VoteRoutingAuditTest, OverNarrowValidatorIsCaughtAndDistrusted) {
     opts.seed = 13;
     opts.iterations = 2;
     opts.route_votes = route;
+    opts.route_rebuild_per_step = rebuild_per_step;
     RunReport report = coordinator.Run(db.get(), order, opts).ValueOrAbort();
     return std::make_pair(std::move(db), std::move(report));
   };
@@ -389,7 +688,11 @@ TEST(VoteRoutingAuditTest, OverNarrowValidatorIsCaughtAndDistrusted) {
   EXPECT_EQ(full.second.route_audit_violations, 0);
 
   for (const RouteVotes route : {RouteVotes::kOn, RouteVotes::kAudit}) {
-    const auto routed = run_with(route);
+   // The distrust-and-degrade sequence must play out identically under
+   // the incrementally maintained run-wide index and under per-step
+   // rebuilds from the (degraded) scope list.
+   for (const bool rebuild : {false, true}) {
+    const auto routed = run_with(route, rebuild);
     ASSERT_EQ(routed.second.steps.size(), 4u);
     const ToolReport& pass1 = routed.second.steps[1];
     const ToolReport& pass2 = routed.second.steps[3];
@@ -416,6 +719,240 @@ TEST(VoteRoutingAuditTest, OverNarrowValidatorIsCaughtAndDistrusted) {
     EXPECT_EQ(routed.second.route_audit_violations, 1);
     // The audited vote counted, so the outcome matches full voting.
     ExpectDatabasesIdentical(*routed.first, *full.first);
+   }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Hull widening end-to-end: a validator that declares two disjoint row
+// ranges of the same atom. The scope (and so the index) widens them to
+// the hull, which must keep a write in the gap between the pieces on
+// the voted path — and prune a write outside the hull.
+// ---------------------------------------------------------------------
+std::unique_ptr<Database> TinyDbWithRows(int64_t a_rows) {
+  auto db = Database::Create(TinySchema()).ValueOrAbort();
+  Table* a = db->FindTable("A");
+  for (int64_t i = 0; i < a_rows; ++i) {
+    a->Append({Value(int64_t{i})}).status().Check();
+  }
+  db->FindTable("B")->Append({Value(int64_t{1})}).status().Check();
+  return db;
+}
+
+// Declares A.x rows [0, 2] and [6, 8] — widened to the hull [0, 8] —
+// and vetoes exactly the writes of A.x row 4: a row inside the hull
+// but outside both declared pieces, which the certified range still
+// covers.
+class HullValidatorTool : public PropertyTool {
+ public:
+  explicit HullValidatorTool(const Schema& schema)
+      : a_index_(schema.TableIndex("A")) {}
+  std::string name() const override { return "hull-validator"; }
+  Status SetTargetFromDataset(const Database&) override {
+    return Status::OK();
+  }
+  Status RepairTarget() override { return Status::OK(); }
+  Status CheckTargetFeasible() const override { return Status::OK(); }
+  Status Bind(Database* db) override {
+    db_ = db;
+    return Status::OK();
+  }
+  void Unbind() override { db_ = nullptr; }
+  bool bound() const override { return db_ != nullptr; }
+  double Error() const override { return 0; }
+  double ValidationPenalty(const Modification& mod) const override {
+    if (mod.table != "A" || mod.kind != OpKind::kReplaceValues) return 0.0;
+    for (const TupleId tid : mod.tuples) {
+      if (tid == 4) return 1.0;
+    }
+    return 0.0;
+  }
+  void OnApplied(const Modification&, const std::vector<Value>&,
+                 TupleId) override {}
+  AccessScope DeclaredScope() const override {
+    AccessScope scope;
+    scope.known = true;
+    scope.AddReadRange(a_index_, 0, 0, 2);
+    scope.AddReadRange(a_index_, 0, 6, 8);  // widens to the hull [0, 8]
+    return scope;
+  }
+  Status Tweak(TweakContext*) override { return Status::OK(); }
+
+ private:
+  int a_index_;
+  Database* db_ = nullptr;
+};
+
+// Proposes a write in the hull gap (row 4, vetoed) and one past the
+// hull (row 9, applied with the validator's vote pruned).
+class GapWriterTool : public PropertyTool {
+ public:
+  explicit GapWriterTool(const Schema& schema)
+      : a_index_(schema.TableIndex("A")) {}
+  std::string name() const override { return "gap-writer"; }
+  Status SetTargetFromDataset(const Database&) override {
+    return Status::OK();
+  }
+  Status RepairTarget() override { return Status::OK(); }
+  Status CheckTargetFeasible() const override { return Status::OK(); }
+  Status Bind(Database* db) override {
+    db_ = db;
+    return Status::OK();
+  }
+  void Unbind() override { db_ = nullptr; }
+  bool bound() const override { return db_ != nullptr; }
+  double Error() const override { return 0; }
+  double ValidationPenalty(const Modification&) const override { return 0; }
+  void OnApplied(const Modification&, const std::vector<Value>&,
+                 TupleId) override {}
+  AccessScope DeclaredScope() const override {
+    AccessScope scope;
+    scope.known = true;
+    scope.AddWrite(a_index_, 0);  // A.x
+    return scope;
+  }
+  Status Tweak(TweakContext* ctx) override {
+    for (const int64_t row : {int64_t{4}, int64_t{9}}) {
+      const Status st = ctx->TryApply(Modification::ReplaceValues(
+          "A", {row}, {0}, {Value(int64_t{100 + row})}));
+      if (!st.ok() && !st.IsValidationFailed()) return st;
+    }
+    return Status::OK();
+  }
+
+ private:
+  int a_index_;
+  Database* db_ = nullptr;
+};
+
+TEST(VoteRoutingHullTest, HullWidenedDuplicateAtomRoutesConservatively) {
+  const Schema schema = TinySchema();
+  const auto run_with = [&](RouteVotes route) {
+    auto db = TinyDbWithRows(10);
+    Coordinator coordinator;
+    std::vector<int> order = {
+        coordinator.AddTool(std::make_unique<HullValidatorTool>(schema)),
+        coordinator.AddTool(std::make_unique<GapWriterTool>(schema)),
+    };
+    CoordinatorOptions opts;
+    opts.seed = 13;
+    opts.iterations = 1;
+    opts.route_votes = route;
+    RunReport report = coordinator.Run(db.get(), order, opts).ValueOrAbort();
+    return std::make_pair(std::move(db), std::move(report));
+  };
+  const auto full = run_with(RouteVotes::kOff);
+  EXPECT_EQ(full.second.votes_skipped, 0);
+  for (const RouteVotes route : {RouteVotes::kOn, RouteVotes::kAudit}) {
+    const auto routed = run_with(route);
+    ExpectDatabasesIdentical(*routed.first, *full.first);
+    // Row 4 (inside the hull) was voted on and vetoed; row 9 (outside)
+    // was pruned, and the audited pruned vote returned zero.
+    EXPECT_EQ(routed.second.votes_skipped, 1);
+    EXPECT_EQ(routed.second.route_audit_violations, 0);
+  }
+}
+
+// ---------------------------------------------------------------------
+// The unknown-table fallback end-to-end: a proposal naming a table the
+// schema does not know routes conservatively and is counted on the
+// report, where it distinguishes such proposals from legitimately
+// routed (fully consulted) ones.
+// ---------------------------------------------------------------------
+
+// A routable validator with an honest narrow scope; never vetoes.
+class PassiveTool : public PropertyTool {
+ public:
+  explicit PassiveTool(const Schema& schema)
+      : a_index_(schema.TableIndex("A")) {}
+  std::string name() const override { return "passive"; }
+  Status SetTargetFromDataset(const Database&) override {
+    return Status::OK();
+  }
+  Status RepairTarget() override { return Status::OK(); }
+  Status CheckTargetFeasible() const override { return Status::OK(); }
+  Status Bind(Database* db) override {
+    db_ = db;
+    return Status::OK();
+  }
+  void Unbind() override { db_ = nullptr; }
+  bool bound() const override { return db_ != nullptr; }
+  double Error() const override { return 0; }
+  double ValidationPenalty(const Modification&) const override { return 0; }
+  void OnApplied(const Modification&, const std::vector<Value>&,
+                 TupleId) override {}
+  AccessScope DeclaredScope() const override {
+    AccessScope scope;
+    scope.known = true;
+    scope.AddRead(a_index_, 0);
+    return scope;
+  }
+  Status Tweak(TweakContext*) override { return Status::OK(); }
+
+ private:
+  int a_index_;
+  Database* db_ = nullptr;
+};
+
+// Proposes a write to a table the schema does not know (the router's
+// conservative fallback) plus one legitimate write. The ghost write
+// fails at apply time; the tool swallows the failure.
+class GhostWriterTool : public PropertyTool {
+ public:
+  explicit GhostWriterTool(const Schema&) {}
+  std::string name() const override { return "ghost-writer"; }
+  Status SetTargetFromDataset(const Database&) override {
+    return Status::OK();
+  }
+  Status RepairTarget() override { return Status::OK(); }
+  Status CheckTargetFeasible() const override { return Status::OK(); }
+  Status Bind(Database* db) override {
+    db_ = db;
+    return Status::OK();
+  }
+  void Unbind() override { db_ = nullptr; }
+  bool bound() const override { return db_ != nullptr; }
+  double Error() const override { return 0; }
+  double ValidationPenalty(const Modification&) const override { return 0; }
+  void OnApplied(const Modification&, const std::vector<Value>&,
+                 TupleId) override {}
+  AccessScope DeclaredScope() const override { return AccessScope(); }
+  Status Tweak(TweakContext* ctx) override {
+    const Status ghost = ctx->TryApply(Modification::ReplaceValues(
+        "Ghost", {0}, {0}, {Value(int64_t{1})}));
+    if (ghost.ok()) return Status::Invalid("ghost write applied");
+    return ctx->TryApply(
+        Modification::ReplaceValues("A", {0}, {0}, {Value(int64_t{42})}));
+  }
+
+ private:
+  Database* db_ = nullptr;
+};
+
+TEST(VoteRoutingFallbackTest, UnknownTableProposalsAreCountedOnTheReport) {
+  const Schema schema = TinySchema();
+  const auto run_with = [&](RouteVotes route) {
+    auto db = TinyDb();
+    Coordinator coordinator;
+    std::vector<int> order = {
+        coordinator.AddTool(std::make_unique<PassiveTool>(schema)),
+        coordinator.AddTool(std::make_unique<GhostWriterTool>(schema)),
+    };
+    CoordinatorOptions opts;
+    opts.seed = 13;
+    opts.iterations = 1;
+    opts.route_votes = route;
+    RunReport report = coordinator.Run(db.get(), order, opts).ValueOrAbort();
+    return report;
+  };
+  EXPECT_EQ(run_with(RouteVotes::kOff).route_fallbacks, 0);
+  for (const RouteVotes route : {RouteVotes::kOn, RouteVotes::kAudit}) {
+    const RunReport report = run_with(route);
+    EXPECT_EQ(report.route_fallbacks, 1);
+    // The run summary names the fallback so a filled consult mask is
+    // distinguishable from a legitimately routed proposal.
+    EXPECT_NE(report.ToString().find("unknown-table fallback"),
+              std::string::npos);
   }
 }
 
